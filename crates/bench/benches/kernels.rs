@@ -1,0 +1,168 @@
+//! Criterion microbenchmarks of the PIC kernels (companion to the
+//! experiment binaries; these give statistically robust per-kernel
+//! numbers for calibration and regression tracking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vpic_core::aosoa::{advance_p_aosoa, AosoaStore};
+use vpic_core::field_solver::{advance_b, advance_e};
+use vpic_core::push::{advance_p_serial, PushCoefficients};
+use vpic_core::sort::sort_by_voxel;
+use vpic_core::{
+    load_uniform, AccumulatorArray, FieldArray, Grid, InterpolatorArray, Momentum, Rng,
+    Simulation, Species,
+};
+
+fn plasma(n: (usize, usize, usize), ppc: usize) -> Simulation {
+    let dx = 0.25f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let g = Grid::periodic(n, (dx, dx, dx), dt);
+    let mut sim = Simulation::new(g, 1);
+    let mut e = Species::new("e", -1.0, 1.0);
+    let mut rng = Rng::seeded(1);
+    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(0.05));
+    sim.add_species(e);
+    for _ in 0..2 {
+        sim.step();
+    }
+    sim.species[0].sort(&sim.grid);
+    sim.interp.load(&sim.fields, &sim.grid);
+    sim
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("particle_push");
+    for ppc in [16usize, 64] {
+        let mut sim = plasma((12, 12, 12), ppc);
+        let g = sim.grid.clone();
+        let coeffs = PushCoefficients::new(-1.0, 1.0, &g);
+        let interp = sim.interp.clone();
+        let mut acc = AccumulatorArray::new(&g);
+        let n = sim.n_particles();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("aos", ppc), &ppc, |b, _| {
+            b.iter(|| {
+                acc.clear();
+                let mut parts = std::mem::take(&mut sim.species[0].particles);
+                advance_p_serial(&mut parts, coeffs, &interp, &mut acc, &g);
+                sim.species[0].particles = parts;
+            })
+        });
+        let mut store = AosoaStore::from_particles(&sim.species[0].particles);
+        group.bench_with_input(BenchmarkId::new("aosoa", ppc), &ppc, |b, _| {
+            b.iter(|| {
+                acc.clear();
+                advance_p_aosoa(&mut store, coeffs, &interp, &mut acc, &g);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_field_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_solver");
+    let n = (32usize, 32usize, 32usize);
+    let dx = 0.25f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let g = Grid::periodic(n, (dx, dx, dx), dt);
+    let mut f = FieldArray::new(&g);
+    group.throughput(Throughput::Elements(g.n_live() as u64));
+    group.bench_function("advance_b_half", |b| b.iter(|| advance_b(&mut f, &g, 0.5)));
+    group.bench_function("advance_e", |b| b.iter(|| advance_e(&mut f, &g)));
+    let mut ia = InterpolatorArray::new(&g);
+    group.bench_function("interpolator_load", |b| b.iter(|| ia.load(&f, &g)));
+    group.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    let sim = plasma((16, 16, 16), 32);
+    let nv = sim.grid.n_voxels();
+    let shuffled = {
+        let mut v = sim.species[0].particles.clone();
+        let mut rng = Rng::seeded(3);
+        for i in (1..v.len()).rev() {
+            v.swap(i, rng.index(i + 1));
+        }
+        v
+    };
+    group.throughput(Throughput::Elements(shuffled.len() as u64));
+    group.bench_function("counting_sort", |b| {
+        b.iter_batched(
+            || shuffled.clone(),
+            |mut v| {
+                let mut scratch = Vec::new();
+                sort_by_voxel(&mut v, nv, &mut scratch);
+                v
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_step");
+    group.sample_size(10);
+    let mut sim = plasma((12, 12, 12), 32);
+    group.throughput(Throughput::Elements(sim.n_particles() as u64));
+    group.bench_function("simulation_step", |b| b.iter(|| sim.step()));
+    group.finish();
+}
+
+fn bench_collisions(c: &mut Criterion) {
+    use vpic_core::collision::CollisionOperator;
+    let mut group = c.benchmark_group("collisions");
+    let mut sim = plasma((8, 8, 8), 64);
+    sim.species[0].sort(&sim.grid);
+    let g = sim.grid.clone();
+    let op = CollisionOperator::new(1e-4, 1);
+    let mut rng = Rng::seeded(11);
+    group.throughput(Throughput::Elements(sim.n_particles() as u64));
+    group.bench_function("ta77_apply", |b| {
+        b.iter(|| op.apply(&mut sim.species[0], &g, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_hydro_and_loaders(c: &mut Criterion) {
+    use vpic_core::hydro::HydroArray;
+    use vpic_core::juttner::sample_juttner;
+    let mut group = c.benchmark_group("moments_and_loaders");
+    let sim = plasma((12, 12, 12), 32);
+    let g = sim.grid.clone();
+    group.throughput(Throughput::Elements(sim.n_particles() as u64));
+    group.bench_function("hydro_accumulate", |b| {
+        b.iter(|| {
+            let mut h = HydroArray::new(&g);
+            h.accumulate(&sim.species[0], &g);
+            h
+        })
+    });
+    let mut rng = Rng::seeded(5);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("juttner_sample", |b| b.iter(|| sample_juttner(0.5, &mut rng)));
+    group.finish();
+}
+
+fn bench_layout_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    let sim = plasma((12, 12, 12), 32);
+    let parts = sim.species[0].particles.clone();
+    group.throughput(Throughput::Elements(parts.len() as u64));
+    group.bench_function("aos_to_aosoa", |b| b.iter(|| AosoaStore::from_particles(&parts)));
+    let store = AosoaStore::from_particles(&parts);
+    group.bench_function("aosoa_to_aos", |b| b.iter(|| store.to_particles()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_push,
+    bench_field_solver,
+    bench_sort,
+    bench_full_step,
+    bench_collisions,
+    bench_hydro_and_loaders,
+    bench_layout_conversion
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E5 — Laser reflectivity vs laser intensity (the paper's headline
+//! physics: "a parameter study of laser reflectivity as a function of
+//! laser intensity under experimentally realizable hohlraum conditions").
+//!
+//! Sweeps the laser strength a0 for a fixed underdense slab and measures
+//! the time-averaged SRS backscatter reflectivity with the PIC code,
+//! against the linear slab gain and the Tang fluid baseline. The expected
+//! *shape*: a noise-level floor at low intensity, a steep rise once the
+//! growth rate beats Landau damping, approaching saturation at high
+//! intensity — with the kinetic (PIC) curve rising ahead of the fluid one
+//! once trapping reduces the effective damping.
+
+use vpic_bench::{parse_flag, print_table};
+use vpic_core::units::LabFrame;
+use vpic_lpi::{tang_reflectivity, LpiParams, LpiRun};
+
+fn main() {
+    let full = parse_flag("full");
+    let a0s: &[f64] = if full {
+        &[0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18]
+    } else {
+        &[0.01, 0.03, 0.06, 0.12]
+    };
+    let base = LpiParams {
+        n_over_ncr: 0.1,
+        vth: 0.06,
+        flat: if full { 32.0 } else { 16.0 },
+        ramp: 4.0, // gentle ramps keep the linear (non-SRS) reflection low
+        ppc: if full { 256 } else { 64 },
+        pipelines: 1,
+        // Seed the backscatter (1% of the pump in power) so the
+        // amplification is measured above the PIC noise/ramp floor — the
+        // standard controlled-seed technique in LPI PIC studies.
+        seed_frac: 0.1,
+        ..Default::default()
+    };
+    let lab = LabFrame::nif(base.n_over_ncr);
+    println!(
+        "E5: SRS reflectivity vs intensity — n/ncr = {}, Te = {:.1} keV, slab {:.1} µm, {} ppc,",
+        base.n_over_ncr,
+        lab.ev_of_vth(base.vth) / 1000.0,
+        lab.microns_of(base.flat as f64),
+        base.ppc
+    );
+    println!(
+        "    seeded backscatter at {:.1e} of pump power (floor of the R curve)",
+        base.seed_frac * base.seed_frac
+    );
+
+    let mut rows = Vec::new();
+    let mut spectral_line = (0.0f64, 0.0f64, 0.0f64); // (a0, peak ω, ω_s)
+    for &a0 in a0s {
+        let mut run = LpiRun::new(LpiParams { a0, ..base });
+        let m = run.srs;
+        let steps = run.suggested_steps(if full { 6.0 } else { 3.0 });
+        run.run(steps);
+        let (peak_omega, _) = run.backscatter_peak(m.omega0 * 1.2);
+        spectral_line = (a0, peak_omega, m.omega_s);
+        let gain = m.linear_gain(a0, base.flat as f64);
+        let lab = LabFrame::nif(base.n_over_ncr);
+        rows.push(vec![
+            format!("{a0:.3}"),
+            format!("{:.1e}", lab.intensity_of_a0(a0)),
+            format!("{:.4}", m.growth_rate(a0)),
+            format!("{:.2}", m.growth_to_damping(a0)),
+            format!("{:.2}", gain),
+            format!("{:.3e}", tang_reflectivity(gain, base.seed_frac * base.seed_frac)),
+            format!("{:.3e}", run.reflectivity()),
+        ]);
+        eprintln!("  a0 = {a0}: done ({} steps)", steps);
+    }
+    print_table(
+        "E5: reflectivity vs laser intensity",
+        &["a0", "I@351nm W/cm²", "γ0/ωpe", "γ0/νL", "gain G", "R (Tang fluid)", "R (PIC, kinetic)"],
+        &rows,
+    );
+    println!(
+        "\nspectral check at a0 = {}: backscatter line at ω = {:.3} ωpe vs SRS-matched\nω_s = {:.3} ωpe (the reflected light is Raman-shifted, not a mirror reflection)",
+        spectral_line.0, spectral_line.1, spectral_line.2
+    );
+    println!("\npaper anchor: reflectivity rises steeply with intensity through the");
+    println!("trapping-affected regime (kλD ≈ 0.3); absolute values depend on noise");
+    println!("seeding and slab length, the *shape* (floor → steep rise) is the target.");
+}

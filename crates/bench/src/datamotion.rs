@@ -1,0 +1,142 @@
+//! Reference kernels for the paper's data-motion argument (experiment
+//! E10): the abstract stresses that PIC moves far more data per flop than
+//! the techniques usually used to showcase supercomputers — dense matrix
+//! algebra (LINPACK), molecular-dynamics N-body and Monte Carlo. Here we
+//! implement small versions of each, measure their achieved flop rates on
+//! this host, and tabulate their *algorithmic* bytes-per-flop next to the
+//! PIC inner loop's.
+
+/// Result of running one reference kernel.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    pub name: &'static str,
+    pub flops: f64,
+    pub seconds: f64,
+    /// Algorithmic bytes moved per flop (working-set traffic, not cache
+    /// micro-measurement).
+    pub bytes_per_flop: f64,
+}
+
+impl KernelReport {
+    /// Achieved Gflop/s.
+    pub fn gflops(&self) -> f64 {
+        self.flops / self.seconds / 1e9
+    }
+}
+
+/// Dense single-precision matmul `C = A·B` (ikj loop order, the
+/// cache-friendly textbook form). `2n³` flops over `3n²` matrix elements:
+/// bytes/flop = `12n²/2n³ = 6/n` — essentially free data motion.
+pub fn dense_matmul(n: usize) -> KernelReport {
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 17) as f32 * 0.25).collect();
+    let b: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 * 0.5).collect();
+    let mut c = vec![0.0f32; n * n];
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let (brow, crow) = (&b[k * n..k * n + n], &mut c[i * n..i * n + n]);
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&c);
+    KernelReport {
+        name: "dense matmul (LINPACK-like)",
+        flops: 2.0 * (n as f64).powi(3),
+        seconds,
+        bytes_per_flop: 12.0 * (n as f64).powi(2) / (2.0 * (n as f64).powi(3)),
+    }
+}
+
+/// All-pairs gravitational N-body step (MD-like): ~20 flops per pair over
+/// `n` 16-byte bodies: bytes/flop = `16n·2/(20n²)` ≈ `1.6/n`.
+pub fn nbody_allpairs(n: usize) -> KernelReport {
+    let mut px: Vec<f32> = (0..n).map(|i| (i as f32 * 0.618).fract()).collect();
+    let py: Vec<f32> = (0..n).map(|i| (i as f32 * 0.414).fract()).collect();
+    let pz: Vec<f32> = (0..n).map(|i| (i as f32 * 0.741).fract()).collect();
+    let mut ax = vec![0.0f32; n];
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        let (xi, yi, zi) = (px[i], py[i], pz[i]);
+        let mut acc = 0.0f32;
+        for j in 0..n {
+            let dx = px[j] - xi;
+            let dy = py[j] - yi;
+            let dz = pz[j] - zi;
+            let r2 = dx * dx + dy * dy + dz * dz + 1e-4;
+            let inv = 1.0 / (r2 * r2.sqrt());
+            acc += dx * inv;
+        }
+        ax[i] = acc;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&ax);
+    px[0] += ax[0]; // keep the optimizer honest
+    std::hint::black_box(&px);
+    KernelReport {
+        name: "N-body all-pairs (MD-like)",
+        flops: 13.0 * (n as f64).powi(2),
+        seconds,
+        bytes_per_flop: 2.0 * 16.0 * n as f64 / (13.0 * (n as f64).powi(2)),
+    }
+}
+
+/// Monte-Carlo π estimation with an inline xorshift: ~10 flops per sample
+/// over O(1) state — bytes/flop ≈ 0.
+pub fn monte_carlo(samples: usize) -> KernelReport {
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut hits = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..samples {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let x = (state >> 40) as f32 / (1u64 << 24) as f32;
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let y = (state >> 40) as f32 / (1u64 << 24) as f32;
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    std::hint::black_box(hits);
+    KernelReport {
+        name: "Monte Carlo (pi)",
+        flops: 7.0 * samples as f64,
+        seconds,
+        bytes_per_flop: 1e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_bytes_per_flop_shrinks_with_n() {
+        let small = dense_matmul(32);
+        let big = dense_matmul(64);
+        assert!(big.bytes_per_flop < small.bytes_per_flop);
+        assert!(small.gflops() > 0.0);
+        assert!((small.bytes_per_flop - 6.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nbody_runs_and_reports() {
+        let r = nbody_allpairs(256);
+        assert!(r.flops > 0.0 && r.seconds > 0.0);
+        assert!(r.bytes_per_flop < 0.01);
+    }
+
+    #[test]
+    fn monte_carlo_is_computationally_dense() {
+        let r = monte_carlo(100_000);
+        assert!(r.bytes_per_flop < 1e-3);
+        assert!(r.gflops() > 0.0);
+    }
+}

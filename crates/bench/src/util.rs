@@ -1,0 +1,93 @@
+//! Shared measurement and reporting utilities for the experiment binaries.
+
+use std::time::Instant;
+use vpic_core::{load_uniform, Grid, Momentum, Rng, Simulation, Species};
+
+/// True when `--<name>` is on the command line.
+pub fn parse_flag(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().any(|a| a == want)
+}
+
+/// Value of `--<name> <v>` on the command line, or `default`.
+pub fn parse_opt<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let want = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == want {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// Wall-time a closure.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}", w = w)).collect();
+    println!("{}", line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Standard uniform thermal plasma test case (density 1, vth = 0.05c).
+pub fn uniform_plasma(n: (usize, usize, usize), ppc: usize, pipelines: usize, seed: u64) -> Simulation {
+    let dx = 0.25f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let g = Grid::periodic(n, (dx, dx, dx), dt);
+    let mut sim = Simulation::new(g, pipelines);
+    let mut e = Species::new("electron", -1.0, 1.0);
+    let mut rng = Rng::seeded(seed);
+    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(0.05));
+    sim.add_species(e);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plasma_factory_loads_expected_count() {
+        let sim = uniform_plasma((4, 4, 4), 8, 2, 1);
+        assert_eq!(sim.n_particles(), 64 * 8);
+        assert_eq!(sim.accumulators.n_pipelines(), 2);
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (t, v) = time_it(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn opt_default_when_missing() {
+        assert_eq!(parse_opt("definitely-not-set", 7u32), 7);
+        assert!(!parse_flag("definitely-not-set"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Binary checkpointing of a single-domain simulation.
+//!
+//! Hand-rolled little-endian format (magic `VPICRS01`): VPIC production
+//! runs at trillion-particle scale live or die by restart dumps, so the
+//! reproduction carries the same capability. Fields and particles are
+//! written verbatim; phase timings are not persisted (they are
+//! measurements, not state).
+
+use crate::field::FieldArray;
+use crate::grid::{Grid, ParticleBc};
+use crate::particle::Particle;
+use crate::sim::Simulation;
+use crate::species::Species;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"VPICRS01";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn write_f32_slice(w: &mut impl Write, s: &[f32]) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+/// Read a length-prefixed f32 vector whose length must equal `expect`
+/// (corrupted/hostile headers must not drive allocation).
+fn read_f32_vec(r: &mut impl Read, expect: usize) -> io::Result<Vec<f32>> {
+    let n = read_u64(r)? as usize;
+    if n != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("field length {n} != expected {expect}"),
+        ));
+    }
+    let mut out = vec![0.0f32; n];
+    for v in &mut out {
+        *v = read_f32(r)?;
+    }
+    Ok(out)
+}
+
+fn bc_code(bc: ParticleBc) -> u32 {
+    match bc {
+        ParticleBc::Periodic => 0,
+        ParticleBc::Reflect => 1,
+        ParticleBc::Absorb => 2,
+        ParticleBc::Migrate => 3,
+    }
+}
+
+fn bc_from(code: u32) -> io::Result<ParticleBc> {
+    Ok(match code {
+        0 => ParticleBc::Periodic,
+        1 => ParticleBc::Reflect,
+        2 => ParticleBc::Absorb,
+        3 => ParticleBc::Migrate,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad boundary code")),
+    })
+}
+
+/// Write a restart dump of `sim` to `w`.
+pub fn save(sim: &Simulation, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let g = &sim.grid;
+    for v in [g.nx as u32, g.ny as u32, g.nz as u32] {
+        write_u32(w, v)?;
+    }
+    for v in [g.dx, g.dy, g.dz, g.dt, g.cvac, g.eps0, g.x0, g.y0, g.z0] {
+        write_f32(w, v)?;
+    }
+    for face in 0..6 {
+        write_u32(w, bc_code(g.bc[face]))?;
+    }
+    write_u64(w, sim.step_count)?;
+    // Fields.
+    let f = &sim.fields;
+    for arr in [&f.ex, &f.ey, &f.ez, &f.cbx, &f.cby, &f.cbz, &f.jx, &f.jy, &f.jz, &f.rho] {
+        write_f32_slice(w, arr)?;
+    }
+    // Species.
+    write_u32(w, sim.species.len() as u32)?;
+    for sp in &sim.species {
+        let name = sp.name.as_bytes();
+        write_u32(w, name.len() as u32)?;
+        w.write_all(name)?;
+        write_f32(w, sp.q)?;
+        write_f32(w, sp.m)?;
+        write_u32(w, sp.sort_interval as u32)?;
+        write_u64(w, sp.particles.len() as u64)?;
+        for p in &sp.particles {
+            for v in [p.dx, p.dy, p.dz] {
+                write_f32(w, v)?;
+            }
+            write_u32(w, p.i)?;
+            for v in [p.ux, p.uy, p.uz, p.w] {
+                write_f32(w, v)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Restore a simulation from a restart dump. `n_pipelines` is a runtime
+/// choice and need not match the saving run.
+pub fn load(r: &mut impl Read, n_pipelines: usize) -> io::Result<Simulation> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a VPICRS01 dump"));
+    }
+    let nx = read_u32(r)? as usize;
+    let ny = read_u32(r)? as usize;
+    let nz = read_u32(r)? as usize;
+    // Plausibility bound before any grid-sized allocation happens.
+    if nx == 0 || ny == 0 || nz == 0 || nx > 1 << 16 || ny > 1 << 16 || nz > 1 << 16
+        || (nx + 2).saturating_mul(ny + 2).saturating_mul(nz + 2) > 1 << 31
+    {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible grid dims"));
+    }
+    let mut f9 = [0.0f32; 9];
+    for v in &mut f9 {
+        *v = read_f32(r)?;
+    }
+    let mut bc = [ParticleBc::Periodic; 6];
+    for b in &mut bc {
+        *b = bc_from(read_u32(r)?)?;
+    }
+    let mut grid = Grid::new((nx, ny, nz), (f9[0], f9[1], f9[2]), f9[3], bc);
+    grid.cvac = f9[4];
+    grid.eps0 = f9[5];
+    grid.x0 = f9[6];
+    grid.y0 = f9[7];
+    grid.z0 = f9[8];
+    let step_count = read_u64(r)?;
+
+    let mut sim = Simulation::new(grid, n_pipelines);
+    sim.step_count = step_count;
+    let n = sim.grid.n_voxels();
+    let mut fields = FieldArray::new(&sim.grid);
+    for arr in [
+        &mut fields.ex,
+        &mut fields.ey,
+        &mut fields.ez,
+        &mut fields.cbx,
+        &mut fields.cby,
+        &mut fields.cbz,
+        &mut fields.jx,
+        &mut fields.jy,
+        &mut fields.jz,
+        &mut fields.rho,
+    ] {
+        *arr = read_f32_vec(r, n)?;
+    }
+    sim.fields = fields;
+
+    let n_species = read_u32(r)? as usize;
+    if n_species > 1024 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible species count"));
+    }
+    for _ in 0..n_species {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 4096 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad species name"))?;
+        let q = read_f32(r)?;
+        let m = read_f32(r)?;
+        let sort_interval = read_u32(r)? as usize;
+        let count = read_u64(r)? as usize;
+        let mut sp = Species::new(name, q, m).with_sort_interval(sort_interval);
+        // Do not trust the header for a big up-front reservation: a
+        // corrupted count should fail at EOF, not on allocation.
+        sp.particles.reserve_exact(count.min(1 << 20));
+        for _ in 0..count {
+            let dx = read_f32(r)?;
+            let dy = read_f32(r)?;
+            let dz = read_f32(r)?;
+            let i = read_u32(r)?;
+            let ux = read_f32(r)?;
+            let uy = read_f32(r)?;
+            let uz = read_f32(r)?;
+            let w = read_f32(r)?;
+            if i as usize >= sim.grid.n_voxels() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "voxel out of range"));
+            }
+            sp.particles.push(Particle { dx, dy, dz, i, ux, uy, uz, w });
+        }
+        sim.add_species(sp);
+    }
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxwellian::{load_uniform, Momentum};
+    use crate::rng::Rng;
+
+    fn make_sim() -> Simulation {
+        let g = Grid::periodic((4, 4, 4), (0.25, 0.25, 0.25), 0.05);
+        let mut sim = Simulation::new(g, 2);
+        let mut e = Species::new("electron", -1.0, 1.0);
+        let mut rng = Rng::seeded(17);
+        load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 16, Momentum::thermal(0.03));
+        sim.add_species(e);
+        for _ in 0..3 {
+            sim.step();
+        }
+        sim
+    }
+
+    #[test]
+    fn roundtrip_preserves_state() {
+        let sim = make_sim();
+        let mut buf = Vec::new();
+        save(&sim, &mut buf).unwrap();
+        let restored = load(&mut buf.as_slice(), 4).unwrap();
+        assert_eq!(restored.step_count, sim.step_count);
+        assert_eq!(restored.species.len(), 1);
+        assert_eq!(restored.species[0].name, "electron");
+        assert_eq!(restored.species[0].particles, sim.species[0].particles);
+        assert_eq!(restored.fields.ex, sim.fields.ex);
+        assert_eq!(restored.fields.cbz, sim.fields.cbz);
+        assert_eq!(restored.grid.nx, sim.grid.nx);
+        assert_eq!(restored.grid.dt, sim.grid.dt);
+    }
+
+    #[test]
+    fn restart_continues_identically() {
+        // A restored run must produce bit-identical physics to the
+        // uninterrupted one (single pipeline for deterministic reduction).
+        let g = Grid::periodic((4, 4, 4), (0.25, 0.25, 0.25), 0.05);
+        let mut sim = Simulation::new(g, 1);
+        let mut e = Species::new("e", -1.0, 1.0);
+        let mut rng = Rng::seeded(23);
+        load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 8, Momentum::thermal(0.05));
+        sim.add_species(e);
+        for _ in 0..2 {
+            sim.step();
+        }
+        let mut buf = Vec::new();
+        save(&sim, &mut buf).unwrap();
+        let mut restored = load(&mut buf.as_slice(), 1).unwrap();
+        for _ in 0..3 {
+            sim.step();
+            restored.step();
+        }
+        assert_eq!(sim.species[0].particles, restored.species[0].particles);
+        assert_eq!(sim.fields.ex, restored.fields.ex);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        match load(&mut &b"NOTADUMPxxxx"[..], 1) {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidData),
+            Ok(_) => panic!("bad magic accepted"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_dump() {
+        let sim = make_sim();
+        let mut buf = Vec::new();
+        save(&sim, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&mut buf.as_slice(), 1).is_err());
+    }
+}

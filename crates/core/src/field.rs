@@ -1,0 +1,146 @@
+//! Yee-mesh field storage.
+//!
+//! All components are stored as structure-of-arrays over voxels (ghost ring
+//! included), mirroring VPIC's `field_array`. The Yee staggering convention,
+//! with `(i,j,k)` the node at the low corner of voxel `(i,j,k)`:
+//!
+//! * `ex(i,j,k)` lives on the x-edge from node `(i,j,k)` to `(i+1,j,k)`,
+//!   i.e. at `(i+½, j, k)`; `ey` and `ez` by cyclic rotation.
+//! * `cbx(i,j,k)` (which stores `c·Bx`) lives on the x-face at
+//!   `(i, j+½, k+½)`; `cby`, `cbz` by cyclic rotation.
+//! * `jx`, `jy`, `jz` are collocated with `ex`, `ey`, `ez`.
+//! * `rho` (diagnostic charge density) lives on nodes.
+
+use crate::grid::Grid;
+
+/// Structure-of-arrays Yee field state for one domain.
+#[derive(Clone, Debug)]
+pub struct FieldArray {
+    pub ex: Vec<f32>,
+    pub ey: Vec<f32>,
+    pub ez: Vec<f32>,
+    /// `c·B` components (VPIC convention: magnetic field premultiplied by c
+    /// so the particle kernels never multiply by the speed of light).
+    pub cbx: Vec<f32>,
+    pub cby: Vec<f32>,
+    pub cbz: Vec<f32>,
+    pub jx: Vec<f32>,
+    pub jy: Vec<f32>,
+    pub jz: Vec<f32>,
+    /// Node-centered charge density; only filled by diagnostics /
+    /// divergence cleaning passes.
+    pub rho: Vec<f32>,
+}
+
+impl FieldArray {
+    /// Zero-initialized fields for `grid`.
+    pub fn new(grid: &Grid) -> Self {
+        let n = grid.n_voxels();
+        FieldArray {
+            ex: vec![0.0; n],
+            ey: vec![0.0; n],
+            ez: vec![0.0; n],
+            cbx: vec![0.0; n],
+            cby: vec![0.0; n],
+            cbz: vec![0.0; n],
+            jx: vec![0.0; n],
+            jy: vec![0.0; n],
+            jz: vec![0.0; n],
+            rho: vec![0.0; n],
+        }
+    }
+
+    /// Set the current density to zero (called before each deposition).
+    pub fn clear_currents(&mut self) {
+        self.jx.iter_mut().for_each(|v| *v = 0.0);
+        self.jy.iter_mut().for_each(|v| *v = 0.0);
+        self.jz.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Set the diagnostic charge density to zero.
+    pub fn clear_rho(&mut self) {
+        self.rho.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Electric field energy `½ε0 ∫E² dV`, summed over live Yee locations
+    /// in double precision.
+    pub fn energy_e(&self, g: &Grid) -> f64 {
+        let mut sum = 0.0f64;
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    let v = g.voxel(i, j, k);
+                    sum += self.ex[v] as f64 * self.ex[v] as f64;
+                    sum += self.ey[v] as f64 * self.ey[v] as f64;
+                    sum += self.ez[v] as f64 * self.ez[v] as f64;
+                }
+            }
+        }
+        0.5 * g.eps0 as f64 * sum * g.dv() as f64
+    }
+
+    /// Magnetic field energy `½ ∫ B²/μ0 dV = ½ε0 ∫(cB)² dV`.
+    pub fn energy_b(&self, g: &Grid) -> f64 {
+        let mut sum = 0.0f64;
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    let v = g.voxel(i, j, k);
+                    sum += self.cbx[v] as f64 * self.cbx[v] as f64;
+                    sum += self.cby[v] as f64 * self.cby[v] as f64;
+                    sum += self.cbz[v] as f64 * self.cbz[v] as f64;
+                }
+            }
+        }
+        0.5 * g.eps0 as f64 * sum * g.dv() as f64
+    }
+
+    /// Total charge on live nodes (uses the diagnostic `rho`; call a charge
+    /// deposition first).
+    pub fn total_rho(&self, g: &Grid) -> f64 {
+        let mut sum = 0.0f64;
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    sum += self.rho[g.voxel(i, j, k)] as f64;
+                }
+            }
+        }
+        sum * g.dv() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    #[test]
+    fn energies_of_uniform_fields() {
+        let g = Grid::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.1);
+        let mut f = FieldArray::new(&g);
+        for k in 1..=4 {
+            for j in 1..=4 {
+                for i in 1..=4 {
+                    let v = g.voxel(i, j, k);
+                    f.ex[v] = 2.0;
+                    f.cbz[v] = 3.0;
+                }
+            }
+        }
+        let vol = 64.0 * 0.125;
+        assert!((f.energy_e(&g) - 0.5 * 4.0 * vol).abs() < 1e-9);
+        assert!((f.energy_b(&g) - 0.5 * 9.0 * vol).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_currents_zeroes_only_j() {
+        let g = Grid::periodic((2, 2, 2), (1.0, 1.0, 1.0), 0.1);
+        let mut f = FieldArray::new(&g);
+        f.jx[5] = 1.0;
+        f.ex[5] = 1.0;
+        f.clear_currents();
+        assert_eq!(f.jx[5], 0.0);
+        assert_eq!(f.ex[5], 1.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Explicit FDTD Maxwell solver on the Yee mesh, plus the ghost-plane
+//! synchronization that implements field boundary conditions and the
+//! Marder divergence-cleaning passes VPIC applies periodically.
+//!
+//! Update scheme per PIC step (see [`crate::sim`]):
+//! `B` half step → particle advance (deposits `J`) → `B` half step →
+//! `E` full step. Both `E` and `B` are then known at integer time levels
+//! when the particle interpolation happens.
+//!
+//! All equations use VPIC's `cB` convention (`cbx = c·Bx`, …):
+//!
+//! ```text
+//! ∂(cB)/∂t = −c ∇×E
+//! ∂E/∂t    =  c ∇×(cB) − J/ε0
+//! ```
+
+use crate::field::FieldArray;
+use crate::grid::Grid;
+
+/// Field boundary condition on one domain face.
+///
+/// * `Periodic` identifies the `n+1` node plane with plane `1` (must be
+///   set on *both* faces of an axis).
+/// * `Pec` (perfect electric conductor) zeroes tangential `E` and normal
+///   `B` on the wall plane. Combine with a [`Sponge`]
+///   (see [`crate::sponge`]) to emulate an open boundary.
+/// * `Exchange` leaves the face's ghost planes untouched; an external
+///   layer (the `vpic-parallel` ghost exchange) fills them from the
+///   adjacent domain after every field update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldBc {
+    Periodic,
+    Pec,
+    Exchange,
+}
+
+/// Per-face field boundary conditions (VPIC face order: −x,−y,−z,+x,+y,+z).
+pub type FieldBcs = [FieldBc; 6];
+
+/// Advance `cB` by `frac·dt` (call with `frac = 0.5` twice per step).
+pub fn advance_b(f: &mut FieldArray, g: &Grid, frac: f32) {
+    let (cdtx, cdty, cdtz) = (
+        g.cvac * frac * g.dt / g.dx,
+        g.cvac * frac * g.dt / g.dy,
+        g.cvac * frac * g.dt / g.dz,
+    );
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            let row = g.voxel(1, j, k);
+            for v in row..row + g.nx {
+                // cbx -= cΔt[(∂y ez) − (∂z ey)]
+                f.cbx[v] -= cdty * (f.ez[v + dj] - f.ez[v]) - cdtz * (f.ey[v + dk] - f.ey[v]);
+                // cby -= cΔt[(∂z ex) − (∂x ez)]
+                f.cby[v] -= cdtz * (f.ex[v + dk] - f.ex[v]) - cdtx * (f.ez[v + 1] - f.ez[v]);
+                // cbz -= cΔt[(∂x ey) − (∂y ex)]
+                f.cbz[v] -= cdtx * (f.ey[v + 1] - f.ey[v]) - cdty * (f.ex[v + dj] - f.ex[v]);
+            }
+        }
+    }
+    sync_b(f, g, bcs_of(g));
+}
+
+/// Advance `E` by a full `dt` using the currents in `f.jx/jy/jz`.
+pub fn advance_e(f: &mut FieldArray, g: &Grid) {
+    let (cdtx, cdty, cdtz) = (g.cvac * g.dt / g.dx, g.cvac * g.dt / g.dy, g.cvac * g.dt / g.dz);
+    let dt_eps = g.dt / g.eps0;
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            let row = g.voxel(1, j, k);
+            for v in row..row + g.nx {
+                f.ex[v] += cdty * (f.cbz[v] - f.cbz[v - dj]) - cdtz * (f.cby[v] - f.cby[v - dk])
+                    - dt_eps * f.jx[v];
+                f.ey[v] += cdtz * (f.cbx[v] - f.cbx[v - dk]) - cdtx * (f.cbz[v] - f.cbz[v - 1])
+                    - dt_eps * f.jy[v];
+                f.ez[v] += cdtx * (f.cby[v] - f.cby[v - 1]) - cdty * (f.cbx[v] - f.cbx[v - dj])
+                    - dt_eps * f.jz[v];
+            }
+        }
+    }
+    sync_e(f, g, bcs_of(g));
+}
+
+/// Derive the field BCs from the grid's particle BCs: periodic particle
+/// faces get periodic fields, `Migrate` faces get `Exchange` (ghosts filled
+/// by the distributed layer), everything else gets PEC walls (open
+/// boundaries are built as PEC + sponge + antenna in `vpic-lpi`).
+pub fn bcs_of(g: &Grid) -> FieldBcs {
+    use crate::grid::ParticleBc;
+    let mut bcs = [FieldBc::Pec; 6];
+    for face in 0..6 {
+        bcs[face] = match g.bc[face] {
+            ParticleBc::Periodic => FieldBc::Periodic,
+            ParticleBc::Migrate => FieldBc::Exchange,
+            ParticleBc::Reflect | ParticleBc::Absorb => FieldBc::Pec,
+        };
+    }
+    for axis in 0..3 {
+        let paired = (bcs[axis] == FieldBc::Periodic) == (bcs[axis + 3] == FieldBc::Periodic);
+        assert!(paired, "periodic field BC must be set on both faces of axis {axis}");
+    }
+    bcs
+}
+
+fn n_of(g: &Grid, axis: usize) -> usize {
+    [g.nx, g.ny, g.nz][axis]
+}
+
+/// Copy the full (ghost-inclusive) plane `src` to plane `dst` along `axis`.
+pub(crate) fn copy_plane(arr: &mut [f32], g: &Grid, axis: usize, src: usize, dst: usize) {
+    let (sx, sy, sz) = g.strides();
+    let dims = [sx, sy, sz];
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut cs = [0usize; 3];
+            cs[a1] = c1;
+            cs[a2] = c2;
+            cs[axis] = src;
+            let s = g.voxel(cs[0], cs[1], cs[2]);
+            cs[axis] = dst;
+            let d = g.voxel(cs[0], cs[1], cs[2]);
+            arr[d] = arr[s];
+        }
+    }
+}
+
+/// Add the full plane `src` into plane `dst` along `axis` (used to fold
+/// ghost-deposited currents/charge back into live entries).
+pub(crate) fn fold_plane(arr: &mut [f32], g: &Grid, axis: usize, src: usize, dst: usize) {
+    let (sx, sy, sz) = g.strides();
+    let dims = [sx, sy, sz];
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut cs = [0usize; 3];
+            cs[a1] = c1;
+            cs[a2] = c2;
+            cs[axis] = src;
+            let s = g.voxel(cs[0], cs[1], cs[2]);
+            cs[axis] = dst;
+            let d = g.voxel(cs[0], cs[1], cs[2]);
+            arr[d] += arr[s];
+        }
+    }
+}
+
+/// Zero the full plane `idx` along `axis`.
+fn zero_plane(arr: &mut [f32], g: &Grid, axis: usize, idx: usize) {
+    let (sx, sy, sz) = g.strides();
+    let dims = [sx, sy, sz];
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut cs = [0usize; 3];
+            cs[a1] = c1;
+            cs[a2] = c2;
+            cs[axis] = idx;
+            arr[g.voxel(cs[0], cs[1], cs[2])] = 0.0;
+        }
+    }
+}
+
+/// Re-establish `E` ghost/boundary planes after an `E` update.
+///
+/// Each `E` component lives on edges along its own axis and node planes on
+/// the two transverse axes; periodic axes mirror node plane `1` to `n+1`,
+/// PEC faces zero tangential `E` on their wall plane, `Exchange` faces are
+/// left for the distributed ghost exchange.
+pub fn sync_e(f: &mut FieldArray, g: &Grid, bcs: FieldBcs) {
+    for axis in 0..3 {
+        let n = n_of(g, axis);
+        // Components transverse to `axis` are node-registered along it.
+        let comps: [&mut Vec<f32>; 2] = match axis {
+            0 => [&mut f.ey, &mut f.ez],
+            1 => [&mut f.ex, &mut f.ez],
+            _ => [&mut f.ex, &mut f.ey],
+        };
+        let (lo, hi) = (bcs[axis], bcs[axis + 3]);
+        for c in comps {
+            if lo == FieldBc::Periodic {
+                copy_plane(c, g, axis, 1, n + 1);
+                copy_plane(c, g, axis, n, 0);
+                continue;
+            }
+            if lo == FieldBc::Pec {
+                zero_plane(c, g, axis, 1);
+                zero_plane(c, g, axis, 0);
+            }
+            if hi == FieldBc::Pec {
+                zero_plane(c, g, axis, n + 1);
+            }
+        }
+    }
+}
+
+/// Re-establish `cB` ghost/boundary planes after a `B` update.
+///
+/// Each `cB` component is face-registered (node plane) along its own axis
+/// and cell-registered along the transverse axes: along its own axis a
+/// periodic BC mirrors plane `1 → n+1`, along transverse axes the ghost-low
+/// plane `0` is filled from plane `n` and ghost-high `n+1` from plane `1`.
+/// `Exchange` faces are left for the distributed ghost exchange.
+pub fn sync_b(f: &mut FieldArray, g: &Grid, bcs: FieldBcs) {
+    for axis in 0..3 {
+        let n = n_of(g, axis);
+        let (lo, hi) = (bcs[axis], bcs[axis + 3]);
+        let own: &mut Vec<f32> = match axis {
+            0 => &mut f.cbx,
+            1 => &mut f.cby,
+            _ => &mut f.cbz,
+        };
+        if lo == FieldBc::Periodic {
+            copy_plane(own, g, axis, 1, n + 1);
+            copy_plane(own, g, axis, n, 0);
+        } else {
+            // Normal B vanishes on a conducting wall.
+            if lo == FieldBc::Pec {
+                zero_plane(own, g, axis, 1);
+                zero_plane(own, g, axis, 0);
+            }
+            if hi == FieldBc::Pec {
+                zero_plane(own, g, axis, n + 1);
+            }
+        }
+        let transverse: [&mut Vec<f32>; 2] = match axis {
+            0 => [&mut f.cby, &mut f.cbz],
+            1 => [&mut f.cbx, &mut f.cbz],
+            _ => [&mut f.cbx, &mut f.cby],
+        };
+        for c in transverse {
+            if lo == FieldBc::Periodic {
+                copy_plane(c, g, axis, n, 0);
+                copy_plane(c, g, axis, 1, n + 1);
+                continue;
+            }
+            // Mirror so tangential B has zero normal derivative at the
+            // wall (image currents); adequate for the sponge-backed
+            // walls used by the LPI setups.
+            if lo == FieldBc::Pec {
+                copy_plane(c, g, axis, 1, 0);
+            }
+            if hi == FieldBc::Pec {
+                copy_plane(c, g, axis, n, n + 1);
+            }
+        }
+    }
+}
+
+/// Fold ghost-plane current deposits into live entries and mirror the
+/// periodic images so `J` is single-valued on identified edges.
+pub fn sync_j(f: &mut FieldArray, g: &Grid, bcs: FieldBcs) {
+    for axis in 0..3 {
+        let n = n_of(g, axis);
+        // Components transverse to `axis` are node-registered along it and
+        // receive deposits on plane n+1 that alias plane 1 when periodic.
+        let comps: [&mut Vec<f32>; 2] = match axis {
+            0 => [&mut f.jy, &mut f.jz],
+            1 => [&mut f.jx, &mut f.jz],
+            _ => [&mut f.jx, &mut f.jy],
+        };
+        if bcs[axis] == FieldBc::Periodic && bcs[axis + 3] == FieldBc::Periodic {
+            for c in comps {
+                fold_plane(c, g, axis, n + 1, 1);
+                copy_plane(c, g, axis, 1, n + 1);
+                copy_plane(c, g, axis, n, 0);
+            }
+        }
+        // The component along `axis` is cell-registered along it; particles
+        // never deposit into its ghost planes, but divergence diagnostics
+        // read plane 0, so mirror it for periodic axes.
+        let own: &mut Vec<f32> = match axis {
+            0 => &mut f.jx,
+            1 => &mut f.jy,
+            _ => &mut f.jz,
+        };
+        if bcs[axis] == FieldBc::Periodic && bcs[axis + 3] == FieldBc::Periodic {
+            copy_plane(own, g, axis, n, 0);
+            copy_plane(own, g, axis, 1, n + 1);
+        }
+    }
+}
+
+/// Fold ghost-plane charge deposits (node-centered `rho`) into live nodes
+/// and mirror the periodic images.
+pub fn sync_rho(f: &mut FieldArray, g: &Grid, bcs: FieldBcs) {
+    for axis in 0..3 {
+        let n = n_of(g, axis);
+        if bcs[axis] == FieldBc::Periodic && bcs[axis + 3] == FieldBc::Periodic {
+            fold_plane(&mut f.rho, g, axis, n + 1, 1);
+            copy_plane(&mut f.rho, g, axis, 1, n + 1);
+            copy_plane(&mut f.rho, g, axis, n, 0);
+        }
+    }
+}
+
+/// Node-centered divergence error `∇·E − ρ/ε0`; nodes `1..=n` along each
+/// axis (periodic images are implied). Returns the RMS over live nodes.
+pub fn compute_div_e_err(f: &FieldArray, g: &Grid, err: &mut Vec<f32>) -> f64 {
+    err.clear();
+    err.resize(g.n_voxels(), 0.0);
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    let (rdx, rdy, rdz) = (1.0 / g.dx, 1.0 / g.dy, 1.0 / g.dz);
+    let mut sum2 = 0.0f64;
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            for i in 1..=g.nx {
+                let v = g.voxel(i, j, k);
+                let d = rdx * (f.ex[v] - f.ex[v - 1])
+                    + rdy * (f.ey[v] - f.ey[v - dj])
+                    + rdz * (f.ez[v] - f.ez[v - dk])
+                    - f.rho[v] / g.eps0;
+                err[v] = d;
+                sum2 += (d as f64) * (d as f64);
+            }
+        }
+    }
+    (sum2 / g.n_live() as f64).sqrt()
+}
+
+/// One Marder pass: `E += κ ∇(∇·E − ρ/ε0)` with κ chosen for diffusive
+/// stability. Requires `f.rho` to hold the current charge density (call a
+/// charge deposition + [`sync_rho`] first). Returns the pre-pass RMS error.
+pub fn clean_div_e(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
+    let bcs = bcs_of(g);
+    let rms = compute_div_e_err(f, g, scratch);
+    // Mirror the error field on periodic axes so the +1 planes are valid.
+    for axis in 0..3 {
+        if bcs[axis] == FieldBc::Periodic {
+            let n = n_of(g, axis);
+            copy_plane(scratch, g, axis, 1, n + 1);
+        }
+    }
+    let inv2 = 1.0 / (g.dx * g.dx) + 1.0 / (g.dy * g.dy) + 1.0 / (g.dz * g.dz);
+    let kappa = 0.5 / inv2; // diffusion-stable relaxation parameter
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            for i in 1..=g.nx {
+                let v = g.voxel(i, j, k);
+                f.ex[v] += kappa * (scratch[v + 1] - scratch[v]) / g.dx;
+                f.ey[v] += kappa * (scratch[v + dj] - scratch[v]) / g.dy;
+                f.ez[v] += kappa * (scratch[v + dk] - scratch[v]) / g.dz;
+            }
+        }
+    }
+    sync_e(f, g, bcs);
+    rms
+}
+
+/// Cell-centered `∇·B` (in `cB` units); returns the RMS over live cells.
+/// FDTD preserves `∇·B = 0` to roundoff, so this is a structural check and
+/// the repair pass below exists for parity with VPIC's `clean_div_b`.
+pub fn compute_div_b_err(f: &FieldArray, g: &Grid, err: &mut Vec<f32>) -> f64 {
+    err.clear();
+    err.resize(g.n_voxels(), 0.0);
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    let mut sum2 = 0.0f64;
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            for i in 1..=g.nx {
+                let v = g.voxel(i, j, k);
+                let d = (f.cbx[v + 1] - f.cbx[v]) / g.dx
+                    + (f.cby[v + dj] - f.cby[v]) / g.dy
+                    + (f.cbz[v + dk] - f.cbz[v]) / g.dz;
+                err[v] = d;
+                sum2 += (d as f64) * (d as f64);
+            }
+        }
+    }
+    (sum2 / g.n_live() as f64).sqrt()
+}
+
+/// One Marder pass on `B`: `cB −= κ ∇(∇·cB)` (cell-centered error,
+/// gradient back to faces). Returns the pre-pass RMS error.
+pub fn clean_div_b(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
+    let bcs = bcs_of(g);
+    let rms = compute_div_b_err(f, g, scratch);
+    for axis in 0..3 {
+        if bcs[axis] == FieldBc::Periodic {
+            let n = n_of(g, axis);
+            copy_plane(scratch, g, axis, n, 0);
+        }
+    }
+    let inv2 = 1.0 / (g.dx * g.dx) + 1.0 / (g.dy * g.dy) + 1.0 / (g.dz * g.dz);
+    let kappa = 0.5 / inv2;
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            for i in 1..=g.nx {
+                let v = g.voxel(i, j, k);
+                f.cbx[v] += kappa * (scratch[v] - scratch[v - 1]) / g.dx;
+                f.cby[v] += kappa * (scratch[v] - scratch[v - dj]) / g.dy;
+                f.cbz[v] += kappa * (scratch[v] - scratch[v - dk]) / g.dz;
+            }
+        }
+    }
+    sync_b(f, g, bcs);
+    rms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn plane_wave_grid(n: usize) -> Grid {
+        let dx = 1.0 / n as f32;
+        let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.5);
+        Grid::periodic((n, 1, 1), (dx, dx, dx), dt)
+    }
+
+    /// Launch an x-propagating plane wave (Ey, cBz) and check it advects at
+    /// (numerical) light speed with stable amplitude.
+    #[test]
+    fn vacuum_plane_wave_propagates() {
+        let n = 64;
+        let g = plane_wave_grid(n);
+        let mut f = FieldArray::new(&g);
+        let kx = 2.0 * PI; // one wavelength across the unit box
+        for i in 1..=n {
+            let x_node = (i - 1) as f64 * g.dx as f64;
+            let x_edge = x_node + 0.5 * g.dx as f64;
+            for j in 0..g.strides().1 {
+                for k in 0..g.strides().2 {
+                    let v = g.voxel(i, j, k);
+                    f.ey[v] = (kx * x_node).sin() as f32;
+                    // cBz staggered by dx/2 in space and dt/2 in time.
+                    f.cbz[v] = (kx * (x_edge + 0.5 * g.dt as f64)).sin() as f32;
+                }
+            }
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        sync_b(&mut f, &g, bcs_of(&g));
+        let e0 = f.energy_e(&g) + f.energy_b(&g);
+        // One full crossing of the box takes 1/c = 1 time unit.
+        let steps = (1.0 / g.dt as f64).round() as usize;
+        for _ in 0..steps {
+            advance_b(&mut f, &g, 0.5);
+            advance_b(&mut f, &g, 0.5);
+            advance_e(&mut f, &g);
+        }
+        let e1 = f.energy_e(&g) + f.energy_b(&g);
+        assert!(
+            (e1 - e0).abs() / e0 < 1e-3,
+            "energy drift: {e0} -> {e1}"
+        );
+        // Wave should be close to its initial phase (small numerical
+        // dispersion at 64 cells/wavelength).
+        let v = g.voxel(9, 1, 1);
+        let want = (kx * 8.0 * g.dx as f64).sin() as f32;
+        assert!((f.ey[v] - want).abs() < 0.05, "got {} want {}", f.ey[v], want);
+    }
+
+    #[test]
+    fn div_b_stays_zero() {
+        let n = 16;
+        let dx = 0.3;
+        let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+        let g = Grid::periodic((n, n, n), (dx, dx, dx), dt);
+        let mut f = FieldArray::new(&g);
+        // Random-ish but smooth E seed.
+        for k in 1..=n {
+            for j in 1..=n {
+                for i in 1..=n {
+                    let v = g.voxel(i, j, k);
+                    let (a, b, c) = (i as f32, j as f32, k as f32);
+                    f.ex[v] = (0.3 * a + 0.11 * b).sin();
+                    f.ey[v] = (0.2 * b - 0.07 * c).cos();
+                    f.ez[v] = (0.15 * c + 0.05 * a).sin();
+                }
+            }
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        let mut scratch = Vec::new();
+        for _ in 0..20 {
+            advance_b(&mut f, &g, 0.5);
+            advance_b(&mut f, &g, 0.5);
+            advance_e(&mut f, &g);
+        }
+        let rms = compute_div_b_err(&f, &g, &mut scratch);
+        assert!(rms < 1e-5, "div B rms = {rms}");
+    }
+
+    #[test]
+    fn marder_pass_reduces_div_e_error() {
+        let n = 16;
+        let g = Grid::periodic((n, n, n), (0.5, 0.5, 0.5), 0.1);
+        let mut f = FieldArray::new(&g);
+        // Seed a divergence error: rho = 0 but E has nonzero divergence.
+        for k in 1..=n {
+            for j in 1..=n {
+                for i in 1..=n {
+                    let v = g.voxel(i, j, k);
+                    f.ex[v] = ((i as f32) * 0.7).sin();
+                }
+            }
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        let mut scratch = Vec::new();
+        let before = compute_div_e_err(&f, &g, &mut scratch);
+        let mut last = before;
+        for _ in 0..50 {
+            clean_div_e(&mut f, &g, &mut scratch);
+        }
+        let after = compute_div_e_err(&f, &g, &mut scratch);
+        assert!(after < 0.2 * before, "marder: {before} -> {after}");
+        last = last.max(after);
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn pec_walls_zero_tangential_e() {
+        use crate::grid::ParticleBc;
+        let g = Grid::new(
+            (8, 4, 4),
+            (0.5, 0.5, 0.5),
+            0.1,
+            [
+                ParticleBc::Reflect,
+                ParticleBc::Periodic,
+                ParticleBc::Periodic,
+                ParticleBc::Reflect,
+                ParticleBc::Periodic,
+                ParticleBc::Periodic,
+            ],
+        );
+        assert_eq!(
+            bcs_of(&g),
+            [
+                FieldBc::Pec,
+                FieldBc::Periodic,
+                FieldBc::Periodic,
+                FieldBc::Pec,
+                FieldBc::Periodic,
+                FieldBc::Periodic,
+            ]
+        );
+        let mut f = FieldArray::new(&g);
+        for v in 0..g.n_voxels() {
+            f.ey[v] = 1.0;
+            f.ez[v] = 1.0;
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        for j in 1..=g.ny {
+            for k in 1..=g.nz {
+                assert_eq!(f.ey[g.voxel(1, j, k)], 0.0);
+                assert_eq!(f.ez[g.voxel(1, j, k)], 0.0);
+                assert_eq!(f.ey[g.voxel(g.nx + 1, j, k)], 0.0);
+                assert_eq!(f.ez[g.voxel(g.nx + 1, j, k)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_j_folds_periodic_images() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut f = FieldArray::new(&g);
+        // Deposit onto the aliased high plane and check it folds into plane 1.
+        let v_hi = g.voxel(2, g.ny + 1, 2);
+        let v_lo = g.voxel(2, 1, 2);
+        f.jx[v_hi] = 2.0;
+        f.jx[v_lo] = 1.0;
+        sync_j(&mut f, &g, bcs_of(&g));
+        assert_eq!(f.jx[v_lo], 3.0);
+        assert_eq!(f.jx[v_hi], 3.0); // mirrored image
+    }
+}

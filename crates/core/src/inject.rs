@@ -1,0 +1,185 @@
+//! Open-boundary particle injection: a thermal bath behind an absorbing
+//! wall. Absorbing faces drain plasma; re-injecting the half-Maxwellian
+//! flux keeps the boundary plasma in equilibrium — VPIC's emitter
+//! boundaries, reduced to the thermal-bath case LPI runs need so long
+//! simulations don't slowly evacuate near the walls.
+//!
+//! The one-sided kinetic flux of a Maxwellian of density `n` and thermal
+//! velocity `vth` is `Γ = n·vth/√(2π)` per unit area; each step we inject
+//! `Γ·A·dt` macroparticles (Poisson-rounded) through the face with inward
+//! velocities drawn from the flux-weighted half-Maxwellian
+//! (`v ∝ v·exp(−v²/2vth²)`, i.e. Rayleigh-distributed normal component).
+
+use crate::grid::{Grid, ParticleBc, FACE_HIGH_X, FACE_LOW_X};
+use crate::particle::Particle;
+use crate::rng::Rng;
+use crate::species::Species;
+
+/// Thermal-bath injector for one x-face.
+#[derive(Clone, Copy, Debug)]
+pub struct ThermalInjector {
+    /// Which face to feed ([`FACE_LOW_X`] or [`FACE_HIGH_X`]).
+    pub face: usize,
+    /// Bath density.
+    pub n0: f32,
+    /// Bath thermal velocity (in c; non-relativistic).
+    pub vth: f32,
+    /// Macroparticle weight (use the same as the bulk loader:
+    /// `n0·dV/ppc`).
+    pub weight: f32,
+}
+
+impl ThermalInjector {
+    /// Expected number of macroparticles injected per step.
+    pub fn expected_per_step(&self, g: &Grid) -> f64 {
+        let area = (g.ny as f64 * g.dy as f64) * (g.nz as f64 * g.dz as f64);
+        let flux = self.n0 as f64 * self.vth as f64 / (2.0 * std::f64::consts::PI).sqrt();
+        flux * area * g.dt as f64 / self.weight as f64
+    }
+
+    /// Inject this step's particles into `sp`. Particles appear just
+    /// inside the wall, advanced by a random fraction of their first step
+    /// (so the injected flux is time-uniform, not pulsed at cell edges).
+    pub fn inject(&self, sp: &mut Species, g: &Grid, rng: &mut Rng) {
+        assert!(
+            self.face == FACE_LOW_X || self.face == FACE_HIGH_X,
+            "only x faces are supported"
+        );
+        debug_assert_eq!(g.bc[self.face], ParticleBc::Absorb, "inject pairs with an absorbing face");
+        let expect = self.expected_per_step(g);
+        let mut count = expect.floor() as usize;
+        if rng.uniform() < expect - count as f64 {
+            count += 1;
+        }
+        let inward = if self.face == FACE_LOW_X { 1.0f64 } else { -1.0 };
+        let i_cell = if self.face == FACE_LOW_X { 1 } else { g.nx };
+        for _ in 0..count {
+            // Flux-weighted normal speed: Rayleigh.
+            let vn = self.vth as f64 * (-2.0 * (1.0 - rng.uniform()).ln()).sqrt();
+            let ux = inward * vn;
+            let uy = self.vth as f64 * rng.normal();
+            let uz = self.vth as f64 * rng.normal();
+            // Entry position on the wall, advanced a random sub-step.
+            let frac = rng.uniform();
+            let dx_travel = (ux * g.dt as f64 * frac) / (0.5 * g.dx as f64); // offset units
+            let mut dx = -inward + dx_travel;
+            dx = dx.clamp(-0.999, 0.999);
+            let j = 1 + rng.index(g.ny);
+            let k = 1 + rng.index(g.nz);
+            sp.particles.push(Particle {
+                dx: dx as f32,
+                dy: rng.uniform_in(-1.0, 1.0) as f32,
+                dz: rng.uniform_in(-1.0, 1.0) as f32,
+                i: g.voxel(i_cell, j, k) as u32,
+                ux: ux as f32,
+                uy: uy as f32,
+                uz: uz as f32,
+                w: self.weight,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxwellian::{load_uniform, Momentum};
+    use crate::sim::Simulation;
+
+    fn absorbing_grid(nx: usize) -> Grid {
+        Grid::new(
+            (nx, 2, 2),
+            (0.5, 0.5, 0.5),
+            0.1,
+            [
+                ParticleBc::Absorb,
+                ParticleBc::Periodic,
+                ParticleBc::Periodic,
+                ParticleBc::Absorb,
+                ParticleBc::Periodic,
+                ParticleBc::Periodic,
+            ],
+        )
+    }
+
+    #[test]
+    fn injection_rate_matches_kinetic_flux() {
+        let g = absorbing_grid(8);
+        let inj = ThermalInjector { face: FACE_LOW_X, n0: 1.0, vth: 0.1, weight: 0.001 };
+        let mut sp = Species::new("e", -1.0, 1.0);
+        let mut rng = Rng::seeded(1);
+        let steps = 2000;
+        for _ in 0..steps {
+            inj.inject(&mut sp, &g, &mut rng);
+        }
+        let got = sp.len() as f64 / steps as f64;
+        let want = inj.expected_per_step(&g);
+        assert!((got - want).abs() / want < 0.05, "rate {got} vs {want}");
+        // All inward-moving, inside the first cell.
+        for p in &sp.particles {
+            assert!(p.ux > 0.0);
+            let (i, _, _) = g.voxel_coords(p.i as usize);
+            assert_eq!(i, 1);
+            assert!(p.dx.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn high_face_injects_inward() {
+        let g = absorbing_grid(8);
+        let inj = ThermalInjector { face: FACE_HIGH_X, n0: 1.0, vth: 0.1, weight: 0.0005 };
+        let mut sp = Species::new("e", -1.0, 1.0);
+        let mut rng = Rng::seeded(2);
+        for _ in 0..500 {
+            inj.inject(&mut sp, &g, &mut rng);
+        }
+        assert!(sp.len() > 10);
+        for p in &sp.particles {
+            assert!(p.ux < 0.0);
+            let (i, _, _) = g.voxel_coords(p.i as usize);
+            assert_eq!(i, 8);
+        }
+    }
+
+    /// Absorb + inject on both walls keeps a thermal plasma's particle
+    /// count in statistical steady state instead of draining.
+    #[test]
+    fn steady_state_against_absorption() {
+        let g = absorbing_grid(8);
+        let mut sim = Simulation::new(g, 1);
+        let mut sp = Species::new("e", -1.0, 1.0);
+        let mut rng = Rng::seeded(3);
+        let ppc = 64;
+        let vth = 0.1f32;
+        load_uniform(&mut sp, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(vth));
+        let weight = sim.grid.dv() / ppc as f32;
+        sim.add_species(sp);
+        let n0 = sim.n_particles() as f64;
+        let inj_lo = ThermalInjector { face: FACE_LOW_X, n0: 1.0, vth, weight };
+        let inj_hi = ThermalInjector { face: FACE_HIGH_X, n0: 1.0, vth, weight };
+        // Drain-only control first.
+        let mut drained = sim.species[0].particles.clone();
+        {
+            let mut control = Simulation::new(absorbing_grid(8), 1);
+            let mut sp = Species::new("e", -1.0, 1.0);
+            sp.particles = std::mem::take(&mut drained);
+            control.add_species(sp);
+            for _ in 0..150 {
+                control.step();
+            }
+            drained = control.species[0].particles.clone();
+        }
+        for _ in 0..150 {
+            inj_lo.inject(&mut sim.species[0], &sim.grid.clone(), &mut rng);
+            inj_hi.inject(&mut sim.species[0], &sim.grid.clone(), &mut rng);
+            sim.step();
+        }
+        let with_inject = sim.n_particles() as f64;
+        let drain_only = drained.len() as f64;
+        assert!(drain_only < 0.95 * n0, "control did not drain: {drain_only} of {n0}");
+        assert!(
+            (with_inject - n0).abs() / n0 < 0.05,
+            "not steady: {n0} -> {with_inject} (drain-only: {drain_only})"
+        );
+    }
+}

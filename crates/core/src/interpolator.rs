@@ -1,0 +1,208 @@
+//! Per-voxel interpolation coefficients (VPIC's `interpolator_array`).
+//!
+//! Once per step the Yee fields are converted into 18 coefficients per
+//! voxel so the particle push evaluates `E` and `cB` at a particle with a
+//! handful of fused multiply-adds and a single indexed load:
+//!
+//! * Each `E` component is bilinear in the two directions transverse to its
+//!   edge and constant along the edge (the energy-conserving scheme that
+//!   pairs with the charge-conserving current deposition).
+//! * Each `cB` component is linear along its face normal only.
+
+use crate::field::FieldArray;
+use crate::grid::Grid;
+
+/// Interpolation coefficients for one voxel (offsets in `[-1,1]`):
+///
+/// ```text
+/// Ex(dy,dz) = ex + dy·dexdy + dz·dexdz + dy·dz·d2exdydz
+/// Ey(dz,dx) = ey + dz·deydz + dx·deydx + dz·dx·d2eydzdx
+/// Ez(dx,dy) = ez + dx·dezdx + dy·dezdy + dx·dy·d2ezdxdy
+/// cBx(dx)   = cbx + dx·dcbxdx      (and cyclic)
+/// ```
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Interpolator {
+    pub ex: f32,
+    pub dexdy: f32,
+    pub dexdz: f32,
+    pub d2exdydz: f32,
+    pub ey: f32,
+    pub deydz: f32,
+    pub deydx: f32,
+    pub d2eydzdx: f32,
+    pub ez: f32,
+    pub dezdx: f32,
+    pub dezdy: f32,
+    pub d2ezdxdy: f32,
+    pub cbx: f32,
+    pub dcbxdx: f32,
+    pub cby: f32,
+    pub dcbydy: f32,
+    pub cbz: f32,
+    pub dcbzdz: f32,
+}
+
+impl Interpolator {
+    /// Evaluate `E` at voxel-relative offsets.
+    #[inline]
+    pub fn e_at(&self, dx: f32, dy: f32, dz: f32) -> (f32, f32, f32) {
+        (
+            (self.ex + dy * self.dexdy) + dz * (self.dexdz + dy * self.d2exdydz),
+            (self.ey + dz * self.deydz) + dx * (self.deydx + dz * self.d2eydzdx),
+            (self.ez + dx * self.dezdx) + dy * (self.dezdy + dx * self.d2ezdxdy),
+        )
+    }
+
+    /// Evaluate `cB` at voxel-relative offsets.
+    #[inline]
+    pub fn cb_at(&self, dx: f32, dy: f32, dz: f32) -> (f32, f32, f32) {
+        (
+            self.cbx + dx * self.dcbxdx,
+            self.cby + dy * self.dcbydy,
+            self.cbz + dz * self.dcbzdz,
+        )
+    }
+}
+
+/// Interpolator coefficients for every voxel (ghost entries stay zero).
+#[derive(Clone, Debug)]
+pub struct InterpolatorArray {
+    pub data: Vec<Interpolator>,
+}
+
+impl InterpolatorArray {
+    /// Zeroed array sized for `grid`.
+    pub fn new(grid: &Grid) -> Self {
+        InterpolatorArray { data: vec![Interpolator::default(); grid.n_voxels()] }
+    }
+
+    /// Rebuild all live-voxel coefficients from `fields`. Ghost planes of
+    /// the fields must be synchronized (the field solver does this after
+    /// every update).
+    pub fn load(&mut self, f: &FieldArray, g: &Grid) {
+        let (sx, sy, _) = g.strides();
+        let (dj, dk) = (sx, sx * sy);
+        const Q: f32 = 0.25;
+        const H: f32 = 0.5;
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    let v = g.voxel(i, j, k);
+                    let ip = &mut self.data[v];
+
+                    // Ex on the 4 x-edges of the voxel: (j,k), (j+1,k), (k+1), (j+1,k+1).
+                    let (w0, w1, w2, w3) = (f.ex[v], f.ex[v + dj], f.ex[v + dk], f.ex[v + dj + dk]);
+                    ip.ex = Q * (w0 + w1 + w2 + w3);
+                    ip.dexdy = Q * ((w1 + w3) - (w0 + w2));
+                    ip.dexdz = Q * ((w2 + w3) - (w0 + w1));
+                    ip.d2exdydz = Q * ((w0 + w3) - (w1 + w2));
+
+                    // Ey on the 4 y-edges: (k,i), (k+1,i), (i+1), (k+1,i+1).
+                    let (w0, w1, w2, w3) = (f.ey[v], f.ey[v + dk], f.ey[v + 1], f.ey[v + dk + 1]);
+                    ip.ey = Q * (w0 + w1 + w2 + w3);
+                    ip.deydz = Q * ((w1 + w3) - (w0 + w2));
+                    ip.deydx = Q * ((w2 + w3) - (w0 + w1));
+                    ip.d2eydzdx = Q * ((w0 + w3) - (w1 + w2));
+
+                    // Ez on the 4 z-edges: (i,j), (i+1,j), (j+1), (i+1,j+1).
+                    let (w0, w1, w2, w3) = (f.ez[v], f.ez[v + 1], f.ez[v + dj], f.ez[v + 1 + dj]);
+                    ip.ez = Q * (w0 + w1 + w2 + w3);
+                    ip.dezdx = Q * ((w1 + w3) - (w0 + w2));
+                    ip.dezdy = Q * ((w2 + w3) - (w0 + w1));
+                    ip.d2ezdxdy = Q * ((w0 + w3) - (w1 + w2));
+
+                    // cB linear along its own normal.
+                    ip.cbx = H * (f.cbx[v] + f.cbx[v + 1]);
+                    ip.dcbxdx = H * (f.cbx[v + 1] - f.cbx[v]);
+                    ip.cby = H * (f.cby[v] + f.cby[v + dj]);
+                    ip.dcbydy = H * (f.cby[v + dj] - f.cby[v]);
+                    ip.cbz = H * (f.cbz[v] + f.cbz[v + dk]);
+                    ip.dcbzdz = H * (f.cbz[v + dk] - f.cbz[v]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field_solver::{bcs_of, sync_b, sync_e};
+
+    #[test]
+    fn corners_recover_edge_values() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut f = FieldArray::new(&g);
+        // Distinct values on each x-edge of voxel (2,2,2).
+        let v = g.voxel(2, 2, 2);
+        let (sx, sy, _) = g.strides();
+        let (dj, dk) = (sx, sx * sy);
+        f.ex[v] = 1.0;
+        f.ex[v + dj] = 2.0;
+        f.ex[v + dk] = 3.0;
+        f.ex[v + dj + dk] = 4.0;
+        let mut ia = InterpolatorArray::new(&g);
+        ia.load(&f, &g);
+        let ip = &ia.data[v];
+        // dy=-1, dz=-1 corner → edge (j,k) value.
+        assert!((ip.e_at(0.0, -1.0, -1.0).0 - 1.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, 1.0, -1.0).0 - 2.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, -1.0, 1.0).0 - 3.0).abs() < 1e-6);
+        assert!((ip.e_at(0.0, 1.0, 1.0).0 - 4.0).abs() < 1e-6);
+        // Center is the average.
+        assert!((ip.e_at(0.0, 0.0, 0.0).0 - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_fields_interpolate_exactly() {
+        let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
+        let mut f = FieldArray::new(&g);
+        for val in f.ex.iter_mut() {
+            *val = 5.0;
+        }
+        for val in f.cby.iter_mut() {
+            *val = -2.0;
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        sync_b(&mut f, &g, bcs_of(&g));
+        let mut ia = InterpolatorArray::new(&g);
+        ia.load(&f, &g);
+        for k in 1..=3 {
+            for j in 1..=3 {
+                for i in 1..=3 {
+                    let ip = &ia.data[g.voxel(i, j, k)];
+                    let (ex, ey, ez) = ip.e_at(0.37, -0.81, 0.12);
+                    assert!((ex - 5.0).abs() < 1e-6);
+                    assert_eq!(ey, 0.0);
+                    assert_eq!(ez, 0.0);
+                    let (bx, by, bz) = ip.cb_at(0.37, -0.81, 0.12);
+                    assert_eq!(bx, 0.0);
+                    assert!((by + 2.0).abs() < 1e-6);
+                    assert_eq!(bz, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_b_gradient_is_recovered() {
+        let g = Grid::periodic((4, 2, 2), (1.0, 1.0, 1.0), 0.1);
+        let mut f = FieldArray::new(&g);
+        // cbx grows linearly in x: cbx(i) = i (face-registered on x planes).
+        for k in 0..g.strides().2 {
+            for j in 0..g.strides().1 {
+                for i in 0..g.strides().0 {
+                    f.cbx[g.voxel(i, j, k)] = i as f32;
+                }
+            }
+        }
+        let mut ia = InterpolatorArray::new(&g);
+        ia.load(&f, &g);
+        let ip = &ia.data[g.voxel(2, 1, 1)];
+        // Faces at i=2 (dx=-1) and i=3 (dx=+1).
+        assert!((ip.cb_at(-1.0, 0.0, 0.0).0 - 2.0).abs() < 1e-6);
+        assert!((ip.cb_at(1.0, 0.0, 0.0).0 - 3.0).abs() < 1e-6);
+        assert!((ip.cb_at(0.5, 0.0, 0.0).0 - 2.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,145 @@
+//! A particle species: charge, mass and its macroparticle list.
+
+use crate::grid::Grid;
+use crate::particle::Particle;
+use crate::sort::sort_by_voxel;
+
+/// One kinetic species (e.g. electrons, helium ions).
+#[derive(Clone, Debug)]
+pub struct Species {
+    /// Display name.
+    pub name: String,
+    /// Charge per physical particle (electron = −1 in normalized units).
+    pub q: f32,
+    /// Mass per physical particle (electron = 1 in normalized units).
+    pub m: f32,
+    /// Macroparticles.
+    pub particles: Vec<Particle>,
+    /// Sort every this many steps (0 = never); VPIC defaults to a few
+    /// tens of steps.
+    pub sort_interval: usize,
+    scratch: Vec<Particle>,
+}
+
+impl Species {
+    /// New empty species.
+    pub fn new(name: impl Into<String>, q: f32, m: f32) -> Self {
+        assert!(m > 0.0, "mass must be positive");
+        Species {
+            name: name.into(),
+            q,
+            m,
+            particles: Vec::new(),
+            sort_interval: 25,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Builder-style sort interval override.
+    pub fn with_sort_interval(mut self, interval: usize) -> Self {
+        self.sort_interval = interval;
+        self
+    }
+
+    /// Number of macroparticles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// True when the species holds no macroparticles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Counting-sort the particles by voxel.
+    pub fn sort(&mut self, g: &Grid) {
+        sort_by_voxel(&mut self.particles, g.n_voxels(), &mut self.scratch);
+    }
+
+    /// Total kinetic energy `Σ w·m·c²·(γ−1)` in double precision.
+    pub fn kinetic_energy(&self, g: &Grid) -> f64 {
+        let mc2 = (self.m * g.cvac * g.cvac) as f64;
+        mc2 * self.particles.iter().map(Particle::kinetic_w).sum::<f64>()
+    }
+
+    /// Total momentum `Σ w·m·c·u` per axis in double precision.
+    pub fn momentum(&self, g: &Grid) -> [f64; 3] {
+        let mc = (self.m * g.cvac) as f64;
+        let mut s = [0.0f64; 3];
+        for p in &self.particles {
+            s[0] += p.w as f64 * p.ux as f64;
+            s[1] += p.w as f64 * p.uy as f64;
+            s[2] += p.w as f64 * p.uz as f64;
+        }
+        [mc * s[0], mc * s[1], mc * s[2]]
+    }
+
+    /// Total statistical weight (number of physical particles).
+    pub fn total_weight(&self) -> f64 {
+        self.particles.iter().map(|p| p.w as f64).sum()
+    }
+
+    /// Mean velocity `⟨v⟩/c` per axis (weight-averaged).
+    pub fn mean_velocity(&self) -> [f64; 3] {
+        let mut s = [0.0f64; 3];
+        let mut wtot = 0.0f64;
+        for p in &self.particles {
+            let rg = 1.0 / p.gamma() as f64;
+            let w = p.w as f64;
+            s[0] += w * p.ux as f64 * rg;
+            s[1] += w * p.uy as f64 * rg;
+            s[2] += w * p.uz as f64 * rg;
+            wtot += w;
+        }
+        if wtot > 0.0 {
+            for v in &mut s {
+                *v /= wtot;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_and_momentum_sums() {
+        let g = Grid::periodic((2, 2, 2), (1.0, 1.0, 1.0), 0.1);
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.particles.push(Particle { ux: 3.0, uy: 0.0, uz: 4.0, w: 2.0, i: 9, ..Default::default() });
+        s.particles.push(Particle { ux: -1.0, w: 1.0, i: 9, ..Default::default() });
+        let ke = s.kinetic_energy(&g);
+        let want = 2.0 * ((26.0f64).sqrt() - 1.0) + ((2.0f64).sqrt() - 1.0);
+        assert!((ke - want).abs() < 1e-6);
+        let p = s.momentum(&g);
+        assert!((p[0] - (2.0 * 3.0 - 1.0)).abs() < 1e-6);
+        assert!((p[2] - 8.0).abs() < 1e-6);
+        assert!((s.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_velocity_of_opposite_streams_is_zero() {
+        let mut s = Species::new("e", -1.0, 1.0);
+        s.particles.push(Particle { ux: 0.5, w: 1.0, ..Default::default() });
+        s.particles.push(Particle { ux: -0.5, w: 1.0, ..Default::default() });
+        let v = s.mean_velocity();
+        assert!(v[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_orders_particles() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut s = Species::new("e", -1.0, 1.0);
+        for i in [40u32, 7, 99, 7, 3] {
+            s.particles.push(Particle { i, ..Default::default() });
+        }
+        s.sort(&g);
+        assert!(s.particles.windows(2).all(|w| w[0].i <= w[1].i));
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Radix-2 complex FFT (f64), written from scratch — spectra are how the
+//! paper's LPI analysis separates pump, backscatter and plasma-wave lines.
+
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT of `(re, im)`;
+/// length must be a power of two. `inverse` applies the 1/N scale.
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let tr = re[b] * cr - im[b] * ci;
+                let ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for v in re.iter_mut().chain(im.iter_mut()) {
+            *v *= s;
+        }
+    }
+}
+
+/// Power spectrum `|X_k|²` of a real signal, bins `0..=n/2`. The input is
+/// zero-padded to the next power of two.
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len().next_power_of_two().max(2);
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    re[..signal.len()].copy_from_slice(signal);
+    fft_inplace(&mut re, &mut im, false);
+    (0..=n / 2).map(|k| re[k] * re[k] + im[k] * im[k]).collect()
+}
+
+/// Index of the strongest nonzero-frequency bin and its (angular)
+/// frequency given the sample spacing `dt`. Useful for "what is this
+/// oscillation's ω" diagnostics. Returns `(bin, omega)`.
+pub fn dominant_frequency(signal: &[f64], dt: f64) -> (usize, f64) {
+    let ps = power_spectrum(signal);
+    let n2 = (ps.len() - 1) * 2; // padded length
+    let mut best = 1;
+    for k in 2..ps.len() {
+        if ps[k] > ps[best] {
+            best = k;
+        }
+    }
+    (best, 2.0 * PI * best as f64 / (n2 as f64 * dt))
+}
+
+/// Least-squares slope of `ln|signal|` over the index range — the growth
+/// rate γ (per sample) of an exponentially growing signal. Ignores
+/// non-positive samples.
+pub fn growth_rate(signal: &[f64]) -> f64 {
+    let pts: Vec<(f64, f64)> = signal
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > 0.0)
+        .map(|(i, &v)| (i as f64, v.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_known_signal() {
+        // x = [1, 0, 0, 0] → X_k = 1 for all k.
+        let mut re = vec![1.0, 0.0, 0.0, 0.0];
+        let mut im = vec![0.0; 4];
+        fft_inplace(&mut re, &mut im, false);
+        for k in 0..4 {
+            assert!((re[k] - 1.0).abs() < 1e-12 && im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let n = 64;
+        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64)).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for (a, b) in re.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for v in im {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 128;
+        let sig: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let mut re = sig.clone();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        let time_e: f64 = sig.iter().map(|v| v * v).sum();
+        let freq_e: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_e - freq_e).abs() / time_e < 1e-10);
+    }
+
+    #[test]
+    fn dominant_frequency_of_pure_tone() {
+        let n = 256;
+        let dt = 0.1;
+        let omega = 2.0 * PI * 12.0 / (n as f64 * dt); // exactly bin 12
+        let sig: Vec<f64> = (0..n).map(|i| (omega * i as f64 * dt).cos()).collect();
+        let (bin, w) = dominant_frequency(&sig, dt);
+        assert_eq!(bin, 12);
+        assert!((w - omega).abs() / omega < 1e-12);
+    }
+
+    #[test]
+    fn growth_rate_of_exponential() {
+        let gamma = 0.07;
+        let sig: Vec<f64> = (0..100).map(|i| 1e-6 * (gamma * i as f64).exp()).collect();
+        let got = growth_rate(&sig);
+        assert!((got - gamma).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_inplace(&mut re, &mut im, false);
+    }
+}

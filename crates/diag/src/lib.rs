@@ -1,0 +1,29 @@
+//! # vpic-diag
+//!
+//! Diagnostics for PIC runs: the instruments the SC'08 paper's evaluation
+//! relies on.
+//!
+//! * [`fft`] — from-scratch radix-2 FFT, power spectra, dominant-frequency
+//!   and growth-rate extraction;
+//! * [`poynting`] — Poynting flux and forward/backward wave decomposition
+//!   (the laser reflectivity probe of the paper's parameter study);
+//! * [`histogram`] — weighted momentum/energy distributions and trapping
+//!   metrics (hot-tail fraction, momentum spread);
+//! * [`spectra`] — spatial field lines and k-spectra;
+//! * [`recorder`] — scalar time series with ω and growth-rate fits.
+
+pub mod dump;
+pub mod fft;
+pub mod histogram;
+pub mod poynting;
+pub mod recorder;
+pub mod spectra;
+pub mod spectrogram;
+
+pub use dump::{write_field_line_x, write_series, EnergyLogger};
+pub use fft::{dominant_frequency, fft_inplace, growth_rate, power_spectrum};
+pub use histogram::{energy_histogram, momentum_histogram, momentum_spread, tail_fraction, Histogram};
+pub use poynting::{poynting_x, wave_split_x, ReflectivityProbe};
+pub use recorder::TimeSeries;
+pub use spectrogram::Spectrogram;
+pub use spectra::{dominant_k_x, k_spectrum_x, line_x, line_x_mean, Component};

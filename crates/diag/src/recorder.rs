@@ -1,0 +1,125 @@
+//! Time-series recording of scalar diagnostics (energies, field probes)
+//! with frequency/growth-rate extraction.
+
+use crate::fft::{dominant_frequency, growth_rate};
+
+/// A named scalar time series sampled every `dt`.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    pub name: String,
+    pub dt: f64,
+    pub samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new(name: impl Into<String>, dt: f64) -> Self {
+        TimeSeries { name: name.into(), dt, samples: Vec::new() }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean over the last `n` samples (or all, if fewer).
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        let tail = &self.samples[self.samples.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+
+    /// Min and max over the whole series.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.samples.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+    }
+
+    /// Dominant angular frequency (mean removed first so the DC component
+    /// doesn't mask the physics).
+    pub fn dominant_omega(&self) -> f64 {
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len().max(1) as f64;
+        let centered: Vec<f64> = self.samples.iter().map(|v| v - mean).collect();
+        dominant_frequency(&centered, self.dt).1
+    }
+
+    /// Exponential growth rate (per unit time) fit over the sample index
+    /// range `[a, b)`.
+    pub fn growth_rate_in(&self, a: usize, b: usize) -> f64 {
+        let b = b.min(self.samples.len());
+        if a >= b {
+            return 0.0;
+        }
+        growth_rate(&self.samples[a..b]) / self.dt
+    }
+
+    /// Relative drift `(last − first)/first` (conservation metric).
+    pub fn relative_drift(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&a), Some(&b)) if a != 0.0 => (b - a) / a,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_drift() {
+        let mut ts = TimeSeries::new("x", 0.1);
+        for i in 0..10 {
+            ts.push(i as f64);
+        }
+        assert_eq!(ts.len(), 10);
+        assert!(!ts.is_empty());
+        assert!((ts.tail_mean(4) - 7.5).abs() < 1e-12);
+        assert!((ts.tail_mean(100) - 4.5).abs() < 1e-12);
+        assert_eq!(ts.min_max(), (0.0, 9.0));
+        // First sample is zero → drift is defined as 0.
+        assert_eq!(ts.relative_drift(), 0.0);
+        let mut ts2 = TimeSeries::new("y", 1.0);
+        ts2.push(2.0);
+        ts2.push(3.0);
+        assert!((ts2.relative_drift() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oscillation_frequency_recovered() {
+        let dt = 0.05;
+        let omega = 3.0;
+        let mut ts = TimeSeries::new("osc", dt);
+        for i in 0..512 {
+            ts.push(5.0 + (omega * i as f64 * dt).sin());
+        }
+        let got = ts.dominant_omega();
+        assert!((got - omega).abs() / omega < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn growth_rate_window() {
+        let dt = 0.2;
+        let gamma = 0.5; // per unit time
+        let mut ts = TimeSeries::new("g", dt);
+        for i in 0..100 {
+            ts.push(1e-8 * (gamma * i as f64 * dt).exp());
+        }
+        let got = ts.growth_rate_in(10, 90);
+        assert!((got - gamma).abs() < 1e-6, "got {got}");
+    }
+}

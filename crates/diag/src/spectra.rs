@@ -1,0 +1,107 @@
+//! Spatial field-line extraction and k-spectra.
+
+use crate::fft::power_spectrum;
+use vpic_core::field::FieldArray;
+use vpic_core::grid::Grid;
+
+/// Which field component to probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    Ex,
+    Ey,
+    Ez,
+    CBx,
+    CBy,
+    CBz,
+}
+
+fn array_of<'f>(f: &'f FieldArray, c: Component) -> &'f [f32] {
+    match c {
+        Component::Ex => &f.ex,
+        Component::Ey => &f.ey,
+        Component::Ez => &f.ez,
+        Component::CBx => &f.cbx,
+        Component::CBy => &f.cby,
+        Component::CBz => &f.cbz,
+    }
+}
+
+/// Extract a field line along x at fixed `(j, k)` (live cells only).
+pub fn line_x(f: &FieldArray, g: &Grid, c: Component, j: usize, k: usize) -> Vec<f64> {
+    let arr = array_of(f, c);
+    (1..=g.nx).map(|i| arr[g.voxel(i, j, k)] as f64).collect()
+}
+
+/// Extract the transverse average of a component along x.
+pub fn line_x_mean(f: &FieldArray, g: &Grid, c: Component) -> Vec<f64> {
+    let arr = array_of(f, c);
+    (1..=g.nx)
+        .map(|i| {
+            let mut s = 0.0f64;
+            for k in 1..=g.nz {
+                for j in 1..=g.ny {
+                    s += arr[g.voxel(i, j, k)] as f64;
+                }
+            }
+            s / (g.ny * g.nz) as f64
+        })
+        .collect()
+}
+
+/// `k`-space power spectrum of a component along x (transverse-averaged).
+/// Bin `m` corresponds to `k = 2π·m/(nx·dx)`; returns `(k, power)` pairs.
+pub fn k_spectrum_x(f: &FieldArray, g: &Grid, c: Component) -> Vec<(f64, f64)> {
+    let line = line_x_mean(f, g, c);
+    let ps = power_spectrum(&line);
+    let n = line.len().next_power_of_two().max(2);
+    let dk = 2.0 * std::f64::consts::PI / (n as f64 * g.dx as f64);
+    ps.into_iter().enumerate().map(|(m, p)| (m as f64 * dk, p)).collect()
+}
+
+/// Strongest nonzero-k mode of a component along x; returns `(k, power)`.
+pub fn dominant_k_x(f: &FieldArray, g: &Grid, c: Component) -> (f64, f64) {
+    let spec = k_spectrum_x(f, g, c);
+    spec.into_iter().skip(1).max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap_or((0.0, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        let g = Grid::periodic((8, 2, 2), (0.5, 0.5, 0.5), 0.1);
+        let mut f = FieldArray::new(&g);
+        for i in 1..=8 {
+            for k in 1..=2 {
+                for j in 1..=2 {
+                    f.ey[g.voxel(i, j, k)] = i as f32;
+                }
+            }
+        }
+        let line = line_x(&f, &g, Component::Ey, 1, 1);
+        assert_eq!(line, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mean = line_x_mean(&f, &g, Component::Ey);
+        assert_eq!(mean, line);
+    }
+
+    #[test]
+    fn dominant_k_of_sinusoid() {
+        let n = 64;
+        let dx = 0.25f32;
+        let g = Grid::periodic((n, 1, 1), (dx, dx, dx), 0.01);
+        let mut f = FieldArray::new(&g);
+        let m = 5.0; // five wavelengths across the box
+        for i in 1..=n {
+            let x = (i - 1) as f64 * dx as f64;
+            let val = (2.0 * std::f64::consts::PI * m * x / (n as f64 * dx as f64)).sin();
+            for jk in [(1usize, 1usize)] {
+                f.ex[g.voxel(i, jk.0, jk.1)] = val as f32;
+            }
+        }
+        let (k, p) = dominant_k_x(&f, &g, Component::Ex);
+        let want = 2.0 * std::f64::consts::PI * m / (n as f64 * dx as f64);
+        assert!((k - want).abs() < 1e-9, "k = {k}, want {want}");
+        assert!(p > 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Laser injection via a current-sheet antenna.
+//!
+//! A thin sheet of transverse current `J` at one x-plane radiates plane
+//! waves symmetrically: `E(t) = −(Δx/2)·J(t ∓ x/c)`. Driving
+//! `Jy = −(2E₀/Δx)·sin(ω₀t)·env(t)` therefore launches waves of amplitude
+//! `E₀` in both directions; the backward wave is eaten by the sponge
+//! behind the antenna. `E₀ = a₀·ω₀` in normalized units (`a₀ = eE/(mₑcω₀)`
+//! is the usual dimensionless laser strength the paper's intensity scan
+//! varies).
+
+use vpic_core::field::FieldArray;
+use vpic_core::grid::Grid;
+
+/// Transverse polarization of the injected wave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarization {
+    /// Drives `Jy` → `Ey`/`cBz` wave.
+    Y,
+    /// Drives `Jz` → `Ez`/`cBy` wave.
+    Z,
+}
+
+/// A current-sheet laser antenna at a fixed x-plane.
+#[derive(Clone, Copy, Debug)]
+pub struct LaserAntenna {
+    /// Live x index of the sheet.
+    pub plane: usize,
+    /// Peak normalized amplitude `a₀`.
+    pub a0: f32,
+    /// Laser angular frequency (in `ωpe` units when the plasma is loaded
+    /// at unit density).
+    pub omega: f32,
+    /// Linear amplitude ramp duration in steps (avoids a startup shock).
+    pub ramp_steps: u64,
+    pub polarization: Polarization,
+}
+
+impl LaserAntenna {
+    /// Peak electric field `E₀ = a₀·ω₀`.
+    pub fn e0(&self) -> f32 {
+        self.a0 * self.omega
+    }
+
+    /// Envelope at `step` (linear ramp to 1).
+    pub fn envelope(&self, step: u64) -> f32 {
+        if self.ramp_steps == 0 || step >= self.ramp_steps {
+            1.0
+        } else {
+            step as f32 / self.ramp_steps as f32
+        }
+    }
+
+    /// Add the antenna current for this step (call from the simulation's
+    /// drive hook; currents live at `t = (step+½)·dt`).
+    pub fn drive(&self, f: &mut FieldArray, g: &Grid, step: u64) {
+        let t = (step as f32 + 0.5) * g.dt;
+        let amp = -2.0 * self.e0() / g.dx * (self.omega * t).sin() * self.envelope(step);
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                let v = g.voxel(self.plane, j, k);
+                match self.polarization {
+                    Polarization::Y => f.jy[v] += amp,
+                    Polarization::Z => f.jz[v] += amp,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpic_core::grid::ParticleBc;
+    use vpic_core::sim::Simulation;
+    use vpic_core::sponge::Sponge;
+
+    fn vacuum_sim(nx: usize, dx: f32) -> Simulation {
+        let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.95);
+        let bc = [
+            ParticleBc::Absorb,
+            ParticleBc::Periodic,
+            ParticleBc::Periodic,
+            ParticleBc::Absorb,
+            ParticleBc::Periodic,
+            ParticleBc::Periodic,
+        ];
+        let g = Grid::new((nx, 1, 1), (dx, dx, dx), dt, bc);
+        let mut sim = Simulation::new(g, 1);
+        sim.sponge = Some(Sponge::symmetric(24, 0.15));
+        sim
+    }
+
+    #[test]
+    fn envelope_ramps_linearly() {
+        let ant = LaserAntenna {
+            plane: 10,
+            a0: 0.1,
+            omega: 2.0,
+            ramp_steps: 10,
+            polarization: Polarization::Y,
+        };
+        assert_eq!(ant.envelope(0), 0.0);
+        assert_eq!(ant.envelope(5), 0.5);
+        assert_eq!(ant.envelope(10), 1.0);
+        assert_eq!(ant.envelope(999), 1.0);
+        assert!((ant.e0() - 0.2).abs() < 1e-7);
+    }
+
+    /// In vacuum the antenna must launch a wave of amplitude E₀ toward +x
+    /// (and the sponge must keep the −x wave from coming back).
+    #[test]
+    fn antenna_emits_expected_amplitude() {
+        let nx = 512;
+        let dx = 0.1f32;
+        let mut sim = vacuum_sim(nx, dx);
+        let omega = 3.0f32;
+        let ant = LaserAntenna {
+            plane: 60,
+            a0: 0.05,
+            omega,
+            ramp_steps: 200,
+            polarization: Polarization::Y,
+        };
+        let e0 = ant.e0();
+        // Close enough that the fully-ramped wave (ramp ends ≈ t = 11)
+        // arrives well within the run (transit antenna→probe ≈ 6).
+        let probe = 120usize;
+        let mut peak = 0.0f32;
+        let g = sim.grid.clone();
+        let steps = (30.0 / g.dt) as u64; // 30 time units ≫ transit time
+        for _ in 0..steps {
+            sim.step_with(|f, g, s| ant.drive(f, g, s));
+            let v = g.voxel(probe, 1, 1);
+            peak = peak.max(sim.fields.ey[v].abs());
+        }
+        assert!(
+            (peak - e0).abs() / e0 < 0.1,
+            "emitted amplitude {peak} vs expected {e0}"
+        );
+        // Forward wave: Ey ≈ cBz at the probe (checked at the final peak
+        // via the forward/backward split).
+        let (fwd, bwd) = vpic_diag::wave_split_x(&sim.fields, &g, probe);
+        assert!(bwd < 0.02 * fwd, "backward contamination {bwd} vs {fwd}");
+    }
+
+    /// The sponge must absorb an outgoing wave almost completely: measure
+    /// what returns to the probe after hitting the wall.
+    #[test]
+    fn sponge_absorbs_outgoing_wave() {
+        let nx = 384;
+        let dx = 0.1f32;
+        let mut sim = vacuum_sim(nx, dx);
+        let ant = LaserAntenna {
+            plane: 60,
+            a0: 0.05,
+            omega: 3.0,
+            ramp_steps: 100,
+            polarization: Polarization::Y,
+        };
+        let g = sim.grid.clone();
+        // Run long enough for the wave to hit the +x sponge and any
+        // reflection to come back to the middle.
+        let steps = (2.2 * (nx as f32) * dx / g.dt) as u64;
+        let mut probe = vpic_diag::ReflectivityProbe::new(192);
+        for s in 0..steps {
+            sim.step_with(|f, g, s| ant.drive(f, g, s));
+            if s > steps / 2 {
+                probe.sample(&sim.fields, &g);
+            }
+        }
+        let r = probe.reflectivity();
+        assert!(r < 2e-2, "sponge reflectivity {r}");
+    }
+}

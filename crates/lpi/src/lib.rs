@@ -1,0 +1,26 @@
+//! # vpic-lpi
+//!
+//! Laser–plasma interaction workloads for the VPIC reproduction — the
+//! physics campaign of the SC'08 paper (stimulated Raman backscatter of a
+//! laser in a hohlraum-like plasma) reduced to laptop-scale quasi-1D runs
+//! that exercise identical code paths.
+//!
+//! * [`laser`] — current-sheet antenna injection;
+//! * [`profile`] — slab density profiles;
+//! * [`srs`] — SRS linear theory (matching, growth, Landau damping, gain);
+//! * [`three_wave`] — fluid coupled-mode baseline (no trapping physics);
+//! * [`setup`] — assembled [`setup::LpiRun`] with reflectivity probe.
+
+pub mod laser;
+pub mod profile;
+pub mod sbs;
+pub mod setup;
+pub mod srs;
+pub mod three_wave;
+
+pub use laser::{LaserAntenna, Polarization};
+pub use profile::SlabProfile;
+pub use setup::{LpiParams, LpiRun};
+pub use sbs::{sbs_match, SbsMatch};
+pub use srs::{srs_match, SrsMatch};
+pub use three_wave::{reflectivity_curve, tang_reflectivity, ThreeWaveModel, ThreeWaveResult};

@@ -1,0 +1,128 @@
+//! Linear theory of stimulated Brillouin backscatter (SBS) — the
+//! ion-acoustic sibling of SRS and the other backscatter channel the
+//! hohlraum LPI campaign cares about. Needs mobile ions (see
+//! [`crate::setup::LpiParams::ion_mass`]).
+//!
+//! Normalized units (`ωpe = c = 1`): the ion-acoustic speed is
+//! `c_s = √((Z·Te + 3·Ti)/mᵢ)` with `Te = vth²` (electron), so SBS's
+//! daughter wave sits at `ω_ia = k_ia·c_s` with `k_ia ≈ 2·k0` for direct
+//! backscatter.
+
+/// Resolved SBS backscatter triad.
+#[derive(Clone, Copy, Debug)]
+pub struct SbsMatch {
+    /// Laser frequency / wavenumber.
+    pub omega0: f64,
+    pub k0: f64,
+    /// Scattered EM wave (backward).
+    pub omega_s: f64,
+    pub k_s: f64,
+    /// Ion-acoustic wave.
+    pub omega_ia: f64,
+    pub k_ia: f64,
+    /// Ion-acoustic speed (units of c).
+    pub c_s: f64,
+    /// Electron plasma frequency over ion plasma frequency `√(mᵢ/Z)`.
+    pub omega_pi: f64,
+}
+
+/// Solve the SBS matching conditions for density `n_over_ncr`, electron
+/// thermal velocity `vth_e`, ion charge `z`, ion mass `m_i` (in electron
+/// masses) and ion temperature ratio `ti_over_te`.
+pub fn sbs_match(n_over_ncr: f64, vth_e: f64, z: f64, m_i: f64, ti_over_te: f64) -> SbsMatch {
+    assert!(n_over_ncr > 0.0 && n_over_ncr < 1.0, "SBS needs an underdense plasma");
+    assert!(m_i > 1.0 && z >= 1.0);
+    let omega0 = 1.0 / n_over_ncr.sqrt();
+    let k0 = (omega0 * omega0 - 1.0).sqrt();
+    let te = vth_e * vth_e; // kTe/(me c²)
+    let c_s = ((z * te + 3.0 * ti_over_te * te) / m_i).sqrt();
+    // Backscatter: k_ia = k0 + |k_s|, ω_ia = k_ia·c_s ≪ ω0; iterate.
+    let mut k_ia = 2.0 * k0;
+    let mut omega_ia = k_ia * c_s;
+    let mut k_s = k0;
+    for _ in 0..100 {
+        let omega_s = omega0 - omega_ia;
+        k_s = (omega_s * omega_s - 1.0).max(0.0).sqrt();
+        k_ia = k0 + k_s;
+        omega_ia = k_ia * c_s;
+    }
+    let omega_pi = (z / m_i).sqrt();
+    SbsMatch { omega0, k0, omega_s: omega0 - omega_ia, k_s, omega_ia, k_ia, c_s, omega_pi }
+}
+
+impl SbsMatch {
+    /// Homogeneous SBS growth rate (Kruer):
+    /// `γ0 = (k_ia·a0/4)·ω_pi/√(ω_ia·ω_s)`.
+    pub fn growth_rate(&self, a0: f64) -> f64 {
+        self.k_ia * a0 / 4.0 * self.omega_pi / (self.omega_ia * self.omega_s).sqrt()
+    }
+
+    /// Ion Landau damping estimate for `ZTe/Ti = zte_over_ti`
+    /// (strongly damped when Ti ≳ ZTe/3; the standard fit
+    /// `ν/ω ≈ √(π/8)·(ZTe/Ti)^{3/2}·exp(−ZTe/(2Ti)−3/2)` plus the electron
+    /// contribution `√(π·Z·me/(8·mi))`).
+    pub fn ion_landau_damping(&self, z: f64, m_i: f64, ti_over_te: f64) -> f64 {
+        let zt = z / ti_over_te.max(1e-9);
+        let ion = (std::f64::consts::PI / 8.0).sqrt() * zt.powf(1.5) * (-0.5 * zt - 1.5).exp();
+        let electron = (std::f64::consts::PI * z / (8.0 * m_i)).sqrt();
+        (ion + electron) * self.omega_ia
+    }
+
+    /// SBS and SRS occupy very different frequency bands: the SBS-shifted
+    /// light is barely redshifted (`ω_s ≈ ω0`), SRS by ≳ ωpe. Useful for
+    /// spectral diagnostics.
+    pub fn relative_shift(&self) -> f64 {
+        self.omega_ia / self.omega0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hydrogenic() -> SbsMatch {
+        sbs_match(0.1, 0.07, 1.0, 1836.0, 0.1)
+    }
+
+    #[test]
+    fn matching_closes() {
+        let m = hydrogenic();
+        assert!((m.omega0 - (m.omega_s + m.omega_ia)).abs() < 1e-9);
+        assert!((m.k_ia - (m.k0 + m.k_s)).abs() < 1e-9);
+        assert!((m.omega_ia - m.k_ia * m.c_s).abs() < 1e-12);
+        // Near-direct backscatter: k_ia ≈ 2k0 within a percent.
+        assert!((m.k_ia - 2.0 * m.k0).abs() / (2.0 * m.k0) < 0.01);
+        // Tiny redshift compared to SRS.
+        assert!(m.relative_shift() < 0.01, "shift {}", m.relative_shift());
+    }
+
+    #[test]
+    fn acoustic_speed_scales() {
+        let h = sbs_match(0.1, 0.07, 1.0, 1836.0, 0.1);
+        let heavy = sbs_match(0.1, 0.07, 1.0, 4.0 * 1836.0, 0.1);
+        assert!((h.c_s / heavy.c_s - 2.0).abs() < 1e-9);
+        let hot = sbs_match(0.1, 0.14, 1.0, 1836.0, 0.1);
+        assert!((hot.c_s / h.c_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_rate_properties() {
+        let m = hydrogenic();
+        let g = m.growth_rate(0.02);
+        assert!(g > 0.0);
+        assert!((m.growth_rate(0.04) / g - 2.0).abs() < 1e-12);
+        // SBS grows slower than SRS at the same a0 (ω_pi ≪ ωpe).
+        let srs = crate::srs::srs_match(0.1, 0.07);
+        assert!(g < srs.growth_rate(0.02));
+    }
+
+    #[test]
+    fn landau_damping_strong_when_ti_comparable() {
+        let m = hydrogenic();
+        let cold_ions = m.ion_landau_damping(1.0, 1836.0, 0.05);
+        let warm_ions = m.ion_landau_damping(1.0, 1836.0, 0.5);
+        assert!(warm_ions > 5.0 * cold_ions, "{cold_ions} vs {warm_ions}");
+        // Electron contribution keeps even cold-ion damping finite.
+        assert!(cold_ions > 0.0);
+    }
+}

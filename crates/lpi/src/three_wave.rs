@@ -1,0 +1,163 @@
+//! Reduced three-wave coupled-mode model of SRS backscatter — the
+//! fluid-level baseline the kinetic PIC results are compared against.
+//! It reproduces the threshold and the steep rise of reflectivity with
+//! intensity, but knows nothing about trapping (the physics the paper's
+//! trillion-particle runs resolve).
+
+/// Three-wave interaction with pump depletion/replenishment and wave
+/// damping. Amplitudes are normalized so the small-signal plasma-wave
+/// growth rate is `γ0` when the pump is undepleted.
+///
+/// In a driven slab the pump is continuously re-supplied by the laser at
+/// the transit rate `ν_p ≈ v_g0/L`; without it a 0D model rings once and
+/// dies, which is not what a steady illumination does.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeWaveModel {
+    /// Small-signal growth rate at the initial pump amplitude.
+    pub gamma0: f64,
+    /// Scattered-light damping/escape rate (transit loss `v_gs/L`).
+    pub nu_s: f64,
+    /// Plasma-wave (Landau) damping rate.
+    pub nu_e: f64,
+    /// Pump replenishment rate toward its incident amplitude.
+    pub nu_p: f64,
+    /// Seed level as a fraction of the pump (thermal noise stand-in).
+    pub seed: f64,
+}
+
+/// Result of integrating the model.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeWaveResult {
+    /// Time-averaged reflectivity `⟨a_s²⟩/a_p(0)²` over the final third.
+    pub reflectivity: f64,
+    /// Peak instantaneous reflectivity.
+    pub peak_reflectivity: f64,
+    /// Final pump fraction `a_p(T)²/a_p(0)²`.
+    pub pump_out: f64,
+}
+
+impl ThreeWaveModel {
+    /// Integrate for `t_end` with an RK4 step `dt`.
+    pub fn run(&self, t_end: f64, dt: f64) -> ThreeWaveResult {
+        assert!(dt > 0.0 && t_end > dt);
+        // State: (pump, scattered, plasma wave) real amplitudes; coupling
+        // normalized so d(as)/dt = γ0·(ap/ap0)·ae etc.
+        let mut y = [1.0f64, self.seed, self.seed];
+        let g = self.gamma0;
+        let deriv = |y: [f64; 3]| -> [f64; 3] {
+            [
+                -g * y[1] * y[2] + self.nu_p * (1.0 - y[0]),
+                g * y[0] * y[2] - self.nu_s * y[1],
+                g * y[0] * y[1] - self.nu_e * y[2],
+            ]
+        };
+        let steps = (t_end / dt) as usize;
+        let mut refl_acc = 0.0f64;
+        let mut refl_n = 0usize;
+        let mut peak = 0.0f64;
+        for s in 0..steps {
+            let k1 = deriv(y);
+            let y2 = add(y, k1, 0.5 * dt);
+            let k2 = deriv(y2);
+            let y3 = add(y, k2, 0.5 * dt);
+            let k3 = deriv(y3);
+            let y4 = add(y, k3, dt);
+            let k4 = deriv(y4);
+            for i in 0..3 {
+                y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                // Amplitudes stay bounded by the initial pump action.
+                y[i] = y[i].clamp(-1.0, 1.0);
+            }
+            let r = y[1] * y[1];
+            peak = peak.max(r);
+            if s >= 2 * steps / 3 {
+                refl_acc += r;
+                refl_n += 1;
+            }
+        }
+        ThreeWaveResult {
+            reflectivity: refl_acc / refl_n.max(1) as f64,
+            peak_reflectivity: peak,
+            pump_out: y[0] * y[0],
+        }
+    }
+}
+
+fn add(y: [f64; 3], k: [f64; 3], h: f64) -> [f64; 3] {
+    [y[0] + h * k[0], y[1] + h * k[1], y[2] + h * k[2]]
+}
+
+/// Tang's steady-state backscatter reflectivity: with intensity gain
+/// exponent `G` and noise seed `ε` (as a reflectivity), `R` solves
+///
+/// ```text
+/// R = ε·(1−R)·exp[G·(1−R)]
+/// ```
+///
+/// — the standard fluid (pump-depletion-saturated) baseline used across
+/// the LPI literature for reflectivity-vs-intensity curves. Monotone in
+/// `G`, `→ ε` for `G → 0`, saturating toward 1 at large gain.
+pub fn tang_reflectivity(gain: f64, seed: f64) -> f64 {
+    assert!((0.0..1.0).contains(&seed) && gain >= 0.0);
+    let f = |r: f64| seed * (1.0 - r) * (gain * (1.0 - r)).exp() - r;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // f(0) = ε·e^G > 0, f(1) = −1 < 0.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Fluid baseline curve for experiment E5: `(gain, R_tang)` per point.
+pub fn reflectivity_curve(gains: &[f64], seed: f64) -> Vec<(f64, f64)> {
+    gains.iter().map(|&g| (g, tang_reflectivity(g, seed))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_stays_at_seed_level() {
+        // γ0² < νs·νe → no instability.
+        let m = ThreeWaveModel { gamma0: 0.01, nu_s: 0.05, nu_e: 0.05, nu_p: 0.02, seed: 1e-4 };
+        let r = m.run(2000.0, 0.5);
+        assert!(r.reflectivity < 1e-6, "r = {:?}", r);
+        assert!(r.pump_out > 0.999);
+    }
+
+    #[test]
+    fn above_threshold_reaches_predicted_steady_state() {
+        // Steady state: a_p = √(νs·νe)/γ0, R = νp(1−a_p)·νe/(γ0²·a_p).
+        let m = ThreeWaveModel { gamma0: 0.2, nu_s: 0.05, nu_e: 0.05, nu_p: 0.02, seed: 1e-4 };
+        let r = m.run(3000.0, 0.05);
+        let ap = (m.nu_s * m.nu_e).sqrt() / m.gamma0;
+        let want = m.nu_p * (1.0 - ap) * m.nu_e / (m.gamma0 * m.gamma0 * ap);
+        assert!((r.reflectivity - want).abs() / want < 0.3, "r = {:?}, want {want}", r);
+        assert!(r.pump_out < 0.9);
+        assert!(r.peak_reflectivity >= r.reflectivity);
+    }
+
+    #[test]
+    fn tang_limits_and_monotonicity() {
+        // G → 0 recovers the seed.
+        assert!((tang_reflectivity(0.0, 1e-6) - 1e-6).abs() < 1e-9);
+        // Exactly solves the implicit relation.
+        let g = 12.0;
+        let r = tang_reflectivity(g, 1e-6);
+        let rhs = 1e-6 * (1.0 - r) * (g * (1.0 - r)).exp();
+        assert!((r - rhs).abs() < 1e-9);
+        // Monotone, steep rise through the gain window, saturates < 1.
+        let curve = reflectivity_curve(&[0.0, 5.0, 10.0, 15.0, 25.0, 60.0], 1e-6);
+        for w in curve.windows(2) {
+            assert!(w[1].1 > w[0].1, "non-monotone: {curve:?}");
+        }
+        assert!(curve[5].1 > 0.5 && curve[5].1 < 1.0, "{curve:?}");
+        assert!(curve[3].1 > 1e3 * curve[0].1, "{curve:?}");
+    }
+}

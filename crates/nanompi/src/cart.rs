@@ -1,0 +1,133 @@
+//! 3D Cartesian rank topology (MPI_Cart_create equivalent) used by the
+//! domain-decomposed PIC to find face neighbors.
+
+/// A `px × py × pz` brick of ranks, optionally periodic per axis.
+/// Rank order is x-fastest: `rank = cx + px·(cy + py·cz)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CartTopology {
+    pub dims: [usize; 3],
+    pub periodic: [bool; 3],
+}
+
+impl CartTopology {
+    /// Build a topology; panics unless every dim is ≥ 1.
+    pub fn new(dims: [usize; 3], periodic: [bool; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "dims must be >= 1");
+        CartTopology { dims, periodic }
+    }
+
+    /// Pick a near-cubic factorization of `n` ranks (greedy largest-factor
+    /// assignment, like `MPI_Dims_create`), biased toward splitting x first
+    /// so quasi-1D domains decompose along their long axis.
+    pub fn balanced(n: usize, periodic: [bool; 3]) -> Self {
+        assert!(n >= 1);
+        let mut dims = [1usize; 3];
+        let mut rem = n;
+        let mut f = 2;
+        let mut factors = Vec::new();
+        while f * f <= rem {
+            while rem % f == 0 {
+                factors.push(f);
+                rem /= f;
+            }
+            f += 1;
+        }
+        if rem > 1 {
+            factors.push(rem);
+        }
+        // Assign largest factors to the currently smallest dim (ties → x).
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let axis = (0..3).min_by_key(|&a| (dims[a], a)).unwrap();
+            dims[axis] *= f;
+        }
+        CartTopology::new(dims, periodic)
+    }
+
+    /// Total ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords_of(&self, rank: usize) -> [usize; 3] {
+        assert!(rank < self.n_ranks());
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+
+    /// Rank at `coords`.
+    pub fn rank_of(&self, coords: [usize; 3]) -> usize {
+        for a in 0..3 {
+            assert!(coords[a] < self.dims[a]);
+        }
+        coords[0] + self.dims[0] * (coords[1] + self.dims[1] * coords[2])
+    }
+
+    /// Face neighbor of `rank` along `axis` in direction `dir` (−1 or +1);
+    /// `None` at a non-periodic edge.
+    pub fn neighbor(&self, rank: usize, axis: usize, dir: i32) -> Option<usize> {
+        assert!(axis < 3 && (dir == 1 || dir == -1));
+        let mut c = self.coords_of(rank);
+        let d = self.dims[axis] as i64;
+        let mut x = c[axis] as i64 + dir as i64;
+        if x < 0 || x >= d {
+            if !self.periodic[axis] {
+                return None;
+            }
+            x = (x + d) % d;
+        }
+        c[axis] = x as usize;
+        Some(self.rank_of(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = CartTopology::new([3, 2, 4], [true, true, true]);
+        for r in 0..t.n_ranks() {
+            assert_eq!(t.rank_of(t.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let t = CartTopology::new([3, 1, 1], [true, false, false]);
+        assert_eq!(t.neighbor(0, 0, -1), Some(2));
+        assert_eq!(t.neighbor(2, 0, 1), Some(0));
+        assert_eq!(t.neighbor(0, 1, -1), None);
+        assert_eq!(t.neighbor(0, 2, 1), None);
+    }
+
+    #[test]
+    fn interior_neighbors() {
+        let t = CartTopology::new([2, 2, 2], [false, false, false]);
+        let r = t.rank_of([0, 0, 0]);
+        assert_eq!(t.neighbor(r, 0, 1), Some(t.rank_of([1, 0, 0])));
+        assert_eq!(t.neighbor(r, 1, 1), Some(t.rank_of([0, 1, 0])));
+        assert_eq!(t.neighbor(r, 2, 1), Some(t.rank_of([0, 0, 1])));
+        assert_eq!(t.neighbor(r, 0, -1), None);
+    }
+
+    #[test]
+    fn balanced_factorizations() {
+        assert_eq!(CartTopology::balanced(1, [true; 3]).dims, [1, 1, 1]);
+        assert_eq!(CartTopology::balanced(8, [true; 3]).n_ranks(), 8);
+        let t = CartTopology::balanced(8, [true; 3]);
+        assert_eq!(t.dims, [2, 2, 2]);
+        let t = CartTopology::balanced(12, [true; 3]);
+        assert_eq!(t.n_ranks(), 12);
+        assert!(t.dims.iter().all(|&d| d <= 4));
+        let t = CartTopology::balanced(7, [true; 3]);
+        assert_eq!(t.dims, [7, 1, 1]);
+        // Prefers x for single splits.
+        assert_eq!(CartTopology::balanced(2, [true; 3]).dims, [2, 1, 1]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Point-to-point messaging, collectives and traffic instrumentation.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+type Packet = (u64, usize, Box<dyn Any + Send>); // (tag, nbytes, payload)
+
+struct Shared {
+    size: usize,
+    /// Channel matrix: `tx[from][to]` / `rx[to][from]` (receivers are taken
+    /// by their owning rank at startup).
+    senders: Vec<Vec<Sender<Packet>>>,
+    barrier: Barrier,
+    /// Collective board: one slot per rank.
+    board: Vec<Mutex<Option<Box<dyn Any + Send + Sync>>>>,
+    /// bytes[from * size + to]
+    bytes: Vec<AtomicU64>,
+    msgs: Vec<AtomicU64>,
+}
+
+/// Per-rank communicator handle. Dropping it mid-collective deadlocks the
+/// world, exactly like real MPI.
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    receivers: Vec<Receiver<Packet>>,
+    /// Out-of-order messages held per source until their tag is asked for.
+    pending: Vec<Vec<Packet>>,
+}
+
+/// Aggregate communication statistics for one `run`.
+#[derive(Clone, Debug)]
+pub struct TrafficReport {
+    pub n_ranks: usize,
+    pub total_bytes: u64,
+    pub total_messages: u64,
+    /// `bytes[from][to]`.
+    pub bytes: Vec<Vec<u64>>,
+    /// `messages[from][to]`.
+    pub messages: Vec<Vec<u64>>,
+}
+
+impl TrafficReport {
+    /// Bytes sent by the busiest rank (max over senders).
+    pub fn max_rank_bytes(&self) -> u64 {
+        self.bytes.iter().map(|row| row.iter().sum::<u64>()).max().unwrap_or(0)
+    }
+
+    /// Average bytes per rank per message-bearing neighbor pair.
+    pub fn mean_bytes_per_rank(&self) -> f64 {
+        if self.n_ranks == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.n_ranks as f64
+        }
+    }
+}
+
+/// Spawn `n` ranks, run `f` on each, and return the per-rank results plus
+/// the traffic report. Panics in any rank propagate.
+pub fn run<R, F>(n: usize, f: F) -> (Vec<R>, TrafficReport)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    assert!(n >= 1, "need at least one rank");
+    let mut senders: Vec<Vec<Sender<Packet>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    let mut receivers: Vec<Vec<Receiver<Packet>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    for to in 0..n {
+        for from in 0..n {
+            let (tx, rx) = unbounded();
+            // senders[from][to]; build column-wise then fix up below.
+            receivers[to].push(rx);
+            senders[from].push(tx);
+        }
+    }
+    // senders[from] currently holds entries pushed in `to`-major order,
+    // but the nested loop above pushes for each `to`, once per `from` —
+    // i.e. senders[from] gets its `to`-th element in outer-loop order, so
+    // senders[from][to] is already correct.
+    let shared = Arc::new(Shared {
+        size: n,
+        senders,
+        barrier: Barrier::new(n),
+        board: (0..n).map(|_| Mutex::new(None)).collect(),
+        bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    let mut receiver_slots: Vec<Option<Vec<Receiver<Packet>>>> =
+        receivers.into_iter().map(Some).collect();
+
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for rank in 0..n {
+            let shared = Arc::clone(&shared);
+            let rx = receiver_slots[rank].take().expect("receiver set");
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm {
+                    rank,
+                    shared,
+                    receivers: rx,
+                    pending: (0..n).map(|_| Vec::new()).collect(),
+                };
+                f(&mut comm)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+
+    let n2 = |v: &Vec<AtomicU64>| -> Vec<Vec<u64>> {
+        (0..n).map(|from| (0..n).map(|to| v[from * n + to].load(Ordering::Relaxed)).collect()).collect()
+    };
+    let bytes = n2(&shared.bytes);
+    let messages = n2(&shared.msgs);
+    let report = TrafficReport {
+        n_ranks: n,
+        total_bytes: bytes.iter().flatten().sum(),
+        total_messages: messages.iter().flatten().sum(),
+        bytes,
+        messages,
+    };
+    (results, report)
+}
+
+impl Comm {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Send `msg` to rank `to` with `tag`. Counts `size_of::<T>()` bytes;
+    /// use [`Comm::send_vec`] for containers so the payload is counted.
+    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, msg: T) {
+        self.send_counted(to, tag, std::mem::size_of::<T>(), Box::new(msg));
+    }
+
+    /// Send a `Vec<T>`, counting `len·size_of::<T>()` payload bytes.
+    pub fn send_vec<T: Send + 'static>(&self, to: usize, tag: u64, msg: Vec<T>) {
+        let nbytes = msg.len() * std::mem::size_of::<T>();
+        self.send_counted(to, tag, nbytes, Box::new(msg));
+    }
+
+    fn send_counted(&self, to: usize, tag: u64, nbytes: usize, payload: Box<dyn Any + Send>) {
+        assert!(to < self.size(), "rank {to} out of range");
+        let idx = self.rank * self.size() + to;
+        self.shared.bytes[idx].fetch_add(nbytes as u64, Ordering::Relaxed);
+        self.shared.msgs[idx].fetch_add(1, Ordering::Relaxed);
+        self.shared.senders[self.rank][to]
+            .send((tag, nbytes, payload))
+            .expect("receiver rank exited early");
+    }
+
+    /// Blocking receive of a `T` sent from `from` with `tag`. Messages from
+    /// the same source with other tags are buffered, preserving per-tag
+    /// FIFO order. Panics if the payload type does not match.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> T {
+        assert!(from < self.size(), "rank {from} out of range");
+        // Check buffered messages first.
+        if let Some(pos) = self.pending[from].iter().position(|(t, _, _)| *t == tag) {
+            let (_, _, payload) = self.pending[from].remove(pos);
+            return *payload.downcast::<T>().expect("message type mismatch");
+        }
+        loop {
+            let pkt = self.receivers[from].recv().expect("sender rank exited early");
+            if pkt.0 == tag {
+                return *pkt.2.downcast::<T>().expect("message type mismatch");
+            }
+            self.pending[from].push(pkt);
+        }
+    }
+
+    /// Non-blocking receive; returns `None` when no matching message has
+    /// arrived yet.
+    pub fn try_recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Option<T> {
+        if let Some(pos) = self.pending[from].iter().position(|(t, _, _)| *t == tag) {
+            let (_, _, payload) = self.pending[from].remove(pos);
+            return Some(*payload.downcast::<T>().expect("message type mismatch"));
+        }
+        while let Ok(pkt) = self.receivers[from].try_recv() {
+            if pkt.0 == tag {
+                return Some(*pkt.2.downcast::<T>().expect("message type mismatch"));
+            }
+            self.pending[from].push(pkt);
+        }
+        None
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Gather one value from every rank (returned in rank order).
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, v: T) -> Vec<T> {
+        *self.shared.board[self.rank].lock() = Some(Box::new(v));
+        self.barrier();
+        let out: Vec<T> = (0..self.size())
+            .map(|r| {
+                let guard = self.shared.board[r].lock();
+                guard
+                    .as_ref()
+                    .expect("board slot missing")
+                    .downcast_ref::<T>()
+                    .expect("allgather type mismatch")
+                    .clone()
+            })
+            .collect();
+        self.barrier();
+        *self.shared.board[self.rank].lock() = None;
+        out
+    }
+
+    /// Sum an `f64` across all ranks.
+    pub fn allreduce_sum(&self, v: f64) -> f64 {
+        self.allgather(v).into_iter().sum()
+    }
+
+    /// Element-wise sum of `f64` vectors across all ranks (all must have
+    /// the same length).
+    pub fn allreduce_sum_vec(&self, v: Vec<f64>) -> Vec<f64> {
+        let len = v.len();
+        let all = self.allgather(v);
+        let mut out = vec![0.0f64; len];
+        for contrib in &all {
+            assert_eq!(contrib.len(), len, "allreduce length mismatch");
+            for (o, c) in out.iter_mut().zip(contrib) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Max of an `f64` across all ranks.
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        self.allgather(v).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum a `u64` across all ranks.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.allgather(v).into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let (results, traffic) = run(5, |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.send(right, 1, c.rank());
+            let got: usize = c.recv(left, 1);
+            got
+        });
+        for (rank, got) in results.iter().enumerate() {
+            assert_eq!(*got, (rank + 4) % 5);
+        }
+        assert_eq!(traffic.total_messages, 5);
+        assert_eq!(traffic.total_bytes, 5 * 8);
+        assert_eq!(traffic.bytes[0][1], 8);
+        assert_eq!(traffic.bytes[0][2], 0);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let (results, _) = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 10, "first".to_string());
+                c.send(1, 20, "second".to_string());
+                0
+            } else {
+                // Ask for tag 20 before tag 10.
+                let b: String = c.recv(0, 20);
+                let a: String = c.recv(0, 10);
+                assert_eq!(a, "first");
+                assert_eq!(b, "second");
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn vec_payload_counts_bytes() {
+        let (_, traffic) = run(2, |c| {
+            if c.rank() == 0 {
+                c.send_vec(1, 0, vec![0f32; 100]);
+            } else {
+                let v: Vec<f32> = c.recv(0, 0);
+                assert_eq!(v.len(), 100);
+            }
+        });
+        assert_eq!(traffic.total_bytes, 400);
+        assert_eq!(traffic.max_rank_bytes(), 400);
+    }
+
+    #[test]
+    fn allgather_and_reductions() {
+        let (results, _) = run(4, |c| {
+            let gathered = c.allgather(c.rank() as u64 * 10);
+            assert_eq!(gathered, vec![0, 10, 20, 30]);
+            let s = c.allreduce_sum(c.rank() as f64);
+            let m = c.allreduce_max(c.rank() as f64);
+            let v = c.allreduce_sum_vec(vec![1.0, c.rank() as f64]);
+            let u = c.allreduce_sum_u64(1);
+            (s, m, v, u)
+        });
+        for (s, m, v, u) in results {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 3.0);
+            assert_eq!(v, vec![4.0, 6.0]);
+            assert_eq!(u, 4);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let (results, _) = run(3, |c| {
+            let mut acc = 0.0;
+            for round in 0..20 {
+                acc += c.allreduce_sum((c.rank() + round) as f64);
+            }
+            acc
+        });
+        // Σ_round (0+1+2 + 3·round) = 20·3 + 3·190.
+        for r in results {
+            assert_eq!(r, 60.0 + 570.0);
+        }
+    }
+
+    #[test]
+    fn try_recv_returns_none_then_some() {
+        let (results, _) = run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                c.send(1, 5, 42u32);
+                c.barrier();
+                c.barrier();
+                true
+            } else {
+                assert!(c.try_recv::<u32>(0, 5).is_none());
+                c.barrier();
+                c.barrier(); // message definitely sent now
+                let got = c.try_recv::<u32>(0, 5);
+                c.barrier();
+                got == Some(42)
+            }
+        });
+        assert!(results.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let (results, traffic) = run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.barrier();
+            c.allreduce_sum(3.0)
+        });
+        assert_eq!(results, vec![3.0]);
+        assert_eq!(traffic.total_bytes, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nanompi
+//!
+//! An in-process message-passing substrate standing in for the MPI layer
+//! VPIC used on Roadrunner. Ranks are OS threads; point-to-point messages
+//! travel over per-pair channels with MPI-like (source, tag) matching;
+//! collectives (barrier, allgather, allreduce) run over a shared board.
+//!
+//! Every byte sent is counted per rank pair, so the distributed PIC's real
+//! communication volume can be measured and fed to the Roadrunner
+//! performance model (`roadrunner-model`), mirroring how the paper's
+//! authors validated their analytic model against measured traffic.
+//!
+//! ```
+//! let (results, traffic) = nanompi::run(4, |comm| {
+//!     let right = (comm.rank() + 1) % comm.size();
+//!     let left = (comm.rank() + comm.size() - 1) % comm.size();
+//!     comm.send(right, 7, comm.rank() as u64);
+//!     let from_left: u64 = comm.recv(left, 7);
+//!     comm.allreduce_sum(from_left as f64)
+//! });
+//! assert!(results.iter().all(|&r| r == 6.0)); // 0+1+2+3
+//! assert_eq!(traffic.total_messages, 4);
+//! ```
+
+mod cart;
+pub mod comm;
+
+pub use cart::CartTopology;
+pub use comm::{run, Comm, TrafficReport};

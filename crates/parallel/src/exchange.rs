@@ -1,0 +1,291 @@
+//! Ghost-plane field exchange between adjacent domains.
+//!
+//! The core field solver leaves `Exchange` faces untouched; after every
+//! update this module fills them from the neighboring rank, replicating
+//! exactly the planes the periodic sync would have copied locally:
+//!
+//! * after an `E` update: each component node-registered along an exchanged
+//!   axis needs its `n+1` plane from the `+axis` neighbor's plane 1;
+//! * after a `B` update: the axis-normal `cB` component needs its `n+1`
+//!   plane from the `+axis` neighbor's plane 1, and the transverse
+//!   components need their ghost plane 0 from the `−axis` neighbor's
+//!   plane `n`;
+//! * after current deposition: deposits on plane `n+1` belong to the
+//!   `+axis` neighbor's plane 1 and are folded (added) there.
+//!
+//! Planes are sent ghost-inclusive and axes processed in x→y→z order, so
+//! edge/corner ghosts become correct exactly as in the sequential
+//! periodic-copy argument.
+
+use nanompi::Comm;
+use vpic_core::field::FieldArray;
+use vpic_core::grid::Grid;
+
+const TAG_E: u64 = 0xE000;
+const TAG_B_OWN: u64 = 0xB000;
+const TAG_B_T: u64 = 0xB100;
+const TAG_J: u64 = 0xA000;
+
+/// Read the full (ghost-inclusive) plane `idx` along `axis`.
+pub fn read_plane(arr: &[f32], g: &Grid, axis: usize, idx: usize) -> Vec<f32> {
+    let (sx, sy, sz) = g.strides();
+    let dims = [sx, sy, sz];
+    let (a1, a2) = other_axes(axis);
+    let mut out = Vec::with_capacity(dims[a1] * dims[a2]);
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut cs = [0usize; 3];
+            cs[a1] = c1;
+            cs[a2] = c2;
+            cs[axis] = idx;
+            out.push(arr[g.voxel(cs[0], cs[1], cs[2])]);
+        }
+    }
+    out
+}
+
+/// Overwrite plane `idx` along `axis` with `data`.
+pub fn write_plane(arr: &mut [f32], g: &Grid, axis: usize, idx: usize, data: &[f32]) {
+    visit_plane(g, axis, idx, data, |slot, v| arr[slot] = v);
+}
+
+/// Add `data` into plane `idx` along `axis`.
+pub fn add_plane(arr: &mut [f32], g: &Grid, axis: usize, idx: usize, data: &[f32]) {
+    visit_plane(g, axis, idx, data, |slot, v| arr[slot] += v);
+}
+
+fn visit_plane(g: &Grid, axis: usize, idx: usize, data: &[f32], mut f: impl FnMut(usize, f32)) {
+    let (sx, sy, sz) = g.strides();
+    let dims = [sx, sy, sz];
+    let (a1, a2) = other_axes(axis);
+    assert_eq!(data.len(), dims[a1] * dims[a2], "plane size mismatch");
+    let mut it = data.iter();
+    for c2 in 0..dims[a2] {
+        for c1 in 0..dims[a1] {
+            let mut cs = [0usize; 3];
+            cs[a1] = c1;
+            cs[a2] = c2;
+            cs[axis] = idx;
+            f(g.voxel(cs[0], cs[1], cs[2]), *it.next().unwrap());
+        }
+    }
+}
+
+fn other_axes(axis: usize) -> (usize, usize) {
+    match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+fn n_of(g: &Grid, axis: usize) -> usize {
+    [g.nx, g.ny, g.nz][axis]
+}
+
+/// Ghost exchanger bound to a rank's face neighbors (`None` = no neighbor:
+/// either a physical wall or an undecomposed axis).
+#[derive(Clone, Copy, Debug)]
+pub struct GhostExchanger {
+    pub neighbors: [Option<usize>; 6],
+}
+
+impl GhostExchanger {
+    /// Fill `E` ghost planes from neighbors (call after every `advance_e`
+    /// and after manual field initialization).
+    pub fn exchange_e(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+        for axis in 0..3 {
+            let comps: [&mut Vec<f32>; 2] = match axis {
+                0 => [&mut f.ey, &mut f.ez],
+                1 => [&mut f.ex, &mut f.ez],
+                _ => [&mut f.ex, &mut f.ey],
+            };
+            let n = n_of(g, axis);
+            for (ci, c) in comps.into_iter().enumerate() {
+                let tag = TAG_E + (axis * 4 + ci) as u64;
+                if let Some(nb) = self.neighbors[axis] {
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, 1));
+                }
+                if let Some(nb) = self.neighbors[axis + 3] {
+                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    write_plane(c, g, axis, n + 1, &plane);
+                }
+            }
+        }
+    }
+
+    /// Fill `cB` ghost planes from neighbors (call after every `advance_b`
+    /// and after manual field initialization).
+    pub fn exchange_b(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+        for axis in 0..3 {
+            let n = n_of(g, axis);
+            // Axis-normal component: my n+1 plane is the +neighbor's 1.
+            {
+                let own: &mut Vec<f32> = match axis {
+                    0 => &mut f.cbx,
+                    1 => &mut f.cby,
+                    _ => &mut f.cbz,
+                };
+                let tag = TAG_B_OWN + axis as u64;
+                if let Some(nb) = self.neighbors[axis] {
+                    comm.send_vec(nb, tag, read_plane(own, g, axis, 1));
+                }
+                if let Some(nb) = self.neighbors[axis + 3] {
+                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    write_plane(own, g, axis, n + 1, &plane);
+                }
+            }
+            // Transverse components: my ghost 0 is the −neighbor's n.
+            let comps: [&mut Vec<f32>; 2] = match axis {
+                0 => [&mut f.cby, &mut f.cbz],
+                1 => [&mut f.cbx, &mut f.cbz],
+                _ => [&mut f.cbx, &mut f.cby],
+            };
+            for (ci, c) in comps.into_iter().enumerate() {
+                let tag = TAG_B_T + (axis * 4 + ci) as u64;
+                if let Some(nb) = self.neighbors[axis + 3] {
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, n));
+                }
+                if let Some(nb) = self.neighbors[axis] {
+                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    write_plane(c, g, axis, 0, &plane);
+                }
+            }
+        }
+    }
+
+    /// Fold ghost-deposited currents into the owning neighbor (call after
+    /// `unload` + local `sync_j`).
+    pub fn fold_j(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+        for axis in 0..3 {
+            let n = n_of(g, axis);
+            let comps: [&mut Vec<f32>; 2] = match axis {
+                0 => [&mut f.jy, &mut f.jz],
+                1 => [&mut f.jx, &mut f.jz],
+                _ => [&mut f.jx, &mut f.jy],
+            };
+            for (ci, c) in comps.into_iter().enumerate() {
+                let tag = TAG_J + (axis * 4 + ci) as u64;
+                if let Some(nb) = self.neighbors[axis + 3] {
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, n + 1));
+                }
+                if let Some(nb) = self.neighbors[axis] {
+                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    add_plane(c, g, axis, 1, &plane);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_roundtrip_and_add() {
+        let g = Grid::periodic((4, 3, 2), (1.0, 1.0, 1.0), 0.1);
+        let mut arr = vec![0.0f32; g.n_voxels()];
+        for (v, x) in arr.iter_mut().enumerate() {
+            *x = v as f32;
+        }
+        for axis in 0..3 {
+            let plane = read_plane(&arr, &g, axis, 1);
+            let mut copy = arr.clone();
+            write_plane(&mut copy, &g, axis, 0, &plane);
+            let back = read_plane(&copy, &g, axis, 0);
+            assert_eq!(back, plane);
+            add_plane(&mut copy, &g, axis, 0, &plane);
+            let doubled = read_plane(&copy, &g, axis, 0);
+            for (d, p) in doubled.iter().zip(plane.iter()) {
+                assert_eq!(*d, 2.0 * *p);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_matches_periodic_copy() {
+        // Two ranks along x, fully wrapped: the exchange must place
+        // exactly the planes a single periodic domain would copy.
+        use nanompi::run;
+        let (results, _) = run(2, |comm| {
+            let g = Grid::new(
+                (4, 2, 2),
+                (1.0, 1.0, 1.0),
+                0.1,
+                [
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                ],
+            );
+            let mut f = FieldArray::new(&g);
+            // Distinct values: rank r writes r+10+i at plane i for ey.
+            for i in 1..=g.nx {
+                for k in 0..g.strides().2 {
+                    for j in 0..g.strides().1 {
+                        f.ey[g.voxel(i, j, k)] = (comm.rank() * 100 + 10 + i) as f32;
+                        f.cbx[g.voxel(i, j, k)] = (comm.rank() * 100 + 50 + i) as f32;
+                        f.cby[g.voxel(i, j, k)] = (comm.rank() * 100 + 70 + i) as f32;
+                    }
+                }
+            }
+            let other = 1 - comm.rank();
+            let ex = GhostExchanger {
+                neighbors: [Some(other), None, None, Some(other), None, None],
+            };
+            ex.exchange_e(comm, &mut f, &g);
+            ex.exchange_b(comm, &mut f, &g);
+            let v_hi = g.voxel(g.nx + 1, 1, 1);
+            let v_lo = g.voxel(0, 1, 1);
+            (f.ey[v_hi], f.cbx[v_hi], f.cby[v_lo])
+        });
+        // Rank 0's n+1 ey plane = rank 1's plane 1 = 111; rank 1's = 011.
+        assert_eq!(results[0].0, 111.0);
+        assert_eq!(results[1].0, 11.0);
+        // cbx n+1 = neighbor's plane 1 (+50).
+        assert_eq!(results[0].1, 151.0);
+        assert_eq!(results[1].1, 51.0);
+        // cby ghost 0 = −neighbor's plane n (= 70 + 4).
+        assert_eq!(results[0].2, 174.0);
+        assert_eq!(results[1].2, 74.0);
+    }
+
+    #[test]
+    fn fold_j_adds_shared_plane_deposits() {
+        use nanompi::run;
+        let (results, _) = run(2, |comm| {
+            let g = Grid::new(
+                (4, 2, 2),
+                (1.0, 1.0, 1.0),
+                0.1,
+                [
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                ],
+            );
+            let mut f = FieldArray::new(&g);
+            // Both ranks deposit 1.0 on their shared-plane jy entries.
+            for k in 0..g.strides().2 {
+                for j in 0..g.strides().1 {
+                    f.jy[g.voxel(g.nx + 1, j, k)] = 1.0; // ghost: belongs to +x nb
+                    f.jy[g.voxel(1, j, k)] = 2.0; // own plane-1 deposit
+                }
+            }
+            let other = 1 - comm.rank();
+            let ex = GhostExchanger {
+                neighbors: [Some(other), None, None, Some(other), None, None],
+            };
+            ex.fold_j(comm, &mut f, &g);
+            f.jy[g.voxel(1, 1, 1)]
+        });
+        assert_eq!(results, vec![3.0, 3.0]);
+    }
+}

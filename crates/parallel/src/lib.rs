@@ -1,0 +1,27 @@
+//! # vpic-parallel
+//!
+//! Domain-decomposed distributed PIC on top of [`nanompi`] — the
+//! reproduction of VPIC's MPI layer from the SC'08 Roadrunner paper.
+//! A global brick of cells is split uniformly over a Cartesian rank
+//! topology; each rank runs the `vpic-core` engine on its sub-domain and
+//! this crate supplies the three things that stitch domains together:
+//!
+//! * [`exchange::GhostExchanger`] — field ghost-plane exchange after every
+//!   Maxwell sub-update and current folding after deposition;
+//! * [`migrate`] — particles that leave a domain mid-move are shipped with
+//!   their unfinished mover and *continue the same move* on the receiving
+//!   rank, so charge conservation is exact across boundaries;
+//! * [`dsim::DistributedSim`] — the per-rank driver with phase timings,
+//!   global reductions and reproducible per-rank particle loading.
+
+pub mod dcheckpoint;
+pub mod decomposition;
+pub mod dsim;
+pub mod exchange;
+pub mod migrate;
+
+pub use dcheckpoint::{load_rank, save_rank};
+pub use decomposition::DomainSpec;
+pub use dsim::{DistTimings, DistributedSim};
+pub use exchange::GhostExchanger;
+pub use migrate::{migrate_species, transform_to_receiver, Migrant};

@@ -1,0 +1,114 @@
+//! Static flop accounting for the PIC kernels.
+//!
+//! Every Pflop/s-style number in the benchmark harness comes from these
+//! constants times measured advance counts — the same convention Gordon
+//! Bell PIC submissions use (a fixed per-particle operation count for the
+//! inner loop). The counts below are a line-by-line tally of
+//! `vpic_core::push::advance_block` and friends; `sqrt` and divide are
+//! counted as one flop each (the paper's Cell SPEs likewise pipelined
+//! their rsqrt/recip estimates).
+
+/// Per-particle flops of the inner loop (interpolate + Boris + move +
+/// within-cell Villasenor–Buneman deposition), itemized.
+pub mod particle {
+    /// E interpolation: 3 components × (4 mul + 3 add).
+    pub const INTERP_E: u64 = 3 * 7;
+    /// B interpolation: 3 components × (1 mul + 1 add).
+    pub const INTERP_B: u64 = 3 * 2;
+    /// Two half electric kicks: 2 × 3 adds.
+    pub const HALF_KICKS: u64 = 6;
+    /// First γ evaluation: 3 mul + 3 add + sqrt + div.
+    pub const GAMMA1: u64 = 8;
+    /// Boris scalar chain (v1..v4): 3 mul+2 add, 2 mul, 3 mul+2 add,
+    /// 2 mul+1 add+1 div, 1 add.
+    pub const BORIS_SCALARS: u64 = 17;
+    /// u′ construction: 3 × (3 mul + 2 add).
+    pub const BORIS_UPRIME: u64 = 15;
+    /// Rotation completion: 3 × (3 mul + 2 add).
+    pub const BORIS_ROTATE: u64 = 15;
+    /// Second 1/γ: 3 mul + 3 add + sqrt + div.
+    pub const GAMMA2: u64 = 8;
+    /// Displacement scaling: 3 × 2 mul.
+    pub const DISPLACEMENT: u64 = 6;
+    /// Midpoint + new position: 6 adds.
+    pub const POSITIONS: u64 = 6;
+    /// Deposition: v5 (3 mul) + 3 × (6 mul + 12 add).
+    pub const DEPOSIT: u64 = 3 + 3 * 18;
+
+    /// Total flops per particle advance.
+    pub const TOTAL: u64 = INTERP_E
+        + INTERP_B
+        + HALF_KICKS
+        + GAMMA1
+        + BORIS_SCALARS
+        + BORIS_UPRIME
+        + BORIS_ROTATE
+        + GAMMA2
+        + DISPLACEMENT
+        + POSITIONS
+        + DEPOSIT;
+}
+
+/// Per-voxel flops of the field-side work each step.
+pub mod voxel {
+    /// `advance_b` at half step: 3 comps × 6 flops, twice per step.
+    pub const ADVANCE_B: u64 = 2 * 18;
+    /// `advance_e`: 3 comps × 8 flops.
+    pub const ADVANCE_E: u64 = 24;
+    /// Interpolator load: 3 E comps × 16 + 3 B comps × 4.
+    pub const INTERP_LOAD: u64 = 60;
+    /// Accumulator unload: 3 comps × (4 add + 1 mul).
+    pub const UNLOAD: u64 = 15;
+
+    /// Total per live voxel per step.
+    pub const TOTAL: u64 = ADVANCE_B + ADVANCE_E + INTERP_LOAD + UNLOAD;
+}
+
+/// Bytes touched per particle advance with the 32-byte particle layout:
+/// particle read+write (64) + interpolator line (72) + accumulator
+/// read-modify-write (96). The paper's data-motion argument: PIC moves
+/// ~1.5 bytes per flop where dense LINPACK moves ~0.01.
+pub const BYTES_PER_PARTICLE_ADVANCE: u64 = 64 + 72 + 96;
+
+/// Convert an advance rate into s.p. flop/s.
+pub fn particle_flops(particles_per_sec: f64) -> f64 {
+    particles_per_sec * particle::TOTAL as f64
+}
+
+/// Field-side flop/s for a voxel-update rate.
+pub fn voxel_flops(voxels_per_sec: f64) -> f64 {
+    voxels_per_sec * voxel::TOTAL as f64
+}
+
+/// Bytes moved per flop in the particle inner loop.
+pub fn bytes_per_flop() -> f64 {
+    BYTES_PER_PARTICLE_ADVANCE as f64 / particle::TOTAL as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_consistent() {
+        assert_eq!(
+            particle::TOTAL,
+            21 + 6 + 6 + 8 + 17 + 15 + 15 + 8 + 6 + 6 + 57
+        );
+        assert_eq!(particle::TOTAL, 165);
+        assert_eq!(voxel::TOTAL, 36 + 24 + 60 + 15);
+    }
+
+    #[test]
+    fn rates_scale_linearly() {
+        assert_eq!(particle_flops(1.0), particle::TOTAL as f64);
+        assert_eq!(voxel_flops(2.0), 2.0 * voxel::TOTAL as f64);
+    }
+
+    #[test]
+    fn pic_moves_more_than_a_byte_per_flop() {
+        // The abstract's data-motion point: PIC is memory-bound by design.
+        let bpf = bytes_per_flop();
+        assert!(bpf > 1.0 && bpf < 3.0, "bytes/flop = {bpf}");
+    }
+}

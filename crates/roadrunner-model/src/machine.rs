@@ -1,0 +1,105 @@
+//! Description of the IBM Roadrunner supercomputer (LANL, 2008) — the
+//! heterogeneous Opteron + PowerXCell 8i machine of the paper.
+//!
+//! Numbers are the public configuration of the full (phase 3) system:
+//! 17 connected units (CUs) × 180 "triblade" compute nodes; each triblade
+//! couples one LS21 Opteron blade (2 dual-core 1.8 GHz Opterons) with two
+//! QS22 blades carrying two PowerXCell 8i each (4 Cells/node, 8 SPEs per
+//! Cell at 3.2 GHz, 4-wide single-precision FMA → 25.6 Gflop/s s.p. per
+//! SPE). Nodes connect by 4x DDR InfiniBand through a two-stage fat tree;
+//! Cell↔Opteron staging crosses PCIe.
+
+/// Static machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Connected units in the full system.
+    pub n_cu: usize,
+    /// Compute nodes (triblades) per CU.
+    pub nodes_per_cu: usize,
+    /// PowerXCell 8i processors per node.
+    pub cells_per_node: usize,
+    /// SPEs per Cell.
+    pub spes_per_cell: usize,
+    /// Single-precision peak per SPE (Gflop/s).
+    pub spe_gflops_sp: f64,
+    /// Opteron cores per node (host side; runs MPI + bookkeeping).
+    pub opteron_cores_per_node: usize,
+    /// Single-precision peak per Opteron core (Gflop/s).
+    pub opteron_gflops_sp: f64,
+    /// Sustainable node-to-node InfiniBand bandwidth (GB/s, per direction).
+    pub ib_bandwidth_gbs: f64,
+    /// Small-message node-to-node latency (µs).
+    pub ib_latency_us: f64,
+    /// Sustainable Opteron↔Cell PCIe staging bandwidth (GB/s).
+    pub pcie_bandwidth_gbs: f64,
+    /// PCIe transaction latency (µs).
+    pub pcie_latency_us: f64,
+}
+
+impl Machine {
+    /// The full 17-CU Roadrunner.
+    pub fn roadrunner() -> Self {
+        Machine {
+            n_cu: 17,
+            nodes_per_cu: 180,
+            cells_per_node: 4,
+            spes_per_cell: 8,
+            spe_gflops_sp: 25.6,
+            opteron_cores_per_node: 4,
+            opteron_gflops_sp: 7.2, // 1.8 GHz × 2 flops/cycle × SSE(2-wide)
+            ib_bandwidth_gbs: 2.0,
+            ib_latency_us: 2.5,
+            pcie_bandwidth_gbs: 2.0,
+            pcie_latency_us: 10.0,
+        }
+    }
+
+    /// A truncated machine with `n_cu` CUs (for scaling sweeps).
+    pub fn roadrunner_cus(n_cu: usize) -> Self {
+        Machine { n_cu, ..Machine::roadrunner() }
+    }
+
+    /// Total compute nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_cu * self.nodes_per_cu
+    }
+
+    /// Total Cell processors.
+    pub fn n_cells(&self) -> usize {
+        self.n_nodes() * self.cells_per_node
+    }
+
+    /// Total SPEs.
+    pub fn n_spes(&self) -> usize {
+        self.n_cells() * self.spes_per_cell
+    }
+
+    /// Single-precision peak of the Cell side (Pflop/s).
+    pub fn peak_sp_pflops(&self) -> f64 {
+        self.n_spes() as f64 * self.spe_gflops_sp / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_machine_counts() {
+        let m = Machine::roadrunner();
+        assert_eq!(m.n_nodes(), 3060);
+        assert_eq!(m.n_cells(), 12240);
+        assert_eq!(m.n_spes(), 97920);
+        // ~2.5 Pflop/s s.p. on the Cell side.
+        let peak = m.peak_sp_pflops();
+        assert!((peak - 2.507).abs() < 0.01, "peak = {peak}");
+    }
+
+    #[test]
+    fn truncated_machine_scales_linearly() {
+        let one = Machine::roadrunner_cus(1);
+        let four = Machine::roadrunner_cus(4);
+        assert_eq!(four.n_spes(), 4 * one.n_spes());
+        assert!((four.peak_sp_pflops() - 4.0 * one.peak_sp_pflops()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,266 @@
+//! Analytic performance model of VPIC on Roadrunner, in the style of the
+//! Kerbyson/Barker model the paper used to predict and validate
+//! full-machine rates. Calibrated either from the paper's reported inner
+//! loop figure or from kernel rates measured by this repository's bench
+//! harness, it projects step time, particles advanced per second and
+//! Pflop/s for arbitrary machine fractions and problem sizes.
+
+use crate::flops;
+use crate::machine::Machine;
+
+/// Calibrated kernel rates.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelRates {
+    /// Particle advances per second per SPE.
+    pub particles_per_sec_per_spe: f64,
+    /// Voxel (field) updates per second per SPE-equivalent.
+    pub voxels_per_sec_per_spe: f64,
+    /// Fraction of SP peak the inner loop reaches (bookkeeping only).
+    pub spe_efficiency: f64,
+}
+
+impl KernelRates {
+    /// Back out per-SPE rates from the paper's reported inner-loop rate
+    /// (0.488 Pflop/s s.p. over the full machine) using our flop count.
+    pub fn from_paper_inner_loop(machine: &Machine, inner_pflops: f64) -> Self {
+        let flops_per_spe = inner_pflops * 1e15 / machine.n_spes() as f64;
+        let pps = flops_per_spe / flops::particle::TOTAL as f64;
+        KernelRates {
+            particles_per_sec_per_spe: pps,
+            // Field work is bandwidth-bound like the push; assume the same
+            // efficiency on the smaller per-voxel flop count.
+            voxels_per_sec_per_spe: flops_per_spe / flops::voxel::TOTAL as f64,
+            spe_efficiency: flops_per_spe / (machine.spe_gflops_sp * 1e9),
+        }
+    }
+
+    /// Calibrate from rates measured on the host running this crate's
+    /// benches: scale a measured per-core rate by the SP-peak ratio
+    /// between one SPE and one host core.
+    pub fn from_measured_host_rate(
+        machine: &Machine,
+        particles_per_sec_per_core: f64,
+        voxels_per_sec_per_core: f64,
+        host_core_gflops_sp: f64,
+    ) -> Self {
+        let scale = machine.spe_gflops_sp / host_core_gflops_sp;
+        let pps = particles_per_sec_per_core * scale;
+        KernelRates {
+            particles_per_sec_per_spe: pps,
+            voxels_per_sec_per_spe: voxels_per_sec_per_core * scale,
+            spe_efficiency: pps * flops::particle::TOTAL as f64 / (machine.spe_gflops_sp * 1e9),
+        }
+    }
+}
+
+/// One step's predicted time budget for a node (seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct StepBudget {
+    pub push: f64,
+    pub field: f64,
+    /// Ghost-plane exchange over InfiniBand.
+    pub ghost_exchange: f64,
+    /// Particle migration traffic.
+    pub migration: f64,
+    /// PCIe staging between Opteron (MPI) and Cell (compute) memory.
+    pub staging: f64,
+    /// Log-depth global reduction.
+    pub allreduce: f64,
+}
+
+impl StepBudget {
+    /// Total step time.
+    pub fn total(&self) -> f64 {
+        self.push + self.field + self.ghost_exchange + self.migration + self.staging + self.allreduce
+    }
+
+    /// Fraction of the step spent in the particle inner loop.
+    pub fn inner_fraction(&self) -> f64 {
+        self.push / self.total()
+    }
+}
+
+/// Problem laid on the machine: per-node particle and voxel loads plus the
+/// ghost surface of a node's (assumed cubic) domain.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLoad {
+    pub particles_per_node: f64,
+    pub voxels_per_node: f64,
+    /// Fraction of a node's particles crossing a face per step (thermal
+    /// flux ≈ `vth·dt/dx / √(2π)` per cell-width face layer).
+    pub migration_fraction: f64,
+}
+
+impl NodeLoad {
+    /// The paper's headline configuration spread over the full machine:
+    /// 1.0e12 particles on 136e6 voxels over 3060 nodes.
+    pub fn paper_headline(machine: &Machine) -> Self {
+        let nodes = machine.n_nodes() as f64;
+        NodeLoad {
+            particles_per_node: 1.0e12 / nodes,
+            voxels_per_node: 136.0e6 / nodes,
+            // Thermal boundary flux: ~17% of a 35³ domain's cells touch a
+            // face, ~3% of those particles step across it per dt.
+            migration_fraction: 0.006,
+        }
+    }
+}
+
+/// The assembled performance model.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfModel {
+    pub machine: Machine,
+    pub rates: KernelRates,
+}
+
+/// Bytes exchanged per ghost face cell per step: E (2 comps) + B (3 planes
+/// worth) + J fold (2 comps), 4 B each — see `vpic_parallel::exchange`.
+const GHOST_BYTES_PER_FACE_CELL: f64 = (2 + 3 + 2) as f64 * 4.0;
+/// Bytes per migrated particle (particle + unfinished mover).
+const MIGRANT_BYTES: f64 = 48.0;
+
+impl PerfModel {
+    /// Predicted per-node step budget.
+    pub fn step_budget(&self, load: &NodeLoad) -> StepBudget {
+        let m = &self.machine;
+        let spes = (m.cells_per_node * m.spes_per_cell) as f64;
+        let push = load.particles_per_node / (self.rates.particles_per_sec_per_spe * spes);
+        let field = load.voxels_per_node / (self.rates.voxels_per_sec_per_spe * spes);
+        // Cubic node domain: 6 faces of (voxels^(2/3)) cells. The fat tree
+        // carries mild contention as the machine grows (Kerbyson-style
+        // derating of the effective link bandwidth).
+        let contention = 1.0 + 0.015 * (self.machine.n_nodes() as f64).log2();
+        let ib_bw = self.machine.ib_bandwidth_gbs * 1e9 / contention;
+        let face_cells = load.voxels_per_node.powf(2.0 / 3.0);
+        let ghost_bytes = 6.0 * face_cells * GHOST_BYTES_PER_FACE_CELL * 3.0; // 3 exchanges/step
+        let ghost_exchange =
+            ghost_bytes / ib_bw + 6.0 * 3.0 * self.machine.ib_latency_us * 1e-6;
+        let migrants = load.particles_per_node * load.migration_fraction;
+        let migration =
+            migrants * MIGRANT_BYTES / ib_bw + 6.0 * self.machine.ib_latency_us * 1e-6;
+        // PCIe staging: particle data crosses to Cell memory once per
+        // residence change only; steady state ships the ghost planes and
+        // migrants through the host, so stage the same bytes again.
+        let staging = (ghost_bytes + migrants * MIGRANT_BYTES)
+            / (self.machine.pcie_bandwidth_gbs * 1e9)
+            + 2.0 * self.machine.pcie_latency_us * 1e-6;
+        let allreduce =
+            (self.machine.n_nodes() as f64).log2().ceil() * self.machine.ib_latency_us * 1e-6;
+        StepBudget { push, field, ghost_exchange, migration, staging, allreduce }
+    }
+
+    /// Sustained Pflop/s for a whole-machine run at the given node load.
+    pub fn sustained_pflops(&self, load: &NodeLoad) -> f64 {
+        let budget = self.step_budget(load);
+        let flops_per_node_step = load.particles_per_node * flops::particle::TOTAL as f64
+            + load.voxels_per_node * flops::voxel::TOTAL as f64;
+        flops_per_node_step * self.machine.n_nodes() as f64 / budget.total() / 1e15
+    }
+
+    /// Inner-loop-only Pflop/s (what the paper reports as 0.488).
+    pub fn inner_loop_pflops(&self, load: &NodeLoad) -> f64 {
+        let budget = self.step_budget(load);
+        load.particles_per_node * flops::particle::TOTAL as f64 * self.machine.n_nodes() as f64
+            / budget.push
+            / 1e15
+    }
+
+    /// Particles advanced per second, whole machine.
+    pub fn particles_per_second(&self, load: &NodeLoad) -> f64 {
+        let budget = self.step_budget(load);
+        load.particles_per_node * self.machine.n_nodes() as f64 / budget.total()
+    }
+
+    /// Weak-scaling efficiency sweep: same per-node load, machines of
+    /// 1..=n_cu CUs. Returns `(n_cu, efficiency, sustained_pflops)`.
+    pub fn weak_scaling(&self, load: &NodeLoad, max_cu: usize) -> Vec<(usize, f64, f64)> {
+        let mut out = Vec::new();
+        let mut base_rate = 0.0;
+        for n_cu in 1..=max_cu {
+            let m = Machine { n_cu, ..self.machine };
+            let sub = PerfModel { machine: m, rates: self.rates };
+            let budget = sub.step_budget(load);
+            let per_node_rate = load.particles_per_node / budget.total();
+            if n_cu == 1 {
+                base_rate = per_node_rate;
+            }
+            out.push((n_cu, per_node_rate / base_rate, sub.sustained_pflops(load)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> PerfModel {
+        let machine = Machine::roadrunner();
+        let rates = KernelRates::from_paper_inner_loop(&machine, 0.488);
+        PerfModel { machine, rates }
+    }
+
+    #[test]
+    fn calibration_roundtrips_inner_loop() {
+        let model = paper_model();
+        let load = NodeLoad::paper_headline(&model.machine);
+        let inner = model.inner_loop_pflops(&load);
+        assert!((inner - 0.488).abs() < 1e-9, "inner = {inner}");
+    }
+
+    #[test]
+    fn sustained_is_below_inner_and_in_paper_ballpark() {
+        let model = paper_model();
+        let load = NodeLoad::paper_headline(&model.machine);
+        let sustained = model.sustained_pflops(&load);
+        let inner = model.inner_loop_pflops(&load);
+        assert!(sustained < inner);
+        // The paper measured 0.374 sustained (77% of inner loop). The
+        // analytic budget must land in that neighborhood.
+        assert!(
+            (0.25..0.47).contains(&sustained),
+            "sustained = {sustained}, inner fraction = {}",
+            model.step_budget(&load).inner_fraction()
+        );
+    }
+
+    #[test]
+    fn spe_efficiency_is_plausible() {
+        let model = paper_model();
+        // 0.488 Pflop/s over 97920 SPEs ≈ 19% of SP peak.
+        assert!((model.rates.spe_efficiency - 0.195).abs() < 0.01);
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_flat() {
+        let model = paper_model();
+        let load = NodeLoad::paper_headline(&model.machine);
+        let sweep = model.weak_scaling(&load, 17);
+        assert_eq!(sweep.len(), 17);
+        for (_, eff, _) in &sweep {
+            assert!(*eff > 0.95, "efficiency dipped: {sweep:?}");
+        }
+        // Pflop/s grows ~linearly with CUs.
+        let (_, _, p1) = sweep[0];
+        let (_, _, p17) = sweep[16];
+        assert!(p17 / p1 > 15.0, "p1 = {p1}, p17 = {p17}");
+    }
+
+    #[test]
+    fn measured_host_calibration_scales() {
+        let machine = Machine::roadrunner();
+        let a = KernelRates::from_measured_host_rate(&machine, 10e6, 100e6, 12.8);
+        assert!((a.particles_per_sec_per_spe - 20e6).abs() < 1.0);
+        assert!((a.voxels_per_sec_per_spe - 200e6).abs() < 10.0);
+    }
+
+    #[test]
+    fn more_particles_per_node_raise_inner_fraction() {
+        let model = paper_model();
+        let light = NodeLoad { particles_per_node: 1e7, voxels_per_node: 44444.0, migration_fraction: 0.01 };
+        let heavy = NodeLoad { particles_per_node: 1e9, voxels_per_node: 44444.0, migration_fraction: 0.01 };
+        let fl = model.step_budget(&light).inner_fraction();
+        let fh = model.step_budget(&heavy).inner_fraction();
+        assert!(fh > fl, "{fl} vs {fh}");
+    }
+}

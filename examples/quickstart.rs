@@ -1,0 +1,74 @@
+//! Quickstart: a warm periodic plasma ringing at the plasma frequency.
+//!
+//! Loads electrons on an implicit neutralizing ion background, seeds a
+//! longitudinal standing wave, runs a few plasma periods and prints the
+//! energy ledger plus the measured Langmuir frequency against theory
+//! (ω² = ωpe² + 3k²vth²).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vpic::core::field_solver::{bcs_of, sync_e};
+use vpic::core::{load_uniform, Grid, Momentum, Rng, Simulation, Species};
+use vpic::diag::TimeSeries;
+
+fn main() {
+    // Normalized units: c = 1, density 1 → ωpe = 1.
+    let (nx, ny, nz) = (32, 4, 4);
+    let dx = 0.125f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let grid = Grid::periodic((nx, ny, nz), (dx, dx, dx), dt);
+    let mut sim = Simulation::new(grid, 4);
+
+    let vth = 0.02f32;
+    let ppc = 64;
+    let mut electrons = Species::new("electron", -1.0, 1.0);
+    let mut rng = Rng::seeded(2008);
+    load_uniform(&mut electrons, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(vth));
+    sim.add_species(electrons);
+    println!(
+        "loaded {} macroparticles on {} cells (dt = {:.4}/ωpe)",
+        sim.n_particles(),
+        sim.grid.n_live(),
+        sim.grid.dt
+    );
+
+    // Seed a k = 2π/L longitudinal wave.
+    let g = sim.grid.clone();
+    let l = g.extent().0;
+    let kx = 2.0 * std::f32::consts::PI / l;
+    for k in 1..=g.nz {
+        for j in 1..=g.ny {
+            for i in 1..=g.nx {
+                let x = (i as f32 - 0.5) * g.dx;
+                sim.fields.ex[g.voxel(i, j, k)] = 0.005 * (kx * x).sin();
+            }
+        }
+    }
+    sync_e(&mut sim.fields, &g, bcs_of(&g));
+
+    // Run ~6 plasma periods, recording the field energy.
+    let t_end = 6.0 * 2.0 * std::f64::consts::PI;
+    let steps = (t_end / g.dt as f64) as usize;
+    let mut field_energy = TimeSeries::new("E-field energy", g.dt as f64);
+    let e0 = sim.energies();
+    for _ in 0..steps {
+        sim.step();
+        field_energy.push(sim.energies().field_e);
+    }
+    let e1 = sim.energies();
+
+    println!("\nenergy ledger (normalized units):");
+    println!("  field E : {:.6e} -> {:.6e}", e0.field_e, e1.field_e);
+    println!("  field B : {:.6e} -> {:.6e}", e0.field_b, e1.field_b);
+    println!("  kinetic : {:.6e} -> {:.6e}", e0.kinetic[0], e1.kinetic[0]);
+    let drift = (e1.total() - e0.total()) / e0.total();
+    println!("  total drift over {steps} steps: {:.3e} (relative)", drift);
+
+    // Field energy oscillates at 2ω; Bohm-Gross gives ω.
+    let omega_meas = field_energy.dominant_omega() / 2.0;
+    let omega_theory = (1.0 + 3.0 * (kx * vth) as f64 * (kx * vth) as f64).sqrt();
+    println!("\nLangmuir oscillation:");
+    println!("  measured  ω = {omega_meas:.4} ωpe");
+    println!("  Bohm-Gross ω = {omega_theory:.4} ωpe");
+    println!("  error: {:.2}%", 100.0 * (omega_meas - omega_theory).abs() / omega_theory);
+}

@@ -1,0 +1,62 @@
+//! Two-stream instability: counter-streaming electron beams drive an
+//! exponentially growing electrostatic wave; the measured growth rate is
+//! compared with the cold-beam theory maximum γ_max = ωpe/(2√2) ≈ 0.354
+//! (symmetric beams of density n/2 each).
+//!
+//! This is the classic kinetic-fidelity benchmark: getting the linear
+//! growth *and* the nonlinear trapping saturation right is exactly what
+//! the paper means by "modeling particle trapping physics accurately".
+//!
+//! Run with: `cargo run --release --example two_stream`
+
+use vpic::core::{load_two_stream, Grid, Rng, Simulation, Species};
+use vpic::diag::{momentum_histogram, tail_fraction, TimeSeries};
+
+fn main() {
+    let nx = 64;
+    let dx = 0.2f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let grid = Grid::periodic((nx, 2, 2), (dx, dx, dx), dt);
+    let mut sim = Simulation::new(grid, 4);
+
+    let ud = 0.1f32; // beam drift ±0.1c
+    let vth = 0.005f32; // cold beams
+    let mut electrons = Species::new("electron", -1.0, 1.0);
+    let mut rng = Rng::seeded(77);
+    load_two_stream(&mut electrons, &sim.grid, &mut rng, 1.0, 128, ud, vth);
+    sim.add_species(electrons);
+    println!("two-stream: {} particles, beams at ±{ud}c", sim.n_particles());
+
+    let before = momentum_histogram(&sim.species[0], 0, -0.4, 0.4, 40);
+
+    let g = sim.grid.clone();
+    let steps = (60.0 / g.dt as f64) as usize; // 60/ωpe
+    let mut ex_energy = TimeSeries::new("Ex energy", g.dt as f64);
+    for _ in 0..steps {
+        sim.step();
+        ex_energy.push(sim.energies().field_e.max(1e-300));
+    }
+
+    // Fit the growth rate in the linear phase: between noise floor and
+    // saturation. Field ENERGY grows at 2γ.
+    let (_, peak) = ex_energy.min_max();
+    let sat_idx = ex_energy.samples.iter().position(|&v| v > 0.1 * peak).unwrap_or(steps / 2);
+    let start = sat_idx / 3;
+    let gamma = 0.5 * ex_energy.growth_rate_in(start, sat_idx);
+    println!("\nlinear growth rate:");
+    println!("  measured γ = {gamma:.3} ωpe (fit window steps {start}..{sat_idx})");
+    println!(
+        "  cold-beam theory γ_max = ωpe/(2√2) ≈ 0.354 (k-quantization and\n  finite temperature reduce the realized rate)"
+    );
+
+    // Trapping signature: momentum distribution flattens between beams.
+    let after = momentum_histogram(&sim.species[0], 0, -0.4, 0.4, 40);
+    let gap_before = before.weight_in(-0.03, 0.03);
+    let gap_after = after.weight_in(-0.03, 0.03);
+    println!("\ntrapping / phase-space mixing:");
+    println!("  weight between the beams (|ux| < 0.03): {gap_before:.3e} -> {gap_after:.3e}");
+    println!("  hot tail  (ux > 0.15): {:.4} -> {:.4}",
+        0.0, tail_fraction(&sim.species[0], 0, 0.15));
+    println!("\nfinal field energy fraction: {:.3e}",
+        sim.energies().field_e / sim.energies().total());
+}

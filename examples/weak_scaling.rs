@@ -1,0 +1,104 @@
+//! Weak scaling on this machine plus the Roadrunner projection — a small
+//! interactive version of the paper's Gordon Bell scaling argument.
+//!
+//! Runs the same per-rank plasma on 1, 2, 4, … in-process ranks, prints
+//! the measured efficiency and communication share, then calibrates the
+//! analytic Roadrunner model with the measured single-rank rate and
+//! projects the full 17-CU machine.
+//!
+//! Run with: `cargo run --release --example weak_scaling`
+
+use nanompi::CartTopology;
+use vpic::core::{Momentum, ParticleBc, Species};
+use vpic::parallel::{DistributedSim, DomainSpec};
+use vpic::roadrunner::{flops, KernelRates, Machine, NodeLoad, PerfModel};
+
+fn main() {
+    let per_rank_cells = (16usize, 16usize, 16usize);
+    let ppc = 32;
+    let steps = 40u64;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let max_ranks = (2 * cores).max(4);
+
+    println!(
+        "weak scaling: {ppc} ppc on {per_rank_cells:?} cells per rank, {steps} steps, {cores} hardware core(s)"
+    );
+    println!(
+        "(on an oversubscribed host, perfect software scaling = flat aggregate rate)\n"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>14} {:>8} {:>12}",
+        "ranks", "particles", "time(s)", "agg rate(p/s)", "eff", "comm share"
+    );
+
+    let mut base_rate = 0.0f64;
+    let mut base_rate_pps = 0.0f64;
+    let mut ranks = 1usize;
+    while ranks <= max_ranks {
+        let topo = CartTopology::balanced(ranks, [true, true, true]);
+        let global = (
+            per_rank_cells.0 * topo.dims[0],
+            per_rank_cells.1 * topo.dims[1],
+            per_rank_cells.2 * topo.dims[2],
+        );
+        let spec = DomainSpec {
+            global_cells: global,
+            cell: (0.25, 0.25, 0.25),
+            dt: 0.1,
+            topo,
+            global_bc: [ParticleBc::Periodic; 6],
+            origin: (0.0, 0.0, 0.0),
+        };
+        let (results, _) = nanompi::run(ranks, |comm| {
+            let mut sim = DistributedSim::new(spec.clone(), comm.rank(), 1);
+            let si = sim.add_species(Species::new("e", -1.0, 1.0));
+            sim.load_uniform(si, 99, 1.0, ppc, Momentum::thermal(0.05));
+            comm.barrier();
+            let t0 = std::time::Instant::now();
+            for _ in 0..steps {
+                sim.step(comm);
+            }
+            comm.barrier();
+            (t0.elapsed().as_secs_f64(), sim.timings.comm_fraction(), sim.n_particles())
+        });
+        let time = results.iter().map(|r| r.0).fold(0.0, f64::max);
+        let comm_share = results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
+        let particles: usize = results.iter().map(|r| r.2).sum();
+        let rate = particles as f64 * steps as f64 / time;
+        if ranks == 1 {
+            base_rate = rate;
+            base_rate_pps = rate;
+        }
+        // Aggregate-throughput efficiency, normalized by the hardware
+        // speedup actually available (min(ranks, cores)).
+        let ideal = base_rate * (ranks.min(cores)) as f64;
+        let eff = rate / ideal;
+        println!(
+            "{:>6} {:>12} {:>10.3} {:>14.3e} {:>8.2} {:>11.1}%",
+            ranks,
+            particles,
+            time,
+            rate,
+            eff,
+            100.0 * comm_share
+        );
+        ranks *= 2;
+    }
+
+    // Project the full machine from the measured single-rank rate.
+    let machine = Machine::roadrunner();
+    let rates = KernelRates::from_measured_host_rate(
+        &machine,
+        base_rate_pps,
+        base_rate_pps * flops::particle::TOTAL as f64 / flops::voxel::TOTAL as f64,
+        25.6, // treat one host core as one SPE-equivalent for the demo
+    );
+    let model = PerfModel { machine, rates };
+    let load = NodeLoad::paper_headline(&machine);
+    println!("\nRoadrunner projection (calibrated from this machine's rate):");
+    println!("  1.0e12 particles / 136e6 voxels on 17 CUs:");
+    println!("  step time       : {:.3} s", model.step_budget(&load).total());
+    println!("  particles/s     : {:.3e}", model.particles_per_second(&load));
+    println!("  inner loop      : {:.3} Pflop/s (paper: 0.488)", model.inner_loop_pflops(&load));
+    println!("  sustained       : {:.3} Pflop/s (paper: 0.374)", model.sustained_pflops(&load));
+}

@@ -1,0 +1,69 @@
+//! Weibel (temperature-anisotropy) instability: a plasma hotter across x
+//! than along it spontaneously generates magnetic field — a fully
+//! electromagnetic, fully kinetic effect only a relativistic EM PIC code
+//! captures, and a good showcase of the 3D field solver + current
+//! deposition working together (the field grows out of particle noise).
+//!
+//! Run with: `cargo run --release --example weibel`
+
+use vpic::core::{load_uniform, Grid, Momentum, Rng, Simulation, Species};
+use vpic::diag::TimeSeries;
+
+fn main() {
+    let dx = 0.2f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    // The unstable modes have k along the *cold* axis (x here? convention:
+    // B grows with k along the cold direction, B transverse): make x long.
+    let grid = Grid::periodic((48, 8, 8), (dx, dx, dx), dt);
+    let mut sim = Simulation::new(grid, 4);
+
+    // Strong anisotropy: hot in y/z, cold along x (A = T⊥/T∥ − 1 = 24).
+    let (u_par, u_perp) = (0.02f32, 0.1f32);
+    let mut e = Species::new("electron", -1.0, 1.0);
+    let mut rng = Rng::seeded(1977);
+    load_uniform(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        64,
+        Momentum { uth: [u_par, u_perp, u_perp], drift: [0.0; 3] },
+    );
+    sim.add_species(e);
+    let anisotropy = (u_perp / u_par).powi(2) - 1.0;
+    println!(
+        "Weibel setup: {} particles, T⊥/T∥ − 1 = {anisotropy:.0}, box {:.1} c/ωpe",
+        sim.n_particles(),
+        sim.grid.extent().0
+    );
+
+    let steps = (120.0 / sim.grid.dt as f64) as usize;
+    let mut b_energy = TimeSeries::new("B energy", sim.grid.dt as f64);
+    let mut e_hist = Vec::new();
+    for s in 0..steps {
+        sim.step();
+        let en = sim.energies();
+        b_energy.push(en.field_b.max(1e-300));
+        if s % (steps / 10) == 0 {
+            e_hist.push((s, en.field_b, en.kinetic[0]));
+        }
+    }
+
+    println!("\n   step     B energy     kinetic");
+    for (s, fb, ke) in &e_hist {
+        println!("{s:>7}  {fb:>11.3e}  {ke:>10.5}");
+    }
+
+    let (b_min, b_max) = b_energy.min_max();
+    println!("\nB-field energy grew {:.1e}× out of particle noise", b_max / b_min.max(1e-300));
+    let peak_idx = b_energy.samples.iter().position(|&v| v >= 0.99 * b_max).unwrap();
+    let gamma = 0.5 * b_energy.growth_rate_in(peak_idx / 4, 3 * peak_idx / 4);
+    // Weibel γ_max ≈ u_perp·√A... order-of-magnitude comparison: the cold
+    // bound is γ ≲ v⊥ k c at k ~ ωpe/c·√A-ish; we report the measured rate.
+    println!("measured exponential growth rate γ ≈ {gamma:.3} ωpe");
+    println!("(theory: γ_max ~ β⊥·√(A/(A+1)) ≈ {:.3} ωpe for cold-limit Weibel)",
+        u_perp as f64 * (anisotropy as f64 / (anisotropy as f64 + 1.0)).sqrt());
+    let final_ratio = b_energy.samples.last().unwrap() / b_max;
+    println!("saturation: final B energy is {:.2}× its peak (magnetic trapping halts growth)",
+        final_ratio);
+}

@@ -1,0 +1,106 @@
+//! `vpic-run`: execute a simulation described by an input deck and write
+//! diagnostics as TSV.
+//!
+//! ```sh
+//! cargo run --release --bin vpic-run -- decks/two_stream.deck out/
+//! ```
+//!
+//! For `kind = plasma` decks this writes `energies.tsv` and a final field
+//! line-out `fields.tsv` into the output directory; for `kind = lpi` it
+//! additionally reports the measured reflectivity and the backscatter
+//! spectrum (`spectrum.tsv`).
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use vpic::deck::{build, BuiltRun, Deck};
+use vpic::diag::{write_field_line_x, write_series, EnergyLogger};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (deck_path, out_dir) = match args.as_slice() {
+        [d] => (d.as_str(), "."),
+        [d, o] => (d.as_str(), o.as_str()),
+        _ => {
+            eprintln!("usage: vpic-run <deck-file> [output-dir]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(deck_path, out_dir) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vpic-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = fs::read_to_string(deck_path)?;
+    let deck = Deck::parse(&text)?;
+    fs::create_dir_all(out_dir)?;
+    let steps = deck.steps();
+    let energy_interval = deck
+        .section("output")
+        .and_then(|kv| kv.get("energy_interval"))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(10)
+        .max(1);
+
+    match build(&deck)? {
+        BuiltRun::Plasma(mut sim) => {
+            println!(
+                "plasma run: {} cells, {} particles, {} steps",
+                sim.grid.n_live(),
+                sim.n_particles(),
+                steps
+            );
+            let names: Vec<String> = sim.species.iter().map(|s| s.name.clone()).collect();
+            let mut elog =
+                EnergyLogger::new(fs::File::create(Path::new(out_dir).join("energies.tsv"))?, names);
+            for s in 0..steps {
+                if s % energy_interval == 0 {
+                    elog.log_sim(&sim)?;
+                }
+                sim.step();
+            }
+            elog.log_sim(&sim)?;
+            let mut f = fs::File::create(Path::new(out_dir).join("fields.tsv"))?;
+            write_field_line_x(&sim.fields, &sim.grid, &mut f)?;
+            let e = sim.energies();
+            println!("done: total energy {:.6e}, lost particles {}", e.total(), sim.lost_particles);
+        }
+        BuiltRun::Lpi(mut run) => {
+            println!(
+                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps",
+                run.params.a0,
+                run.params.n_over_ncr,
+                run.sim.n_particles(),
+                steps
+            );
+            let names: Vec<String> = run.sim.species.iter().map(|s| s.name.clone()).collect();
+            let mut elog =
+                EnergyLogger::new(fs::File::create(Path::new(out_dir).join("energies.tsv"))?, names);
+            for s in 0..steps {
+                if s % energy_interval == 0 {
+                    elog.log_sim(&run.sim)?;
+                }
+                run.step();
+            }
+            elog.log_sim(&run.sim)?;
+            let mut f = fs::File::create(Path::new(out_dir).join("fields.tsv"))?;
+            write_field_line_x(&run.sim.fields, &run.sim.grid, &mut f)?;
+            let spec = run.backscatter_spectrum();
+            let xs: Vec<f64> = spec.iter().map(|(w, _)| *w).collect();
+            let ys: Vec<f64> = spec.iter().map(|(_, p)| *p).collect();
+            let mut f = fs::File::create(Path::new(out_dir).join("spectrum.tsv"))?;
+            write_series("backscatter_power", &xs, &ys, &mut f)?;
+            println!(
+                "done: reflectivity {:.3e} over {} probe samples",
+                run.reflectivity(),
+                run.probe.samples()
+            );
+        }
+    }
+    Ok(())
+}

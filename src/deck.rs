@@ -1,0 +1,347 @@
+//! Input decks: plain-text run descriptions in the spirit of VPIC's input
+//! decks (which are C++ there; here a simple INI-like format), so a
+//! simulation can be configured, launched and post-processed without
+//! writing Rust. Used by the `vpic-run` binary.
+//!
+//! ```text
+//! # two_stream.deck
+//! kind = plasma
+//! steps = 500
+//!
+//! [grid]
+//! cells = 64 2 2
+//! dx = 0.2
+//! courant = 0.9
+//! boundary = periodic
+//!
+//! [species.electron]
+//! charge = -1
+//! mass = 1
+//! density = 1
+//! ppc = 64
+//! loader = two_stream      # or: thermal, juttner
+//! drift = 0.1
+//! vth = 0.005
+//!
+//! [output]
+//! energy_interval = 10
+//! ```
+//!
+//! `kind = lpi` decks instead carry a `[laser]` section (`a0`,
+//! `n_over_ncr`, `vth`, `flat`, `ppc`, `seed_frac`, …) and build a seeded
+//! SRS run.
+
+use std::collections::BTreeMap;
+use vpic_core::{
+    load_juttner, load_two_stream, load_uniform, Grid, Momentum, ParticleBc, Rng, Simulation,
+    Species,
+};
+use vpic_lpi::{LpiParams, LpiRun};
+
+/// A parsed deck: sections of key → value.
+#[derive(Clone, Debug, Default)]
+pub struct Deck {
+    /// Top-level (section-less) keys.
+    pub globals: BTreeMap<String, String>,
+    /// `[section]` keys, in file order.
+    pub sections: Vec<(String, BTreeMap<String, String>)>,
+}
+
+/// Deck parsing/validation error.
+#[derive(Debug)]
+pub struct DeckError(pub String);
+
+impl std::fmt::Display for DeckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deck error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeckError {}
+
+fn err(msg: impl Into<String>) -> DeckError {
+    DeckError(msg.into())
+}
+
+impl Deck {
+    /// Parse deck text. `#` starts a comment; blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Deck, DeckError> {
+        let mut deck = Deck::default();
+        let mut current: Option<usize> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(format!("line {}: unterminated section", lineno + 1)))?
+                    .trim()
+                    .to_string();
+                deck.sections.push((name, BTreeMap::new()));
+                current = Some(deck.sections.len() - 1);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("line {}: expected key = value", lineno + 1)))?;
+            let (key, value) = (key.trim().to_string(), value.trim().to_string());
+            match current {
+                Some(s) => {
+                    deck.sections[s].1.insert(key, value);
+                }
+                None => {
+                    deck.globals.insert(key, value);
+                }
+            }
+        }
+        Ok(deck)
+    }
+
+    /// First section with this exact name.
+    pub fn section(&self, name: &str) -> Option<&BTreeMap<String, String>> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, kv)| kv)
+    }
+
+    /// All sections whose name starts with `prefix.` — returns
+    /// `(suffix, keys)` pairs (e.g. `species.electron` → `electron`).
+    pub fn sections_with_prefix(&self, prefix: &str) -> Vec<(&str, &BTreeMap<String, String>)> {
+        let p = format!("{prefix}.");
+        self.sections
+            .iter()
+            .filter_map(|(n, kv)| n.strip_prefix(&p).map(|suffix| (suffix, kv)))
+            .collect()
+    }
+
+    /// Global `steps` (default 100) and `seed` (default 1).
+    pub fn steps(&self) -> u64 {
+        self.globals.get("steps").and_then(|v| v.parse().ok()).unwrap_or(100)
+    }
+
+    /// Run seed.
+    pub fn seed(&self) -> u64 {
+        self.globals.get("seed").and_then(|v| v.parse().ok()).unwrap_or(1)
+    }
+}
+
+fn get_f32(kv: &BTreeMap<String, String>, key: &str) -> Result<Option<f32>, DeckError> {
+    match kv.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| err(format!("bad float for {key}: {v}"))),
+    }
+}
+
+fn req_f32(kv: &BTreeMap<String, String>, key: &str, default: f32) -> Result<f32, DeckError> {
+    Ok(get_f32(kv, key)?.unwrap_or(default))
+}
+
+fn get_usize(kv: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, DeckError> {
+    match kv.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| err(format!("bad integer for {key}: {v}"))),
+    }
+}
+
+/// What a deck builds.
+pub enum BuiltRun {
+    /// A periodic/walled plasma box.
+    Plasma(Simulation),
+    /// A laser–plasma interaction run.
+    Lpi(Box<LpiRun>),
+}
+
+/// Build the run a deck describes.
+pub fn build(deck: &Deck) -> Result<BuiltRun, DeckError> {
+    match deck.globals.get("kind").map(String::as_str) {
+        Some("plasma") | None => build_plasma(deck).map(BuiltRun::Plasma),
+        Some("lpi") => build_lpi(deck).map(|r| BuiltRun::Lpi(Box::new(r))),
+        Some(other) => Err(err(format!("unknown kind: {other}"))),
+    }
+}
+
+fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
+    let gkv = deck.section("grid").ok_or_else(|| err("missing [grid] section"))?;
+    let cells_str = gkv.get("cells").ok_or_else(|| err("grid.cells required"))?;
+    let cells: Vec<usize> = cells_str
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| err(format!("bad cells: {cells_str}"))))
+        .collect::<Result<_, _>>()?;
+    if cells.len() != 3 {
+        return Err(err("grid.cells wants three integers"));
+    }
+    let dx = req_f32(gkv, "dx", 0.25)?;
+    let courant = req_f32(gkv, "courant", 0.9)?;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), courant);
+    let bc = match gkv.get("boundary").map(String::as_str).unwrap_or("periodic") {
+        "periodic" => [ParticleBc::Periodic; 6],
+        "reflecting" => [
+            ParticleBc::Reflect,
+            ParticleBc::Periodic,
+            ParticleBc::Periodic,
+            ParticleBc::Reflect,
+            ParticleBc::Periodic,
+            ParticleBc::Periodic,
+        ],
+        other => return Err(err(format!("unknown boundary: {other}"))),
+    };
+    let grid = Grid::new((cells[0], cells[1], cells[2]), (dx, dx, dx), dt, bc);
+    let pipelines = get_usize(&deck.globals, "pipelines", 1)?;
+    let mut sim = Simulation::new(grid, pipelines);
+
+    let species = deck.sections_with_prefix("species");
+    if species.is_empty() {
+        return Err(err("at least one [species.<name>] section required"));
+    }
+    let mut rng = Rng::seeded(deck.seed());
+    for (name, kv) in species {
+        let q = req_f32(kv, "charge", -1.0)?;
+        let m = req_f32(kv, "mass", 1.0)?;
+        let n0 = req_f32(kv, "density", 1.0)?;
+        let ppc = get_usize(kv, "ppc", 32)?;
+        let vth = req_f32(kv, "vth", 0.05)?;
+        let mut sp = Species::new(name, q, m);
+        match kv.get("loader").map(String::as_str).unwrap_or("thermal") {
+            "thermal" => {
+                let drift = req_f32(kv, "drift", 0.0)?;
+                load_uniform(&mut sp, &sim.grid, &mut rng, n0, ppc, Momentum::drifting_x(vth, drift));
+            }
+            "two_stream" => {
+                let drift = req_f32(kv, "drift", 0.1)?;
+                load_two_stream(&mut sp, &sim.grid, &mut rng, n0, ppc, drift, vth);
+            }
+            "juttner" => {
+                let theta = req_f32(kv, "theta", 0.1)? as f64;
+                load_juttner(&mut sp, &sim.grid, &mut rng, n0, ppc, theta, 1.0);
+            }
+            other => return Err(err(format!("unknown loader: {other}"))),
+        }
+        sim.add_species(sp);
+    }
+    Ok(sim)
+}
+
+fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
+    let kv = deck.section("laser").ok_or_else(|| err("missing [laser] section"))?;
+    let defaults = LpiParams::default();
+    let params = LpiParams {
+        n_over_ncr: req_f32(kv, "n_over_ncr", defaults.n_over_ncr as f32)? as f64,
+        vth: req_f32(kv, "vth", defaults.vth as f32)? as f64,
+        a0: req_f32(kv, "a0", defaults.a0 as f32)? as f64,
+        dx: req_f32(kv, "dx", defaults.dx)?,
+        vacuum: req_f32(kv, "vacuum", defaults.vacuum)?,
+        ramp: req_f32(kv, "ramp", defaults.ramp)?,
+        flat: req_f32(kv, "flat", defaults.flat)?,
+        ppc: get_usize(kv, "ppc", defaults.ppc)?,
+        sponge_cells: get_usize(kv, "sponge_cells", defaults.sponge_cells)?,
+        seed: deck.seed(),
+        pipelines: get_usize(&deck.globals, "pipelines", defaults.pipelines)?,
+        ramp_periods: req_f32(kv, "ramp_periods", defaults.ramp_periods)?,
+        seed_frac: req_f32(kv, "seed_frac", defaults.seed_frac as f32)? as f64,
+        ion_mass: get_f32(kv, "ion_mass")?,
+        ti_over_te: req_f32(kv, "ti_over_te", defaults.ti_over_te)?,
+    };
+    Ok(LpiRun::new(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_STREAM_DECK: &str = r#"
+# classic two-stream setup
+kind = plasma
+steps = 42
+seed = 9
+
+[grid]
+cells = 16 2 2
+dx = 0.2
+boundary = periodic
+
+[species.electron]
+charge = -1
+mass = 1
+ppc = 16
+loader = two_stream
+drift = 0.1
+vth = 0.005
+"#;
+
+    #[test]
+    fn parses_sections_and_globals() {
+        let deck = Deck::parse(TWO_STREAM_DECK).unwrap();
+        assert_eq!(deck.steps(), 42);
+        assert_eq!(deck.seed(), 9);
+        assert_eq!(deck.globals.get("kind").unwrap(), "plasma");
+        assert!(deck.section("grid").is_some());
+        let sp = deck.sections_with_prefix("species");
+        assert_eq!(sp.len(), 1);
+        assert_eq!(sp[0].0, "electron");
+        assert_eq!(sp[0].1.get("loader").unwrap(), "two_stream");
+    }
+
+    #[test]
+    fn builds_a_runnable_plasma() {
+        let deck = Deck::parse(TWO_STREAM_DECK).unwrap();
+        let BuiltRun::Plasma(mut sim) = build(&deck).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.grid.nx, 16);
+        assert_eq!(sim.species.len(), 1);
+        assert_eq!(sim.n_particles(), 16 * 2 * 2 * 16);
+        sim.step();
+        assert_eq!(sim.step_count, 1);
+    }
+
+    #[test]
+    fn builds_an_lpi_run() {
+        let text = r#"
+kind = lpi
+steps = 10
+
+[laser]
+a0 = 0.05
+n_over_ncr = 0.1
+vth = 0.06
+flat = 4
+ppc = 4
+seed_frac = 0.1
+"#;
+        let deck = Deck::parse(text).unwrap();
+        let BuiltRun::Lpi(run) = build(&deck).unwrap() else { panic!("wrong kind") };
+        assert!((run.params.a0 - 0.05).abs() < 1e-9);
+        assert!(run.seed_antenna.is_some());
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(Deck::parse("[unterminated").is_err());
+        assert!(Deck::parse("no_equals_here").is_err());
+        let deck = Deck::parse("kind = plasma").unwrap();
+        match build(&deck) {
+            Err(e) => assert!(e.to_string().contains("[grid]")),
+            Ok(_) => panic!("missing [grid] accepted"),
+        }
+        let deck = Deck::parse("kind = warp_drive").unwrap();
+        assert!(matches!(build(&deck), Err(_)));
+        let bad_loader = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.e]\nloader = magic";
+        assert!(matches!(build(&Deck::parse(bad_loader).unwrap()), Err(_)));
+    }
+
+    #[test]
+    fn juttner_loader_from_deck() {
+        let text = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.hot]\nloader = juttner\ntheta = 0.5\nppc = 50";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!()
+        };
+        // Relativistic: mean γ well above 1.
+        let mean_gamma: f64 = sim.species[0]
+            .particles
+            .iter()
+            .map(|p| p.gamma() as f64)
+            .sum::<f64>()
+            / sim.n_particles() as f64;
+        assert!(mean_gamma > 1.4, "γ = {mean_gamma}");
+    }
+}

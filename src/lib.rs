@@ -1,0 +1,49 @@
+//! # vpic
+//!
+//! Umbrella crate for the Rust reproduction of **VPIC**, the 3D
+//! relativistic electromagnetic particle-in-cell plasma code of
+//! *"0.374 Pflop/s trillion-particle kinetic modeling of laser plasma
+//! interaction on Roadrunner"* (Bowers, Albright, Bergen, Yin, Barker,
+//! Kerbyson — SC 2008, Gordon Bell finalist).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`core`] (`vpic-core`) — the PIC engine;
+//! * [`parallel`] (`vpic-parallel`) — domain-decomposed runs over the
+//!   in-process message-passing substrate [`nanompi`];
+//! * [`diag`] (`vpic-diag`) — spectra, Poynting/reflectivity probes,
+//!   distribution diagnostics;
+//! * [`lpi`] (`vpic-lpi`) — laser–plasma interaction workloads (the
+//!   paper's physics campaign);
+//! * [`roadrunner`] (`roadrunner-model`) — analytic performance model of
+//!   the Roadrunner machine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vpic::core::{Grid, Simulation, Species, Rng, Momentum, load_uniform};
+//!
+//! // A small periodic thermal plasma, electrons on a neutralizing
+//! // background, in normalized units (c = ωpe = 1).
+//! let dx = 0.25;
+//! let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+//! let grid = Grid::periodic((8, 8, 8), (dx, dx, dx), dt);
+//! let mut sim = Simulation::new(grid, 1);
+//! let mut electrons = Species::new("electron", -1.0, 1.0);
+//! let mut rng = Rng::seeded(7);
+//! load_uniform(&mut electrons, &sim.grid, &mut rng, 1.0, 16, Momentum::thermal(0.05));
+//! sim.add_species(electrons);
+//! for _ in 0..10 {
+//!     sim.step();
+//! }
+//! assert!(sim.energies().total().is_finite());
+//! ```
+
+pub mod deck;
+
+pub use nanompi;
+pub use roadrunner_model as roadrunner;
+pub use vpic_core as core;
+pub use vpic_diag as diag;
+pub use vpic_lpi as lpi;
+pub use vpic_parallel as parallel;

@@ -1,0 +1,140 @@
+//! Distributed-vs-single-domain consistency through the public API: the
+//! decomposed code must compute the same physics as one big domain.
+
+use vpic::core::field_solver::{bcs_of, sync_e};
+use vpic::core::{load_uniform, Grid, Momentum, ParticleBc, Rng, Simulation, Species};
+use vpic::parallel::{DistributedSim, DomainSpec};
+
+/// Langmuir oscillation: 4-rank decomposed run tracks the single-domain
+/// field-energy history to a small relative tolerance.
+#[test]
+fn distributed_langmuir_matches_single_domain() {
+    let global = (16usize, 4usize, 4usize);
+    let cell = (0.25f32, 0.25f32, 0.25f32);
+    let dt = Grid::courant_dt(1.0, cell, 0.9);
+    let steps = 120usize;
+    let kx = 2.0 * std::f32::consts::PI / (global.0 as f32 * cell.0);
+
+    let seed_fields = |sim_fields: &mut vpic::core::FieldArray, g: &Grid| {
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    let x = g.x0 + (i as f32 - 0.5) * g.dx;
+                    sim_fields.ex[g.voxel(i, j, k)] = 0.01 * (kx * x).sin();
+                }
+            }
+        }
+    };
+
+    // Reference (particles loaded with per-domain RNG convention so both
+    // runs own identical particle sets rank-by-rank is not possible here;
+    // compare the *physics*: energy exchange histories agree closely).
+    let g = Grid::periodic(global, cell, dt);
+    let mut reference = Simulation::new(g, 1);
+    let mut e = Species::new("e", -1.0, 1.0);
+    let mut rng = Rng::seeded(55);
+    load_uniform(&mut e, &reference.grid, &mut rng, 1.0, 32, Momentum::thermal(0.01));
+    reference.add_species(e);
+    let gr = reference.grid.clone();
+    seed_fields(&mut reference.fields, &gr);
+    sync_e(&mut reference.fields, &gr, bcs_of(&gr));
+    let mut ref_hist = Vec::new();
+    for _ in 0..steps {
+        reference.step();
+        ref_hist.push(reference.energies().field_e);
+    }
+
+    let (results, _) = nanompi::run(4, move |comm| {
+        let spec = DomainSpec {
+            global_cells: global,
+            cell,
+            dt,
+            topo: nanompi::CartTopology::new([4, 1, 1], [true, true, true]),
+            global_bc: [ParticleBc::Periodic; 6],
+            origin: (0.0, 0.0, 0.0),
+        };
+        let mut sim = DistributedSim::new(spec, comm.rank(), 1);
+        let si = sim.add_species(Species::new("e", -1.0, 1.0));
+        sim.load_uniform(si, 55, 1.0, 32, Momentum::thermal(0.01));
+        let g = sim.grid.clone();
+        seed_fields(&mut sim.fields, &g);
+        sim.synchronize_fields(comm);
+        let mut hist = Vec::new();
+        for _ in 0..steps {
+            sim.step(comm);
+            let (fe, _, _) = sim.global_energies(comm);
+            hist.push(fe);
+        }
+        hist
+    });
+    let dist_hist = &results[0];
+
+    // Same oscillation: compare the normalized energy histories. The
+    // particle noise realizations differ, so allow a modest tolerance.
+    let ref_peak = ref_hist.iter().cloned().fold(0.0f64, f64::max);
+    for (i, (a, b)) in ref_hist.iter().zip(dist_hist.iter()).enumerate() {
+        assert!(
+            (a - b).abs() < 0.15 * ref_peak,
+            "histories diverged at step {i}: {a} vs {b} (peak {ref_peak})"
+        );
+    }
+}
+
+/// Global invariants of a distributed thermal plasma: exact particle
+/// count, near-exact energy, and traffic that matches the decomposition.
+#[test]
+fn distributed_invariants() {
+    let (results, traffic) = nanompi::run(8, |comm| {
+        let spec = DomainSpec::periodic((16, 16, 8), (0.25, 0.25, 0.25), 0.1, 8);
+        let mut sim = DistributedSim::new(spec, comm.rank(), 1);
+        let si = sim.add_species(Species::new("e", -1.0, 1.0));
+        sim.load_uniform(si, 77, 1.0, 8, Momentum::thermal(0.1));
+        let n0 = sim.global_particles(comm);
+        let (fe0, fb0, ke0) = sim.global_energies(comm);
+        for _ in 0..30 {
+            sim.step(comm);
+        }
+        let n1 = sim.global_particles(comm);
+        let (fe1, fb1, ke1) = sim.global_energies(comm);
+        (
+            n0,
+            n1,
+            fe0 + fb0 + ke0.iter().sum::<f64>(),
+            fe1 + fb1 + ke1.iter().sum::<f64>(),
+            sim.migrated,
+        )
+    });
+    for (n0, n1, e0, e1, _) in &results {
+        assert_eq!(n0, n1);
+        assert!((e1 - e0).abs() / e0 < 0.03, "energy {e0} -> {e1}");
+    }
+    let migrated: u64 = results.iter().map(|r| r.4).sum();
+    assert!(migrated > 100, "plasma too quiet: {migrated} migrations");
+    // Every rank pair that is face-adjacent exchanged bytes.
+    assert!(traffic.total_bytes > 0);
+    assert!(traffic.max_rank_bytes() > 0);
+}
+
+/// Checkpoint / restart across the public API boundary, mid-oscillation.
+#[test]
+fn checkpoint_restart_through_public_api() {
+    let g = Grid::periodic((6, 6, 6), (0.25, 0.25, 0.25), 0.08);
+    let mut sim = Simulation::new(g, 1);
+    let mut e = Species::new("e", -1.0, 1.0);
+    let mut rng = Rng::seeded(12);
+    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 12, Momentum::thermal(0.05));
+    sim.add_species(e);
+    for _ in 0..5 {
+        sim.step();
+    }
+    let mut dump = Vec::new();
+    vpic::core::checkpoint::save(&sim, &mut dump).unwrap();
+    let mut restored = vpic::core::checkpoint::load(&mut dump.as_slice(), 1).unwrap();
+    for _ in 0..5 {
+        sim.step();
+        restored.step();
+    }
+    assert_eq!(sim.species[0].particles, restored.species[0].particles);
+    assert_eq!(sim.fields.ey, restored.fields.ey);
+    assert_eq!(sim.step_count, restored.step_count);
+}

@@ -1,0 +1,141 @@
+//! End-to-end LPI pipeline through the public API: assemble a seeded SRS
+//! run, check the instruments, and verify the theory helpers agree with
+//! what the PIC measures at the coarse level a CI-sized run can resolve.
+
+use vpic::lpi::{srs_match, tang_reflectivity, LpiParams, LpiRun, ThreeWaveModel};
+
+/// The assembled run's geometry, instruments and bookkeeping hold
+/// together, and a short seeded run measures a reflectivity at least at
+/// the seed level (amplification ≥ 1) without losing particles in bulk.
+#[test]
+fn seeded_srs_run_is_self_consistent() {
+    let params = LpiParams {
+        n_over_ncr: 0.1,
+        vth: 0.06,
+        a0: 0.05,
+        flat: 8.0,
+        ramp: 3.0,
+        ppc: 24,
+        seed_frac: 0.15,
+        ..Default::default()
+    };
+    let mut run = LpiRun::new(params);
+    assert!(run.seed_antenna.is_some());
+    let seed_plane = run.seed_antenna.unwrap().plane;
+    assert!(seed_plane > run.probe.plane);
+    let steps = run.suggested_steps(1.5);
+    run.run(steps);
+    let r = run.reflectivity();
+    let seed_r = params.seed_frac * params.seed_frac;
+    assert!(
+        r > 0.3 * seed_r && r < 1.0,
+        "reflectivity {r} implausible for seed level {seed_r}"
+    );
+    // Bulk plasma survived.
+    let lost = run.sim.lost_particles as f64 / run.electron_species().len() as f64;
+    assert!(lost < 0.05, "lost fraction {lost}");
+    // Probe collected a full measurement window.
+    assert!(run.probe.samples() > 100);
+}
+
+/// The SRS triad and the growth/damping helpers are mutually consistent
+/// with the Tang model: more gain → more reflectivity, seed recovered at
+/// zero gain.
+#[test]
+fn theory_chain_is_consistent() {
+    let m = srs_match(0.1, 0.06);
+    let g_low = m.linear_gain(0.01, 16.0);
+    let g_high = m.linear_gain(0.08, 16.0);
+    assert!(g_high > 10.0 * g_low);
+    let seed = 1e-4;
+    let r_low = tang_reflectivity(g_low, seed);
+    let r_high = tang_reflectivity(g_high, seed);
+    assert!(r_high > r_low);
+    assert!((tang_reflectivity(0.0, seed) - seed).abs() < 1e-7);
+
+    // The dynamical three-wave model agrees with Tang qualitatively:
+    // below threshold both sit at the seed level.
+    let below = ThreeWaveModel {
+        gamma0: 0.2 * m.landau_damping(),
+        nu_s: m.landau_damping(),
+        nu_e: m.landau_damping(),
+        nu_p: 0.05,
+        seed: 1e-3,
+    };
+    let r = below.run(500.0, 0.1);
+    assert!(r.reflectivity < 10.0 * 1e-6);
+}
+
+/// Laser resolution guard: every LpiRun keeps ≥ 12 cells per vacuum
+/// wavelength across the density scan range.
+#[test]
+fn wavelength_resolution_across_densities() {
+    for n_over_ncr in [0.05, 0.08, 0.1, 0.15, 0.2] {
+        let params = LpiParams { n_over_ncr, flat: 4.0, ppc: 4, ..Default::default() };
+        let run = LpiRun::new(params);
+        let lambda0 = 2.0 * std::f32::consts::PI / run.srs.k0 as f32;
+        assert!(
+            lambda0 / run.sim.grid.dx >= 12.0,
+            "n/ncr = {n_over_ncr}: {} cells/λ0",
+            lambda0 / run.sim.grid.dx
+        );
+    }
+}
+
+/// The backward-wave spectrum at the probe peaks at the seed's frequency
+/// ω_s — i.e. the spectral diagnostic correctly identifies the
+/// SRS-matched backscatter line.
+#[test]
+fn backscatter_spectrum_peaks_at_omega_s() {
+    let params = LpiParams {
+        n_over_ncr: 0.1,
+        vth: 0.06,
+        a0: 0.04,
+        flat: 8.0,
+        ramp: 3.0,
+        ppc: 16,
+        seed_frac: 0.2,
+        ..Default::default()
+    };
+    let mut run = LpiRun::new(params);
+    let omega_s = run.srs.omega_s;
+    let steps = run.suggested_steps(2.0);
+    run.run(steps);
+    let (peak_omega, power) = run.backscatter_peak(run.srs.omega0 * 1.2);
+    assert!(power > 0.0);
+    assert!(
+        (peak_omega - omega_s).abs() / omega_s < 0.1,
+        "backscatter line at {peak_omega}, expected ω_s = {omega_s}"
+    );
+}
+
+/// Mobile ions: the run stays stable and quasi-neutral over a short
+/// window, and the ion species follows the plasma profile.
+#[test]
+fn mobile_ions_smoke() {
+    let params = LpiParams {
+        n_over_ncr: 0.1,
+        vth: 0.06,
+        a0: 0.02,
+        flat: 6.0,
+        ppc: 16,
+        ion_mass: Some(100.0), // reduced mass for affordable ion timescales
+        ti_over_te: 0.1,
+        ..Default::default()
+    };
+    let mut run = LpiRun::new(params);
+    let ions = run.ion_species().expect("ions loaded");
+    // Charge neutrality in expectation: equal total weights.
+    let we = run.electron_species().total_weight();
+    let wi = ions.total_weight();
+    assert!((we - wi).abs() / we < 0.05, "not neutral: {we} vs {wi}");
+    let e0 = run.sim.energies().total();
+    let n_ions0 = run.ion_species().unwrap().len();
+    run.run(400);
+    // The antenna pumps energy in, so "stable" means bounded growth (no
+    // numerical blow-up), not conservation.
+    let e1 = run.sim.energies().total();
+    assert!(e1.is_finite() && e1 < 10.0 * e0, "blow-up: {e0} -> {e1}");
+    let n_ions1 = run.ion_species().unwrap().len();
+    assert!(n_ions1 as f64 > 0.95 * n_ions0 as f64, "ions drained: {n_ions0} -> {n_ions1}");
+}
