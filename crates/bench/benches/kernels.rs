@@ -8,8 +8,8 @@ use vpic_core::field_solver::{advance_b, advance_e};
 use vpic_core::push::{advance_p_serial, PushCoefficients};
 use vpic_core::sort::sort_by_voxel;
 use vpic_core::{
-    load_uniform, AccumulatorArray, FieldArray, Grid, InterpolatorArray, Momentum, Rng,
-    Simulation, Species,
+    load_uniform, AccumulatorArray, FieldArray, Grid, InterpolatorArray, Momentum, Rng, Simulation,
+    Species,
 };
 
 fn plasma(n: (usize, usize, usize), ppc: usize) -> Simulation {
@@ -19,7 +19,14 @@ fn plasma(n: (usize, usize, usize), ppc: usize) -> Simulation {
     let mut sim = Simulation::new(g, 1);
     let mut e = Species::new("e", -1.0, 1.0);
     let mut rng = Rng::seeded(1);
-    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(0.05));
+    load_uniform(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        ppc,
+        Momentum::thermal(0.05),
+    );
     sim.add_species(e);
     for _ in 0..2 {
         sim.step();
@@ -140,7 +147,9 @@ fn bench_hydro_and_loaders(c: &mut Criterion) {
     });
     let mut rng = Rng::seeded(5);
     group.throughput(Throughput::Elements(1));
-    group.bench_function("juttner_sample", |b| b.iter(|| sample_juttner(0.5, &mut rng)));
+    group.bench_function("juttner_sample", |b| {
+        b.iter(|| sample_juttner(0.5, &mut rng))
+    });
     group.finish();
 }
 
@@ -149,7 +158,9 @@ fn bench_layout_conversion(c: &mut Criterion) {
     let sim = plasma((12, 12, 12), 32);
     let parts = sim.species[0].particles.clone();
     group.throughput(Throughput::Elements(parts.len() as u64));
-    group.bench_function("aos_to_aosoa", |b| b.iter(|| AosoaStore::from_particles(&parts)));
+    group.bench_function("aos_to_aosoa", |b| {
+        b.iter(|| AosoaStore::from_particles(&parts))
+    });
     let store = AosoaStore::from_particles(&parts);
     group.bench_function("aosoa_to_aos", |b| b.iter(|| store.to_particles()));
     group.finish();

@@ -27,7 +27,13 @@ fn pic_report(full: bool) -> KernelReport {
     let (seconds, _) = time_it(|| {
         for _ in 0..reps {
             sim.accumulators.clear();
-            advance_p(&mut sim.species[0].particles, coeffs, &sim.interp, &mut sim.accumulators.arrays, &g);
+            advance_p(
+                &mut sim.species[0].particles,
+                coeffs,
+                &sim.interp,
+                &mut sim.accumulators.arrays,
+                &g,
+            );
         }
     });
     KernelReport {
@@ -55,7 +61,12 @@ fn main() {
     };
     print_table(
         "E10: data motion per flop across demonstration techniques",
-        &["kernel", "Gflop/s (this host)", "bytes/flop (algorithmic)", "vs dense matmul"],
+        &[
+            "kernel",
+            "Gflop/s (this host)",
+            "bytes/flop (algorithmic)",
+            "vs dense matmul",
+        ],
         &[row(&mm), row(&nb), row(&mc), row(&pic)],
     );
     println!(

@@ -59,7 +59,13 @@ fn main() {
             "E1: inner loop (push + deposit), grid {n:?}, {} flops/particle",
             flops::particle::TOTAL
         ),
-        &["ppc", "particles", "advances/s", "Gflop/s (s.p.)", "implied GB/s"],
+        &[
+            "ppc",
+            "particles",
+            "advances/s",
+            "Gflop/s (s.p.)",
+            "implied GB/s",
+        ],
         &rows,
     );
     println!(

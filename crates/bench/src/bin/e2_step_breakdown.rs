@@ -26,7 +26,11 @@ fn main() {
     let total = t.total();
 
     let row = |name: &str, secs: f64| {
-        vec![name.to_string(), format!("{:.4}", secs), format!("{:.1}%", 100.0 * secs / total)]
+        vec![
+            name.to_string(),
+            format!("{:.4}", secs),
+            format!("{:.1}%", 100.0 * secs / total),
+        ]
     };
     print_table(
         &format!("E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps"),
@@ -50,8 +54,16 @@ fn main() {
         "E2: sustained vs inner loop",
         &["metric", "this host", "paper (Roadrunner)"],
         &[
-            vec!["inner loop rate".into(), format!("{inner_rate:.2} Gflop/s"), "488,000 Gflop/s".into()],
-            vec!["sustained rate".into(), format!("{sustained_rate:.2} Gflop/s"), "374,000 Gflop/s".into()],
+            vec![
+                "inner loop rate".into(),
+                format!("{inner_rate:.2} Gflop/s"),
+                "488,000 Gflop/s".into(),
+            ],
+            vec![
+                "sustained rate".into(),
+                format!("{sustained_rate:.2} Gflop/s"),
+                "374,000 Gflop/s".into(),
+            ],
             vec![
                 "sustained / inner".into(),
                 format!("{:.3}", sustained_rate / inner_rate),

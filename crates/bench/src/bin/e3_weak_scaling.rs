@@ -17,14 +17,21 @@ fn main() {
     let per_rank = if full { (16, 16, 16) } else { (12, 12, 12) };
     let ppc = if full { 64 } else { 32 };
     let steps = if full { 40u64 } else { 20 };
-    let rank_counts: &[usize] = if full { &[1, 2, 4, 8, 16] } else { &[1, 2, 4, 8] };
+    let rank_counts: &[usize] = if full {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[1, 2, 4, 8]
+    };
 
     let mut rows = Vec::new();
     let mut base_rate = 0.0f64;
     for &ranks in rank_counts {
         let topo = CartTopology::balanced(ranks, [true, true, true]);
-        let global =
-            (per_rank.0 * topo.dims[0], per_rank.1 * topo.dims[1], per_rank.2 * topo.dims[2]);
+        let global = (
+            per_rank.0 * topo.dims[0],
+            per_rank.1 * topo.dims[1],
+            per_rank.2 * topo.dims[2],
+        );
         let spec = DomainSpec {
             global_cells: global,
             cell: (0.25, 0.25, 0.25),
@@ -33,16 +40,16 @@ fn main() {
             global_bc: [ParticleBc::Periodic; 6],
             origin: (0.0, 0.0, 0.0),
         };
-        let (results, traffic) = nanompi::run(ranks, |comm| {
+        let (results, traffic) = nanompi::run_expect(ranks, |comm| {
             let mut sim = DistributedSim::new(spec.clone(), comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 5, 1.0, ppc, Momentum::thermal(0.05));
-            comm.barrier();
+            comm.barrier().unwrap();
             let t0 = std::time::Instant::now();
             for _ in 0..steps {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             (t0.elapsed().as_secs_f64(), sim.n_particles(), sim.migrated)
         });
         let time = results.iter().map(|r| r.0).fold(0.0, f64::max);
@@ -63,8 +70,18 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("E3a: measured weak scaling ({ppc} ppc × {per_rank:?} cells per rank, {steps} steps)"),
-        &["ranks", "global grid", "particles", "agg rate (p/s)", "rate vs 1", "migr/rank/step", "traffic"],
+        &format!(
+            "E3a: measured weak scaling ({ppc} ppc × {per_rank:?} cells per rank, {steps} steps)"
+        ),
+        &[
+            "ranks",
+            "global grid",
+            "particles",
+            "agg rate (p/s)",
+            "rate vs 1",
+            "migr/rank/step",
+            "traffic",
+        ],
         &rows,
     );
     println!("(ranks share this host's core(s): flat aggregate rate = no software overhead)");
@@ -79,7 +96,12 @@ fn main() {
         .iter()
         .filter(|(cu, _, _)| [1usize, 2, 4, 8, 12, 17].contains(cu))
         .map(|(cu, eff, pflops)| {
-            vec![format!("{cu}"), format!("{}", cu * 180), format!("{eff:.3}"), format!("{pflops:.3}")]
+            vec![
+                format!("{cu}"),
+                format!("{}", cu * 180),
+                format!("{eff:.3}"),
+                format!("{pflops:.3}"),
+            ]
         })
         .collect();
     print_table(
@@ -87,5 +109,7 @@ fn main() {
         &["CUs", "nodes", "efficiency", "sustained Pflop/s"],
         &rows,
     );
-    println!("\npaper anchor: near-linear scaling to 17 CUs, 0.374 Pflop/s sustained at full machine");
+    println!(
+        "\npaper anchor: near-linear scaling to 17 CUs, 0.374 Pflop/s sustained at full machine"
+    );
 }

@@ -21,7 +21,9 @@ fn main() {
     let mut rows = Vec::new();
     for &ranks in rank_counts {
         let topo = CartTopology::balanced(ranks, [true, true, true]);
-        if global.0 % topo.dims[0] != 0 || global.1 % topo.dims[1] != 0 || global.2 % topo.dims[2] != 0
+        if global.0 % topo.dims[0] != 0
+            || global.1 % topo.dims[1] != 0
+            || global.2 % topo.dims[2] != 0
         {
             continue;
         }
@@ -33,17 +35,21 @@ fn main() {
             global_bc: [ParticleBc::Periodic; 6],
             origin: (0.0, 0.0, 0.0),
         };
-        let (results, _) = nanompi::run(ranks, |comm| {
+        let (results, _) = nanompi::run_expect(ranks, |comm| {
             let mut sim = DistributedSim::new(spec.clone(), comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 11, 1.0, ppc, Momentum::thermal(0.05));
-            comm.barrier();
+            comm.barrier().unwrap();
             let t0 = std::time::Instant::now();
             for _ in 0..steps {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
-            comm.barrier();
-            (t0.elapsed().as_secs_f64(), sim.n_particles(), sim.timings.comm_fraction())
+            comm.barrier().unwrap();
+            (
+                t0.elapsed().as_secs_f64(),
+                sim.n_particles(),
+                sim.timings.comm_fraction(),
+            )
         });
         let time = results.iter().map(|r| r.0).fold(0.0, f64::max);
         let particles: usize = results.iter().map(|r| r.1).sum();
@@ -92,7 +98,13 @@ fn main() {
     }
     print_table(
         "E4b: Roadrunner strong-scaling model (1e12 particles / 136e6 voxels total)",
-        &["CUs", "step time (s)", "speedup", "efficiency", "sustained Pflop/s"],
+        &[
+            "CUs",
+            "step time (s)",
+            "speedup",
+            "efficiency",
+            "sustained Pflop/s",
+        ],
         &rows,
     );
 

@@ -64,14 +64,25 @@ fn main() {
             format!("{:.4}", m.growth_rate(a0)),
             format!("{:.2}", m.growth_to_damping(a0)),
             format!("{:.2}", gain),
-            format!("{:.3e}", tang_reflectivity(gain, base.seed_frac * base.seed_frac)),
+            format!(
+                "{:.3e}",
+                tang_reflectivity(gain, base.seed_frac * base.seed_frac)
+            ),
             format!("{:.3e}", run.reflectivity()),
         ]);
         eprintln!("  a0 = {a0}: done ({} steps)", steps);
     }
     print_table(
         "E5: reflectivity vs laser intensity",
-        &["a0", "I@351nm W/cm²", "γ0/ωpe", "γ0/νL", "gain G", "R (Tang fluid)", "R (PIC, kinetic)"],
+        &[
+            "a0",
+            "I@351nm W/cm²",
+            "γ0/ωpe",
+            "γ0/νL",
+            "gain G",
+            "R (Tang fluid)",
+            "R (PIC, kinetic)",
+        ],
         &rows,
     );
     println!(

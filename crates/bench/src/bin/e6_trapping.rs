@@ -37,7 +37,10 @@ fn main() {
     let spread_before = momentum_spread(run.electron_species(), 0);
 
     let steps = run.suggested_steps(if full { 6.0 } else { 3.0 });
-    eprintln!("running {steps} steps on {} particles ...", run.sim.n_particles());
+    eprintln!(
+        "running {steps} steps on {} particles ...",
+        run.sim.n_particles()
+    );
     run.run(steps);
 
     let after = momentum_histogram(run.electron_species(), 0, -0.6, 0.6, 24);
@@ -75,8 +78,16 @@ fn main() {
                 format!("{tail_before:.3e}"),
                 format!("{tail_after:.3e}"),
             ],
-            vec!["momentum spread σ(ux)".into(), format!("{spread_before:.4}"), format!("{spread_after:.4}")],
-            vec!["reflectivity".into(), "-".into(), format!("{:.3e}", run.reflectivity())],
+            vec![
+                "momentum spread σ(ux)".into(),
+                format!("{spread_before:.4}"),
+                format!("{spread_after:.4}"),
+            ],
+            vec![
+                "reflectivity".into(),
+                "-".into(),
+                format!("{:.3e}", run.reflectivity()),
+            ],
         ],
     );
     println!("\nshape check: the forward tail (toward the plasma-wave phase velocity)");

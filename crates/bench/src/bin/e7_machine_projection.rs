@@ -26,7 +26,13 @@ fn measure_host_rate(full: bool) -> f64 {
     let (secs, _) = time_it(|| {
         for _ in 0..reps {
             sim.accumulators.clear();
-            advance_p(&mut sim.species[0].particles, coeffs, &sim.interp, &mut sim.accumulators.arrays, &g);
+            advance_p(
+                &mut sim.species[0].particles,
+                coeffs,
+                &sim.interp,
+                &mut sim.accumulators.arrays,
+                &g,
+            );
         }
     });
     n_particles as f64 * reps as f64 / secs
@@ -39,7 +45,10 @@ fn hierarchy_rows(model: &PerfModel, load: &NodeLoad) -> Vec<Vec<String>> {
         ("SPE", 1.0),
         ("Cell (8 SPE)", m.spes_per_cell as f64),
         ("node (4 Cell)", (m.spes_per_cell * m.cells_per_node) as f64),
-        ("CU (180 nodes)", (m.spes_per_cell * m.cells_per_node * m.nodes_per_cu) as f64),
+        (
+            "CU (180 nodes)",
+            (m.spes_per_cell * m.cells_per_node * m.nodes_per_cu) as f64,
+        ),
         ("machine (17 CU)", m.n_spes() as f64),
     ];
     let mut rows: Vec<Vec<String>> = levels
@@ -81,7 +90,10 @@ fn main() {
         flops::particle::TOTAL
     );
 
-    let paper = PerfModel { machine, rates: KernelRates::from_paper_inner_loop(&machine, 0.488) };
+    let paper = PerfModel {
+        machine,
+        rates: KernelRates::from_paper_inner_loop(&machine, 0.488),
+    };
     print_table(
         "E7a: paper-calibrated hierarchy (inner-loop Pflop/s; last rows: sustained)",
         &["level", "SPEs", "particles/s", "Pflop/s (s.p.)"],
@@ -99,7 +111,10 @@ fn main() {
             25.6, // treat one host core as one SPE-equivalent peak
         ),
     };
-    println!("\nmeasured host inner-loop rate: {:.3e} particles/s per core", host_pps);
+    println!(
+        "\nmeasured host inner-loop rate: {:.3e} particles/s per core",
+        host_pps
+    );
     print_table(
         "E7b: host-calibrated hierarchy (one host core ≡ one SPE)",
         &["level", "SPEs", "particles/s", "Pflop/s (s.p.)"],
@@ -115,7 +130,11 @@ fn main() {
         "E7c: heterogeneous acceleration (node-level s.p. peak)",
         &["configuration", "Gflop/s per node", "relative"],
         &[
-            vec!["Opteron-only (4 cores)".into(), format!("{opteron_node_peak:.1}"), "1.0×".into()],
+            vec![
+                "Opteron-only (4 cores)".into(),
+                format!("{opteron_node_peak:.1}"),
+                "1.0×".into(),
+            ],
             vec![
                 "with 4 PowerXCell 8i".into(),
                 format!("{cell_node_peak:.1}"),
@@ -123,7 +142,10 @@ fn main() {
             ],
         ],
     );
-    println!("(the Cell blades supply ~{:.0}× the flops — why VPIC's port to the SPEs,", cell_node_peak / opteron_node_peak);
+    println!(
+        "(the Cell blades supply ~{:.0}× the flops — why VPIC's port to the SPEs,",
+        cell_node_peak / opteron_node_peak
+    );
     println!(" not the Opterons, set the machine's PIC capability)");
 
     let ratio = host.sustained_pflops(&load) / 0.374;

@@ -51,7 +51,11 @@ fn main() {
         &format!("E8.1: particle layout ({} particles, sorted)", n_particles),
         &["layout", "advances/s", "relative"],
         &[
-            vec!["AoS (32-byte particles)".into(), format!("{:.3e}", rate(t_aos)), "1.00".into()],
+            vec![
+                "AoS (32-byte particles)".into(),
+                format!("{:.3e}", rate(t_aos)),
+                "1.00".into(),
+            ],
             vec![
                 "AoSoA (8-lane blocks)".into(),
                 format!("{:.3e}", rate(t_soa)),
@@ -77,7 +81,11 @@ fn main() {
         }
         let pps = sim.timings.particle_steps as f64 / sim.timings.push;
         rows.push(vec![
-            if interval == 0 { "never".into() } else { format!("{interval}") },
+            if interval == 0 {
+                "never".into()
+            } else {
+                format!("{interval}")
+            },
             format!("{:.3}", loc),
             format!("{:.3e}", pps),
             format!("{:.4}", sim.timings.sort / sim.timings.steps as f64),
@@ -106,7 +114,13 @@ fn main() {
             for _ in 0..reps {
                 sim.accumulators.clear();
                 let mut tmp = std::mem::take(&mut sim.species[0].particles);
-                advance_p(&mut tmp, coeffs, &sim.interp, &mut sim.accumulators.arrays, &g2);
+                advance_p(
+                    &mut tmp,
+                    coeffs,
+                    &sim.interp,
+                    &mut sim.accumulators.arrays,
+                    &g2,
+                );
                 sim.species[0].particles = tmp;
             }
         });

@@ -54,7 +54,15 @@ fn two_stream(full: bool) -> (f64, f64) {
     let mut sim = Simulation::new(grid, 1);
     let mut e = Species::new("e", -1.0, 1.0);
     let mut rng = Rng::seeded(8);
-    load_two_stream(&mut e, &sim.grid, &mut rng, 1.0, if full { 256 } else { 128 }, 0.1, 0.005);
+    load_two_stream(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        if full { 256 } else { 128 },
+        0.1,
+        0.005,
+    );
     sim.add_species(e);
     let steps = (60.0 / sim.grid.dt as f64) as usize;
     let mut ts = TimeSeries::new("fe", sim.grid.dt as f64);
@@ -63,7 +71,11 @@ fn two_stream(full: bool) -> (f64, f64) {
         ts.push(sim.energies().field_e.max(1e-300));
     }
     let (_, peak) = ts.min_max();
-    let sat = ts.samples.iter().position(|&v| v > 0.1 * peak).unwrap_or(steps / 2);
+    let sat = ts
+        .samples
+        .iter()
+        .position(|&v| v > 0.1 * peak)
+        .unwrap_or(steps / 2);
     let gamma = 0.5 * ts.growth_rate_in(sat / 3, sat);
     (gamma, 1.0 / (2.0 * 2.0f64.sqrt()))
 }
@@ -100,7 +112,13 @@ fn continuity_residual() -> f64 {
     let before = parts.clone();
     let ia = vpic_core::InterpolatorArray::new(&g);
     let mut acc = AccumulatorArray::new(&g);
-    advance_p_serial(&mut parts, PushCoefficients::new(-1.0, 1.0, &g), &ia, &mut acc, &g);
+    advance_p_serial(
+        &mut parts,
+        PushCoefficients::new(-1.0, 1.0, &g),
+        &ia,
+        &mut acc,
+        &g,
+    );
     let mut f = FieldArray::new(&g);
     acc.unload(&mut f, &g);
     sync_j(&mut f, &g, bcs_of(&g));
@@ -152,7 +170,17 @@ fn light_dispersion() -> (f64, f64) {
     for i in 1..=n {
         let x_node = (i - 1) as f64 * dx as f64;
         let x_edge = x_node + 0.5 * dx as f64;
-        for jk in [(0usize, 0usize), (1, 1), (2, 2), (0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)] {
+        for jk in [
+            (0usize, 0usize),
+            (1, 1),
+            (2, 2),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (0, 2),
+            (2, 0),
+        ] {
             let v = g.voxel(i, jk.0, jk.1);
             sim.fields.ey[v] = (kx * x_node).sin() as f32;
             sim.fields.cbz[v] = (kx * (x_edge + 0.5 * dt as f64)).sin() as f32;
@@ -168,8 +196,7 @@ fn light_dispersion() -> (f64, f64) {
         ts.push(sim.fields.ey[probe] as f64);
     }
     let measured = ts.dominant_omega();
-    let theory = 2.0 / dt as f64
-        * ((dt as f64 / dx as f64) * (kx * dx as f64 / 2.0).sin()).asin();
+    let theory = 2.0 / dt as f64 * ((dt as f64 / dx as f64) * (kx * dx as f64 / 2.0).sin()).asin();
     (measured, theory)
 }
 
@@ -187,17 +214,42 @@ fn main() {
         "E9: fidelity battery (theory vs measured)",
         &["check", "theory", "measured", "error/size"],
         &[
-            vec!["Langmuir ω (Bohm-Gross)".into(), format!("{lw_t:.4}"), format!("{lw_m:.4}"), pct(lw_m, lw_t)],
+            vec![
+                "Langmuir ω (Bohm-Gross)".into(),
+                format!("{lw_t:.4}"),
+                format!("{lw_m:.4}"),
+                pct(lw_m, lw_t),
+            ],
             vec![
                 "two-stream γ_max (cold)".into(),
                 format!("{ts_t:.3}"),
                 format!("{ts_m:.3}"),
                 "≤ theory (warm, k-quantized)".into(),
             ],
-            vec!["energy drift (long run)".into(), "0".into(), format!("{drift:.2e}"), "-".into()],
-            vec!["continuity max residual".into(), "0 (exact)".into(), format!("{cont:.2e}"), "f32 roundoff".into()],
-            vec!["∇·B RMS (long run)".into(), "0 (exact)".into(), format!("{divb:.2e}"), "f32 roundoff".into()],
-            vec!["light ω (Yee dispersion)".into(), format!("{ld_t:.4}"), format!("{ld_m:.4}"), pct(ld_m, ld_t)],
+            vec![
+                "energy drift (long run)".into(),
+                "0".into(),
+                format!("{drift:.2e}"),
+                "-".into(),
+            ],
+            vec![
+                "continuity max residual".into(),
+                "0 (exact)".into(),
+                format!("{cont:.2e}"),
+                "f32 roundoff".into(),
+            ],
+            vec![
+                "∇·B RMS (long run)".into(),
+                "0 (exact)".into(),
+                format!("{divb:.2e}"),
+                "f32 roundoff".into(),
+            ],
+            vec![
+                "light ω (Yee dispersion)".into(),
+                format!("{ld_t:.4}"),
+                format!("{ld_m:.4}"),
+                pct(ld_m, ld_t),
+            ],
         ],
     );
     println!("\npass criteria: Langmuir/light within ~2%, drift < 1e-3, residuals < 1e-4,");

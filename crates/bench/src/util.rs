@@ -43,26 +43,51 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}", w = w)).collect();
+    let line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}", w = w))
+        .collect();
     println!("{}", line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
         println!("{}", line.join("  "));
     }
 }
 
 /// Standard uniform thermal plasma test case (density 1, vth = 0.05c).
-pub fn uniform_plasma(n: (usize, usize, usize), ppc: usize, pipelines: usize, seed: u64) -> Simulation {
+pub fn uniform_plasma(
+    n: (usize, usize, usize),
+    ppc: usize,
+    pipelines: usize,
+    seed: u64,
+) -> Simulation {
     let dx = 0.25f32;
     let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
     let g = Grid::periodic(n, (dx, dx, dx), dt);
     let mut sim = Simulation::new(g, pipelines);
     let mut e = Species::new("electron", -1.0, 1.0);
     let mut rng = Rng::seeded(seed);
-    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(0.05));
+    load_uniform(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        ppc,
+        Momentum::thermal(0.05),
+    );
     sim.add_species(e);
     sim
 }

@@ -39,12 +39,16 @@ pub struct AccumulatorArray {
 impl AccumulatorArray {
     /// Zeroed array sized for `grid`.
     pub fn new(grid: &Grid) -> Self {
-        AccumulatorArray { data: vec![Accumulator::default(); grid.n_voxels()] }
+        AccumulatorArray {
+            data: vec![Accumulator::default(); grid.n_voxels()],
+        }
     }
 
     /// Reset all entries to zero.
     pub fn clear(&mut self) {
-        self.data.iter_mut().for_each(|a| *a = Accumulator::default());
+        self.data
+            .iter_mut()
+            .for_each(|a| *a = Accumulator::default());
     }
 
     /// Accumulate the current of one straight-line particle streak that
@@ -54,7 +58,13 @@ impl AccumulatorArray {
     /// `(mx,my,mz)` is the streak midpoint in voxel offsets; `(hx,hy,hz)`
     /// is the *half* displacement of the streak in offset units.
     #[inline]
-    pub fn deposit(&mut self, voxel: usize, q: f32, (mx, my, mz): (f32, f32, f32), (hx, hy, hz): (f32, f32, f32)) {
+    pub fn deposit(
+        &mut self,
+        voxel: usize,
+        q: f32,
+        (mx, my, mz): (f32, f32, f32),
+        (hx, hy, hz): (f32, f32, f32),
+    ) {
         let v5 = q * hx * hy * hz * (1.0 / 3.0);
         let a = &mut self.data[voxel];
         accumulate_quadrants(&mut a.jx, q * hx, my, mz, v5);
@@ -98,8 +108,8 @@ impl AccumulatorArray {
             for j in 1..=g.ny {
                 for i in 1..=g.nx + 1 {
                     let v = g.voxel(i, j, k);
-                    f.jy[v] += cy
-                        * (a[v].jy[0] + a[v - dk].jy[1] + a[v - 1].jy[2] + a[v - dk - 1].jy[3]);
+                    f.jy[v] +=
+                        cy * (a[v].jy[0] + a[v - dk].jy[1] + a[v - 1].jy[2] + a[v - dk - 1].jy[3]);
                 }
             }
         }
@@ -108,8 +118,8 @@ impl AccumulatorArray {
             for j in 1..=g.ny + 1 {
                 for i in 1..=g.nx + 1 {
                     let v = g.voxel(i, j, k);
-                    f.jz[v] += cz
-                        * (a[v].jz[0] + a[v - 1].jz[1] + a[v - dj].jz[2] + a[v - 1 - dj].jz[3]);
+                    f.jz[v] +=
+                        cz * (a[v].jz[0] + a[v - 1].jz[1] + a[v - dj].jz[2] + a[v - 1 - dj].jz[3]);
                 }
             }
         }
@@ -147,7 +157,11 @@ impl AccumulatorSet {
     /// One array per pipeline.
     pub fn new(grid: &Grid, n_pipelines: usize) -> Self {
         assert!(n_pipelines >= 1);
-        AccumulatorSet { arrays: (0..n_pipelines).map(|_| AccumulatorArray::new(grid)).collect() }
+        AccumulatorSet {
+            arrays: (0..n_pipelines)
+                .map(|_| AccumulatorArray::new(grid))
+                .collect(),
+        }
     }
 
     /// Number of pipelines.
@@ -162,7 +176,10 @@ impl AccumulatorSet {
 
     /// Reduce all pipelines into array 0 and return a reference to it.
     pub fn reduce(&mut self) -> &AccumulatorArray {
-        let (first, rest) = self.arrays.split_first_mut().expect("at least one pipeline");
+        let (first, rest) = self
+            .arrays
+            .split_first_mut()
+            .expect("at least one pipeline");
         for r in rest {
             first.reduce_from(r);
         }
@@ -192,7 +209,11 @@ mod tests {
         // (each quadrant weight (1±d1)(1±d2) is 1 at the center).
         acc.deposit(v, 1.0, (0.0, 0.0, 0.0), (0.25, 0.0, 0.0));
         for n in 0..4 {
-            assert!((acc.data[v].jx[n] - 0.25).abs() < 1e-7, "{:?}", acc.data[v].jx);
+            assert!(
+                (acc.data[v].jx[n] - 0.25).abs() < 1e-7,
+                "{:?}",
+                acc.data[v].jx
+            );
             assert_eq!(acc.data[v].jy[n], 0.0);
             assert_eq!(acc.data[v].jz[n], 0.0);
         }
@@ -210,21 +231,26 @@ mod tests {
         acc.deposit(g.voxel(2, 3, 2), q, (0.1, -0.4, 0.6), (hx, 0.0, 0.0));
         let mut f = FieldArray::new(&g);
         acc.unload(&mut f, &g);
-        let total: f64 = f
-            .jx
-            .iter()
-            .enumerate()
-            .filter(|(v, _)| {
-                // Count each physical edge once: live x range, node ranges
-                // 1..=n in y/z (plane n+1 is a periodic alias, but nothing
-                // was synced yet so all deposits are distinct entries).
-                let (i, j, k) = g.voxel_coords(*v);
-                (1..=g.nx).contains(&i) && (1..=g.ny + 1).contains(&j) && (1..=g.nz + 1).contains(&k)
-            })
-            .map(|(_, &j)| j as f64)
-            .sum::<f64>()
-            * g.dv() as f64;
-        assert!((total - (q * vx) as f64).abs() < 1e-5, "total = {total}, want {}", q * vx);
+        let total: f64 =
+            f.jx.iter()
+                .enumerate()
+                .filter(|(v, _)| {
+                    // Count each physical edge once: live x range, node ranges
+                    // 1..=n in y/z (plane n+1 is a periodic alias, but nothing
+                    // was synced yet so all deposits are distinct entries).
+                    let (i, j, k) = g.voxel_coords(*v);
+                    (1..=g.nx).contains(&i)
+                        && (1..=g.ny + 1).contains(&j)
+                        && (1..=g.nz + 1).contains(&k)
+                })
+                .map(|(_, &j)| j as f64)
+                .sum::<f64>()
+                * g.dv() as f64;
+        assert!(
+            (total - (q * vx) as f64).abs() < 1e-5,
+            "total = {total}, want {}",
+            q * vx
+        );
     }
 
     #[test]

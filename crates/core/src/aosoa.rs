@@ -53,7 +53,10 @@ pub struct AosoaStore {
 impl AosoaStore {
     /// Convert from an AoS slice (tail lanes are zero-weight no-ops).
     pub fn from_particles(parts: &[Particle]) -> Self {
-        let mut store = AosoaStore { blocks: Vec::with_capacity(parts.len().div_ceil(LANES)), len: parts.len() };
+        let mut store = AosoaStore {
+            blocks: Vec::with_capacity(parts.len().div_ceil(LANES)),
+            len: parts.len(),
+        };
         for chunk in parts.chunks(LANES) {
             let mut b = Block::default();
             for (l, p) in chunk.iter().enumerate() {
@@ -201,7 +204,12 @@ pub fn advance_p_aosoa(
                     uz: b.uz[l],
                     w: b.w[l],
                 };
-                let mut pm = Mover { dispx: hx[l], dispy: hy[l], dispz: hz[l], idx: 0 };
+                let mut pm = Mover {
+                    dispx: hx[l],
+                    dispy: hy[l],
+                    dispz: hz[l],
+                    idx: 0,
+                };
                 match move_p_local(&mut p, &mut pm, acc, g, c.qsp) {
                     MoveOutcome::Done => {}
                     MoveOutcome::Absorbed | MoveOutcome::Exit { .. } => {
@@ -303,7 +311,12 @@ mod tests {
     fn padding_lanes_deposit_nothing() {
         let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
         let ia = InterpolatorArray::new(&g);
-        let parts = vec![Particle { i: g.voxel(2, 2, 2) as u32, ux: 0.5, w: 1.0, ..Default::default() }];
+        let parts = vec![Particle {
+            i: g.voxel(2, 2, 2) as u32,
+            ux: 0.5,
+            w: 1.0,
+            ..Default::default()
+        }];
         let mut store = AosoaStore::from_particles(&parts);
         let mut acc = AccumulatorArray::new(&g);
         let c = PushCoefficients::new(-1.0, 1.0, &g);

@@ -1,73 +1,264 @@
 //! Binary checkpointing of a single-domain simulation.
 //!
-//! Hand-rolled little-endian format (magic `VPICRS01`): VPIC production
+//! Hand-rolled little-endian format (magic `VPICRS02`): VPIC production
 //! runs at trillion-particle scale live or die by restart dumps, so the
-//! reproduction carries the same capability. Fields and particles are
-//! written verbatim; phase timings are not persisted (they are
-//! measurements, not state).
+//! reproduction carries the same capability — hardened. The v2 format is
+//! sectioned: after the magic and a version word, the header, field and
+//! species payloads are each written length-prefixed with a CRC-32
+//! trailer, so a truncated or bit-flipped dump fails loudly with a typed
+//! [`CheckpointError`] instead of silently seeding a corrupt resumed run.
+//! Fields and particles are written verbatim; phase timings are not
+//! persisted (they are measurements, not state).
+//!
+//! [`save_to_path`] writes through a buffered writer to a temporary file
+//! and renames it into place, so a crash mid-dump never destroys the
+//! previous good checkpoint.
 
+use crate::crc32::crc32;
 use crate::field::FieldArray;
 use crate::grid::{Grid, ParticleBc};
 use crate::particle::Particle;
 use crate::sim::Simulation;
 use crate::species::Species;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"VPICRS01";
+const MAGIC: &[u8; 8] = b"VPICRS02";
+const VERSION: u32 = 2;
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// Largest section payload this implementation will read (guards the
+/// section-length word against corruption-driven allocation).
+const MAX_SECTION: u64 = 1 << 32;
+
+/// Typed checkpoint failure. Every load-path defect in the dump — wrong
+/// file, wrong version, truncation, bit rot, or a header that fails
+/// plausibility — maps to a distinct variant.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// The file is a VPIC dump of a version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The named section ended before its declared length.
+    Truncated {
+        section: &'static str,
+    },
+    /// The named section's CRC-32 does not match its payload.
+    CrcMismatch {
+        section: &'static str,
+        expected: u32,
+        got: u32,
+    },
+    /// A distributed dump belongs to a different rank.
+    RankMismatch {
+        expected: u64,
+        got: u64,
+    },
+    /// A distributed dump was written for a different domain decomposition.
+    SpecMismatch {
+        expected: u64,
+        got: u64,
+    },
+    /// The payload decoded but failed a plausibility/validity check.
+    Malformed(String),
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_f32(r: &mut impl Read) -> io::Result<f32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(f32::from_le_bytes(b))
-}
-
-fn write_f32_slice(w: &mut impl Write, s: &[f32]) -> io::Result<()> {
-    write_u64(w, s.len() as u64)?;
-    for &v in s {
-        write_f32(w, v)?;
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
     }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a VPIC restart dump (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+            }
+            CheckpointError::Truncated { section } => {
+                write!(f, "checkpoint truncated in section `{section}`")
+            }
+            CheckpointError::CrcMismatch { section, expected, got } => write!(
+                f,
+                "checkpoint section `{section}` failed CRC-32 (expected {expected:#010x}, got {got:#010x})"
+            ),
+            CheckpointError::RankMismatch { expected, got } => {
+                write!(f, "checkpoint belongs to rank {got}, not rank {expected}")
+            }
+            CheckpointError::SpecMismatch { expected, got } => write!(
+                f,
+                "checkpoint domain fingerprint {got:#018x} does not match this run's {expected:#018x}"
+            ),
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Write one framed section: `u64` payload length, payload bytes, `u32`
+/// CRC-32 of the payload.
+pub fn write_section(w: &mut impl Write, payload: &[u8]) -> Result<(), CheckpointError> {
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
     Ok(())
 }
 
-/// Read a length-prefixed f32 vector whose length must equal `expect`
-/// (corrupted/hostile headers must not drive allocation).
-fn read_f32_vec(r: &mut impl Read, expect: usize) -> io::Result<Vec<f32>> {
-    let n = read_u64(r)? as usize;
-    if n != expect {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("field length {n} != expected {expect}"),
-        ));
+/// Read one framed section written by [`write_section`], verifying length
+/// and CRC. The declared length is never trusted for preallocation: a
+/// truncated file fails at EOF, not by exhausting memory.
+pub fn read_section(r: &mut impl Read, section: &'static str) -> Result<Vec<u8>, CheckpointError> {
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)
+        .map_err(|_| CheckpointError::Truncated { section })?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_SECTION {
+        return Err(CheckpointError::Malformed(format!(
+            "section `{section}` declares implausible length {len}"
+        )));
     }
-    let mut out = vec![0.0f32; n];
-    for v in &mut out {
-        *v = read_f32(r)?;
+    let mut payload = Vec::new();
+    let read = r.take(len).read_to_end(&mut payload)?;
+    if read as u64 != len {
+        return Err(CheckpointError::Truncated { section });
     }
-    Ok(out)
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|_| CheckpointError::Truncated { section })?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let got = crc32(&payload);
+    if got != expected {
+        return Err(CheckpointError::CrcMismatch {
+            section,
+            expected,
+            got,
+        });
+    }
+    Ok(payload)
+}
+
+/// In-memory little-endian payload encoder for section bodies.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Length-prefixed bulk f32 slice.
+    pub fn f32_slice(&mut self, s: &[f32]) {
+        self.u64(s.len() as u64);
+        self.buf.reserve(4 * s.len());
+        for &v in s {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Typed little-endian decoder over a section payload.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8], section: &'static str) -> Self {
+        PayloadReader {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Truncated {
+                section: self.section,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        self.take(n)
+    }
+
+    /// Length-prefixed bulk f32 slice whose length must equal `expect`.
+    pub fn f32_vec(&mut self, expect: usize) -> Result<Vec<f32>, CheckpointError> {
+        let n = self.u64()? as usize;
+        if n != expect {
+            return Err(CheckpointError::Malformed(format!(
+                "field length {n} != expected {expect} in section `{}`",
+                self.section
+            )));
+        }
+        let raw = self.take(4 * n)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// The decoder must have consumed the whole payload.
+    pub fn done(&self) -> Result<(), CheckpointError> {
+        if self.pos != self.buf.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes in section `{}`",
+                self.buf.len() - self.pos,
+                self.section
+            )));
+        }
+        Ok(())
+    }
 }
 
 fn bc_code(bc: ParticleBc) -> u32 {
@@ -79,95 +270,39 @@ fn bc_code(bc: ParticleBc) -> u32 {
     }
 }
 
-fn bc_from(code: u32) -> io::Result<ParticleBc> {
+fn bc_from(code: u32) -> Result<ParticleBc, CheckpointError> {
     Ok(match code {
         0 => ParticleBc::Periodic,
         1 => ParticleBc::Reflect,
         2 => ParticleBc::Absorb,
         3 => ParticleBc::Migrate,
-        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad boundary code")),
+        _ => {
+            return Err(CheckpointError::Malformed(format!(
+                "bad boundary code {code}"
+            )))
+        }
     })
 }
 
-/// Write a restart dump of `sim` to `w`.
-pub fn save(sim: &Simulation, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    let g = &sim.grid;
-    for v in [g.nx as u32, g.ny as u32, g.nz as u32] {
-        write_u32(w, v)?;
+/// Encode the ten field arrays as one section payload.
+pub fn encode_fields(f: &FieldArray) -> Vec<u8> {
+    let mut p = PayloadWriter::new();
+    for arr in [
+        &f.ex, &f.ey, &f.ez, &f.cbx, &f.cby, &f.cbz, &f.jx, &f.jy, &f.jz, &f.rho,
+    ] {
+        p.f32_slice(arr);
     }
-    for v in [g.dx, g.dy, g.dz, g.dt, g.cvac, g.eps0, g.x0, g.y0, g.z0] {
-        write_f32(w, v)?;
-    }
-    for face in 0..6 {
-        write_u32(w, bc_code(g.bc[face]))?;
-    }
-    write_u64(w, sim.step_count)?;
-    // Fields.
-    let f = &sim.fields;
-    for arr in [&f.ex, &f.ey, &f.ez, &f.cbx, &f.cby, &f.cbz, &f.jx, &f.jy, &f.jz, &f.rho] {
-        write_f32_slice(w, arr)?;
-    }
-    // Species.
-    write_u32(w, sim.species.len() as u32)?;
-    for sp in &sim.species {
-        let name = sp.name.as_bytes();
-        write_u32(w, name.len() as u32)?;
-        w.write_all(name)?;
-        write_f32(w, sp.q)?;
-        write_f32(w, sp.m)?;
-        write_u32(w, sp.sort_interval as u32)?;
-        write_u64(w, sp.particles.len() as u64)?;
-        for p in &sp.particles {
-            for v in [p.dx, p.dy, p.dz] {
-                write_f32(w, v)?;
-            }
-            write_u32(w, p.i)?;
-            for v in [p.ux, p.uy, p.uz, p.w] {
-                write_f32(w, v)?;
-            }
-        }
-    }
-    Ok(())
+    p.finish()
 }
 
-/// Restore a simulation from a restart dump. `n_pipelines` is a runtime
-/// choice and need not match the saving run.
-pub fn load(r: &mut impl Read, n_pipelines: usize) -> io::Result<Simulation> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a VPICRS01 dump"));
-    }
-    let nx = read_u32(r)? as usize;
-    let ny = read_u32(r)? as usize;
-    let nz = read_u32(r)? as usize;
-    // Plausibility bound before any grid-sized allocation happens.
-    if nx == 0 || ny == 0 || nz == 0 || nx > 1 << 16 || ny > 1 << 16 || nz > 1 << 16
-        || (nx + 2).saturating_mul(ny + 2).saturating_mul(nz + 2) > 1 << 31
-    {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible grid dims"));
-    }
-    let mut f9 = [0.0f32; 9];
-    for v in &mut f9 {
-        *v = read_f32(r)?;
-    }
-    let mut bc = [ParticleBc::Periodic; 6];
-    for b in &mut bc {
-        *b = bc_from(read_u32(r)?)?;
-    }
-    let mut grid = Grid::new((nx, ny, nz), (f9[0], f9[1], f9[2]), f9[3], bc);
-    grid.cvac = f9[4];
-    grid.eps0 = f9[5];
-    grid.x0 = f9[6];
-    grid.y0 = f9[7];
-    grid.z0 = f9[8];
-    let step_count = read_u64(r)?;
-
-    let mut sim = Simulation::new(grid, n_pipelines);
-    sim.step_count = step_count;
-    let n = sim.grid.n_voxels();
-    let mut fields = FieldArray::new(&sim.grid);
+/// Decode a fields section payload into `fields` (all arrays must have
+/// exactly `n` entries).
+pub fn decode_fields(
+    payload: &[u8],
+    n: usize,
+    fields: &mut FieldArray,
+) -> Result<(), CheckpointError> {
+    let mut r = PayloadReader::new(payload, "fields");
     for arr in [
         &mut fields.ex,
         &mut fields.ey,
@@ -180,48 +315,211 @@ pub fn load(r: &mut impl Read, n_pipelines: usize) -> io::Result<Simulation> {
         &mut fields.jz,
         &mut fields.rho,
     ] {
-        *arr = read_f32_vec(r, n)?;
+        *arr = r.f32_vec(n)?;
     }
-    sim.fields = fields;
+    r.done()
+}
 
-    let n_species = read_u32(r)? as usize;
-    if n_species > 1024 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible species count"));
-    }
-    for _ in 0..n_species {
-        let name_len = read_u32(r)? as usize;
-        if name_len > 4096 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible name length"));
+/// Encode a species list as one section payload.
+pub fn encode_species(species: &[Species]) -> Vec<u8> {
+    let mut p = PayloadWriter::new();
+    p.u32(species.len() as u32);
+    for sp in species {
+        let name = sp.name.as_bytes();
+        p.u32(name.len() as u32);
+        p.bytes(name);
+        p.f32(sp.q);
+        p.f32(sp.m);
+        p.u32(sp.sort_interval as u32);
+        p.u64(sp.particles.len() as u64);
+        for part in &sp.particles {
+            p.f32(part.dx);
+            p.f32(part.dy);
+            p.f32(part.dz);
+            p.u32(part.i);
+            p.f32(part.ux);
+            p.f32(part.uy);
+            p.f32(part.uz);
+            p.f32(part.w);
         }
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad species name"))?;
-        let q = read_f32(r)?;
-        let m = read_f32(r)?;
-        let sort_interval = read_u32(r)? as usize;
-        let count = read_u64(r)? as usize;
+    }
+    p.finish()
+}
+
+/// Decode a species section payload; every particle's voxel must be below
+/// `n_voxels`.
+pub fn decode_species(payload: &[u8], n_voxels: usize) -> Result<Vec<Species>, CheckpointError> {
+    let mut r = PayloadReader::new(payload, "species");
+    let n_species = r.u32()? as usize;
+    if n_species > 1024 {
+        return Err(CheckpointError::Malformed(format!(
+            "implausible species count {n_species}"
+        )));
+    }
+    let mut out = Vec::with_capacity(n_species);
+    for _ in 0..n_species {
+        let name_len = r.u32()? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Malformed(format!(
+                "implausible species name length {name_len}"
+            )));
+        }
+        let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+            .map_err(|_| CheckpointError::Malformed("species name is not UTF-8".into()))?;
+        let q = r.f32()?;
+        let m = r.f32()?;
+        let sort_interval = r.u32()? as usize;
+        let count = r.u64()? as usize;
         let mut sp = Species::new(name, q, m).with_sort_interval(sort_interval);
         // Do not trust the header for a big up-front reservation: a
-        // corrupted count should fail at EOF, not on allocation.
+        // corrupted count should fail on decode, not on allocation.
         sp.particles.reserve_exact(count.min(1 << 20));
         for _ in 0..count {
-            let dx = read_f32(r)?;
-            let dy = read_f32(r)?;
-            let dz = read_f32(r)?;
-            let i = read_u32(r)?;
-            let ux = read_f32(r)?;
-            let uy = read_f32(r)?;
-            let uz = read_f32(r)?;
-            let w = read_f32(r)?;
-            if i as usize >= sim.grid.n_voxels() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "voxel out of range"));
+            let dx = r.f32()?;
+            let dy = r.f32()?;
+            let dz = r.f32()?;
+            let i = r.u32()?;
+            let ux = r.f32()?;
+            let uy = r.f32()?;
+            let uz = r.f32()?;
+            let w = r.f32()?;
+            if i as usize >= n_voxels {
+                return Err(CheckpointError::Malformed(format!(
+                    "particle voxel {i} out of range (< {n_voxels})"
+                )));
             }
-            sp.particles.push(Particle { dx, dy, dz, i, ux, uy, uz, w });
+            sp.particles.push(Particle {
+                dx,
+                dy,
+                dz,
+                i,
+                ux,
+                uy,
+                uz,
+                w,
+            });
         }
+        out.push(sp);
+    }
+    r.done()?;
+    Ok(out)
+}
+
+/// Write a restart dump of `sim` to `w`.
+pub fn save(sim: &Simulation, w: &mut impl Write) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    // Header section.
+    let g = &sim.grid;
+    let mut h = PayloadWriter::new();
+    for v in [g.nx as u32, g.ny as u32, g.nz as u32] {
+        h.u32(v);
+    }
+    for v in [g.dx, g.dy, g.dz, g.dt, g.cvac, g.eps0, g.x0, g.y0, g.z0] {
+        h.f32(v);
+    }
+    for face in 0..6 {
+        h.u32(bc_code(g.bc[face]));
+    }
+    h.u64(sim.step_count);
+    write_section(w, &h.finish())?;
+    write_section(w, &encode_fields(&sim.fields))?;
+    write_section(w, &encode_species(&sim.species))?;
+    Ok(())
+}
+
+/// Restore a simulation from a restart dump. `n_pipelines` is a runtime
+/// choice and need not match the saving run.
+pub fn load(r: &mut impl Read, n_pipelines: usize) -> Result<Simulation, CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| CheckpointError::BadMagic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut vb = [0u8; 4];
+    r.read_exact(&mut vb)
+        .map_err(|_| CheckpointError::Truncated { section: "version" })?;
+    let version = u32::from_le_bytes(vb);
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+
+    let header = read_section(r, "header")?;
+    let mut hr = PayloadReader::new(&header, "header");
+    let nx = hr.u32()? as usize;
+    let ny = hr.u32()? as usize;
+    let nz = hr.u32()? as usize;
+    // Plausibility bound before any grid-sized allocation happens.
+    if nx == 0
+        || ny == 0
+        || nz == 0
+        || nx > 1 << 16
+        || ny > 1 << 16
+        || nz > 1 << 16
+        || (nx + 2).saturating_mul(ny + 2).saturating_mul(nz + 2) > 1 << 31
+    {
+        return Err(CheckpointError::Malformed(format!(
+            "implausible grid dims {nx}x{ny}x{nz}"
+        )));
+    }
+    let mut f9 = [0.0f32; 9];
+    for v in &mut f9 {
+        *v = hr.f32()?;
+    }
+    let mut bc = [ParticleBc::Periodic; 6];
+    for b in &mut bc {
+        *b = bc_from(hr.u32()?)?;
+    }
+    let step_count = hr.u64()?;
+    hr.done()?;
+
+    let mut grid = Grid::new((nx, ny, nz), (f9[0], f9[1], f9[2]), f9[3], bc);
+    grid.cvac = f9[4];
+    grid.eps0 = f9[5];
+    grid.x0 = f9[6];
+    grid.y0 = f9[7];
+    grid.z0 = f9[8];
+
+    let mut sim = Simulation::new(grid, n_pipelines);
+    sim.step_count = step_count;
+    let n = sim.grid.n_voxels();
+
+    let fields_payload = read_section(r, "fields")?;
+    let mut fields = FieldArray::new(&sim.grid);
+    decode_fields(&fields_payload, n, &mut fields)?;
+    sim.fields = fields;
+
+    let species_payload = read_section(r, "species")?;
+    for sp in decode_species(&species_payload, n)? {
         sim.add_species(sp);
     }
     Ok(sim)
+}
+
+/// Atomically write a restart dump to `path`: buffered write to a `.tmp`
+/// sibling, fsync, rename. A crash mid-dump leaves the previous checkpoint
+/// (if any) untouched.
+pub fn save_to_path(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        save(sim, &mut w)?;
+        let file = w
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a restart dump from `path`.
+pub fn load_from_path(path: &Path, n_pipelines: usize) -> Result<Simulation, CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(file);
+    load(&mut r, n_pipelines)
 }
 
 #[cfg(test)]
@@ -235,7 +533,14 @@ mod tests {
         let mut sim = Simulation::new(g, 2);
         let mut e = Species::new("electron", -1.0, 1.0);
         let mut rng = Rng::seeded(17);
-        load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 16, Momentum::thermal(0.03));
+        load_uniform(
+            &mut e,
+            &sim.grid,
+            &mut rng,
+            1.0,
+            16,
+            Momentum::thermal(0.03),
+        );
         sim.add_species(e);
         for _ in 0..3 {
             sim.step();
@@ -286,8 +591,21 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         match load(&mut &b"NOTADUMPxxxx"[..], 1) {
-            Err(err) => assert_eq!(err.kind(), io::ErrorKind::InvalidData),
+            Err(CheckpointError::BadMagic) => {}
+            Err(e) => panic!("wrong error for bad magic: {e}"),
             Ok(_) => panic!("bad magic accepted"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"VPICRS02");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        match load(&mut buf.as_slice(), 1) {
+            Err(CheckpointError::UnsupportedVersion(99)) => {}
+            Err(e) => panic!("wrong error for future version: {e}"),
+            Ok(_) => panic!("future version accepted"),
         }
     }
 
@@ -296,7 +614,47 @@ mod tests {
         let sim = make_sim();
         let mut buf = Vec::new();
         save(&sim, &mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(load(&mut buf.as_slice(), 1).is_err());
+        for frac in [2, 3, 5] {
+            let mut cut = buf.clone();
+            cut.truncate(cut.len() / frac);
+            match load(&mut cut.as_slice(), 1) {
+                Err(CheckpointError::Truncated { .. })
+                | Err(CheckpointError::CrcMismatch { .. }) => {}
+                Err(e) => panic!("unexpected error for truncation: {e}"),
+                Ok(_) => panic!("truncated dump accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_payload_bit_flip_region() {
+        // Flip one byte in each section's payload: CRC must catch it.
+        let sim = make_sim();
+        let mut buf = Vec::new();
+        save(&sim, &mut buf).unwrap();
+        // Probe several positions spread across the dump (past the magic
+        // and version words, which have their own checks).
+        let n = buf.len();
+        for pos in [16, n / 4, n / 2, (3 * n) / 4, n - 8] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                load(&mut bad.as_slice(), 1).is_err(),
+                "bit flip at byte {pos} of {n} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_path_roundtrip_and_no_tmp_left_behind() {
+        let dir = std::env::temp_dir().join(format!("vpic_test_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.vpic");
+        let sim = make_sim();
+        save_to_path(&sim, &path).unwrap();
+        assert!(!dir.join("dump.tmp").exists(), "temp file left behind");
+        let restored = load_from_path(&path, 1).unwrap();
+        assert_eq!(restored.species[0].particles, sim.species[0].particles);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -150,11 +150,25 @@ mod tests {
     use super::*;
     use crate::maxwellian::{load_uniform, Momentum};
 
-    fn collisional_plasma(uth: [f32; 3], nu0: f64, seed: u64) -> (Species, Grid, CollisionOperator, Rng) {
+    fn collisional_plasma(
+        uth: [f32; 3],
+        nu0: f64,
+        seed: u64,
+    ) -> (Species, Grid, CollisionOperator, Rng) {
         let g = Grid::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.05);
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(seed);
-        load_uniform(&mut sp, &g, &mut rng, 1.0, 64, Momentum { uth, drift: [0.0; 3] });
+        load_uniform(
+            &mut sp,
+            &g,
+            &mut rng,
+            1.0,
+            64,
+            Momentum {
+                uth,
+                drift: [0.0; 3],
+            },
+        );
         sp.sort(&g);
         (sp, g, CollisionOperator::new(nu0, 1), rng)
     }
@@ -171,7 +185,10 @@ mod tests {
         let e1 = sp.kinetic_energy(&g);
         let pscale = sp.len() as f64 * 0.05 * sp.particles[0].w as f64;
         for ax in 0..3 {
-            assert!((p1[ax] - p0[ax]).abs() < 1e-4 * pscale, "momentum drifted: {p0:?} -> {p1:?}");
+            assert!(
+                (p1[ax] - p0[ax]).abs() < 1e-4 * pscale,
+                "momentum drifted: {p0:?} -> {p1:?}"
+            );
         }
         assert!((e1 - e0).abs() / e0 < 1e-4, "energy drifted: {e0} -> {e1}");
     }
@@ -182,7 +199,11 @@ mod tests {
         let (mut sp, g, op, mut rng) = collisional_plasma([0.1, 0.02, 0.02], 0.02, 2);
         let t = |sp: &Species, ax: usize| {
             let n = sp.len() as f64;
-            sp.particles.iter().map(|p| (p.momentum(ax) as f64).powi(2)).sum::<f64>() / n
+            sp.particles
+                .iter()
+                .map(|p| (p.momentum(ax) as f64).powi(2))
+                .sum::<f64>()
+                / n
         };
         let ratio0 = t(&sp, 0) / t(&sp, 1);
         for _ in 0..200 {
@@ -190,7 +211,10 @@ mod tests {
         }
         let ratio1 = t(&sp, 0) / t(&sp, 1);
         assert!(ratio0 > 15.0, "setup broken: {ratio0}");
-        assert!(ratio1 < 0.6 * ratio0, "no isotropization: {ratio0} -> {ratio1}");
+        assert!(
+            ratio1 < 0.6 * ratio0,
+            "no isotropization: {ratio0} -> {ratio1}"
+        );
         // Total energy unchanged while redistributing.
         let total0 = 0.1f64.powi(2) + 2.0 * 0.02f64.powi(2);
         let total1 = t(&sp, 0) + t(&sp, 1) + t(&sp, 2);
@@ -212,7 +236,10 @@ mod tests {
         let decay = |nu0: f64, seed: u64| {
             let (mut sp, g, op, mut rng) = collisional_plasma([0.1, 0.02, 0.02], nu0, seed);
             let t = |sp: &Species, ax: usize| {
-                sp.particles.iter().map(|p| (p.momentum(ax) as f64).powi(2)).sum::<f64>()
+                sp.particles
+                    .iter()
+                    .map(|p| (p.momentum(ax) as f64).powi(2))
+                    .sum::<f64>()
                     / sp.len() as f64
             };
             let r0: f64 = t(&sp, 0) / t(&sp, 1);
@@ -224,7 +251,10 @@ mod tests {
         // Weak enough that neither case fully isotropizes in 20 passes.
         let slow = decay(1e-4, 4);
         let fast = decay(4e-4, 4);
-        assert!(fast < 2.0 * slow, "faster nu0 must decay anisotropy faster: {slow} vs {fast}");
+        assert!(
+            fast < 2.0 * slow,
+            "faster nu0 must decay anisotropy faster: {slow} vs {fast}"
+        );
         assert!(fast < -0.1, "fast case barely relaxed: {fast}");
         assert!(slow > -1.0, "slow case relaxed too fast to compare: {slow}");
     }
@@ -242,7 +272,12 @@ mod tests {
         // the array as long as we do not sort between measurements).
         for _ in 0..n_bulk / 16 {
             let i = sp.particles[rng.index(n_bulk)].i;
-            sp.particles.push(Particle { i, ux: 0.08, w: sp.particles[0].w, ..Default::default() });
+            sp.particles.push(Particle {
+                i,
+                ux: 0.08,
+                w: sp.particles[0].w,
+                ..Default::default()
+            });
         }
         sp.sort(&g);
         // After sorting identity is lost; instead track the mean ux of the
@@ -254,7 +289,10 @@ mod tests {
                 .filter(|p| p.ux > 0.05)
                 .map(|p| p.ux as f64)
                 .collect();
-            (tail.iter().sum::<f64>() / tail.len().max(1) as f64, tail.len())
+            (
+                tail.iter().sum::<f64>() / tail.len().max(1) as f64,
+                tail.len(),
+            )
         };
         let (m0, c0) = beam_mean(&sp);
         let op = CollisionOperator::new(0.01, 1);
@@ -264,6 +302,9 @@ mod tests {
         let (_, c1) = beam_mean(&sp);
         // The beam population above the threshold shrinks as it scatters
         // into the bulk.
-        assert!(c1 < (c0 as f64 * 0.8) as usize, "beam did not slow: {c0} -> {c1} (mean0 {m0})");
+        assert!(
+            c1 < (c0 as f64 * 0.8) as usize,
+            "beam did not slow: {c0} -> {c1} (mean0 {m0})"
+        );
     }
 }

@@ -42,23 +42,40 @@ mod tests {
         let g = Grid::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.1);
         let mut f = FieldArray::new(&g);
         let parts = vec![
-            Particle { i: g.voxel(2, 3, 2) as u32, dx: 0.3, dy: -0.7, dz: 0.9, w: 2.0, ..Default::default() },
-            Particle { i: g.voxel(4, 4, 4) as u32, dx: 0.99, dy: 0.99, dz: 0.99, w: 1.0, ..Default::default() },
+            Particle {
+                i: g.voxel(2, 3, 2) as u32,
+                dx: 0.3,
+                dy: -0.7,
+                dz: 0.9,
+                w: 2.0,
+                ..Default::default()
+            },
+            Particle {
+                i: g.voxel(4, 4, 4) as u32,
+                dx: 0.99,
+                dy: 0.99,
+                dz: 0.99,
+                w: 1.0,
+                ..Default::default()
+            },
         ];
         deposit_rho(&mut f, &g, &parts, -1.5);
         sync_rho(&mut f, &g, bcs_of(&g));
         let total = f.total_rho(&g);
-        assert!((total - (-1.5 * 3.0) as f64).abs() < 1e-5, "total = {total}");
+        assert!((total - (-1.5 * 3.0)).abs() < 1e-5, "total = {total}");
     }
 
     #[test]
     fn centered_particle_splits_equally() {
         let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
         let mut f = FieldArray::new(&g);
-        let parts =
-            vec![Particle { i: g.voxel(2, 2, 2) as u32, w: 8.0, ..Default::default() }];
+        let parts = vec![Particle {
+            i: g.voxel(2, 2, 2) as u32,
+            w: 8.0,
+            ..Default::default()
+        }];
         deposit_rho(&mut f, &g, &parts, 1.0);
-        let v = g.voxel(2, 2, 2) as usize;
+        let v = g.voxel(2, 2, 2);
         let (sx, sy, _) = g.strides();
         let (dj, dk) = (sx, sx * sy);
         for off in [0, 1, dj, dk, 1 + dj, 1 + dk, dj + dk, 1 + dj + dk] {

@@ -64,7 +64,11 @@ pub fn advance_b(f: &mut FieldArray, g: &Grid, frac: f32) {
 
 /// Advance `E` by a full `dt` using the currents in `f.jx/jy/jz`.
 pub fn advance_e(f: &mut FieldArray, g: &Grid) {
-    let (cdtx, cdty, cdtz) = (g.cvac * g.dt / g.dx, g.cvac * g.dt / g.dy, g.cvac * g.dt / g.dz);
+    let (cdtx, cdty, cdtz) = (
+        g.cvac * g.dt / g.dx,
+        g.cvac * g.dt / g.dy,
+        g.cvac * g.dt / g.dz,
+    );
     let dt_eps = g.dt / g.eps0;
     let (sx, sy, _) = g.strides();
     let (dj, dk) = (sx, sx * sy);
@@ -72,11 +76,14 @@ pub fn advance_e(f: &mut FieldArray, g: &Grid) {
         for j in 1..=g.ny {
             let row = g.voxel(1, j, k);
             for v in row..row + g.nx {
-                f.ex[v] += cdty * (f.cbz[v] - f.cbz[v - dj]) - cdtz * (f.cby[v] - f.cby[v - dk])
+                f.ex[v] += cdty * (f.cbz[v] - f.cbz[v - dj])
+                    - cdtz * (f.cby[v] - f.cby[v - dk])
                     - dt_eps * f.jx[v];
-                f.ey[v] += cdtz * (f.cbx[v] - f.cbx[v - dk]) - cdtx * (f.cbz[v] - f.cbz[v - 1])
+                f.ey[v] += cdtz * (f.cbx[v] - f.cbx[v - dk])
+                    - cdtx * (f.cbz[v] - f.cbz[v - 1])
                     - dt_eps * f.jy[v];
-                f.ez[v] += cdtx * (f.cby[v] - f.cby[v - 1]) - cdty * (f.cbx[v] - f.cbx[v - dj])
+                f.ez[v] += cdtx * (f.cby[v] - f.cby[v - 1])
+                    - cdty * (f.cbx[v] - f.cbx[v - dj])
                     - dt_eps * f.jz[v];
             }
         }
@@ -90,17 +97,17 @@ pub fn advance_e(f: &mut FieldArray, g: &Grid) {
 /// boundaries are built as PEC + sponge + antenna in `vpic-lpi`).
 pub fn bcs_of(g: &Grid) -> FieldBcs {
     use crate::grid::ParticleBc;
-    let mut bcs = [FieldBc::Pec; 6];
-    for face in 0..6 {
-        bcs[face] = match g.bc[face] {
-            ParticleBc::Periodic => FieldBc::Periodic,
-            ParticleBc::Migrate => FieldBc::Exchange,
-            ParticleBc::Reflect | ParticleBc::Absorb => FieldBc::Pec,
-        };
-    }
+    let bcs = g.bc.map(|b| match b {
+        ParticleBc::Periodic => FieldBc::Periodic,
+        ParticleBc::Migrate => FieldBc::Exchange,
+        ParticleBc::Reflect | ParticleBc::Absorb => FieldBc::Pec,
+    });
     for axis in 0..3 {
         let paired = (bcs[axis] == FieldBc::Periodic) == (bcs[axis + 3] == FieldBc::Periodic);
-        assert!(paired, "periodic field BC must be set on both faces of axis {axis}");
+        assert!(
+            paired,
+            "periodic field BC must be set on both faces of axis {axis}"
+        );
     }
     bcs
 }
@@ -341,8 +348,8 @@ pub fn clean_div_e(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 
     let bcs = bcs_of(g);
     let rms = compute_div_e_err(f, g, scratch);
     // Mirror the error field on periodic axes so the +1 planes are valid.
-    for axis in 0..3 {
-        if bcs[axis] == FieldBc::Periodic {
+    for (axis, &bc) in bcs.iter().enumerate().take(3) {
+        if bc == FieldBc::Periodic {
             let n = n_of(g, axis);
             copy_plane(scratch, g, axis, 1, n + 1);
         }
@@ -394,8 +401,8 @@ pub fn compute_div_b_err(f: &FieldArray, g: &Grid, err: &mut Vec<f32>) -> f64 {
 pub fn clean_div_b(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
     let bcs = bcs_of(g);
     let rms = compute_div_b_err(f, g, scratch);
-    for axis in 0..3 {
-        if bcs[axis] == FieldBc::Periodic {
+    for (axis, &bc) in bcs.iter().enumerate().take(3) {
+        if bc == FieldBc::Periodic {
             let n = n_of(g, axis);
             copy_plane(scratch, g, axis, n, 0);
         }
@@ -460,15 +467,17 @@ mod tests {
             advance_e(&mut f, &g);
         }
         let e1 = f.energy_e(&g) + f.energy_b(&g);
-        assert!(
-            (e1 - e0).abs() / e0 < 1e-3,
-            "energy drift: {e0} -> {e1}"
-        );
+        assert!((e1 - e0).abs() / e0 < 1e-3, "energy drift: {e0} -> {e1}");
         // Wave should be close to its initial phase (small numerical
         // dispersion at 64 cells/wavelength).
         let v = g.voxel(9, 1, 1);
         let want = (kx * 8.0 * g.dx as f64).sin() as f32;
-        assert!((f.ey[v] - want).abs() < 0.05, "got {} want {}", f.ey[v], want);
+        assert!(
+            (f.ey[v] - want).abs() < 0.05,
+            "got {} want {}",
+            f.ey[v],
+            want
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Grid {
         dt: f32,
         bc: [ParticleBc; 6],
     ) -> Self {
-        assert!(nx >= 1 && ny >= 1 && nz >= 1, "grid needs at least one cell per axis");
+        assert!(
+            nx >= 1 && ny >= 1 && nz >= 1,
+            "grid needs at least one cell per axis"
+        );
         assert!(dx > 0.0 && dy > 0.0 && dz > 0.0 && dt > 0.0);
         let mut g = Grid {
             nx,
@@ -119,7 +122,11 @@ impl Grid {
     }
 
     /// Convenience constructor: fully periodic box.
-    pub fn periodic((nx, ny, nz): (usize, usize, usize), (dx, dy, dz): (f32, f32, f32), dt: f32) -> Self {
+    pub fn periodic(
+        (nx, ny, nz): (usize, usize, usize),
+        (dx, dy, dz): (f32, f32, f32),
+        dt: f32,
+    ) -> Self {
         Self::new((nx, ny, nz), (dx, dy, dz), dt, [ParticleBc::Periodic; 6])
     }
 
@@ -230,7 +237,11 @@ impl Grid {
     /// Physical extents of the live region.
     #[inline]
     pub fn extent(&self) -> (f32, f32, f32) {
-        (self.nx as f32 * self.dx, self.ny as f32 * self.dy, self.nz as f32 * self.dz)
+        (
+            self.nx as f32 * self.dx,
+            self.ny as f32 * self.dy,
+            self.nz as f32 * self.dz,
+        )
     }
 
     /// Volume of one cell.

@@ -47,7 +47,15 @@ impl HarrisSheet {
     /// GEM-challenge-flavored defaults (reduced mass ratio 25,
     /// `Ti/Te = 5`, `L = 0.5·di`).
     pub fn gem_like(b0: f32, z_center: f32) -> Self {
-        HarrisSheet { b0, l: 1.0, n0: 1.0, nb: 0.2, ti_over_te: 5.0, mi: 25.0, z_center }
+        HarrisSheet {
+            b0,
+            l: 1.0,
+            n0: 1.0,
+            nb: 0.2,
+            ti_over_te: 5.0,
+            mi: 25.0,
+            z_center,
+        }
     }
 
     /// Electron temperature from pressure balance
@@ -119,7 +127,10 @@ impl HarrisSheet {
             g,
             rng,
             ppc,
-            Momentum { uth: [vth_e; 3], drift: [0.0, ude, 0.0] },
+            Momentum {
+                uth: [vth_e; 3],
+                drift: [0.0, ude, 0.0],
+            },
             self.n0,
             |_, _, z| self.sheet_density(z),
         );
@@ -128,15 +139,34 @@ impl HarrisSheet {
             g,
             rng,
             ppc,
-            Momentum { uth: [vth_i; 3], drift: [0.0, udi, 0.0] },
+            Momentum {
+                uth: [vth_i; 3],
+                drift: [0.0, udi, 0.0],
+            },
             self.n0,
             |_, _, z| self.sheet_density(z),
         );
         // Background (non-drifting) populations.
         if self.nb > 0.0 {
             let ppc_b = ((ppc as f32 * self.nb / self.n0).ceil() as usize).max(1);
-            load_profile(electrons, g, rng, ppc_b, Momentum::thermal(vth_e), self.nb, |_, _, _| 1.0);
-            load_profile(ions, g, rng, ppc_b, Momentum::thermal(vth_i), self.nb, |_, _, _| 1.0);
+            load_profile(
+                electrons,
+                g,
+                rng,
+                ppc_b,
+                Momentum::thermal(vth_e),
+                self.nb,
+                |_, _, _| 1.0,
+            );
+            load_profile(
+                ions,
+                g,
+                rng,
+                ppc_b,
+                Momentum::thermal(vth_i),
+                self.nb,
+                |_, _, _| 1.0,
+            );
         }
     }
 
@@ -204,7 +234,11 @@ mod tests {
         // Current balance: n0·(q_i·udi + q_e·ude) = n0·(udi − ude) matches
         // Ampère: ∇×B at center = B0/L.
         let j_y = h.n0 * (udi - ude);
-        assert!((j_y - h.b0 / h.l).abs() < 1e-6, "J = {j_y}, want {}", h.b0 / h.l);
+        assert!(
+            (j_y - h.b0 / h.l).abs() < 1e-6,
+            "J = {j_y}, want {}",
+            h.b0 / h.l
+        );
     }
 
     #[test]
@@ -215,7 +249,10 @@ mod tests {
         h.init_field(&mut f, &g);
         let below = f.cbx[g.voxel(4, 1, 4)];
         let above = f.cbx[g.voxel(4, 1, 29)];
-        assert!(below < -0.4 && above > 0.4, "no reversal: {below} vs {above}");
+        assert!(
+            below < -0.4 && above > 0.4,
+            "no reversal: {below} vs {above}"
+        );
         // Near-zero at the center.
         let mid = f.cbx[g.voxel(4, 1, 16)];
         assert!(mid.abs() < 0.2, "center field {mid}");
@@ -229,7 +266,7 @@ mod tests {
         let mut i = Species::new("i", 1.0, 25.0);
         let mut rng = Rng::seeded(5);
         h.load(&mut e, &mut i, &g, &mut rng, 64);
-        assert!(e.len() > 0 && i.len() > 0);
+        assert!(!e.is_empty() && !i.is_empty());
         // Total y-current = ∫ n0 sech²·(udi − ude) dV > 0 and matches the
         // analytic integral within sampling noise.
         let jy = |sp: &Species| -> f64 {
@@ -243,7 +280,10 @@ mod tests {
         // ∫ sech²(z/L) dz = 2L over a wide box; area Lx·Ly.
         let (lx, ly, _) = g.extent();
         let want = (h.n0 * (udi - ude) * 2.0 * h.l * lx * ly) as f64;
-        assert!((total - want).abs() / want < 0.1, "J = {total}, want {want}");
+        assert!(
+            (total - want).abs() / want < 0.1,
+            "J = {total}, want {want}"
+        );
     }
 
     #[test]

@@ -210,7 +210,14 @@ mod tests {
         let mut rng = Rng::seeded(1);
         let uth = 0.05f32;
         let drift = 0.02f32;
-        load_uniform(&mut sp, &g, &mut rng, 2.0, 200, Momentum::drifting_x(uth, drift));
+        load_uniform(
+            &mut sp,
+            &g,
+            &mut rng,
+            2.0,
+            200,
+            Momentum::drifting_x(uth, drift),
+        );
         let h = hydro_moments(&sp, &g);
         // With periodic folding every live node sees the full density 2.0.
         let mut n_sum = 0.0f64;
@@ -255,13 +262,21 @@ mod tests {
         let g = Grid::periodic((10, 2, 2), (1.0, 1.0, 1.0), 0.1);
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(3);
-        crate::maxwellian::load_profile(&mut sp, &g, &mut rng, 300, Momentum::thermal(0.0), 1.0, |x, _, _| {
-            if (3.0..7.0).contains(&x) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        crate::maxwellian::load_profile(
+            &mut sp,
+            &g,
+            &mut rng,
+            300,
+            Momentum::thermal(0.0),
+            1.0,
+            |x, _, _| {
+                if (3.0..7.0).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let h = hydro_moments(&sp, &g);
         let line = h.density_line_x(&g);
         assert!(line[0] < 0.1, "vacuum polluted: {line:?}");
@@ -273,7 +288,12 @@ mod tests {
     fn clear_resets_everything() {
         let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
         let mut sp = Species::new("e", -1.0, 1.0);
-        sp.particles.push(Particle { i: g.voxel(2, 2, 2) as u32, ux: 1.0, w: 1.0, ..Default::default() });
+        sp.particles.push(Particle {
+            i: g.voxel(2, 2, 2) as u32,
+            ux: 1.0,
+            w: 1.0,
+            ..Default::default()
+        });
         let mut h = hydro_moments(&sp, &g);
         assert!(h.mean_density(&g) > 0.0);
         h.clear();

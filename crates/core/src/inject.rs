@@ -45,13 +45,21 @@ impl ThermalInjector {
             self.face == FACE_LOW_X || self.face == FACE_HIGH_X,
             "only x faces are supported"
         );
-        debug_assert_eq!(g.bc[self.face], ParticleBc::Absorb, "inject pairs with an absorbing face");
+        debug_assert_eq!(
+            g.bc[self.face],
+            ParticleBc::Absorb,
+            "inject pairs with an absorbing face"
+        );
         let expect = self.expected_per_step(g);
         let mut count = expect.floor() as usize;
         if rng.uniform() < expect - count as f64 {
             count += 1;
         }
-        let inward = if self.face == FACE_LOW_X { 1.0f64 } else { -1.0 };
+        let inward = if self.face == FACE_LOW_X {
+            1.0f64
+        } else {
+            -1.0
+        };
         let i_cell = if self.face == FACE_LOW_X { 1 } else { g.nx };
         for _ in 0..count {
             // Flux-weighted normal speed: Rayleigh.
@@ -105,7 +113,12 @@ mod tests {
     #[test]
     fn injection_rate_matches_kinetic_flux() {
         let g = absorbing_grid(8);
-        let inj = ThermalInjector { face: FACE_LOW_X, n0: 1.0, vth: 0.1, weight: 0.001 };
+        let inj = ThermalInjector {
+            face: FACE_LOW_X,
+            n0: 1.0,
+            vth: 0.1,
+            weight: 0.001,
+        };
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(1);
         let steps = 2000;
@@ -127,7 +140,12 @@ mod tests {
     #[test]
     fn high_face_injects_inward() {
         let g = absorbing_grid(8);
-        let inj = ThermalInjector { face: FACE_HIGH_X, n0: 1.0, vth: 0.1, weight: 0.0005 };
+        let inj = ThermalInjector {
+            face: FACE_HIGH_X,
+            n0: 1.0,
+            vth: 0.1,
+            weight: 0.0005,
+        };
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(2);
         for _ in 0..500 {
@@ -151,12 +169,29 @@ mod tests {
         let mut rng = Rng::seeded(3);
         let ppc = 64;
         let vth = 0.1f32;
-        load_uniform(&mut sp, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(vth));
+        load_uniform(
+            &mut sp,
+            &sim.grid,
+            &mut rng,
+            1.0,
+            ppc,
+            Momentum::thermal(vth),
+        );
         let weight = sim.grid.dv() / ppc as f32;
         sim.add_species(sp);
         let n0 = sim.n_particles() as f64;
-        let inj_lo = ThermalInjector { face: FACE_LOW_X, n0: 1.0, vth, weight };
-        let inj_hi = ThermalInjector { face: FACE_HIGH_X, n0: 1.0, vth, weight };
+        let inj_lo = ThermalInjector {
+            face: FACE_LOW_X,
+            n0: 1.0,
+            vth,
+            weight,
+        };
+        let inj_hi = ThermalInjector {
+            face: FACE_HIGH_X,
+            n0: 1.0,
+            vth,
+            weight,
+        };
         // Drain-only control first.
         let mut drained = sim.species[0].particles.clone();
         {
@@ -176,7 +211,10 @@ mod tests {
         }
         let with_inject = sim.n_particles() as f64;
         let drain_only = drained.len() as f64;
-        assert!(drain_only < 0.95 * n0, "control did not drain: {drain_only} of {n0}");
+        assert!(
+            drain_only < 0.95 * n0,
+            "control did not drain: {drain_only} of {n0}"
+        );
         assert!(
             (with_inject - n0).abs() / n0 < 0.05,
             "not steady: {n0} -> {with_inject} (drain-only: {drain_only})"

@@ -74,7 +74,9 @@ pub struct InterpolatorArray {
 impl InterpolatorArray {
     /// Zeroed array sized for `grid`.
     pub fn new(grid: &Grid) -> Self {
-        InterpolatorArray { data: vec![Interpolator::default(); grid.n_voxels()] }
+        InterpolatorArray {
+            data: vec![Interpolator::default(); grid.n_voxels()],
+        }
     }
 
     /// Rebuild all live-voxel coefficients from `fields`. Ghost planes of

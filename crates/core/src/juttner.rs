@@ -124,7 +124,11 @@ mod tests {
         let mut max = Species::new("e", -1.0, 1.0);
         load_uniform(&mut max, &g, &mut rng, 1.0, 200, Momentum::thermal(0.05));
         let var = |sp: &Species| {
-            sp.particles.iter().map(|p| (p.ux as f64).powi(2)).sum::<f64>() / sp.len() as f64
+            sp.particles
+                .iter()
+                .map(|p| (p.ux as f64).powi(2))
+                .sum::<f64>()
+                / sp.len() as f64
         };
         let (vj, vm) = (var(&jut), var(&max));
         assert!((vj - vm).abs() / vm < 0.05, "juttner {vj} vs maxwell {vm}");
@@ -159,13 +163,16 @@ mod tests {
                 sq[i] += u * u;
             }
         }
-        for i in 0..3 {
-            assert!(sums[i].abs() / (n as f64) < 0.01, "mean bias axis {i}");
+        for (i, s) in sums.iter().enumerate() {
+            assert!(s.abs() / (n as f64) < 0.01, "mean bias axis {i}");
         }
         // Equal variances across axes within a few percent.
         let v0 = sq[0] / n as f64;
-        for i in 1..3 {
-            assert!((sq[i] / n as f64 - v0).abs() / v0 < 0.05, "anisotropic sampling");
+        for &sqi in sq.iter().skip(1) {
+            assert!(
+                (sqi / n as f64 - v0).abs() / v0 < 0.05,
+                "anisotropic sampling"
+            );
         }
     }
 
@@ -176,10 +183,12 @@ mod tests {
         let mut rng = Rng::seeded(4);
         let gamma_d = 3.0f64;
         load_juttner(&mut sp, &g, &mut rng, 1.0, 2000, 0.01, gamma_d);
-        let mean_ux: f64 =
-            sp.particles.iter().map(|p| p.ux as f64).sum::<f64>() / sp.len() as f64;
+        let mean_ux: f64 = sp.particles.iter().map(|p| p.ux as f64).sum::<f64>() / sp.len() as f64;
         // Cold limit: ⟨u_x⟩ ≈ γ_d·β_d·⟨γ⟩ ≈ γ_d·β_d.
         let want = gamma_d * (1.0 - 1.0 / (gamma_d * gamma_d)).sqrt();
-        assert!((mean_ux - want).abs() / want < 0.05, "⟨ux⟩ = {mean_ux}, want {want}");
+        assert!(
+            (mean_ux - want).abs() / want < 0.05,
+            "⟨ux⟩ = {mean_ux}, want {want}"
+        );
     }
 }

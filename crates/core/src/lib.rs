@@ -39,13 +39,14 @@ pub mod accumulator;
 pub mod aosoa;
 pub mod checkpoint;
 pub mod collision;
+pub mod crc32;
 pub mod deposit;
 pub mod field;
 pub mod field_solver;
 pub mod grid;
 pub mod harris;
-pub mod inject;
 pub mod hydro;
+pub mod inject;
 pub mod interpolator;
 pub mod juttner;
 pub mod maxwellian;
@@ -54,14 +55,16 @@ pub mod push;
 pub mod rng;
 pub mod sim;
 pub mod sort;
-pub mod tracer;
-pub mod units;
 pub mod species;
 pub mod sponge;
+pub mod tracer;
+pub mod units;
 
 pub use accumulator::{Accumulator, AccumulatorArray, AccumulatorSet};
 pub use aosoa::{advance_p_aosoa, AosoaStore};
+pub use checkpoint::CheckpointError;
 pub use collision::CollisionOperator;
+pub use crc32::{crc32, Crc32};
 pub use field::FieldArray;
 pub use field_solver::FieldBc;
 pub use grid::{Grid, ParticleBc};
@@ -76,7 +79,7 @@ pub use push::{advance_p, advance_p_serial, move_p_local, Exile, MoveOutcome, Pu
 pub use rng::Rng;
 pub use sim::{EnergySnapshot, Simulation, StepTimings};
 pub use sort::sort_by_voxel;
-pub use tracer::{add_tracer, tracer_species, TrackPoint, TrajectoryRecorder};
-pub use units::LabFrame;
 pub use species::Species;
 pub use sponge::Sponge;
+pub use tracer::{add_tracer, tracer_species, TrackPoint, TrajectoryRecorder};
+pub use units::LabFrame;

@@ -24,25 +24,24 @@ pub struct Momentum {
 impl Momentum {
     /// Isotropic thermal spread, no drift.
     pub fn thermal(uth: f32) -> Self {
-        Momentum { uth: [uth; 3], drift: [0.0; 3] }
+        Momentum {
+            uth: [uth; 3],
+            drift: [0.0; 3],
+        }
     }
 
     /// Isotropic thermal spread with an x-drift.
     pub fn drifting_x(uth: f32, ud: f32) -> Self {
-        Momentum { uth: [uth; 3], drift: [ud, 0.0, 0.0] }
+        Momentum {
+            uth: [uth; 3],
+            drift: [ud, 0.0, 0.0],
+        }
     }
 }
 
 /// Load a uniform density `n0` with `ppc` macroparticles per cell.
 /// Every macroparticle gets weight `n0·dV/ppc`.
-pub fn load_uniform(
-    sp: &mut Species,
-    g: &Grid,
-    rng: &mut Rng,
-    n0: f32,
-    ppc: usize,
-    mom: Momentum,
-) {
+pub fn load_uniform(sp: &mut Species, g: &Grid, rng: &mut Rng, n0: f32, ppc: usize, mom: Momentum) {
     load_profile(sp, g, rng, ppc, mom, n0, |_, _, _| 1.0);
 }
 
@@ -104,9 +103,16 @@ pub fn load_two_stream(
     ud: f32,
     uth: f32,
 ) {
-    assert!(ppc % 2 == 0, "two-stream loader wants an even ppc");
+    assert!(ppc.is_multiple_of(2), "two-stream loader wants an even ppc");
     load_uniform(sp, g, rng, 0.5 * n0, ppc / 2, Momentum::drifting_x(uth, ud));
-    load_uniform(sp, g, rng, 0.5 * n0, ppc / 2, Momentum::drifting_x(uth, -ud));
+    load_uniform(
+        sp,
+        g,
+        rng,
+        0.5 * n0,
+        ppc / 2,
+        Momentum::drifting_x(uth, -ud),
+    );
 }
 
 #[cfg(test)]
@@ -136,10 +142,26 @@ mod tests {
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(2);
         let uth = 0.1f64;
-        load_uniform(&mut sp, &g, &mut rng, 1.0, 500, Momentum::thermal(uth as f32));
+        load_uniform(
+            &mut sp,
+            &g,
+            &mut rng,
+            1.0,
+            500,
+            Momentum::thermal(uth as f32),
+        );
         let n = sp.len() as f64;
-        let var: f64 = sp.particles.iter().map(|p| (p.ux as f64).powi(2)).sum::<f64>() / n;
-        assert!((var.sqrt() - uth).abs() / uth < 0.02, "std = {}", var.sqrt());
+        let var: f64 = sp
+            .particles
+            .iter()
+            .map(|p| (p.ux as f64).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(
+            (var.sqrt() - uth).abs() / uth < 0.02,
+            "std = {}",
+            var.sqrt()
+        );
         let mean: f64 = sp.particles.iter().map(|p| p.uy as f64).sum::<f64>() / n;
         assert!(mean.abs() < 0.01 * uth.max(0.01));
     }
@@ -150,13 +172,21 @@ mod tests {
         let mut sp = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(3);
         // Step profile: zero in the left half, one in the right half.
-        load_profile(&mut sp, &g, &mut rng, 100, Momentum::thermal(0.0), 1.0, |x, _, _| {
-            if x > 5.0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        load_profile(
+            &mut sp,
+            &g,
+            &mut rng,
+            100,
+            Momentum::thermal(0.0),
+            1.0,
+            |x, _, _| {
+                if x > 5.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let left = sp
             .particles
             .iter()

@@ -22,7 +22,10 @@ pub struct Particle {
     pub w: f32,
 }
 
-const _: () = assert!(std::mem::size_of::<Particle>() == 32, "VPIC particle layout");
+const _: () = assert!(
+    std::mem::size_of::<Particle>() == 32,
+    "VPIC particle layout"
+);
 
 impl Particle {
     /// Lorentz factor.
@@ -120,7 +123,13 @@ mod tests {
 
     #[test]
     fn gamma_and_kinetic() {
-        let p = Particle { ux: 3.0, uy: 0.0, uz: 4.0, w: 2.0, ..Default::default() };
+        let p = Particle {
+            ux: 3.0,
+            uy: 0.0,
+            uz: 4.0,
+            w: 2.0,
+            ..Default::default()
+        };
         assert!((p.gamma() - (26.0f32).sqrt()).abs() < 1e-6);
         let want = 2.0 * ((26.0f64).sqrt() - 1.0);
         assert!((p.kinetic_w() - want).abs() < 1e-6);
@@ -128,7 +137,11 @@ mod tests {
 
     #[test]
     fn kinetic_is_accurate_when_cold() {
-        let p = Particle { ux: 1e-4, w: 1.0, ..Default::default() };
+        let p = Particle {
+            ux: 1e-4,
+            w: 1.0,
+            ..Default::default()
+        };
         // (γ-1) ≈ u²/2 for small u; direct f32 sqrt would lose all digits.
         let want = 0.5e-8;
         assert!((p.kinetic_w() - want).abs() / want < 1e-3);

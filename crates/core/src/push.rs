@@ -171,8 +171,7 @@ fn advance_block(
     let mut exiles = Vec::new();
     let ipd = &interp.data;
 
-    for local in 0..chunk.len() {
-        let p = &mut chunk[local];
+    for (local, p) in chunk.iter_mut().enumerate() {
         let f = &ipd[p.i as usize];
         let (dx, dy, dz) = (p.dx, p.dy, p.dz);
 
@@ -232,11 +231,20 @@ fn advance_block(
             acc.deposit(p.i as usize, c.qsp * p.w, (mx, my, mz), (hx, hy, hz));
         } else {
             let idx = base_idx + local as u32;
-            let mut pm = Mover { dispx: hx, dispy: hy, dispz: hz, idx };
+            let mut pm = Mover {
+                dispx: hx,
+                dispy: hy,
+                dispz: hz,
+                idx,
+            };
             match move_p_local(p, &mut pm, acc, g, c.qsp) {
                 MoveOutcome::Done => {}
                 MoveOutcome::Absorbed => absorbed.push(idx),
-                MoveOutcome::Exit { face } => exiles.push(Exile { idx, face, mover: pm }),
+                MoveOutcome::Exit { face } => exiles.push(Exile {
+                    idx,
+                    face,
+                    mover: pm,
+                }),
             }
         }
     }
@@ -267,16 +275,20 @@ pub fn move_p_local(
         // the first face along each axis (s_disp is a half-displacement).
         let mut t = [0.0f32; 3];
         for a in 0..3 {
-            t[a] = if s_disp[a] == 0.0 { 3.4e38 } else { (dir[a] - s_mid[a]) / s_disp[a] };
+            t[a] = if s_disp[a] == 0.0 {
+                3.4e38
+            } else {
+                (dir[a] - s_mid[a]) / s_disp[a]
+            };
         }
 
         // The streak ends at the nearest face, or (axis 3) at the natural
         // end of the move.
         let mut frac = 2.0f32;
         let mut axis = 3usize;
-        for a in 0..3 {
-            if t[a] < frac {
-                frac = t[a];
+        for (a, &ta) in t.iter().enumerate() {
+            if ta < frac {
+                frac = ta;
                 axis = a;
             }
         }
@@ -286,7 +298,12 @@ pub fn move_p_local(
         let seg = [s_disp[0] * frac, s_disp[1] * frac, s_disp[2] * frac];
         let mid = [s_mid[0] + seg[0], s_mid[1] + seg[1], s_mid[2] + seg[2]];
 
-        acc.deposit(p.i as usize, q, (mid[0], mid[1], mid[2]), (seg[0], seg[1], seg[2]));
+        acc.deposit(
+            p.i as usize,
+            q,
+            (mid[0], mid[1], mid[2]),
+            (seg[0], seg[1], seg[2]),
+        );
 
         // Consume the segment.
         pm.dispx -= seg[0];
@@ -351,7 +368,11 @@ mod tests {
         let ia = uniform_e_setup(2.0, &g);
         let mut acc = AccumulatorArray::new(&g);
         let c = PushCoefficients::new(1.0, 1.0, &g);
-        let mut parts = vec![Particle { i: g.voxel(4, 4, 4) as u32, w: 1.0, ..Default::default() }];
+        let mut parts = vec![Particle {
+            i: g.voxel(4, 4, 4) as u32,
+            w: 1.0,
+            ..Default::default()
+        }];
         let exiles = advance_p_serial(&mut parts, c, &ia, &mut acc, &g);
         assert!(exiles.is_empty());
         // du = qE dt (non-relativistic limit): 2.0 * 0.01.
@@ -516,8 +537,18 @@ mod tests {
         let mut acc = AccumulatorArray::new(&g);
         let c = PushCoefficients::new(1.0, 1.0, &g);
         let mut parts = vec![
-            Particle { i: g.voxel(4, 2, 2) as u32, dx: 0.95, ux: 3.0, w: 1.0, ..Default::default() },
-            Particle { i: g.voxel(2, 2, 2) as u32, w: 1.0, ..Default::default() },
+            Particle {
+                i: g.voxel(4, 2, 2) as u32,
+                dx: 0.95,
+                ux: 3.0,
+                w: 1.0,
+                ..Default::default()
+            },
+            Particle {
+                i: g.voxel(2, 2, 2) as u32,
+                w: 1.0,
+                ..Default::default()
+            },
         ];
         let exiles = advance_p_serial(&mut parts, c, &ia, &mut acc, &g);
         assert!(exiles.is_empty());

@@ -17,7 +17,10 @@ pub struct Rng {
 impl Rng {
     /// Seeded constructor.
     pub fn seeded(seed: u64) -> Self {
-        Rng { inner: SmallRng::seed_from_u64(seed), spare_normal: None }
+        Rng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Seed for a domain in a multi-domain run: mixes the run seed with the

@@ -20,7 +20,9 @@ use crate::accumulator::AccumulatorSet;
 use crate::collision::CollisionOperator;
 use crate::deposit::deposit_rho;
 use crate::field::FieldArray;
-use crate::field_solver::{advance_b, advance_e, bcs_of, clean_div_b, clean_div_e, sync_j, sync_rho};
+use crate::field_solver::{
+    advance_b, advance_e, bcs_of, clean_div_b, clean_div_e, sync_j, sync_rho,
+};
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
 use crate::push::{advance_p, Exile, PushCoefficients};
@@ -152,7 +154,7 @@ impl Simulation {
         // 1. Occasional sort.
         let t0 = Instant::now();
         for sp in &mut self.species {
-            if sp.sort_interval > 0 && self.step_count % sp.sort_interval as u64 == 0 {
+            if sp.sort_interval > 0 && self.step_count.is_multiple_of(sp.sort_interval as u64) {
                 sp.sort(g);
             }
         }
@@ -171,8 +173,13 @@ impl Simulation {
         for sp in &mut self.species {
             let coeffs = PushCoefficients::new(sp.q, sp.m, g);
             advanced += sp.len() as u64;
-            let exiles: Vec<Exile> =
-                advance_p(&mut sp.particles, coeffs, &self.interp, &mut self.accumulators.arrays, g);
+            let exiles: Vec<Exile> = advance_p(
+                &mut sp.particles,
+                coeffs,
+                &self.interp,
+                &mut self.accumulators.arrays,
+                g,
+            );
             // Single-domain: migrate faces should not appear; drop & count.
             if !exiles.is_empty() {
                 let mut idxs: Vec<u32> = exiles.iter().map(|e| e.idx).collect();
@@ -191,7 +198,7 @@ impl Simulation {
         if !self.collisions.is_empty() {
             let t0 = Instant::now();
             for (si, op) in self.collisions.clone() {
-                if self.step_count % op.interval as u64 == 0 {
+                if self.step_count.is_multiple_of(op.interval as u64) {
                     let sp = &mut self.species[si];
                     sp.sort(g);
                     op.apply(sp, g, &mut self.collision_rng);
@@ -227,12 +234,18 @@ impl Simulation {
             sponge.apply(&mut self.fields, g);
         }
         self.step_count += 1;
-        if self.clean_div_e_interval > 0 && self.step_count % self.clean_div_e_interval as u64 == 0
+        if self.clean_div_e_interval > 0
+            && self
+                .step_count
+                .is_multiple_of(self.clean_div_e_interval as u64)
         {
             self.refresh_rho();
             clean_div_e(&mut self.fields, &self.grid, &mut self.scratch);
         }
-        if self.clean_div_b_interval > 0 && self.step_count % self.clean_div_b_interval as u64 == 0
+        if self.clean_div_b_interval > 0
+            && self
+                .step_count
+                .is_multiple_of(self.clean_div_b_interval as u64)
         {
             clean_div_b(&mut self.fields, &self.grid, &mut self.scratch);
         }
@@ -264,7 +277,11 @@ impl Simulation {
         EnergySnapshot {
             field_e: self.fields.energy_e(&self.grid),
             field_b: self.fields.energy_b(&self.grid),
-            kinetic: self.species.iter().map(|s| s.kinetic_energy(&self.grid)).collect(),
+            kinetic: self
+                .species
+                .iter()
+                .map(|s| s.kinetic_energy(&self.grid))
+                .collect(),
         }
     }
 }
@@ -298,7 +315,14 @@ mod tests {
         let mut sim = Simulation::new(g, pipelines);
         let mut e = Species::new("e", -1.0, 1.0);
         let mut rng = Rng::seeded(7);
-        load_uniform(&mut e, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(0.02));
+        load_uniform(
+            &mut e,
+            &sim.grid,
+            &mut rng,
+            1.0,
+            ppc,
+            Momentum::thermal(0.02),
+        );
         sim.add_species(e);
         // Neutralizing immobile background: in normalized units a uniform
         // ion background just cancels the mean electron charge, which our
@@ -353,7 +377,10 @@ mod tests {
         let e1 = sim.energies().total();
         assert!((e1 - e0).abs() / e0 < 0.02, "energy drift {e0} -> {e1}");
         // The field energy must actually oscillate (energy exchange).
-        assert!(min_field < 0.5 * max_field, "no oscillation: {min_field} vs {max_field}");
+        assert!(
+            min_field < 0.5 * max_field,
+            "no oscillation: {min_field} vs {max_field}"
+        );
     }
 
     #[test]
@@ -380,7 +407,14 @@ mod tests {
         let mut sim = small_plasma(4, 1);
         let mut ions = Species::new("i", 1.0, 1836.0);
         let mut rng = Rng::seeded(99);
-        load_uniform(&mut ions, &sim.grid, &mut rng, 1.0, 4, Momentum::thermal(0.001));
+        load_uniform(
+            &mut ions,
+            &sim.grid,
+            &mut rng,
+            1.0,
+            4,
+            Momentum::thermal(0.001),
+        );
         sim.add_species(ions);
         sim.refresh_rho();
         let mut scratch = Vec::new();

@@ -56,7 +56,11 @@ mod tests {
     fn sorts_by_voxel_and_is_stable() {
         let mut rng = Rng::seeded(3);
         let mut parts: Vec<Particle> = (0..1000)
-            .map(|n| Particle { i: rng.index(50) as u32, w: n as f32, ..Default::default() })
+            .map(|n| Particle {
+                i: rng.index(50) as u32,
+                w: n as f32,
+                ..Default::default()
+            })
             .collect();
         let reference = parts.clone();
         let mut scratch = Vec::new();
@@ -82,7 +86,10 @@ mod tests {
         let mut none: Vec<Particle> = vec![];
         sort_by_voxel(&mut none, 10, &mut scratch);
         assert!(none.is_empty());
-        let mut one = vec![Particle { i: 7, ..Default::default() }];
+        let mut one = vec![Particle {
+            i: 7,
+            ..Default::default()
+        }];
         sort_by_voxel(&mut one, 10, &mut scratch);
         assert_eq!(one[0].i, 7);
     }
@@ -91,7 +98,10 @@ mod tests {
     fn locality_improves_after_sort() {
         let mut rng = Rng::seeded(11);
         let mut parts: Vec<Particle> = (0..5000)
-            .map(|_| Particle { i: rng.index(1000) as u32, ..Default::default() })
+            .map(|_| Particle {
+                i: rng.index(1000) as u32,
+                ..Default::default()
+            })
             .collect();
         let before = locality_fraction(&parts);
         let mut scratch = Vec::new();

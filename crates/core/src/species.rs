@@ -110,8 +110,20 @@ mod tests {
     fn energy_and_momentum_sums() {
         let g = Grid::periodic((2, 2, 2), (1.0, 1.0, 1.0), 0.1);
         let mut s = Species::new("e", -1.0, 1.0);
-        s.particles.push(Particle { ux: 3.0, uy: 0.0, uz: 4.0, w: 2.0, i: 9, ..Default::default() });
-        s.particles.push(Particle { ux: -1.0, w: 1.0, i: 9, ..Default::default() });
+        s.particles.push(Particle {
+            ux: 3.0,
+            uy: 0.0,
+            uz: 4.0,
+            w: 2.0,
+            i: 9,
+            ..Default::default()
+        });
+        s.particles.push(Particle {
+            ux: -1.0,
+            w: 1.0,
+            i: 9,
+            ..Default::default()
+        });
         let ke = s.kinetic_energy(&g);
         let want = 2.0 * ((26.0f64).sqrt() - 1.0) + ((2.0f64).sqrt() - 1.0);
         assert!((ke - want).abs() < 1e-6);
@@ -124,8 +136,16 @@ mod tests {
     #[test]
     fn mean_velocity_of_opposite_streams_is_zero() {
         let mut s = Species::new("e", -1.0, 1.0);
-        s.particles.push(Particle { ux: 0.5, w: 1.0, ..Default::default() });
-        s.particles.push(Particle { ux: -0.5, w: 1.0, ..Default::default() });
+        s.particles.push(Particle {
+            ux: 0.5,
+            w: 1.0,
+            ..Default::default()
+        });
+        s.particles.push(Particle {
+            ux: -0.5,
+            w: 1.0,
+            ..Default::default()
+        });
         let v = s.mean_velocity();
         assert!(v[0].abs() < 1e-12);
     }
@@ -135,7 +155,10 @@ mod tests {
         let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
         let mut s = Species::new("e", -1.0, 1.0);
         for i in [40u32, 7, 99, 7, 3] {
-            s.particles.push(Particle { i, ..Default::default() });
+            s.particles.push(Particle {
+                i,
+                ..Default::default()
+            });
         }
         s.sort(&g);
         assert!(s.particles.windows(2).all(|w| w[0].i <= w[1].i));

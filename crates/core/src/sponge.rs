@@ -21,7 +21,11 @@ pub struct Sponge {
 impl Sponge {
     /// Symmetric sponge.
     pub fn symmetric(cells: usize, strength: f32) -> Self {
-        Sponge { lo_cells: cells, hi_cells: cells, strength }
+        Sponge {
+            lo_cells: cells,
+            hi_cells: cells,
+            strength,
+        }
     }
 
     /// Per-step multiplier for x-plane `i` (1-based live index), or 1.0
@@ -91,7 +95,11 @@ mod tests {
         for v in f.ey.iter_mut() {
             *v = 1.0;
         }
-        let s = Sponge { lo_cells: 5, hi_cells: 0, strength: 0.5 };
+        let s = Sponge {
+            lo_cells: 5,
+            hi_cells: 0,
+            strength: 0.5,
+        };
         s.apply(&mut f, &g);
         assert!(f.ey[g.voxel(1, 1, 1)] < 0.6);
         assert_eq!(f.ey[g.voxel(10, 1, 1)], 1.0);
@@ -100,7 +108,11 @@ mod tests {
 
     #[test]
     fn one_sided_sponge() {
-        let s = Sponge { lo_cells: 0, hi_cells: 4, strength: 0.1 };
+        let s = Sponge {
+            lo_cells: 0,
+            hi_cells: 4,
+            strength: 0.1,
+        };
         assert_eq!(s.factor(1, 16), 1.0);
         assert!(s.factor(16, 16) < 1.0);
     }

@@ -16,7 +16,12 @@ pub fn tracer_species(name: impl Into<String>, q: f32, m: f32) -> Species {
 
 /// Add one tracer at global position `(x, y, z)` with momentum `u`.
 /// Returns its stable index within the species.
-pub fn add_tracer(sp: &mut Species, g: &Grid, (x, y, z): (f32, f32, f32), u: (f32, f32, f32)) -> usize {
+pub fn add_tracer(
+    sp: &mut Species,
+    g: &Grid,
+    (x, y, z): (f32, f32, f32),
+    u: (f32, f32, f32),
+) -> usize {
     let (i, dx) = g.locate_x(x);
     let (j, dy) = g.locate_y(y);
     let (k, dz) = g.locate_z(z);
@@ -132,7 +137,11 @@ mod tests {
         let track = &rec.tracks[0];
         for w in track.windows(2) {
             let dx = w[1].x - w[0].x;
-            assert!((dx - v * g.dt).abs() < 1e-5, "step dx = {dx}, want {}", v * g.dt);
+            assert!(
+                (dx - v * g.dt).abs() < 1e-5,
+                "step dx = {dx}, want {}",
+                v * g.dt
+            );
             assert_eq!(w[1].y, w[0].y);
         }
         let expect_len = (track.len() - 1) as f64 * (v * g.dt) as f64;
@@ -167,11 +176,18 @@ mod tests {
         let track = &rec.tracks[0];
         // Returned near the start after one period.
         let (a, b) = (track[0], track[track.len() - 1]);
-        assert!((a.x - b.x).abs() < 0.02 && (a.y - b.y).abs() < 0.02, "not periodic: {a:?} vs {b:?}");
+        assert!(
+            (a.x - b.x).abs() < 0.02 && (a.y - b.y).abs() < 0.02,
+            "not periodic: {a:?} vs {b:?}"
+        );
         // Radius: max y-excursion ≈ 2ρ = 2u/B (circle diameter).
         let ymin = track.iter().map(|p| p.y).fold(f32::INFINITY, f32::min);
         let ymax = track.iter().map(|p| p.y).fold(f32::NEG_INFINITY, f32::max);
         let want = 2.0 * u / b0;
-        assert!(((ymax - ymin) - want).abs() < 0.15 * want, "diameter {} want {want}", ymax - ymin);
+        assert!(
+            ((ymax - ymin) - want).abs() < 0.15 * want,
+            "diameter {} want {want}",
+            ymax - ymin
+        );
     }
 }

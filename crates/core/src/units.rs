@@ -31,7 +31,10 @@ pub struct LabFrame {
 impl LabFrame {
     /// NIF-like frame: 351 nm (3ω) light.
     pub fn nif(n_over_ncr: f64) -> Self {
-        LabFrame { lambda0: 351e-9, n_over_ncr }
+        LabFrame {
+            lambda0: 351e-9,
+            n_over_ncr,
+        }
     }
 
     /// Laser angular frequency ω0 (rad/s).
@@ -108,7 +111,10 @@ mod tests {
         // n_cr(351 nm) ≈ 9.05e27 m⁻³ (9.05e21 cm⁻³) — a standard number.
         let f = LabFrame::nif(0.1);
         let ncr_cm3 = f.n_critical() * 1e-6;
-        assert!((ncr_cm3 - 9.05e21).abs() / 9.05e21 < 0.01, "n_cr = {ncr_cm3:.3e} cm^-3");
+        assert!(
+            (ncr_cm3 - 9.05e21).abs() / 9.05e21 < 0.01,
+            "n_cr = {ncr_cm3:.3e} cm^-3"
+        );
     }
 
     #[test]

@@ -23,7 +23,13 @@ use vpic_core::push::{advance_p_serial, PushCoefficients};
 
 /// Max |dρ/dt + ∇·J| over live nodes, normalized by the max |dρ/dt| term
 /// (so the bound is a relative roundoff measure).
-fn continuity_residual(g: &Grid, parts_before: &[Particle], parts_after: &[Particle], f: &FieldArray, qsp: f32) -> f64 {
+fn continuity_residual(
+    g: &Grid,
+    parts_before: &[Particle],
+    parts_after: &[Particle],
+    f: &FieldArray,
+    qsp: f32,
+) -> f64 {
     let mut before = FieldArray::new(g);
     deposit_rho(&mut before, g, parts_before, qsp);
     sync_rho(&mut before, g, bcs_of(g));

@@ -181,7 +181,13 @@ fn zero_field_push_is_ballistic() {
         ..Default::default()
     }];
     for _ in 0..10 {
-        advance_p_serial(&mut parts, PushCoefficients::new(-1.0, 1.0, &g), &ia, &mut acc, &g);
+        advance_p_serial(
+            &mut parts,
+            PushCoefficients::new(-1.0, 1.0, &g),
+            &ia,
+            &mut acc,
+            &g,
+        );
         assert_eq!((parts[0].ux, parts[0].uy, parts[0].uz), u);
     }
 }

@@ -18,7 +18,11 @@ pub struct EnergyLogger<W: Write> {
 impl<W: Write> EnergyLogger<W> {
     /// New logger for the given species names.
     pub fn new(out: W, species_names: Vec<String>) -> Self {
-        EnergyLogger { out, species_names, wrote_header: false }
+        EnergyLogger {
+            out,
+            species_names,
+            wrote_header: false,
+        }
     }
 
     /// Append one sample row (`time` in simulation units).
@@ -93,7 +97,11 @@ mod tests {
     fn energy_log_format() {
         let mut buf = Vec::new();
         let mut log = EnergyLogger::new(&mut buf, vec!["electron".into(), "ion".into()]);
-        let snap = EnergySnapshot { field_e: 1.0, field_b: 2.0, kinetic: vec![3.0, 4.0] };
+        let snap = EnergySnapshot {
+            field_e: 1.0,
+            field_b: 2.0,
+            kinetic: vec![3.0, 4.0],
+        };
         log.log(0.5, &snap).unwrap();
         log.log(1.0, &snap).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn fft_roundtrip() {
         let n = 64;
-        let orig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64)).collect();
+        let orig: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64))
+            .collect();
         let mut re = orig.clone();
         let mut im = vec![0.0; n];
         fft_inplace(&mut re, &mut im, false);

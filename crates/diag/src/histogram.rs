@@ -19,7 +19,13 @@ impl Histogram {
     /// `bins` equal-width bins spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0);
-        Histogram { lo, hi, counts: vec![0.0; bins], underflow: 0.0, overflow: 0.0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+            underflow: 0.0,
+            overflow: 0.0,
+        }
     }
 
     /// Add weight `w` at `x`.
@@ -121,7 +127,13 @@ pub fn momentum_spread(sp: &Species, axis: usize) -> f64 {
 }
 
 /// Convenience: histogram directly from a particle slice.
-pub fn particles_histogram(parts: &[Particle], axis: usize, lo: f64, hi: f64, bins: usize) -> Histogram {
+pub fn particles_histogram(
+    parts: &[Particle],
+    axis: usize,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> Histogram {
     let mut h = Histogram::new(lo, hi, bins);
     for p in parts {
         h.add(p.momentum(axis) as f64, p.w as f64);
@@ -152,7 +164,11 @@ mod tests {
     fn beam(u: f32, n: usize) -> Species {
         let mut sp = Species::new("e", -1.0, 1.0);
         for _ in 0..n {
-            sp.particles.push(Particle { ux: u, w: 2.0, ..Default::default() });
+            sp.particles.push(Particle {
+                ux: u,
+                w: 2.0,
+                ..Default::default()
+            });
         }
         sp
     }
@@ -161,7 +177,13 @@ mod tests {
     fn momentum_histogram_peaks_at_beam() {
         let sp = beam(0.5, 100);
         let h = momentum_histogram(&sp, 0, -1.0, 1.0, 20);
-        let peak = h.counts.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak = h
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert!((h.center(peak) - 0.5).abs() < 0.1);
         assert_eq!(h.total(), 200.0);
     }
@@ -170,7 +192,11 @@ mod tests {
     fn tail_fraction_and_spread() {
         let mut sp = beam(0.0, 90);
         for _ in 0..10 {
-            sp.particles.push(Particle { ux: 1.0, w: 2.0, ..Default::default() });
+            sp.particles.push(Particle {
+                ux: 1.0,
+                w: 2.0,
+                ..Default::default()
+            });
         }
         assert!((tail_fraction(&sp, 0, 0.5) - 0.1).abs() < 1e-12);
         let spread = momentum_spread(&sp, 0);

@@ -22,8 +22,10 @@ pub mod spectrogram;
 
 pub use dump::{write_field_line_x, write_series, EnergyLogger};
 pub use fft::{dominant_frequency, fft_inplace, growth_rate, power_spectrum};
-pub use histogram::{energy_histogram, momentum_histogram, momentum_spread, tail_fraction, Histogram};
+pub use histogram::{
+    energy_histogram, momentum_histogram, momentum_spread, tail_fraction, Histogram,
+};
 pub use poynting::{poynting_x, wave_split_x, ReflectivityProbe};
 pub use recorder::TimeSeries;
-pub use spectrogram::Spectrogram;
 pub use spectra::{dominant_k_x, k_spectrum_x, line_x, line_x_mean, Component};
+pub use spectrogram::Spectrogram;

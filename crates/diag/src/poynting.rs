@@ -67,7 +67,12 @@ pub struct ReflectivityProbe {
 impl ReflectivityProbe {
     /// New probe at x-plane `plane`.
     pub fn new(plane: usize) -> Self {
-        ReflectivityProbe { plane, incident: 0.0, reflected: 0.0, samples: 0 }
+        ReflectivityProbe {
+            plane,
+            incident: 0.0,
+            reflected: 0.0,
+            samples: 0,
+        }
     }
 
     /// Accumulate one time sample.

@@ -14,7 +14,11 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Empty series.
     pub fn new(name: impl Into<String>, dt: f64) -> Self {
-        TimeSeries { name: name.into(), dt, samples: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            dt,
+            samples: Vec::new(),
+        }
     }
 
     /// Append a sample.
@@ -44,9 +48,11 @@ impl TimeSeries {
 
     /// Min and max over the whole series.
     pub fn min_max(&self) -> (f64, f64) {
-        self.samples.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        self.samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 
     /// Dominant angular frequency (mean removed first so the DC component

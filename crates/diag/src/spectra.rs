@@ -15,7 +15,7 @@ pub enum Component {
     CBz,
 }
 
-fn array_of<'f>(f: &'f FieldArray, c: Component) -> &'f [f32] {
+fn array_of(f: &FieldArray, c: Component) -> &[f32] {
     match c {
         Component::Ex => &f.ex,
         Component::Ey => &f.ey,
@@ -55,13 +55,19 @@ pub fn k_spectrum_x(f: &FieldArray, g: &Grid, c: Component) -> Vec<(f64, f64)> {
     let ps = power_spectrum(&line);
     let n = line.len().next_power_of_two().max(2);
     let dk = 2.0 * std::f64::consts::PI / (n as f64 * g.dx as f64);
-    ps.into_iter().enumerate().map(|(m, p)| (m as f64 * dk, p)).collect()
+    ps.into_iter()
+        .enumerate()
+        .map(|(m, p)| (m as f64 * dk, p))
+        .collect()
 }
 
 /// Strongest nonzero-k mode of a component along x; returns `(k, power)`.
 pub fn dominant_k_x(f: &FieldArray, g: &Grid, c: Component) -> (f64, f64) {
     let spec = k_spectrum_x(f, g, c);
-    spec.into_iter().skip(1).max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap_or((0.0, 0.0))
+    spec.into_iter()
+        .skip(1)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap_or((0.0, 0.0))
 }
 
 #[cfg(test)]
@@ -95,9 +101,7 @@ mod tests {
         for i in 1..=n {
             let x = (i - 1) as f64 * dx as f64;
             let val = (2.0 * std::f64::consts::PI * m * x / (n as f64 * dx as f64)).sin();
-            for jk in [(1usize, 1usize)] {
-                f.ex[g.voxel(i, jk.0, jk.1)] = val as f32;
-            }
+            f.ex[g.voxel(i, 1, 1)] = val as f32;
         }
         let (k, p) = dominant_k_x(&f, &g, Component::Ex);
         let want = 2.0 * std::f64::consts::PI * m / (n as f64 * dx as f64);

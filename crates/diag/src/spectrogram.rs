@@ -44,7 +44,11 @@ impl Spectrogram {
             times.push((start as f64 + window as f64 / 2.0) * dt);
             start += hop;
         }
-        Spectrogram { times, omegas, power }
+        Spectrogram {
+            times,
+            omegas,
+            power,
+        }
     }
 
     /// Number of time frames.

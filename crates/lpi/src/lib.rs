@@ -20,7 +20,7 @@ pub mod three_wave;
 
 pub use laser::{LaserAntenna, Polarization};
 pub use profile::SlabProfile;
-pub use setup::{LpiParams, LpiRun};
 pub use sbs::{sbs_match, SbsMatch};
+pub use setup::{LpiParams, LpiRun};
 pub use srs::{srs_match, SrsMatch};
 pub use three_wave::{reflectivity_curve, tang_reflectivity, ThreeWaveModel, ThreeWaveResult};

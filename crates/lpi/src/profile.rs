@@ -49,7 +49,12 @@ mod tests {
 
     #[test]
     fn profile_shape() {
-        let p = SlabProfile { x_enter: 10.0, ramp_up: 5.0, flat: 20.0, ramp_down: 5.0 };
+        let p = SlabProfile {
+            x_enter: 10.0,
+            ramp_up: 5.0,
+            flat: 20.0,
+            ramp_down: 5.0,
+        };
         assert_eq!(p.density(0.0), 0.0);
         assert_eq!(p.density(9.99), 0.0);
         assert!((p.density(12.5) - 0.5).abs() < 1e-6);
@@ -63,7 +68,12 @@ mod tests {
 
     #[test]
     fn hard_edges() {
-        let p = SlabProfile { x_enter: 5.0, ramp_up: 0.0, flat: 10.0, ramp_down: 0.0 };
+        let p = SlabProfile {
+            x_enter: 5.0,
+            ramp_up: 0.0,
+            flat: 10.0,
+            ramp_down: 0.0,
+        };
         assert_eq!(p.density(4.9), 0.0);
         assert_eq!(p.density(5.1), 1.0);
         assert_eq!(p.density(14.9), 1.0);

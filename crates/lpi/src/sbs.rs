@@ -30,7 +30,10 @@ pub struct SbsMatch {
 /// thermal velocity `vth_e`, ion charge `z`, ion mass `m_i` (in electron
 /// masses) and ion temperature ratio `ti_over_te`.
 pub fn sbs_match(n_over_ncr: f64, vth_e: f64, z: f64, m_i: f64, ti_over_te: f64) -> SbsMatch {
-    assert!(n_over_ncr > 0.0 && n_over_ncr < 1.0, "SBS needs an underdense plasma");
+    assert!(
+        n_over_ncr > 0.0 && n_over_ncr < 1.0,
+        "SBS needs an underdense plasma"
+    );
     assert!(m_i > 1.0 && z >= 1.0);
     let omega0 = 1.0 / n_over_ncr.sqrt();
     let k0 = (omega0 * omega0 - 1.0).sqrt();
@@ -47,7 +50,16 @@ pub fn sbs_match(n_over_ncr: f64, vth_e: f64, z: f64, m_i: f64, ti_over_te: f64)
         omega_ia = k_ia * c_s;
     }
     let omega_pi = (z / m_i).sqrt();
-    SbsMatch { omega0, k0, omega_s: omega0 - omega_ia, k_s, omega_ia, k_ia, c_s, omega_pi }
+    SbsMatch {
+        omega0,
+        k0,
+        omega_s: omega0 - omega_ia,
+        k_s,
+        omega_ia,
+        k_ia,
+        c_s,
+        omega_pi,
+    }
 }
 
 impl SbsMatch {

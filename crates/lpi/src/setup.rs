@@ -152,9 +152,15 @@ impl LpiRun {
             let mut ion = Species::new("ion", 1.0, mi);
             let mut rng = Rng::seeded(params.seed ^ 0x1042);
             let vth_i = params.vth as f32 * (params.ti_over_te / mi).sqrt();
-            load_profile(&mut ion, &sim.grid, &mut rng, params.ppc, Momentum::thermal(vth_i), 1.0, |x, _, _| {
-                profile.density(x)
-            });
+            load_profile(
+                &mut ion,
+                &sim.grid,
+                &mut rng,
+                params.ppc,
+                Momentum::thermal(vth_i),
+                1.0,
+                |x, _, _| profile.density(x),
+            );
             sim.add_species(ion)
         });
 
@@ -269,10 +275,17 @@ impl LpiRun {
     /// `ω_s = ω0 − ω_ek`; an SBS line almost on top of `ω0`.
     pub fn backscatter_spectrum(&self) -> Vec<(f64, f64)> {
         let ps = vpic_diag::power_spectrum(&self.backscatter_series.samples);
-        let n = self.backscatter_series.samples.len().next_power_of_two().max(2);
-        let domega =
-            2.0 * std::f64::consts::PI / (n as f64 * self.backscatter_series.dt);
-        ps.into_iter().enumerate().map(|(m, p)| (m as f64 * domega, p)).collect()
+        let n = self
+            .backscatter_series
+            .samples
+            .len()
+            .next_power_of_two()
+            .max(2);
+        let domega = 2.0 * std::f64::consts::PI / (n as f64 * self.backscatter_series.dt);
+        ps.into_iter()
+            .enumerate()
+            .map(|(m, p)| (m as f64 * domega, p))
+            .collect()
     }
 
     /// Strongest backscatter line below `omega_max` (skips the DC bin).

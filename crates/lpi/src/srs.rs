@@ -32,7 +32,10 @@ pub struct SrsMatch {
 /// and thermal velocity `vth` (in c). Panics if the plasma is overdense
 /// for SRS (`n/ncr ≥ 0.25` leaves no propagating scattered wave).
 pub fn srs_match(n_over_ncr: f64, vth: f64) -> SrsMatch {
-    assert!(n_over_ncr > 0.0 && n_over_ncr < 0.25, "SRS needs n/ncr < 1/4");
+    assert!(
+        n_over_ncr > 0.0 && n_over_ncr < 0.25,
+        "SRS needs n/ncr < 1/4"
+    );
     assert!((0.0..0.5).contains(&vth));
     let omega0 = 1.0 / n_over_ncr.sqrt();
     let k0 = (omega0 * omega0 - 1.0).sqrt();
@@ -42,7 +45,10 @@ pub fn srs_match(n_over_ncr: f64, vth: f64) -> SrsMatch {
     let mut k_ek = k0;
     for _ in 0..200 {
         let omega_s = omega0 - omega_ek;
-        assert!(omega_s > 1.0, "scattered wave evanescent; lower n/ncr or vth");
+        assert!(
+            omega_s > 1.0,
+            "scattered wave evanescent; lower n/ncr or vth"
+        );
         k_s = (omega_s * omega_s - 1.0).sqrt();
         k_ek = k0 + k_s; // backward scatter: k_s is against the pump
         omega_ek = (1.0 + 3.0 * (k_ek * vth) * (k_ek * vth)).sqrt();

@@ -115,7 +115,10 @@ pub fn tang_reflectivity(gain: f64, seed: f64) -> f64 {
 
 /// Fluid baseline curve for experiment E5: `(gain, R_tang)` per point.
 pub fn reflectivity_curve(gains: &[f64], seed: f64) -> Vec<(f64, f64)> {
-    gains.iter().map(|&g| (g, tang_reflectivity(g, seed))).collect()
+    gains
+        .iter()
+        .map(|&g| (g, tang_reflectivity(g, seed)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -125,7 +128,13 @@ mod tests {
     #[test]
     fn below_threshold_stays_at_seed_level() {
         // γ0² < νs·νe → no instability.
-        let m = ThreeWaveModel { gamma0: 0.01, nu_s: 0.05, nu_e: 0.05, nu_p: 0.02, seed: 1e-4 };
+        let m = ThreeWaveModel {
+            gamma0: 0.01,
+            nu_s: 0.05,
+            nu_e: 0.05,
+            nu_p: 0.02,
+            seed: 1e-4,
+        };
         let r = m.run(2000.0, 0.5);
         assert!(r.reflectivity < 1e-6, "r = {:?}", r);
         assert!(r.pump_out > 0.999);
@@ -134,11 +143,21 @@ mod tests {
     #[test]
     fn above_threshold_reaches_predicted_steady_state() {
         // Steady state: a_p = √(νs·νe)/γ0, R = νp(1−a_p)·νe/(γ0²·a_p).
-        let m = ThreeWaveModel { gamma0: 0.2, nu_s: 0.05, nu_e: 0.05, nu_p: 0.02, seed: 1e-4 };
+        let m = ThreeWaveModel {
+            gamma0: 0.2,
+            nu_s: 0.05,
+            nu_e: 0.05,
+            nu_p: 0.02,
+            seed: 1e-4,
+        };
         let r = m.run(3000.0, 0.05);
         let ap = (m.nu_s * m.nu_e).sqrt() / m.gamma0;
         let want = m.nu_p * (1.0 - ap) * m.nu_e / (m.gamma0 * m.gamma0 * ap);
-        assert!((r.reflectivity - want).abs() / want < 0.3, "r = {:?}, want {want}", r);
+        assert!(
+            (r.reflectivity - want).abs() / want < 0.3,
+            "r = {:?}, want {want}",
+            r
+        );
         assert!(r.pump_out < 0.9);
         assert!(r.peak_reflectivity >= r.reflectivity);
     }

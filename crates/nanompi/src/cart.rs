@@ -26,7 +26,7 @@ impl CartTopology {
         let mut f = 2;
         let mut factors = Vec::new();
         while f * f <= rem {
-            while rem % f == 0 {
+            while rem.is_multiple_of(f) {
                 factors.push(f);
                 rem /= f;
             }
@@ -61,8 +61,8 @@ impl CartTopology {
 
     /// Rank at `coords`.
     pub fn rank_of(&self, coords: [usize; 3]) -> usize {
-        for a in 0..3 {
-            assert!(coords[a] < self.dims[a]);
+        for (a, &c) in coords.iter().enumerate() {
+            assert!(c < self.dims[a]);
         }
         coords[0] + self.dims[0] * (coords[1] + self.dims[1] * coords[2])
     }

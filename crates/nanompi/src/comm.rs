@@ -1,34 +1,130 @@
-//! Point-to-point messaging, collectives and traffic instrumentation.
+//! Point-to-point messaging, collectives, traffic instrumentation, and
+//! fault-tolerant error handling.
+//!
+//! Every operation that can be stranded by a dead or misbehaving peer is
+//! bounded: receives (and the receive half of every collective) poll with a
+//! deadline and return a typed [`CommError`] instead of hanging or aborting
+//! the process. Collectives run over the same point-to-point channels as
+//! application traffic (their bytes are *not* added to the traffic report,
+//! which keeps the report's meaning — application payload volume — identical
+//! to the pre-fault-tolerance substrate).
+//!
+//! Recovery: packets carry an epoch number. [`Comm::recover`] bumps the
+//! epoch, drains stale traffic, revives a killed rank and rendezvouses with
+//! every other rank, after which the world can resume from a checkpoint in
+//! lockstep. Recovery-protocol messages bypass fault injection.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::any::Any;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-type Packet = (u64, usize, Box<dyn Any + Send>); // (tag, nbytes, payload)
+use crate::fault::{FaultKind, FaultPlan, FaultState};
+
+/// Default bound on how long a receive (or collective) waits for a peer
+/// before declaring it dead. Generous for healthy runs; fault-tolerance
+/// tests shrink it with [`Comm::set_op_timeout`].
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Recovery rendezvous waits this many op-timeouts for stragglers (ranks
+/// detect a fault at different times, bounded by one op timeout each).
+const RECOVERY_TIMEOUT_FACTOR: u32 = 10;
+
+/// Tag namespace for internally-generated collective traffic.
+const COLLECTIVE_TAG: u64 = 1 << 63;
+
+/// Tag of the recovery rendezvous protocol.
+const RECOVER_TAG: u64 = u64::MAX;
+
+struct Packet {
+    epoch: u64,
+    tag: u64,
+    #[allow(dead_code)]
+    nbytes: usize,
+    corrupt: bool,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Typed communication failure. Every variant is produced within a bounded
+/// time; none of the peer-failure paths panic.
+#[derive(Debug)]
+pub enum CommError {
+    /// No matching message arrived before the deadline (dead or wedged
+    /// peer, or a dropped message).
+    Timeout {
+        from: usize,
+        tag: u64,
+        waited: Duration,
+    },
+    /// The peer's communicator was torn down (its rank closure returned or
+    /// panicked).
+    PeerClosed { peer: usize },
+    /// The message arrived but failed its integrity check.
+    Corrupt { from: usize, tag: u64 },
+    /// This rank was killed by the fault plan at `step`; all communication
+    /// fails until [`Comm::recover`] revives it.
+    Killed { rank: usize, step: u64 },
+    /// The payload type did not match the receive type.
+    TypeMismatch { from: usize, tag: u64 },
+    /// The recovery rendezvous itself failed (a rank is permanently gone).
+    RecoveryFailed { rank: usize, detail: String },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { from, tag, waited } => {
+                write!(
+                    f,
+                    "timed out after {waited:?} waiting for rank {from} (tag {tag:#x})"
+                )
+            }
+            CommError::PeerClosed { peer } => write!(f, "rank {peer} closed its communicator"),
+            CommError::Corrupt { from, tag } => {
+                write!(f, "corrupt payload from rank {from} (tag {tag:#x})")
+            }
+            CommError::Killed { rank, step } => {
+                write!(f, "rank {rank} killed by fault plan at step {step}")
+            }
+            CommError::TypeMismatch { from, tag } => {
+                write!(f, "payload type mismatch from rank {from} (tag {tag:#x})")
+            }
+            CommError::RecoveryFailed { rank, detail } => {
+                write!(f, "rank {rank} recovery rendezvous failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 struct Shared {
     size: usize,
-    /// Channel matrix: `tx[from][to]` / `rx[to][from]` (receivers are taken
-    /// by their owning rank at startup).
+    /// Channel matrix: `senders[from][to]` (receivers are taken by their
+    /// owning rank at startup).
     senders: Vec<Vec<Sender<Packet>>>,
-    barrier: Barrier,
-    /// Collective board: one slot per rank.
-    board: Vec<Mutex<Option<Box<dyn Any + Send + Sync>>>>,
     /// bytes[from * size + to]
     bytes: Vec<AtomicU64>,
     msgs: Vec<AtomicU64>,
 }
 
-/// Per-rank communicator handle. Dropping it mid-collective deadlocks the
-/// world, exactly like real MPI.
+/// Per-rank communicator handle.
 pub struct Comm {
     rank: usize,
     shared: Arc<Shared>,
     receivers: Vec<Receiver<Packet>>,
     /// Out-of-order messages held per source until their tag is asked for.
-    pending: Vec<Vec<Packet>>,
+    pending: Vec<VecDeque<Packet>>,
+    /// Current recovery epoch; packets from older epochs are discarded.
+    epoch: u64,
+    /// Sequence number for internally-tagged collective operations.
+    coll_seq: u64,
+    op_timeout: Duration,
+    fault: FaultState,
+    /// `Some(step)` once the fault plan killed this rank.
+    killed: Option<u64>,
 }
 
 /// Aggregate communication statistics for one `run`.
@@ -46,7 +142,11 @@ pub struct TrafficReport {
 impl TrafficReport {
     /// Bytes sent by the busiest rank (max over senders).
     pub fn max_rank_bytes(&self) -> u64 {
-        self.bytes.iter().map(|row| row.iter().sum::<u64>()).max().unwrap_or(0)
+        self.bytes
+            .iter()
+            .map(|row| row.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average bytes per rank per message-bearing neighbor pair.
@@ -59,33 +159,79 @@ impl TrafficReport {
     }
 }
 
+/// A rank closure that panicked instead of returning.
+#[derive(Clone, Debug)]
+pub struct RankPanic {
+    pub rank: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankPanic {}
+
 /// Spawn `n` ranks, run `f` on each, and return the per-rank results plus
-/// the traffic report. Panics in any rank propagate.
-pub fn run<R, F>(n: usize, f: F) -> (Vec<R>, TrafficReport)
+/// the traffic report. A panicking rank yields `Err(RankPanic)` for its
+/// slot instead of aborting the whole run — its peers see bounded
+/// [`CommError`]s rather than a deadlock.
+pub fn run<R, F>(n: usize, f: F) -> (Vec<Result<R, RankPanic>>, TrafficReport)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    run_with_faults(n, None, f)
+}
+
+/// [`run`], but unwrapping the per-rank results: any rank panic is
+/// propagated (resumed) on the caller thread. Convenience for tests,
+/// examples and benches where a rank failure should fail the run.
+pub fn run_expect<R, F>(n: usize, f: F) -> (Vec<R>, TrafficReport)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    let (results, traffic) = run(n, f);
+    let results = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
+        .collect();
+    (results, traffic)
+}
+
+/// [`run`] with an optional fault-injection plan threaded through every
+/// rank's communicator.
+pub fn run_with_faults<R, F>(
+    n: usize,
+    plan: Option<FaultPlan>,
+    f: F,
+) -> (Vec<Result<R, RankPanic>>, TrafficReport)
 where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
     assert!(n >= 1, "need at least one rank");
+    let plan = plan.map(Arc::new);
     let mut senders: Vec<Vec<Sender<Packet>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
     let mut receivers: Vec<Vec<Receiver<Packet>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-    for to in 0..n {
-        for from in 0..n {
-            let (tx, rx) = unbounded();
-            // senders[from][to]; build column-wise then fix up below.
-            receivers[to].push(rx);
-            senders[from].push(tx);
+    for to_slot in receivers.iter_mut() {
+        for from_slot in senders.iter_mut() {
+            let (tx, rx) = channel();
+            to_slot.push(rx);
+            from_slot.push(tx);
         }
     }
-    // senders[from] currently holds entries pushed in `to`-major order,
-    // but the nested loop above pushes for each `to`, once per `from` —
-    // i.e. senders[from] gets its `to`-th element in outer-loop order, so
+    // senders[from] gets its `to`-th element in outer-loop order, so
     // senders[from][to] is already correct.
     let shared = Arc::new(Shared {
         size: n,
         senders,
-        barrier: Barrier::new(n),
-        board: (0..n).map(|_| Mutex::new(None)).collect(),
         bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
         msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
     });
@@ -93,27 +239,48 @@ where
     let mut receiver_slots: Vec<Option<Vec<Receiver<Packet>>>> =
         receivers.into_iter().map(Some).collect();
 
-    let results: Vec<R> = std::thread::scope(|scope| {
+    let results: Vec<Result<R, RankPanic>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
-        for rank in 0..n {
+        for (rank, slot) in receiver_slots.iter_mut().enumerate() {
             let shared = Arc::clone(&shared);
-            let rx = receiver_slots[rank].take().expect("receiver set");
+            let rx = slot.take().expect("receiver set");
+            let plan = plan.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut comm = Comm {
                     rank,
                     shared,
                     receivers: rx,
-                    pending: (0..n).map(|_| Vec::new()).collect(),
+                    pending: (0..n).map(|_| VecDeque::new()).collect(),
+                    epoch: 0,
+                    coll_seq: 0,
+                    op_timeout: DEFAULT_OP_TIMEOUT,
+                    fault: FaultState::new(plan, rank),
+                    killed: None,
                 };
                 f(&mut comm)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().map_err(|payload| RankPanic {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                })
+            })
+            .collect()
     });
 
-    let n2 = |v: &Vec<AtomicU64>| -> Vec<Vec<u64>> {
-        (0..n).map(|from| (0..n).map(|to| v[from * n + to].load(Ordering::Relaxed)).collect()).collect()
+    let n2 = |v: &[AtomicU64]| -> Vec<Vec<u64>> {
+        (0..n)
+            .map(|from| {
+                (0..n)
+                    .map(|to| v[from * n + to].load(Ordering::Relaxed))
+                    .collect()
+            })
+            .collect()
     };
     let bytes = n2(&shared.bytes);
     let messages = n2(&shared.msgs);
@@ -125,6 +292,16 @@ where
         messages,
     };
     (results, report)
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl Comm {
@@ -140,98 +317,268 @@ impl Comm {
         self.shared.size
     }
 
+    /// Bound on how long receives and collectives wait for a peer.
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
+    }
+
+    /// Current op timeout.
+    pub fn op_timeout(&self) -> Duration {
+        self.op_timeout
+    }
+
+    /// Current recovery epoch (0 until the first recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the fault-injection clock to campaign step `step` and apply
+    /// any due kill rule. Call once per campaign step; a killed rank gets
+    /// `Err(Killed)` here (and on every later operation until revived).
+    pub fn tick(&mut self, step: u64) -> Result<(), CommError> {
+        if self.killed.is_none() && self.fault.kill_due(step) {
+            self.killed = Some(step);
+        }
+        self.fault.set_step(step);
+        self.check_alive()
+    }
+
+    fn check_alive(&self) -> Result<(), CommError> {
+        match self.killed {
+            Some(step) => Err(CommError::Killed {
+                rank: self.rank,
+                step,
+            }),
+            None => Ok(()),
+        }
+    }
+
     /// Send `msg` to rank `to` with `tag`. Counts `size_of::<T>()` bytes;
     /// use [`Comm::send_vec`] for containers so the payload is counted.
-    pub fn send<T: Send + 'static>(&self, to: usize, tag: u64, msg: T) {
-        self.send_counted(to, tag, std::mem::size_of::<T>(), Box::new(msg));
+    pub fn send<T: Clone + Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        msg: T,
+    ) -> Result<(), CommError> {
+        self.send_impl(to, tag, std::mem::size_of::<T>(), msg, true)
     }
 
     /// Send a `Vec<T>`, counting `len·size_of::<T>()` payload bytes.
-    pub fn send_vec<T: Send + 'static>(&self, to: usize, tag: u64, msg: Vec<T>) {
+    pub fn send_vec<T: Clone + Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        msg: Vec<T>,
+    ) -> Result<(), CommError> {
         let nbytes = msg.len() * std::mem::size_of::<T>();
-        self.send_counted(to, tag, nbytes, Box::new(msg));
+        self.send_impl(to, tag, nbytes, msg, true)
     }
 
-    fn send_counted(&self, to: usize, tag: u64, nbytes: usize, payload: Box<dyn Any + Send>) {
+    /// The application-traffic send path: subject to fault injection,
+    /// counted when `counted`.
+    fn send_impl<T: Clone + Send + 'static>(
+        &mut self,
+        to: usize,
+        tag: u64,
+        nbytes: usize,
+        msg: T,
+        counted: bool,
+    ) -> Result<(), CommError> {
+        self.check_alive()?;
         assert!(to < self.size(), "rank {to} out of range");
-        let idx = self.rank * self.size() + to;
-        self.shared.bytes[idx].fetch_add(nbytes as u64, Ordering::Relaxed);
-        self.shared.msgs[idx].fetch_add(1, Ordering::Relaxed);
-        self.shared.senders[self.rank][to]
-            .send((tag, nbytes, payload))
-            .expect("receiver rank exited early");
-    }
-
-    /// Blocking receive of a `T` sent from `from` with `tag`. Messages from
-    /// the same source with other tags are buffered, preserving per-tag
-    /// FIFO order. Panics if the payload type does not match.
-    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> T {
-        assert!(from < self.size(), "rank {from} out of range");
-        // Check buffered messages first.
-        if let Some(pos) = self.pending[from].iter().position(|(t, _, _)| *t == tag) {
-            let (_, _, payload) = self.pending[from].remove(pos);
-            return *payload.downcast::<T>().expect("message type mismatch");
+        let fate = self.fault.on_send();
+        if counted {
+            // Count the send attempt once, whatever the network does to it.
+            let idx = self.rank * self.size() + to;
+            self.shared.bytes[idx].fetch_add(nbytes as u64, Ordering::Relaxed);
+            self.shared.msgs[idx].fetch_add(1, Ordering::Relaxed);
         }
-        loop {
-            let pkt = self.receivers[from].recv().expect("sender rank exited early");
-            if pkt.0 == tag {
-                return *pkt.2.downcast::<T>().expect("message type mismatch");
+        match fate {
+            Some(FaultKind::Drop) => Ok(()),
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                self.deliver(to, tag, nbytes, false, Box::new(msg))
             }
-            self.pending[from].push(pkt);
+            Some(FaultKind::Duplicate) => {
+                self.deliver(to, tag, nbytes, false, Box::new(msg.clone()))?;
+                self.deliver(to, tag, nbytes, false, Box::new(msg))
+            }
+            Some(FaultKind::Corrupt) => self.deliver(to, tag, nbytes, true, Box::new(msg)),
+            Some(FaultKind::Kill) | None => self.deliver(to, tag, nbytes, false, Box::new(msg)),
         }
     }
 
-    /// Non-blocking receive; returns `None` when no matching message has
+    /// Raw channel delivery (no fault injection, no counting).
+    fn deliver(
+        &self,
+        to: usize,
+        tag: u64,
+        nbytes: usize,
+        corrupt: bool,
+        payload: Box<dyn Any + Send>,
+    ) -> Result<(), CommError> {
+        let pkt = Packet {
+            epoch: self.epoch,
+            tag,
+            nbytes,
+            corrupt,
+            payload,
+        };
+        self.shared.senders[self.rank][to]
+            .send(pkt)
+            .map_err(|_| CommError::PeerClosed { peer: to })
+    }
+
+    fn unpack<T: Send + 'static>(&self, pkt: Packet, from: usize) -> Result<T, CommError> {
+        if pkt.corrupt {
+            return Err(CommError::Corrupt { from, tag: pkt.tag });
+        }
+        let tag = pkt.tag;
+        pkt.payload
+            .downcast::<T>()
+            .map(|b| *b)
+            .map_err(|_| CommError::TypeMismatch { from, tag })
+    }
+
+    /// Pull a matching current-epoch packet out of the pending buffer,
+    /// discarding stale-epoch packets along the way.
+    fn take_pending(&mut self, from: usize, tag: u64) -> Option<Packet> {
+        let epoch = self.epoch;
+        self.pending[from].retain(|p| p.epoch >= epoch);
+        let pos = self.pending[from]
+            .iter()
+            .position(|p| p.tag == tag && p.epoch == epoch)?;
+        self.pending[from].remove(pos)
+    }
+
+    /// Blocking receive of a `T` sent from `from` with `tag`, bounded by
+    /// the op timeout. Messages from the same source with other tags are
+    /// buffered, preserving per-tag FIFO order.
+    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Result<T, CommError> {
+        let deadline = Instant::now() + self.op_timeout;
+        self.recv_deadline(from, tag, deadline)
+    }
+
+    /// [`Comm::recv`] with an explicit deadline.
+    pub fn recv_deadline<T: Send + 'static>(
+        &mut self,
+        from: usize,
+        tag: u64,
+        deadline: Instant,
+    ) -> Result<T, CommError> {
+        self.check_alive()?;
+        assert!(from < self.size(), "rank {from} out of range");
+        if let Some(pkt) = self.take_pending(from, tag) {
+            return self.unpack(pkt, from);
+        }
+        let started = Instant::now();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout {
+                    from,
+                    tag,
+                    waited: now - started,
+                });
+            }
+            match self.receivers[from].recv_timeout(deadline - now) {
+                Ok(pkt) => {
+                    if pkt.epoch < self.epoch {
+                        continue; // stale traffic from before a recovery
+                    }
+                    if pkt.tag == tag && pkt.epoch == self.epoch {
+                        return self.unpack(pkt, from);
+                    }
+                    self.pending[from].push_back(pkt);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        from,
+                        tag,
+                        waited: started.elapsed(),
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::PeerClosed { peer: from });
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no matching message has
     /// arrived yet.
-    pub fn try_recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Option<T> {
-        if let Some(pos) = self.pending[from].iter().position(|(t, _, _)| *t == tag) {
-            let (_, _, payload) = self.pending[from].remove(pos);
-            return Some(*payload.downcast::<T>().expect("message type mismatch"));
+    pub fn try_recv<T: Send + 'static>(
+        &mut self,
+        from: usize,
+        tag: u64,
+    ) -> Result<Option<T>, CommError> {
+        self.check_alive()?;
+        assert!(from < self.size(), "rank {from} out of range");
+        if let Some(pkt) = self.take_pending(from, tag) {
+            return self.unpack(pkt, from).map(Some);
         }
         while let Ok(pkt) = self.receivers[from].try_recv() {
-            if pkt.0 == tag {
-                return Some(*pkt.2.downcast::<T>().expect("message type mismatch"));
+            if pkt.epoch < self.epoch {
+                continue;
             }
-            self.pending[from].push(pkt);
+            if pkt.tag == tag && pkt.epoch == self.epoch {
+                return self.unpack(pkt, from).map(Some);
+            }
+            self.pending[from].push_back(pkt);
         }
-        None
+        Ok(None)
     }
 
-    /// Synchronize all ranks.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    fn next_collective_tag(&mut self) -> u64 {
+        let tag = COLLECTIVE_TAG | self.coll_seq;
+        self.coll_seq += 1;
+        tag
     }
 
-    /// Gather one value from every rank (returned in rank order).
-    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, v: T) -> Vec<T> {
-        *self.shared.board[self.rank].lock() = Some(Box::new(v));
-        self.barrier();
-        let out: Vec<T> = (0..self.size())
-            .map(|r| {
-                let guard = self.shared.board[r].lock();
-                guard
-                    .as_ref()
-                    .expect("board slot missing")
-                    .downcast_ref::<T>()
-                    .expect("allgather type mismatch")
-                    .clone()
-            })
-            .collect();
-        self.barrier();
-        *self.shared.board[self.rank].lock() = None;
-        out
+    /// Synchronize all ranks (bounded; a dead rank turns this into a typed
+    /// error instead of a deadlock).
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.allgather(0u8).map(|_| ())
+    }
+
+    /// Gather one value from every rank (returned in rank order). Runs over
+    /// point-to-point channels; collective bytes are not added to the
+    /// traffic report.
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, v: T) -> Result<Vec<T>, CommError> {
+        self.check_alive()?;
+        let n = self.size();
+        if n == 1 {
+            return Ok(vec![v]);
+        }
+        let tag = self.next_collective_tag();
+        for to in 0..n {
+            if to != self.rank {
+                self.send_impl(to, tag, std::mem::size_of::<T>(), v.clone(), false)?;
+            }
+        }
+        let deadline = Instant::now() + self.op_timeout;
+        let mut out = Vec::with_capacity(n);
+        for from in 0..n {
+            if from == self.rank {
+                out.push(v.clone());
+            } else {
+                out.push(self.recv_deadline(from, tag, deadline)?);
+            }
+        }
+        Ok(out)
     }
 
     /// Sum an `f64` across all ranks.
-    pub fn allreduce_sum(&self, v: f64) -> f64 {
-        self.allgather(v).into_iter().sum()
+    pub fn allreduce_sum(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(self.allgather(v)?.into_iter().sum())
     }
 
     /// Element-wise sum of `f64` vectors across all ranks (all must have
     /// the same length).
-    pub fn allreduce_sum_vec(&self, v: Vec<f64>) -> Vec<f64> {
+    pub fn allreduce_sum_vec(&mut self, v: Vec<f64>) -> Result<Vec<f64>, CommError> {
         let len = v.len();
-        let all = self.allgather(v);
+        let all = self.allgather(v)?;
         let mut out = vec![0.0f64; len];
         for contrib in &all {
             assert_eq!(contrib.len(), len, "allreduce length mismatch");
@@ -239,17 +586,72 @@ impl Comm {
                 *o += c;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Max of an `f64` across all ranks.
-    pub fn allreduce_max(&self, v: f64) -> f64 {
-        self.allgather(v).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    pub fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(self
+            .allgather(v)?
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Sum a `u64` across all ranks.
-    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
-        self.allgather(v).into_iter().sum()
+    pub fn allreduce_sum_u64(&mut self, v: u64) -> Result<u64, CommError> {
+        Ok(self.allgather(v)?.into_iter().sum())
+    }
+
+    /// Tear down this epoch and rendezvous with every rank for a rollback:
+    /// revives a killed rank, bumps the epoch (so in-flight traffic from
+    /// the aborted epoch is discarded on receipt), drains stale queues, and
+    /// waits — generously, but boundedly — for every other rank to arrive
+    /// at the same epoch. Returns the new epoch.
+    ///
+    /// Recovery messages bypass fault injection: the substrate models a
+    /// hardened control channel.
+    pub fn recover(&mut self) -> Result<u64, CommError> {
+        self.killed = None;
+        self.epoch += 1;
+        self.coll_seq = 0;
+        let epoch = self.epoch;
+        let n = self.size();
+        // Drain everything from dead epochs; keep packets that already
+        // carry the new epoch (ranks that entered recovery before us).
+        for from in 0..n {
+            self.pending[from].retain(|p| p.epoch >= epoch);
+            while let Ok(pkt) = self.receivers[from].try_recv() {
+                if pkt.epoch >= epoch {
+                    self.pending[from].push_back(pkt);
+                }
+            }
+        }
+        if n == 1 {
+            return Ok(epoch);
+        }
+        let me = self.rank;
+        let fail = move |detail: String| CommError::RecoveryFailed { rank: me, detail };
+        for to in 0..n {
+            if to != self.rank {
+                self.deliver(to, RECOVER_TAG, 8, false, Box::new(epoch))
+                    .map_err(|e| fail(format!("announcing epoch {epoch} to rank {to}: {e}")))?;
+            }
+        }
+        let deadline = Instant::now() + self.op_timeout * RECOVERY_TIMEOUT_FACTOR;
+        for from in 0..n {
+            if from == self.rank {
+                continue;
+            }
+            let peer_epoch: u64 = self
+                .recv_deadline(from, RECOVER_TAG, deadline)
+                .map_err(|e| fail(format!("waiting for rank {from} to rejoin: {e}")))?;
+            if peer_epoch != epoch {
+                return Err(fail(format!(
+                    "rank {from} rejoined at epoch {peer_epoch}, expected {epoch}"
+                )));
+            }
+        }
+        Ok(epoch)
     }
 }
 
@@ -259,11 +661,11 @@ mod tests {
 
     #[test]
     fn ring_pass() {
-        let (results, traffic) = run(5, |c| {
+        let (results, traffic) = run_expect(5, |c| {
             let right = (c.rank() + 1) % c.size();
             let left = (c.rank() + c.size() - 1) % c.size();
-            c.send(right, 1, c.rank());
-            let got: usize = c.recv(left, 1);
+            c.send(right, 1, c.rank()).unwrap();
+            let got: usize = c.recv(left, 1).unwrap();
             got
         });
         for (rank, got) in results.iter().enumerate() {
@@ -277,15 +679,15 @@ mod tests {
 
     #[test]
     fn tag_matching_out_of_order() {
-        let (results, _) = run(2, |c| {
+        let (results, _) = run_expect(2, |c| {
             if c.rank() == 0 {
-                c.send(1, 10, "first".to_string());
-                c.send(1, 20, "second".to_string());
+                c.send(1, 10, "first".to_string()).unwrap();
+                c.send(1, 20, "second".to_string()).unwrap();
                 0
             } else {
                 // Ask for tag 20 before tag 10.
-                let b: String = c.recv(0, 20);
-                let a: String = c.recv(0, 10);
+                let b: String = c.recv(0, 20).unwrap();
+                let a: String = c.recv(0, 10).unwrap();
                 assert_eq!(a, "first");
                 assert_eq!(b, "second");
                 1
@@ -296,11 +698,11 @@ mod tests {
 
     #[test]
     fn vec_payload_counts_bytes() {
-        let (_, traffic) = run(2, |c| {
+        let (_, traffic) = run_expect(2, |c| {
             if c.rank() == 0 {
-                c.send_vec(1, 0, vec![0f32; 100]);
+                c.send_vec(1, 0, vec![0f32; 100]).unwrap();
             } else {
-                let v: Vec<f32> = c.recv(0, 0);
+                let v: Vec<f32> = c.recv(0, 0).unwrap();
                 assert_eq!(v.len(), 100);
             }
         });
@@ -310,13 +712,13 @@ mod tests {
 
     #[test]
     fn allgather_and_reductions() {
-        let (results, _) = run(4, |c| {
-            let gathered = c.allgather(c.rank() as u64 * 10);
+        let (results, _) = run_expect(4, |c| {
+            let gathered = c.allgather(c.rank() as u64 * 10).unwrap();
             assert_eq!(gathered, vec![0, 10, 20, 30]);
-            let s = c.allreduce_sum(c.rank() as f64);
-            let m = c.allreduce_max(c.rank() as f64);
-            let v = c.allreduce_sum_vec(vec![1.0, c.rank() as f64]);
-            let u = c.allreduce_sum_u64(1);
+            let s = c.allreduce_sum(c.rank() as f64).unwrap();
+            let m = c.allreduce_max(c.rank() as f64).unwrap();
+            let v = c.allreduce_sum_vec(vec![1.0, c.rank() as f64]).unwrap();
+            let u = c.allreduce_sum_u64(1).unwrap();
             (s, m, v, u)
         });
         for (s, m, v, u) in results {
@@ -329,10 +731,10 @@ mod tests {
 
     #[test]
     fn repeated_collectives_do_not_cross_talk() {
-        let (results, _) = run(3, |c| {
+        let (results, _) = run_expect(3, |c| {
             let mut acc = 0.0;
             for round in 0..20 {
-                acc += c.allreduce_sum((c.rank() + round) as f64);
+                acc += c.allreduce_sum((c.rank() + round) as f64).unwrap();
             }
             acc
         });
@@ -344,19 +746,19 @@ mod tests {
 
     #[test]
     fn try_recv_returns_none_then_some() {
-        let (results, _) = run(2, |c| {
+        let (results, _) = run_expect(2, |c| {
             if c.rank() == 0 {
-                c.barrier();
-                c.send(1, 5, 42u32);
-                c.barrier();
-                c.barrier();
+                c.barrier().unwrap();
+                c.send(1, 5, 42u32).unwrap();
+                c.barrier().unwrap();
+                c.barrier().unwrap();
                 true
             } else {
-                assert!(c.try_recv::<u32>(0, 5).is_none());
-                c.barrier();
-                c.barrier(); // message definitely sent now
-                let got = c.try_recv::<u32>(0, 5);
-                c.barrier();
+                assert!(c.try_recv::<u32>(0, 5).unwrap().is_none());
+                c.barrier().unwrap();
+                c.barrier().unwrap(); // message definitely sent now
+                let got = c.try_recv::<u32>(0, 5).unwrap();
+                c.barrier().unwrap();
                 got == Some(42)
             }
         });
@@ -365,12 +767,207 @@ mod tests {
 
     #[test]
     fn single_rank_world_works() {
-        let (results, traffic) = run(1, |c| {
+        let (results, traffic) = run_expect(1, |c| {
             assert_eq!(c.size(), 1);
-            c.barrier();
-            c.allreduce_sum(3.0)
+            c.barrier().unwrap();
+            c.allreduce_sum(3.0).unwrap()
         });
         assert_eq!(results, vec![3.0]);
         assert_eq!(traffic.total_bytes, 0);
+    }
+
+    #[test]
+    fn dead_peer_is_a_timeout_not_a_hang() {
+        let started = Instant::now();
+        let (results, _) = run(2, |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            if c.rank() == 0 {
+                // Exit immediately without sending.
+                return None;
+            }
+            Some(c.recv::<u32>(0, 7))
+        });
+        assert!(results[0].as_ref().unwrap().is_none());
+        let r1 = results[1].as_ref().unwrap().as_ref().unwrap();
+        assert!(
+            matches!(r1.as_ref().err(), Some(CommError::Timeout { from: 0, .. })),
+            "want timeout, got {r1:?}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5), "unbounded wait");
+    }
+
+    #[test]
+    fn panicking_rank_reported_not_propagated() {
+        let (results, _) = run(2, |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            if c.rank() == 0 {
+                panic!("injected test panic");
+            }
+            c.recv::<u32>(0, 1)
+        });
+        let p = results[0].as_ref().expect_err("rank 0 panicked");
+        assert_eq!(p.rank, 0);
+        assert!(p.message.contains("injected test panic"));
+        // Rank 1 got a typed error (timeout or closed), not a deadlock.
+        assert!(results[1].as_ref().unwrap().is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_typed_error() {
+        let (results, _) = run_expect(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, 1u32).unwrap();
+                true
+            } else {
+                matches!(
+                    c.recv::<String>(0, 3),
+                    Err(CommError::TypeMismatch { from: 0, tag: 3 })
+                )
+            }
+        });
+        assert!(results[1]);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn dropped_message_times_out() {
+        let plan = FaultPlan::new(1).drop_message(0, 1);
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            if c.rank() == 0 {
+                c.send(1, 9, 5u32).unwrap();
+                true
+            } else {
+                matches!(
+                    c.recv::<u32>(0, 9),
+                    Err(CommError::Timeout {
+                        from: 0,
+                        tag: 9,
+                        ..
+                    })
+                )
+            }
+        });
+        assert!(results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn corrupt_message_detected() {
+        let plan = FaultPlan::new(1).corrupt_message(0, 1);
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, 5u32).unwrap();
+                true
+            } else {
+                matches!(
+                    c.recv::<u32>(0, 9),
+                    Err(CommError::Corrupt { from: 0, tag: 9 })
+                )
+            }
+        });
+        assert!(results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn duplicate_message_delivered_twice() {
+        let plan = FaultPlan::new(1).duplicate_message(0, 1);
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(300));
+            if c.rank() == 0 {
+                c.send(1, 9, 5u32).unwrap();
+                0
+            } else {
+                let a: u32 = c.recv(0, 9).unwrap();
+                let b: u32 = c.recv(0, 9).unwrap();
+                (a + b) as usize
+            }
+        });
+        assert_eq!(*results[1].as_ref().unwrap(), 10);
+    }
+
+    #[test]
+    fn killed_rank_errors_and_peers_time_out() {
+        let plan = FaultPlan::new(1).kill(0, 3);
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            for step in 0..5u64 {
+                if let Err(e) = c.tick(step) {
+                    return (step, matches!(e, CommError::Killed { rank: 0, step: 3 }));
+                }
+                if c.rank() == 0 {
+                    if c.send(1, step, step).is_err() {
+                        return (step, false);
+                    }
+                } else {
+                    match c.recv::<u64>(0, step) {
+                        Ok(_) => {}
+                        Err(CommError::Timeout { .. }) => return (step, true),
+                        Err(_) => return (step, false),
+                    }
+                }
+            }
+            (u64::MAX, false)
+        });
+        // Rank 0 learns it was killed at its step-3 tick; rank 1 times out
+        // waiting for step 3 traffic.
+        assert_eq!(*results[0].as_ref().unwrap(), (3, true));
+        assert_eq!(*results[1].as_ref().unwrap(), (3, true));
+    }
+
+    #[test]
+    fn recovery_rendezvous_revives_the_world() {
+        let plan = FaultPlan::new(1).kill(1, 2);
+        let (results, _) = run_with_faults(3, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(200));
+            let mut recovered = false;
+            let mut sum = 0.0;
+            let mut step = 0u64;
+            while step < 6 {
+                let r = c.tick(step).and_then(|_| c.allreduce_sum(c.rank() as f64));
+                match r {
+                    Ok(s) => {
+                        sum = s;
+                        step += 1;
+                    }
+                    Err(_) => {
+                        c.recover().unwrap();
+                        recovered = true;
+                        // Roll back to the "checkpoint" (step 0 here).
+                        step = 0;
+                    }
+                }
+            }
+            (recovered, sum, c.epoch())
+        });
+        for r in &results {
+            let (recovered, sum, epoch) = r.as_ref().unwrap();
+            assert!(*recovered);
+            assert_eq!(*sum, 3.0);
+            assert_eq!(*epoch, 1);
+        }
+    }
+
+    #[test]
+    fn stale_epoch_traffic_is_discarded() {
+        // Rank 0 sends a pre-recovery message that must not be delivered
+        // into the post-recovery epoch under the same tag.
+        let (results, _) = run_expect(2, |c| {
+            c.set_op_timeout(Duration::from_millis(200));
+            if c.rank() == 0 {
+                c.send(1, 42, 111u32).unwrap(); // epoch-0 traffic
+                c.recover().unwrap();
+                c.send(1, 42, 222u32).unwrap(); // epoch-1 traffic
+                0
+            } else {
+                c.recover().unwrap();
+                c.recv::<u32>(1 - 1, 42).unwrap() as usize
+            }
+        });
+        assert_eq!(results[1], 222);
     }
 }

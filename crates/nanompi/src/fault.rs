@@ -1,0 +1,274 @@
+//! Deterministic fault injection for the message-passing substrate.
+//!
+//! Roadrunner-scale campaigns only completed because VPIC could survive the
+//! machine's mean time between interrupts; to *test* that survival in-process
+//! a run can be handed a [`FaultPlan`]: a seed-driven, reproducible schedule
+//! of message faults (drop / delay / duplicate / corrupt) and rank kills.
+//!
+//! Semantics:
+//!
+//! * Message faults apply on the **sending** rank, to application traffic
+//!   only — never to the recovery rendezvous protocol (real resilience
+//!   layers harden their control channel the same way).
+//! * [`Trigger::AtStep`] and [`Trigger::OnMessage`] rules are **one-shot**:
+//!   they fire for a single message (or a single kill) and are then spent,
+//!   so a rolled-back-and-replayed campaign does not re-injure itself on
+//!   the same deterministic trigger.
+//! * [`Trigger::WithProbability`] rules draw from a splitmix64 stream seeded
+//!   from `(plan.seed, rank)` and keep firing for the whole run; the stream
+//!   is *not* rewound by rollback, so replays see fresh (but reproducible
+//!   given the whole history) draws.
+//! * A kill takes effect at the victim's next [`Comm::tick`](crate::Comm::tick)
+//!   with `step >= n`; from then on every communication call on that rank
+//!   returns [`CommError::Killed`](crate::CommError::Killed) until the rank
+//!   is revived by [`Comm::recover`](crate::Comm::recover).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do to a message (or rank) when a rule fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Silently discard the message (the receiver times out).
+    Drop,
+    /// Deliver the message after sleeping this long.
+    Delay(Duration),
+    /// Deliver the message twice.
+    Duplicate,
+    /// Deliver the message flagged corrupt; the receiver's integrity check
+    /// rejects it with [`CommError::Corrupt`](crate::CommError::Corrupt).
+    Corrupt,
+    /// Kill the rank (takes effect at `tick`, not per message).
+    Kill,
+}
+
+/// When a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// First opportunity at or after campaign step `n` (one-shot).
+    AtStep(u64),
+    /// The `n`-th message sent by the rank, counting from 1 (one-shot).
+    OnMessage(u64),
+    /// Every message independently with probability `p` (never spent).
+    WithProbability(f64),
+}
+
+/// One fault rule: `kind` happens on `rank` when `trigger` fires.
+#[derive(Clone, Debug)]
+pub struct FaultRule {
+    pub rank: usize,
+    pub kind: FaultKind,
+    pub trigger: Trigger,
+}
+
+/// A reproducible schedule of injected faults for one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Empty plan with the given probability-stream seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add an arbitrary rule.
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Kill `rank` at its first `tick` with step `>= step`.
+    pub fn kill(self, rank: usize, step: u64) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Kill,
+            trigger: Trigger::AtStep(step),
+        })
+    }
+
+    /// Drop the `nth` message (1-based) sent by `rank`.
+    pub fn drop_message(self, rank: usize, nth: u64) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Drop,
+            trigger: Trigger::OnMessage(nth),
+        })
+    }
+
+    /// Drop each message sent by `rank` with probability `p`.
+    pub fn drop_messages(self, rank: usize, p: f64) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Drop,
+            trigger: Trigger::WithProbability(p),
+        })
+    }
+
+    /// Corrupt the `nth` message (1-based) sent by `rank`.
+    pub fn corrupt_message(self, rank: usize, nth: u64) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Corrupt,
+            trigger: Trigger::OnMessage(nth),
+        })
+    }
+
+    /// Deliver the `nth` message (1-based) sent by `rank` twice.
+    pub fn duplicate_message(self, rank: usize, nth: u64) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Duplicate,
+            trigger: Trigger::OnMessage(nth),
+        })
+    }
+
+    /// Delay each message sent by `rank` with probability `p` by `by`.
+    pub fn delay_messages(self, rank: usize, p: f64, by: Duration) -> Self {
+        self.rule(FaultRule {
+            rank,
+            kind: FaultKind::Delay(by),
+            trigger: Trigger::WithProbability(p),
+        })
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-rank live fault-injection state (plan + probability stream + spent
+/// flags + message/step counters).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: Option<Arc<FaultPlan>>,
+    rank: usize,
+    rng: u64,
+    msg_seq: u64,
+    step: u64,
+    spent: Vec<bool>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: Option<Arc<FaultPlan>>, rank: usize) -> Self {
+        let (rng, n_rules) = match &plan {
+            Some(p) => (
+                p.seed ^ (0xD6E8_FEB8_6659_FD93u64.wrapping_mul(rank as u64 + 1)),
+                p.rules.len(),
+            ),
+            None => (0, 0),
+        };
+        FaultState {
+            plan,
+            rank,
+            rng,
+            msg_seq: 0,
+            step: 0,
+            spent: vec![false; n_rules],
+        }
+    }
+
+    pub(crate) fn set_step(&mut self, step: u64) {
+        self.step = step;
+    }
+
+    /// Does a (not yet spent) kill rule fire for this rank at `step`?
+    pub(crate) fn kill_due(&mut self, step: u64) -> bool {
+        self.step = step;
+        let Some(plan) = self.plan.clone() else {
+            return false;
+        };
+        for (i, rule) in plan.rules.iter().enumerate() {
+            if self.spent[i] || rule.rank != self.rank || rule.kind != FaultKind::Kill {
+                continue;
+            }
+            let due = match rule.trigger {
+                Trigger::AtStep(n) => step >= n,
+                Trigger::OnMessage(_) => false,
+                Trigger::WithProbability(p) => self.draw() < p,
+            };
+            if due {
+                self.spent[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Decide the fate of the next outgoing application message. Returns
+    /// the first matching fault, if any.
+    pub(crate) fn on_send(&mut self) -> Option<FaultKind> {
+        self.msg_seq += 1;
+        let plan = self.plan.clone()?;
+        for (i, rule) in plan.rules.iter().enumerate() {
+            if self.spent[i] || rule.rank != self.rank || rule.kind == FaultKind::Kill {
+                continue;
+            }
+            let (fires, one_shot) = match rule.trigger {
+                Trigger::OnMessage(n) => (self.msg_seq == n, true),
+                Trigger::AtStep(n) => (self.step >= n, true),
+                Trigger::WithProbability(p) => (self.draw() < p, false),
+            };
+            if fires {
+                if one_shot {
+                    self.spent[i] = true;
+                }
+                return Some(rule.kind.clone());
+            }
+        }
+        None
+    }
+
+    fn draw(&mut self) -> f64 {
+        (splitmix64(&mut self.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_rules_fire_exactly_once() {
+        let plan = Arc::new(FaultPlan::new(1).drop_message(0, 2).kill(0, 5));
+        let mut st = FaultState::new(Some(plan), 0);
+        assert_eq!(st.on_send(), None); // message 1
+        assert_eq!(st.on_send(), Some(FaultKind::Drop)); // message 2
+        assert_eq!(st.on_send(), None); // message 3: spent
+        assert!(!st.kill_due(4));
+        assert!(st.kill_due(6)); // >= 5
+        assert!(!st.kill_due(7)); // spent
+    }
+
+    #[test]
+    fn rules_only_apply_to_their_rank() {
+        let plan = Arc::new(FaultPlan::new(1).drop_message(3, 1).kill(2, 0));
+        let mut st = FaultState::new(Some(plan), 0);
+        assert_eq!(st.on_send(), None);
+        assert!(!st.kill_due(10));
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_rank() {
+        let plan = Arc::new(FaultPlan::new(99).drop_messages(1, 0.5));
+        let fates = |rank| {
+            let mut st = FaultState::new(Some(Arc::clone(&plan)), rank);
+            (0..32).map(|_| st.on_send().is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(fates(1), fates(1));
+        // Rank 0 has no matching rule: never fires.
+        assert!(fates(0).iter().all(|f| !f));
+        // Roughly half of rank 1's messages are dropped.
+        let hits = fates(1).iter().filter(|f| **f).count();
+        assert!((8..=24).contains(&hits), "{hits} of 32");
+    }
+}

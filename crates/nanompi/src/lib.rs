@@ -3,20 +3,26 @@
 //! An in-process message-passing substrate standing in for the MPI layer
 //! VPIC used on Roadrunner. Ranks are OS threads; point-to-point messages
 //! travel over per-pair channels with MPI-like (source, tag) matching;
-//! collectives (barrier, allgather, allreduce) run over a shared board.
+//! collectives (barrier, allgather, allreduce) run over the same channels.
 //!
-//! Every byte sent is counted per rank pair, so the distributed PIC's real
-//! communication volume can be measured and fed to the Roadrunner
+//! Every application byte sent is counted per rank pair, so the distributed
+//! PIC's real communication volume can be measured and fed to the Roadrunner
 //! performance model (`roadrunner-model`), mirroring how the paper's
 //! authors validated their analytic model against measured traffic.
 //!
+//! The substrate is fault-aware: operations return [`CommError`] instead of
+//! hanging or panicking when a peer dies, a [`FaultPlan`] can inject
+//! deterministic message faults and rank kills for resilience testing, and
+//! [`Comm::recover`] rendezvouses the world onto a fresh epoch so a
+//! campaign can roll back to a checkpoint and resume.
+//!
 //! ```
-//! let (results, traffic) = nanompi::run(4, |comm| {
+//! let (results, traffic) = nanompi::run_expect(4, |comm| {
 //!     let right = (comm.rank() + 1) % comm.size();
 //!     let left = (comm.rank() + comm.size() - 1) % comm.size();
-//!     comm.send(right, 7, comm.rank() as u64);
-//!     let from_left: u64 = comm.recv(left, 7);
-//!     comm.allreduce_sum(from_left as f64)
+//!     comm.send(right, 7, comm.rank() as u64).unwrap();
+//!     let from_left: u64 = comm.recv(left, 7).unwrap();
+//!     comm.allreduce_sum(from_left as f64).unwrap()
 //! });
 //! assert!(results.iter().all(|&r| r == 6.0)); // 0+1+2+3
 //! assert_eq!(traffic.total_messages, 4);
@@ -24,6 +30,10 @@
 
 mod cart;
 pub mod comm;
+pub mod fault;
 
 pub use cart::CartTopology;
-pub use comm::{run, Comm, TrafficReport};
+pub use comm::{
+    run, run_expect, run_with_faults, Comm, CommError, RankPanic, TrafficReport, DEFAULT_OP_TIMEOUT,
+};
+pub use fault::{FaultKind, FaultPlan, FaultRule, Trigger};

@@ -1,0 +1,422 @@
+//! Fault-tolerant campaign runtime: rollback-recovery over checkpoints.
+//!
+//! VPIC's trillion-particle Roadrunner campaigns outlived the machine's
+//! mean time between interrupts the unglamorous way — periodic restart
+//! dumps plus automatic resubmission. This module reproduces that loop
+//! in-process: [`run_campaign`] drives a [`DistributedSim`] for a fixed
+//! number of steps, writing a CRC-protected checkpoint generation every
+//! `checkpoint_interval` steps and running a cheap global health check
+//! (non-finite fields, energy blow-up, particle-count drift) every
+//! `health_interval` steps.
+//!
+//! When anything goes wrong — a [`CommError`] from a dead or faulty peer,
+//! or a failed health verdict — every rank rendezvouses through
+//! [`Comm::recover`], rediscovers its checkpoint generations *from disk*
+//! (rejecting any dump that fails its CRC), agrees with all other ranks on
+//! the newest generation present and valid everywhere, reloads it, and
+//! replays. Recovery attempts are bounded: past `max_recoveries` the
+//! campaign degrades gracefully, writing a best-effort partial dump and
+//! returning [`CampaignEnd::Degraded`] instead of aborting the process.
+//!
+//! Every recovery is recorded in the returned [`CampaignOutcome`] and
+//! appended to `recovery_r{rank}.log` in the checkpoint directory.
+//!
+//! With one push pipeline per rank the replay is bit-exact: a campaign
+//! that lost a rank mid-flight ends in exactly the state of an
+//! uninterrupted run (asserted by `tests/recovery.rs`).
+
+use crate::dcheckpoint::{load_rank_from_path, save_rank_to_path};
+use crate::dsim::DistributedSim;
+use nanompi::{Comm, CommError};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use vpic_core::checkpoint::CheckpointError;
+
+/// Knobs for one fault-tolerant campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Run until `sim.step_count` reaches this.
+    pub steps: u64,
+    /// Checkpoint every this many steps (0 disables; step 0 is included).
+    pub checkpoint_interval: u64,
+    /// Directory for checkpoint generations, recovery logs and partial
+    /// dumps (created if absent; shared by all ranks).
+    pub checkpoint_dir: PathBuf,
+    /// Checkpoint generations kept on disk per rank.
+    pub keep_checkpoints: usize,
+    /// Rollback attempts before degrading to a partial dump.
+    pub max_recoveries: u32,
+    /// Health-check every this many steps (0 disables).
+    pub health_interval: u64,
+    /// Health check fails if global energy exceeds this multiple of the
+    /// campaign-start energy.
+    pub max_energy_growth: f64,
+    /// Override the communicator's op timeout for the whole campaign.
+    pub op_timeout: Option<Duration>,
+}
+
+impl CampaignConfig {
+    pub fn new(steps: u64, checkpoint_interval: u64, checkpoint_dir: impl Into<PathBuf>) -> Self {
+        CampaignConfig {
+            steps,
+            checkpoint_interval,
+            checkpoint_dir: checkpoint_dir.into(),
+            keep_checkpoints: 2,
+            max_recoveries: 3,
+            health_interval: 1,
+            max_energy_growth: 10.0,
+            op_timeout: None,
+        }
+    }
+
+    pub fn with_max_recoveries(mut self, n: u32) -> Self {
+        self.max_recoveries = n;
+        self
+    }
+
+    pub fn with_health_interval(mut self, n: u64) -> Self {
+        self.health_interval = n;
+        self
+    }
+
+    pub fn with_op_timeout(mut self, t: Duration) -> Self {
+        self.op_timeout = Some(t);
+        self
+    }
+}
+
+/// One rollback-recovery episode.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Step at which the fault was detected.
+    pub at_step: u64,
+    /// 1-based recovery attempt number.
+    pub attempt: u32,
+    /// What went wrong.
+    pub cause: String,
+    /// Checkpoint step the world rolled back to.
+    pub restored_step: u64,
+}
+
+/// How the campaign ended.
+#[derive(Clone, Debug)]
+pub enum CampaignEnd {
+    /// All `steps` completed.
+    Completed,
+    /// Recovery budget exhausted; a best-effort partial dump was written.
+    Degraded { at_step: u64, partial_dump: PathBuf },
+}
+
+/// Result of one rank's campaign.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    pub rank: usize,
+    pub end: CampaignEnd,
+    /// Total sim steps executed, including replayed ones.
+    pub steps_run: u64,
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// Unrecoverable campaign failure (rollback cannot fix these).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The recovery rendezvous itself failed: a rank is permanently gone.
+    Comm(CommError),
+    /// A checkpoint could not be written.
+    Checkpoint(CheckpointError),
+    Io(io::Error),
+    /// No checkpoint generation is valid on every rank.
+    NoCommonCheckpoint,
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Comm(e) => write!(f, "unrecoverable communication failure: {e}"),
+            CampaignError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
+            CampaignError::Io(e) => write!(f, "campaign I/O failure: {e}"),
+            CampaignError::NoCommonCheckpoint => {
+                write!(f, "no checkpoint generation is valid on every rank")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Why one iteration failed (recoverable causes).
+enum Fault {
+    Comm(CommError),
+    Health(String),
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Comm(e) => write!(f, "comm: {e}"),
+            Fault::Health(msg) => write!(f, "health: {msg}"),
+        }
+    }
+}
+
+impl From<CommError> for Fault {
+    fn from(e: CommError) -> Self {
+        Fault::Comm(e)
+    }
+}
+
+fn checkpoint_path(dir: &Path, step: u64, rank: usize) -> PathBuf {
+    dir.join(format!("ckpt_{step:08}_r{rank:04}.vpic"))
+}
+
+/// This rank's checkpoint generations on disk, sorted ascending by step
+/// (existence only; validity is established by loading).
+fn list_own_checkpoints(dir: &Path, rank: usize) -> io::Result<Vec<(u64, PathBuf)>> {
+    let suffix = format!("_r{rank:04}.vpic");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix("ckpt_") {
+            if let Some(step_str) = rest.strip_suffix(&suffix) {
+                if let Ok(step) = step_str.parse::<u64>() {
+                    out.push((step, entry.path()));
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|(s, _)| *s);
+    Ok(out)
+}
+
+/// Global health verdict, identical on every rank (one reduction).
+/// Returns `Err(Fault::Health)` on a failed check.
+fn health_check(
+    comm: &mut Comm,
+    sim: &DistributedSim,
+    cfg: &CampaignConfig,
+    e0: f64,
+    n0: u64,
+) -> Result<(), Fault> {
+    let f = &sim.fields;
+    let finite = [&f.ex, &f.ey, &f.ez, &f.cbx, &f.cby, &f.cbz]
+        .iter()
+        .all(|a| a.iter().all(|v| v.is_finite()));
+    let e_local = f.energy_e(&sim.grid)
+        + f.energy_b(&sim.grid)
+        + sim
+            .species
+            .iter()
+            .map(|sp| sp.kinetic_energy(&sim.grid))
+            .sum::<f64>();
+    let n_local = sim.n_particles() as f64;
+    let global = comm.allreduce_sum_vec(vec![if finite { 0.0 } else { 1.0 }, e_local, n_local])?;
+    if global[0] > 0.0 {
+        return Err(Fault::Health("non-finite field values".into()));
+    }
+    if e0 > 0.0 && global[1] > cfg.max_energy_growth * e0 {
+        return Err(Fault::Health(format!(
+            "energy blow-up: {:.3e} > {} x {:.3e}",
+            global[1], cfg.max_energy_growth, e0
+        )));
+    }
+    let n_global = global[2] as u64;
+    if n_global != n0 {
+        return Err(Fault::Health(format!(
+            "particle count drift: {n_global} != {n0}"
+        )));
+    }
+    Ok(())
+}
+
+/// Write a checkpoint generation, confirm all ranks wrote theirs, then
+/// prune old generations beyond `keep_checkpoints`. Write failures are
+/// permanent (rollback cannot fix a dead disk); confirmation failures are
+/// recoverable comm faults.
+fn take_checkpoint(
+    comm: &mut Comm,
+    sim: &DistributedSim,
+    cfg: &CampaignConfig,
+) -> Result<Result<(), Fault>, CampaignError> {
+    let path = checkpoint_path(&cfg.checkpoint_dir, sim.step_count, sim.rank);
+    save_rank_to_path(sim, &path).map_err(CampaignError::Checkpoint)?;
+    let steps = match comm.allgather(sim.step_count) {
+        Ok(s) => s,
+        Err(e) => return Ok(Err(e.into())),
+    };
+    if steps.iter().any(|&s| s != sim.step_count) {
+        return Ok(Err(Fault::Health(format!(
+            "checkpoint confirmation mismatch: {steps:?}"
+        ))));
+    }
+    // All ranks confirmed: older generations beyond the keep window are
+    // now garbage.
+    let own = list_own_checkpoints(&cfg.checkpoint_dir, sim.rank)?;
+    if own.len() > cfg.keep_checkpoints {
+        for (_, p) in &own[..own.len() - cfg.keep_checkpoints] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// Rendezvous, rediscover checkpoints from disk, agree on the newest
+/// generation valid on every rank, and reload it. Returns the restored
+/// sim and its step.
+fn rollback(
+    comm: &mut Comm,
+    sim: &DistributedSim,
+    cfg: &CampaignConfig,
+) -> Result<(DistributedSim, u64), CampaignError> {
+    comm.recover().map_err(CampaignError::Comm)?;
+    // Validate every on-disk generation by fully loading it — CRC failures
+    // (torn writes, bit rot) disqualify a generation here, loudly.
+    let mut valid_steps = Vec::new();
+    for (step, path) in list_own_checkpoints(&cfg.checkpoint_dir, sim.rank)? {
+        if load_rank_from_path(sim.spec.clone(), sim.rank, n_pipelines_of(sim), &path).is_ok() {
+            valid_steps.push(step);
+        }
+    }
+    let all: Vec<Vec<u64>> = comm
+        .allgather(valid_steps.clone())
+        .map_err(CampaignError::Comm)?;
+    let chosen = valid_steps
+        .iter()
+        .rev()
+        .find(|s| all.iter().all(|ranks| ranks.contains(s)))
+        .copied()
+        .ok_or(CampaignError::NoCommonCheckpoint)?;
+    let path = checkpoint_path(&cfg.checkpoint_dir, chosen, sim.rank);
+    let restored = load_rank_from_path(sim.spec.clone(), sim.rank, n_pipelines_of(sim), &path)
+        .map_err(CampaignError::Checkpoint)?;
+    // Everyone must resume from the same generation.
+    let confirm = comm.allgather(chosen).map_err(CampaignError::Comm)?;
+    if confirm.iter().any(|&s| s != chosen) {
+        return Err(CampaignError::NoCommonCheckpoint);
+    }
+    Ok((restored, chosen))
+}
+
+fn n_pipelines_of(sim: &DistributedSim) -> usize {
+    sim.accumulators.arrays.len()
+}
+
+fn append_log(dir: &Path, rank: usize, line: &str) {
+    let path = dir.join(format!("recovery_r{rank:04}.log"));
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Drive `sim` to `cfg.steps` with periodic checkpoints, health checks and
+/// automatic rollback-recovery; returns the final simulation state (the
+/// last good state, on degradation) alongside the outcome. See the module
+/// docs for the protocol.
+pub fn run_campaign(
+    comm: &mut Comm,
+    mut sim: DistributedSim,
+    cfg: &CampaignConfig,
+) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+    std::fs::create_dir_all(&cfg.checkpoint_dir)?;
+    if let Some(t) = cfg.op_timeout {
+        comm.set_op_timeout(t);
+    }
+    let rank = sim.rank;
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut steps_run = 0u64;
+
+    // Campaign-start health baselines (deterministic: identical on every
+    // rank, and recomputed identically after any replay from step 0).
+    let n0 = match sim.global_particles(comm) {
+        Ok(n) => n,
+        Err(e) => return Err(CampaignError::Comm(e)),
+    };
+    let e0 = {
+        let (fe, fb, ke) = sim.global_energies(comm).map_err(CampaignError::Comm)?;
+        fe + fb + ke.iter().sum::<f64>()
+    };
+
+    let end = loop {
+        if sim.step_count >= cfg.steps {
+            break CampaignEnd::Completed;
+        }
+        let step = sim.step_count;
+        let fault: Fault = match (|| -> Result<Result<(), Fault>, CampaignError> {
+            if let Err(e) = comm.tick(step) {
+                return Ok(Err(e.into()));
+            }
+            if cfg.checkpoint_interval > 0 && step.is_multiple_of(cfg.checkpoint_interval) {
+                if let Err(f) = take_checkpoint(comm, &sim, cfg)? {
+                    return Ok(Err(f));
+                }
+            }
+            if cfg.health_interval > 0 && step.is_multiple_of(cfg.health_interval) {
+                if let Err(f) = health_check(comm, &sim, cfg, e0, n0) {
+                    return Ok(Err(f));
+                }
+            }
+            if let Err(e) = sim.step(comm) {
+                return Ok(Err(e.into()));
+            }
+            steps_run += 1;
+            Ok(Ok(()))
+        })()? {
+            Ok(()) => continue,
+            Err(f) => f,
+        };
+
+        let attempt = recoveries.len() as u32 + 1;
+        if attempt > cfg.max_recoveries {
+            // Budget exhausted: degrade gracefully with a best-effort
+            // partial dump of whatever state this rank still holds.
+            let partial = cfg.checkpoint_dir.join(format!("partial_r{rank:04}.vpic"));
+            let _ = save_rank_to_path(&sim, &partial);
+            append_log(
+                &cfg.checkpoint_dir,
+                rank,
+                &format!("step={step} attempt={attempt} cause=\"{fault}\" action=degraded"),
+            );
+            break CampaignEnd::Degraded {
+                at_step: step,
+                partial_dump: partial,
+            };
+        }
+        let (restored, restored_step) = rollback(comm, &sim, cfg)?;
+        sim = restored;
+        append_log(
+            &cfg.checkpoint_dir,
+            rank,
+            &format!(
+                "step={step} attempt={attempt} cause=\"{fault}\" restored_step={restored_step}"
+            ),
+        );
+        recoveries.push(RecoveryEvent {
+            at_step: step,
+            attempt,
+            cause: fault.to_string(),
+            restored_step,
+        });
+    };
+
+    Ok((
+        sim,
+        CampaignOutcome {
+            rank,
+            end,
+            steps_run,
+            recoveries,
+        },
+    ))
+}

@@ -24,7 +24,12 @@ pub struct DomainSpec {
 
 impl DomainSpec {
     /// Fully periodic global box decomposed over `n` ranks.
-    pub fn periodic(global_cells: (usize, usize, usize), cell: (f32, f32, f32), dt: f32, n: usize) -> Self {
+    pub fn periodic(
+        global_cells: (usize, usize, usize),
+        cell: (f32, f32, f32),
+        dt: f32,
+        n: usize,
+    ) -> Self {
         DomainSpec {
             global_cells,
             cell,
@@ -37,12 +42,16 @@ impl DomainSpec {
 
     /// Validate divisibility and periodicity consistency.
     pub fn validate(&self) {
-        let g = [self.global_cells.0, self.global_cells.1, self.global_cells.2];
-        for axis in 0..3 {
+        let g = [
+            self.global_cells.0,
+            self.global_cells.1,
+            self.global_cells.2,
+        ];
+        for (axis, &cells) in g.iter().enumerate() {
             assert!(
-                g[axis] % self.topo.dims[axis] == 0,
+                cells.is_multiple_of(self.topo.dims[axis]),
                 "global cells {} not divisible by topology dim {} on axis {axis}",
-                g[axis],
+                cells,
                 self.topo.dims[axis]
             );
             let lo = self.global_bc[axis] == ParticleBc::Periodic;
@@ -87,14 +96,10 @@ impl DomainSpec {
         let (lx, ly, lz) = self.local_cells();
         let coords = self.topo.coords_of(rank);
         let mut bc = [ParticleBc::Periodic; 6];
-        for axis in 0..3 {
+        for (axis, &coord) in coords.iter().enumerate() {
             let dims = self.topo.dims[axis];
-            for (face, at_edge) in
-                [(axis, coords[axis] == 0), (axis + 3, coords[axis] + 1 == dims)]
-            {
-                bc[face] = if dims == 1 {
-                    self.global_bc[face]
-                } else if at_edge && !self.topo.periodic[axis] {
+            for (face, at_edge) in [(axis, coord == 0), (axis + 3, coord + 1 == dims)] {
+                bc[face] = if dims == 1 || (at_edge && !self.topo.periodic[axis]) {
                     self.global_bc[face]
                 } else {
                     ParticleBc::Migrate

@@ -4,7 +4,7 @@
 use crate::decomposition::DomainSpec;
 use crate::exchange::GhostExchanger;
 use crate::migrate::migrate_species;
-use nanompi::Comm;
+use nanompi::{Comm, CommError};
 use std::time::Instant;
 use vpic_core::accumulator::AccumulatorSet;
 use vpic_core::field::FieldArray;
@@ -34,7 +34,13 @@ pub struct DistTimings {
 impl DistTimings {
     /// Total accounted time.
     pub fn total(&self) -> f64 {
-        self.sort + self.interpolate + self.push + self.migrate + self.current + self.field + self.exchange
+        self.sort
+            + self.interpolate
+            + self.push
+            + self.migrate
+            + self.current
+            + self.field
+            + self.exchange
     }
 
     /// Communication share (migration rounds + ghost exchange).
@@ -102,29 +108,39 @@ impl DistributedSim {
     }
 
     /// Synchronize ghost planes after manual field initialization.
-    pub fn synchronize_fields(&mut self, comm: &mut Comm) {
+    pub fn synchronize_fields(&mut self, comm: &mut Comm) -> Result<(), CommError> {
         let bcs = bcs_of(&self.grid);
         sync_e(&mut self.fields, &self.grid, bcs);
         sync_b(&mut self.fields, &self.grid, bcs);
-        self.exchanger.exchange_e(comm, &mut self.fields, &self.grid);
-        self.exchanger.exchange_b(comm, &mut self.fields, &self.grid);
+        self.exchanger
+            .exchange_e(comm, &mut self.fields, &self.grid)?;
+        self.exchanger
+            .exchange_b(comm, &mut self.fields, &self.grid)?;
+        Ok(())
     }
 
     /// One full distributed step (see `vpic_core::sim` for the phase
     /// ordering; migration happens right after the local push, ghost
     /// exchanges after each field sub-update).
-    pub fn step(&mut self, comm: &mut Comm) {
-        self.step_with(comm, |_, _, _| {});
+    pub fn step(&mut self, comm: &mut Comm) -> Result<(), CommError> {
+        self.step_with(comm, |_, _, _| {})
     }
 
     /// One step with an external current drive hook.
-    pub fn step_with(&mut self, comm: &mut Comm, drive: impl FnOnce(&mut FieldArray, &Grid, u64)) {
+    ///
+    /// On `Err` the local state may be mid-step (some phases applied); the
+    /// caller must treat it as poisoned and roll back to a checkpoint.
+    pub fn step_with(
+        &mut self,
+        comm: &mut Comm,
+        drive: impl FnOnce(&mut FieldArray, &Grid, u64),
+    ) -> Result<(), CommError> {
         let g = self.grid.clone();
         let bcs = bcs_of(&g);
 
         let t0 = Instant::now();
         for sp in &mut self.species {
-            if sp.sort_interval > 0 && self.step_count % sp.sort_interval as u64 == 0 {
+            if sp.sort_interval > 0 && self.step_count.is_multiple_of(sp.sort_interval as u64) {
                 sp.sort(&g);
             }
         }
@@ -140,8 +156,13 @@ impl DistributedSim {
             let sp = &mut self.species[si];
             let coeffs = vpic_core::push::PushCoefficients::new(sp.q, sp.m, &g);
             self.timings.particle_steps += sp.len() as u64;
-            let exiles =
-                advance_p(&mut sp.particles, coeffs, &self.interp, &mut self.accumulators.arrays, &g);
+            let exiles = advance_p(
+                &mut sp.particles,
+                coeffs,
+                &self.interp,
+                &mut self.accumulators.arrays,
+                &g,
+            );
             self.timings.push += t0.elapsed().as_secs_f64();
 
             let t0 = Instant::now();
@@ -155,7 +176,7 @@ impl DistributedSim {
                 &mut self.accumulators.arrays[0],
                 exiles,
                 si as u64,
-            );
+            )?;
             self.timings.migrate += t0.elapsed().as_secs_f64();
         }
 
@@ -166,7 +187,7 @@ impl DistributedSim {
         sync_j(&mut self.fields, &g, bcs);
         self.timings.current += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        self.exchanger.fold_j(comm, &mut self.fields, &g);
+        self.exchanger.fold_j(comm, &mut self.fields, &g)?;
         self.timings.exchange += t0.elapsed().as_secs_f64();
 
         drive(&mut self.fields, &g, self.step_count);
@@ -175,29 +196,30 @@ impl DistributedSim {
         advance_b(&mut self.fields, &g, 0.5);
         self.timings.field += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        self.exchanger.exchange_b(comm, &mut self.fields, &g);
+        self.exchanger.exchange_b(comm, &mut self.fields, &g)?;
         self.timings.exchange += t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
         advance_e(&mut self.fields, &g);
         self.timings.field += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        self.exchanger.exchange_e(comm, &mut self.fields, &g);
+        self.exchanger.exchange_e(comm, &mut self.fields, &g)?;
         self.timings.exchange += t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
         advance_b(&mut self.fields, &g, 0.5);
         self.timings.field += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        self.exchanger.exchange_b(comm, &mut self.fields, &g);
+        self.exchanger.exchange_b(comm, &mut self.fields, &g)?;
         self.timings.exchange += t0.elapsed().as_secs_f64();
 
         self.step_count += 1;
         self.timings.steps += 1;
+        Ok(())
     }
 
     /// Global particle count.
-    pub fn global_particles(&self, comm: &Comm) -> u64 {
+    pub fn global_particles(&self, comm: &mut Comm) -> Result<u64, CommError> {
         comm.allreduce_sum_u64(self.n_particles() as u64)
     }
 
@@ -207,13 +229,16 @@ impl DistributedSim {
     }
 
     /// Global (field E, field B, kinetic-per-species) energies.
-    pub fn global_energies(&self, comm: &Comm) -> (f64, f64, Vec<f64>) {
-        let mut v = vec![self.fields.energy_e(&self.grid), self.fields.energy_b(&self.grid)];
+    pub fn global_energies(&self, comm: &mut Comm) -> Result<(f64, f64, Vec<f64>), CommError> {
+        let mut v = vec![
+            self.fields.energy_e(&self.grid),
+            self.fields.energy_b(&self.grid),
+        ];
         for sp in &self.species {
             v.push(sp.kinetic_energy(&self.grid));
         }
-        let r = comm.allreduce_sum_vec(v);
-        (r[0], r[1], r[2..].to_vec())
+        let r = comm.allreduce_sum_vec(v)?;
+        Ok((r[0], r[1], r[2..].to_vec()))
     }
 
     /// Find a particle's global position (diagnostic; O(N)).
@@ -227,42 +252,49 @@ impl DistributedSim {
     /// Global coordinates of one particle.
     pub fn position_of(&self, p: &Particle) -> (f32, f32, f32) {
         let (i, j, k) = self.grid.voxel_coords(p.i as usize);
-        (self.grid.particle_x(i, p.dx), self.grid.particle_y(j, p.dy), self.grid.particle_z(k, p.dz))
+        (
+            self.grid.particle_x(i, p.dx),
+            self.grid.particle_y(j, p.dy),
+            self.grid.particle_z(k, p.dz),
+        )
     }
 
     /// Load-balance snapshot: `(max/mean particle count, max rank)`. VPIC's
     /// LPI runs watch this because blow-off plasma piles particles onto the
     /// ranks owning the slab while vacuum ranks idle.
-    pub fn load_imbalance(&self, comm: &Comm) -> (f64, usize) {
-        let counts = comm.allgather(self.n_particles() as u64);
+    pub fn load_imbalance(&self, comm: &mut Comm) -> Result<(f64, usize), CommError> {
+        let counts = comm.allgather(self.n_particles() as u64)?;
         let total: u64 = counts.iter().sum();
         let mean = total as f64 / counts.len() as f64;
-        let (max_rank, &max) =
-            counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("nonempty world");
-        if mean > 0.0 {
+        let (max_rank, &max) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("nonempty world");
+        Ok(if mean > 0.0 {
             (max as f64 / mean, max_rank)
         } else {
             (1.0, max_rank)
-        }
+        })
     }
 
     /// Push-time imbalance across ranks: `max(t_push)/mean(t_push)` — the
     /// quantity that actually bounds parallel efficiency.
-    pub fn push_time_imbalance(&self, comm: &Comm) -> f64 {
-        let times = comm.allgather(self.timings.push);
+    pub fn push_time_imbalance(&self, comm: &mut Comm) -> Result<f64, CommError> {
+        let times = comm.allgather(self.timings.push)?;
         let mean = times.iter().sum::<f64>() / times.len() as f64;
-        if mean > 0.0 {
+        Ok(if mean > 0.0 {
             times.iter().cloned().fold(0.0, f64::max) / mean
         } else {
             1.0
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nanompi::run;
+    use nanompi::run_expect;
     use vpic_core::sim::Simulation;
 
     /// A ballistic particle crossing rank boundaries must follow the exact
@@ -303,7 +335,7 @@ mod tests {
         let want_u = (p.ux, p.uy, p.uz);
 
         // Distributed: 2 ranks along x.
-        let (results, _) = run(2, |comm| {
+        let (results, _) = run_expect(2, |comm| {
             let spec = DomainSpec::periodic(global, cell, dt, 2);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let mut e = Species::new("e", -1.0, 1.0).with_sort_interval(0);
@@ -321,16 +353,20 @@ mod tests {
             }
             sim.add_species(e);
             for _ in 0..steps {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
             (sim.global_positions(), sim.migrated)
         });
-        let positions: Vec<(f32, f32, f32)> =
-            results.iter().flat_map(|(p, _)| p.iter().copied()).collect();
+        let positions: Vec<(f32, f32, f32)> = results
+            .iter()
+            .flat_map(|(p, _)| p.iter().copied())
+            .collect();
         assert_eq!(positions.len(), 1, "particle count changed");
         let got = positions[0];
         assert!(
-            (got.0 - want.0).abs() < 2e-4 && (got.1 - want.1).abs() < 2e-4 && (got.2 - want.2).abs() < 2e-4,
+            (got.0 - want.0).abs() < 2e-4
+                && (got.1 - want.1).abs() < 2e-4
+                && (got.2 - want.2).abs() < 2e-4,
             "trajectory diverged: got {got:?}, want {want:?}"
         );
         let total_migrated: u64 = results.iter().map(|(_, m)| m).sum();
@@ -343,19 +379,19 @@ mod tests {
     /// energy conserved to ~2%, and migration actually exercised.
     #[test]
     fn distributed_plasma_conserves() {
-        let (results, traffic) = run(4, |comm| {
+        let (results, traffic) = run_expect(4, |comm| {
             let spec = DomainSpec::periodic((8, 8, 4), (0.25, 0.25, 0.25), 0.1, 4);
             let mut sim = DistributedSim::new(spec, comm.rank(), 2);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 42, 1.0, 8, Momentum::thermal(0.08));
-            let n0 = sim.global_particles(comm);
-            let (fe, fb, ke) = sim.global_energies(comm);
+            let n0 = sim.global_particles(comm).unwrap();
+            let (fe, fb, ke) = sim.global_energies(comm).unwrap();
             let e0 = fe + fb + ke.iter().sum::<f64>();
             for _ in 0..25 {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
-            let n1 = sim.global_particles(comm);
-            let (fe, fb, ke) = sim.global_energies(comm);
+            let n1 = sim.global_particles(comm).unwrap();
+            let (fe, fb, ke) = sim.global_energies(comm).unwrap();
             let e1 = fe + fb + ke.iter().sum::<f64>();
             (n0, n1, e0, e1, sim.migrated)
         });
@@ -403,14 +439,14 @@ mod tests {
         }
         let want = reference.fields.ey[gr.voxel(5, 1, 1)];
 
-        let (results, _) = run(4, |comm| {
+        let (results, _) = run_expect(4, |comm| {
             let spec = DomainSpec::periodic(global, cell, dt, 4);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let g = sim.grid.clone();
             init(&g, &mut sim.fields, g.x0);
-            sim.synchronize_fields(comm);
+            sim.synchronize_fields(comm).unwrap();
             for _ in 0..steps {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
             // Global cell 5 lives on rank 0 (8 cells per rank).
             if comm.rank() == 0 {
@@ -420,25 +456,28 @@ mod tests {
             }
         });
         let got = results[0].expect("rank 0 probes");
-        assert!((got - want).abs() < 1e-5, "wave diverged: got {got}, want {want}");
+        assert!(
+            (got - want).abs() < 1e-5,
+            "wave diverged: got {got}, want {want}"
+        );
     }
 }
 
 #[cfg(test)]
 mod balance_tests {
     use super::*;
-    use nanompi::run;
+    use nanompi::run_expect;
 
     #[test]
     fn imbalance_detects_loaded_rank() {
-        let (results, _) = run(4, |comm| {
+        let (results, _) = run_expect(4, |comm| {
             let spec = DomainSpec::periodic((8, 4, 4), (0.5, 0.5, 0.5), 0.1, 4);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             // Rank 2 carries 4× the load.
             let ppc = if comm.rank() == 2 { 32 } else { 8 };
             sim.load_uniform(si, 1, 1.0, ppc, Momentum::thermal(0.05));
-            sim.load_imbalance(comm)
+            sim.load_imbalance(comm).unwrap()
         });
         for (ratio, rank) in results {
             assert_eq!(rank, 2);
@@ -449,19 +488,25 @@ mod balance_tests {
 
     #[test]
     fn balanced_world_reports_unity() {
-        let (results, _) = run(2, |comm| {
+        let (results, _) = run_expect(2, |comm| {
             let spec = DomainSpec::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.1, 2);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 9, 1.0, 16, Momentum::thermal(0.05));
             for _ in 0..3 {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
-            (sim.load_imbalance(comm).0, sim.push_time_imbalance(comm))
+            (
+                sim.load_imbalance(comm).unwrap().0,
+                sim.push_time_imbalance(comm).unwrap(),
+            )
         });
         for (particles, time) in results {
-            assert!((particles - 1.0).abs() < 0.1, "particle imbalance {particles}");
-            assert!(time >= 1.0 && time < 10.0, "time imbalance {time}");
+            assert!(
+                (particles - 1.0).abs() < 0.1,
+                "particle imbalance {particles}"
+            );
+            assert!((1.0..10.0).contains(&time), "time imbalance {time}");
         }
     }
 }

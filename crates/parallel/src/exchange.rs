@@ -17,7 +17,7 @@
 //! edge/corner ghosts become correct exactly as in the sequential
 //! periodic-copy argument.
 
-use nanompi::Comm;
+use nanompi::{Comm, CommError};
 use vpic_core::field::FieldArray;
 use vpic_core::grid::Grid;
 
@@ -93,7 +93,12 @@ pub struct GhostExchanger {
 impl GhostExchanger {
     /// Fill `E` ghost planes from neighbors (call after every `advance_e`
     /// and after manual field initialization).
-    pub fn exchange_e(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+    pub fn exchange_e(
+        &self,
+        comm: &mut Comm,
+        f: &mut FieldArray,
+        g: &Grid,
+    ) -> Result<(), CommError> {
         for axis in 0..3 {
             let comps: [&mut Vec<f32>; 2] = match axis {
                 0 => [&mut f.ey, &mut f.ez],
@@ -104,19 +109,25 @@ impl GhostExchanger {
             for (ci, c) in comps.into_iter().enumerate() {
                 let tag = TAG_E + (axis * 4 + ci) as u64;
                 if let Some(nb) = self.neighbors[axis] {
-                    comm.send_vec(nb, tag, read_plane(c, g, axis, 1));
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, 1))?;
                 }
                 if let Some(nb) = self.neighbors[axis + 3] {
-                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    let plane: Vec<f32> = comm.recv(nb, tag)?;
                     write_plane(c, g, axis, n + 1, &plane);
                 }
             }
         }
+        Ok(())
     }
 
     /// Fill `cB` ghost planes from neighbors (call after every `advance_b`
     /// and after manual field initialization).
-    pub fn exchange_b(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+    pub fn exchange_b(
+        &self,
+        comm: &mut Comm,
+        f: &mut FieldArray,
+        g: &Grid,
+    ) -> Result<(), CommError> {
         for axis in 0..3 {
             let n = n_of(g, axis);
             // Axis-normal component: my n+1 plane is the +neighbor's 1.
@@ -128,10 +139,10 @@ impl GhostExchanger {
                 };
                 let tag = TAG_B_OWN + axis as u64;
                 if let Some(nb) = self.neighbors[axis] {
-                    comm.send_vec(nb, tag, read_plane(own, g, axis, 1));
+                    comm.send_vec(nb, tag, read_plane(own, g, axis, 1))?;
                 }
                 if let Some(nb) = self.neighbors[axis + 3] {
-                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    let plane: Vec<f32> = comm.recv(nb, tag)?;
                     write_plane(own, g, axis, n + 1, &plane);
                 }
             }
@@ -144,19 +155,20 @@ impl GhostExchanger {
             for (ci, c) in comps.into_iter().enumerate() {
                 let tag = TAG_B_T + (axis * 4 + ci) as u64;
                 if let Some(nb) = self.neighbors[axis + 3] {
-                    comm.send_vec(nb, tag, read_plane(c, g, axis, n));
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, n))?;
                 }
                 if let Some(nb) = self.neighbors[axis] {
-                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    let plane: Vec<f32> = comm.recv(nb, tag)?;
                     write_plane(c, g, axis, 0, &plane);
                 }
             }
         }
+        Ok(())
     }
 
     /// Fold ghost-deposited currents into the owning neighbor (call after
     /// `unload` + local `sync_j`).
-    pub fn fold_j(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) {
+    pub fn fold_j(&self, comm: &mut Comm, f: &mut FieldArray, g: &Grid) -> Result<(), CommError> {
         for axis in 0..3 {
             let n = n_of(g, axis);
             let comps: [&mut Vec<f32>; 2] = match axis {
@@ -167,14 +179,15 @@ impl GhostExchanger {
             for (ci, c) in comps.into_iter().enumerate() {
                 let tag = TAG_J + (axis * 4 + ci) as u64;
                 if let Some(nb) = self.neighbors[axis + 3] {
-                    comm.send_vec(nb, tag, read_plane(c, g, axis, n + 1));
+                    comm.send_vec(nb, tag, read_plane(c, g, axis, n + 1))?;
                 }
                 if let Some(nb) = self.neighbors[axis] {
-                    let plane: Vec<f32> = comm.recv(nb, tag);
+                    let plane: Vec<f32> = comm.recv(nb, tag)?;
                     add_plane(c, g, axis, 1, &plane);
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -207,8 +220,8 @@ mod tests {
     fn exchange_matches_periodic_copy() {
         // Two ranks along x, fully wrapped: the exchange must place
         // exactly the planes a single periodic domain would copy.
-        use nanompi::run;
-        let (results, _) = run(2, |comm| {
+        use nanompi::run_expect;
+        let (results, _) = run_expect(2, |comm| {
             let g = Grid::new(
                 (4, 2, 2),
                 (1.0, 1.0, 1.0),
@@ -237,8 +250,8 @@ mod tests {
             let ex = GhostExchanger {
                 neighbors: [Some(other), None, None, Some(other), None, None],
             };
-            ex.exchange_e(comm, &mut f, &g);
-            ex.exchange_b(comm, &mut f, &g);
+            ex.exchange_e(comm, &mut f, &g).unwrap();
+            ex.exchange_b(comm, &mut f, &g).unwrap();
             let v_hi = g.voxel(g.nx + 1, 1, 1);
             let v_lo = g.voxel(0, 1, 1);
             (f.ey[v_hi], f.cbx[v_hi], f.cby[v_lo])
@@ -256,8 +269,8 @@ mod tests {
 
     #[test]
     fn fold_j_adds_shared_plane_deposits() {
-        use nanompi::run;
-        let (results, _) = run(2, |comm| {
+        use nanompi::run_expect;
+        let (results, _) = run_expect(2, |comm| {
             let g = Grid::new(
                 (4, 2, 2),
                 (1.0, 1.0, 1.0),
@@ -283,7 +296,7 @@ mod tests {
             let ex = GhostExchanger {
                 neighbors: [Some(other), None, None, Some(other), None, None],
             };
-            ex.fold_j(comm, &mut f, &g);
+            ex.fold_j(comm, &mut f, &g).unwrap();
             f.jy[g.voxel(1, 1, 1)]
         });
         assert_eq!(results, vec![3.0, 3.0]);

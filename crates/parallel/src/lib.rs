@@ -12,15 +12,24 @@
 //!   their unfinished mover and *continue the same move* on the receiving
 //!   rank, so charge conservation is exact across boundaries;
 //! * [`dsim::DistributedSim`] — the per-rank driver with phase timings,
-//!   global reductions and reproducible per-rank particle loading.
+//!   global reductions and reproducible per-rank particle loading;
+//! * [`campaign`] — the fault-tolerant campaign runtime: periodic
+//!   CRC-protected checkpoints, global health checks, and automatic
+//!   rollback-recovery with bounded retries and graceful degradation.
 
+pub mod campaign;
 pub mod dcheckpoint;
 pub mod decomposition;
 pub mod dsim;
 pub mod exchange;
 pub mod migrate;
 
-pub use dcheckpoint::{load_rank, save_rank};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome, RecoveryEvent,
+};
+pub use dcheckpoint::{
+    load_rank, load_rank_from_path, save_rank, save_rank_to_path, spec_fingerprint,
+};
 pub use decomposition::DomainSpec;
 pub use dsim::{DistTimings, DistributedSim};
 pub use exchange::GhostExchanger;

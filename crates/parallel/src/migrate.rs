@@ -9,7 +9,7 @@
 //! boundaries. Multi-hop moves (corner crossings) are handled by repeated
 //! rounds terminated with a global reduction.
 
-use nanompi::Comm;
+use nanompi::{Comm, CommError};
 use vpic_core::accumulator::AccumulatorArray;
 use vpic_core::grid::Grid;
 use vpic_core::particle::{Mover, Particle};
@@ -48,6 +48,7 @@ pub fn transform_to_receiver(p: &mut Particle, face: usize, g: &Grid) {
 /// Returns the number of particles this rank sent (all rounds).
 ///
 /// `tag_base` must differ per species within one step.
+#[allow(clippy::too_many_arguments)]
 pub fn migrate_species(
     comm: &mut Comm,
     neighbors: &[Option<usize>; 6],
@@ -57,7 +58,7 @@ pub fn migrate_species(
     acc: &mut AccumulatorArray,
     exiles: Vec<Exile>,
     tag_base: u64,
-) -> u64 {
+) -> Result<u64, CommError> {
     // Build initial outgoing sets and delete the shipped particles.
     let mut outgoing: [Vec<Migrant>; 6] = Default::default();
     for ex in &exiles {
@@ -75,7 +76,7 @@ pub fn migrate_species(
     let mut sent_total = 0u64;
     loop {
         let pending: u64 = outgoing.iter().map(|v| v.len() as u64).sum();
-        if comm.allreduce_sum_u64(pending) == 0 {
+        if comm.allreduce_sum_u64(pending)? == 0 {
             break;
         }
         sent_total += pending;
@@ -83,16 +84,16 @@ pub fn migrate_species(
         for face in 0..6 {
             if let Some(nb) = neighbors[face] {
                 let batch = std::mem::take(&mut outgoing[face]);
-                comm.send_vec(nb, TAG_MIGRATE + tag_base * 8 + face as u64, batch);
+                comm.send_vec(nb, TAG_MIGRATE + tag_base * 8 + face as u64, batch)?;
             }
         }
         // Receive from every neighbor face; a migrant arriving through my
         // face f was sent through the sender's opposite face.
-        for face in 0..6 {
-            if let Some(nb) = neighbors[face] {
+        for (face, nb) in neighbors.iter().enumerate() {
+            if let Some(nb) = *nb {
                 let sender_face = (face + 3) % 6;
                 let batch: Vec<Migrant> =
-                    comm.recv(nb, TAG_MIGRATE + tag_base * 8 + sender_face as u64);
+                    comm.recv(nb, TAG_MIGRATE + tag_base * 8 + sender_face as u64)?;
                 for mut mig in batch {
                     let mut pm = mig.m;
                     match move_p_local(&mut mig.p, &mut pm, acc, g, qsp) {
@@ -107,7 +108,7 @@ pub fn migrate_species(
             }
         }
     }
-    sent_total
+    Ok(sent_total)
 }
 
 #[cfg(test)]
@@ -134,13 +135,22 @@ mod tests {
     #[test]
     fn transform_flips_face_coordinates() {
         let g = migrate_grid();
-        let mut p = Particle { i: g.voxel(4, 1, 2) as u32, dx: 1.0, dy: 0.3, ..Default::default() };
+        let mut p = Particle {
+            i: g.voxel(4, 1, 2) as u32,
+            dx: 1.0,
+            dy: 0.3,
+            ..Default::default()
+        };
         transform_to_receiver(&mut p, 3, &g); // exits +x
         assert_eq!(p.i, g.voxel(1, 1, 2) as u32);
         assert_eq!(p.dx, -1.0);
         assert_eq!(p.dy, 0.3);
 
-        let mut p = Particle { i: g.voxel(1, 2, 1) as u32, dx: -1.0, ..Default::default() };
+        let mut p = Particle {
+            i: g.voxel(1, 2, 1) as u32,
+            dx: -1.0,
+            ..Default::default()
+        };
         transform_to_receiver(&mut p, 0, &g); // exits −x
         assert_eq!(p.i, g.voxel(4, 2, 1) as u32);
         assert_eq!(p.dx, 1.0);
@@ -148,8 +158,8 @@ mod tests {
 
     #[test]
     fn two_rank_roundtrip_conserves_particles() {
-        use nanompi::run;
-        let (results, _) = run(2, |comm| {
+        use nanompi::run_expect;
+        let (results, _) = run_expect(2, |comm| {
             let g = migrate_grid();
             let other = 1 - comm.rank();
             let neighbors = [Some(other), None, None, Some(other), None, None];
@@ -167,12 +177,18 @@ mod tests {
                 vec![Exile {
                     idx: 0,
                     face: 3,
-                    mover: Mover { dispx: 0.2, dispy: 0.0, dispz: 0.0, idx: 0 },
+                    mover: Mover {
+                        dispx: 0.2,
+                        dispy: 0.0,
+                        dispz: 0.0,
+                        idx: 0,
+                    },
                 }]
             } else {
                 Vec::new()
             };
-            let sent = migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0);
+            let sent =
+                migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0).unwrap();
             (sp.particles.len(), sent)
         });
         assert_eq!(results[0], (0, 1));
@@ -182,12 +198,12 @@ mod tests {
 
     #[test]
     fn multi_hop_migration_terminates() {
-        use nanompi::run;
+        use nanompi::run_expect;
         // 4 ranks in a periodic x-ring; a very fast particle with a huge
         // remaining displacement hops through several domains in one step.
         use nanompi::CartTopology;
         let topo = CartTopology::new([4, 1, 1], [true, false, false]);
-        let (results, _) = run(4, |comm| {
+        let (results, _) = run_expect(4, |comm| {
             let g = migrate_grid();
             let neighbors = [
                 topo.neighbor(comm.rank(), 0, -1),
@@ -213,12 +229,17 @@ mod tests {
                 vec![Exile {
                     idx: 0,
                     face: 3,
-                    mover: Mover { dispx: 3.0, dispy: 0.0, dispz: 0.0, idx: 0 },
+                    mover: Mover {
+                        dispx: 3.0,
+                        dispy: 0.0,
+                        dispz: 0.0,
+                        idx: 0,
+                    },
                 }]
             } else {
                 Vec::new()
             };
-            migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0);
+            migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0).unwrap();
             sp.particles.len()
         });
         // Exactly one rank holds the particle afterwards: 3 cells past the

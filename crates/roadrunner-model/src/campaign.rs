@@ -70,11 +70,11 @@ impl Campaign {
         let physics_per_run = self.plan.steps as f64 * step_time;
         let physics = physics_per_run * self.n_runs as f64;
 
-        let dumps_per_run = if self.plan.checkpoint_interval > 0 {
-            (self.plan.steps / self.plan.checkpoint_interval) as f64
-        } else {
-            0.0
-        };
+        let dumps_per_run = self
+            .plan
+            .steps
+            .checked_div(self.plan.checkpoint_interval)
+            .unwrap_or(0) as f64;
         let checkpointing = dumps_per_run * self.plan.checkpoint_seconds * self.n_runs as f64;
 
         // Interrupts: Poisson at rate 1/MTBI over the productive time;
@@ -113,7 +113,10 @@ mod tests {
 
     fn paper_campaign(interval: u64) -> Campaign {
         let machine = Machine::roadrunner();
-        let model = PerfModel { machine, rates: KernelRates::from_paper_inner_loop(&machine, 0.488) };
+        let model = PerfModel {
+            machine,
+            rates: KernelRates::from_paper_inner_loop(&machine, 0.488),
+        };
         let load = NodeLoad::paper_headline(&machine);
         Campaign {
             model,
@@ -142,7 +145,12 @@ mod tests {
         let without = paper_campaign(0).cost();
         // A multi-hour run without dumps replays far more work per
         // interrupt (half a run instead of half a dump interval).
-        assert!(without.rework > 2.5 * with.rework, "{:?} vs {:?}", with, without);
+        assert!(
+            without.rework > 2.5 * with.rework,
+            "{:?} vs {:?}",
+            with,
+            without
+        );
         // Whether dumping wins *overall* depends on the dump cost; at the
         // assumed 50 GB/s filesystem it costs more wall time than the
         // rework it saves — exactly the trade Young/Daly optimizes, so

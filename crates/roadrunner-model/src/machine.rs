@@ -56,7 +56,10 @@ impl Machine {
 
     /// A truncated machine with `n_cu` CUs (for scaling sweeps).
     pub fn roadrunner_cus(n_cu: usize) -> Self {
-        Machine { n_cu, ..Machine::roadrunner() }
+        Machine {
+            n_cu,
+            ..Machine::roadrunner()
+        }
     }
 
     /// Total compute nodes.

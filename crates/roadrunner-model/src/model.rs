@@ -71,7 +71,12 @@ pub struct StepBudget {
 impl StepBudget {
     /// Total step time.
     pub fn total(&self) -> f64 {
-        self.push + self.field + self.ghost_exchange + self.migration + self.staging + self.allreduce
+        self.push
+            + self.field
+            + self.ghost_exchange
+            + self.migration
+            + self.staging
+            + self.allreduce
     }
 
     /// Fraction of the step spent in the particle inner loop.
@@ -133,11 +138,9 @@ impl PerfModel {
         let ib_bw = self.machine.ib_bandwidth_gbs * 1e9 / contention;
         let face_cells = load.voxels_per_node.powf(2.0 / 3.0);
         let ghost_bytes = 6.0 * face_cells * GHOST_BYTES_PER_FACE_CELL * 3.0; // 3 exchanges/step
-        let ghost_exchange =
-            ghost_bytes / ib_bw + 6.0 * 3.0 * self.machine.ib_latency_us * 1e-6;
+        let ghost_exchange = ghost_bytes / ib_bw + 6.0 * 3.0 * self.machine.ib_latency_us * 1e-6;
         let migrants = load.particles_per_node * load.migration_fraction;
-        let migration =
-            migrants * MIGRANT_BYTES / ib_bw + 6.0 * self.machine.ib_latency_us * 1e-6;
+        let migration = migrants * MIGRANT_BYTES / ib_bw + 6.0 * self.machine.ib_latency_us * 1e-6;
         // PCIe staging: particle data crosses to Cell memory once per
         // residence change only; steady state ships the ghost planes and
         // migrants through the host, so stage the same bytes again.
@@ -146,7 +149,14 @@ impl PerfModel {
             + 2.0 * self.machine.pcie_latency_us * 1e-6;
         let allreduce =
             (self.machine.n_nodes() as f64).log2().ceil() * self.machine.ib_latency_us * 1e-6;
-        StepBudget { push, field, ghost_exchange, migration, staging, allreduce }
+        StepBudget {
+            push,
+            field,
+            ghost_exchange,
+            migration,
+            staging,
+            allreduce,
+        }
     }
 
     /// Sustained Pflop/s for a whole-machine run at the given node load.
@@ -177,8 +187,14 @@ impl PerfModel {
         let mut out = Vec::new();
         let mut base_rate = 0.0;
         for n_cu in 1..=max_cu {
-            let m = Machine { n_cu, ..self.machine };
-            let sub = PerfModel { machine: m, rates: self.rates };
+            let m = Machine {
+                n_cu,
+                ..self.machine
+            };
+            let sub = PerfModel {
+                machine: m,
+                rates: self.rates,
+            };
             let budget = sub.step_budget(load);
             let per_node_rate = load.particles_per_node / budget.total();
             if n_cu == 1 {
@@ -257,8 +273,16 @@ mod tests {
     #[test]
     fn more_particles_per_node_raise_inner_fraction() {
         let model = paper_model();
-        let light = NodeLoad { particles_per_node: 1e7, voxels_per_node: 44444.0, migration_fraction: 0.01 };
-        let heavy = NodeLoad { particles_per_node: 1e9, voxels_per_node: 44444.0, migration_fraction: 0.01 };
+        let light = NodeLoad {
+            particles_per_node: 1e7,
+            voxels_per_node: 44444.0,
+            migration_fraction: 0.01,
+        };
+        let heavy = NodeLoad {
+            particles_per_node: 1e9,
+            voxels_per_node: 44444.0,
+            migration_fraction: 0.01,
+        };
         let fl = model.step_budget(&light).inner_fraction();
         let fh = model.step_budget(&heavy).inner_fraction();
         assert!(fh > fl, "{fl} vs {fh}");

@@ -11,7 +11,11 @@ use vpic::core::{load_uniform, Grid, Momentum, Rng, Simulation, Species};
 
 fn temperature(sp: &Species, axis: usize) -> f64 {
     let n = sp.len() as f64;
-    sp.particles.iter().map(|p| (p.momentum(axis) as f64).powi(2)).sum::<f64>() / n
+    sp.particles
+        .iter()
+        .map(|p| (p.momentum(axis) as f64).powi(2))
+        .sum::<f64>()
+        / n
 }
 
 fn main() {
@@ -28,14 +32,20 @@ fn main() {
         &mut rng,
         1.0,
         64,
-        Momentum { uth: [0.1, 0.03, 0.03], drift: [0.0; 3] },
+        Momentum {
+            uth: [0.1, 0.03, 0.03],
+            drift: [0.0; 3],
+        },
     );
     let si = sim.add_species(e);
     sim.add_collisions(si, CollisionOperator::new(2e-4, 1));
 
     let p0 = sim.species[si].momentum(&sim.grid);
     let e0 = sim.energies().total();
-    println!("TA77 relaxation: ν0 = 2e-4, {} particles", sim.n_particles());
+    println!(
+        "TA77 relaxation: ν0 = 2e-4, {} particles",
+        sim.n_particles()
+    );
     println!("\n   step     Tx        Ty        Tz      Tx/Ty");
     let steps = 600usize;
     for s in 0..=steps {
@@ -51,7 +61,12 @@ fn main() {
     let p1 = sim.species[si].momentum(&sim.grid);
     let e1 = sim.energies().total();
     println!("\nconservation over {steps} collisional steps:");
-    println!("  energy   : {:.4e} -> {:.4e} ({:+.2e} relative)", e0, e1, (e1 - e0) / e0);
+    println!(
+        "  energy   : {:.4e} -> {:.4e} ({:+.2e} relative)",
+        e0,
+        e1,
+        (e1 - e0) / e0
+    );
     println!(
         "  momentum : [{:+.2e} {:+.2e} {:+.2e}] -> [{:+.2e} {:+.2e} {:+.2e}]",
         p0[0], p0[1], p0[2], p1[0], p1[1], p1[2]

@@ -15,7 +15,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--a0" {
-            a0 = args.next().expect("--a0 needs a value").parse().expect("bad a0");
+            a0 = args
+                .next()
+                .expect("--a0 needs a value")
+                .parse()
+                .expect("bad a0");
         }
     }
 
@@ -70,5 +74,8 @@ fn main() {
     println!("\ntrapping diagnostics (electrons, x-momentum):");
     println!("  tail fraction beyond vφ: {tail_before:.2e} -> {tail_after:.2e}");
     println!("  momentum spread: {spread_before:.4} -> {spread_after:.4} (bulk heating)");
-    println!("\n(particles lost to the absorbing ends: {})", run.sim.lost_particles);
+    println!(
+        "\n(particles lost to the absorbing ends: {})",
+        run.sim.lost_particles
+    );
 }

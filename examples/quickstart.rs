@@ -23,7 +23,14 @@ fn main() {
     let ppc = 64;
     let mut electrons = Species::new("electron", -1.0, 1.0);
     let mut rng = Rng::seeded(2008);
-    load_uniform(&mut electrons, &sim.grid, &mut rng, 1.0, ppc, Momentum::thermal(vth));
+    load_uniform(
+        &mut electrons,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        ppc,
+        Momentum::thermal(vth),
+    );
     sim.add_species(electrons);
     println!(
         "loaded {} macroparticles on {} cells (dt = {:.4}/ωpe)",
@@ -70,5 +77,8 @@ fn main() {
     println!("\nLangmuir oscillation:");
     println!("  measured  ω = {omega_meas:.4} ωpe");
     println!("  Bohm-Gross ω = {omega_theory:.4} ωpe");
-    println!("  error: {:.2}%", 100.0 * (omega_meas - omega_theory).abs() / omega_theory);
+    println!(
+        "  error: {:.2}%",
+        100.0 * (omega_meas - omega_theory).abs() / omega_theory
+    );
 }

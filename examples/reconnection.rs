@@ -42,13 +42,21 @@ fn main() {
     sheet.perturb(&mut sim.fields, &grid, 0.05);
 
     let (ude, udi) = sheet.drifts();
-    println!("Harris sheet: B0 = {}, L = {}, mi/me = {}, Ti/Te = {}", sheet.b0, sheet.l, sheet.mi, sheet.ti_over_te);
-    println!("drifts: u_de = {ude:.4}, u_di = {udi:.4}; {} particles\n", sim.n_particles());
+    println!(
+        "Harris sheet: B0 = {}, L = {}, mi/me = {}, Ti/Te = {}",
+        sheet.b0, sheet.l, sheet.mi, sheet.ti_over_te
+    );
+    println!(
+        "drifts: u_de = {ude:.4}, u_di = {udi:.4}; {} particles\n",
+        sim.n_particles()
+    );
 
     // Reconnected-flux proxy: |Bz| integrated along the sheet center line.
     let flux = |sim: &Simulation| -> f64 {
         let kc = nz / 2;
-        (1..=nx).map(|i| sim.fields.cbz[grid.voxel(i, 1, kc)].abs() as f64).sum::<f64>()
+        (1..=nx)
+            .map(|i| sim.fields.cbz[grid.voxel(i, 1, kc)].abs() as f64)
+            .sum::<f64>()
             * grid.dx as f64
     };
 
@@ -59,7 +67,10 @@ fn main() {
         if s % (steps / 8).max(1) == 0 {
             let fl = flux(&sim);
             let eb = sim.energies().field_b;
-            println!("{s:>7}  {:>6.1}  {fl:>16.4e}  {eb:>9.4}", s as f64 * grid.dt as f64);
+            println!(
+                "{s:>7}  {:>6.1}  {fl:>16.4e}  {eb:>9.4}",
+                s as f64 * grid.dt as f64
+            );
             history.push(fl);
         }
         if s < steps {

@@ -25,7 +25,10 @@ fn main() {
     let mut rng = Rng::seeded(77);
     load_two_stream(&mut electrons, &sim.grid, &mut rng, 1.0, 128, ud, vth);
     sim.add_species(electrons);
-    println!("two-stream: {} particles, beams at ±{ud}c", sim.n_particles());
+    println!(
+        "two-stream: {} particles, beams at ±{ud}c",
+        sim.n_particles()
+    );
 
     let before = momentum_histogram(&sim.species[0], 0, -0.4, 0.4, 40);
 
@@ -40,7 +43,11 @@ fn main() {
     // Fit the growth rate in the linear phase: between noise floor and
     // saturation. Field ENERGY grows at 2γ.
     let (_, peak) = ex_energy.min_max();
-    let sat_idx = ex_energy.samples.iter().position(|&v| v > 0.1 * peak).unwrap_or(steps / 2);
+    let sat_idx = ex_energy
+        .samples
+        .iter()
+        .position(|&v| v > 0.1 * peak)
+        .unwrap_or(steps / 2);
     let start = sat_idx / 3;
     let gamma = 0.5 * ex_energy.growth_rate_in(start, sat_idx);
     println!("\nlinear growth rate:");
@@ -55,8 +62,13 @@ fn main() {
     let gap_after = after.weight_in(-0.03, 0.03);
     println!("\ntrapping / phase-space mixing:");
     println!("  weight between the beams (|ux| < 0.03): {gap_before:.3e} -> {gap_after:.3e}");
-    println!("  hot tail  (ux > 0.15): {:.4} -> {:.4}",
-        0.0, tail_fraction(&sim.species[0], 0, 0.15));
-    println!("\nfinal field energy fraction: {:.3e}",
-        sim.energies().field_e / sim.energies().total());
+    println!(
+        "  hot tail  (ux > 0.15): {:.4} -> {:.4}",
+        0.0,
+        tail_fraction(&sim.species[0], 0, 0.15)
+    );
+    println!(
+        "\nfinal field energy fraction: {:.3e}",
+        sim.energies().field_e / sim.energies().total()
+    );
 }

@@ -17,15 +17,15 @@ fn main() {
     let per_rank_cells = (16usize, 16usize, 16usize);
     let ppc = 32;
     let steps = 40u64;
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let max_ranks = (2 * cores).max(4);
 
     println!(
         "weak scaling: {ppc} ppc on {per_rank_cells:?} cells per rank, {steps} steps, {cores} hardware core(s)"
     );
-    println!(
-        "(on an oversubscribed host, perfect software scaling = flat aggregate rate)\n"
-    );
+    println!("(on an oversubscribed host, perfect software scaling = flat aggregate rate)\n");
     println!(
         "{:>6} {:>12} {:>10} {:>14} {:>8} {:>12}",
         "ranks", "particles", "time(s)", "agg rate(p/s)", "eff", "comm share"
@@ -49,17 +49,21 @@ fn main() {
             global_bc: [ParticleBc::Periodic; 6],
             origin: (0.0, 0.0, 0.0),
         };
-        let (results, _) = nanompi::run(ranks, |comm| {
+        let (results, _) = nanompi::run_expect(ranks, |comm| {
             let mut sim = DistributedSim::new(spec.clone(), comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 99, 1.0, ppc, Momentum::thermal(0.05));
-            comm.barrier();
+            comm.barrier().unwrap();
             let t0 = std::time::Instant::now();
             for _ in 0..steps {
-                sim.step(comm);
+                sim.step(comm).unwrap();
             }
-            comm.barrier();
-            (t0.elapsed().as_secs_f64(), sim.timings.comm_fraction(), sim.n_particles())
+            comm.barrier().unwrap();
+            (
+                t0.elapsed().as_secs_f64(),
+                sim.timings.comm_fraction(),
+                sim.n_particles(),
+            )
         });
         let time = results.iter().map(|r| r.0).fold(0.0, f64::max);
         let comm_share = results.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
@@ -97,8 +101,20 @@ fn main() {
     let load = NodeLoad::paper_headline(&machine);
     println!("\nRoadrunner projection (calibrated from this machine's rate):");
     println!("  1.0e12 particles / 136e6 voxels on 17 CUs:");
-    println!("  step time       : {:.3} s", model.step_budget(&load).total());
-    println!("  particles/s     : {:.3e}", model.particles_per_second(&load));
-    println!("  inner loop      : {:.3} Pflop/s (paper: 0.488)", model.inner_loop_pflops(&load));
-    println!("  sustained       : {:.3} Pflop/s (paper: 0.374)", model.sustained_pflops(&load));
+    println!(
+        "  step time       : {:.3} s",
+        model.step_budget(&load).total()
+    );
+    println!(
+        "  particles/s     : {:.3e}",
+        model.particles_per_second(&load)
+    );
+    println!(
+        "  inner loop      : {:.3} Pflop/s (paper: 0.488)",
+        model.inner_loop_pflops(&load)
+    );
+    println!(
+        "  sustained       : {:.3} Pflop/s (paper: 0.374)",
+        model.sustained_pflops(&load)
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
         &mut rng,
         1.0,
         64,
-        Momentum { uth: [u_par, u_perp, u_perp], drift: [0.0; 3] },
+        Momentum {
+            uth: [u_par, u_perp, u_perp],
+            drift: [0.0; 3],
+        },
     );
     sim.add_species(e);
     let anisotropy = (u_perp / u_par).powi(2) - 1.0;
@@ -55,15 +58,26 @@ fn main() {
     }
 
     let (b_min, b_max) = b_energy.min_max();
-    println!("\nB-field energy grew {:.1e}× out of particle noise", b_max / b_min.max(1e-300));
-    let peak_idx = b_energy.samples.iter().position(|&v| v >= 0.99 * b_max).unwrap();
+    println!(
+        "\nB-field energy grew {:.1e}× out of particle noise",
+        b_max / b_min.max(1e-300)
+    );
+    let peak_idx = b_energy
+        .samples
+        .iter()
+        .position(|&v| v >= 0.99 * b_max)
+        .unwrap();
     let gamma = 0.5 * b_energy.growth_rate_in(peak_idx / 4, 3 * peak_idx / 4);
     // Weibel γ_max ≈ u_perp·√A... order-of-magnitude comparison: the cold
     // bound is γ ≲ v⊥ k c at k ~ ωpe/c·√A-ish; we report the measured rate.
     println!("measured exponential growth rate γ ≈ {gamma:.3} ωpe");
-    println!("(theory: γ_max ~ β⊥·√(A/(A+1)) ≈ {:.3} ωpe for cold-limit Weibel)",
-        u_perp as f64 * (anisotropy as f64 / (anisotropy as f64 + 1.0)).sqrt());
+    println!(
+        "(theory: γ_max ~ β⊥·√(A/(A+1)) ≈ {:.3} ωpe for cold-limit Weibel)",
+        u_perp as f64 * (anisotropy as f64 / (anisotropy as f64 + 1.0)).sqrt()
+    );
     let final_ratio = b_energy.samples.last().unwrap() / b_max;
-    println!("saturation: final B energy is {:.2}× its peak (magnetic trapping halts growth)",
-        final_ratio);
+    println!(
+        "saturation: final B energy is {:.2}× its peak (magnetic trapping halts growth)",
+        final_ratio
+    );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace: build, tests, formatting, lints.
+# Run from the repository root:  bash scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -8,13 +8,19 @@
 //! For `kind = plasma` decks this writes `energies.tsv` and a final field
 //! line-out `fields.tsv` into the output directory; for `kind = lpi` it
 //! additionally reports the measured reflectivity and the backscatter
-//! spectrum (`spectrum.tsv`).
+//! spectrum (`spectrum.tsv`). Decks with a `[campaign]` section run the
+//! fault-tolerant multi-rank campaign runtime instead: checkpoints land in
+//! `<output-dir>/checkpoints` (unless `campaign.dir` overrides it), the
+//! per-rank recovery logs next to them, and a per-rank summary is written
+//! to `campaign.tsv`.
 
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 use vpic::deck::{build, BuiltRun, Deck};
 use vpic::diag::{write_field_line_x, write_series, EnergyLogger};
+use vpic::parallel::campaign::{run_campaign, CampaignEnd, CampaignOutcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,8 +62,10 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 steps
             );
             let names: Vec<String> = sim.species.iter().map(|s| s.name.clone()).collect();
-            let mut elog =
-                EnergyLogger::new(fs::File::create(Path::new(out_dir).join("energies.tsv"))?, names);
+            let mut elog = EnergyLogger::new(
+                fs::File::create(Path::new(out_dir).join("energies.tsv"))?,
+                names,
+            );
             for s in 0..steps {
                 if s % energy_interval == 0 {
                     elog.log_sim(&sim)?;
@@ -68,7 +76,11 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
             let mut f = fs::File::create(Path::new(out_dir).join("fields.tsv"))?;
             write_field_line_x(&sim.fields, &sim.grid, &mut f)?;
             let e = sim.energies();
-            println!("done: total energy {:.6e}, lost particles {}", e.total(), sim.lost_particles);
+            println!(
+                "done: total energy {:.6e}, lost particles {}",
+                e.total(),
+                sim.lost_particles
+            );
         }
         BuiltRun::Lpi(mut run) => {
             println!(
@@ -79,8 +91,10 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 steps
             );
             let names: Vec<String> = run.sim.species.iter().map(|s| s.name.clone()).collect();
-            let mut elog =
-                EnergyLogger::new(fs::File::create(Path::new(out_dir).join("energies.tsv"))?, names);
+            let mut elog = EnergyLogger::new(
+                fs::File::create(Path::new(out_dir).join("energies.tsv"))?,
+                names,
+            );
             for s in 0..steps {
                 if s % energy_interval == 0 {
                     elog.log_sim(&run.sim)?;
@@ -101,6 +115,119 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 run.probe.samples()
             );
         }
+        BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
+    }
+    Ok(())
+}
+
+fn run_campaign_deck(
+    setup: vpic::deck::CampaignSetup,
+    out_dir: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = setup.config(Path::new(out_dir));
+    fs::create_dir_all(&cfg.checkpoint_dir)?;
+    println!(
+        "campaign run: {} ranks, {} steps, checkpoint every {} into {}",
+        setup.ranks,
+        cfg.steps,
+        cfg.checkpoint_interval,
+        cfg.checkpoint_dir.display()
+    );
+    if let Some(plan) = &setup.fault_plan {
+        println!(
+            "fault injection: {} rule(s), seed {}",
+            plan.rules.len(),
+            plan.seed
+        );
+    }
+
+    let plan = setup.fault_plan.clone();
+    let ranks = setup.ranks;
+    let cfg_ref = &cfg;
+    let setup_ref = &setup;
+    let (results, traffic) = nanompi::run_with_faults(ranks, plan, move |comm| {
+        let sim = setup_ref.build_rank(comm.rank());
+        let (sim, outcome) = run_campaign(comm, sim, cfg_ref).map_err(|e| e.to_string())?;
+        // Degrade decisions are rendezvous-synchronized, so every rank
+        // agrees on whether these trailing collectives run.
+        let stats = match outcome.end {
+            CampaignEnd::Completed => {
+                let n = sim.global_particles(comm).map_err(|e| e.to_string())?;
+                let (fe, fb, ke) = sim.global_energies(comm).map_err(|e| e.to_string())?;
+                Some((n, fe + fb + ke.iter().sum::<f64>()))
+            }
+            CampaignEnd::Degraded { .. } => None,
+        };
+        Ok::<_, String>((outcome, stats))
+    });
+
+    let mut summary = fs::File::create(Path::new(out_dir).join("campaign.tsv"))?;
+    writeln!(summary, "rank\tend\tsteps_run\trecoveries")?;
+    let mut failures = 0usize;
+    let mut printed_stats = false;
+    for (rank, res) in results.iter().enumerate() {
+        let line = match res {
+            Err(p) => {
+                failures += 1;
+                format!("rank {rank}: PANICKED: {}", p.message)
+            }
+            Ok(Err(e)) => {
+                failures += 1;
+                format!("rank {rank}: FAILED: {e}")
+            }
+            Ok(Ok((outcome, stats))) => {
+                report_outcome(&mut summary, outcome)?;
+                if let (Some((n, e)), false) = (stats, printed_stats) {
+                    println!("final state: {n} particles, total energy {e:.6e}");
+                    printed_stats = true;
+                }
+                format!(
+                    "rank {rank}: {} after {} steps, {} recovery(ies)",
+                    match &outcome.end {
+                        CampaignEnd::Completed => "completed".to_string(),
+                        CampaignEnd::Degraded { at_step, .. } =>
+                            format!("degraded at step {at_step}"),
+                    },
+                    outcome.steps_run,
+                    outcome.recoveries.len()
+                )
+            }
+        };
+        println!("{line}");
+    }
+    println!(
+        "traffic: {} messages, {} bytes total",
+        traffic.total_messages, traffic.total_bytes
+    );
+    if failures > 0 {
+        return Err(format!("{failures} rank(s) failed unrecoverably").into());
+    }
+    Ok(())
+}
+
+fn report_outcome(summary: &mut fs::File, outcome: &CampaignOutcome) -> std::io::Result<()> {
+    let end = match &outcome.end {
+        CampaignEnd::Completed => "completed".to_string(),
+        CampaignEnd::Degraded {
+            at_step,
+            partial_dump,
+        } => {
+            format!("degraded@{at_step}:{}", partial_dump.display())
+        }
+    };
+    writeln!(
+        summary,
+        "{}\t{}\t{}\t{}",
+        outcome.rank,
+        end,
+        outcome.steps_run,
+        outcome.recoveries.len()
+    )?;
+    for ev in &outcome.recoveries {
+        println!(
+            "  rank {} recovery #{} at step {}: {} -> restored step {}",
+            outcome.rank, ev.attempt, ev.at_step, ev.cause, ev.restored_step
+        );
     }
     Ok(())
 }

@@ -30,13 +30,26 @@
 //! `kind = lpi` decks instead carry a `[laser]` section (`a0`,
 //! `n_over_ncr`, `vth`, `flat`, `ppc`, `seed_frac`, …) and build a seeded
 //! SRS run.
+//!
+//! A `kind = plasma` deck with a `[campaign]` section instead builds a
+//! fault-tolerant multi-rank campaign (see [`CampaignSetup`]): the box is
+//! domain-decomposed over `ranks`, checkpointed every
+//! `checkpoint_interval` steps, health-checked, and automatically rolled
+//! back on failure. Fault-injection knobs (`kill_rank`/`kill_step`,
+//! `drop_prob`, `fault_seed`) exercise the recovery path on purpose.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use nanompi::FaultPlan;
 use vpic_core::{
     load_juttner, load_two_stream, load_uniform, Grid, Momentum, ParticleBc, Rng, Simulation,
     Species,
 };
 use vpic_lpi::{LpiParams, LpiRun};
+use vpic_parallel::campaign::CampaignConfig;
+use vpic_parallel::{DistributedSim, DomainSpec};
 
 /// A parsed deck: sections of key → value.
 #[derive(Clone, Debug, Default)]
@@ -101,7 +114,10 @@ impl Deck {
 
     /// First section with this exact name.
     pub fn section(&self, name: &str) -> Option<&BTreeMap<String, String>> {
-        self.sections.iter().find(|(n, _)| n == name).map(|(_, kv)| kv)
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, kv)| kv)
     }
 
     /// All sections whose name starts with `prefix.` — returns
@@ -116,19 +132,28 @@ impl Deck {
 
     /// Global `steps` (default 100) and `seed` (default 1).
     pub fn steps(&self) -> u64 {
-        self.globals.get("steps").and_then(|v| v.parse().ok()).unwrap_or(100)
+        self.globals
+            .get("steps")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100)
     }
 
     /// Run seed.
     pub fn seed(&self) -> u64 {
-        self.globals.get("seed").and_then(|v| v.parse().ok()).unwrap_or(1)
+        self.globals
+            .get("seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
     }
 }
 
 fn get_f32(kv: &BTreeMap<String, String>, key: &str) -> Result<Option<f32>, DeckError> {
     match kv.get(key) {
         None => Ok(None),
-        Some(v) => v.parse().map(Some).map_err(|_| err(format!("bad float for {key}: {v}"))),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| err(format!("bad float for {key}: {v}"))),
     }
 }
 
@@ -139,33 +164,264 @@ fn req_f32(kv: &BTreeMap<String, String>, key: &str, default: f32) -> Result<f32
 fn get_usize(kv: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, DeckError> {
     match kv.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| err(format!("bad integer for {key}: {v}"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad integer for {key}: {v}"))),
     }
 }
 
 /// What a deck builds.
 pub enum BuiltRun {
     /// A periodic/walled plasma box.
-    Plasma(Simulation),
+    Plasma(Box<Simulation>),
     /// A laser–plasma interaction run.
     Lpi(Box<LpiRun>),
+    /// A fault-tolerant multi-rank campaign.
+    Campaign(Box<CampaignSetup>),
 }
 
 /// Build the run a deck describes.
 pub fn build(deck: &Deck) -> Result<BuiltRun, DeckError> {
     match deck.globals.get("kind").map(String::as_str) {
-        Some("plasma") | None => build_plasma(deck).map(BuiltRun::Plasma),
+        Some("plasma") | None if deck.section("campaign").is_some() => {
+            build_campaign(deck).map(|c| BuiltRun::Campaign(Box::new(c)))
+        }
+        Some("plasma") | None => build_plasma(deck).map(|s| BuiltRun::Plasma(Box::new(s))),
         Some("lpi") => build_lpi(deck).map(|r| BuiltRun::Lpi(Box::new(r))),
         Some(other) => Err(err(format!("unknown kind: {other}"))),
     }
 }
 
-fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
-    let gkv = deck.section("grid").ok_or_else(|| err("missing [grid] section"))?;
+/// One species' loading recipe for a campaign deck. Campaign decks load
+/// per-rank with [`DistributedSim::load_uniform`], so only uniform thermal
+/// (optionally drifting) loading is available.
+#[derive(Clone, Debug)]
+pub struct CampaignSpecies {
+    pub name: String,
+    pub charge: f32,
+    pub mass: f32,
+    pub density: f32,
+    pub ppc: usize,
+    pub vth: f32,
+    pub drift: f32,
+}
+
+/// Everything a deck's `[campaign]` section describes: the decomposed
+/// problem, how to (re)build any rank's local simulation, the campaign
+/// runtime knobs, and an optional fault-injection plan.
+#[derive(Clone, Debug)]
+pub struct CampaignSetup {
+    /// World size.
+    pub ranks: usize,
+    /// Decomposed global problem.
+    pub spec: DomainSpec,
+    /// Species loading recipes (applied identically on every rank, with
+    /// rank-decorrelated RNG streams).
+    pub species: Vec<CampaignSpecies>,
+    /// Run seed (also the per-rank loader seed base).
+    pub seed: u64,
+    /// Pipelines per rank (keep at 1 for bit-exact rollback replay).
+    pub pipelines: usize,
+    /// Total campaign steps.
+    pub steps: u64,
+    /// Checkpoint every this many steps.
+    pub checkpoint_interval: u64,
+    /// Explicit checkpoint directory (else `<out>/checkpoints`).
+    pub dir: Option<PathBuf>,
+    /// Checkpoint generations kept on disk.
+    pub keep_checkpoints: usize,
+    /// Recovery budget.
+    pub max_recoveries: u32,
+    /// Health-check cadence in steps.
+    pub health_interval: u64,
+    /// Per-operation communication timeout override, in milliseconds.
+    pub op_timeout_ms: Option<u64>,
+    /// Injected faults (kill / drop), if any.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl CampaignSetup {
+    /// Build rank `rank`'s local simulation (also used by rollback, which
+    /// must reconstruct state from checkpoints, not from this builder).
+    pub fn build_rank(&self, rank: usize) -> DistributedSim {
+        let mut sim = DistributedSim::new(self.spec.clone(), rank, self.pipelines);
+        for sp in &self.species {
+            let si = sim.add_species(Species::new(&sp.name, sp.charge, sp.mass));
+            sim.load_uniform(
+                si,
+                self.seed.wrapping_add(si as u64),
+                sp.density,
+                sp.ppc,
+                Momentum::drifting_x(sp.vth, sp.drift),
+            );
+        }
+        sim
+    }
+
+    /// The campaign runtime configuration, checkpointing into the deck's
+    /// `dir` if set, else `<fallback>/checkpoints`.
+    pub fn config(&self, fallback: &Path) -> CampaignConfig {
+        let dir = self
+            .dir
+            .clone()
+            .unwrap_or_else(|| fallback.join("checkpoints"));
+        let mut cfg = CampaignConfig::new(self.steps, self.checkpoint_interval, dir)
+            .with_max_recoveries(self.max_recoveries)
+            .with_health_interval(self.health_interval);
+        cfg.keep_checkpoints = self.keep_checkpoints;
+        if let Some(ms) = self.op_timeout_ms {
+            cfg = cfg.with_op_timeout(Duration::from_millis(ms));
+        }
+        cfg
+    }
+}
+
+fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
+    match kv.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad integer for {key}: {v}"))),
+    }
+}
+
+fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
+    let gkv = deck
+        .section("grid")
+        .ok_or_else(|| err("missing [grid] section"))?;
     let cells_str = gkv.get("cells").ok_or_else(|| err("grid.cells required"))?;
     let cells: Vec<usize> = cells_str
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| err(format!("bad cells: {cells_str}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| err(format!("bad cells: {cells_str}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if cells.len() != 3 {
+        return Err(err("grid.cells wants three integers"));
+    }
+    if let Some(b) = gkv.get("boundary") {
+        if b != "periodic" {
+            return Err(err("campaign runs support only boundary = periodic"));
+        }
+    }
+    let dx = req_f32(gkv, "dx", 0.25)?;
+    let courant = req_f32(gkv, "courant", 0.9)?;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), courant);
+
+    let ckv = deck.section("campaign").expect("caller checked");
+    let ranks = get_usize(ckv, "ranks", 4)?;
+    if ranks == 0 {
+        return Err(err("campaign.ranks must be at least 1"));
+    }
+    let spec = DomainSpec::periodic((cells[0], cells[1], cells[2]), (dx, dx, dx), dt, ranks);
+    for (axis, &g) in cells.iter().enumerate() {
+        if !g.is_multiple_of(spec.topo.dims[axis]) {
+            return Err(err(format!(
+                "grid.cells axis {axis} ({g}) not divisible by the {ranks}-rank topology \
+                 ({}x{}x{})",
+                spec.topo.dims[0], spec.topo.dims[1], spec.topo.dims[2]
+            )));
+        }
+    }
+
+    let mut species = Vec::new();
+    for (name, kv) in deck.sections_with_prefix("species") {
+        match kv.get("loader").map(String::as_str).unwrap_or("thermal") {
+            "thermal" => {}
+            other => {
+                return Err(err(format!(
+                    "campaign species only support loader = thermal, got {other}"
+                )))
+            }
+        }
+        species.push(CampaignSpecies {
+            name: name.to_string(),
+            charge: req_f32(kv, "charge", -1.0)?,
+            mass: req_f32(kv, "mass", 1.0)?,
+            density: req_f32(kv, "density", 1.0)?,
+            ppc: get_usize(kv, "ppc", 32)?,
+            vth: req_f32(kv, "vth", 0.05)?,
+            drift: req_f32(kv, "drift", 0.0)?,
+        });
+    }
+    if species.is_empty() {
+        return Err(err("at least one [species.<name>] section required"));
+    }
+
+    // Fault-injection knobs: a deterministic kill and/or random drops.
+    let fault_seed = get_u64(ckv, "fault_seed", deck.seed())?;
+    let mut plan = FaultPlan::new(fault_seed);
+    let mut any_fault = false;
+    match (ckv.get("kill_rank"), ckv.get("kill_step")) {
+        (None, None) => {}
+        (Some(r), Some(s)) => {
+            let rank: usize = r
+                .parse()
+                .map_err(|_| err(format!("bad integer for kill_rank: {r}")))?;
+            let step: u64 = s
+                .parse()
+                .map_err(|_| err(format!("bad integer for kill_step: {s}")))?;
+            if rank >= ranks {
+                return Err(err(format!(
+                    "kill_rank {rank} out of range for {ranks} ranks"
+                )));
+            }
+            plan = plan.kill(rank, step);
+            any_fault = true;
+        }
+        _ => return Err(err("kill_rank and kill_step must be given together")),
+    }
+    if let Some(p) = get_f32(ckv, "drop_prob")? {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(err(format!("drop_prob must be in [0, 1], got {p}")));
+        }
+        if p > 0.0 {
+            for rank in 0..ranks {
+                plan = plan.drop_messages(rank, p as f64);
+            }
+            any_fault = true;
+        }
+    }
+
+    let checkpoint_interval = get_u64(ckv, "checkpoint_interval", 10)?;
+    if checkpoint_interval == 0 {
+        return Err(err("campaign.checkpoint_interval must be at least 1"));
+    }
+    Ok(CampaignSetup {
+        ranks,
+        spec,
+        species,
+        seed: deck.seed(),
+        pipelines: get_usize(&deck.globals, "pipelines", 1)?,
+        steps: deck.steps(),
+        checkpoint_interval,
+        dir: ckv.get("dir").map(PathBuf::from),
+        keep_checkpoints: get_usize(ckv, "keep_checkpoints", 2)?.max(1),
+        max_recoveries: get_u64(ckv, "max_recoveries", 3)? as u32,
+        health_interval: get_u64(ckv, "health_interval", 1)?,
+        op_timeout_ms: match ckv.get("op_timeout_ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| err(format!("bad integer for op_timeout_ms: {v}")))?,
+            ),
+        },
+        fault_plan: any_fault.then_some(plan),
+    })
+}
+
+fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
+    let gkv = deck
+        .section("grid")
+        .ok_or_else(|| err("missing [grid] section"))?;
+    let cells_str = gkv.get("cells").ok_or_else(|| err("grid.cells required"))?;
+    let cells: Vec<usize> = cells_str
+        .split_whitespace()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| err(format!("bad cells: {cells_str}")))
+        })
         .collect::<Result<_, _>>()?;
     if cells.len() != 3 {
         return Err(err("grid.cells wants three integers"));
@@ -173,7 +429,11 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
     let dx = req_f32(gkv, "dx", 0.25)?;
     let courant = req_f32(gkv, "courant", 0.9)?;
     let dt = Grid::courant_dt(1.0, (dx, dx, dx), courant);
-    let bc = match gkv.get("boundary").map(String::as_str).unwrap_or("periodic") {
+    let bc = match gkv
+        .get("boundary")
+        .map(String::as_str)
+        .unwrap_or("periodic")
+    {
         "periodic" => [ParticleBc::Periodic; 6],
         "reflecting" => [
             ParticleBc::Reflect,
@@ -204,7 +464,14 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
         match kv.get("loader").map(String::as_str).unwrap_or("thermal") {
             "thermal" => {
                 let drift = req_f32(kv, "drift", 0.0)?;
-                load_uniform(&mut sp, &sim.grid, &mut rng, n0, ppc, Momentum::drifting_x(vth, drift));
+                load_uniform(
+                    &mut sp,
+                    &sim.grid,
+                    &mut rng,
+                    n0,
+                    ppc,
+                    Momentum::drifting_x(vth, drift),
+                );
             }
             "two_stream" => {
                 let drift = req_f32(kv, "drift", 0.1)?;
@@ -222,7 +489,9 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
 }
 
 fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
-    let kv = deck.section("laser").ok_or_else(|| err("missing [laser] section"))?;
+    let kv = deck
+        .section("laser")
+        .ok_or_else(|| err("missing [laser] section"))?;
     let defaults = LpiParams::default();
     let params = LpiParams {
         n_over_ncr: req_f32(kv, "n_over_ncr", defaults.n_over_ncr as f32)? as f64,
@@ -309,7 +578,9 @@ ppc = 4
 seed_frac = 0.1
 "#;
         let deck = Deck::parse(text).unwrap();
-        let BuiltRun::Lpi(run) = build(&deck).unwrap() else { panic!("wrong kind") };
+        let BuiltRun::Lpi(run) = build(&deck).unwrap() else {
+            panic!("wrong kind")
+        };
         assert!((run.params.a0 - 0.05).abs() < 1e-9);
         assert!(run.seed_antenna.is_some());
     }
@@ -324,9 +595,87 @@ seed_frac = 0.1
             Ok(_) => panic!("missing [grid] accepted"),
         }
         let deck = Deck::parse("kind = warp_drive").unwrap();
-        assert!(matches!(build(&deck), Err(_)));
+        assert!(build(&deck).is_err());
         let bad_loader = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.e]\nloader = magic";
-        assert!(matches!(build(&Deck::parse(bad_loader).unwrap()), Err(_)));
+        assert!(build(&Deck::parse(bad_loader).unwrap()).is_err());
+    }
+
+    const CAMPAIGN_DECK: &str = r#"
+kind = plasma
+steps = 12
+seed = 5
+
+[grid]
+cells = 8 4 4
+dx = 0.25
+
+[species.electron]
+charge = -1
+mass = 1
+ppc = 8
+vth = 0.08
+
+[campaign]
+ranks = 4
+checkpoint_interval = 4
+max_recoveries = 2
+health_interval = 2
+op_timeout_ms = 500
+kill_rank = 2
+kill_step = 6
+"#;
+
+    #[test]
+    fn builds_a_campaign_with_fault_plan() {
+        let deck = Deck::parse(CAMPAIGN_DECK).unwrap();
+        let BuiltRun::Campaign(setup) = build(&deck).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.ranks, 4);
+        assert_eq!(setup.steps, 12);
+        assert_eq!(setup.checkpoint_interval, 4);
+        assert_eq!(setup.max_recoveries, 2);
+        assert_eq!(setup.health_interval, 2);
+        assert_eq!(setup.op_timeout_ms, Some(500));
+        let plan = setup.fault_plan.as_ref().expect("kill knobs make a plan");
+        assert_eq!(plan.rules.len(), 1);
+
+        // Any rank's simulation is reconstructible and non-trivial.
+        let sim = setup.build_rank(1);
+        assert_eq!(sim.species.len(), 1);
+        assert!(!sim.species[0].particles.is_empty());
+
+        // Config lands in the fallback directory when dir is unset.
+        let cfg = setup.config(std::path::Path::new("out"));
+        assert_eq!(
+            cfg.checkpoint_dir,
+            std::path::Path::new("out").join("checkpoints")
+        );
+        assert_eq!(cfg.op_timeout, Some(std::time::Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn campaign_validation_errors() {
+        // Cells not divisible by the rank topology.
+        let bad_grid = CAMPAIGN_DECK.replace("cells = 8 4 4", "cells = 9 4 4");
+        assert!(build(&Deck::parse(&bad_grid).unwrap()).is_err());
+        // kill_rank out of range.
+        let bad_kill = CAMPAIGN_DECK.replace("kill_rank = 2", "kill_rank = 7");
+        assert!(build(&Deck::parse(&bad_kill).unwrap()).is_err());
+        // kill_rank without kill_step.
+        let half_kill = CAMPAIGN_DECK.replace("kill_step = 6", "");
+        assert!(build(&Deck::parse(&half_kill).unwrap()).is_err());
+        // Campaign decks reject exotic loaders.
+        let bad_loader = CAMPAIGN_DECK.replace("vth = 0.08", "loader = juttner");
+        assert!(build(&Deck::parse(&bad_loader).unwrap()).is_err());
+        // No faults requested: no plan.
+        let clean = CAMPAIGN_DECK
+            .replace("kill_rank = 2", "")
+            .replace("kill_step = 6", "");
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(&clean).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert!(setup.fault_plan.is_none());
     }
 
     #[test]

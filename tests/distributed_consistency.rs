@@ -33,7 +33,14 @@ fn distributed_langmuir_matches_single_domain() {
     let mut reference = Simulation::new(g, 1);
     let mut e = Species::new("e", -1.0, 1.0);
     let mut rng = Rng::seeded(55);
-    load_uniform(&mut e, &reference.grid, &mut rng, 1.0, 32, Momentum::thermal(0.01));
+    load_uniform(
+        &mut e,
+        &reference.grid,
+        &mut rng,
+        1.0,
+        32,
+        Momentum::thermal(0.01),
+    );
     reference.add_species(e);
     let gr = reference.grid.clone();
     seed_fields(&mut reference.fields, &gr);
@@ -44,7 +51,7 @@ fn distributed_langmuir_matches_single_domain() {
         ref_hist.push(reference.energies().field_e);
     }
 
-    let (results, _) = nanompi::run(4, move |comm| {
+    let (results, _) = nanompi::run_expect(4, move |comm| {
         let spec = DomainSpec {
             global_cells: global,
             cell,
@@ -58,11 +65,11 @@ fn distributed_langmuir_matches_single_domain() {
         sim.load_uniform(si, 55, 1.0, 32, Momentum::thermal(0.01));
         let g = sim.grid.clone();
         seed_fields(&mut sim.fields, &g);
-        sim.synchronize_fields(comm);
+        sim.synchronize_fields(comm).unwrap();
         let mut hist = Vec::new();
         for _ in 0..steps {
-            sim.step(comm);
-            let (fe, _, _) = sim.global_energies(comm);
+            sim.step(comm).unwrap();
+            let (fe, _, _) = sim.global_energies(comm).unwrap();
             hist.push(fe);
         }
         hist
@@ -84,18 +91,18 @@ fn distributed_langmuir_matches_single_domain() {
 /// count, near-exact energy, and traffic that matches the decomposition.
 #[test]
 fn distributed_invariants() {
-    let (results, traffic) = nanompi::run(8, |comm| {
+    let (results, traffic) = nanompi::run_expect(8, |comm| {
         let spec = DomainSpec::periodic((16, 16, 8), (0.25, 0.25, 0.25), 0.1, 8);
         let mut sim = DistributedSim::new(spec, comm.rank(), 1);
         let si = sim.add_species(Species::new("e", -1.0, 1.0));
         sim.load_uniform(si, 77, 1.0, 8, Momentum::thermal(0.1));
-        let n0 = sim.global_particles(comm);
-        let (fe0, fb0, ke0) = sim.global_energies(comm);
+        let n0 = sim.global_particles(comm).unwrap();
+        let (fe0, fb0, ke0) = sim.global_energies(comm).unwrap();
         for _ in 0..30 {
-            sim.step(comm);
+            sim.step(comm).unwrap();
         }
-        let n1 = sim.global_particles(comm);
-        let (fe1, fb1, ke1) = sim.global_energies(comm);
+        let n1 = sim.global_particles(comm).unwrap();
+        let (fe1, fb1, ke1) = sim.global_energies(comm).unwrap();
         (
             n0,
             n1,
@@ -122,7 +129,14 @@ fn checkpoint_restart_through_public_api() {
     let mut sim = Simulation::new(g, 1);
     let mut e = Species::new("e", -1.0, 1.0);
     let mut rng = Rng::seeded(12);
-    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 12, Momentum::thermal(0.05));
+    load_uniform(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        12,
+        Momentum::thermal(0.05),
+    );
     sim.add_species(e);
     for _ in 0..5 {
         sim.step();

@@ -71,7 +71,12 @@ fn theory_chain_is_consistent() {
 #[test]
 fn wavelength_resolution_across_densities() {
     for n_over_ncr in [0.05, 0.08, 0.1, 0.15, 0.2] {
-        let params = LpiParams { n_over_ncr, flat: 4.0, ppc: 4, ..Default::default() };
+        let params = LpiParams {
+            n_over_ncr,
+            flat: 4.0,
+            ppc: 4,
+            ..Default::default()
+        };
         let run = LpiRun::new(params);
         let lambda0 = 2.0 * std::f32::consts::PI / run.srs.k0 as f32;
         assert!(
@@ -137,5 +142,8 @@ fn mobile_ions_smoke() {
     let e1 = run.sim.energies().total();
     assert!(e1.is_finite() && e1 < 10.0 * e0, "blow-up: {e0} -> {e1}");
     let n_ions1 = run.ion_species().unwrap().len();
-    assert!(n_ions1 as f64 > 0.95 * n_ions0 as f64, "ions drained: {n_ions0} -> {n_ions1}");
+    assert!(
+        n_ions1 as f64 > 0.95 * n_ions0 as f64,
+        "ions drained: {n_ions0} -> {n_ions1}"
+    );
 }

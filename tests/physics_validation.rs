@@ -66,10 +66,16 @@ fn two_stream_growth_and_saturation() {
     let sat = ts.samples.iter().position(|&v| v > 0.1 * peak).unwrap();
     let gamma = 0.5 * ts.growth_rate_in(sat / 3, sat);
     let bound = 1.0 / (2.0 * 2.0f64.sqrt());
-    assert!(gamma > bound / 3.0 && gamma < 1.3 * bound, "γ = {gamma}, bound = {bound}");
+    assert!(
+        gamma > bound / 3.0 && gamma < 1.3 * bound,
+        "γ = {gamma}, bound = {bound}"
+    );
     // Saturation: the last quarter is no longer growing exponentially.
     let late = 0.5 * ts.growth_rate_in(3 * steps / 4, steps);
-    assert!(late < 0.3 * gamma, "no saturation: late rate {late} vs {gamma}");
+    assert!(
+        late < 0.3 * gamma,
+        "no saturation: late rate {late} vs {gamma}"
+    );
 }
 
 /// Momentum conservation: total particle momentum of a drifting neutral
@@ -82,7 +88,14 @@ fn momentum_conservation() {
     let mut sim = Simulation::new(g, 1);
     let mut e = Species::new("e", -1.0, 1.0);
     let mut rng = Rng::seeded(3);
-    load_uniform(&mut e, &sim.grid, &mut rng, 1.0, 16, Momentum::drifting_x(0.05, 0.02));
+    load_uniform(
+        &mut e,
+        &sim.grid,
+        &mut rng,
+        1.0,
+        16,
+        Momentum::drifting_x(0.05, 0.02),
+    );
     sim.add_species(e);
     let p0 = sim.species[0].momentum(&sim.grid);
     for _ in 0..50 {
@@ -92,7 +105,10 @@ fn momentum_conservation() {
     // A uniformly drifting electron cloud carries current, which rings the
     // fields; momentum exchanges with the field at the few-percent level
     // but must not drain away secularly.
-    assert!((p1[0] - p0[0]).abs() / p0[0].abs() < 0.2, "px: {p0:?} -> {p1:?}");
+    assert!(
+        (p1[0] - p0[0]).abs() / p0[0].abs() < 0.2,
+        "px: {p0:?} -> {p1:?}"
+    );
     assert!(p1[1].abs() < 0.05 * p0[0].abs());
 }
 
