@@ -13,9 +13,17 @@
 //! epoch, drains stale traffic, revives a killed rank and rendezvouses with
 //! every other rank, after which the world can resume from a checkpoint in
 //! lockstep. Recovery-protocol messages bypass fault injection.
+//!
+//! Packets additionally carry a per-`(sender, tag)` sequence number and the
+//! receiver suppresses replays, so an injected `Duplicate` fault cannot
+//! desync the per-tag FIFO that step-periodic tags (ghost exchange,
+//! migration) rely on. [`Comm::surrender`] / [`Comm::adopt`] move a rank's
+//! whole endpoint between threads, which is how the campaign runtime's
+//! hot-spare recovery replaces a dead rank with a fresh worker thread.
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -41,6 +49,10 @@ const RECOVER_TAG: u64 = u64::MAX;
 struct Packet {
     epoch: u64,
     tag: u64,
+    /// Per-(sender, tag, epoch) sequence number, 1-based. Injected
+    /// duplicates reuse their original's number so the receiver can
+    /// suppress the copy instead of desyncing per-tag FIFO order.
+    seq: u64,
     #[allow(dead_code)]
     nbytes: usize,
     corrupt: bool,
@@ -125,6 +137,57 @@ pub struct Comm {
     fault: FaultState,
     /// `Some(step)` once the fault plan killed this rank.
     killed: Option<u64>,
+    /// Next outgoing sequence number per `(to, tag)` for the current epoch.
+    send_seq: HashMap<(usize, u64), u64>,
+    /// Newest `(epoch, seq)` accepted per `(from, tag)`; duplicates at or
+    /// below it are dropped on receipt.
+    recv_seq: HashMap<(usize, u64), (u64, u64)>,
+    /// Set once this rank's state moved into an [`Endpoint`]; every
+    /// operation on the husk fails until [`Comm::readopt`].
+    surrendered: bool,
+}
+
+/// A rank's detached communication state: everything a replacement
+/// ("hot spare") worker thread needs to take over a dead rank's seat in the
+/// world. Produced by [`Comm::surrender`], consumed by [`Comm::adopt`] /
+/// [`Comm::readopt`].
+///
+/// The endpoint carries the rank's receive channels, pending buffers,
+/// epoch, collective sequence, dedup state, and the *live* fault-injection
+/// state — spent one-shot rules stay spent and the probability stream
+/// continues — so the spare is indistinguishable from the original rank to
+/// every peer, and the plan cannot re-fire an already-delivered kill on it.
+pub struct Endpoint {
+    rank: usize,
+    shared: Arc<Shared>,
+    receivers: Vec<Receiver<Packet>>,
+    pending: Vec<VecDeque<Packet>>,
+    epoch: u64,
+    coll_seq: u64,
+    op_timeout: Duration,
+    fault: FaultState,
+    send_seq: HashMap<(usize, u64), u64>,
+    recv_seq: HashMap<(usize, u64), (u64, u64)>,
+    /// The step the original holder was killed at, if any (informational;
+    /// adoption clears the kill).
+    killed: Option<u64>,
+}
+
+impl Endpoint {
+    /// The rank this endpoint speaks for.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("epoch", &self.epoch)
+            .field("killed", &self.killed)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Aggregate communication statistics for one `run`.
@@ -257,6 +320,9 @@ where
                     op_timeout: DEFAULT_OP_TIMEOUT,
                     fault: FaultState::new(plan, rank),
                     killed: None,
+                    send_seq: HashMap::new(),
+                    recv_seq: HashMap::new(),
+                    surrendered: false,
                 };
                 f(&mut comm)
             }));
@@ -344,6 +410,12 @@ impl Comm {
     }
 
     fn check_alive(&self) -> Result<(), CommError> {
+        if self.surrendered {
+            return Err(CommError::Killed {
+                rank: self.rank,
+                step: self.killed.unwrap_or(u64::MAX),
+            });
+        }
         match self.killed {
             Some(step) => Err(CommError::Killed {
                 rank: self.rank,
@@ -394,18 +466,27 @@ impl Comm {
             self.shared.bytes[idx].fetch_add(nbytes as u64, Ordering::Relaxed);
             self.shared.msgs[idx].fetch_add(1, Ordering::Relaxed);
         }
+        let seq = {
+            let c = self.send_seq.entry((to, tag)).or_insert(0);
+            *c += 1;
+            *c
+        };
         match fate {
             Some(FaultKind::Drop) => Ok(()),
             Some(FaultKind::Delay(d)) => {
                 std::thread::sleep(d);
-                self.deliver(to, tag, nbytes, false, Box::new(msg))
+                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
             }
             Some(FaultKind::Duplicate) => {
-                self.deliver(to, tag, nbytes, false, Box::new(msg.clone()))?;
-                self.deliver(to, tag, nbytes, false, Box::new(msg))
+                // Both copies share one sequence number; the receiver's
+                // dedup admits exactly one.
+                self.deliver(to, tag, seq, nbytes, false, Box::new(msg.clone()))?;
+                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
             }
-            Some(FaultKind::Corrupt) => self.deliver(to, tag, nbytes, true, Box::new(msg)),
-            Some(FaultKind::Kill) | None => self.deliver(to, tag, nbytes, false, Box::new(msg)),
+            Some(FaultKind::Corrupt) => self.deliver(to, tag, seq, nbytes, true, Box::new(msg)),
+            Some(FaultKind::Kill) | None => {
+                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
+            }
         }
     }
 
@@ -414,6 +495,7 @@ impl Comm {
         &self,
         to: usize,
         tag: u64,
+        seq: u64,
         nbytes: usize,
         corrupt: bool,
         payload: Box<dyn Any + Send>,
@@ -421,6 +503,7 @@ impl Comm {
         let pkt = Packet {
             epoch: self.epoch,
             tag,
+            seq,
             nbytes,
             corrupt,
             payload,
@@ -428,6 +511,41 @@ impl Comm {
         self.shared.senders[self.rank][to]
             .send(pkt)
             .map_err(|_| CommError::PeerClosed { peer: to })
+    }
+
+    /// Transport-level duplicate suppression. Application tags are reused
+    /// every step (ghost exchange, migration), so an injected duplicate
+    /// would otherwise sit in the per-tag FIFO and silently desync every
+    /// later step. Returns `false` when the packet is a replay of one
+    /// already accepted for this `(from, tag)` in its epoch.
+    fn admit(&mut self, from: usize, pkt: &Packet) -> bool {
+        if pkt.tag == RECOVER_TAG {
+            // The recovery protocol bypasses injection and sends exactly
+            // one announcement per epoch; nothing to dedup.
+            return true;
+        }
+        match self.recv_seq.entry((from, pkt.tag)) {
+            Entry::Occupied(mut e) => {
+                let (epoch, last) = *e.get();
+                if pkt.epoch == epoch {
+                    if pkt.seq <= last {
+                        return false;
+                    }
+                    e.insert((epoch, pkt.seq));
+                    true
+                } else if pkt.epoch > epoch {
+                    e.insert((pkt.epoch, pkt.seq));
+                    true
+                } else {
+                    // Stale epoch: the epoch filter discards it anyway.
+                    true
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert((pkt.epoch, pkt.seq));
+                true
+            }
+        }
     }
 
     fn unpack<T: Send + 'static>(&self, pkt: Packet, from: usize) -> Result<T, CommError> {
@@ -487,6 +605,9 @@ impl Comm {
                     if pkt.epoch < self.epoch {
                         continue; // stale traffic from before a recovery
                     }
+                    if !self.admit(from, &pkt) {
+                        continue; // injected duplicate
+                    }
                     if pkt.tag == tag && pkt.epoch == self.epoch {
                         return self.unpack(pkt, from);
                     }
@@ -520,6 +641,9 @@ impl Comm {
         }
         while let Ok(pkt) = self.receivers[from].try_recv() {
             if pkt.epoch < self.epoch {
+                continue;
+            }
+            if !self.admit(from, &pkt) {
                 continue;
             }
             if pkt.tag == tag && pkt.epoch == self.epoch {
@@ -611,9 +735,16 @@ impl Comm {
     /// Recovery messages bypass fault injection: the substrate models a
     /// hardened control channel.
     pub fn recover(&mut self) -> Result<u64, CommError> {
+        if self.surrendered {
+            return Err(CommError::RecoveryFailed {
+                rank: self.rank,
+                detail: "endpoint surrendered to a hot spare".to_string(),
+            });
+        }
         self.killed = None;
         self.epoch += 1;
         self.coll_seq = 0;
+        self.send_seq.clear();
         let epoch = self.epoch;
         let n = self.size();
         // Drain everything from dead epochs; keep packets that already
@@ -621,7 +752,7 @@ impl Comm {
         for from in 0..n {
             self.pending[from].retain(|p| p.epoch >= epoch);
             while let Ok(pkt) = self.receivers[from].try_recv() {
-                if pkt.epoch >= epoch {
+                if pkt.epoch >= epoch && self.admit(from, &pkt) {
                     self.pending[from].push_back(pkt);
                 }
             }
@@ -633,7 +764,7 @@ impl Comm {
         let fail = move |detail: String| CommError::RecoveryFailed { rank: me, detail };
         for to in 0..n {
             if to != self.rank {
-                self.deliver(to, RECOVER_TAG, 8, false, Box::new(epoch))
+                self.deliver(to, RECOVER_TAG, 1, 8, false, Box::new(epoch))
                     .map_err(|e| fail(format!("announcing epoch {epoch} to rank {to}: {e}")))?;
             }
         }
@@ -652,6 +783,55 @@ impl Comm {
             }
         }
         Ok(epoch)
+    }
+
+    /// Detach this rank's entire communication state into an [`Endpoint`]
+    /// that another thread can [`Comm::adopt`]. The remaining `Comm` is a
+    /// husk: every operation on it returns a typed error until the endpoint
+    /// comes back via [`Comm::readopt`]. This is how a hot-spare worker
+    /// thread takes over a dead rank's seat without the world renumbering.
+    pub fn surrender(&mut self) -> Endpoint {
+        self.surrendered = true;
+        Endpoint {
+            rank: self.rank,
+            shared: Arc::clone(&self.shared),
+            receivers: std::mem::take(&mut self.receivers),
+            pending: std::mem::take(&mut self.pending),
+            epoch: self.epoch,
+            coll_seq: self.coll_seq,
+            op_timeout: self.op_timeout,
+            fault: std::mem::replace(&mut self.fault, FaultState::new(None, self.rank)),
+            send_seq: std::mem::take(&mut self.send_seq),
+            recv_seq: std::mem::take(&mut self.recv_seq),
+            killed: self.killed,
+        }
+    }
+
+    /// Build a live communicator around a surrendered endpoint. Clears the
+    /// kill (the spare is a fresh process image in the same seat); the
+    /// inherited fault state keeps spent one-shot rules spent.
+    pub fn adopt(ep: Endpoint) -> Comm {
+        Comm {
+            rank: ep.rank,
+            shared: ep.shared,
+            receivers: ep.receivers,
+            pending: ep.pending,
+            epoch: ep.epoch,
+            coll_seq: ep.coll_seq,
+            op_timeout: ep.op_timeout,
+            fault: ep.fault,
+            killed: None,
+            send_seq: ep.send_seq,
+            recv_seq: ep.recv_seq,
+            surrendered: false,
+        }
+    }
+
+    /// Re-attach an endpoint to the husk left behind by [`Comm::surrender`]
+    /// (e.g. after joining the spare thread that used it), making this
+    /// communicator fully operational again.
+    pub fn readopt(&mut self, ep: Endpoint) {
+        *self = Comm::adopt(ep);
     }
 }
 
@@ -874,20 +1054,77 @@ mod fault_tests {
     }
 
     #[test]
-    fn duplicate_message_delivered_twice() {
+    fn duplicate_message_suppressed_and_fifo_preserved() {
+        // The duplicated copy of the first message must be swallowed by the
+        // transport, not delivered as if it were the *next* message on the
+        // same tag — step-periodic tags would otherwise desync forever.
         let plan = FaultPlan::new(1).duplicate_message(0, 1);
         let (results, _) = run_with_faults(2, Some(plan), |c| {
-            c.set_op_timeout(Duration::from_millis(300));
+            c.set_op_timeout(Duration::from_millis(200));
             if c.rank() == 0 {
                 c.send(1, 9, 5u32).unwrap();
+                c.send(1, 9, 7u32).unwrap();
                 0
             } else {
                 let a: u32 = c.recv(0, 9).unwrap();
                 let b: u32 = c.recv(0, 9).unwrap();
-                (a + b) as usize
+                assert_eq!((a, b), (5, 7));
+                assert!(matches!(
+                    c.recv::<u32>(0, 9),
+                    Err(CommError::Timeout { .. })
+                ));
+                1
             }
         });
-        assert_eq!(*results[1].as_ref().unwrap(), 10);
+        assert_eq!(*results[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_but_intact() {
+        let delay = Duration::from_millis(50);
+        let plan = FaultPlan::new(1).rule(crate::FaultRule {
+            rank: 0,
+            kind: FaultKind::Delay(delay),
+            trigger: crate::Trigger::OnMessage(1),
+        });
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            if c.rank() == 0 {
+                let t0 = Instant::now();
+                c.send(1, 9, 5u32).unwrap();
+                // Delay is modeled on the sender: the send call itself blocks.
+                t0.elapsed() >= delay
+            } else {
+                c.recv::<u32>(0, 9).unwrap() == 5
+            }
+        });
+        assert!(results[0].as_ref().unwrap());
+        assert!(results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn on_message_kill_fires_at_next_tick() {
+        // A count-based kill arms on the matching send and lands at the
+        // next tick, like an interrupt taken between steps.
+        let plan = FaultPlan::new(1).rule(crate::FaultRule {
+            rank: 0,
+            kind: FaultKind::Kill,
+            trigger: crate::Trigger::OnMessage(2),
+        });
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            if c.rank() == 0 {
+                c.tick(0).unwrap();
+                c.send(1, 1, 1u32).unwrap();
+                c.send(1, 2, 2u32).unwrap(); // arms the kill; still delivered
+                matches!(c.tick(1), Err(CommError::Killed { rank: 0, step: 1 }))
+            } else {
+                let a: u32 = c.recv(0, 1).unwrap();
+                let b: u32 = c.recv(0, 2).unwrap();
+                (a, b) == (1, 2)
+            }
+        });
+        assert!(results[0].as_ref().unwrap());
+        assert!(results[1].as_ref().unwrap());
     }
 
     #[test]
@@ -950,6 +1187,38 @@ mod fault_tests {
             assert_eq!(*sum, 3.0);
             assert_eq!(*epoch, 1);
         }
+    }
+
+    #[test]
+    fn surrendered_endpoint_adopted_by_spare_thread_and_readopted() {
+        let (results, _) = run_expect(2, |c| {
+            c.set_op_timeout(Duration::from_millis(500));
+            if c.rank() == 0 {
+                let ep = c.surrender();
+                assert_eq!(ep.rank(), 0);
+                // The husk is inert until readopt.
+                assert!(matches!(c.send(1, 1, 0u32), Err(CommError::Killed { .. })));
+                assert!(matches!(c.recv::<u32>(1, 1), Err(CommError::Killed { .. })));
+                assert!(matches!(c.recover(), Err(CommError::RecoveryFailed { .. })));
+                let spare = std::thread::spawn(move || {
+                    let mut comm = Comm::adopt(ep);
+                    comm.send(1, 1, 41u32).unwrap();
+                    let got: u32 = comm.recv(1, 2).unwrap();
+                    (got, comm.surrender())
+                });
+                let (got, ep) = spare.join().unwrap();
+                c.readopt(ep);
+                let last: u32 = c.recv(1, 3).unwrap();
+                (got + last) as usize
+            } else {
+                let v: u32 = c.recv(0, 1).unwrap();
+                c.send(0, 2, v + 1).unwrap();
+                c.send(0, 3, 100u32).unwrap();
+                v as usize
+            }
+        });
+        assert_eq!(results[0], 42 + 100);
+        assert_eq!(results[1], 41);
     }
 
     #[test]

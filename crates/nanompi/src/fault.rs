@@ -18,10 +18,14 @@
 //!   from `(plan.seed, rank)` and keep firing for the whole run; the stream
 //!   is *not* rewound by rollback, so replays see fresh (but reproducible
 //!   given the whole history) draws.
-//! * A kill takes effect at the victim's next [`Comm::tick`](crate::Comm::tick)
-//!   with `step >= n`; from then on every communication call on that rank
-//!   returns [`CommError::Killed`](crate::CommError::Killed) until the rank
-//!   is revived by [`Comm::recover`](crate::Comm::recover).
+//! * A kill takes effect at the victim's next [`Comm::tick`](crate::Comm::tick):
+//!   step-triggered kills fire at the first tick with `step >= n`, and
+//!   count-triggered ([`Trigger::OnMessage`]) kills arm on the matching send
+//!   (the message itself is still delivered) and land at the following tick.
+//!   From then on every communication call on that rank returns
+//!   [`CommError::Killed`](crate::CommError::Killed) until the rank is
+//!   revived by [`Comm::recover`](crate::Comm::recover) or replaced by a
+//!   hot spare adopting its endpoint.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -156,6 +160,10 @@ pub(crate) struct FaultState {
     msg_seq: u64,
     step: u64,
     spent: Vec<bool>,
+    /// Armed by a count-triggered kill rule on the send path; consumed by
+    /// the next `kill_due` (ticks live on the step path, where the message
+    /// counter is not advanced).
+    pending_kill: bool,
 }
 
 impl FaultState {
@@ -174,6 +182,7 @@ impl FaultState {
             msg_seq: 0,
             step: 0,
             spent: vec![false; n_rules],
+            pending_kill: false,
         }
     }
 
@@ -184,6 +193,10 @@ impl FaultState {
     /// Does a (not yet spent) kill rule fire for this rank at `step`?
     pub(crate) fn kill_due(&mut self, step: u64) -> bool {
         self.step = step;
+        if self.pending_kill {
+            self.pending_kill = false;
+            return true;
+        }
         let Some(plan) = self.plan.clone() else {
             return false;
         };
@@ -193,6 +206,8 @@ impl FaultState {
             }
             let due = match rule.trigger {
                 Trigger::AtStep(n) => step >= n,
+                // Count-based kills arm in `on_send`, where the message
+                // counter lives; nothing to check on the step path.
                 Trigger::OnMessage(_) => false,
                 Trigger::WithProbability(p) => self.draw() < p,
             };
@@ -205,12 +220,22 @@ impl FaultState {
     }
 
     /// Decide the fate of the next outgoing application message. Returns
-    /// the first matching fault, if any.
+    /// the first matching fault, if any. Count-triggered kill rules arm
+    /// here (the message is still delivered) and fire at the next tick.
     pub(crate) fn on_send(&mut self) -> Option<FaultKind> {
         self.msg_seq += 1;
         let plan = self.plan.clone()?;
         for (i, rule) in plan.rules.iter().enumerate() {
-            if self.spent[i] || rule.rank != self.rank || rule.kind == FaultKind::Kill {
+            if self.spent[i] || rule.rank != self.rank {
+                continue;
+            }
+            if rule.kind == FaultKind::Kill {
+                if let Trigger::OnMessage(n) = rule.trigger {
+                    if self.msg_seq == n {
+                        self.spent[i] = true;
+                        self.pending_kill = true;
+                    }
+                }
                 continue;
             }
             let (fires, one_shot) = match rule.trigger {
@@ -255,6 +280,63 @@ mod tests {
         let mut st = FaultState::new(Some(plan), 0);
         assert_eq!(st.on_send(), None);
         assert!(!st.kill_due(10));
+    }
+
+    #[test]
+    fn every_message_fault_kind_fires_on_its_numbered_message() {
+        // Round trip each message-fault kind through the send path: the
+        // rule must fire on exactly the (1-based) message its trigger
+        // names — not one early, not one late — and exactly once.
+        let kinds = [
+            FaultKind::Drop,
+            FaultKind::Corrupt,
+            FaultKind::Duplicate,
+            FaultKind::Delay(Duration::from_millis(1)),
+        ];
+        for kind in kinds {
+            let plan = FaultPlan::new(1).rule(FaultRule {
+                rank: 0,
+                kind: kind.clone(),
+                trigger: Trigger::OnMessage(3),
+            });
+            let mut st = FaultState::new(Some(Arc::new(plan)), 0);
+            assert_eq!(st.on_send(), None, "{kind:?} fired on message 1");
+            assert_eq!(st.on_send(), None, "{kind:?} fired on message 2");
+            assert_eq!(
+                st.on_send(),
+                Some(kind.clone()),
+                "{kind:?} missed message 3"
+            );
+            assert_eq!(st.on_send(), None, "{kind:?} fired twice");
+        }
+    }
+
+    #[test]
+    fn on_message_trigger_is_one_based() {
+        let plan = Arc::new(FaultPlan::new(1).drop_message(0, 1));
+        let mut st = FaultState::new(Some(plan), 0);
+        assert_eq!(
+            st.on_send(),
+            Some(FaultKind::Drop),
+            "nth=1 is the first message"
+        );
+        assert_eq!(st.on_send(), None);
+    }
+
+    #[test]
+    fn count_triggered_kill_arms_on_send_and_fires_at_next_tick() {
+        let plan = Arc::new(FaultPlan::new(1).rule(FaultRule {
+            rank: 0,
+            kind: FaultKind::Kill,
+            trigger: Trigger::OnMessage(2),
+        }));
+        let mut st = FaultState::new(Some(plan), 0);
+        assert!(!st.kill_due(0));
+        assert_eq!(st.on_send(), None); // message 1
+        assert!(!st.kill_due(0));
+        assert_eq!(st.on_send(), None); // message 2: arms, still delivered
+        assert!(st.kill_due(1), "armed kill did not land at the next tick");
+        assert!(!st.kill_due(2), "one-shot kill fired twice");
     }
 
     #[test]

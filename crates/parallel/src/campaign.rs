@@ -1,11 +1,12 @@
-//! Fault-tolerant campaign runtime: rollback-recovery over checkpoints.
+//! Fault-tolerant campaign runtime: rollback-recovery and hot-spare
+//! replacement over checkpoints.
 //!
 //! VPIC's trillion-particle Roadrunner campaigns outlived the machine's
 //! mean time between interrupts the unglamorous way — periodic restart
 //! dumps plus automatic resubmission. This module reproduces that loop
 //! in-process: [`run_campaign`] drives a [`DistributedSim`] for a fixed
-//! number of steps, writing a CRC-protected checkpoint generation every
-//! `checkpoint_interval` steps and running a cheap global health check
+//! number of steps, writing a CRC-protected checkpoint generation on a
+//! [`CheckpointPolicy`] schedule and running a cheap global health check
 //! (non-finite fields, energy blow-up, particle-count drift) every
 //! `health_interval` steps.
 //!
@@ -14,32 +15,110 @@
 //! [`Comm::recover`], rediscovers its checkpoint generations *from disk*
 //! (rejecting any dump that fails its CRC), agrees with all other ranks on
 //! the newest generation present and valid everywhere, reloads it, and
-//! replays. Recovery attempts are bounded: past `max_recoveries` the
-//! campaign degrades gracefully, writing a best-effort partial dump and
-//! returning [`CampaignEnd::Degraded`] instead of aborting the process.
+//! replays. Ranks that still hold the confirmed generation in memory
+//! restore from that cache without touching the filesystem. Recovery
+//! attempts are bounded: past `max_recoveries` the campaign degrades
+//! gracefully, writing a best-effort partial dump and returning
+//! [`CampaignEnd::Degraded`] instead of aborting the process.
+//!
+//! Two recovery modes are offered ([`RecoveryMode`]):
+//!
+//! * **Rollback** (default): the killed rank's own thread clears its fault
+//!   and rejoins the world, exactly as PR 1 landed it.
+//! * **HotSpare**: the killed rank *stays dead*. Its worker surrenders the
+//!   [`nanompi`] endpoint, spawns a replacement thread that adopts it
+//!   ([`Comm::adopt`]), restores the shard from the newest validated
+//!   checkpoint on disk, and finishes the campaign while surviving ranks
+//!   wait at the rendezvous and restore from their in-memory cache — one
+//!   rank reads disk instead of the whole world. The victim thread only
+//!   reclaims the endpoint after the spare finishes, so post-campaign
+//!   collectives still work from the original worker.
+//!
+//! The checkpoint cadence is either a fixed step count or
+//! [`CheckpointPolicy::Auto`]: the Young/Daly optimum
+//! `τ_opt = √(2·δ·MTBI)` resolved from the *measured* per-dump cost and
+//! step time (EWMA-smoothed, max-reduced across ranks on the checkpoint
+//! confirmation collective so every rank resolves the identical interval).
+//! Dumps can be delta+RLE compressed and write-throttled
+//! (`compress`, `write_throttle_bps`) to keep big particle counts inside
+//! the dump budget.
 //!
 //! Every recovery is recorded in the returned [`CampaignOutcome`] and
 //! appended to `recovery_r{rank}.log` in the checkpoint directory.
 //!
 //! With one push pipeline per rank the replay is bit-exact: a campaign
 //! that lost a rank mid-flight ends in exactly the state of an
-//! uninterrupted run (asserted by `tests/recovery.rs`).
+//! uninterrupted run (asserted by `tests/recovery.rs`), in either
+//! recovery mode.
 
-use crate::dcheckpoint::{load_rank_from_path, save_rank_to_path};
+use crate::dcheckpoint::{dump_rank_bytes, load_rank, load_rank_from_path, write_bytes_atomic};
 use crate::dsim::DistributedSim;
 use nanompi::{Comm, CommError};
+use roadrunner_model::young_daly_interval_steps;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vpic_core::checkpoint::CheckpointError;
+
+/// How the campaign schedules restart dumps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CheckpointPolicy {
+    /// Dump every `n` steps (0 disables checkpointing entirely).
+    Fixed(u64),
+    /// Resolve the interval at runtime from the Young/Daly optimum
+    /// `τ_opt = √(2·δ·MTBI)` using the measured per-dump cost `δ` and
+    /// step time, clamped to `[min_interval, max_interval]`. Until the
+    /// first measurement lands the campaign dumps every `min_interval`
+    /// steps.
+    Auto {
+        /// Assumed mean time between interrupts.
+        mtbi: Duration,
+        /// Never dump more often than this many steps.
+        min_interval: u64,
+        /// Never dump less often than this many steps.
+        max_interval: u64,
+    },
+}
+
+impl CheckpointPolicy {
+    /// The interval (steps) this policy yields for a measured dump cost
+    /// and step time, both in seconds. Deterministic: ranks that agree on
+    /// the inputs agree on the interval.
+    pub fn resolve(&self, checkpoint_seconds: f64, step_seconds: f64) -> u64 {
+        match *self {
+            CheckpointPolicy::Fixed(n) => n,
+            CheckpointPolicy::Auto {
+                mtbi,
+                min_interval,
+                max_interval,
+            } => {
+                let lo = min_interval.max(1);
+                let hi = max_interval.max(lo);
+                young_daly_interval_steps(checkpoint_seconds, mtbi.as_secs_f64(), step_seconds)
+                    .clamp(lo, hi)
+            }
+        }
+    }
+}
+
+/// What happens to a rank the fault plan kills.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// The victim's own thread clears the fault and rejoins the world.
+    #[default]
+    Rollback,
+    /// The victim stays dead; a freshly spawned replacement thread adopts
+    /// its communicator endpoint and restores the shard from disk.
+    HotSpare,
+}
 
 /// Knobs for one fault-tolerant campaign.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
     /// Run until `sim.step_count` reaches this.
     pub steps: u64,
-    /// Checkpoint every this many steps (0 disables; step 0 is included).
-    pub checkpoint_interval: u64,
+    /// Checkpoint schedule (fixed interval or Young/Daly auto).
+    pub checkpoint: CheckpointPolicy,
     /// Directory for checkpoint generations, recovery logs and partial
     /// dumps (created if absent; shared by all ranks).
     pub checkpoint_dir: PathBuf,
@@ -54,19 +133,28 @@ pub struct CampaignConfig {
     pub max_energy_growth: f64,
     /// Override the communicator's op timeout for the whole campaign.
     pub op_timeout: Option<Duration>,
+    /// How killed ranks come back.
+    pub recovery: RecoveryMode,
+    /// Allow delta+RLE compression of dump sections.
+    pub compress: bool,
+    /// Pace checkpoint writes to at most this many bytes/second.
+    pub write_throttle_bps: Option<u64>,
 }
 
 impl CampaignConfig {
     pub fn new(steps: u64, checkpoint_interval: u64, checkpoint_dir: impl Into<PathBuf>) -> Self {
         CampaignConfig {
             steps,
-            checkpoint_interval,
+            checkpoint: CheckpointPolicy::Fixed(checkpoint_interval),
             checkpoint_dir: checkpoint_dir.into(),
             keep_checkpoints: 2,
             max_recoveries: 3,
             health_interval: 1,
             max_energy_growth: 10.0,
             op_timeout: None,
+            recovery: RecoveryMode::Rollback,
+            compress: true,
+            write_throttle_bps: None,
         }
     }
 
@@ -84,9 +172,29 @@ impl CampaignConfig {
         self.op_timeout = Some(t);
         self
     }
+
+    pub fn with_checkpoint_policy(mut self, p: CheckpointPolicy) -> Self {
+        self.checkpoint = p;
+        self
+    }
+
+    pub fn with_recovery(mut self, mode: RecoveryMode) -> Self {
+        self.recovery = mode;
+        self
+    }
+
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compress = on;
+        self
+    }
+
+    pub fn with_write_throttle(mut self, bps: Option<u64>) -> Self {
+        self.write_throttle_bps = bps;
+        self
+    }
 }
 
-/// One rollback-recovery episode.
+/// One recovery episode (rollback or hot-spare hand-off).
 #[derive(Clone, Debug)]
 pub struct RecoveryEvent {
     /// Step at which the fault was detected.
@@ -97,6 +205,8 @@ pub struct RecoveryEvent {
     pub cause: String,
     /// Checkpoint step the world rolled back to.
     pub restored_step: u64,
+    /// True when this rank's shard was adopted by a replacement thread.
+    pub hot_spare: bool,
 }
 
 /// How the campaign ended.
@@ -104,7 +214,8 @@ pub struct RecoveryEvent {
 pub enum CampaignEnd {
     /// All `steps` completed.
     Completed,
-    /// Recovery budget exhausted; a best-effort partial dump was written.
+    /// Recovery budget exhausted (or the world could no longer agree on a
+    /// checkpoint); a best-effort partial dump was written.
     Degraded { at_step: u64, partial_dump: PathBuf },
 }
 
@@ -116,6 +227,13 @@ pub struct CampaignOutcome {
     /// Total sim steps executed, including replayed ones.
     pub steps_run: u64,
     pub recoveries: Vec<RecoveryEvent>,
+    /// The checkpoint interval in effect when the campaign ended (for
+    /// `Fixed` this is the configured value; for `Auto` the resolved
+    /// Young/Daly optimum).
+    pub effective_interval: u64,
+    /// The thread that ran the campaign to its end — differs from the
+    /// original worker thread iff a hot spare took over.
+    pub finished_by: std::thread::ThreadId,
 }
 
 /// Unrecoverable campaign failure (rollback cannot fix these).
@@ -128,6 +246,9 @@ pub enum CampaignError {
     Io(io::Error),
     /// No checkpoint generation is valid on every rank.
     NoCommonCheckpoint,
+    /// The hot-spare replacement thread died without handing the endpoint
+    /// back.
+    HotSpare(String),
 }
 
 impl From<io::Error> for CampaignError {
@@ -144,6 +265,9 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Io(e) => write!(f, "campaign I/O failure: {e}"),
             CampaignError::NoCommonCheckpoint => {
                 write!(f, "no checkpoint generation is valid on every rank")
+            }
+            CampaignError::HotSpare(detail) => {
+                write!(f, "hot-spare replacement failed: {detail}")
             }
         }
     }
@@ -237,76 +361,16 @@ fn health_check(
     Ok(())
 }
 
-/// Write a checkpoint generation, confirm all ranks wrote theirs, then
-/// prune old generations beyond `keep_checkpoints`. Write failures are
-/// permanent (rollback cannot fix a dead disk); confirmation failures are
-/// recoverable comm faults.
-fn take_checkpoint(
-    comm: &mut Comm,
-    sim: &DistributedSim,
-    cfg: &CampaignConfig,
-) -> Result<Result<(), Fault>, CampaignError> {
-    let path = checkpoint_path(&cfg.checkpoint_dir, sim.step_count, sim.rank);
-    save_rank_to_path(sim, &path).map_err(CampaignError::Checkpoint)?;
-    let steps = match comm.allgather(sim.step_count) {
-        Ok(s) => s,
-        Err(e) => return Ok(Err(e.into())),
-    };
-    if steps.iter().any(|&s| s != sim.step_count) {
-        return Ok(Err(Fault::Health(format!(
-            "checkpoint confirmation mismatch: {steps:?}"
-        ))));
-    }
-    // All ranks confirmed: older generations beyond the keep window are
-    // now garbage.
-    let own = list_own_checkpoints(&cfg.checkpoint_dir, sim.rank)?;
-    if own.len() > cfg.keep_checkpoints {
-        for (_, p) in &own[..own.len() - cfg.keep_checkpoints] {
-            let _ = std::fs::remove_file(p);
-        }
-    }
-    Ok(Ok(()))
-}
-
-/// Rendezvous, rediscover checkpoints from disk, agree on the newest
-/// generation valid on every rank, and reload it. Returns the restored
-/// sim and its step.
-fn rollback(
-    comm: &mut Comm,
-    sim: &DistributedSim,
-    cfg: &CampaignConfig,
-) -> Result<(DistributedSim, u64), CampaignError> {
-    comm.recover().map_err(CampaignError::Comm)?;
-    // Validate every on-disk generation by fully loading it — CRC failures
-    // (torn writes, bit rot) disqualify a generation here, loudly.
-    let mut valid_steps = Vec::new();
-    for (step, path) in list_own_checkpoints(&cfg.checkpoint_dir, sim.rank)? {
-        if load_rank_from_path(sim.spec.clone(), sim.rank, n_pipelines_of(sim), &path).is_ok() {
-            valid_steps.push(step);
-        }
-    }
-    let all: Vec<Vec<u64>> = comm
-        .allgather(valid_steps.clone())
-        .map_err(CampaignError::Comm)?;
-    let chosen = valid_steps
-        .iter()
-        .rev()
-        .find(|s| all.iter().all(|ranks| ranks.contains(s)))
-        .copied()
-        .ok_or(CampaignError::NoCommonCheckpoint)?;
-    let path = checkpoint_path(&cfg.checkpoint_dir, chosen, sim.rank);
-    let restored = load_rank_from_path(sim.spec.clone(), sim.rank, n_pipelines_of(sim), &path)
-        .map_err(CampaignError::Checkpoint)?;
-    // Everyone must resume from the same generation.
-    let confirm = comm.allgather(chosen).map_err(CampaignError::Comm)?;
-    if confirm.iter().any(|&s| s != chosen) {
-        return Err(CampaignError::NoCommonCheckpoint);
-    }
-    Ok((restored, chosen))
-}
-
 fn n_pipelines_of(sim: &DistributedSim) -> usize {
     sim.accumulators.arrays.len()
+}
+
+/// Campaign-start health baselines `(energy, particles)` — two collectives,
+/// deterministic across ranks. Fails with a recoverable [`CommError`].
+fn world_baseline(comm: &mut Comm, sim: &DistributedSim) -> Result<(f64, u64), CommError> {
+    let n0 = sim.global_particles(comm)?;
+    let (fe, fb, ke) = sim.global_energies(comm)?;
+    Ok((fe + fb + ke.iter().sum::<f64>(), n0))
 }
 
 fn append_log(dir: &Path, rank: usize, line: &str) {
@@ -320,103 +384,394 @@ fn append_log(dir: &Path, rank: usize, line: &str) {
     }
 }
 
+/// EWMA with a 0.3 gain; the first sample seeds the average directly.
+fn ewma(old: f64, sample: f64) -> f64 {
+    if old == 0.0 {
+        sample
+    } else {
+        0.3 * sample + 0.7 * old
+    }
+}
+
+/// Per-rank campaign state that survives hot-spare hand-offs: everything
+/// the replacement thread needs travels inside this struct.
+struct Runner {
+    cfg: CampaignConfig,
+    rank: usize,
+    /// Campaign-start health baselines `(energy, particles)`, identical on
+    /// every rank. Computed inside the fault-handled loop at every step-0
+    /// pass (the pristine and restored-from-generation-0 states are
+    /// bit-identical), so a fault during the baseline collectives recovers
+    /// like any other instead of failing the campaign.
+    baseline: Option<(f64, u64)>,
+    recoveries: Vec<RecoveryEvent>,
+    steps_run: u64,
+    /// Effective checkpoint interval (updated at each confirmation for
+    /// `Auto`, in lockstep across ranks).
+    interval: u64,
+    /// EWMA of the measured per-dump cost (seconds), locally observed.
+    ckpt_secs: f64,
+    /// EWMA of the measured per-step wall time (seconds).
+    step_secs: f64,
+    /// Newest *confirmed* checkpoint this rank still holds in memory:
+    /// `(step, serialized bytes)`. Lets survivors restore without disk
+    /// I/O; a hot spare starts with no cache (the victim's memory is
+    /// gone).
+    cache: Option<(u64, Vec<u8>)>,
+}
+
+impl Runner {
+    /// Run one step of the campaign schedule: tick faults, maybe dump,
+    /// maybe health-check, advance the sim. `Ok(Err(fault))` is a
+    /// recoverable failure; `Err(_)` is permanent.
+    fn iterate(
+        &mut self,
+        comm: &mut Comm,
+        sim: &mut DistributedSim,
+    ) -> Result<Result<(), Fault>, CampaignError> {
+        let step = sim.step_count;
+        if let Err(e) = comm.tick(step) {
+            return Ok(Err(e.into()));
+        }
+        if self.interval > 0 && step.is_multiple_of(self.interval) {
+            if let Err(f) = self.take_checkpoint(comm, sim)? {
+                return Ok(Err(f));
+            }
+        }
+        // Health baselines are (re)computed on every step-0 pass so the
+        // collective schedule is identical across ranks even when some
+        // already hold a baseline from before a rollback to generation 0.
+        // The step-0 state is bit-identical either way, so the values are
+        // too.
+        if step == 0 {
+            match world_baseline(comm, sim) {
+                Ok(b) => self.baseline = Some(b),
+                Err(e) => return Ok(Err(e.into())),
+            }
+        }
+        if self.cfg.health_interval > 0 && step.is_multiple_of(self.cfg.health_interval) {
+            if let Some((e0, n0)) = self.baseline {
+                if let Err(f) = health_check(comm, sim, &self.cfg, e0, n0) {
+                    return Ok(Err(f));
+                }
+            }
+        }
+        let t0 = Instant::now();
+        if let Err(e) = sim.step(comm) {
+            return Ok(Err(e.into()));
+        }
+        self.step_secs = ewma(self.step_secs, t0.elapsed().as_secs_f64());
+        self.steps_run += 1;
+        Ok(Ok(()))
+    }
+
+    /// Write a checkpoint generation, confirm all ranks wrote theirs
+    /// (sharing measured dump/step costs for the auto interval), cache the
+    /// bytes, then prune old generations beyond `keep_checkpoints`. Write
+    /// failures are permanent (rollback cannot fix a dead disk);
+    /// confirmation failures are recoverable comm faults.
+    fn take_checkpoint(
+        &mut self,
+        comm: &mut Comm,
+        sim: &DistributedSim,
+    ) -> Result<Result<(), Fault>, CampaignError> {
+        let path = checkpoint_path(&self.cfg.checkpoint_dir, sim.step_count, self.rank);
+        let t0 = Instant::now();
+        let bytes = dump_rank_bytes(sim, self.cfg.compress).map_err(CampaignError::Checkpoint)?;
+        write_bytes_atomic(&path, &bytes, self.cfg.write_throttle_bps)
+            .map_err(CampaignError::Checkpoint)?;
+        self.ckpt_secs = ewma(self.ckpt_secs, t0.elapsed().as_secs_f64());
+        // One collective confirms every rank wrote this generation *and*
+        // carries the measured (dump cost, step time) so each rank
+        // max-reduces to identical values — the auto interval then
+        // resolves the same everywhere without extra traffic.
+        let gathered = match comm.allgather((
+            sim.step_count,
+            self.ckpt_secs.to_bits(),
+            self.step_secs.to_bits(),
+        )) {
+            Ok(g) => g,
+            Err(e) => return Ok(Err(e.into())),
+        };
+        if gathered.iter().any(|&(s, _, _)| s != sim.step_count) {
+            let steps: Vec<u64> = gathered.iter().map(|&(s, _, _)| s).collect();
+            return Ok(Err(Fault::Health(format!(
+                "checkpoint confirmation mismatch: {steps:?}"
+            ))));
+        }
+        self.cache = Some((sim.step_count, bytes));
+        if matches!(self.cfg.checkpoint, CheckpointPolicy::Auto { .. }) {
+            let delta = gathered
+                .iter()
+                .map(|&(_, d, _)| f64::from_bits(d))
+                .fold(0.0, f64::max);
+            let step_time = gathered
+                .iter()
+                .map(|&(_, _, t)| f64::from_bits(t))
+                .fold(0.0, f64::max);
+            self.interval = self.cfg.checkpoint.resolve(delta, step_time);
+        }
+        // All ranks confirmed: older generations beyond the keep window
+        // are now garbage.
+        let own = list_own_checkpoints(&self.cfg.checkpoint_dir, self.rank)?;
+        if own.len() > self.cfg.keep_checkpoints {
+            for (_, p) in &own[..own.len() - self.cfg.keep_checkpoints] {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    /// Rendezvous, rediscover checkpoints from disk, agree on the newest
+    /// generation valid on every rank, and reload it — from the in-memory
+    /// cache when it holds the chosen generation, from disk otherwise.
+    /// Returns the restored sim and its step.
+    fn rollback(
+        &mut self,
+        comm: &mut Comm,
+        sim: &DistributedSim,
+    ) -> Result<(DistributedSim, u64), CampaignError> {
+        comm.recover().map_err(CampaignError::Comm)?;
+        let n_pipe = n_pipelines_of(sim);
+        // Validate every on-disk generation by fully loading it — CRC
+        // failures (torn writes, bit rot) disqualify a generation here,
+        // loudly.
+        let mut valid_steps = Vec::new();
+        for (step, path) in list_own_checkpoints(&self.cfg.checkpoint_dir, self.rank)? {
+            if load_rank_from_path(sim.spec.clone(), self.rank, n_pipe, &path).is_ok() {
+                valid_steps.push(step);
+            }
+        }
+        let all: Vec<Vec<u64>> = comm
+            .allgather(valid_steps.clone())
+            .map_err(CampaignError::Comm)?;
+        let chosen = valid_steps
+            .iter()
+            .rev()
+            .find(|s| all.iter().all(|ranks| ranks.contains(s)))
+            .copied()
+            .ok_or(CampaignError::NoCommonCheckpoint)?;
+        let restored = match &self.cache {
+            Some((step, bytes)) if *step == chosen => {
+                load_rank(sim.spec.clone(), self.rank, n_pipe, &mut bytes.as_slice())
+                    .map_err(CampaignError::Checkpoint)?
+            }
+            _ => {
+                let path = checkpoint_path(&self.cfg.checkpoint_dir, chosen, self.rank);
+                load_rank_from_path(sim.spec.clone(), self.rank, n_pipe, &path)
+                    .map_err(CampaignError::Checkpoint)?
+            }
+        };
+        // Everyone must resume from the same generation.
+        let confirm = comm.allgather(chosen).map_err(CampaignError::Comm)?;
+        if confirm.iter().any(|&s| s != chosen) {
+            return Err(CampaignError::NoCommonCheckpoint);
+        }
+        Ok((restored, chosen))
+    }
+
+    /// Budget exhausted or the world is unreachable: write a best-effort
+    /// partial dump and finish as `Degraded`.
+    fn degrade(
+        self,
+        sim: DistributedSim,
+        at_step: u64,
+        attempt: u32,
+        fault: &Fault,
+    ) -> (DistributedSim, CampaignOutcome) {
+        let partial = self
+            .cfg
+            .checkpoint_dir
+            .join(format!("partial_r{:04}.vpic", self.rank));
+        if let Ok(bytes) = dump_rank_bytes(&sim, self.cfg.compress) {
+            let _ = write_bytes_atomic(&partial, &bytes, self.cfg.write_throttle_bps);
+        }
+        append_log(
+            &self.cfg.checkpoint_dir,
+            self.rank,
+            &format!("step={at_step} attempt={attempt} cause=\"{fault}\" action=degraded"),
+        );
+        let end = CampaignEnd::Degraded {
+            at_step,
+            partial_dump: partial,
+        };
+        let outcome = self.finish(end);
+        (sim, outcome)
+    }
+
+    fn finish(self, end: CampaignEnd) -> CampaignOutcome {
+        CampaignOutcome {
+            rank: self.rank,
+            end,
+            steps_run: self.steps_run,
+            recoveries: self.recoveries,
+            effective_interval: self.interval,
+            finished_by: std::thread::current().id(),
+        }
+    }
+
+    /// Hot-spare hand-off: surrender this worker's endpoint, spawn the
+    /// replacement thread, and block until it finishes the campaign (or
+    /// degrades). The victim thread never steps the sim again; it only
+    /// reclaims the endpoint afterwards so post-campaign collectives still
+    /// run from the original worker.
+    fn hand_off(
+        mut self,
+        comm: &mut Comm,
+        sim: DistributedSim,
+        at_step: u64,
+        attempt: u32,
+        fault: Fault,
+    ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+        append_log(
+            &self.cfg.checkpoint_dir,
+            self.rank,
+            &format!("step={at_step} attempt={attempt} cause=\"{fault}\" action=hot_spare"),
+        );
+        // The dead rank's memory — including its checkpoint cache — is
+        // considered lost; the spare must restore from disk.
+        self.cache = None;
+        let ep = comm.surrender();
+        let spare = std::thread::spawn(move || {
+            let mut comm = Comm::adopt(ep);
+            let result = self.spare_main(&mut comm, sim, at_step, attempt, fault);
+            (result, comm.surrender())
+        });
+        match spare.join() {
+            Ok((result, ep)) => {
+                comm.readopt(ep);
+                result
+            }
+            Err(_) => Err(CampaignError::HotSpare(
+                "replacement worker thread panicked".into(),
+            )),
+        }
+    }
+
+    /// Entry point of the replacement thread: rendezvous with the
+    /// survivors, restore the victim's shard from the newest agreed
+    /// checkpoint, and drive the campaign to its end.
+    fn spare_main(
+        mut self,
+        comm: &mut Comm,
+        sim: DistributedSim,
+        at_step: u64,
+        attempt: u32,
+        fault: Fault,
+    ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+        match self.rollback(comm, &sim) {
+            Ok((restored, restored_step)) => {
+                append_log(
+                    &self.cfg.checkpoint_dir,
+                    self.rank,
+                    &format!(
+                        "step={at_step} attempt={attempt} cause=\"{fault}\" \
+                         restored_step={restored_step} hot_spare=1"
+                    ),
+                );
+                self.recoveries.push(RecoveryEvent {
+                    at_step,
+                    attempt,
+                    cause: fault.to_string(),
+                    restored_step,
+                    hot_spare: true,
+                });
+                self.drive(comm, restored)
+            }
+            Err(CampaignError::Comm(_)) | Err(CampaignError::NoCommonCheckpoint) => {
+                Ok(self.degrade(sim, at_step, attempt, &fault))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The campaign main loop; consumes the runner so it can migrate into
+    /// a replacement thread on hot-spare hand-off.
+    fn drive(
+        mut self,
+        comm: &mut Comm,
+        mut sim: DistributedSim,
+    ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+        loop {
+            if sim.step_count >= self.cfg.steps {
+                let outcome = self.finish(CampaignEnd::Completed);
+                return Ok((sim, outcome));
+            }
+            let step = sim.step_count;
+            let fault = match self.iterate(comm, &mut sim)? {
+                Ok(()) => continue,
+                Err(f) => f,
+            };
+
+            let attempt = self.recoveries.len() as u32 + 1;
+            if attempt > self.cfg.max_recoveries {
+                return Ok(self.degrade(sim, step, attempt, &fault));
+            }
+            // A rank the fault plan killed hands its endpoint to a hot
+            // spare when configured to; every other fault (or mode) takes
+            // the whole-world rollback path.
+            let own_kill = matches!(
+                fault,
+                Fault::Comm(CommError::Killed { rank, .. }) if rank == self.rank
+            );
+            if own_kill && self.cfg.recovery == RecoveryMode::HotSpare {
+                return self.hand_off(comm, sim, step, attempt, fault);
+            }
+            match self.rollback(comm, &sim) {
+                Ok((restored, restored_step)) => {
+                    sim = restored;
+                    append_log(
+                        &self.cfg.checkpoint_dir,
+                        self.rank,
+                        &format!(
+                            "step={step} attempt={attempt} cause=\"{fault}\" \
+                             restored_step={restored_step}"
+                        ),
+                    );
+                    self.recoveries.push(RecoveryEvent {
+                        at_step: step,
+                        attempt,
+                        cause: fault.to_string(),
+                        restored_step,
+                        hot_spare: false,
+                    });
+                }
+                // The rendezvous failed or no generation is valid
+                // everywhere: the world is splitting up. Degrading (with a
+                // partial dump) beats erroring out — peers waiting on us
+                // will time out and degrade the same way.
+                Err(CampaignError::Comm(_)) | Err(CampaignError::NoCommonCheckpoint) => {
+                    return Ok(self.degrade(sim, step, attempt, &fault));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// Drive `sim` to `cfg.steps` with periodic checkpoints, health checks and
-/// automatic rollback-recovery; returns the final simulation state (the
-/// last good state, on degradation) alongside the outcome. See the module
-/// docs for the protocol.
+/// automatic recovery; returns the final simulation state (the last good
+/// state, on degradation) alongside the outcome. See the module docs for
+/// the protocol.
 pub fn run_campaign(
     comm: &mut Comm,
-    mut sim: DistributedSim,
+    sim: DistributedSim,
     cfg: &CampaignConfig,
 ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
     std::fs::create_dir_all(&cfg.checkpoint_dir)?;
     if let Some(t) = cfg.op_timeout {
         comm.set_op_timeout(t);
     }
-    let rank = sim.rank;
-    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
-    let mut steps_run = 0u64;
-
-    // Campaign-start health baselines (deterministic: identical on every
-    // rank, and recomputed identically after any replay from step 0).
-    let n0 = match sim.global_particles(comm) {
-        Ok(n) => n,
-        Err(e) => return Err(CampaignError::Comm(e)),
+    let runner = Runner {
+        rank: sim.rank,
+        baseline: None,
+        recoveries: Vec::new(),
+        steps_run: 0,
+        interval: cfg.checkpoint.resolve(0.0, 0.0),
+        ckpt_secs: 0.0,
+        step_secs: 0.0,
+        cache: None,
+        cfg: cfg.clone(),
     };
-    let e0 = {
-        let (fe, fb, ke) = sim.global_energies(comm).map_err(CampaignError::Comm)?;
-        fe + fb + ke.iter().sum::<f64>()
-    };
-
-    let end = loop {
-        if sim.step_count >= cfg.steps {
-            break CampaignEnd::Completed;
-        }
-        let step = sim.step_count;
-        let fault: Fault = match (|| -> Result<Result<(), Fault>, CampaignError> {
-            if let Err(e) = comm.tick(step) {
-                return Ok(Err(e.into()));
-            }
-            if cfg.checkpoint_interval > 0 && step.is_multiple_of(cfg.checkpoint_interval) {
-                if let Err(f) = take_checkpoint(comm, &sim, cfg)? {
-                    return Ok(Err(f));
-                }
-            }
-            if cfg.health_interval > 0 && step.is_multiple_of(cfg.health_interval) {
-                if let Err(f) = health_check(comm, &sim, cfg, e0, n0) {
-                    return Ok(Err(f));
-                }
-            }
-            if let Err(e) = sim.step(comm) {
-                return Ok(Err(e.into()));
-            }
-            steps_run += 1;
-            Ok(Ok(()))
-        })()? {
-            Ok(()) => continue,
-            Err(f) => f,
-        };
-
-        let attempt = recoveries.len() as u32 + 1;
-        if attempt > cfg.max_recoveries {
-            // Budget exhausted: degrade gracefully with a best-effort
-            // partial dump of whatever state this rank still holds.
-            let partial = cfg.checkpoint_dir.join(format!("partial_r{rank:04}.vpic"));
-            let _ = save_rank_to_path(&sim, &partial);
-            append_log(
-                &cfg.checkpoint_dir,
-                rank,
-                &format!("step={step} attempt={attempt} cause=\"{fault}\" action=degraded"),
-            );
-            break CampaignEnd::Degraded {
-                at_step: step,
-                partial_dump: partial,
-            };
-        }
-        let (restored, restored_step) = rollback(comm, &sim, cfg)?;
-        sim = restored;
-        append_log(
-            &cfg.checkpoint_dir,
-            rank,
-            &format!(
-                "step={step} attempt={attempt} cause=\"{fault}\" restored_step={restored_step}"
-            ),
-        );
-        recoveries.push(RecoveryEvent {
-            at_step: step,
-            attempt,
-            cause: fault.to_string(),
-            restored_step,
-        });
-    };
-
-    Ok((
-        sim,
-        CampaignOutcome {
-            rank,
-            end,
-            steps_run,
-            recoveries,
-        },
-    ))
+    runner.drive(comm, sim)
 }

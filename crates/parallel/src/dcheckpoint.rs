@@ -4,30 +4,52 @@
 //! with the same decomposition — how VPIC's trillion-particle campaigns
 //! survived Roadrunner's mean time between interrupts.
 //!
-//! The v2 format (magic `VPICRD02`) reuses the hardened section framing
+//! The v3 format (magic `VPICRD03`) reuses the hardened section framing
 //! from `vpic_core::checkpoint`: after the magic and version words, the
-//! header, field and species payloads are each length-prefixed and
-//! CRC-32-checked, so truncation and bit rot are detected at load time
+//! header is a plain length-prefixed CRC-32-checked section, while the
+//! field and species payloads go through the *encoded* section framing,
+//! which can byte-shuffle + delta + RLE-compress the payload when that
+//! makes it smaller. Truncation and bit rot are detected at load time
 //! with a typed [`CheckpointError`]. [`save_rank_to_path`] writes through
 //! a buffered writer to a temp file and renames it into place, keeping the
-//! previous good dump intact if the run dies mid-write.
+//! previous good dump intact if the run dies mid-write, and
+//! [`write_bytes_atomic`] does the same for a pre-serialized dump with
+//! optional write-throttling so restart I/O does not monopolise the
+//! filesystem bandwidth shared with the rest of the campaign.
 
 use crate::decomposition::DomainSpec;
 use crate::dsim::DistributedSim;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use vpic_core::checkpoint::{
-    decode_fields, decode_species, encode_fields, encode_species, read_section, write_section,
-    CheckpointError, PayloadReader, PayloadWriter,
+    decode_fields, decode_species, encode_fields, encode_species, read_section,
+    read_section_encoded, write_section, write_section_encoded, CheckpointError, PayloadReader,
+    PayloadWriter,
 };
 
-const MAGIC: &[u8; 8] = b"VPICRD02";
-const VERSION: u32 = 2;
+const MAGIC: &[u8; 8] = b"VPICRD03";
+const VERSION: u32 = 3;
 
-/// Serialize one rank's state. The `spec` is *not* written (the restart
-/// must be constructed with the same [`DomainSpec`]); a fingerprint of it
-/// is stored and checked so mismatched restarts fail loudly.
+/// Chunk size for throttled writes: small enough that pacing sleeps are
+/// fine-grained, large enough to amortise syscall cost.
+const THROTTLE_CHUNK: usize = 64 * 1024;
+
+/// Serialize one rank's state with compression enabled. The `spec` is
+/// *not* written (the restart must be constructed with the same
+/// [`DomainSpec`]); a fingerprint of it is stored and checked so
+/// mismatched restarts fail loudly.
 pub fn save_rank(sim: &DistributedSim, w: &mut impl Write) -> Result<(), CheckpointError> {
+    save_rank_with(sim, w, true)
+}
+
+/// Serialize one rank's state, choosing whether the field and species
+/// sections may be delta+RLE compressed (`compress = false` forces raw
+/// encoding; either way the load path is identical).
+pub fn save_rank_with(
+    sim: &DistributedSim,
+    w: &mut impl Write,
+    compress: bool,
+) -> Result<(), CheckpointError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let mut h = PayloadWriter::new();
@@ -36,9 +58,18 @@ pub fn save_rank(sim: &DistributedSim, w: &mut impl Write) -> Result<(), Checkpo
     h.u64(sim.step_count);
     h.u64(sim.migrated);
     write_section(w, &h.finish())?;
-    write_section(w, &encode_fields(&sim.fields))?;
-    write_section(w, &encode_species(&sim.species))?;
+    write_section_encoded(w, &encode_fields(&sim.fields), compress)?;
+    write_section_encoded(w, &encode_species(&sim.species), compress)?;
     Ok(())
+}
+
+/// Serialize one rank's state to an in-memory buffer, for callers that
+/// cache the newest validated dump or throttle the disk write separately
+/// (see [`write_bytes_atomic`]).
+pub fn dump_rank_bytes(sim: &DistributedSim, compress: bool) -> Result<Vec<u8>, CheckpointError> {
+    let mut buf = Vec::new();
+    save_rank_with(sim, &mut buf, compress)?;
+    Ok(buf)
 }
 
 /// Restore one rank from a dump made with the same `spec` and rank id.
@@ -88,10 +119,10 @@ pub fn load_rank(
     sim.migrated = migrated;
     let n = sim.grid.n_voxels();
 
-    let fields_payload = read_section(r, "fields")?;
+    let fields_payload = read_section_encoded(r, "fields")?;
     decode_fields(&fields_payload, n, &mut sim.fields)?;
 
-    let species_payload = read_section(r, "species")?;
+    let species_payload = read_section_encoded(r, "species")?;
     for sp in decode_species(&species_payload, n)? {
         sim.add_species(sp);
     }
@@ -101,11 +132,34 @@ pub fn load_rank(
 /// Atomically write one rank's restart dump to `path` (buffered write to a
 /// `.tmp` sibling, fsync, rename).
 pub fn save_rank_to_path(sim: &DistributedSim, path: &Path) -> Result<(), CheckpointError> {
+    let bytes = dump_rank_bytes(sim, true)?;
+    write_bytes_atomic(path, &bytes, None)
+}
+
+/// Atomically write a pre-serialized dump to `path`: chunked write to a
+/// `.tmp` sibling, fsync, rename. When `throttle_bps` is set the write is
+/// paced to at most that many bytes per second by sleeping between 64 KiB
+/// chunks, bounding the instantaneous filesystem bandwidth a checkpoint
+/// can steal from the rest of the machine.
+pub fn write_bytes_atomic(
+    path: &Path,
+    bytes: &[u8],
+    throttle_bps: Option<u64>,
+) -> Result<(), CheckpointError> {
     let tmp = path.with_extension("tmp");
     {
         let file = std::fs::File::create(&tmp)?;
         let mut w = io::BufWriter::new(file);
-        save_rank(sim, &mut w)?;
+        match throttle_bps {
+            None | Some(0) => w.write_all(bytes)?,
+            Some(bps) => {
+                for chunk in bytes.chunks(THROTTLE_CHUNK) {
+                    w.write_all(chunk)?;
+                    let pace = std::time::Duration::from_secs_f64(chunk.len() as f64 / bps as f64);
+                    std::thread::sleep(pace);
+                }
+            }
+        }
         let file = w
             .into_inner()
             .map_err(|e| io::Error::other(e.to_string()))?;
@@ -314,6 +368,50 @@ mod tests {
             restored.species[0].particles == sim.species[0].particles
         });
         assert!(results.into_iter().all(|ok| ok));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compressed_dump_is_smaller_and_restores_identically() {
+        let (results, _) = nanompi::run_expect(2, |comm| {
+            let mut sim = DistributedSim::new(spec(), comm.rank(), 1);
+            let si = sim.add_species(Species::new("e", -1.0, 1.0));
+            sim.load_uniform(si, 11, 1.0, 8, Momentum::thermal(0.08));
+            for _ in 0..3 {
+                sim.step(comm).unwrap();
+            }
+            let raw = dump_rank_bytes(&sim, false).unwrap();
+            let packed = dump_rank_bytes(&sim, true).unwrap();
+            let restored = load_rank(spec(), comm.rank(), 1, &mut packed.as_slice()).unwrap();
+            assert_eq!(restored.species[0].particles, sim.species[0].particles);
+            assert_eq!(restored.fields.ex, sim.fields.ex);
+            assert_eq!(restored.fields.cby, sim.fields.cby);
+            (raw.len(), packed.len())
+        });
+        for (raw, packed) in results {
+            assert!(
+                packed < raw,
+                "compressed dump ({packed} B) not smaller than raw ({raw} B)"
+            );
+        }
+    }
+
+    #[test]
+    fn throttled_write_paces_and_lands_intact() {
+        let dir = std::env::temp_dir().join(format!("vpic_test_throttle_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bytes: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
+        let path = dir.join("throttled.vpic");
+        let t0 = std::time::Instant::now();
+        // 4 MiB/s over 256 KiB = at least ~62 ms of pacing sleeps.
+        write_bytes_atomic(&path, &bytes, Some(4 * 1024 * 1024)).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(50),
+            "throttle did not pace the write: {elapsed:?}"
+        );
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        assert!(!path.with_extension("tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -268,6 +268,98 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_messages_do_not_perturb_exchange() {
+        // The transport's per-(peer, tag) sequence dedup must absorb a
+        // duplicated plane message: the exchange lands exactly the values
+        // of a fault-free run, and the stray copy never satisfies a later
+        // receive.
+        use nanompi::{run_with_faults, FaultPlan};
+        let plan = FaultPlan::new(9)
+            .duplicate_message(0, 1)
+            .duplicate_message(1, 2);
+        let (results, _) = run_with_faults(2, Some(plan), |comm| {
+            let g = Grid::new(
+                (4, 2, 2),
+                (1.0, 1.0, 1.0),
+                0.1,
+                [
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                ],
+            );
+            let mut f = FieldArray::new(&g);
+            for i in 1..=g.nx {
+                for k in 0..g.strides().2 {
+                    for j in 0..g.strides().1 {
+                        f.ey[g.voxel(i, j, k)] = (comm.rank() * 100 + 10 + i) as f32;
+                    }
+                }
+            }
+            let other = 1 - comm.rank();
+            let ex = GhostExchanger {
+                neighbors: [Some(other), None, None, Some(other), None, None],
+            };
+            // Two rounds: the duplicate from round one must not be
+            // mistaken for round two's plane.
+            ex.exchange_e(comm, &mut f, &g).unwrap();
+            ex.exchange_e(comm, &mut f, &g).unwrap();
+            f.ey[g.voxel(g.nx + 1, 1, 1)]
+        });
+        let vals: Vec<f32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, vec![111.0, 11.0]);
+    }
+
+    #[test]
+    fn corrupted_plane_surfaces_typed_error_not_garbage() {
+        // A corrupted payload must come back as CommError::Corrupt on the
+        // receiving rank — never as silently-accepted garbage ghost data,
+        // and never as a hang on either side.
+        use nanompi::{run_with_faults, CommError, FaultPlan};
+        use std::time::Duration;
+        let plan = FaultPlan::new(9).corrupt_message(0, 1);
+        let (results, _) = run_with_faults(2, Some(plan), |comm| {
+            comm.set_op_timeout(Duration::from_millis(250));
+            let g = Grid::new(
+                (4, 2, 2),
+                (1.0, 1.0, 1.0),
+                0.1,
+                [
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                ],
+            );
+            let mut f = FieldArray::new(&g);
+            let other = 1 - comm.rank();
+            let ex = GhostExchanger {
+                neighbors: [Some(other), None, None, Some(other), None, None],
+            };
+            match ex.exchange_e(comm, &mut f, &g) {
+                Ok(()) => false,
+                Err(CommError::Corrupt { from, .. }) => {
+                    assert_eq!(from, 0, "corruption was injected on rank 0's send");
+                    true
+                }
+                // The peer bailing first can leave this rank timing out —
+                // typed and bounded, which is all we require of it.
+                Err(_) => false,
+            }
+        });
+        let flags: Vec<bool> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert!(
+            flags.iter().any(|&c| c),
+            "no rank observed CommError::Corrupt: {flags:?}"
+        );
+    }
+
+    #[test]
     fn fold_j_adds_shared_plane_deposits() {
         use nanompi::run_expect;
         let (results, _) = run_expect(2, |comm| {

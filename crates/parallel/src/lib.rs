@@ -14,8 +14,10 @@
 //! * [`dsim::DistributedSim`] — the per-rank driver with phase timings,
 //!   global reductions and reproducible per-rank particle loading;
 //! * [`campaign`] — the fault-tolerant campaign runtime: periodic
-//!   CRC-protected checkpoints, global health checks, and automatic
-//!   rollback-recovery with bounded retries and graceful degradation.
+//!   CRC-protected (optionally compressed and write-throttled)
+//!   checkpoints on a fixed or Young/Daly-auto schedule, global health
+//!   checks, and automatic recovery — whole-world rollback or hot-spare
+//!   rank replacement — with bounded retries and graceful degradation.
 
 pub mod campaign;
 pub mod dcheckpoint;
@@ -25,10 +27,12 @@ pub mod exchange;
 pub mod migrate;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome, RecoveryEvent,
+    run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome, CheckpointPolicy,
+    RecoveryEvent, RecoveryMode,
 };
 pub use dcheckpoint::{
-    load_rank, load_rank_from_path, save_rank, save_rank_to_path, spec_fingerprint,
+    dump_rank_bytes, load_rank, load_rank_from_path, save_rank, save_rank_to_path, save_rank_with,
+    spec_fingerprint, write_bytes_atomic,
 };
 pub use decomposition::DomainSpec;
 pub use dsim::{DistTimings, DistributedSim};

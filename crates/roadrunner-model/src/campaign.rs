@@ -7,6 +7,32 @@
 
 use crate::model::{NodeLoad, PerfModel};
 
+/// The Young/Daly optimal checkpoint period in *seconds*:
+/// `τ_opt = √(2·δ·MTBI)` for a per-dump cost `δ` and mean time between
+/// interrupts `MTBI` (both seconds). Degenerate inputs (zero or negative
+/// cost or MTBI) yield 0.0, meaning "no useful optimum".
+pub fn young_daly_interval_seconds(checkpoint_seconds: f64, mtbi_seconds: f64) -> f64 {
+    if checkpoint_seconds <= 0.0 || mtbi_seconds <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * checkpoint_seconds * mtbi_seconds).sqrt()
+}
+
+/// The Young/Daly optimum expressed in whole simulation steps, given the
+/// measured wall time of one step. Always at least 1 so a campaign that
+/// asks for the optimum still checkpoints.
+pub fn young_daly_interval_steps(
+    checkpoint_seconds: f64,
+    mtbi_seconds: f64,
+    step_seconds: f64,
+) -> u64 {
+    let tau = young_daly_interval_seconds(checkpoint_seconds, mtbi_seconds);
+    if step_seconds <= 0.0 {
+        return 1;
+    }
+    (tau / step_seconds).max(1.0) as u64
+}
+
 /// One run of a parameter study.
 #[derive(Clone, Copy, Debug)]
 pub struct RunPlan {
@@ -99,9 +125,7 @@ impl Campaign {
     /// Young/Daly optimum `τ_opt = √(2·δ·MTBI)` expressed in steps.
     pub fn optimal_checkpoint_interval(&self) -> u64 {
         let step_time = self.model.step_budget(&self.load).total();
-        let delta = self.plan.checkpoint_seconds;
-        let tau = (2.0 * delta * self.mtbi_seconds).sqrt();
-        (tau / step_time).max(1.0) as u64
+        young_daly_interval_steps(self.plan.checkpoint_seconds, self.mtbi_seconds, step_time)
     }
 }
 
@@ -168,6 +192,41 @@ mod tests {
         let cost_huge = paper_campaign(opt * 8).cost().total();
         assert!(cost_opt <= cost_tiny, "opt {cost_opt} vs tiny {cost_tiny}");
         assert!(cost_opt <= cost_huge, "opt {cost_opt} vs huge {cost_huge}");
+    }
+
+    #[test]
+    fn young_daly_matches_closed_form_across_grid() {
+        // τ_opt = √(2·δ·MTBI) over a grid of dump costs and MTBIs.
+        for delta in [0.5, 10.0, 640.0, 3600.0] {
+            for mtbi in [600.0, 3600.0, 6.0 * 3600.0, 24.0 * 3600.0] {
+                let tau = young_daly_interval_seconds(delta, mtbi);
+                let expect = (2.0 * delta * mtbi).sqrt();
+                assert!(
+                    (tau - expect).abs() < 1e-9 * expect,
+                    "delta={delta} mtbi={mtbi}: {tau} vs {expect}"
+                );
+                for step in [0.01, 0.5, 30.0] {
+                    let steps = young_daly_interval_steps(delta, mtbi, step);
+                    assert_eq!(steps, ((expect / step).max(1.0)) as u64);
+                    assert!(steps >= 1);
+                }
+            }
+        }
+        // Degenerate inputs: no optimum, but never a panic or zero steps.
+        assert_eq!(young_daly_interval_seconds(0.0, 3600.0), 0.0);
+        assert_eq!(young_daly_interval_seconds(640.0, 0.0), 0.0);
+        assert_eq!(young_daly_interval_steps(640.0, 3600.0, 0.0), 1);
+        assert_eq!(young_daly_interval_steps(0.0, 0.0, 1.0), 1);
+    }
+
+    #[test]
+    fn campaign_optimum_delegates_to_young_daly() {
+        let c = paper_campaign(1);
+        let step = c.model.step_budget(&c.load).total();
+        assert_eq!(
+            c.optimal_checkpoint_interval(),
+            young_daly_interval_steps(c.plan.checkpoint_seconds, c.mtbi_seconds, step)
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub mod flops;
 pub mod machine;
 pub mod model;
 
-pub use campaign::{Campaign, CampaignCost, RunPlan};
+pub use campaign::{
+    young_daly_interval_seconds, young_daly_interval_steps, Campaign, CampaignCost, RunPlan,
+};
 pub use machine::Machine;
 pub use model::{KernelRates, NodeLoad, PerfModel, StepBudget};

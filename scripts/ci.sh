@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate for the workspace: build, tests, formatting, lints.
 # Run from the repository root:  bash scripts/ci.sh
+#
+# Pass "soak" (or set CI_SOAK=1) to additionally run the seeded fault-soak
+# lane — the #[ignore]d release-mode campaign soak in tests/campaign_soak.rs.
+# It takes minutes of wall time, so it stays out of the default tier-1 path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +19,10 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "soak" || "${CI_SOAK:-0}" == "1" ]]; then
+    echo "==> fault-soak lane (release, ignored tests)"
+    cargo test --release --test campaign_soak -- --ignored --nocapture
+fi
 
 echo "CI OK"

@@ -20,7 +20,9 @@ use std::path::Path;
 use std::process::ExitCode;
 use vpic::deck::{build, BuiltRun, Deck};
 use vpic::diag::{write_field_line_x, write_series, EnergyLogger};
-use vpic::parallel::campaign::{run_campaign, CampaignEnd, CampaignOutcome};
+use vpic::parallel::campaign::{
+    run_campaign, CampaignEnd, CampaignOutcome, CheckpointPolicy, RecoveryMode,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,13 +128,35 @@ fn run_campaign_deck(
 ) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = setup.config(Path::new(out_dir));
     fs::create_dir_all(&cfg.checkpoint_dir)?;
+    let cadence = match cfg.checkpoint {
+        CheckpointPolicy::Fixed(n) => format!("every {n} steps"),
+        CheckpointPolicy::Auto {
+            mtbi,
+            min_interval,
+            max_interval,
+        } => format!(
+            "auto (Young/Daly, MTBI {:.0}s, {min_interval}..={max_interval} steps)",
+            mtbi.as_secs_f64()
+        ),
+    };
     println!(
-        "campaign run: {} ranks, {} steps, checkpoint every {} into {}",
+        "campaign run: {} ranks, {} steps, checkpoint {} into {}{}{}",
         setup.ranks,
         cfg.steps,
-        cfg.checkpoint_interval,
-        cfg.checkpoint_dir.display()
+        cadence,
+        cfg.checkpoint_dir.display(),
+        if cfg.compress { ", compressed" } else { "" },
+        match cfg.recovery {
+            RecoveryMode::HotSpare => ", hot-spare recovery",
+            RecoveryMode::Rollback => "",
+        }
     );
+    if let Some(bps) = cfg.write_throttle_bps {
+        println!(
+            "checkpoint writes throttled to {:.1} MB/s",
+            bps as f64 / 1e6
+        );
+    }
     if let Some(plan) = &setup.fault_plan {
         println!(
             "fault injection: {} rule(s), seed {}",
@@ -162,7 +186,7 @@ fn run_campaign_deck(
     });
 
     let mut summary = fs::File::create(Path::new(out_dir).join("campaign.tsv"))?;
-    writeln!(summary, "rank\tend\tsteps_run\trecoveries")?;
+    writeln!(summary, "rank\tend\tsteps_run\trecoveries\tinterval")?;
     let mut failures = 0usize;
     let mut printed_stats = false;
     for (rank, res) in results.iter().enumerate() {
@@ -217,16 +241,22 @@ fn report_outcome(summary: &mut fs::File, outcome: &CampaignOutcome) -> std::io:
     };
     writeln!(
         summary,
-        "{}\t{}\t{}\t{}",
+        "{}\t{}\t{}\t{}\t{}",
         outcome.rank,
         end,
         outcome.steps_run,
-        outcome.recoveries.len()
+        outcome.recoveries.len(),
+        outcome.effective_interval
     )?;
     for ev in &outcome.recoveries {
         println!(
-            "  rank {} recovery #{} at step {}: {} -> restored step {}",
-            outcome.rank, ev.attempt, ev.at_step, ev.cause, ev.restored_step
+            "  rank {} recovery #{} at step {}: {} -> restored step {}{}",
+            outcome.rank,
+            ev.attempt,
+            ev.at_step,
+            ev.cause,
+            ev.restored_step,
+            if ev.hot_spare { " (hot spare)" } else { "" }
         );
     }
     Ok(())

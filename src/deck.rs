@@ -34,9 +34,15 @@
 //! A `kind = plasma` deck with a `[campaign]` section instead builds a
 //! fault-tolerant multi-rank campaign (see [`CampaignSetup`]): the box is
 //! domain-decomposed over `ranks`, checkpointed every
-//! `checkpoint_interval` steps, health-checked, and automatically rolled
-//! back on failure. Fault-injection knobs (`kill_rank`/`kill_step`,
-//! `drop_prob`, `fault_seed`) exercise the recovery path on purpose.
+//! `checkpoint_interval` steps (or on the Young/Daly optimum with
+//! `checkpoint_interval = auto`, tuned by `mtbi_seconds` and
+//! `auto_min_interval`/`auto_max_interval`), health-checked, and
+//! automatically recovered on failure — by whole-world rollback or, with
+//! `recovery = hot_spare`, by handing the dead rank to a replacement
+//! thread. Dumps honour `compress = true|false` and an optional
+//! `checkpoint_write_mbps` throttle. Fault-injection knobs
+//! (`kill_rank`/`kill_step`, `drop_prob`, `fault_seed`) exercise the
+//! recovery path on purpose.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -48,7 +54,7 @@ use vpic_core::{
     Species,
 };
 use vpic_lpi::{LpiParams, LpiRun};
-use vpic_parallel::campaign::CampaignConfig;
+use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
 use vpic_parallel::{DistributedSim, DomainSpec};
 
 /// A parsed deck: sections of key → value.
@@ -224,8 +230,15 @@ pub struct CampaignSetup {
     pub pipelines: usize,
     /// Total campaign steps.
     pub steps: u64,
-    /// Checkpoint every this many steps.
-    pub checkpoint_interval: u64,
+    /// Checkpoint schedule: a fixed step interval or the Young/Daly
+    /// auto mode.
+    pub checkpoint: CheckpointPolicy,
+    /// How killed ranks come back (rollback or hot-spare replacement).
+    pub recovery: RecoveryMode,
+    /// Allow delta+RLE compression of dump sections.
+    pub compress: bool,
+    /// Checkpoint write throttle, bytes/second.
+    pub checkpoint_write_bps: Option<u64>,
     /// Explicit checkpoint directory (else `<out>/checkpoints`).
     pub dir: Option<PathBuf>,
     /// Checkpoint generations kept on disk.
@@ -265,7 +278,11 @@ impl CampaignSetup {
             .dir
             .clone()
             .unwrap_or_else(|| fallback.join("checkpoints"));
-        let mut cfg = CampaignConfig::new(self.steps, self.checkpoint_interval, dir)
+        let mut cfg = CampaignConfig::new(self.steps, 0, dir)
+            .with_checkpoint_policy(self.checkpoint)
+            .with_recovery(self.recovery)
+            .with_compression(self.compress)
+            .with_write_throttle(self.checkpoint_write_bps)
             .with_max_recoveries(self.max_recoveries)
             .with_health_interval(self.health_interval);
         cfg.keep_checkpoints = self.keep_checkpoints;
@@ -384,18 +401,70 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
         }
     }
 
-    let checkpoint_interval = get_u64(ckv, "checkpoint_interval", 10)?;
-    if checkpoint_interval == 0 {
-        return Err(err("campaign.checkpoint_interval must be at least 1"));
-    }
+    let steps = deck.steps();
+    // Accept both `checkpoint_interval = auto` and `= "auto"`.
+    let checkpoint = match ckv.get("checkpoint_interval").map(|v| v.trim_matches('"')) {
+        Some("auto") => {
+            let mtbi = req_f32(ckv, "mtbi_seconds", 3600.0)?;
+            if mtbi <= 0.0 {
+                return Err(err("campaign.mtbi_seconds must be positive"));
+            }
+            let min_interval = get_u64(ckv, "auto_min_interval", 1)?.max(1);
+            let max_interval = get_u64(ckv, "auto_max_interval", steps.max(1))?;
+            if max_interval < min_interval {
+                return Err(err(format!(
+                    "campaign.auto_max_interval ({max_interval}) below auto_min_interval \
+                     ({min_interval})"
+                )));
+            }
+            CheckpointPolicy::Auto {
+                mtbi: Duration::from_secs_f64(mtbi as f64),
+                min_interval,
+                max_interval,
+            }
+        }
+        _ => {
+            let interval = get_u64(ckv, "checkpoint_interval", 10)?;
+            if interval == 0 {
+                return Err(err("campaign.checkpoint_interval must be at least 1"));
+            }
+            CheckpointPolicy::Fixed(interval)
+        }
+    };
+    let recovery = match ckv.get("recovery").map(String::as_str) {
+        None | Some("rollback") => RecoveryMode::Rollback,
+        Some("hot_spare") => RecoveryMode::HotSpare,
+        Some(other) => {
+            return Err(err(format!(
+                "campaign.recovery must be rollback or hot_spare, got {other}"
+            )))
+        }
+    };
+    let compress = match ckv.get("compress").map(String::as_str) {
+        None | Some("true") => true,
+        Some("false") => false,
+        Some(other) => return Err(err(format!("bad boolean for compress: {other}"))),
+    };
+    let checkpoint_write_bps = match get_f32(ckv, "checkpoint_write_mbps")? {
+        None => None,
+        Some(mbps) if mbps > 0.0 => Some((mbps as f64 * 1e6) as u64),
+        Some(mbps) => {
+            return Err(err(format!(
+                "campaign.checkpoint_write_mbps must be positive, got {mbps}"
+            )))
+        }
+    };
     Ok(CampaignSetup {
         ranks,
         spec,
         species,
         seed: deck.seed(),
         pipelines: get_usize(&deck.globals, "pipelines", 1)?,
-        steps: deck.steps(),
-        checkpoint_interval,
+        steps,
+        checkpoint,
+        recovery,
+        compress,
+        checkpoint_write_bps,
         dir: ckv.get("dir").map(PathBuf::from),
         keep_checkpoints: get_usize(ckv, "keep_checkpoints", 2)?.max(1),
         max_recoveries: get_u64(ckv, "max_recoveries", 3)? as u32,
@@ -633,7 +702,10 @@ kill_step = 6
         };
         assert_eq!(setup.ranks, 4);
         assert_eq!(setup.steps, 12);
-        assert_eq!(setup.checkpoint_interval, 4);
+        assert_eq!(setup.checkpoint, CheckpointPolicy::Fixed(4));
+        assert_eq!(setup.recovery, RecoveryMode::Rollback);
+        assert!(setup.compress);
+        assert_eq!(setup.checkpoint_write_bps, None);
         assert_eq!(setup.max_recoveries, 2);
         assert_eq!(setup.health_interval, 2);
         assert_eq!(setup.op_timeout_ms, Some(500));
@@ -652,6 +724,75 @@ kill_step = 6
             std::path::Path::new("out").join("checkpoints")
         );
         assert_eq!(cfg.op_timeout, Some(std::time::Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn campaign_auto_interval_and_recovery_knobs() {
+        let auto = CAMPAIGN_DECK
+            .replace("checkpoint_interval = 4", "checkpoint_interval = auto")
+            .replace(
+                "max_recoveries = 2",
+                "max_recoveries = 2\nmtbi_seconds = 1800\nauto_min_interval = 2\n\
+                 auto_max_interval = 50\nrecovery = hot_spare\ncompress = false\n\
+                 checkpoint_write_mbps = 8",
+            );
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(&auto).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.recovery, RecoveryMode::HotSpare);
+        assert!(!setup.compress);
+        assert_eq!(setup.checkpoint_write_bps, Some(8_000_000));
+        let CheckpointPolicy::Auto {
+            mtbi,
+            min_interval,
+            max_interval,
+        } = setup.checkpoint
+        else {
+            panic!("expected auto policy, got {:?}", setup.checkpoint)
+        };
+        assert_eq!(mtbi, std::time::Duration::from_secs(1800));
+        assert_eq!((min_interval, max_interval), (2, 50));
+        // The deck's auto mode resolves exactly to the Young/Daly model
+        // prediction (clamped into the configured window).
+        for (delta, step) in [(0.004, 0.02), (0.5, 0.01), (1e-6, 1.0)] {
+            let expect = roadrunner_model::young_daly_interval_steps(delta, 1800.0, step)
+                .clamp(min_interval, max_interval);
+            assert_eq!(setup.checkpoint.resolve(delta, step), expect);
+        }
+        // Quoted form parses the same way.
+        let quoted =
+            CAMPAIGN_DECK.replace("checkpoint_interval = 4", "checkpoint_interval = \"auto\"");
+        let BuiltRun::Campaign(q) = build(&Deck::parse(&quoted).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert!(matches!(q.checkpoint, CheckpointPolicy::Auto { .. }));
+
+        // Bad knobs are rejected loudly.
+        for (from, to) in [
+            (
+                "max_recoveries = 2",
+                "max_recoveries = 2\nrecovery = quantum",
+            ),
+            ("max_recoveries = 2", "max_recoveries = 2\ncompress = maybe"),
+            (
+                "max_recoveries = 2",
+                "max_recoveries = 2\ncheckpoint_write_mbps = -3",
+            ),
+            (
+                "checkpoint_interval = 4",
+                "checkpoint_interval = auto\nmtbi_seconds = 0",
+            ),
+            (
+                "checkpoint_interval = 4",
+                "checkpoint_interval = auto\nauto_min_interval = 9\nauto_max_interval = 3",
+            ),
+        ] {
+            let bad = CAMPAIGN_DECK.replace(from, to);
+            assert!(
+                build(&Deck::parse(&bad).unwrap()).is_err(),
+                "accepted: {to}"
+            );
+        }
     }
 
     #[test]
