@@ -3,17 +3,36 @@
 //!
 //! Runs the full single-domain step loop and prints where the time goes,
 //! plus the sustained-vs-inner-loop flop-rate ratio on this host.
+//!
+//! This binary doubles as the step-throughput bench: `--nx/--ny/--nz`,
+//! `--ppc`, `--steps` and `--pipelines` size the run, and `--json <path>`
+//! writes a machine-readable `BENCH_step.json` record (schema in
+//! `vpic_bench::stepjson`) so every perf PR lands with numbers. The CI
+//! smoke lane re-invokes it as `--validate <path>` to check a previously
+//! written record for schema problems and NaN/zero rates.
 
 use roadrunner_model::flops;
-use vpic_bench::{parse_flag, print_table, uniform_plasma};
+use vpic_bench::stepjson::StepBench;
+use vpic_bench::{parse_flag, parse_opt, print_table, uniform_plasma};
 
 fn main() {
-    let full = parse_flag("full");
-    let n = if full { (32, 32, 32) } else { (16, 16, 16) };
-    let ppc = if full { 128 } else { 64 };
-    let steps = if full { 60 } else { 25 };
+    let validate_path = parse_opt::<String>("validate", String::new());
+    if !validate_path.is_empty() {
+        std::process::exit(validate(&validate_path));
+    }
 
-    let mut sim = uniform_plasma(n, ppc, 1, 7);
+    let full = parse_flag("full");
+    let def = if full { 32 } else { 16 };
+    let nx = parse_opt("nx", def);
+    let ny = parse_opt("ny", nx);
+    let nz = parse_opt("nz", nx);
+    let n = (nx, ny, nz);
+    let ppc = parse_opt("ppc", if full { 128 } else { 64 });
+    let steps = parse_opt("steps", if full { 60 } else { 25 });
+    let pipelines = parse_opt("pipelines", vpic_core::worker_threads());
+    let json = parse_opt::<String>("json", String::new());
+
+    let mut sim = uniform_plasma(n, ppc, pipelines, 7);
     sim.species[0].sort_interval = 25;
     for _ in 0..3 {
         sim.step(); // warm-up, excluded from the report
@@ -33,7 +52,11 @@ fn main() {
         ]
     };
     print_table(
-        &format!("E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps"),
+        &format!(
+            "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
+             {pipelines} pipelines, {} rayon threads",
+            vpic_core::worker_threads()
+        ),
         &["phase", "seconds", "share"],
         &[
             row("particle push + deposit (inner loop)", t.push),
@@ -76,6 +99,54 @@ fn main() {
             ],
         ],
     );
-    println!("\nshape check: the inner loop dominates the step and the sustained/inner");
+    println!(
+        "\nwhole-step throughput: {:.4e} particles/s ({} particles, {} pipelines, {} threads)",
+        t.particle_steps as f64 / total,
+        sim.n_particles(),
+        pipelines,
+        vpic_core::worker_threads()
+    );
+    println!("shape check: the inner loop dominates the step and the sustained/inner");
     println!("ratio sits in the same ~0.7-0.9 band the paper reports.");
+
+    if !json.is_empty() {
+        let bench = StepBench::from_timings(
+            &t,
+            n,
+            ppc,
+            pipelines,
+            vpic_core::worker_threads(),
+            sim.n_particles() as u64,
+        );
+        if let Err(e) = bench.validate() {
+            eprintln!("refusing to write {json}: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = bench.write(std::path::Path::new(&json)) {
+            eprintln!("write {json}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {json}");
+    }
+}
+
+/// `--validate <path>`: load + check a BENCH_step.json, exit nonzero on any
+/// schema problem or NaN/zero rate.
+fn validate(path: &str) -> i32 {
+    match StepBench::read(std::path::Path::new(path)).and_then(|b| {
+        b.validate()?;
+        Ok(b)
+    }) {
+        Ok(b) => {
+            println!(
+                "{path} OK: {:.4e} particles/s, grid {:?}, {} threads, inner-loop share {:.3}",
+                b.particles_per_sec, b.grid, b.threads, b.inner_loop_fraction
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{path} INVALID: {e}");
+            1
+        }
+    }
 }

@@ -21,6 +21,7 @@
 //! prints self-contained tables to stdout.
 
 pub mod datamotion;
+pub mod stepjson;
 pub mod util;
 
 pub use util::{parse_flag, parse_opt, print_table, time_it, uniform_plasma};

@@ -1,0 +1,300 @@
+//! Machine-readable step-throughput records (`BENCH_step.json`).
+//!
+//! Every perf-oriented PR lands with one of these files so the whole-step
+//! particle rate and the serial-phase share form a trajectory over time
+//! instead of a one-off claim. The schema is flat on purpose: a writer, a
+//! reader and a validator live here so `scripts/ci.sh` can smoke-test the
+//! file without any external JSON tooling.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use vpic_core::sim::StepTimings;
+
+/// Schema identifier embedded in every record.
+pub const SCHEMA: &str = "vpic-bench/step/v1";
+
+/// One whole-step throughput measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepBench {
+    /// Live grid dimensions.
+    pub grid: (usize, usize, usize),
+    /// Particles per cell at load time.
+    pub ppc: usize,
+    /// Timed steps (warm-up excluded).
+    pub steps: u64,
+    /// Push pipelines (accumulator arrays).
+    pub pipelines: usize,
+    /// Rayon worker threads observed at run time.
+    pub threads: usize,
+    /// Total macroparticles.
+    pub particles: u64,
+    /// Whole-step particle advance rate.
+    pub particles_per_sec: f64,
+    /// Share of wall time spent in the particle inner loop.
+    pub inner_loop_fraction: f64,
+    /// Per-phase wall seconds.
+    pub sort: f64,
+    pub interpolate: f64,
+    pub push: f64,
+    pub current: f64,
+    pub field: f64,
+    pub other: f64,
+    pub total: f64,
+}
+
+impl StepBench {
+    /// Build a record from accumulated step timings.
+    pub fn from_timings(
+        t: &StepTimings,
+        grid: (usize, usize, usize),
+        ppc: usize,
+        pipelines: usize,
+        threads: usize,
+        particles: u64,
+    ) -> Self {
+        let total = t.total();
+        StepBench {
+            grid,
+            ppc,
+            steps: t.steps,
+            pipelines,
+            threads,
+            particles,
+            particles_per_sec: if total > 0.0 {
+                t.particle_steps as f64 / total
+            } else {
+                0.0
+            },
+            inner_loop_fraction: t.inner_loop_fraction(),
+            sort: t.sort,
+            interpolate: t.interpolate,
+            push: t.push,
+            current: t.current,
+            field: t.field,
+            other: t.other,
+            total,
+        }
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(
+            s,
+            "  \"grid\": {{\"nx\": {}, \"ny\": {}, \"nz\": {}}},",
+            self.grid.0, self.grid.1, self.grid.2
+        );
+        let _ = writeln!(s, "  \"ppc\": {},", self.ppc);
+        let _ = writeln!(s, "  \"steps\": {},", self.steps);
+        let _ = writeln!(s, "  \"pipelines\": {},", self.pipelines);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"particles\": {},", self.particles);
+        let _ = writeln!(s, "  \"particles_per_sec\": {:e},", self.particles_per_sec);
+        let _ = writeln!(
+            s,
+            "  \"inner_loop_fraction\": {:.6},",
+            self.inner_loop_fraction
+        );
+        let _ = writeln!(s, "  \"phase_seconds\": {{");
+        let _ = writeln!(s, "    \"sort\": {:e},", self.sort);
+        let _ = writeln!(s, "    \"interpolate\": {:e},", self.interpolate);
+        let _ = writeln!(s, "    \"push\": {:e},", self.push);
+        let _ = writeln!(s, "    \"current\": {:e},", self.current);
+        let _ = writeln!(s, "    \"field\": {:e},", self.field);
+        let _ = writeln!(s, "    \"other\": {:e},", self.other);
+        let _ = writeln!(s, "    \"total\": {:e}", self.total);
+        let _ = writeln!(s, "  }}");
+        let _ = write!(s, "}}");
+        s
+    }
+
+    /// Write the record to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Parse a record previously written by [`StepBench::write`]. The
+    /// parser only understands this writer's output (flat `"key": value`
+    /// pairs), which is all the CI smoke lane needs.
+    pub fn read(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Parse from JSON text (see [`StepBench::read`]).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let schema = scan_string(text, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: got {schema:?}, want {SCHEMA:?}"));
+        }
+        Ok(StepBench {
+            grid: (
+                scan_number(text, "nx")? as usize,
+                scan_number(text, "ny")? as usize,
+                scan_number(text, "nz")? as usize,
+            ),
+            ppc: scan_number(text, "ppc")? as usize,
+            steps: scan_number(text, "steps")? as u64,
+            pipelines: scan_number(text, "pipelines")? as usize,
+            threads: scan_number(text, "threads")? as usize,
+            particles: scan_number(text, "particles")? as u64,
+            particles_per_sec: scan_number(text, "particles_per_sec")?,
+            inner_loop_fraction: scan_number(text, "inner_loop_fraction")?,
+            sort: scan_number(text, "sort")?,
+            interpolate: scan_number(text, "interpolate")?,
+            push: scan_number(text, "push")?,
+            current: scan_number(text, "current")?,
+            field: scan_number(text, "field")?,
+            other: scan_number(text, "other")?,
+            total: scan_number(text, "total")?,
+        })
+    }
+
+    /// Schema + sanity validation: all rates finite and nonzero, phase
+    /// times finite and non-negative. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let (nx, ny, nz) = self.grid;
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(format!("degenerate grid {:?}", self.grid));
+        }
+        if self.steps == 0 {
+            return Err("zero steps timed".into());
+        }
+        if self.particles == 0 {
+            return Err("zero particles".into());
+        }
+        if self.pipelines == 0 || self.threads == 0 {
+            return Err("zero pipelines/threads".into());
+        }
+        if !self.particles_per_sec.is_finite() || self.particles_per_sec <= 0.0 {
+            return Err(format!("bad particle rate {}", self.particles_per_sec));
+        }
+        if !self.inner_loop_fraction.is_finite() || !(0.0..=1.0).contains(&self.inner_loop_fraction)
+        {
+            return Err(format!(
+                "inner_loop_fraction out of range: {}",
+                self.inner_loop_fraction
+            ));
+        }
+        for (name, v) in [
+            ("sort", self.sort),
+            ("interpolate", self.interpolate),
+            ("push", self.push),
+            ("current", self.current),
+            ("field", self.field),
+            ("other", self.other),
+            ("total", self.total),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("phase {name} has bad time {v}"));
+            }
+        }
+        if self.total <= 0.0 {
+            return Err("zero total time".into());
+        }
+        Ok(())
+    }
+}
+
+/// Find `"key": "value"` and return `value`.
+fn scan_string(text: &str, key: &str) -> Result<String, String> {
+    let rest = after_key(text, key)?;
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key}: expected string"))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("{key}: unterminated"))?;
+    Ok(rest[..end].to_string())
+}
+
+/// Find `"key": <number>` and return the parsed number.
+fn scan_number(text: &str, key: &str) -> Result<f64, String> {
+    let rest = after_key(text, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("{key}: {e}"))
+}
+
+fn after_key<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing key {key}"))?;
+    Ok(text[at + pat.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StepBench {
+        StepBench {
+            grid: (64, 64, 64),
+            ppc: 8,
+            steps: 10,
+            pipelines: 8,
+            threads: 8,
+            particles: 2_097_152,
+            particles_per_sec: 1.25e7,
+            inner_loop_fraction: 0.62,
+            sort: 0.1,
+            interpolate: 0.2,
+            push: 1.0,
+            current: 0.15,
+            field: 0.12,
+            other: 0.01,
+            total: 1.58,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = sample();
+        let parsed = StepBench::parse(&b.to_json()).unwrap();
+        assert_eq!(b, parsed);
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_rates() {
+        let mut b = sample();
+        b.particles_per_sec = 0.0;
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.particles_per_sec = f64::NAN;
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.push = f64::INFINITY;
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.steps = 0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let text = sample().to_json().replace(SCHEMA, "other/v0");
+        assert!(StepBench::parse(&text).is_err());
+    }
+
+    #[test]
+    fn from_timings_computes_rate() {
+        let t = StepTimings {
+            push: 2.0,
+            interpolate: 1.0,
+            particle_steps: 3_000_000,
+            steps: 10,
+            ..Default::default()
+        };
+        let b = StepBench::from_timings(&t, (16, 16, 16), 4, 2, 1, 300_000);
+        assert_eq!(b.total, 3.0);
+        assert!((b.particles_per_sec - 1e6).abs() < 1e-6);
+        b.validate().unwrap();
+    }
+}

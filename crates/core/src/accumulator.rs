@@ -14,9 +14,22 @@
 //! in voxel-offset units, and `W` the (Villasenor–Buneman) quadrant weight
 //! in `[-1,1]` coordinates; the four quadrant weights sum to 4, so the
 //! unload scale for x-edges is `1/(4·dt·dy·dz)` (and cyclic).
+//!
+//! Each array tracks the half-open voxel range its deposits touched since
+//! the last [`AccumulatorArray::clear`]. Because the push hands each
+//! pipeline one contiguous block of voxel-sorted particles, a pipeline
+//! dirties only ~`1/n_pipelines` of the grid — so range-aware clears and
+//! reductions cost about one full array regardless of the pipeline count,
+//! where the naive versions cost `n_pipelines` arrays of memory traffic
+//! every step.
 
 use crate::field::FieldArray;
 use crate::grid::Grid;
+use rayon::prelude::*;
+
+/// Voxels per parallel task in the range reduction (whole `Accumulator`
+/// entries, so chunk boundaries never split a voxel's 12 floats).
+const REDUCE_CHUNK: usize = 8192;
 
 /// Twelve-entry current accumulator for one voxel.
 #[repr(C)]
@@ -34,6 +47,10 @@ pub struct Accumulator {
 #[derive(Clone, Debug)]
 pub struct AccumulatorArray {
     pub data: Vec<Accumulator>,
+    /// First voxel touched since the last clear (`usize::MAX` when clean).
+    dirty_lo: usize,
+    /// One past the last voxel touched since the last clear.
+    dirty_hi: usize,
 }
 
 impl AccumulatorArray {
@@ -41,14 +58,32 @@ impl AccumulatorArray {
     pub fn new(grid: &Grid) -> Self {
         AccumulatorArray {
             data: vec![Accumulator::default(); grid.n_voxels()],
+            dirty_lo: usize::MAX,
+            dirty_hi: 0,
         }
     }
 
-    /// Reset all entries to zero.
+    /// Half-open voxel range deposited into since the last clear. All
+    /// entries outside it are zero (every mutation funnels through
+    /// [`Self::deposit`] / [`Self::reduce_from`], which widen it).
+    #[inline]
+    pub fn dirty_range(&self) -> std::ops::Range<usize> {
+        if self.dirty_lo >= self.dirty_hi {
+            0..0
+        } else {
+            self.dirty_lo..self.dirty_hi
+        }
+    }
+
+    /// Reset all touched entries to zero (cost scales with the dirty
+    /// range, not the grid).
     pub fn clear(&mut self) {
-        self.data
+        let r = self.dirty_range();
+        self.data[r]
             .iter_mut()
             .for_each(|a| *a = Accumulator::default());
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
     }
 
     /// Accumulate the current of one straight-line particle streak that
@@ -66,16 +101,25 @@ impl AccumulatorArray {
         (hx, hy, hz): (f32, f32, f32),
     ) {
         let v5 = q * hx * hy * hz * (1.0 / 3.0);
+        self.dirty_lo = self.dirty_lo.min(voxel);
+        self.dirty_hi = self.dirty_hi.max(voxel + 1);
         let a = &mut self.data[voxel];
         accumulate_quadrants(&mut a.jx, q * hx, my, mz, v5);
         accumulate_quadrants(&mut a.jy, q * hy, mz, mx, v5);
         accumulate_quadrants(&mut a.jz, q * hz, mx, my, v5);
     }
 
-    /// Sum `other` into `self` (pipeline reduction).
+    /// Sum `other` into `self` (pipeline reduction); only `other`'s dirty
+    /// range is walked.
     pub fn reduce_from(&mut self, other: &AccumulatorArray) {
         assert_eq!(self.data.len(), other.data.len());
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        let r = other.dirty_range();
+        if r.is_empty() {
+            return;
+        }
+        self.dirty_lo = self.dirty_lo.min(r.start);
+        self.dirty_hi = self.dirty_hi.max(r.end);
+        for (a, b) in self.data[r.clone()].iter_mut().zip(other.data[r].iter()) {
             for n in 0..4 {
                 a.jx[n] += b.jx[n];
                 a.jy[n] += b.jy[n];
@@ -84,8 +128,68 @@ impl AccumulatorArray {
         }
     }
 
+    /// Scatter the accumulated charge fluxes into the Yee current density,
+    /// one Rayon task per z-slab of each current component. Each `f.jx[v]`
+    /// (resp. `jy`/`jz`) is written by exactly one task with the same
+    /// 4-term sum as [`Self::unload`], so the result is bitwise identical
+    /// to the serial unload for any worker count.
+    pub fn unload_parallel(&self, f: &mut FieldArray, g: &Grid) {
+        let (sx, sy, _) = g.strides();
+        let (dj, dk) = (sx, sx * sy);
+        let cx = 0.25 / (g.dt * g.dy * g.dz);
+        let cy = 0.25 / (g.dt * g.dz * g.dx);
+        let cz = 0.25 / (g.dt * g.dx * g.dy);
+        let a = &self.data;
+        // jx on x-edges: i ∈ 1..=nx, j ∈ 1..=ny+1, k ∈ 1..=nz+1.
+        f.jx.par_chunks_mut(dk)
+            .enumerate()
+            .skip(1)
+            .take(g.nz + 1)
+            .for_each(|(k, jx)| {
+                for j in 1..=g.ny + 1 {
+                    for i in 1..=g.nx {
+                        let v = g.voxel(i, j, k);
+                        jx[v - k * dk] += cx
+                            * (a[v].jx[0]
+                                + a[v - dj].jx[1]
+                                + a[v - dk].jx[2]
+                                + a[v - dj - dk].jx[3]);
+                    }
+                }
+            });
+        // jy on y-edges: i ∈ 1..=nx+1, j ∈ 1..=ny, k ∈ 1..=nz+1.
+        f.jy.par_chunks_mut(dk)
+            .enumerate()
+            .skip(1)
+            .take(g.nz + 1)
+            .for_each(|(k, jy)| {
+                for j in 1..=g.ny {
+                    for i in 1..=g.nx + 1 {
+                        let v = g.voxel(i, j, k);
+                        jy[v - k * dk] += cy
+                            * (a[v].jy[0] + a[v - dk].jy[1] + a[v - 1].jy[2] + a[v - dk - 1].jy[3]);
+                    }
+                }
+            });
+        // jz on z-edges: i ∈ 1..=nx+1, j ∈ 1..=ny+1, k ∈ 1..=nz.
+        f.jz.par_chunks_mut(dk)
+            .enumerate()
+            .skip(1)
+            .take(g.nz)
+            .for_each(|(k, jz)| {
+                for j in 1..=g.ny + 1 {
+                    for i in 1..=g.nx + 1 {
+                        let v = g.voxel(i, j, k);
+                        jz[v - k * dk] += cz
+                            * (a[v].jz[0] + a[v - 1].jz[1] + a[v - dj].jz[2] + a[v - 1 - dj].jz[3]);
+                    }
+                }
+            });
+    }
+
     /// Scatter the accumulated charge fluxes into the Yee current density
     /// (adds to `f.jx/jy/jz`; clear them first if they should start at 0).
+    /// Serial reference for [`Self::unload_parallel`].
     pub fn unload(&self, f: &mut FieldArray, g: &Grid) {
         let (sx, sy, _) = g.strides();
         let (dj, dk) = (sx, sx * sy);
@@ -169,12 +273,14 @@ impl AccumulatorSet {
         self.arrays.len()
     }
 
-    /// Clear every pipeline array.
+    /// Clear every pipeline array (one Rayon task per array; each clear
+    /// only walks that array's dirty range).
     pub fn clear(&mut self) {
-        self.arrays.iter_mut().for_each(AccumulatorArray::clear);
+        self.arrays.par_iter_mut().for_each(AccumulatorArray::clear);
     }
 
     /// Reduce all pipelines into array 0 and return a reference to it.
+    /// Serial reference for [`Self::reduce_and_unload`].
     pub fn reduce(&mut self) -> &AccumulatorArray {
         let (first, rest) = self
             .arrays
@@ -184,6 +290,59 @@ impl AccumulatorSet {
             first.reduce_from(r);
         }
         first
+    }
+
+    /// Reduce all pipelines into array 0 and scatter the result into
+    /// `f.jx/jy/jz`, both phases Rayon-parallel.
+    ///
+    /// The reduction fans out over fixed voxel chunks; within each chunk
+    /// the pipelines are added in index order, so every voxel sums its
+    /// twelve entries in pipeline order no matter which worker ran the
+    /// chunk or how many workers exist — results are bitwise identical to
+    /// the serial [`Self::reduce`] + [`AccumulatorArray::unload`] path.
+    /// Only dirty voxel ranges are walked, so the whole call costs about
+    /// one array of memory traffic regardless of the pipeline count.
+    pub fn reduce_and_unload(&mut self, f: &mut FieldArray, g: &Grid) {
+        let (first, rest) = self
+            .arrays
+            .split_first_mut()
+            .expect("at least one pipeline");
+        if !rest.is_empty() {
+            // Union of the helper pipelines' dirty ranges: the only voxels
+            // where array 0 needs updating.
+            let touched = rest.iter().map(AccumulatorArray::dirty_range);
+            let lo = touched
+                .clone()
+                .filter(|r| !r.is_empty())
+                .map(|r| r.start)
+                .min()
+                .unwrap_or(0);
+            let hi = touched.map(|r| r.end).max().unwrap_or(0);
+            if lo < hi {
+                let rest: &[AccumulatorArray] = rest;
+                first.data[lo..hi]
+                    .par_chunks_mut(REDUCE_CHUNK)
+                    .enumerate()
+                    .for_each(|(ci, chunk)| {
+                        let base = lo + ci * REDUCE_CHUNK;
+                        for r in rest {
+                            let rr = r.dirty_range();
+                            let (s, e) = (rr.start.max(base), rr.end.min(base + chunk.len()));
+                            for v in s..e {
+                                let (a, b) = (&mut chunk[v - base], &r.data[v]);
+                                for n in 0..4 {
+                                    a.jx[n] += b.jx[n];
+                                    a.jy[n] += b.jy[n];
+                                    a.jz[n] += b.jz[n];
+                                }
+                            }
+                        }
+                    });
+                first.dirty_lo = first.dirty_lo.min(lo);
+                first.dirty_hi = first.dirty_hi.max(hi);
+            }
+        }
+        self.arrays[0].unload_parallel(f, g);
     }
 }
 
@@ -251,6 +410,74 @@ mod tests {
             "total = {total}, want {}",
             q * vx
         );
+    }
+
+    #[test]
+    fn dirty_range_tracks_deposits_and_clear() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut acc = AccumulatorArray::new(&g);
+        assert!(acc.dirty_range().is_empty());
+        let (va, vb) = (g.voxel(1, 1, 1), g.voxel(3, 2, 2));
+        acc.deposit(vb, 1.0, (0.0, 0.0, 0.0), (0.1, 0.0, 0.0));
+        acc.deposit(va, 1.0, (0.0, 0.0, 0.0), (0.1, 0.0, 0.0));
+        assert_eq!(acc.dirty_range(), va..vb + 1);
+        acc.clear();
+        assert!(acc.dirty_range().is_empty());
+        assert!(acc
+            .data
+            .iter()
+            .all(|a| a.jx == [0.0; 4] && a.jy == [0.0; 4] && a.jz == [0.0; 4]));
+        // Deposits after a clear start a fresh range.
+        acc.deposit(vb, 1.0, (0.0, 0.0, 0.0), (0.0, 0.1, 0.0));
+        assert_eq!(acc.dirty_range(), vb..vb + 1);
+    }
+
+    #[test]
+    fn reduce_and_unload_matches_serial_path() {
+        use crate::rng::Rng;
+        let g = Grid::periodic((6, 5, 4), (0.5, 0.5, 0.5), 0.05);
+        let mut rng = Rng::seeded(42);
+        let mut set = AccumulatorSet::new(&g, 4);
+        for (pipe, arr) in set.arrays.iter_mut().enumerate() {
+            for _ in 0..50 + 30 * pipe {
+                let v = g.voxel(1 + rng.index(6), 1 + rng.index(5), 1 + rng.index(4));
+                arr.deposit(
+                    v,
+                    rng.uniform_in(-1.0, 1.0) as f32,
+                    (
+                        rng.uniform_in(-0.9, 0.9) as f32,
+                        rng.uniform_in(-0.9, 0.9) as f32,
+                        rng.uniform_in(-0.9, 0.9) as f32,
+                    ),
+                    (
+                        rng.uniform_in(-0.2, 0.2) as f32,
+                        rng.uniform_in(-0.2, 0.2) as f32,
+                        rng.uniform_in(-0.2, 0.2) as f32,
+                    ),
+                );
+            }
+        }
+        let mut serial_set = AccumulatorSet {
+            arrays: set.arrays.clone(),
+        };
+        let mut f_par = FieldArray::new(&g);
+        let mut f_ser = FieldArray::new(&g);
+        set.reduce_and_unload(&mut f_par, &g);
+        let reduced = serial_set.reduce();
+        reduced.unload(&mut f_ser, &g);
+        // Bitwise: reduction order and unload arithmetic are identical.
+        assert!(f_par.jx.iter().zip(f_ser.jx.iter()).all(|(a, b)| a == b));
+        assert!(f_par.jy.iter().zip(f_ser.jy.iter()).all(|(a, b)| a == b));
+        assert!(f_par.jz.iter().zip(f_ser.jz.iter()).all(|(a, b)| a == b));
+        for (a, b) in set.arrays[0]
+            .data
+            .iter()
+            .zip(serial_set.arrays[0].data.iter())
+        {
+            assert_eq!(a.jx, b.jx);
+            assert_eq!(a.jy, b.jy);
+            assert_eq!(a.jz, b.jz);
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::field::FieldArray;
 use crate::grid::Grid;
+use rayon::prelude::*;
 
 /// Field boundary condition on one domain face.
 ///
@@ -38,7 +39,54 @@ pub enum FieldBc {
 pub type FieldBcs = [FieldBc; 6];
 
 /// Advance `cB` by `frac·dt` (call with `frac = 0.5` twice per step).
+///
+/// The Yee update is parallelized over z-slabs: slab `k` writes only its
+/// own `cB` entries and reads `E` at `v`, `v+1`, `v+dj`, `v+dk` (shared,
+/// immutable during the update), so slabs are independent and the result
+/// is bitwise identical to [`advance_b_serial`] for any worker count. The
+/// ghost sync stays serial (it is a few planes of copies).
 pub fn advance_b(f: &mut FieldArray, g: &Grid, frac: f32) {
+    let (cdtx, cdty, cdtz) = (
+        g.cvac * frac * g.dt / g.dx,
+        g.cvac * frac * g.dt / g.dy,
+        g.cvac * frac * g.dt / g.dz,
+    );
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    let FieldArray {
+        ref ex,
+        ref ey,
+        ref ez,
+        ref mut cbx,
+        ref mut cby,
+        ref mut cbz,
+        ..
+    } = *f;
+    cbx.par_chunks_mut(dk)
+        .zip(cby.par_chunks_mut(dk))
+        .zip(cbz.par_chunks_mut(dk))
+        .enumerate()
+        .skip(1)
+        .take(g.nz)
+        .for_each(|(k, ((bx, by), bz))| {
+            for j in 1..=g.ny {
+                let row = g.voxel(1, j, k);
+                for v in row..row + g.nx {
+                    let l = v - k * dk;
+                    // cbx -= cΔt[(∂y ez) − (∂z ey)]
+                    bx[l] -= cdty * (ez[v + dj] - ez[v]) - cdtz * (ey[v + dk] - ey[v]);
+                    // cby -= cΔt[(∂z ex) − (∂x ez)]
+                    by[l] -= cdtz * (ex[v + dk] - ex[v]) - cdtx * (ez[v + 1] - ez[v]);
+                    // cbz -= cΔt[(∂x ey) − (∂y ex)]
+                    bz[l] -= cdtx * (ey[v + 1] - ey[v]) - cdty * (ex[v + dj] - ex[v]);
+                }
+            }
+        });
+    sync_b(f, g, bcs_of(g));
+}
+
+/// Serial reference for [`advance_b`].
+pub fn advance_b_serial(f: &mut FieldArray, g: &Grid, frac: f32) {
     let (cdtx, cdty, cdtz) = (
         g.cvac * frac * g.dt / g.dx,
         g.cvac * frac * g.dt / g.dy,
@@ -50,11 +98,8 @@ pub fn advance_b(f: &mut FieldArray, g: &Grid, frac: f32) {
         for j in 1..=g.ny {
             let row = g.voxel(1, j, k);
             for v in row..row + g.nx {
-                // cbx -= cΔt[(∂y ez) − (∂z ey)]
                 f.cbx[v] -= cdty * (f.ez[v + dj] - f.ez[v]) - cdtz * (f.ey[v + dk] - f.ey[v]);
-                // cby -= cΔt[(∂z ex) − (∂x ez)]
                 f.cby[v] -= cdtz * (f.ex[v + dk] - f.ex[v]) - cdtx * (f.ez[v + 1] - f.ez[v]);
-                // cbz -= cΔt[(∂x ey) − (∂y ex)]
                 f.cbz[v] -= cdtx * (f.ey[v + 1] - f.ey[v]) - cdty * (f.ex[v + dj] - f.ex[v]);
             }
         }
@@ -63,7 +108,60 @@ pub fn advance_b(f: &mut FieldArray, g: &Grid, frac: f32) {
 }
 
 /// Advance `E` by a full `dt` using the currents in `f.jx/jy/jz`.
+///
+/// Parallelized over z-slabs like [`advance_b`]: slab `k` writes its own
+/// `E` entries and reads `cB` at `v`, `v-1`, `v-dj`, `v-dk` plus `J` at
+/// `v`, so slabs are independent and results match [`advance_e_serial`]
+/// bitwise.
 pub fn advance_e(f: &mut FieldArray, g: &Grid) {
+    let (cdtx, cdty, cdtz) = (
+        g.cvac * g.dt / g.dx,
+        g.cvac * g.dt / g.dy,
+        g.cvac * g.dt / g.dz,
+    );
+    let dt_eps = g.dt / g.eps0;
+    let (sx, sy, _) = g.strides();
+    let (dj, dk) = (sx, sx * sy);
+    let FieldArray {
+        ref mut ex,
+        ref mut ey,
+        ref mut ez,
+        ref cbx,
+        ref cby,
+        ref cbz,
+        ref jx,
+        ref jy,
+        ref jz,
+        ..
+    } = *f;
+    ex.par_chunks_mut(dk)
+        .zip(ey.par_chunks_mut(dk))
+        .zip(ez.par_chunks_mut(dk))
+        .enumerate()
+        .skip(1)
+        .take(g.nz)
+        .for_each(|(k, ((exk, eyk), ezk))| {
+            for j in 1..=g.ny {
+                let row = g.voxel(1, j, k);
+                for v in row..row + g.nx {
+                    let l = v - k * dk;
+                    exk[l] += cdty * (cbz[v] - cbz[v - dj])
+                        - cdtz * (cby[v] - cby[v - dk])
+                        - dt_eps * jx[v];
+                    eyk[l] += cdtz * (cbx[v] - cbx[v - dk])
+                        - cdtx * (cbz[v] - cbz[v - 1])
+                        - dt_eps * jy[v];
+                    ezk[l] += cdtx * (cby[v] - cby[v - 1])
+                        - cdty * (cbx[v] - cbx[v - dj])
+                        - dt_eps * jz[v];
+                }
+            }
+        });
+    sync_e(f, g, bcs_of(g));
+}
+
+/// Serial reference for [`advance_e`].
+pub fn advance_e_serial(f: &mut FieldArray, g: &Grid) {
     let (cdtx, cdty, cdtz) = (
         g.cvac * g.dt / g.dx,
         g.cvac * g.dt / g.dy,

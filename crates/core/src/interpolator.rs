@@ -11,6 +11,7 @@
 
 use crate::field::FieldArray;
 use crate::grid::Grid;
+use rayon::prelude::*;
 
 /// Interpolation coefficients for one voxel (offsets in `[-1,1]`):
 ///
@@ -82,7 +83,65 @@ impl InterpolatorArray {
     /// Rebuild all live-voxel coefficients from `fields`. Ghost planes of
     /// the fields must be synchronized (the field solver does this after
     /// every update).
+    ///
+    /// Parallelized over z-slabs: voxel `(i,j,k)` only writes its own
+    /// entry and reads field values at `v`, `v+1`, `v+dj`, `v+dk` (shared,
+    /// immutable), so slabs are independent and the result is bitwise
+    /// identical to [`Self::load_serial`] for any worker count.
     pub fn load(&mut self, f: &FieldArray, g: &Grid) {
+        let (sx, sy, _) = g.strides();
+        let (dj, dk) = (sx, sx * sy);
+        const Q: f32 = 0.25;
+        const H: f32 = 0.5;
+        self.data
+            .par_chunks_mut(dk)
+            .enumerate()
+            .skip(1)
+            .take(g.nz)
+            .for_each(|(k, slab)| {
+                for j in 1..=g.ny {
+                    for i in 1..=g.nx {
+                        let v = g.voxel(i, j, k);
+                        let ip = &mut slab[v - k * dk];
+
+                        // Ex on the 4 x-edges of the voxel: (j,k), (j+1,k), (k+1), (j+1,k+1).
+                        let (w0, w1, w2, w3) =
+                            (f.ex[v], f.ex[v + dj], f.ex[v + dk], f.ex[v + dj + dk]);
+                        ip.ex = Q * (w0 + w1 + w2 + w3);
+                        ip.dexdy = Q * ((w1 + w3) - (w0 + w2));
+                        ip.dexdz = Q * ((w2 + w3) - (w0 + w1));
+                        ip.d2exdydz = Q * ((w0 + w3) - (w1 + w2));
+
+                        // Ey on the 4 y-edges: (k,i), (k+1,i), (i+1), (k+1,i+1).
+                        let (w0, w1, w2, w3) =
+                            (f.ey[v], f.ey[v + dk], f.ey[v + 1], f.ey[v + dk + 1]);
+                        ip.ey = Q * (w0 + w1 + w2 + w3);
+                        ip.deydz = Q * ((w1 + w3) - (w0 + w2));
+                        ip.deydx = Q * ((w2 + w3) - (w0 + w1));
+                        ip.d2eydzdx = Q * ((w0 + w3) - (w1 + w2));
+
+                        // Ez on the 4 z-edges: (i,j), (i+1,j), (j+1), (i+1,j+1).
+                        let (w0, w1, w2, w3) =
+                            (f.ez[v], f.ez[v + 1], f.ez[v + dj], f.ez[v + 1 + dj]);
+                        ip.ez = Q * (w0 + w1 + w2 + w3);
+                        ip.dezdx = Q * ((w1 + w3) - (w0 + w2));
+                        ip.dezdy = Q * ((w2 + w3) - (w0 + w1));
+                        ip.d2ezdxdy = Q * ((w0 + w3) - (w1 + w2));
+
+                        // cB linear along its own normal.
+                        ip.cbx = H * (f.cbx[v] + f.cbx[v + 1]);
+                        ip.dcbxdx = H * (f.cbx[v + 1] - f.cbx[v]);
+                        ip.cby = H * (f.cby[v] + f.cby[v + dj]);
+                        ip.dcbydy = H * (f.cby[v + dj] - f.cby[v]);
+                        ip.cbz = H * (f.cbz[v] + f.cbz[v + dk]);
+                        ip.dcbzdz = H * (f.cbz[v + dk] - f.cbz[v]);
+                    }
+                }
+            });
+    }
+
+    /// Serial reference for [`Self::load`].
+    pub fn load_serial(&mut self, f: &FieldArray, g: &Grid) {
         let (sx, sy, _) = g.strides();
         let (dj, dk) = (sx, sx * sy);
         const Q: f32 = 0.25;

@@ -57,6 +57,7 @@ pub mod sim;
 pub mod sort;
 pub mod species;
 pub mod sponge;
+pub mod threads;
 pub mod tracer;
 pub mod units;
 
@@ -78,8 +79,9 @@ pub use particle::{Mover, Particle};
 pub use push::{advance_p, advance_p_serial, move_p_local, Exile, MoveOutcome, PushCoefficients};
 pub use rng::Rng;
 pub use sim::{EnergySnapshot, Simulation, StepTimings};
-pub use sort::sort_by_voxel;
+pub use sort::{sort_by_voxel, sort_by_voxel_with};
 pub use species::Species;
 pub use sponge::Sponge;
+pub use threads::worker_threads;
 pub use tracer::{add_tracer, tracer_species, TrackPoint, TrajectoryRecorder};
 pub use units::LabFrame;

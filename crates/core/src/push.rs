@@ -96,32 +96,41 @@ pub fn advance_p(
         })
         .collect();
 
-    // Delete absorbed particles (descending order keeps indices valid) and
-    // collect exiles. Exiles whose particles survive keep their indices
-    // valid because we only swap_remove absorbed ones from the back — so
-    // adjust exile indices for removed slots below them instead.
     let mut absorbed: Vec<u32> = Vec::new();
     let mut exiles: Vec<Exile> = Vec::new();
     for (a, e) in results {
         absorbed.extend(a);
         exiles.extend(e);
     }
+    delete_absorbed(particles, absorbed, &mut exiles);
+    exiles
+}
+
+/// Swap-remove every absorbed particle and retarget exiles whose particle
+/// was moved by a swap. An index map built once keeps this
+/// O(absorbed + exiles) instead of rescanning the exile list per removal.
+fn delete_absorbed(particles: &mut Vec<Particle>, mut absorbed: Vec<u32>, exiles: &mut [Exile]) {
+    if absorbed.is_empty() {
+        return;
+    }
+    // A particle exits the domain at most once, so indices map to at most
+    // one exile each.
+    let mut exile_of: std::collections::HashMap<u32, usize> =
+        exiles.iter().enumerate().map(|(n, e)| (e.idx, n)).collect();
+    // Descending order keeps pending indices valid across swap_removes.
     absorbed.sort_unstable_by(|a, b| b.cmp(a));
-    for idx in &absorbed {
-        let idx = *idx as usize;
-        let last = particles.len() - 1;
-        particles.swap_remove(idx);
+    for idx in absorbed {
+        let last = (particles.len() - 1) as u32;
+        particles.swap_remove(idx as usize);
         // If an exile pointed at the swapped-in particle, retarget it.
         if idx != last {
-            for ex in exiles.iter_mut() {
-                if ex.idx == last as u32 {
-                    ex.idx = idx as u32;
-                    ex.mover.idx = idx as u32;
-                }
+            if let Some(n) = exile_of.remove(&last) {
+                exiles[n].idx = idx;
+                exiles[n].mover.idx = idx;
+                exile_of.insert(idx, n);
             }
         }
     }
-    exiles
 }
 
 /// Sequential single-pipeline variant (used by tests and the layout
@@ -137,21 +146,7 @@ pub fn advance_p_serial(
         let chunk: &mut [Particle] = particles;
         advance_block(chunk, 0, coeffs, interp, acc, g)
     };
-    let mut dead = absorbed;
-    dead.sort_unstable_by(|a, b| b.cmp(a));
-    for idx in &dead {
-        let idx = *idx as usize;
-        let last = particles.len() - 1;
-        particles.swap_remove(idx);
-        if idx != last {
-            for ex in exiles.iter_mut() {
-                if ex.idx == last as u32 {
-                    ex.idx = idx as u32;
-                    ex.mover.idx = idx as u32;
-                }
-            }
-        }
-    }
+    delete_absorbed(particles, absorbed, &mut exiles);
     exiles
 }
 

@@ -207,11 +207,11 @@ impl Simulation {
             self.timings.other += t0.elapsed().as_secs_f64();
         }
 
-        // 4. Currents to the grid.
+        // 4. Currents to the grid (range-parallel reduce + slab-parallel
+        // unload; see `AccumulatorSet::reduce_and_unload`).
         let t0 = Instant::now();
         self.fields.clear_currents();
-        let reduced = self.accumulators.reduce();
-        reduced.unload(&mut self.fields, g);
+        self.accumulators.reduce_and_unload(&mut self.fields, g);
         sync_j(&mut self.fields, g, bcs);
         self.timings.current += t0.elapsed().as_secs_f64();
 

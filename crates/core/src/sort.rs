@@ -4,30 +4,119 @@
 //! the gather of interpolator data and the scatter into accumulators walk
 //! memory almost sequentially — the paper credits this for keeping the
 //! Cell SPE pipelines fed. The sort is O(N) and stable.
+//!
+//! The sort runs in three phases, the histogram and scatter fanned out over
+//! Rayon workers (VPIC's `sortp`): each worker histograms one contiguous
+//! chunk of the particle list into a private per-voxel count array, a
+//! serial prefix-sum over `(voxel, worker)` pairs turns the counts into
+//! write offsets, and each worker scatters its chunk into its reserved
+//! output slots. Same-voxel particles land in `(worker, within-chunk)`
+//! order, i.e. original order — the output permutation is exactly the
+//! stable serial counting sort, bitwise independent of the worker count.
 
 use crate::particle::Particle;
+use crate::threads::worker_threads;
+use rayon::prelude::*;
+
+/// Minimum particles per sort worker; below this the fan-out overhead
+/// outweighs the work and fewer (or one) workers are used.
+const MIN_SORT_CHUNK: usize = 16 * 1024;
+
+/// Raw output cursor for the scatter phase. Workers write disjoint index
+/// sets (see the safety argument at the write site), so sharing the
+/// pointer across threads is sound.
+#[derive(Clone, Copy)]
+struct ScatterPtr(*mut Particle);
+// SAFETY: the pointer is only dereferenced at indices reserved exclusively
+// for one worker by the prefix-sum (no two workers share an index), and the
+// buffer outlives the scatter.
+unsafe impl Send for ScatterPtr {}
+unsafe impl Sync for ScatterPtr {}
 
 /// Stable counting sort of `particles` by voxel index. `n_voxels` is the
 /// array size of the grid (ghosts included); `scratch` is reused capacity.
+/// Allocates a fresh histogram buffer; hot callers should hold one and use
+/// [`sort_by_voxel_with`].
 pub fn sort_by_voxel(particles: &mut Vec<Particle>, n_voxels: usize, scratch: &mut Vec<Particle>) {
+    let mut counts = Vec::new();
+    sort_by_voxel_with(particles, n_voxels, scratch, &mut counts);
+}
+
+/// [`sort_by_voxel`] with a caller-held histogram buffer, so steady-state
+/// sorting allocates nothing (both `scratch` and `counts` retain their
+/// capacity between calls).
+pub fn sort_by_voxel_with(
+    particles: &mut Vec<Particle>,
+    n_voxels: usize,
+    scratch: &mut Vec<Particle>,
+    counts: &mut Vec<u32>,
+) {
+    let n = particles.len();
+    let workers = worker_threads().min(n.div_ceil(MIN_SORT_CHUNK)).max(1);
+    sort_with_workers(particles, n_voxels, scratch, counts, workers);
+}
+
+/// Worker-count-explicit body of the sort (tests call this directly to
+/// exercise the multi-chunk path regardless of the host's thread count).
+pub(crate) fn sort_with_workers(
+    particles: &mut Vec<Particle>,
+    n_voxels: usize,
+    scratch: &mut Vec<Particle>,
+    counts: &mut Vec<u32>,
+    workers: usize,
+) {
     let n = particles.len();
     if n <= 1 {
         return;
     }
-    let mut counts = vec![0u32; n_voxels + 1];
-    for p in particles.iter() {
-        counts[p.i as usize + 1] += 1;
-    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+
+    // Phase 1: per-worker histograms (worker w owns counts[w*n_voxels..]).
+    counts.clear();
+    counts.resize(workers * n_voxels, 0);
+    counts
+        .par_chunks_mut(n_voxels)
+        .zip(particles.par_chunks(chunk))
+        .for_each(|(hist, ps)| {
+            for p in ps {
+                hist[p.i as usize] += 1;
+            }
+        });
+
+    // Phase 2: exclusive prefix-sum in (voxel, worker) order — worker w's
+    // slots for voxel v start after every lower voxel and after workers
+    // < w for the same voxel (this is what makes the sort stable).
+    let mut running = 0u32;
     for v in 0..n_voxels {
-        counts[v + 1] += counts[v];
+        for w in 0..workers {
+            let c = &mut counts[w * n_voxels + v];
+            let t = *c;
+            *c = running;
+            running += t;
+        }
     }
+
+    // Phase 3: scatter. Worker w writes exactly the slots the prefix-sum
+    // reserved for its (w, v) pairs.
     scratch.clear();
     scratch.resize(n, Particle::default());
-    for p in particles.iter() {
-        let slot = &mut counts[p.i as usize];
-        scratch[*slot as usize] = *p;
-        *slot += 1;
-    }
+    let out = ScatterPtr(scratch.as_mut_ptr());
+    counts
+        .par_chunks_mut(n_voxels)
+        .zip(particles.par_chunks(chunk))
+        .for_each(move |(offsets, ps)| {
+            for p in ps {
+                let slot = &mut offsets[p.i as usize];
+                // SAFETY: `*slot` walks the half-open range reserved for
+                // this (worker, voxel) pair by the exclusive prefix-sum;
+                // those ranges partition [0, n), so no two writes (from
+                // this or any other worker) target the same index, and
+                // every index is in bounds of `scratch`.
+                unsafe { out.0.add(*slot as usize).write(*p) };
+                *slot += 1;
+            }
+        });
     std::mem::swap(particles, scratch);
 }
 
@@ -92,6 +181,70 @@ mod tests {
         }];
         sort_by_voxel(&mut one, 10, &mut scratch);
         assert_eq!(one[0].i, 7);
+    }
+
+    /// Plain textbook stable counting sort, used as the reference
+    /// permutation for the parallel path.
+    fn reference_sort(particles: &[Particle], n_voxels: usize) -> Vec<Particle> {
+        let mut counts = vec![0u32; n_voxels + 1];
+        for p in particles {
+            counts[p.i as usize + 1] += 1;
+        }
+        for v in 0..n_voxels {
+            counts[v + 1] += counts[v];
+        }
+        let mut out = vec![Particle::default(); particles.len()];
+        for p in particles {
+            let slot = &mut counts[p.i as usize];
+            out[*slot as usize] = *p;
+            *slot += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn any_worker_count_matches_reference_permutation() {
+        let mut rng = Rng::seeded(21);
+        let nv = 300;
+        let parts: Vec<Particle> = (0..10_000)
+            .map(|n| Particle {
+                i: rng.index(nv) as u32,
+                w: n as f32, // unique tag → permutation comparable exactly
+                ux: rng.normal() as f32,
+                ..Default::default()
+            })
+            .collect();
+        let want = reference_sort(&parts, nv);
+        for workers in [1usize, 2, 3, 5, 8, 16] {
+            let mut got = parts.clone();
+            let (mut scratch, mut counts) = (Vec::new(), Vec::new());
+            crate::sort::sort_with_workers(&mut got, nv, &mut scratch, &mut counts, workers);
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn persistent_buffers_are_reused() {
+        let mut rng = Rng::seeded(5);
+        let mk = |rng: &mut Rng| -> Vec<Particle> {
+            (0..2000)
+                .map(|_| Particle {
+                    i: rng.index(64) as u32,
+                    ..Default::default()
+                })
+                .collect()
+        };
+        let (mut scratch, mut counts) = (Vec::new(), Vec::new());
+        let mut a = mk(&mut rng);
+        sort_by_voxel_with(&mut a, 64, &mut scratch, &mut counts);
+        let (sc, cc) = (scratch.capacity(), counts.capacity());
+        assert!(sc >= 2000 && cc >= 64);
+        let mut b = mk(&mut rng);
+        sort_by_voxel_with(&mut b, 64, &mut scratch, &mut counts);
+        // Same-size follow-up sorts must not grow either buffer.
+        assert_eq!(scratch.capacity(), sc);
+        assert_eq!(counts.capacity(), cc);
+        assert!(b.windows(2).all(|w| w[0].i <= w[1].i));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::grid::Grid;
 use crate::particle::Particle;
-use crate::sort::sort_by_voxel;
+use crate::sort::sort_by_voxel_with;
 
 /// One kinetic species (e.g. electrons, helium ions).
 #[derive(Clone, Debug)]
@@ -19,6 +19,9 @@ pub struct Species {
     /// tens of steps.
     pub sort_interval: usize,
     scratch: Vec<Particle>,
+    /// Persistent sort histogram, so steady-state sorting allocates
+    /// nothing (see [`sort_by_voxel_with`]).
+    sort_counts: Vec<u32>,
 }
 
 impl Species {
@@ -32,6 +35,7 @@ impl Species {
             particles: Vec::new(),
             sort_interval: 25,
             scratch: Vec::new(),
+            sort_counts: Vec::new(),
         }
     }
 
@@ -53,9 +57,15 @@ impl Species {
         self.particles.is_empty()
     }
 
-    /// Counting-sort the particles by voxel.
+    /// Counting-sort the particles by voxel (Rayon-parallel; scratch and
+    /// histogram buffers persist across calls).
     pub fn sort(&mut self, g: &Grid) {
-        sort_by_voxel(&mut self.particles, g.n_voxels(), &mut self.scratch);
+        sort_by_voxel_with(
+            &mut self.particles,
+            g.n_voxels(),
+            &mut self.scratch,
+            &mut self.sort_counts,
+        );
     }
 
     /// Total kinetic energy `Σ w·m·c²·(γ−1)` in double precision.

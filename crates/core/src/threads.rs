@@ -1,0 +1,34 @@
+//! Worker-thread introspection.
+//!
+//! Every phase of the step loop fans work out over Rayon's global pool, so
+//! benchmarks and run summaries need to report how many workers actually
+//! execute it. Rayon sizes its default pool from `RAYON_NUM_THREADS` (when
+//! set to a positive integer) and otherwise from the hardware parallelism;
+//! this helper reproduces that policy without depending on pool
+//! introspection APIs, so it works identically against the real crate and
+//! the offline sequential stand-in.
+
+/// Number of worker threads the global Rayon pool uses for parallel
+/// phases: `RAYON_NUM_THREADS` if set to a positive integer, else the
+/// available hardware parallelism, else 1.
+pub fn worker_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_at_least_one_worker() {
+        assert!(worker_threads() >= 1);
+    }
+}

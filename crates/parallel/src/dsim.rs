@@ -182,8 +182,7 @@ impl DistributedSim {
 
         let t0 = Instant::now();
         self.fields.clear_currents();
-        let reduced = self.accumulators.reduce();
-        reduced.unload(&mut self.fields, &g);
+        self.accumulators.reduce_and_unload(&mut self.fields, &g);
         sync_j(&mut self.fields, &g, bcs);
         self.timings.current += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();

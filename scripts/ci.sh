@@ -5,6 +5,10 @@
 # Pass "soak" (or set CI_SOAK=1) to additionally run the seeded fault-soak
 # lane — the #[ignore]d release-mode campaign soak in tests/campaign_soak.rs.
 # It takes minutes of wall time, so it stays out of the default tier-1 path.
+#
+# Pass "bench-smoke" (or set CI_BENCH_SMOKE=1) to run the step-throughput
+# bench on a small grid, write target/BENCH_smoke.json, and re-validate it
+# (schema check; NaN or zero rates fail the lane).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +27,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" == "soak" || "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> fault-soak lane (release, ignored tests)"
     cargo test --release --test campaign_soak -- --ignored --nocapture
+fi
+
+if [[ "${1:-}" == "bench-smoke" || "${CI_BENCH_SMOKE:-0}" == "1" ]]; then
+    echo "==> bench-smoke lane (step throughput + BENCH_step.json schema)"
+    cargo build --release -p vpic-bench
+    ./target/release/e2_step_breakdown \
+        --nx 16 --ppc 8 --steps 5 --pipelines 2 --json target/BENCH_smoke.json
+    ./target/release/e2_step_breakdown --validate target/BENCH_smoke.json
 fi
 
 echo "CI OK"

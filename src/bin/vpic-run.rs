@@ -58,10 +58,12 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
     match build(&deck)? {
         BuiltRun::Plasma(mut sim) => {
             println!(
-                "plasma run: {} cells, {} particles, {} steps",
+                "plasma run: {} cells, {} particles, {} steps, {} pipelines, {} rayon threads",
                 sim.grid.n_live(),
                 sim.n_particles(),
-                steps
+                steps,
+                sim.accumulators.n_pipelines(),
+                vpic::core::worker_threads()
             );
             let names: Vec<String> = sim.species.iter().map(|s| s.name.clone()).collect();
             let mut elog = EnergyLogger::new(
@@ -83,14 +85,17 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 e.total(),
                 sim.lost_particles
             );
+            print_throughput(&sim.timings, sim.accumulators.n_pipelines());
         }
         BuiltRun::Lpi(mut run) => {
             println!(
-                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps",
+                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps, {} pipelines, {} rayon threads",
                 run.params.a0,
                 run.params.n_over_ncr,
                 run.sim.n_particles(),
-                steps
+                steps,
+                run.sim.accumulators.n_pipelines(),
+                vpic::core::worker_threads()
             );
             let names: Vec<String> = run.sim.species.iter().map(|s| s.name.clone()).collect();
             let mut elog = EnergyLogger::new(
@@ -116,10 +121,26 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 run.reflectivity(),
                 run.probe.samples()
             );
+            print_throughput(&run.sim.timings, run.sim.accumulators.n_pipelines());
         }
         BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
     }
     Ok(())
+}
+
+/// Measured whole-step rate next to the parallel configuration that
+/// produced it, so run logs double as performance records.
+fn print_throughput(t: &vpic::core::StepTimings, pipelines: usize) {
+    if t.total() > 0.0 && t.particle_steps > 0 {
+        println!(
+            "throughput: {:.3e} particles/s over {} steps ({:.1}% inner loop, {} pipelines, {} rayon threads)",
+            t.particle_steps as f64 / t.total(),
+            t.steps,
+            100.0 * t.inner_loop_fraction(),
+            pipelines,
+            vpic::core::worker_threads()
+        );
+    }
 }
 
 fn run_campaign_deck(
