@@ -9,7 +9,9 @@
 //! writes a machine-readable `BENCH_step.json` record (schema in
 //! `vpic_bench::stepjson`) so every perf PR lands with numbers. The CI
 //! smoke lane re-invokes it as `--validate <path>` to check a previously
-//! written record for schema problems and NaN/zero rates.
+//! written record for schema problems and NaN/zero rates. `--sentinel`
+//! arms the numerical-integrity sentinel at its default 10-step cadence
+//! so the health-monitoring overhead can be compared against a plain run.
 
 use roadrunner_model::flops;
 use vpic_bench::stepjson::StepBench;
@@ -31,9 +33,19 @@ fn main() {
     let steps = parse_opt("steps", if full { 60 } else { 25 });
     let pipelines = parse_opt("pipelines", vpic_core::worker_threads());
     let json = parse_opt::<String>("json", String::new());
+    let sentinel = parse_flag("sentinel");
 
     let mut sim = uniform_plasma(n, ppc, pipelines, 7);
     sim.species[0].sort_interval = 25;
+    if sentinel {
+        // Arm the numerical-integrity sentinel at its default 10-step
+        // cadence; its sweeps land in the "other" phase so the overhead
+        // of health monitoring shows up in the same breakdown.
+        sim.set_config(&vpic_core::sentinel::SimConfig {
+            sentinel: vpic_core::sentinel::SentinelConfig::enabled(),
+            ..Default::default()
+        });
+    }
     for _ in 0..3 {
         sim.step(); // warm-up, excluded from the report
     }
@@ -54,8 +66,9 @@ fn main() {
     print_table(
         &format!(
             "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
-             {pipelines} pipelines, {} rayon threads",
-            vpic_core::worker_threads()
+             {pipelines} pipelines, {} rayon threads{}",
+            vpic_core::worker_threads(),
+            if sentinel { ", sentinel armed" } else { "" }
         ),
         &["phase", "seconds", "share"],
         &[

@@ -311,6 +311,19 @@ pub fn sync_e(f: &mut FieldArray, g: &Grid, bcs: FieldBcs) {
                 zero_plane(c, g, axis, n + 1);
             }
         }
+        // The component along `axis` is cell-registered along it; the
+        // solver never reads its own-axis ghosts, but the Gauss-law
+        // divergence stencil reads plane 0 at the first node plane, so
+        // mirror the periodic images (as `sync_j` does for `J`).
+        let own: &mut Vec<f32> = match axis {
+            0 => &mut f.ex,
+            1 => &mut f.ey,
+            _ => &mut f.ez,
+        };
+        if lo == FieldBc::Periodic {
+            copy_plane(own, g, axis, n, 0);
+            copy_plane(own, g, axis, 1, n + 1);
+        }
     }
 }
 
@@ -439,33 +452,52 @@ pub fn compute_div_e_err(f: &FieldArray, g: &Grid, err: &mut Vec<f32>) -> f64 {
     (sum2 / g.n_live() as f64).sqrt()
 }
 
-/// One Marder pass: `E += κ ∇(∇·E − ρ/ε0)` with κ chosen for diffusive
-/// stability. Requires `f.rho` to hold the current charge density (call a
-/// charge deposition + [`sync_rho`] first). Returns the pre-pass RMS error.
-pub fn clean_div_e(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
-    let bcs = bcs_of(g);
-    let rms = compute_div_e_err(f, g, scratch);
-    // Mirror the error field on periodic axes so the +1 planes are valid.
+/// Mirror the node-centered `∇·E` error field on locally periodic axes so
+/// the `n+1` ghost planes (read by [`apply_marder_e`]'s forward gradient)
+/// are valid. Distributed domains fill `Exchange` axes via ghost exchange
+/// instead.
+pub fn mirror_div_e_err(err: &mut [f32], g: &Grid, bcs: FieldBcs) {
     for (axis, &bc) in bcs.iter().enumerate().take(3) {
         if bc == FieldBc::Periodic {
             let n = n_of(g, axis);
-            copy_plane(scratch, g, axis, 1, n + 1);
+            copy_plane(err, g, axis, 1, n + 1);
         }
     }
+}
+
+/// The Marder correction `E += κ ∇err` over live voxels, with κ chosen
+/// for diffusive stability. Does *not* refresh ghost planes afterwards —
+/// callers follow with [`sync_e`] (serial) or a ghost exchange
+/// (distributed).
+pub fn apply_marder_e(f: &mut FieldArray, g: &Grid, err: &[f32]) {
     let inv2 = 1.0 / (g.dx * g.dx) + 1.0 / (g.dy * g.dy) + 1.0 / (g.dz * g.dz);
-    let kappa = 0.5 / inv2; // diffusion-stable relaxation parameter
+    // Half the diffusive-stability limit: at the limit (0.5/inv2) the
+    // Nyquist checkerboard mode has amplification factor −1 and never
+    // decays; at half, it is killed in one pass and every other mode is
+    // strictly damped.
+    let kappa = 0.25 / inv2;
     let (sx, sy, _) = g.strides();
     let (dj, dk) = (sx, sx * sy);
     for k in 1..=g.nz {
         for j in 1..=g.ny {
             for i in 1..=g.nx {
                 let v = g.voxel(i, j, k);
-                f.ex[v] += kappa * (scratch[v + 1] - scratch[v]) / g.dx;
-                f.ey[v] += kappa * (scratch[v + dj] - scratch[v]) / g.dy;
-                f.ez[v] += kappa * (scratch[v + dk] - scratch[v]) / g.dz;
+                f.ex[v] += kappa * (err[v + 1] - err[v]) / g.dx;
+                f.ey[v] += kappa * (err[v + dj] - err[v]) / g.dy;
+                f.ez[v] += kappa * (err[v + dk] - err[v]) / g.dz;
             }
         }
     }
+}
+
+/// One Marder pass: `E += κ ∇(∇·E − ρ/ε0)` with κ chosen for diffusive
+/// stability. Requires `f.rho` to hold the current charge density (call a
+/// charge deposition + [`sync_rho`] first). Returns the pre-pass RMS error.
+pub fn clean_div_e(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
+    let bcs = bcs_of(g);
+    let rms = compute_div_e_err(f, g, scratch);
+    mirror_div_e_err(scratch, g, bcs);
+    apply_marder_e(f, g, scratch);
     sync_e(f, g, bcs);
     rms
 }
@@ -494,31 +526,46 @@ pub fn compute_div_b_err(f: &FieldArray, g: &Grid, err: &mut Vec<f32>) -> f64 {
     (sum2 / g.n_live() as f64).sqrt()
 }
 
-/// One Marder pass on `B`: `cB −= κ ∇(∇·cB)` (cell-centered error,
-/// gradient back to faces). Returns the pre-pass RMS error.
-pub fn clean_div_b(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
-    let bcs = bcs_of(g);
-    let rms = compute_div_b_err(f, g, scratch);
+/// Mirror the cell-centered `∇·B` error field on locally periodic axes so
+/// the `0` ghost planes (read by [`apply_marder_b`]'s backward gradient)
+/// are valid.
+pub fn mirror_div_b_err(err: &mut [f32], g: &Grid, bcs: FieldBcs) {
     for (axis, &bc) in bcs.iter().enumerate().take(3) {
         if bc == FieldBc::Periodic {
             let n = n_of(g, axis);
-            copy_plane(scratch, g, axis, n, 0);
+            copy_plane(err, g, axis, n, 0);
         }
     }
+}
+
+/// The Marder correction on `B` over live voxels (cell-centered error,
+/// gradient back to faces). Callers refresh ghosts afterwards with
+/// [`sync_b`] or a ghost exchange.
+pub fn apply_marder_b(f: &mut FieldArray, g: &Grid, err: &[f32]) {
     let inv2 = 1.0 / (g.dx * g.dx) + 1.0 / (g.dy * g.dy) + 1.0 / (g.dz * g.dz);
-    let kappa = 0.5 / inv2;
+    // Half the stability limit — see `apply_marder_e` on the Nyquist mode.
+    let kappa = 0.25 / inv2;
     let (sx, sy, _) = g.strides();
     let (dj, dk) = (sx, sx * sy);
     for k in 1..=g.nz {
         for j in 1..=g.ny {
             for i in 1..=g.nx {
                 let v = g.voxel(i, j, k);
-                f.cbx[v] += kappa * (scratch[v] - scratch[v - 1]) / g.dx;
-                f.cby[v] += kappa * (scratch[v] - scratch[v - dj]) / g.dy;
-                f.cbz[v] += kappa * (scratch[v] - scratch[v - dk]) / g.dz;
+                f.cbx[v] += kappa * (err[v] - err[v - 1]) / g.dx;
+                f.cby[v] += kappa * (err[v] - err[v - dj]) / g.dy;
+                f.cbz[v] += kappa * (err[v] - err[v - dk]) / g.dz;
             }
         }
     }
+}
+
+/// One Marder pass on `B`: `cB −= κ ∇(∇·cB)` (cell-centered error,
+/// gradient back to faces). Returns the pre-pass RMS error.
+pub fn clean_div_b(f: &mut FieldArray, g: &Grid, scratch: &mut Vec<f32>) -> f64 {
+    let bcs = bcs_of(g);
+    let rms = compute_div_b_err(f, g, scratch);
+    mirror_div_b_err(scratch, g, bcs);
+    apply_marder_b(f, g, scratch);
     sync_b(f, g, bcs);
     rms
 }
@@ -532,6 +579,29 @@ mod tests {
         let dx = 1.0 / n as f32;
         let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.5);
         Grid::periodic((n, 1, 1), (dx, dx, dx), dt)
+    }
+
+    /// A uniform `E` on a periodic box is divergence-free; the stencil at
+    /// the first node plane reads the own-axis component's ghost plane 0,
+    /// which `sync_e` must mirror from plane `n`.
+    #[test]
+    fn uniform_e_has_zero_divergence_after_sync() {
+        let g = Grid::periodic((8, 4, 4), (0.5, 0.5, 0.5), 0.1);
+        let mut f = FieldArray::new(&g);
+        for k in 1..=g.nz {
+            for j in 1..=g.ny {
+                for i in 1..=g.nx {
+                    let v = g.voxel(i, j, k);
+                    f.ex[v] = 1.0;
+                    f.ey[v] = 2.0;
+                    f.ez[v] = 3.0;
+                }
+            }
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        let mut scratch = Vec::new();
+        let rms = compute_div_e_err(&f, &g, &mut scratch);
+        assert!(rms < 1e-12, "uniform field has divergence rms {rms}");
     }
 
     /// Launch an x-propagating plane wave (Ey, cBz) and check it advects at

@@ -53,6 +53,7 @@ pub mod maxwellian;
 pub mod particle;
 pub mod push;
 pub mod rng;
+pub mod sentinel;
 pub mod sim;
 pub mod sort;
 pub mod species;
@@ -78,6 +79,10 @@ pub use maxwellian::{load_profile, load_two_stream, load_uniform, Momentum};
 pub use particle::{Mover, Particle};
 pub use push::{advance_p, advance_p_serial, move_p_local, Exile, MoveOutcome, PushCoefficients};
 pub use rng::Rng;
+pub use sentinel::{
+    classify, validate_cfl, AnomalyKind, CorruptionEvent, CorruptionMode, CorruptionPlan,
+    FlightRecorder, HealEvent, HealthSample, HealthVerdict, Sentinel, SentinelConfig, SimConfig,
+};
 pub use sim::{EnergySnapshot, Simulation, StepTimings};
 pub use sort::{sort_by_voxel, sort_by_voxel_with};
 pub use species::Species;

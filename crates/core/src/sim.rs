@@ -27,6 +27,7 @@ use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
 use crate::push::{advance_p, Exile, PushCoefficients};
 use crate::rng::Rng;
+use crate::sentinel::{HealthVerdict, Sentinel, SimConfig};
 use crate::species::Species;
 use crate::sponge::Sponge;
 use std::time::Instant;
@@ -94,6 +95,11 @@ pub struct Simulation {
     /// Binary-collision operators: `(species index, operator)`; applied
     /// every `operator.interval` steps on voxel-sorted particles.
     pub collisions: Vec<(usize, CollisionOperator)>,
+    /// Optional numerical-integrity sentinel; when present, its checks
+    /// run at the end of each step on its `health_interval` cadence and
+    /// repairable anomalies are Marder-healed in place. Inspect
+    /// [`Simulation::sentinel_verdict`] after stepping.
+    pub sentinel: Option<Sentinel>,
     collision_rng: Rng,
     scratch: Vec<f32>,
 }
@@ -118,9 +124,35 @@ impl Simulation {
             lost_particles: 0,
             timings: StepTimings::default(),
             collisions: Vec::new(),
+            sentinel: None,
             collision_rng: Rng::seeded(0xC0111D0),
             scratch: Vec::new(),
         }
+    }
+
+    /// The checkpoint-portable run configuration (cleaning cadence +
+    /// sentinel thresholds).
+    pub fn config(&self) -> SimConfig {
+        SimConfig {
+            clean_div_e_interval: self.clean_div_e_interval,
+            clean_div_b_interval: self.clean_div_b_interval,
+            sentinel: self.sentinel.as_ref().map(|s| s.cfg).unwrap_or_default(),
+        }
+    }
+
+    /// Apply a restored [`SimConfig`]: sets the cleaning cadence and
+    /// (re)creates the sentinel when its cadence is non-zero. A freshly
+    /// created sentinel re-arms its baseline on the first healthy check.
+    pub fn set_config(&mut self, c: &SimConfig) {
+        self.clean_div_e_interval = c.clean_div_e_interval;
+        self.clean_div_b_interval = c.clean_div_b_interval;
+        self.sentinel = c.sentinel.active().then(|| Sentinel::new(c.sentinel));
+    }
+
+    /// Verdict of the most recent sentinel check, if the sentinel is
+    /// armed and tripped (healthy and healed-in-place states are `None`).
+    pub fn sentinel_verdict(&self) -> Option<HealthVerdict> {
+        self.sentinel.as_ref().and_then(|s| s.tripped().copied())
     }
 
     /// Enable TA77 binary collisions for species `si`.
@@ -248,6 +280,14 @@ impl Simulation {
                 .is_multiple_of(self.clean_div_b_interval as u64)
         {
             clean_div_b(&mut self.fields, &self.grid, &mut self.scratch);
+        }
+        // Sentinel check-and-heal on its own cadence (take/put so the
+        // sentinel can borrow the whole simulation mutably).
+        if let Some(mut sentinel) = self.sentinel.take() {
+            if sentinel.due(self.step_count) {
+                sentinel.check(self);
+            }
+            self.sentinel = Some(sentinel);
         }
         self.timings.other += t0.elapsed().as_secs_f64();
         self.timings.steps += 1;

@@ -9,8 +9,11 @@
 //! * [`profile`] — slab density profiles;
 //! * [`srs`] — SRS linear theory (matching, growth, Landau damping, gain);
 //! * [`three_wave`] — fluid coupled-mode baseline (no trapping physics);
-//! * [`setup`] — assembled [`setup::LpiRun`] with reflectivity probe.
+//! * [`setup`] — assembled [`setup::LpiRun`] with reflectivity probe;
+//! * [`campaign`] — fault-tolerant serial campaign runtime (sentinel,
+//!   checkpoints, rollback, graceful degradation).
 
+pub mod campaign;
 pub mod laser;
 pub mod profile;
 pub mod sbs;
@@ -18,6 +21,10 @@ pub mod setup;
 pub mod srs;
 pub mod three_wave;
 
+pub use campaign::{
+    run_lpi_campaign, LpiCampaignConfig, LpiCampaignEnd, LpiCampaignError, LpiCampaignOutcome,
+    LpiRecovery,
+};
 pub use laser::{LaserAntenna, Polarization};
 pub use profile::SlabProfile;
 pub use sbs::{sbs_match, SbsMatch};

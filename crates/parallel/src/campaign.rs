@@ -6,12 +6,26 @@
 //! dumps plus automatic resubmission. This module reproduces that loop
 //! in-process: [`run_campaign`] drives a [`DistributedSim`] for a fixed
 //! number of steps, writing a CRC-protected checkpoint generation on a
-//! [`CheckpointPolicy`] schedule and running a cheap global health check
-//! (non-finite fields, energy blow-up, particle-count drift) every
-//! `health_interval` steps.
+//! [`CheckpointPolicy`] schedule and running the numerical-integrity
+//! sentinel (see `vpic_core::sentinel`) every `health_interval` steps:
+//! non-finite sweeps, the energy ledger, particle conservation, optional
+//! Gauss-law / `∇·B` residual monitors and momentum/position bounds, all
+//! summed into one global [`HealthSample`] by a *single* reduction and
+//! classified identically on every rank into a structured
+//! [`HealthVerdict`].
 //!
-//! When anything goes wrong — a [`CommError`] from a dead or faulty peer,
-//! or a failed health verdict — every rank rendezvouses through
+//! The sentinel heals before it recovers: a repairable verdict (divergence
+//! residuals) first triggers an in-place Marder-cleaning burst with
+//! escalating pass counts (`marder_passes << burst`); only when the burst
+//! budget (`max_marder_bursts`) is exhausted does the campaign fall back
+//! to rollback, and only when the recovery budget is exhausted does it
+//! degrade — writing a partial dump *plus* a JSON flight recorder of the
+//! last N health samples. The health gate runs *before* the checkpoint
+//! dump at the same step, so every generation on disk is certified clean
+//! and rollback always restores healthy state.
+//!
+//! When anything else goes wrong — a [`CommError`] from a dead or faulty
+//! peer, or an unrepairable health verdict — every rank rendezvouses through
 //! [`Comm::recover`], rediscovers its checkpoint generations *from disk*
 //! (rejecting any dump that fails its CRC), agrees with all other ranks on
 //! the newest generation present and valid everywhere, reloads it, and
@@ -59,6 +73,10 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use vpic_core::checkpoint::CheckpointError;
+use vpic_core::sentinel::{
+    burst_passes, classify, validate_cfl, AnomalyKind, CorruptionPlan, FlightRecorder, HealEvent,
+    HealthSample, HealthVerdict, SentinelConfig,
+};
 
 /// How the campaign schedules restart dumps.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -139,6 +157,15 @@ pub struct CampaignConfig {
     pub compress: bool,
     /// Pace checkpoint writes to at most this many bytes/second.
     pub write_throttle_bps: Option<u64>,
+    /// Sentinel thresholds beyond the legacy knobs above (divergence
+    /// monitors, momentum/position bounds, Marder burst budget, flight
+    /// recorder depth). Merged with `health_interval`/`max_energy_growth`
+    /// by [`CampaignConfig::effective_sentinel`].
+    pub sentinel: SentinelConfig,
+    /// Seeded one-shot field corruption to inject (transient-SEU model;
+    /// `None` = no injection). Fired events stay fired across rollback, so
+    /// the replay is clean.
+    pub corruption: Option<CorruptionPlan>,
 }
 
 impl CampaignConfig {
@@ -155,7 +182,23 @@ impl CampaignConfig {
             recovery: RecoveryMode::Rollback,
             compress: true,
             write_throttle_bps: None,
+            sentinel: SentinelConfig::default(),
+            corruption: None,
         }
+    }
+
+    /// The sentinel thresholds in effect: the `sentinel` block with the
+    /// legacy `health_interval`/`max_energy_growth` knobs folded in. The
+    /// particle-drift bound defaults to *exact* conservation (the
+    /// campaign's historical contract) unless set explicitly.
+    pub fn effective_sentinel(&self) -> SentinelConfig {
+        let mut s = self.sentinel;
+        s.health_interval = self.health_interval;
+        s.max_energy_growth = self.max_energy_growth;
+        if s.max_particle_drift < 0.0 {
+            s.max_particle_drift = 0.0;
+        }
+        s
     }
 
     pub fn with_max_recoveries(mut self, n: u32) -> Self {
@@ -192,6 +235,22 @@ impl CampaignConfig {
         self.write_throttle_bps = bps;
         self
     }
+
+    /// Set the sentinel thresholds, folding its cadence and energy bound
+    /// into the legacy knobs (a zero cadence keeps the current one).
+    pub fn with_sentinel(mut self, s: SentinelConfig) -> Self {
+        if s.health_interval > 0 {
+            self.health_interval = s.health_interval;
+        }
+        self.max_energy_growth = s.max_energy_growth;
+        self.sentinel = s;
+        self
+    }
+
+    pub fn with_corruption(mut self, plan: CorruptionPlan) -> Self {
+        self.corruption = Some(plan);
+        self
+    }
 }
 
 /// One recovery episode (rollback or hot-spare hand-off).
@@ -215,8 +274,13 @@ pub enum CampaignEnd {
     /// All `steps` completed.
     Completed,
     /// Recovery budget exhausted (or the world could no longer agree on a
-    /// checkpoint); a best-effort partial dump was written.
-    Degraded { at_step: u64, partial_dump: PathBuf },
+    /// checkpoint); a best-effort partial dump was written next to a JSON
+    /// flight recorder holding the last N health samples and verdicts.
+    Degraded {
+        at_step: u64,
+        partial_dump: PathBuf,
+        flight_recorder: PathBuf,
+    },
 }
 
 /// Result of one rank's campaign.
@@ -227,6 +291,11 @@ pub struct CampaignOutcome {
     /// Total sim steps executed, including replayed ones.
     pub steps_run: u64,
     pub recoveries: Vec<RecoveryEvent>,
+    /// In-place Marder healing episodes (escalating bursts), in order.
+    pub heals: Vec<HealEvent>,
+    /// Largest `max/mean` particle-count imbalance observed at the health
+    /// cadence (0.0 when never sampled).
+    pub peak_imbalance: f64,
     /// The checkpoint interval in effect when the campaign ended (for
     /// `Fixed` this is the configured value; for `Auto` the resolved
     /// Young/Daly optimum).
@@ -249,6 +318,9 @@ pub enum CampaignError {
     /// The hot-spare replacement thread died without handing the endpoint
     /// back.
     HotSpare(String),
+    /// The setup itself is invalid (e.g. a CFL violation): no amount of
+    /// rollback can fix a deck that is unstable by construction.
+    Config(HealthVerdict),
 }
 
 impl From<io::Error> for CampaignError {
@@ -269,6 +341,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::HotSpare(detail) => {
                 write!(f, "hot-spare replacement failed: {detail}")
             }
+            CampaignError::Config(v) => write!(f, "invalid setup: {v}"),
         }
     }
 }
@@ -278,14 +351,14 @@ impl std::error::Error for CampaignError {}
 /// Why one iteration failed (recoverable causes).
 enum Fault {
     Comm(CommError),
-    Health(String),
+    Health(HealthVerdict),
 }
 
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Fault::Comm(e) => write!(f, "comm: {e}"),
-            Fault::Health(msg) => write!(f, "health: {msg}"),
+            Fault::Health(v) => write!(f, "health: {v}"),
         }
     }
 }
@@ -321,44 +394,17 @@ fn list_own_checkpoints(dir: &Path, rank: usize) -> io::Result<Vec<(u64, PathBuf
     Ok(out)
 }
 
-/// Global health verdict, identical on every rank (one reduction).
-/// Returns `Err(Fault::Health)` on a failed check.
-fn health_check(
+/// Sum every rank's local health sample into the global one with a
+/// *single* reduction. Each rank then classifies the identical global
+/// sample, so the verdict is deterministic and needs no further traffic.
+fn global_sample(
     comm: &mut Comm,
-    sim: &DistributedSim,
-    cfg: &CampaignConfig,
-    e0: f64,
-    n0: u64,
-) -> Result<(), Fault> {
-    let f = &sim.fields;
-    let finite = [&f.ex, &f.ey, &f.ez, &f.cbx, &f.cby, &f.cbz]
-        .iter()
-        .all(|a| a.iter().all(|v| v.is_finite()));
-    let e_local = f.energy_e(&sim.grid)
-        + f.energy_b(&sim.grid)
-        + sim
-            .species
-            .iter()
-            .map(|sp| sp.kinetic_energy(&sim.grid))
-            .sum::<f64>();
-    let n_local = sim.n_particles() as f64;
-    let global = comm.allreduce_sum_vec(vec![if finite { 0.0 } else { 1.0 }, e_local, n_local])?;
-    if global[0] > 0.0 {
-        return Err(Fault::Health("non-finite field values".into()));
-    }
-    if e0 > 0.0 && global[1] > cfg.max_energy_growth * e0 {
-        return Err(Fault::Health(format!(
-            "energy blow-up: {:.3e} > {} x {:.3e}",
-            global[1], cfg.max_energy_growth, e0
-        )));
-    }
-    let n_global = global[2] as u64;
-    if n_global != n0 {
-        return Err(Fault::Health(format!(
-            "particle count drift: {n_global} != {n0}"
-        )));
-    }
-    Ok(())
+    sim: &mut DistributedSim,
+    scfg: &SentinelConfig,
+) -> Result<HealthSample, CommError> {
+    let local = sim.local_health_sample(comm, scfg)?;
+    let summed = comm.allreduce_sum_vec(local.to_vec())?;
+    Ok(HealthSample::from_vec(local.step, &summed))
 }
 
 fn n_pipelines_of(sim: &DistributedSim) -> usize {
@@ -418,6 +464,20 @@ struct Runner {
     /// I/O; a hot spare starts with no cache (the victim's memory is
     /// gone).
     cache: Option<(u64, Vec<u8>)>,
+    /// Effective sentinel thresholds (legacy knobs folded in).
+    scfg: SentinelConfig,
+    /// Ring of recent global health samples + verdicts; serialized to
+    /// JSON next to the partial dump on degradation.
+    recorder: FlightRecorder,
+    /// Seeded one-shot corruption injection; fired flags survive rollback.
+    corruption: Option<CorruptionPlan>,
+    /// Consecutive Marder-burst escalation level (reset on a healthy
+    /// check and on rollback).
+    bursts: u32,
+    /// Completed healing episodes.
+    heals: Vec<HealEvent>,
+    /// Peak particle-count imbalance seen at the health cadence.
+    peak_imbalance: f64,
 }
 
 impl Runner {
@@ -433,9 +493,16 @@ impl Runner {
         if let Err(e) = comm.tick(step) {
             return Ok(Err(e.into()));
         }
-        if self.interval > 0 && step.is_multiple_of(self.interval) {
-            if let Err(f) = self.take_checkpoint(comm, sim)? {
-                return Ok(Err(f));
+        // Seeded one-shot corruption (transient-SEU model). Fired flags
+        // survive rollback, so the replay of the same step is clean.
+        if let Some(plan) = self.corruption.as_mut() {
+            let hits = plan.apply(step, self.rank, &mut sim.fields, &sim.grid);
+            if hits > 0 {
+                append_log(
+                    &self.cfg.checkpoint_dir,
+                    self.rank,
+                    &format!("step={step} injected_corruption={hits}"),
+                );
             }
         }
         // Health baselines are (re)computed on every step-0 pass so the
@@ -449,11 +516,33 @@ impl Runner {
                 Err(e) => return Ok(Err(e.into())),
             }
         }
-        if self.cfg.health_interval > 0 && step.is_multiple_of(self.cfg.health_interval) {
-            if let Some((e0, n0)) = self.baseline {
-                if let Err(f) = health_check(comm, sim, &self.cfg, e0, n0) {
-                    return Ok(Err(f));
+        // The health gate runs BEFORE the checkpoint dump at this step:
+        // every generation on disk is certified clean, so rollback always
+        // restores healthy state.
+        if self.scfg.health_interval > 0 && step.is_multiple_of(self.scfg.health_interval) {
+            let baseline = self.baseline.map(|(e0, n0)| (e0, n0 as f64));
+            match global_sample(comm, sim, &self.scfg) {
+                Ok(s) => {
+                    let verdict = classify(&s, &self.scfg, baseline);
+                    self.recorder.record(s, verdict);
+                    if let Some(v) = verdict {
+                        return Ok(Err(Fault::Health(v)));
+                    }
+                    self.bursts = 0;
                 }
+                Err(e) => return Ok(Err(e.into())),
+            }
+            // Load-imbalance surfaces through the fault-handled path like
+            // every other collective — a transient CommError here rolls
+            // back instead of panicking mid-campaign.
+            match sim.load_imbalance(comm) {
+                Ok((ratio, _)) => self.peak_imbalance = self.peak_imbalance.max(ratio),
+                Err(e) => return Ok(Err(e.into())),
+            }
+        }
+        if self.interval > 0 && step.is_multiple_of(self.interval) {
+            if let Err(f) = self.take_checkpoint(comm, sim)? {
+                return Ok(Err(f));
             }
         }
         let t0 = Instant::now();
@@ -463,6 +552,61 @@ impl Runner {
         self.step_secs = ewma(self.step_secs, t0.elapsed().as_secs_f64());
         self.steps_run += 1;
         Ok(Ok(()))
+    }
+
+    /// One rung of the escalation ladder: a Marder burst sized
+    /// `marder_passes << bursts`, then an immediate re-check. Every rank
+    /// executes the identical sequence (the verdict that got us here is
+    /// global), so the collectives stay in lockstep. Returns whether the
+    /// re-check came back clean.
+    fn try_heal(
+        &mut self,
+        comm: &mut Comm,
+        sim: &mut DistributedSim,
+        v: HealthVerdict,
+    ) -> Result<bool, CommError> {
+        let passes = burst_passes(self.scfg.marder_passes, self.bursts);
+        self.bursts += 1;
+        let (pe, pb) = match v.kind {
+            AnomalyKind::GaussLawResidual => (passes, 0),
+            AnomalyKind::DivBResidual => (0, passes),
+            _ => (0, 0),
+        };
+        sim.marder_burst(comm, pe, pb)?;
+        let baseline = self.baseline.map(|(e0, n0)| (e0, n0 as f64));
+        let s = global_sample(comm, sim, &self.scfg)?;
+        let verdict = classify(&s, &self.scfg, baseline);
+        self.recorder.record(s, verdict);
+        let rms_after = match v.kind {
+            AnomalyKind::DivBResidual => s.div_b_rms(),
+            _ => s.div_e_rms(),
+        };
+        let healed = verdict.is_none();
+        if healed {
+            self.bursts = 0;
+        }
+        self.heals.push(HealEvent {
+            step: v.step,
+            kind: v.kind,
+            passes,
+            rms_before: v.metric,
+            rms_after,
+            healed,
+        });
+        append_log(
+            &self.cfg.checkpoint_dir,
+            self.rank,
+            &format!(
+                "step={} burst={} kind={} passes={passes} rms={:.3e}->{:.3e} healed={}",
+                v.step,
+                self.bursts,
+                v.kind.as_str(),
+                v.metric,
+                rms_after,
+                healed
+            ),
+        );
+        Ok(healed)
     }
 
     /// Write a checkpoint generation, confirm all ranks wrote theirs
@@ -495,9 +639,17 @@ impl Runner {
         };
         if gathered.iter().any(|&(s, _, _)| s != sim.step_count) {
             let steps: Vec<u64> = gathered.iter().map(|&(s, _, _)| s).collect();
-            return Ok(Err(Fault::Health(format!(
-                "checkpoint confirmation mismatch: {steps:?}"
-            ))));
+            let first_bad = steps
+                .iter()
+                .copied()
+                .find(|&s| s != sim.step_count)
+                .unwrap_or(0);
+            return Ok(Err(Fault::Health(HealthVerdict {
+                kind: AnomalyKind::Confirmation,
+                metric: first_bad as f64,
+                threshold: sim.step_count as f64,
+                step: sim.step_count,
+            })));
         }
         self.cache = Some((sim.step_count, bytes));
         if matches!(self.cfg.checkpoint, CheckpointPolicy::Auto { .. }) {
@@ -586,6 +738,13 @@ impl Runner {
         if let Ok(bytes) = dump_rank_bytes(&sim, self.cfg.compress) {
             let _ = write_bytes_atomic(&partial, &bytes, self.cfg.write_throttle_bps);
         }
+        // The flight recorder is the post-mortem: the last N health
+        // samples (and verdicts) as structured JSON, best-effort.
+        let flight = self
+            .cfg
+            .checkpoint_dir
+            .join(format!("flight_r{:04}.json", self.rank));
+        let _ = self.recorder.write_json(&flight);
         append_log(
             &self.cfg.checkpoint_dir,
             self.rank,
@@ -594,6 +753,7 @@ impl Runner {
         let end = CampaignEnd::Degraded {
             at_step,
             partial_dump: partial,
+            flight_recorder: flight,
         };
         let outcome = self.finish(end);
         (sim, outcome)
@@ -605,6 +765,8 @@ impl Runner {
             end,
             steps_run: self.steps_run,
             recoveries: self.recoveries,
+            heals: self.heals,
+            peak_imbalance: self.peak_imbalance,
             effective_interval: self.interval,
             finished_by: std::thread::current().id(),
         }
@@ -661,6 +823,7 @@ impl Runner {
     ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
         match self.rollback(comm, &sim) {
             Ok((restored, restored_step)) => {
+                self.bursts = 0;
                 append_log(
                     &self.cfg.checkpoint_dir,
                     self.rank,
@@ -698,10 +861,31 @@ impl Runner {
                 return Ok((sim, outcome));
             }
             let step = sim.step_count;
-            let fault = match self.iterate(comm, &mut sim)? {
+            let mut fault = match self.iterate(comm, &mut sim)? {
                 Ok(()) => continue,
                 Err(f) => f,
             };
+
+            // Escalation ladder, rung 2: a repairable numerical verdict
+            // (divergence residual) gets an in-place Marder-cleaning burst
+            // before we spend a recovery attempt. Pass counts escalate
+            // geometrically per consecutive burst; once the budget is
+            // spent — or the anomaly is structural (NaN, energy blow-up,
+            // drift) — fall through to rollback.
+            if let Fault::Health(v) = &fault {
+                let v = *v;
+                if v.kind.repairable() && self.bursts < self.scfg.max_marder_bursts {
+                    match self.try_heal(comm, &mut sim, v) {
+                        // Healed or not, re-enter the loop: the next
+                        // health gate re-samples, and an unhealed residual
+                        // re-faults here with an escalated pass count.
+                        Ok(_) => continue,
+                        // A burst collective failing is a comm fault; let
+                        // the ordinary recovery machinery handle it.
+                        Err(e) => fault = Fault::Comm(e),
+                    }
+                }
+            }
 
             let attempt = self.recoveries.len() as u32 + 1;
             if attempt > self.cfg.max_recoveries {
@@ -720,6 +904,9 @@ impl Runner {
             match self.rollback(comm, &sim) {
                 Ok((restored, restored_step)) => {
                     sim = restored;
+                    // A fresh (certified-clean) generation starts the
+                    // burst budget over.
+                    self.bursts = 0;
                     append_log(
                         &self.cfg.checkpoint_dir,
                         self.rank,
@@ -762,6 +949,13 @@ pub fn run_campaign(
     if let Some(t) = cfg.op_timeout {
         comm.set_op_timeout(t);
     }
+    // A CFL violation can only come from a bad deck; catching it here
+    // (identically on every rank — the grid is replicated config) beats
+    // watching the fields blow up at step 3.
+    if let Err(v) = validate_cfl(&sim.grid) {
+        return Err(CampaignError::Config(v));
+    }
+    let scfg = cfg.effective_sentinel();
     let runner = Runner {
         rank: sim.rank,
         baseline: None,
@@ -771,6 +965,12 @@ pub fn run_campaign(
         ckpt_secs: 0.0,
         step_secs: 0.0,
         cache: None,
+        recorder: FlightRecorder::new(scfg.recorder_len),
+        scfg,
+        corruption: cfg.corruption.clone(),
+        bursts: 0,
+        heals: Vec::new(),
+        peak_imbalance: 0.0,
         cfg: cfg.clone(),
     };
     runner.drive(comm, sim)

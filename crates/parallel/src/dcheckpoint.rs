@@ -22,9 +22,9 @@ use crate::dsim::DistributedSim;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use vpic_core::checkpoint::{
-    decode_fields, decode_species, encode_fields, encode_species, read_section,
-    read_section_encoded, write_section, write_section_encoded, CheckpointError, PayloadReader,
-    PayloadWriter,
+    decode_fields, decode_sim_config, decode_species, encode_fields, encode_sim_config,
+    encode_species, read_section, read_section_encoded, write_section, write_section_encoded,
+    CheckpointError, PayloadReader, PayloadWriter,
 };
 
 const MAGIC: &[u8; 8] = b"VPICRD03";
@@ -60,6 +60,7 @@ pub fn save_rank_with(
     write_section(w, &h.finish())?;
     write_section_encoded(w, &encode_fields(&sim.fields), compress)?;
     write_section_encoded(w, &encode_species(&sim.species), compress)?;
+    write_section(w, &encode_sim_config(&sim.config))?;
     Ok(())
 }
 
@@ -126,6 +127,9 @@ pub fn load_rank(
     for sp in decode_species(&species_payload, n)? {
         sim.add_species(sp);
     }
+
+    let config_payload = read_section(r, "config")?;
+    sim.config = decode_sim_config(&config_payload)?;
     Ok(sim)
 }
 

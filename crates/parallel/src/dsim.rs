@@ -7,13 +7,18 @@ use crate::migrate::migrate_species;
 use nanompi::{Comm, CommError};
 use std::time::Instant;
 use vpic_core::accumulator::AccumulatorSet;
+use vpic_core::deposit::deposit_rho;
 use vpic_core::field::FieldArray;
-use vpic_core::field_solver::{advance_b, advance_e, bcs_of, sync_b, sync_e, sync_j};
+use vpic_core::field_solver::{
+    advance_b, advance_e, apply_marder_b, apply_marder_e, bcs_of, compute_div_b_err,
+    compute_div_e_err, mirror_div_b_err, mirror_div_e_err, sync_b, sync_e, sync_j, sync_rho,
+};
 use vpic_core::grid::Grid;
 use vpic_core::interpolator::InterpolatorArray;
 use vpic_core::maxwellian::{load_uniform, Momentum};
 use vpic_core::push::advance_p;
 use vpic_core::rng::Rng;
+use vpic_core::sentinel::{self, HealthSample, SentinelConfig, SimConfig};
 use vpic_core::species::Species;
 use vpic_core::Particle;
 
@@ -69,6 +74,11 @@ pub struct DistributedSim {
     /// Particles shipped to neighbors (all steps, all rounds).
     pub migrated: u64,
     pub timings: DistTimings,
+    /// Cleaning cadence + sentinel thresholds (checkpoint-portable; every
+    /// rank must hold the same value for the collectives to agree).
+    pub config: SimConfig,
+    /// Scratch for divergence-error fields.
+    scratch: Vec<f32>,
 }
 
 impl DistributedSim {
@@ -91,6 +101,8 @@ impl DistributedSim {
             step_count: 0,
             migrated: 0,
             timings: DistTimings::default(),
+            config: SimConfig::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -214,7 +226,133 @@ impl DistributedSim {
 
         self.step_count += 1;
         self.timings.steps += 1;
+
+        let cfg = self.config;
+        if cfg.clean_div_e_interval > 0
+            && self
+                .step_count
+                .is_multiple_of(cfg.clean_div_e_interval as u64)
+        {
+            self.refresh_rho(comm)?;
+            self.marder_clean_e(comm, 1)?;
+        }
+        if cfg.clean_div_b_interval > 0
+            && self
+                .step_count
+                .is_multiple_of(cfg.clean_div_b_interval as u64)
+        {
+            self.marder_clean_b(comm, 1)?;
+        }
         Ok(())
+    }
+
+    /// Deposit the charge density of every species into `fields.rho` with
+    /// valid live entries everywhere: local deposit + periodic fold, then a
+    /// ghost-plane fold into the owning neighbor on decomposed axes.
+    pub fn refresh_rho(&mut self, comm: &mut Comm) -> Result<(), CommError> {
+        self.fields.clear_rho();
+        for sp in &self.species {
+            deposit_rho(&mut self.fields, &self.grid, &sp.particles, sp.q);
+        }
+        let g = self.grid.clone();
+        sync_rho(&mut self.fields, &g, bcs_of(&g));
+        self.exchanger.fold_scalar(comm, &mut self.fields.rho, &g)
+    }
+
+    /// `passes` distributed Marder passes on `E` (`E += κ∇(∇·E − ρ/ε0)`).
+    ///
+    /// Requires a fresh [`Self::refresh_rho`]. Each pass refreshes exactly
+    /// the ghost planes the serial pass mirrors locally, so the cleaned
+    /// field is identical to a single-domain run of the same pass count.
+    pub fn marder_clean_e(&mut self, comm: &mut Comm, passes: u32) -> Result<(), CommError> {
+        let g = self.grid.clone();
+        let bcs = bcs_of(&g);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut run = |sim: &mut Self, scratch: &mut Vec<f32>| -> Result<(), CommError> {
+            for _ in 0..passes {
+                sim.exchanger
+                    .exchange_e_normal_low(comm, &mut sim.fields, &g)?;
+                compute_div_e_err(&sim.fields, &g, scratch);
+                mirror_div_e_err(scratch, &g, bcs);
+                sim.exchanger.exchange_scalar_high(comm, scratch, &g)?;
+                apply_marder_e(&mut sim.fields, &g, scratch);
+                sync_e(&mut sim.fields, &g, bcs);
+                sim.exchanger.exchange_e(comm, &mut sim.fields, &g)?;
+            }
+            Ok(())
+        };
+        let r = run(self, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    /// `passes` distributed Marder passes on `B` (`cB −= κ∇(∇·cB)`).
+    pub fn marder_clean_b(&mut self, comm: &mut Comm, passes: u32) -> Result<(), CommError> {
+        let g = self.grid.clone();
+        let bcs = bcs_of(&g);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut run = |sim: &mut Self, scratch: &mut Vec<f32>| -> Result<(), CommError> {
+            for _ in 0..passes {
+                compute_div_b_err(&sim.fields, &g, scratch);
+                mirror_div_b_err(scratch, &g, bcs);
+                sim.exchanger.exchange_scalar_low(comm, scratch, &g)?;
+                apply_marder_b(&mut sim.fields, &g, scratch);
+                sync_b(&mut sim.fields, &g, bcs);
+                sim.exchanger.exchange_b(comm, &mut sim.fields, &g)?;
+            }
+            Ok(())
+        };
+        let r = run(self, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    /// One healing burst: fresh `rho` plus `passes_e`/`passes_b` Marder
+    /// passes on the respective fields (either may be zero).
+    pub fn marder_burst(
+        &mut self,
+        comm: &mut Comm,
+        passes_e: u32,
+        passes_b: u32,
+    ) -> Result<(), CommError> {
+        if passes_e > 0 {
+            self.refresh_rho(comm)?;
+            self.marder_clean_e(comm, passes_e)?;
+        }
+        if passes_b > 0 {
+            self.marder_clean_b(comm, passes_b)?;
+        }
+        Ok(())
+    }
+
+    /// This rank's contribution to a global health sample. Refreshes `rho`
+    /// and the divergence-stencil ghost planes when the Gauss monitor is
+    /// on. Callers sum the samples across ranks (one allreduce of
+    /// [`HealthSample::to_vec`]) and classify the *global* sample, so every
+    /// rank reaches the identical verdict.
+    pub fn local_health_sample(
+        &mut self,
+        comm: &mut Comm,
+        cfg: &SentinelConfig,
+    ) -> Result<HealthSample, CommError> {
+        let g = self.grid.clone();
+        if cfg.max_div_e_rms > 0.0 {
+            self.refresh_rho(comm)?;
+            self.exchanger
+                .exchange_e_normal_low(comm, &mut self.fields, &g)?;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let s = sentinel::local_sample(
+            self.step_count,
+            &self.fields,
+            &g,
+            &self.species,
+            &self.accumulators,
+            cfg,
+            &mut scratch,
+        );
+        self.scratch = scratch;
+        Ok(s)
     }
 
     /// Global particle count.
@@ -402,6 +540,66 @@ mod tests {
         assert!(traffic.total_bytes > 0);
     }
 
+    /// Distributed Marder cleaning must reproduce the serial pass exactly:
+    /// with the ghost planes refreshed as the serial mirrors would, every
+    /// voxel sees identical stencil inputs, so the result is bit-identical.
+    #[test]
+    fn distributed_marder_matches_single_domain() {
+        let global = (8usize, 4usize, 4usize);
+        let cell = (0.5f32, 0.5f32, 0.5f32);
+        let dt = 0.1f32;
+        let passes = 6u32;
+        let spike = |g: &Grid, f: &mut FieldArray, x0: f32| {
+            for k in 1..=g.nz {
+                for j in 1..=g.ny {
+                    for i in 1..=g.nx {
+                        let gx = x0 + (i as f32 - 0.5) * g.dx;
+                        let v = g.voxel(i, j, k);
+                        f.ex[v] = (gx * 0.7).sin();
+                        f.cbx[v] = (gx * 1.3).cos();
+                    }
+                }
+            }
+        };
+
+        // Serial reference (rho stays zero in both runs).
+        let g = Grid::periodic(global, cell, dt);
+        let mut reference = Simulation::new(g, 1);
+        let gr = reference.grid.clone();
+        spike(&gr, &mut reference.fields, 0.0);
+        sync_e(&mut reference.fields, &gr, bcs_of(&gr));
+        sync_b(&mut reference.fields, &gr, bcs_of(&gr));
+        let mut scratch = Vec::new();
+        for _ in 0..passes {
+            vpic_core::field_solver::clean_div_e(&mut reference.fields, &gr, &mut scratch);
+            vpic_core::field_solver::clean_div_b(&mut reference.fields, &gr, &mut scratch);
+        }
+        let probe = gr.voxel(3, 2, 2);
+        let want = (reference.fields.ex[probe], reference.fields.cbx[probe]);
+
+        let (results, _) = run_expect(2, |comm| -> Result<Option<(f32, f32)>, CommError> {
+            let spec = DomainSpec::periodic(global, cell, dt, 2);
+            let mut sim = DistributedSim::new(spec, comm.rank(), 1);
+            let g = sim.grid.clone();
+            spike(&g, &mut sim.fields, g.x0);
+            sim.synchronize_fields(comm)?;
+            sim.marder_clean_e(comm, passes)?;
+            sim.marder_clean_b(comm, passes)?;
+            // Global cell 3 lives on rank 0 (4 cells per rank).
+            Ok((comm.rank() == 0).then(|| {
+                (
+                    sim.fields.ex[g.voxel(3, 2, 2)],
+                    sim.fields.cbx[g.voxel(3, 2, 2)],
+                )
+            }))
+        });
+        let got = match &results[0] {
+            Ok(Some(v)) => *v,
+            other => panic!("rank 0 probe failed: {other:?}"),
+        };
+        assert_eq!(got, want, "distributed Marder diverged from serial");
+    }
+
     /// A vacuum plane wave crossing rank boundaries must match the
     /// single-domain solution at a probe point.
     #[test]
@@ -469,16 +667,19 @@ mod balance_tests {
 
     #[test]
     fn imbalance_detects_loaded_rank() {
-        let (results, _) = run_expect(4, |comm| {
+        // Comm errors propagate out of the rank closure (the fault-handled
+        // path) instead of panicking mid-collective and hanging peers.
+        let (results, _) = run_expect(4, |comm| -> Result<(f64, usize), CommError> {
             let spec = DomainSpec::periodic((8, 4, 4), (0.5, 0.5, 0.5), 0.1, 4);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             // Rank 2 carries 4× the load.
             let ppc = if comm.rank() == 2 { 32 } else { 8 };
             sim.load_uniform(si, 1, 1.0, ppc, Momentum::thermal(0.05));
-            sim.load_imbalance(comm).unwrap()
+            sim.load_imbalance(comm)
         });
-        for (ratio, rank) in results {
+        for r in results {
+            let (ratio, rank) = r.expect("imbalance probe");
             assert_eq!(rank, 2);
             // 4× on one of four ranks → max/mean = 4/((3+4·1)/4)… = 16/7.
             assert!((ratio - 16.0 / 7.0).abs() < 0.15, "ratio {ratio}");
@@ -487,20 +688,18 @@ mod balance_tests {
 
     #[test]
     fn balanced_world_reports_unity() {
-        let (results, _) = run_expect(2, |comm| {
+        let (results, _) = run_expect(2, |comm| -> Result<(f64, f64), CommError> {
             let spec = DomainSpec::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.1, 2);
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let si = sim.add_species(Species::new("e", -1.0, 1.0));
             sim.load_uniform(si, 9, 1.0, 16, Momentum::thermal(0.05));
             for _ in 0..3 {
-                sim.step(comm).unwrap();
+                sim.step(comm)?;
             }
-            (
-                sim.load_imbalance(comm).unwrap().0,
-                sim.push_time_imbalance(comm).unwrap(),
-            )
+            Ok((sim.load_imbalance(comm)?.0, sim.push_time_imbalance(comm)?))
         });
-        for (particles, time) in results {
+        for r in results {
+            let (particles, time) = r.expect("balance probe");
             assert!(
                 (particles - 1.0).abs() < 0.1,
                 "particle imbalance {particles}"

@@ -25,6 +25,10 @@ const TAG_E: u64 = 0xE000;
 const TAG_B_OWN: u64 = 0xB000;
 const TAG_B_T: u64 = 0xB100;
 const TAG_J: u64 = 0xA000;
+const TAG_S_FOLD: u64 = 0x5000;
+const TAG_S_HIGH: u64 = 0x5100;
+const TAG_S_LOW: u64 = 0x5200;
+const TAG_E_NORM: u64 = 0x5300;
 
 /// Read the full (ghost-inclusive) plane `idx` along `axis`.
 pub fn read_plane(arr: &[f32], g: &Grid, axis: usize, idx: usize) -> Vec<f32> {
@@ -161,6 +165,100 @@ impl GhostExchanger {
                     let plane: Vec<f32> = comm.recv(nb, tag)?;
                     write_plane(c, g, axis, 0, &plane);
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold ghost-plane deposits of a node-centered scalar (e.g. `rho`)
+    /// into the owning neighbor: plane `n+1` adds into the `+axis`
+    /// neighbor's plane 1. Node-centered deposits never land in plane 0,
+    /// so this single fold per axis suffices (same argument as `fold_j`).
+    /// Call after a local `sync_rho`.
+    pub fn fold_scalar(&self, comm: &mut Comm, arr: &mut [f32], g: &Grid) -> Result<(), CommError> {
+        for axis in 0..3 {
+            let n = n_of(g, axis);
+            let tag = TAG_S_FOLD + axis as u64;
+            if let Some(nb) = self.neighbors[axis + 3] {
+                comm.send_vec(nb, tag, read_plane(arr, g, axis, n + 1))?;
+            }
+            if let Some(nb) = self.neighbors[axis] {
+                let plane: Vec<f32> = comm.recv(nb, tag)?;
+                add_plane(arr, g, axis, 1, &plane);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill a scalar's high ghost plane: my `n+1` is the `+axis` neighbor's
+    /// plane 1 (read by the forward gradient in `apply_marder_e`).
+    pub fn exchange_scalar_high(
+        &self,
+        comm: &mut Comm,
+        arr: &mut [f32],
+        g: &Grid,
+    ) -> Result<(), CommError> {
+        for axis in 0..3 {
+            let n = n_of(g, axis);
+            let tag = TAG_S_HIGH + axis as u64;
+            if let Some(nb) = self.neighbors[axis] {
+                comm.send_vec(nb, tag, read_plane(arr, g, axis, 1))?;
+            }
+            if let Some(nb) = self.neighbors[axis + 3] {
+                let plane: Vec<f32> = comm.recv(nb, tag)?;
+                write_plane(arr, g, axis, n + 1, &plane);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill a scalar's low ghost plane: my `0` is the `−axis` neighbor's
+    /// plane `n` (read by the backward gradient in `apply_marder_b`).
+    pub fn exchange_scalar_low(
+        &self,
+        comm: &mut Comm,
+        arr: &mut [f32],
+        g: &Grid,
+    ) -> Result<(), CommError> {
+        for axis in 0..3 {
+            let n = n_of(g, axis);
+            let tag = TAG_S_LOW + axis as u64;
+            if let Some(nb) = self.neighbors[axis + 3] {
+                comm.send_vec(nb, tag, read_plane(arr, g, axis, n))?;
+            }
+            if let Some(nb) = self.neighbors[axis] {
+                let plane: Vec<f32> = comm.recv(nb, tag)?;
+                write_plane(arr, g, axis, 0, &plane);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill the axis-normal `E` component's low ghost plane (`ex` plane 0
+    /// along x, …) from the `−axis` neighbor's plane `n`. The solver never
+    /// reads these, but the Gauss-law divergence stencil at the first node
+    /// plane does — mirroring what `sync_e` copies on locally periodic
+    /// axes.
+    pub fn exchange_e_normal_low(
+        &self,
+        comm: &mut Comm,
+        f: &mut FieldArray,
+        g: &Grid,
+    ) -> Result<(), CommError> {
+        for axis in 0..3 {
+            let c: &mut Vec<f32> = match axis {
+                0 => &mut f.ex,
+                1 => &mut f.ey,
+                _ => &mut f.ez,
+            };
+            let n = n_of(g, axis);
+            let tag = TAG_E_NORM + axis as u64;
+            if let Some(nb) = self.neighbors[axis + 3] {
+                comm.send_vec(nb, tag, read_plane(c, g, axis, n))?;
+            }
+            if let Some(nb) = self.neighbors[axis] {
+                let plane: Vec<f32> = comm.recv(nb, tag)?;
+                write_plane(c, g, axis, 0, &plane);
             }
         }
         Ok(())
@@ -357,6 +455,60 @@ mod tests {
             flags.iter().any(|&c| c),
             "no rank observed CommError::Corrupt: {flags:?}"
         );
+    }
+
+    #[test]
+    fn scalar_exchanges_match_periodic_copies() {
+        // Two ranks along x, wrapped: fold_scalar must land ghost deposits
+        // exactly where a periodic sync_rho fold would, and the low/high
+        // scalar exchanges must place the planes the serial mirrors copy.
+        use nanompi::run_expect;
+        let (results, _) = run_expect(2, |comm| {
+            let g = Grid::new(
+                (4, 2, 2),
+                (1.0, 1.0, 1.0),
+                0.1,
+                [
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Migrate,
+                    vpic_core::grid::ParticleBc::Periodic,
+                    vpic_core::grid::ParticleBc::Periodic,
+                ],
+            );
+            let mut rho = vec![0.0f32; g.n_voxels()];
+            let mut err = vec![0.0f32; g.n_voxels()];
+            for k in 0..g.strides().2 {
+                for j in 0..g.strides().1 {
+                    rho[g.voxel(g.nx + 1, j, k)] = 0.5; // ghost deposit
+                    rho[g.voxel(1, j, k)] = 2.0; // own plane-1 deposit
+                    for i in 1..=g.nx {
+                        err[g.voxel(i, j, k)] = (comm.rank() * 100 + 10 + i) as f32;
+                    }
+                }
+            }
+            let other = 1 - comm.rank();
+            let ex = GhostExchanger {
+                neighbors: [Some(other), None, None, Some(other), None, None],
+            };
+            ex.fold_scalar(comm, &mut rho, &g).unwrap();
+            ex.exchange_scalar_high(comm, &mut err, &g).unwrap();
+            ex.exchange_scalar_low(comm, &mut err, &g).unwrap();
+            (
+                rho[g.voxel(1, 1, 1)],
+                err[g.voxel(g.nx + 1, 1, 1)],
+                err[g.voxel(0, 1, 1)],
+            )
+        });
+        // Folded: own 2.0 + neighbor's ghost 0.5.
+        assert_eq!(results[0].0, 2.5);
+        assert_eq!(results[1].0, 2.5);
+        // High ghost = +neighbor's plane 1; low ghost = −neighbor's plane n.
+        assert_eq!(results[0].1, 111.0);
+        assert_eq!(results[1].1, 11.0);
+        assert_eq!(results[0].2, 114.0);
+        assert_eq!(results[1].2, 14.0);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 # Pass "bench-smoke" (or set CI_BENCH_SMOKE=1) to run the step-throughput
 # bench on a small grid, write target/BENCH_smoke.json, and re-validate it
 # (schema check; NaN or zero rates fail the lane).
+#
+# Pass "sentinel" (or set CI_SENTINEL=1) to run the numerical-integrity
+# lane: the sentinel unit/property tests and the seeded heal/rollback/
+# degrade scenarios, built with debug assertions enabled so integer
+# overflow and debug invariants are checked too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +32,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" == "soak" || "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> fault-soak lane (release, ignored tests)"
     cargo test --release --test campaign_soak -- --ignored --nocapture
+    cargo test --release --test srs_soak -- --ignored --nocapture
+fi
+
+if [[ "${1:-}" == "sentinel" || "${CI_SENTINEL:-0}" == "1" ]]; then
+    echo "==> sentinel lane (debug assertions on)"
+    # Release speed with debug_assert!/overflow checks live, so the
+    # monitors' own arithmetic is vetted while the seeded blow-up,
+    # in-place heal, rollback and degrade scenarios run.
+    export RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on"
+    cargo test --release -p vpic-core sentinel
+    cargo test --release --test sentinel_heal
+    cargo test --release --test srs_soak shrunk
 fi
 
 if [[ "${1:-}" == "bench-smoke" || "${CI_BENCH_SMOKE:-0}" == "1" ]]; then

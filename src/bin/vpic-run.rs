@@ -124,6 +124,79 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
             print_throughput(&run.sim.timings, run.sim.accumulators.n_pipelines());
         }
         BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
+        BuiltRun::LpiCampaign(setup) => run_lpi_campaign_deck(*setup, out_dir)?,
+    }
+    Ok(())
+}
+
+fn run_lpi_campaign_deck(
+    setup: vpic::deck::LpiCampaignSetup,
+    out_dir: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use vpic::lpi::{run_lpi_campaign, LpiCampaignEnd};
+
+    let cfg = setup.config(Path::new(out_dir));
+    println!(
+        "LPI campaign: a0 = {}, n/ncr = {}, {} steps, checkpoint every {} steps into {}, \
+         sentinel every {} steps",
+        setup.params.a0,
+        setup.params.n_over_ncr,
+        cfg.steps,
+        cfg.checkpoint_interval,
+        cfg.checkpoint_dir.display(),
+        cfg.sentinel.health_interval
+    );
+    if let Some(plan) = &cfg.fault_plan {
+        println!(
+            "fault injection: {} rule(s), seed {}",
+            plan.rules.len(),
+            plan.seed
+        );
+    }
+    if let Some(plan) = &cfg.corruption {
+        println!(
+            "corruption injection: {} event(s), seed {}",
+            plan.events.len(),
+            plan.seed
+        );
+    }
+    let out = run_lpi_campaign(setup.params, &cfg)?;
+    for h in &out.heals {
+        println!(
+            "heal at step {}: {} burst of {} pass(es), rms {:.3e} -> {:.3e}{}",
+            h.step,
+            h.kind.as_str(),
+            h.passes,
+            h.rms_before,
+            h.rms_after,
+            if h.healed { "" } else { " (not healed)" }
+        );
+    }
+    for r in &out.recoveries {
+        println!(
+            "recovery at step {}: {} -> restored step {}",
+            r.at_step, r.cause, r.restored_step
+        );
+    }
+    match &out.end {
+        LpiCampaignEnd::Completed => println!(
+            "completed: {} steps, {} recovery(ies), reflectivity {:.3e}, \
+             {} particles, state crc {:08x}",
+            out.steps_run,
+            out.recoveries.len(),
+            out.reflectivity,
+            out.n_particles,
+            out.state_crc
+        ),
+        LpiCampaignEnd::Degraded {
+            at_step,
+            partial_dump,
+            flight_recorder,
+        } => println!(
+            "degraded at step {at_step}: partial dump {}, flight recorder {}",
+            partial_dump.display(),
+            flight_recorder.display()
+        ),
     }
     Ok(())
 }
@@ -207,7 +280,10 @@ fn run_campaign_deck(
     });
 
     let mut summary = fs::File::create(Path::new(out_dir).join("campaign.tsv"))?;
-    writeln!(summary, "rank\tend\tsteps_run\trecoveries\tinterval")?;
+    writeln!(
+        summary,
+        "rank\tend\tsteps_run\trecoveries\theals\tinterval\tpeak_imbalance"
+    )?;
     let mut failures = 0usize;
     let mut printed_stats = false;
     for (rank, res) in results.iter().enumerate() {
@@ -256,19 +332,39 @@ fn report_outcome(summary: &mut fs::File, outcome: &CampaignOutcome) -> std::io:
         CampaignEnd::Degraded {
             at_step,
             partial_dump,
+            flight_recorder,
         } => {
+            println!(
+                "  rank {} flight recorder: {}",
+                outcome.rank,
+                flight_recorder.display()
+            );
             format!("degraded@{at_step}:{}", partial_dump.display())
         }
     };
     writeln!(
         summary,
-        "{}\t{}\t{}\t{}\t{}",
+        "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}",
         outcome.rank,
         end,
         outcome.steps_run,
         outcome.recoveries.len(),
-        outcome.effective_interval
+        outcome.heals.len(),
+        outcome.effective_interval,
+        outcome.peak_imbalance
     )?;
+    for ev in &outcome.heals {
+        println!(
+            "  rank {} heal at step {}: {} burst of {} pass(es), rms {:.3e} -> {:.3e}{}",
+            outcome.rank,
+            ev.step,
+            ev.kind.as_str(),
+            ev.passes,
+            ev.rms_before,
+            ev.rms_after,
+            if ev.healed { "" } else { " (not healed)" }
+        );
+    }
     for ev in &outcome.recoveries {
         println!(
             "  rank {} recovery #{} at step {}: {} -> restored step {}{}",

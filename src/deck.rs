@@ -43,17 +43,34 @@
 //! `checkpoint_write_mbps` throttle. Fault-injection knobs
 //! (`kill_rank`/`kill_step`, `drop_prob`, `fault_seed`) exercise the
 //! recovery path on purpose.
+//!
+//! A `kind = lpi` deck with a `[campaign]` section runs the serial
+//! fault-tolerant LPI campaign instead (`checkpoint_interval`,
+//! `keep_checkpoints`, `max_recoveries`, `kill_step`).
+//!
+//! Either campaign kind also honours a `[sentinel]` section
+//! (numerical-integrity thresholds: `health_interval`,
+//! `max_energy_growth`, `max_div_e_rms`, `max_div_b_rms`, `max_momentum`,
+//! `max_particle_drift`, `marder_passes`, `max_marder_bursts`,
+//! `recorder_len`, plus the periodic Marder-cleaning cadence
+//! `clean_div_e_interval` / `clean_div_b_interval`) and a `[fault]` section injecting a seeded one-shot
+//! field corruption (`corrupt_step`, `corrupt_count`,
+//! `corrupt_mode = nan|huge`, `corrupt_rank`, `seed`) that the sentinel
+//! must catch and recover from.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use nanompi::FaultPlan;
+use vpic_core::sentinel::{
+    CorruptionEvent, CorruptionMode, CorruptionPlan, SentinelConfig, SimConfig,
+};
 use vpic_core::{
     load_juttner, load_two_stream, load_uniform, Grid, Momentum, ParticleBc, Rng, Simulation,
     Species,
 };
-use vpic_lpi::{LpiParams, LpiRun};
+use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
 use vpic_parallel::{DistributedSim, DomainSpec};
 
@@ -184,6 +201,8 @@ pub enum BuiltRun {
     Lpi(Box<LpiRun>),
     /// A fault-tolerant multi-rank campaign.
     Campaign(Box<CampaignSetup>),
+    /// A fault-tolerant serial LPI campaign (`kind = lpi` + `[campaign]`).
+    LpiCampaign(Box<LpiCampaignSetup>),
 }
 
 /// Build the run a deck describes.
@@ -193,9 +212,83 @@ pub fn build(deck: &Deck) -> Result<BuiltRun, DeckError> {
             build_campaign(deck).map(|c| BuiltRun::Campaign(Box::new(c)))
         }
         Some("plasma") | None => build_plasma(deck).map(|s| BuiltRun::Plasma(Box::new(s))),
+        Some("lpi") if deck.section("campaign").is_some() => {
+            build_lpi_campaign(deck).map(|c| BuiltRun::LpiCampaign(Box::new(c)))
+        }
         Some("lpi") => build_lpi(deck).map(|r| BuiltRun::Lpi(Box::new(r))),
         Some(other) => Err(err(format!("unknown kind: {other}"))),
     }
+}
+
+/// Parse the optional `[sentinel]` section into a full [`SimConfig`]:
+/// thresholds for the numerical-integrity monitors, starting from the
+/// armed defaults ([`SentinelConfig::enabled`]), plus the periodic
+/// Marder-cleaning cadence (`clean_div_e_interval` /
+/// `clean_div_b_interval`, 0 = never). Returns `None` when the section
+/// is absent (campaigns then fall back to the legacy `health_interval`
+/// behavior).
+fn parse_sentinel(deck: &Deck) -> Result<Option<SimConfig>, DeckError> {
+    let Some(kv) = deck.section("sentinel") else {
+        return Ok(None);
+    };
+    let d = SentinelConfig::enabled();
+    let f =
+        |key: &str, dv: f64| -> Result<f64, DeckError> { Ok(req_f32(kv, key, dv as f32)? as f64) };
+    Ok(Some(SimConfig {
+        clean_div_e_interval: get_usize(kv, "clean_div_e_interval", 0)?,
+        clean_div_b_interval: get_usize(kv, "clean_div_b_interval", 0)?,
+        sentinel: SentinelConfig {
+            health_interval: get_u64(kv, "health_interval", d.health_interval)?,
+            max_energy_growth: f("max_energy_growth", d.max_energy_growth)?,
+            max_div_e_rms: f("max_div_e_rms", d.max_div_e_rms)?,
+            max_div_b_rms: f("max_div_b_rms", d.max_div_b_rms)?,
+            max_momentum: f("max_momentum", d.max_momentum)?,
+            max_particle_drift: f("max_particle_drift", d.max_particle_drift)?,
+            marder_passes: get_u64(kv, "marder_passes", d.marder_passes as u64)? as u32,
+            max_marder_bursts: get_u64(kv, "max_marder_bursts", d.max_marder_bursts as u64)? as u32,
+            recorder_len: get_usize(kv, "recorder_len", d.recorder_len)?,
+        },
+    }))
+}
+
+/// Parse the optional `[fault]` section into a seeded one-shot
+/// [`CorruptionPlan`] (transient-upset injection; kills stay on the
+/// `[campaign]` section's `kill_rank`/`kill_step` knobs).
+fn parse_corruption(deck: &Deck) -> Result<Option<CorruptionPlan>, DeckError> {
+    let Some(kv) = deck.section("fault") else {
+        return Ok(None);
+    };
+    let step = match kv.get("corrupt_step") {
+        None => return Ok(None),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad integer for corrupt_step: {v}")))?,
+    };
+    let mode = match kv.get("corrupt_mode").map(String::as_str) {
+        None | Some("nan") => CorruptionMode::Nan,
+        Some("huge") => CorruptionMode::Huge,
+        Some(other) => {
+            return Err(err(format!(
+                "fault.corrupt_mode must be nan or huge, got {other}"
+            )))
+        }
+    };
+    let rank = match kv.get("corrupt_rank") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| err(format!("bad integer for corrupt_rank: {v}")))?,
+        ),
+    };
+    let seed = get_u64(kv, "seed", deck.seed())?;
+    Ok(Some(CorruptionPlan::new(seed).with_event(
+        CorruptionEvent {
+            step,
+            rank,
+            mode,
+            count: get_usize(kv, "corrupt_count", 8)?,
+        },
+    )))
 }
 
 /// One species' loading recipe for a campaign deck. Campaign decks load
@@ -251,6 +344,12 @@ pub struct CampaignSetup {
     pub op_timeout_ms: Option<u64>,
     /// Injected faults (kill / drop), if any.
     pub fault_plan: Option<FaultPlan>,
+    /// Run config (cleaning cadence + sentinel thresholds) from a
+    /// `[sentinel]` section, if present. Applied to every built rank so
+    /// it rides the v3 checkpoint config section.
+    pub sentinel: Option<SimConfig>,
+    /// Seeded field corruption from a `[fault]` section, if present.
+    pub corruption: Option<CorruptionPlan>,
 }
 
 impl CampaignSetup {
@@ -267,6 +366,9 @@ impl CampaignSetup {
                 sp.ppc,
                 Momentum::drifting_x(sp.vth, sp.drift),
             );
+        }
+        if let Some(c) = self.sentinel {
+            sim.config = c;
         }
         sim
     }
@@ -289,8 +391,78 @@ impl CampaignSetup {
         if let Some(ms) = self.op_timeout_ms {
             cfg = cfg.with_op_timeout(Duration::from_millis(ms));
         }
+        if let Some(s) = self.sentinel {
+            cfg = cfg.with_sentinel(s.sentinel);
+        }
+        if let Some(plan) = &self.corruption {
+            cfg = cfg.with_corruption(plan.clone());
+        }
         cfg
     }
+}
+
+/// Everything a `kind = lpi` deck's `[campaign]` section describes: the
+/// LPI run parameters plus the serial campaign runtime knobs
+/// (checkpoints, sentinel, seeded kills/corruption).
+#[derive(Clone, Debug)]
+pub struct LpiCampaignSetup {
+    pub params: LpiParams,
+    pub steps: u64,
+    pub checkpoint_interval: u64,
+    pub keep_checkpoints: usize,
+    pub max_recoveries: u32,
+    /// Explicit checkpoint directory (else `<out>/checkpoints`).
+    pub dir: Option<PathBuf>,
+    pub sentinel: Option<SimConfig>,
+    pub corruption: Option<CorruptionPlan>,
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl LpiCampaignSetup {
+    /// The campaign runtime configuration, checkpointing into the deck's
+    /// `dir` if set, else `<fallback>/checkpoints`.
+    pub fn config(&self, fallback: &Path) -> LpiCampaignConfig {
+        let dir = self
+            .dir
+            .clone()
+            .unwrap_or_else(|| fallback.join("checkpoints"));
+        let mut cfg = LpiCampaignConfig::new(self.steps, self.checkpoint_interval, dir);
+        cfg.keep_checkpoints = self.keep_checkpoints;
+        cfg.max_recoveries = self.max_recoveries;
+        if let Some(s) = self.sentinel {
+            cfg.sentinel = s.sentinel;
+        }
+        cfg.corruption = self.corruption.clone();
+        cfg.fault_plan = self.fault_plan.clone();
+        cfg
+    }
+}
+
+fn build_lpi_campaign(deck: &Deck) -> Result<LpiCampaignSetup, DeckError> {
+    let run = build_lpi(deck)?;
+    let ckv = deck.section("campaign").expect("caller checked");
+    let interval = get_u64(ckv, "checkpoint_interval", 50)?;
+    let fault_seed = get_u64(ckv, "fault_seed", deck.seed())?;
+    let fault_plan = match ckv.get("kill_step") {
+        None => None,
+        Some(v) => {
+            let step: u64 = v
+                .parse()
+                .map_err(|_| err(format!("bad integer for kill_step: {v}")))?;
+            Some(FaultPlan::new(fault_seed).kill(0, step))
+        }
+    };
+    Ok(LpiCampaignSetup {
+        params: run.params,
+        steps: deck.steps(),
+        checkpoint_interval: interval,
+        keep_checkpoints: get_usize(ckv, "keep_checkpoints", 2)?.max(1),
+        max_recoveries: get_u64(ckv, "max_recoveries", 3)? as u32,
+        dir: ckv.get("dir").map(PathBuf::from),
+        sentinel: parse_sentinel(deck)?,
+        corruption: parse_corruption(deck)?,
+        fault_plan,
+    })
 }
 
 fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
@@ -477,6 +649,8 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
             ),
         },
         fault_plan: any_fault.then_some(plan),
+        sentinel: parse_sentinel(deck)?,
+        corruption: parse_corruption(deck)?,
     })
 }
 
@@ -817,6 +991,102 @@ kill_step = 6
             panic!("wrong kind")
         };
         assert!(setup.fault_plan.is_none());
+    }
+
+    #[test]
+    fn sentinel_and_fault_sections_parse() {
+        let text = format!(
+            "{CAMPAIGN_DECK}\n[sentinel]\nhealth_interval = 5\nmax_div_e_rms = 0.02\n\
+             marder_passes = 8\n\n[fault]\ncorrupt_step = 7\ncorrupt_count = 3\n\
+             corrupt_mode = huge\ncorrupt_rank = 1\n"
+        );
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(&text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        let s = setup.sentinel.expect("sentinel section parsed").sentinel;
+        assert_eq!(s.health_interval, 5);
+        assert!((s.max_div_e_rms - 0.02).abs() < 1e-7);
+        assert_eq!(s.marder_passes, 8);
+        // Unset keys keep the armed defaults.
+        assert_eq!(
+            s.max_marder_bursts,
+            SentinelConfig::enabled().max_marder_bursts
+        );
+        let plan = setup.corruption.as_ref().expect("fault section parsed");
+        assert_eq!(plan.events.len(), 1);
+        let ev = &plan.events[0];
+        assert_eq!((ev.step, ev.count, ev.rank), (7, 3, Some(1)));
+        assert_eq!(ev.mode, CorruptionMode::Huge);
+        // The sentinel/corruption land in the campaign config.
+        let cfg = setup.config(std::path::Path::new("out"));
+        assert_eq!(cfg.sentinel.health_interval, 5);
+        assert!(cfg.corruption.is_some());
+        // Bad knobs are rejected.
+        let bad = format!("{CAMPAIGN_DECK}\n[fault]\ncorrupt_step = 2\ncorrupt_mode = gamma\n");
+        assert!(build(&Deck::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn lpi_campaign_deck_builds() {
+        let text = r#"
+kind = lpi
+steps = 80
+seed = 3
+
+[laser]
+a0 = 0.01
+flat = 4
+ppc = 4
+
+[campaign]
+checkpoint_interval = 20
+max_recoveries = 2
+kill_step = 35
+
+[sentinel]
+health_interval = 10
+max_energy_growth = 100
+
+[fault]
+corrupt_step = 25
+corrupt_count = 4
+"#;
+        let BuiltRun::LpiCampaign(setup) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.steps, 80);
+        assert_eq!(setup.checkpoint_interval, 20);
+        assert_eq!(setup.max_recoveries, 2);
+        assert!(setup.fault_plan.is_some());
+        assert!(setup.corruption.is_some());
+        let cfg = setup.config(std::path::Path::new("out"));
+        assert_eq!(cfg.sentinel.health_interval, 10);
+        assert_eq!(
+            cfg.checkpoint_dir,
+            std::path::Path::new("out").join("checkpoints")
+        );
+        // Without [campaign] the same deck is a plain LPI run.
+        let plain = text.replace("[campaign]", "[not_campaign]");
+        assert!(matches!(
+            build(&Deck::parse(&plain).unwrap()).unwrap(),
+            BuiltRun::Lpi(_)
+        ));
+    }
+
+    #[test]
+    fn shipped_srs_deck_is_a_campaign() {
+        let text = std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("decks/srs_backscatter.deck"),
+        )
+        .unwrap();
+        let BuiltRun::LpiCampaign(setup) = build(&Deck::parse(&text).unwrap()).unwrap() else {
+            panic!("srs_backscatter.deck must build an LPI campaign")
+        };
+        assert_eq!(setup.steps, 3000);
+        assert!(setup.fault_plan.is_some(), "kill_step expected");
+        assert!(setup.corruption.is_some(), "corrupt_step expected");
+        let s = setup.sentinel.expect("[sentinel] expected");
+        assert_eq!(s.sentinel.health_interval, 50);
     }
 
     #[test]

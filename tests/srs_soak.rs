@@ -1,0 +1,223 @@
+//! Seeded fault-soak for the serial LPI (SRS backscatter) campaign,
+//! mirroring `tests/campaign_soak.rs` — closes the ROADMAP item "fault
+//! injection in the LPI pipeline's long SRS runs".
+//!
+//! The soak (`#[ignore]`d; run it in release with
+//! `cargo test --release -- --ignored`) generates random fault plans from
+//! fixed seeds — rank kills plus transient NaN/huge-value field upsets —
+//! and throws each at a laser-driven campaign. Every run must terminate
+//! within its deadline and either complete bit-identically to the
+//! fault-free reference (same `state_crc`, energy and reflectivity bits)
+//! or degrade gracefully to a partial dump plus a flight recorder.
+//!
+//! The non-ignored test runs a shrunk version of the shipped
+//! `decks/srs_backscatter.deck` — same deck plumbing, same fault kinds,
+//! minutes shorter — and demands bit-identical completion.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use vpic::core::sentinel::{CorruptionEvent, CorruptionMode, CorruptionPlan};
+use vpic::lpi::{run_lpi_campaign, LpiCampaignConfig, LpiCampaignEnd, LpiParams};
+
+const STEPS: u64 = 100;
+const SOAK_PLANS: u64 = 16;
+const PLAN_DEADLINE: Duration = Duration::from_secs(120);
+
+fn small_params() -> LpiParams {
+    LpiParams {
+        flat: 4.0,
+        ppc: 4,
+        a0: 0.01,
+        sponge_cells: 12,
+        ..Default::default()
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vpic_srs_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn soak_cfg(dir: &Path) -> LpiCampaignConfig {
+    let mut cfg = LpiCampaignConfig::new(STEPS, 25, dir);
+    // The laser pumps energy into the box for the whole run, so the
+    // ledger needs headroom; NaN/bounds monitors stay armed tight.
+    cfg.sentinel.health_interval = 10;
+    cfg.sentinel.max_energy_growth = 100.0;
+    cfg.max_recoveries = 4;
+    cfg
+}
+
+/// Bit-exact end-state digest: dump CRC plus the energy/reflectivity and
+/// particle count of the final state.
+type Digest = (u32, u64, u64, u64);
+
+fn digest(out: &vpic::lpi::LpiCampaignOutcome) -> Digest {
+    (
+        out.state_crc,
+        out.energy.to_bits(),
+        out.reflectivity.to_bits(),
+        out.n_particles,
+    )
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A reproducible random mix of the two fault kinds the serial campaign
+/// supports: a rank kill and/or a seeded one-shot field upset.
+fn random_faults(seed: u64, cfg: &mut LpiCampaignConfig) {
+    let mut s = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+    let kill = splitmix64(&mut s).is_multiple_of(2);
+    if kill {
+        let step = 10 + splitmix64(&mut s) % (STEPS - 20);
+        cfg.fault_plan = Some(nanompi::FaultPlan::new(seed).kill(0, step));
+    }
+    if !kill || splitmix64(&mut s).is_multiple_of(2) {
+        let mode = if splitmix64(&mut s).is_multiple_of(2) {
+            CorruptionMode::Nan
+        } else {
+            CorruptionMode::Huge
+        };
+        cfg.corruption = Some(CorruptionPlan::new(seed).with_event(CorruptionEvent {
+            step: 10 + splitmix64(&mut s) % (STEPS - 20),
+            rank: Some(0),
+            mode,
+            count: 1 + (splitmix64(&mut s) % 8) as usize,
+        }));
+    }
+}
+
+#[test]
+#[ignore = "fault soak: minutes of wall time; run with cargo test --release -- --ignored"]
+fn seeded_srs_fault_soak_recovers_or_degrades_gracefully() {
+    let ref_dir = temp_dir("reference");
+    let clean = run_lpi_campaign(small_params(), &soak_cfg(&ref_dir)).unwrap();
+    assert!(matches!(clean.end, LpiCampaignEnd::Completed));
+    let clean_digest = digest(&clean);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    let mut completed = 0usize;
+    let mut degraded = 0usize;
+    for seed in 0..SOAK_PLANS {
+        let dir = temp_dir(&format!("plan{seed}"));
+        let mut cfg = soak_cfg(&dir);
+        random_faults(seed, &mut cfg);
+        let t0 = Instant::now();
+        let out = run_lpi_campaign(small_params(), &cfg)
+            .unwrap_or_else(|e| panic!("plan {seed} failed hard: {e:?}"));
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < PLAN_DEADLINE,
+            "plan {seed} blew its deadline: {elapsed:?}"
+        );
+        match &out.end {
+            LpiCampaignEnd::Completed => {
+                completed += 1;
+                assert!(
+                    !out.recoveries.is_empty(),
+                    "plan {seed} completed without exercising recovery"
+                );
+                assert_eq!(
+                    digest(&out),
+                    clean_digest,
+                    "plan {seed} completed but diverged from the fault-free \
+                     reference (recoveries: {:?})",
+                    out.recoveries
+                );
+            }
+            LpiCampaignEnd::Degraded {
+                partial_dump,
+                flight_recorder,
+                ..
+            } => {
+                degraded += 1;
+                assert!(
+                    partial_dump.exists(),
+                    "plan {seed} degraded without a partial dump"
+                );
+                let json = std::fs::read_to_string(flight_recorder)
+                    .unwrap_or_else(|e| panic!("plan {seed}: unreadable flight recorder: {e}"));
+                assert!(json.contains("\"samples\""), "plan {seed}: {json}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("srs soak: {completed} plans completed bit-identically, {degraded} degraded");
+    assert!(
+        completed > 0,
+        "soak never completed a single campaign — recovery is not working"
+    );
+}
+
+/// Acceptance: the shipped SRS deck builds a fault-injected campaign, and
+/// a shrunk version of it (same plumbing, shorter run, earlier faults)
+/// detects the seeded kill *and* the seeded NaN upset, recovers from
+/// both, and finishes bit-identically with the fault-free run.
+#[test]
+fn shrunk_srs_deck_campaign_recovers_bit_identically() {
+    let text = std::fs::read_to_string("decks/srs_backscatter.deck").unwrap();
+    let deck = vpic::deck::Deck::parse(&text).unwrap();
+    let vpic::deck::BuiltRun::LpiCampaign(setup) = vpic::deck::build(&deck).unwrap() else {
+        panic!("srs_backscatter.deck must build an LPI campaign")
+    };
+    let mut setup = *setup;
+    // Shrink to test scale: a smaller plasma, a 60-step run, and the
+    // deck's kill/corruption retimed to land inside it.
+    setup.params.flat = 4.0;
+    setup.params.ppc = 4;
+    setup.params.sponge_cells = 12;
+    setup.steps = 60;
+    setup.checkpoint_interval = 20;
+    if let Some(s) = setup.sentinel.as_mut() {
+        s.sentinel.health_interval = 10;
+        s.sentinel.max_energy_growth = 100.0;
+    }
+    setup.fault_plan = Some(nanompi::FaultPlan::new(deck.seed()).kill(0, 45));
+    setup.corruption = Some(
+        CorruptionPlan::new(deck.seed()).with_event(CorruptionEvent {
+            step: 25,
+            rank: Some(0),
+            mode: CorruptionMode::Nan,
+            count: 4,
+        }),
+    );
+
+    let dir = temp_dir("deck");
+    let faulted = run_lpi_campaign(setup.params, &setup.config(&dir)).unwrap();
+    assert!(
+        matches!(faulted.end, LpiCampaignEnd::Completed),
+        "{:?}",
+        faulted.end
+    );
+    assert_eq!(
+        faulted.recoveries.len(),
+        2,
+        "expected one NaN rollback and one kill recovery: {:?}",
+        faulted.recoveries
+    );
+    assert!(
+        faulted.recoveries[0].cause.contains("health"),
+        "first fault should be the sentinel verdict: {:?}",
+        faulted.recoveries
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let clean_dir = temp_dir("deck_clean");
+    setup.fault_plan = None;
+    setup.corruption = None;
+    let clean = run_lpi_campaign(setup.params, &setup.config(&clean_dir)).unwrap();
+    assert!(matches!(clean.end, LpiCampaignEnd::Completed));
+    assert_eq!(
+        digest(&faulted),
+        digest(&clean),
+        "faulted deck campaign diverged from the fault-free run"
+    );
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
