@@ -46,15 +46,14 @@ fn bench_push(c: &mut Criterion) {
         let mut acc = AccumulatorArray::new(&g);
         let n = sim.n_particles();
         group.throughput(Throughput::Elements(n as u64));
+        let mut parts = sim.species[0].to_particles();
         group.bench_with_input(BenchmarkId::new("aos", ppc), &ppc, |b, _| {
             b.iter(|| {
                 acc.clear();
-                let mut parts = std::mem::take(&mut sim.species[0].particles);
                 advance_p_serial(&mut parts, coeffs, &interp, &mut acc, &g);
-                sim.species[0].particles = parts;
             })
         });
-        let mut store = AosoaStore::from_particles(&sim.species[0].particles);
+        let mut store = AosoaStore::from_particles(&parts);
         group.bench_with_input(BenchmarkId::new("aosoa", ppc), &ppc, |b, _| {
             b.iter(|| {
                 acc.clear();
@@ -85,7 +84,7 @@ fn bench_sort(c: &mut Criterion) {
     let sim = plasma((16, 16, 16), 32);
     let nv = sim.grid.n_voxels();
     let shuffled = {
-        let mut v = sim.species[0].particles.clone();
+        let mut v = sim.species[0].to_particles();
         let mut rng = Rng::seeded(3);
         for i in (1..v.len()).rev() {
             v.swap(i, rng.index(i + 1));
@@ -156,7 +155,7 @@ fn bench_hydro_and_loaders(c: &mut Criterion) {
 fn bench_layout_conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("layout");
     let sim = plasma((12, 12, 12), 32);
-    let parts = sim.species[0].particles.clone();
+    let parts = sim.species[0].to_particles();
     group.throughput(Throughput::Elements(parts.len() as u64));
     group.bench_function("aos_to_aosoa", |b| {
         b.iter(|| AosoaStore::from_particles(&parts))

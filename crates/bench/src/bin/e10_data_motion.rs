@@ -28,7 +28,7 @@ fn pic_report(full: bool) -> KernelReport {
         for _ in 0..reps {
             sim.accumulators.clear();
             advance_p(
-                &mut sim.species[0].particles,
+                sim.species[0].store_mut(),
                 coeffs,
                 &sim.interp,
                 &mut sim.accumulators.arrays,

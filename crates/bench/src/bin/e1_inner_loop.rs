@@ -33,7 +33,7 @@ fn main() {
             for _ in 0..repeats {
                 sim.accumulators.clear();
                 let exiles = advance_p(
-                    &mut sim.species[0].particles,
+                    sim.species[0].store_mut(),
                     coeffs,
                     &sim.interp,
                     &mut sim.accumulators.arrays,

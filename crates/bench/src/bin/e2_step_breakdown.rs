@@ -5,17 +5,20 @@
 //! plus the sustained-vs-inner-loop flop-rate ratio on this host.
 //!
 //! This binary doubles as the step-throughput bench: `--nx/--ny/--nz`,
-//! `--ppc`, `--steps` and `--pipelines` size the run, and `--json <path>`
-//! writes a machine-readable `BENCH_step.json` record (schema in
-//! `vpic_bench::stepjson`) so every perf PR lands with numbers. The CI
-//! smoke lane re-invokes it as `--validate <path>` to check a previously
-//! written record for schema problems and NaN/zero rates. `--sentinel`
-//! arms the numerical-integrity sentinel at its default 10-step cadence
-//! so the health-monitoring overhead can be compared against a plain run.
+//! `--ppc`, `--steps`, `--pipelines` and `--layout aos|aosoa` size the
+//! run, and `--json <path>` writes a machine-readable `BENCH_step.json`
+//! record (schema in `vpic_bench::stepjson`). Writing into an existing
+//! file *merges by layout* — run once per layout and the file carries
+//! both records side by side. The CI smoke lane re-invokes it as
+//! `--validate <path>` to check every record in a previously written file
+//! for schema problems and NaN/zero rates. `--sentinel` arms the
+//! numerical-integrity sentinel at its default 10-step cadence so the
+//! health-monitoring overhead can be compared against a plain run.
 
 use roadrunner_model::flops;
-use vpic_bench::stepjson::StepBench;
+use vpic_bench::stepjson::{read_set, write_set, StepBench};
 use vpic_bench::{parse_flag, parse_opt, print_table, uniform_plasma};
+use vpic_core::store::Layout;
 
 fn main() {
     let validate_path = parse_opt::<String>("validate", String::new());
@@ -34,8 +37,14 @@ fn main() {
     let pipelines = parse_opt("pipelines", vpic_core::worker_threads());
     let json = parse_opt::<String>("json", String::new());
     let sentinel = parse_flag("sentinel");
+    let layout_str = parse_opt::<String>("layout", "aos".into());
+    let Some(layout) = Layout::parse(&layout_str) else {
+        eprintln!("--layout must be aos or aosoa, got {layout_str}");
+        std::process::exit(2);
+    };
 
     let mut sim = uniform_plasma(n, ppc, pipelines, 7);
+    sim.set_layout(layout);
     sim.species[0].sort_interval = 25;
     if sentinel {
         // Arm the numerical-integrity sentinel at its default 10-step
@@ -66,7 +75,7 @@ fn main() {
     print_table(
         &format!(
             "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
-             {pipelines} pipelines, {} rayon threads{}",
+             {pipelines} pipelines, {} rayon threads, {layout} layout{}",
             vpic_core::worker_threads(),
             if sentinel { ", sentinel armed" } else { "" }
         ),
@@ -113,11 +122,13 @@ fn main() {
         ],
     );
     println!(
-        "\nwhole-step throughput: {:.4e} particles/s ({} particles, {} pipelines, {} threads)",
+        "\nwhole-step throughput: {:.4e} particles/s ({} particles, {} pipelines, {} threads, \
+         {} layout)",
         t.particle_steps as f64 / total,
         sim.n_particles(),
         pipelines,
-        vpic_core::worker_threads()
+        vpic_core::worker_threads(),
+        layout
     );
     println!("shape check: the inner loop dominates the step and the sustained/inner");
     println!("ratio sits in the same ~0.7-0.9 band the paper reports.");
@@ -130,31 +141,41 @@ fn main() {
             pipelines,
             vpic_core::worker_threads(),
             sim.n_particles() as u64,
+            layout.name(),
         );
         if let Err(e) = bench.validate() {
             eprintln!("refusing to write {json}: {e}");
             std::process::exit(1);
         }
-        if let Err(e) = bench.write(std::path::Path::new(&json)) {
+        // Merge by layout: an existing readable file keeps its other-layout
+        // records, so one run per layout accumulates a complete set.
+        let path = std::path::Path::new(&json);
+        let mut set = read_set(path).unwrap_or_default();
+        set.retain(|b| b.layout != bench.layout);
+        set.push(bench);
+        set.sort_by(|a, b| a.layout.cmp(&b.layout));
+        if let Err(e) = write_set(&set, path) {
             eprintln!("write {json}: {e}");
             std::process::exit(1);
         }
-        println!("wrote {json}");
+        println!("wrote {json} ({} records)", set.len());
     }
 }
 
-/// `--validate <path>`: load + check a BENCH_step.json, exit nonzero on any
-/// schema problem or NaN/zero rate.
+/// `--validate <path>`: load + check every record in a BENCH_step.json,
+/// exit nonzero on any schema problem or NaN/zero rate.
 fn validate(path: &str) -> i32 {
-    match StepBench::read(std::path::Path::new(path)).and_then(|b| {
-        b.validate()?;
-        Ok(b)
-    }) {
-        Ok(b) => {
-            println!(
-                "{path} OK: {:.4e} particles/s, grid {:?}, {} threads, inner-loop share {:.3}",
-                b.particles_per_sec, b.grid, b.threads, b.inner_loop_fraction
-            );
+    match read_set(std::path::Path::new(path))
+        .and_then(|set| set.iter().try_for_each(StepBench::validate).map(|()| set))
+    {
+        Ok(set) => {
+            for b in &set {
+                println!(
+                    "{path} OK [{}]: {:.4e} particles/s, grid {:?}, {} threads, \
+                     inner-loop share {:.3}",
+                    b.layout, b.particles_per_sec, b.grid, b.threads, b.inner_loop_fraction
+                );
+            }
             0
         }
         Err(e) => {

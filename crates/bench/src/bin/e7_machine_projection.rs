@@ -27,7 +27,7 @@ fn measure_host_rate(full: bool) -> f64 {
         for _ in 0..reps {
             sim.accumulators.clear();
             advance_p(
-                &mut sim.species[0].particles,
+                sim.species[0].store_mut(),
                 coeffs,
                 &sim.interp,
                 &mut sim.accumulators.arrays,

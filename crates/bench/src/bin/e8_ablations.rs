@@ -7,9 +7,9 @@
 //!    parallelization of the scatter.
 
 use vpic_bench::{parse_flag, print_table, time_it, uniform_plasma};
-use vpic_core::aosoa::{advance_p_aosoa, AosoaStore};
-use vpic_core::push::{advance_p, advance_p_serial, PushCoefficients};
+use vpic_core::push::{advance_p, PushCoefficients};
 use vpic_core::sort::locality_fraction;
+use vpic_core::store::{Layout, ParticleStore};
 
 fn main() {
     let full = parse_flag("full");
@@ -18,6 +18,9 @@ fn main() {
     let reps = if full { 25 } else { 10 };
 
     // --- (1) Layout: AoS vs AoSoA ------------------------------------
+    // Both layouts run the *production* advance_p through the unified
+    // ParticleStore — the same code path sim.step() takes — so the row
+    // difference is purely the storage layout.
     let mut sim = uniform_plasma(n, ppc, 1, 21);
     for _ in 0..2 {
         sim.step();
@@ -28,38 +31,39 @@ fn main() {
     let coeffs = PushCoefficients::new(-1.0, 1.0, &g);
     let n_particles = sim.n_particles();
 
-    let base = sim.species[0].particles.clone();
-    let mut aos = base.clone();
+    let base = sim.species[0].to_particles();
     let mut acc = vpic_core::AccumulatorArray::new(&g);
-    let (t_aos, _) = time_it(|| {
-        for _ in 0..reps {
-            acc.clear();
-            let mut tmp = std::mem::take(&mut aos);
-            advance_p_serial(&mut tmp, coeffs, &sim.interp, &mut acc, &g);
-            aos = tmp;
-        }
-    });
-    let mut store = AosoaStore::from_particles(&base);
-    let (t_soa, _) = time_it(|| {
-        for _ in 0..reps {
-            acc.clear();
-            advance_p_aosoa(&mut store, coeffs, &sim.interp, &mut acc, &g);
-        }
-    });
-    let rate = |t: f64| n_particles as f64 * reps as f64 / t;
+    let mut rate_of = |layout: Layout| {
+        let mut store = ParticleStore::from_particles(base.clone(), layout);
+        let (t, _) = time_it(|| {
+            for _ in 0..reps {
+                acc.clear();
+                advance_p(
+                    &mut store,
+                    coeffs,
+                    &sim.interp,
+                    std::slice::from_mut(&mut acc),
+                    &g,
+                );
+            }
+        });
+        n_particles as f64 * reps as f64 / t
+    };
+    let r_aos = rate_of(Layout::Aos);
+    let r_soa = rate_of(Layout::Aosoa);
     print_table(
         &format!("E8.1: particle layout ({} particles, sorted)", n_particles),
         &["layout", "advances/s", "relative"],
         &[
             vec![
                 "AoS (32-byte particles)".into(),
-                format!("{:.3e}", rate(t_aos)),
+                format!("{:.3e}", r_aos),
                 "1.00".into(),
             ],
             vec![
                 "AoSoA (8-lane blocks)".into(),
-                format!("{:.3e}", rate(t_soa)),
-                format!("{:.2}", rate(t_soa) / rate(t_aos)),
+                format!("{:.3e}", r_soa),
+                format!("{:.2}", r_soa / r_aos),
             ],
         ],
     );
@@ -73,7 +77,7 @@ fn main() {
         for _ in 0..if full { 60 } else { 30 } {
             sim.step();
         }
-        let loc = locality_fraction(&sim.species[0].particles);
+        let loc = locality_fraction(&sim.species[0].to_particles());
         sim.timings = Default::default();
         let steps = if full { 30 } else { 12 };
         for _ in 0..steps {
@@ -113,15 +117,13 @@ fn main() {
         let (t, _) = time_it(|| {
             for _ in 0..reps {
                 sim.accumulators.clear();
-                let mut tmp = std::mem::take(&mut sim.species[0].particles);
                 advance_p(
-                    &mut tmp,
+                    sim.species[0].store_mut(),
                     coeffs,
                     &sim.interp,
                     &mut sim.accumulators.arrays,
                     &g2,
                 );
-                sim.species[0].particles = tmp;
             }
         });
         let pps = np as f64 * reps as f64 / t;

@@ -21,11 +21,13 @@ fn langmuir(full: bool) -> (f64, f64) {
     let kx = 2.0 * std::f32::consts::PI / g.extent().0;
     // Thermal velocity of the factory plasma is 0.05; reload colder for a
     // crisper line: replace momenta.
-    for p in &mut sim.species[0].particles {
+    let mut parts = sim.species[0].to_particles();
+    for p in &mut parts {
         p.ux *= vth / 0.05;
         p.uy *= vth / 0.05;
         p.uz *= vth / 0.05;
     }
+    sim.species[0].set_particles(parts);
     for k in 1..=g.nz {
         for j in 1..=g.ny {
             for i in 1..=g.nx {
@@ -123,10 +125,10 @@ fn continuity_residual() -> f64 {
     acc.unload(&mut f, &g);
     sync_j(&mut f, &g, bcs_of(&g));
     let mut rho_b = FieldArray::new(&g);
-    deposit_rho(&mut rho_b, &g, &before, -1.0);
+    deposit_rho(&mut rho_b, &g, before.iter().copied(), -1.0);
     sync_rho(&mut rho_b, &g, bcs_of(&g));
     let mut rho_a = FieldArray::new(&g);
-    deposit_rho(&mut rho_a, &g, &parts, -1.0);
+    deposit_rho(&mut rho_a, &g, parts.iter().copied(), -1.0);
     sync_rho(&mut rho_a, &g, bcs_of(&g));
     let (sx, sy, _) = g.strides();
     let (dj, dk) = (sx, sx * sy);

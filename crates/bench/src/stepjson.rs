@@ -10,8 +10,11 @@ use std::fmt::Write as _;
 use std::path::Path;
 use vpic_core::sim::StepTimings;
 
-/// Schema identifier embedded in every record.
-pub const SCHEMA: &str = "vpic-bench/step/v1";
+/// Schema identifier embedded in every record. v2 added the `layout`
+/// field (particle storage layout the step ran with) and multi-record
+/// files ([`write_set`]) so one `BENCH_step.json` carries an AoS and an
+/// AoSoA measurement side by side.
+pub const SCHEMA: &str = "vpic-bench/step/v2";
 
 /// One whole-step throughput measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +29,8 @@ pub struct StepBench {
     pub pipelines: usize,
     /// Rayon worker threads observed at run time.
     pub threads: usize,
+    /// Particle storage layout (`aos` or `aosoa`).
+    pub layout: String,
     /// Total macroparticles.
     pub particles: u64,
     /// Whole-step particle advance rate.
@@ -51,6 +56,7 @@ impl StepBench {
         pipelines: usize,
         threads: usize,
         particles: u64,
+        layout: &str,
     ) -> Self {
         let total = t.total();
         StepBench {
@@ -59,6 +65,7 @@ impl StepBench {
             steps: t.steps,
             pipelines,
             threads,
+            layout: layout.to_string(),
             particles,
             particles_per_sec: if total > 0.0 {
                 t.particle_steps as f64 / total
@@ -90,6 +97,7 @@ impl StepBench {
         let _ = writeln!(s, "  \"steps\": {},", self.steps);
         let _ = writeln!(s, "  \"pipelines\": {},", self.pipelines);
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"layout\": \"{}\",", self.layout);
         let _ = writeln!(s, "  \"particles\": {},", self.particles);
         let _ = writeln!(s, "  \"particles_per_sec\": {:e},", self.particles_per_sec);
         let _ = writeln!(
@@ -139,6 +147,7 @@ impl StepBench {
             steps: scan_number(text, "steps")? as u64,
             pipelines: scan_number(text, "pipelines")? as usize,
             threads: scan_number(text, "threads")? as usize,
+            layout: scan_string(text, "layout")?,
             particles: scan_number(text, "particles")? as u64,
             particles_per_sec: scan_number(text, "particles_per_sec")?,
             inner_loop_fraction: scan_number(text, "inner_loop_fraction")?,
@@ -168,6 +177,9 @@ impl StepBench {
         if self.pipelines == 0 || self.threads == 0 {
             return Err("zero pipelines/threads".into());
         }
+        if self.layout != "aos" && self.layout != "aosoa" {
+            return Err(format!("unknown layout {:?}", self.layout));
+        }
         if !self.particles_per_sec.is_finite() || self.particles_per_sec <= 0.0 {
             return Err(format!("bad particle rate {}", self.particles_per_sec));
         }
@@ -196,6 +208,44 @@ impl StepBench {
         }
         Ok(())
     }
+}
+
+/// Serialize several records as a JSON array (one per layout, say).
+pub fn set_to_json(benches: &[StepBench]) -> String {
+    let mut s = String::from("[\n");
+    for (i, b) in benches.iter().enumerate() {
+        s.push_str(&b.to_json());
+        s.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    s.push(']');
+    s
+}
+
+/// Write a multi-record file (see [`set_to_json`]).
+pub fn write_set(benches: &[StepBench], path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, set_to_json(benches) + "\n")
+}
+
+/// Parse one or many records: a bare object or a [`set_to_json`] array.
+/// Records are located by their embedded `"schema"` keys, so the parser
+/// stays a flat scanner.
+pub fn parse_set(text: &str) -> Result<Vec<StepBench>, String> {
+    let starts: Vec<usize> = text.match_indices("\"schema\"").map(|(i, _)| i).collect();
+    if starts.is_empty() {
+        return Err("no records found".into());
+    }
+    let mut out = Vec::new();
+    for (n, &at) in starts.iter().enumerate() {
+        let end = starts.get(n + 1).copied().unwrap_or(text.len());
+        out.push(StepBench::parse(&text[at..end])?);
+    }
+    Ok(out)
+}
+
+/// Read a single- or multi-record file.
+pub fn read_set(path: &Path) -> Result<Vec<StepBench>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_set(&text)
 }
 
 /// Find `"key": "value"` and return `value`.
@@ -240,6 +290,7 @@ mod tests {
             steps: 10,
             pipelines: 8,
             threads: 8,
+            layout: "aos".into(),
             particles: 2_097_152,
             particles_per_sec: 1.25e7,
             inner_loop_fraction: 0.62,
@@ -278,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn set_roundtrip_carries_both_layouts() {
+        let a = sample();
+        let mut b = sample();
+        b.layout = "aosoa".into();
+        b.particles_per_sec = 2.5e7;
+        let parsed = parse_set(&set_to_json(&[a.clone(), b.clone()])).unwrap();
+        assert_eq!(parsed, vec![a.clone(), b]);
+        // A bare single record also parses as a one-element set.
+        assert_eq!(parse_set(&a.to_json()).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_layout() {
+        let mut b = sample();
+        b.layout = "soa".into();
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
     fn parse_rejects_wrong_schema() {
         let text = sample().to_json().replace(SCHEMA, "other/v0");
         assert!(StepBench::parse(&text).is_err());
@@ -292,7 +362,7 @@ mod tests {
             steps: 10,
             ..Default::default()
         };
-        let b = StepBench::from_timings(&t, (16, 16, 16), 4, 2, 1, 300_000);
+        let b = StepBench::from_timings(&t, (16, 16, 16), 4, 2, 1, 300_000, "aosoa");
         assert_eq!(b.total, 3.0);
         assert!((b.particles_per_sec - 1e6).abs() < 1e-6);
         b.validate().unwrap();

@@ -3,14 +3,26 @@
 //! precision pipelines. Particles are stored in blocks of [`LANES`] with
 //! each field contiguous across the block, so the hot loop is expressible
 //! as straight-line lane arithmetic the autovectorizer can turn into
-//! packed instructions. Used by the E8 layout ablation against the 32-byte
-//! AoS baseline.
+//! packed instructions.
+//!
+//! This is a full production backend of
+//! [`ParticleStore`](crate::store::ParticleStore): element access, mover
+//! emission for rank-boundary exiles, absorption, the blocked counting
+//! sort, and Rayon pipeline parallelism — all bit-identical to the AoS
+//! path because every particle runs the same scalar arithmetic in the same
+//! order (the lane loop is element-wise f32 math, which carries no
+//! reassociation).
 
 use crate::accumulator::AccumulatorArray;
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
 use crate::particle::{Mover, Particle};
-use crate::push::{move_p_local, MoveOutcome, PushCoefficients};
+use crate::push::{
+    move_p_local, push_one, retarget_and_delete, Exile, MoveOutcome, PushCoefficients, PushedFate,
+};
+use crate::sort::MIN_SORT_CHUNK;
+use crate::threads::worker_threads;
+use rayon::prelude::*;
 
 /// Lanes per block (the Cell SPE was 4-wide; 8 suits AVX hosts).
 pub const LANES: usize = 8;
@@ -43,6 +55,88 @@ impl Default for Block {
     }
 }
 
+impl Block {
+    /// Copy lane `l` out as a particle.
+    #[inline]
+    pub fn lane(&self, l: usize) -> Particle {
+        Particle {
+            dx: self.dx[l],
+            dy: self.dy[l],
+            dz: self.dz[l],
+            i: self.i[l],
+            ux: self.ux[l],
+            uy: self.uy[l],
+            uz: self.uz[l],
+            w: self.w[l],
+        }
+    }
+
+    /// Overwrite lane `l` from a particle.
+    #[inline]
+    pub fn set_lane(&mut self, l: usize, p: &Particle) {
+        self.dx[l] = p.dx;
+        self.dy[l] = p.dy;
+        self.dz[l] = p.dz;
+        self.i[l] = p.i;
+        self.ux[l] = p.ux;
+        self.uy[l] = p.uy;
+        self.uz[l] = p.uz;
+        self.w[l] = p.w;
+    }
+}
+
+/// Copy lane `l` of the block behind `b` out as a particle.
+///
+/// # Safety
+/// `b` must point at a live `Block` and no other thread may be writing
+/// lane `l` concurrently. Array indexing through the raw pointer is a
+/// place projection — no `&`/`&mut` to the whole block is formed, so
+/// disjoint-lane access from other threads stays sound.
+#[inline]
+unsafe fn lane_load(b: *const Block, l: usize) -> Particle {
+    unsafe {
+        Particle {
+            dx: (*b).dx[l],
+            dy: (*b).dy[l],
+            dz: (*b).dz[l],
+            i: (*b).i[l],
+            ux: (*b).ux[l],
+            uy: (*b).uy[l],
+            uz: (*b).uz[l],
+            w: (*b).w[l],
+        }
+    }
+}
+
+/// Overwrite lane `l` of the block behind `b`.
+///
+/// # Safety
+/// Same contract as [`lane_load`], plus exclusive ownership of lane `l`.
+#[inline]
+unsafe fn lane_store(b: *mut Block, l: usize, p: &Particle) {
+    unsafe {
+        (*b).dx[l] = p.dx;
+        (*b).dy[l] = p.dy;
+        (*b).dz[l] = p.dz;
+        (*b).i[l] = p.i;
+        (*b).ux[l] = p.ux;
+        (*b).uy[l] = p.uy;
+        (*b).uz[l] = p.uz;
+        (*b).w[l] = p.w;
+    }
+}
+
+/// Raw block cursor shared across pipelines/workers. Workers touch
+/// disjoint lane sets (see the safety arguments at the use sites), so
+/// sharing the pointer across threads is sound — the AoSoA analogue of
+/// `sort::ScatterPtr`.
+#[derive(Clone, Copy)]
+struct BlockPtr(*mut Block);
+// SAFETY: only dereferenced on lanes owned exclusively by one worker, and
+// the block buffer outlives every parallel section using the pointer.
+unsafe impl Send for BlockPtr {}
+unsafe impl Sync for BlockPtr {}
+
 /// AoSoA particle store.
 #[derive(Clone, Debug, Default)]
 pub struct AosoaStore {
@@ -60,14 +154,7 @@ impl AosoaStore {
         for chunk in parts.chunks(LANES) {
             let mut b = Block::default();
             for (l, p) in chunk.iter().enumerate() {
-                b.dx[l] = p.dx;
-                b.dy[l] = p.dy;
-                b.dz[l] = p.dz;
-                b.i[l] = p.i;
-                b.ux[l] = p.ux;
-                b.uy[l] = p.uy;
-                b.uz[l] = p.uz;
-                b.w[l] = p.w;
+                b.set_lane(l, p);
             }
             // Park unused lanes on a valid voxel with zero weight.
             for l in chunk.len()..LANES {
@@ -88,6 +175,108 @@ impl AosoaStore {
         self.len == 0
     }
 
+    /// Drop every particle (keeps block capacity).
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.len = 0;
+    }
+
+    /// Reserve block capacity for `additional` more particles.
+    pub fn reserve(&mut self, additional: usize) {
+        let need = (self.len + additional).div_ceil(LANES);
+        self.blocks.reserve(need.saturating_sub(self.blocks.len()));
+    }
+
+    /// Copy out particle `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Particle {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.blocks[i / LANES].lane(i % LANES)
+    }
+
+    /// Overwrite particle `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, p: Particle) {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.blocks[i / LANES].set_lane(i % LANES, &p);
+    }
+
+    /// Voxel index of particle `i`.
+    #[inline]
+    pub fn voxel(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.blocks[i / LANES].i[i % LANES]
+    }
+
+    /// Append a particle.
+    #[inline]
+    pub fn push(&mut self, p: Particle) {
+        let l = self.len % LANES;
+        if l == 0 {
+            // Fresh block: park every lane on the new particle's voxel.
+            self.blocks.push(Block {
+                i: [p.i; LANES],
+                ..Default::default()
+            });
+        }
+        self.blocks.last_mut().unwrap().set_lane(l, &p);
+        self.len += 1;
+    }
+
+    /// Remove particle `i` by swapping in the last one; returns it.
+    /// Exactly `Vec::swap_remove` on the logical sequence.
+    pub fn swap_remove(&mut self, i: usize) -> Particle {
+        assert!(
+            i < self.len,
+            "swap_remove index {i} out of range {}",
+            self.len
+        );
+        let last = self.len - 1;
+        let removed = self.get(i);
+        if i != last {
+            let lp = self.get(last);
+            self.set(i, lp);
+        }
+        let l = last % LANES;
+        if l == 0 {
+            // The tail block held only the removed lane — drop it whole.
+            self.blocks.pop();
+        } else {
+            // Vacate the lane: zero weight, parked on its (valid) voxel.
+            let b = self.blocks.last_mut().unwrap();
+            b.dx[l] = 0.0;
+            b.dy[l] = 0.0;
+            b.dz[l] = 0.0;
+            b.ux[l] = 0.0;
+            b.uy[l] = 0.0;
+            b.uz[l] = 0.0;
+            b.w[l] = 0.0;
+        }
+        self.len = last;
+        removed
+    }
+
+    /// Re-park the padding lanes of the tail block (zero weight, valid
+    /// voxel) after a bulk rebuild like the sort's scatter.
+    fn park_tail(&mut self) {
+        let l0 = self.len % LANES;
+        if l0 == 0 || self.blocks.is_empty() {
+            return;
+        }
+        let b = self.blocks.last_mut().unwrap();
+        let park = b.i[0];
+        for l in l0..LANES {
+            b.dx[l] = 0.0;
+            b.dy[l] = 0.0;
+            b.dz[l] = 0.0;
+            b.i[l] = park;
+            b.ux[l] = 0.0;
+            b.uy[l] = 0.0;
+            b.uz[l] = 0.0;
+            b.w[l] = 0.0;
+        }
+    }
+
     /// Convert back to AoS.
     pub fn to_particles(&self) -> Vec<Particle> {
         let mut out = Vec::with_capacity(self.len);
@@ -96,26 +285,242 @@ impl AosoaStore {
                 if out.len() == self.len {
                     break 'outer;
                 }
-                out.push(Particle {
-                    dx: b.dx[l],
-                    dy: b.dy[l],
-                    dz: b.dz[l],
-                    i: b.i[l],
-                    ux: b.ux[l],
-                    uy: b.uy[l],
-                    uz: b.uz[l],
-                    w: b.w[l],
-                });
+                out.push(b.lane(l));
             }
         }
         out
     }
 }
 
-/// AoSoA particle advance: lane-parallel interpolate/Boris/move with a
-/// scalar fallback through `move_p_local` for the (rare) lanes that cross
-/// a voxel face. Periodic/reflect topologies only (no migrate faces);
-/// physics identical to `advance_p_serial` up to float summation order.
+/// Lane-parallel advance of one block: interpolate/kick/rotate/displace
+/// across all [`LANES`] lanes, then a scalar tail over the `live` lanes
+/// that deposits current and finishes cell crossings. Global particle
+/// index of lane `l` is `base_idx + l`; absorbed indices and exiles are
+/// appended for the caller (identical contract to `push::advance_block`).
+#[allow(clippy::too_many_arguments)]
+fn advance_full_block(
+    b: &mut Block,
+    base_idx: u32,
+    live: usize,
+    c: PushCoefficients,
+    interp: &InterpolatorArray,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+    absorbed: &mut Vec<u32>,
+    exiles: &mut Vec<Exile>,
+) {
+    const ONE: f32 = 1.0;
+    const ONE_THIRD: f32 = 1.0 / 3.0;
+    const TWO_FIFTEENTHS: f32 = 2.0 / 15.0;
+    let ipd = &interp.data;
+    let mut hx = [0.0f32; LANES];
+    let mut hy = [0.0f32; LANES];
+    let mut hz = [0.0f32; LANES];
+    let mut mx = [0.0f32; LANES];
+    let mut my = [0.0f32; LANES];
+    let mut mz = [0.0f32; LANES];
+    let mut nxp = [0.0f32; LANES];
+    let mut nyp = [0.0f32; LANES];
+    let mut nzp = [0.0f32; LANES];
+    // Lane-parallel section: interpolate, kick, rotate, displace. Padding
+    // lanes are parked on valid voxels so running them is safe (and their
+    // zero weight deposits nothing in the scalar tail, which skips them
+    // anyway).
+    for l in 0..LANES {
+        let f = &ipd[b.i[l] as usize];
+        let (dx, dy, dz) = (b.dx[l], b.dy[l], b.dz[l]);
+        let hax = c.qdt_2mc * ((f.ex + dy * f.dexdy) + dz * (f.dexdz + dy * f.d2exdydz));
+        let hay = c.qdt_2mc * ((f.ey + dz * f.deydz) + dx * (f.deydx + dz * f.d2eydzdx));
+        let haz = c.qdt_2mc * ((f.ez + dx * f.dezdx) + dy * (f.dezdy + dx * f.d2ezdxdy));
+        let cbx = f.cbx + dx * f.dcbxdx;
+        let cby = f.cby + dy * f.dcbydy;
+        let cbz = f.cbz + dz * f.dcbzdz;
+        let mut ux = b.ux[l] + hax;
+        let mut uy = b.uy[l] + hay;
+        let mut uz = b.uz[l] + haz;
+        let v0 = c.qdt_2mc / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
+        let v1 = cbx * cbx + (cby * cby + cbz * cbz);
+        let v2 = (v0 * v0) * v1;
+        let v3 = v0 * (ONE + v2 * (ONE_THIRD + v2 * TWO_FIFTEENTHS));
+        let mut v4 = v3 / (ONE + v1 * (v3 * v3));
+        v4 += v4;
+        let w0 = ux + v3 * (uy * cbz - uz * cby);
+        let w1 = uy + v3 * (uz * cbx - ux * cbz);
+        let w2 = uz + v3 * (ux * cby - uy * cbx);
+        ux += v4 * (w1 * cbz - w2 * cby);
+        uy += v4 * (w2 * cbx - w0 * cbz);
+        uz += v4 * (w0 * cby - w1 * cbx);
+        ux += hax;
+        uy += hay;
+        uz += haz;
+        b.ux[l] = ux;
+        b.uy[l] = uy;
+        b.uz[l] = uz;
+        let rg = ONE / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
+        hx[l] = ux * rg * c.cdt_dx;
+        hy[l] = uy * rg * c.cdt_dy;
+        hz[l] = uz * rg * c.cdt_dz;
+        mx[l] = dx + hx[l];
+        my[l] = dy + hy[l];
+        mz[l] = dz + hz[l];
+        nxp[l] = mx[l] + hx[l];
+        nyp[l] = my[l] + hy[l];
+        nzp[l] = mz[l] + hz[l];
+    }
+    // Scalar tail: deposit / handle crossings per live lane, in index
+    // order (same deposit order as the AoS pipeline → bit-identical J).
+    for l in 0..live {
+        if nxp[l].abs() <= ONE && nyp[l].abs() <= ONE && nzp[l].abs() <= ONE {
+            b.dx[l] = nxp[l];
+            b.dy[l] = nyp[l];
+            b.dz[l] = nzp[l];
+            acc.deposit(
+                b.i[l] as usize,
+                c.qsp * b.w[l],
+                (mx[l], my[l], mz[l]),
+                (hx[l], hy[l], hz[l]),
+            );
+        } else {
+            let idx = base_idx + l as u32;
+            let mut p = b.lane(l);
+            let mut pm = Mover {
+                dispx: hx[l],
+                dispy: hy[l],
+                dispz: hz[l],
+                idx,
+            };
+            match move_p_local(&mut p, &mut pm, acc, g, c.qsp) {
+                MoveOutcome::Done => {}
+                MoveOutcome::Absorbed => absorbed.push(idx),
+                MoveOutcome::Exit { face } => exiles.push(Exile {
+                    idx,
+                    face,
+                    mover: pm,
+                }),
+            }
+            b.set_lane(l, &p);
+        }
+    }
+}
+
+/// One pipeline's share of the production AoSoA advance: the particle
+/// index range `[start, end)`. Blocks fully inside the range run the
+/// lane-parallel kernel; lanes of blocks straddling a pipeline boundary
+/// run the scalar per-particle path (same arithmetic — lane math is
+/// element-wise, so results are bit-identical either way).
+///
+/// # Safety
+/// Ranges of concurrent callers must be disjoint, `blocks` must cover
+/// `n_total` particles, and the buffer must outlive the call. A `&mut
+/// Block` is only formed for blocks every live lane of which lies in
+/// `[start, end)`; straddling blocks are accessed lane-wise through the
+/// raw pointer, never via a whole-block reference.
+#[allow(clippy::too_many_arguments)]
+unsafe fn advance_range(
+    blocks: BlockPtr,
+    n_total: usize,
+    start: usize,
+    end: usize,
+    c: PushCoefficients,
+    interp: &InterpolatorArray,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+) -> (Vec<u32>, Vec<Exile>) {
+    let mut absorbed: Vec<u32> = Vec::new();
+    let mut exiles: Vec<Exile> = Vec::new();
+    let mut idx = start;
+    while idx < end {
+        let bi = idx / LANES;
+        let lane0 = idx - bi * LANES;
+        let block_start = bi * LANES;
+        let block_live_end = (block_start + LANES).min(n_total);
+        if lane0 == 0 && end >= block_live_end {
+            // Every live lane of this block belongs to this pipeline:
+            // safe to take the whole block mutably and run lane-parallel.
+            // SAFETY: exclusive ownership per the function contract.
+            let b = unsafe { &mut *blocks.0.add(bi) };
+            advance_full_block(
+                b,
+                block_start as u32,
+                block_live_end - block_start,
+                c,
+                interp,
+                acc,
+                g,
+                &mut absorbed,
+                &mut exiles,
+            );
+            idx = block_live_end;
+        } else {
+            // Straddling block: touch only our lanes, via raw pointer.
+            let hi = (end - block_start).min(LANES);
+            let bp = unsafe { blocks.0.add(bi) };
+            for l in lane0..hi {
+                let gidx = (block_start + l) as u32;
+                // SAFETY: lane `l` maps to particle index in [start, end),
+                // owned exclusively by this pipeline.
+                let mut p = unsafe { lane_load(bp, l) };
+                match push_one(&mut p, gidx, c, interp, acc, g) {
+                    PushedFate::Stayed => {}
+                    PushedFate::Absorbed => absorbed.push(gidx),
+                    PushedFate::Exiled(e) => exiles.push(e),
+                }
+                // SAFETY: as above.
+                unsafe { lane_store(bp, l, &p) };
+            }
+            idx = block_start + hi;
+        }
+    }
+    (absorbed, exiles)
+}
+
+/// Production AoSoA particle advance: the exact pipeline contract of
+/// [`crate::push::advance_p`] — same index partition (`block =
+/// n.div_ceil(n_pipes).max(1)` over *particle* indices, not blocks), same
+/// per-pipeline deposit order, same absorbed/exile bookkeeping — so AoS
+/// and AoSoA runs are bit-identical for any fixed pipeline count.
+pub fn advance_p_aosoa_pipelined(
+    store: &mut AosoaStore,
+    coeffs: PushCoefficients,
+    interp: &InterpolatorArray,
+    accumulators: &mut [AccumulatorArray],
+    g: &Grid,
+) -> Vec<Exile> {
+    let n_pipes = accumulators.len();
+    assert!(n_pipes >= 1);
+    let n = store.len;
+    let block = n.div_ceil(n_pipes).max(1);
+    let ptr = BlockPtr(store.blocks.as_mut_ptr());
+
+    let results: Vec<(Vec<u32>, Vec<Exile>)> = accumulators
+        .par_iter_mut()
+        .enumerate()
+        .map(|(pipe, acc)| {
+            let start = (pipe * block).min(n);
+            let end = ((pipe + 1) * block).min(n);
+            // SAFETY: pipelines own disjoint particle index ranges
+            // [start, end) partitioning [0, n); see `advance_range`.
+            unsafe { advance_range(ptr, n, start, end, coeffs, interp, acc, g) }
+        })
+        .collect();
+
+    let mut absorbed: Vec<u32> = Vec::new();
+    let mut exiles: Vec<Exile> = Vec::new();
+    for (a, e) in results {
+        absorbed.extend(a);
+        exiles.extend(e);
+    }
+    let len = store.len;
+    retarget_and_delete(len, absorbed, &mut exiles, |i| {
+        store.swap_remove(i);
+    });
+    exiles
+}
+
+/// Single-accumulator AoSoA advance for closed (periodic/reflect) domains
+/// — the E8 layout-ablation kernel. Absorbed or exiting particles are
+/// parked in place with zero weight instead of being removed/migrated;
+/// use [`advance_p_aosoa_pipelined`] for the production contract.
 pub fn advance_p_aosoa(
     store: &mut AosoaStore,
     c: PushCoefficients,
@@ -123,112 +528,130 @@ pub fn advance_p_aosoa(
     acc: &mut AccumulatorArray,
     g: &Grid,
 ) {
-    const ONE: f32 = 1.0;
-    const ONE_THIRD: f32 = 1.0 / 3.0;
-    const TWO_FIFTEENTHS: f32 = 2.0 / 15.0;
-    let ipd = &interp.data;
     let real = store.len;
+    let mut absorbed: Vec<u32> = Vec::new();
+    let mut exiles: Vec<Exile> = Vec::new();
     for (bi, b) in store.blocks.iter_mut().enumerate() {
-        let live_lanes = (real - bi * LANES).min(LANES);
-        let mut hx = [0.0f32; LANES];
-        let mut hy = [0.0f32; LANES];
-        let mut hz = [0.0f32; LANES];
-        let mut mx = [0.0f32; LANES];
-        let mut my = [0.0f32; LANES];
-        let mut mz = [0.0f32; LANES];
-        let mut nxp = [0.0f32; LANES];
-        let mut nyp = [0.0f32; LANES];
-        let mut nzp = [0.0f32; LANES];
-        // Lane-parallel section: interpolate, kick, rotate, displace.
-        for l in 0..LANES {
-            let f = &ipd[b.i[l] as usize];
-            let (dx, dy, dz) = (b.dx[l], b.dy[l], b.dz[l]);
-            let hax = c.qdt_2mc * ((f.ex + dy * f.dexdy) + dz * (f.dexdz + dy * f.d2exdydz));
-            let hay = c.qdt_2mc * ((f.ey + dz * f.deydz) + dx * (f.deydx + dz * f.d2eydzdx));
-            let haz = c.qdt_2mc * ((f.ez + dx * f.dezdx) + dy * (f.dezdy + dx * f.d2ezdxdy));
-            let cbx = f.cbx + dx * f.dcbxdx;
-            let cby = f.cby + dy * f.dcbydy;
-            let cbz = f.cbz + dz * f.dcbzdz;
-            let mut ux = b.ux[l] + hax;
-            let mut uy = b.uy[l] + hay;
-            let mut uz = b.uz[l] + haz;
-            let v0 = c.qdt_2mc / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-            let v1 = cbx * cbx + (cby * cby + cbz * cbz);
-            let v2 = (v0 * v0) * v1;
-            let v3 = v0 * (ONE + v2 * (ONE_THIRD + v2 * TWO_FIFTEENTHS));
-            let mut v4 = v3 / (ONE + v1 * (v3 * v3));
-            v4 += v4;
-            let w0 = ux + v3 * (uy * cbz - uz * cby);
-            let w1 = uy + v3 * (uz * cbx - ux * cbz);
-            let w2 = uz + v3 * (ux * cby - uy * cbx);
-            ux += v4 * (w1 * cbz - w2 * cby);
-            uy += v4 * (w2 * cbx - w0 * cbz);
-            uz += v4 * (w0 * cby - w1 * cbx);
-            ux += hax;
-            uy += hay;
-            uz += haz;
-            b.ux[l] = ux;
-            b.uy[l] = uy;
-            b.uz[l] = uz;
-            let rg = ONE / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-            hx[l] = ux * rg * c.cdt_dx;
-            hy[l] = uy * rg * c.cdt_dy;
-            hz[l] = uz * rg * c.cdt_dz;
-            mx[l] = dx + hx[l];
-            my[l] = dy + hy[l];
-            mz[l] = dz + hz[l];
-            nxp[l] = mx[l] + hx[l];
-            nyp[l] = my[l] + hy[l];
-            nzp[l] = mz[l] + hz[l];
-        }
-        // Scalar tail: deposit / handle crossings per lane.
-        for l in 0..live_lanes {
-            if nxp[l].abs() <= ONE && nyp[l].abs() <= ONE && nzp[l].abs() <= ONE {
-                b.dx[l] = nxp[l];
-                b.dy[l] = nyp[l];
-                b.dz[l] = nzp[l];
-                acc.deposit(
-                    b.i[l] as usize,
-                    c.qsp * b.w[l],
-                    (mx[l], my[l], mz[l]),
-                    (hx[l], hy[l], hz[l]),
-                );
-            } else {
-                let mut p = Particle {
-                    dx: b.dx[l],
-                    dy: b.dy[l],
-                    dz: b.dz[l],
-                    i: b.i[l],
-                    ux: b.ux[l],
-                    uy: b.uy[l],
-                    uz: b.uz[l],
-                    w: b.w[l],
-                };
-                let mut pm = Mover {
-                    dispx: hx[l],
-                    dispy: hy[l],
-                    dispz: hz[l],
-                    idx: 0,
-                };
-                match move_p_local(&mut p, &mut pm, acc, g, c.qsp) {
-                    MoveOutcome::Done => {}
-                    MoveOutcome::Absorbed | MoveOutcome::Exit { .. } => {
-                        // Layout-ablation store supports closed domains
-                        // only; park the particle with zero weight.
-                        p.w = 0.0;
-                    }
+        let base = bi * LANES;
+        let live = (real - base).min(LANES);
+        advance_full_block(
+            b,
+            base as u32,
+            live,
+            c,
+            interp,
+            acc,
+            g,
+            &mut absorbed,
+            &mut exiles,
+        );
+    }
+    // Closed-domain fallback: park leavers with zero weight.
+    for idx in absorbed {
+        let mut p = store.get(idx as usize);
+        p.w = 0.0;
+        store.set(idx as usize, p);
+    }
+    for e in exiles {
+        let mut p = store.get(e.idx as usize);
+        p.w = 0.0;
+        store.set(e.idx as usize, p);
+    }
+}
+
+/// Blocked counting sort by voxel with a caller-held scratch/histogram,
+/// mirroring [`crate::sort::sort_by_voxel_with`]: same worker-count rule,
+/// same per-worker histograms over contiguous *particle index* chunks,
+/// same serial `(voxel, worker)` prefix-sum — so the output permutation is
+/// exactly the stable serial counting sort, bitwise independent of the
+/// worker count and identical to the AoS sort's.
+pub fn sort_aosoa_with(
+    store: &mut AosoaStore,
+    n_voxels: usize,
+    scratch: &mut Vec<Block>,
+    counts: &mut Vec<u32>,
+) {
+    let n = store.len;
+    let workers = worker_threads().min(n.div_ceil(MIN_SORT_CHUNK)).max(1);
+    sort_aosoa_with_workers(store, n_voxels, scratch, counts, workers);
+}
+
+/// Worker-count-explicit body of the AoSoA sort (tests drive this to pin
+/// the permutation against the AoS reference for any worker count).
+pub(crate) fn sort_aosoa_with_workers(
+    store: &mut AosoaStore,
+    n_voxels: usize,
+    scratch: &mut Vec<Block>,
+    counts: &mut Vec<u32>,
+    workers: usize,
+) {
+    let n = store.len;
+    if n <= 1 {
+        return;
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+
+    // Phase 1: per-worker histograms over index ranges (worker w owns
+    // particles [w·chunk, (w+1)·chunk) — the same split par_chunks gives
+    // the AoS sort).
+    counts.clear();
+    counts.resize(workers * n_voxels, 0);
+    {
+        let blocks = &store.blocks;
+        counts
+            .par_chunks_mut(n_voxels)
+            .enumerate()
+            .for_each(|(w, hist)| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                for i in lo..hi {
+                    hist[blocks[i / LANES].i[i % LANES] as usize] += 1;
                 }
-                b.dx[l] = p.dx;
-                b.dy[l] = p.dy;
-                b.dz[l] = p.dz;
-                b.i[l] = p.i;
-                b.ux[l] = p.ux;
-                b.uy[l] = p.uy;
-                b.uz[l] = p.uz;
-                b.w[l] = p.w;
-            }
+            });
+    }
+
+    // Phase 2: exclusive prefix-sum in (voxel, worker) order — identical
+    // to the AoS sort, which is what makes the permutations equal.
+    let mut running = 0u32;
+    for v in 0..n_voxels {
+        for w in 0..workers {
+            let c = &mut counts[w * n_voxels + v];
+            let t = *c;
+            *c = running;
+            running += t;
         }
     }
+
+    // Phase 3: scatter into scratch blocks. Worker w writes exactly the
+    // lanes its prefix-sum slots reserve.
+    scratch.clear();
+    scratch.resize(n.div_ceil(LANES), Block::default());
+    let out = BlockPtr(scratch.as_mut_ptr());
+    {
+        let blocks = &store.blocks;
+        counts
+            .par_chunks_mut(n_voxels)
+            .enumerate()
+            .for_each(move |(w, offsets)| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                for i in lo..hi {
+                    let p = blocks[i / LANES].lane(i % LANES);
+                    let slot = &mut offsets[p.i as usize];
+                    let t = *slot as usize;
+                    // SAFETY: `t` walks the half-open range reserved for
+                    // this (worker, voxel) pair by the exclusive
+                    // prefix-sum; those ranges partition [0, n), so no two
+                    // writes target the same lane and every lane is in
+                    // bounds of `scratch`.
+                    unsafe { lane_store(out.0.add(t / LANES), t % LANES, &p) };
+                    *slot += 1;
+                }
+            });
+    }
+    std::mem::swap(&mut store.blocks, scratch);
+    store.park_tail();
 }
 
 #[cfg(test)]
@@ -236,8 +659,10 @@ mod tests {
     use super::*;
     use crate::field::FieldArray;
     use crate::field_solver::{bcs_of, sync_b, sync_e};
-    use crate::push::advance_p_serial;
+    use crate::push::{advance_p, advance_p_serial};
     use crate::rng::Rng;
+    use crate::sort::sort_with_workers;
+    use crate::store::ParticleStore;
 
     #[test]
     fn roundtrip_preserves_particles() {
@@ -257,6 +682,26 @@ mod tests {
         assert!(!store.is_empty());
     }
 
+    fn loaded_plasma(g: &Grid, n: usize, seed: u64) -> Vec<Particle> {
+        let mut rng = Rng::seeded(seed);
+        (0..n)
+            .map(|_| Particle {
+                dx: rng.uniform_in(-0.99, 0.99) as f32,
+                dy: rng.uniform_in(-0.99, 0.99) as f32,
+                dz: rng.uniform_in(-0.99, 0.99) as f32,
+                i: g.voxel(
+                    1 + rng.index(g.nx),
+                    1 + rng.index(g.ny),
+                    1 + rng.index(g.nz),
+                ) as u32,
+                ux: rng.normal() as f32 * 0.3,
+                uy: rng.normal() as f32 * 0.3,
+                uz: rng.normal() as f32 * 0.3,
+                w: 1.0,
+            })
+            .collect()
+    }
+
     #[test]
     fn aosoa_push_matches_aos_push_exactly() {
         let g = Grid::periodic((6, 6, 6), (0.5, 0.5, 0.5), 0.1);
@@ -270,19 +715,7 @@ mod tests {
         let mut ia = InterpolatorArray::new(&g);
         ia.load(&f, &g);
 
-        let mut rng = Rng::seeded(31);
-        let parts: Vec<Particle> = (0..100)
-            .map(|_| Particle {
-                dx: rng.uniform_in(-0.99, 0.99) as f32,
-                dy: rng.uniform_in(-0.99, 0.99) as f32,
-                dz: rng.uniform_in(-0.99, 0.99) as f32,
-                i: g.voxel(1 + rng.index(6), 1 + rng.index(6), 1 + rng.index(6)) as u32,
-                ux: rng.normal() as f32 * 0.3,
-                uy: rng.normal() as f32 * 0.3,
-                uz: rng.normal() as f32 * 0.3,
-                w: 1.0,
-            })
-            .collect();
+        let parts = loaded_plasma(&g, 100, 31);
 
         let c = PushCoefficients::new(-1.0, 1.0, &g);
         let mut aos = parts.clone();
@@ -326,5 +759,108 @@ mod tests {
         let single: f32 = acc.data[g.voxel(2, 2, 2)].jx.iter().sum();
         assert_eq!(total, single);
         assert!(single != 0.0);
+    }
+
+    #[test]
+    fn pipelined_aosoa_matches_pipelined_aos_bitwise() {
+        // Production contract: for any fixed pipeline count, AoS and AoSoA
+        // produce bit-identical particles AND per-pipeline accumulators
+        // (straddling blocks force the scalar lane path at every pipeline
+        // boundary — counts chosen so boundaries do not land on LANES
+        // multiples).
+        let g = Grid::periodic((6, 6, 6), (0.5, 0.5, 0.5), 0.1);
+        let mut f = FieldArray::new(&g);
+        for v in 0..g.n_voxels() {
+            f.ex[v] = 0.4;
+            f.cby[v] = 0.6;
+        }
+        sync_e(&mut f, &g, bcs_of(&g));
+        sync_b(&mut f, &g, bcs_of(&g));
+        let mut ia = InterpolatorArray::new(&g);
+        ia.load(&f, &g);
+        let c = PushCoefficients::new(-1.0, 1.0, &g);
+
+        for (n, n_pipes) in [(101usize, 3usize), (257, 4), (64, 1), (30, 7)] {
+            let parts = loaded_plasma(&g, n, 40 + n as u64);
+
+            let mut aos = ParticleStore::Aos(parts.clone());
+            let mut acc_a: Vec<AccumulatorArray> =
+                (0..n_pipes).map(|_| AccumulatorArray::new(&g)).collect();
+            let ex_a = advance_p(&mut aos, c, &ia, &mut acc_a, &g);
+
+            let mut soa = ParticleStore::Aosoa(AosoaStore::from_particles(&parts));
+            let mut acc_s: Vec<AccumulatorArray> =
+                (0..n_pipes).map(|_| AccumulatorArray::new(&g)).collect();
+            let ex_s = advance_p(&mut soa, c, &ia, &mut acc_s, &g);
+
+            assert_eq!(
+                aos.to_particles(),
+                soa.to_particles(),
+                "n={n} pipes={n_pipes}"
+            );
+            assert_eq!(ex_a.len(), ex_s.len());
+            for (pipe, (x, y)) in acc_a.iter().zip(acc_s.iter()).enumerate() {
+                for (vx, vy) in x.data.iter().zip(y.data.iter()) {
+                    for k in 0..4 {
+                        assert_eq!(vx.jx[k], vy.jx[k], "pipe {pipe}");
+                        assert_eq!(vx.jy[k], vy.jy[k], "pipe {pipe}");
+                        assert_eq!(vx.jz[k], vy.jz[k], "pipe {pipe}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aosoa_sort_matches_aos_permutation_for_any_worker_count() {
+        let mut rng = Rng::seeded(21);
+        let nv = 300;
+        let parts: Vec<Particle> = (0..5000)
+            .map(|k| Particle {
+                i: rng.index(nv) as u32,
+                w: k as f32, // unique tag → permutation comparable exactly
+                ux: rng.normal() as f32,
+                ..Default::default()
+            })
+            .collect();
+        let mut want = parts.clone();
+        let (mut s1, mut c1) = (Vec::new(), Vec::new());
+        sort_with_workers(&mut want, nv, &mut s1, &mut c1, 1);
+        for workers in [1usize, 2, 3, 5, 8] {
+            let mut store = AosoaStore::from_particles(&parts);
+            let (mut scratch, mut counts) = (Vec::new(), Vec::new());
+            sort_aosoa_with_workers(&mut store, nv, &mut scratch, &mut counts, workers);
+            assert_eq!(store.to_particles(), want, "workers = {workers}");
+            assert_eq!(store.len(), parts.len());
+        }
+    }
+
+    #[test]
+    fn push_swap_remove_and_sort_keep_padding_invariants() {
+        // After arbitrary mutation the tail block's padding lanes must
+        // stay zero-weight on a valid voxel (the lane-parallel kernel
+        // interpolates them unconditionally).
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let nv = g.n_voxels();
+        let mut store = AosoaStore::default();
+        let mut rng = Rng::seeded(9);
+        for _ in 0..13 {
+            store.push(Particle {
+                i: g.voxel(1 + rng.index(4), 1 + rng.index(4), 1 + rng.index(4)) as u32,
+                w: 1.0,
+                ..Default::default()
+            });
+        }
+        store.swap_remove(4);
+        store.swap_remove(0);
+        let (mut scratch, mut counts) = (Vec::new(), Vec::new());
+        sort_aosoa_with(&mut store, nv, &mut scratch, &mut counts);
+        assert_eq!(store.len(), 11);
+        let live = store.len() % LANES;
+        let tail = store.blocks.last().unwrap();
+        for l in live..LANES {
+            assert_eq!(tail.w[l], 0.0, "padding lane {l} has weight");
+            assert!((tail.i[l] as usize) < nv, "padding lane {l} off-grid");
+        }
     }
 }

@@ -29,6 +29,7 @@ use crate::particle::Particle;
 use crate::sentinel::{SentinelConfig, SimConfig};
 use crate::sim::Simulation;
 use crate::species::Species;
+use crate::store::Layout;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -629,8 +630,10 @@ pub fn encode_species(species: &[Species]) -> Vec<u8> {
         p.f32(sp.q);
         p.f32(sp.m);
         p.u32(sp.sort_interval as u32);
-        p.u64(sp.particles.len() as u64);
-        for part in &sp.particles {
+        // Always the canonical AoS byte stream, whatever the in-memory
+        // layout — dumps are layout-independent by construction.
+        p.u64(sp.len() as u64);
+        for part in sp.iter() {
             p.f32(part.dx);
             p.f32(part.dy);
             p.f32(part.dz);
@@ -671,7 +674,7 @@ pub fn decode_species(payload: &[u8], n_voxels: usize) -> Result<Vec<Species>, C
         let mut sp = Species::new(name, q, m).with_sort_interval(sort_interval);
         // Do not trust the header for a big up-front reservation: a
         // corrupted count should fail on decode, not on allocation.
-        sp.particles.reserve_exact(count.min(1 << 20));
+        sp.store_mut().reserve(count.min(1 << 20));
         for _ in 0..count {
             let dx = r.f32()?;
             let dy = r.f32()?;
@@ -686,7 +689,7 @@ pub fn decode_species(payload: &[u8], n_voxels: usize) -> Result<Vec<Species>, C
                     "particle voxel {i} out of range (< {n_voxels})"
                 )));
             }
-            sp.particles.push(Particle {
+            sp.push(Particle {
                 dx,
                 dy,
                 dz,
@@ -850,6 +853,20 @@ pub fn load(r: &mut impl Read, n_pipelines: usize) -> Result<Simulation, Checkpo
     Ok(sim)
 }
 
+/// [`load`], then convert every species to `layout`. The dump format is
+/// canonical AoS regardless of the writer's layout, so any checkpoint
+/// restores into either backend (and the restart is bit-identical either
+/// way, since conversion is a lossless copy).
+pub fn load_with_layout(
+    r: &mut impl Read,
+    n_pipelines: usize,
+    layout: Layout,
+) -> Result<Simulation, CheckpointError> {
+    let mut sim = load(r, n_pipelines)?;
+    sim.set_layout(layout);
+    Ok(sim)
+}
+
 /// Atomically write a restart dump to `path`: buffered write to a `.tmp`
 /// sibling, fsync, rename. A crash mid-dump leaves the previous checkpoint
 /// (if any) untouched.
@@ -910,7 +927,7 @@ mod tests {
         assert_eq!(restored.step_count, sim.step_count);
         assert_eq!(restored.species.len(), 1);
         assert_eq!(restored.species[0].name, "electron");
-        assert_eq!(restored.species[0].particles, sim.species[0].particles);
+        assert_eq!(restored.species[0].store(), sim.species[0].store());
         assert_eq!(restored.fields.ex, sim.fields.ex);
         assert_eq!(restored.fields.cbz, sim.fields.cbz);
         assert_eq!(restored.grid.nx, sim.grid.nx);
@@ -937,8 +954,34 @@ mod tests {
             sim.step();
             restored.step();
         }
-        assert_eq!(sim.species[0].particles, restored.species[0].particles);
+        assert_eq!(sim.species[0].store(), restored.species[0].store());
         assert_eq!(sim.fields.ex, restored.fields.ex);
+    }
+
+    #[test]
+    fn dump_bytes_are_layout_independent_and_restore_into_either_layout() {
+        // An AoSoA-resident run must write the exact same bytes as its AoS
+        // twin (canonical AoS on disk), and any dump must restore into
+        // either layout and continue bit-identically.
+        let sim_aos = make_sim();
+        let mut sim_soa = make_sim();
+        sim_soa.set_layout(Layout::Aosoa);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        save(&sim_aos, &mut a).unwrap();
+        save(&sim_soa, &mut b).unwrap();
+        assert_eq!(a, b, "dump bytes depend on the in-memory layout");
+
+        let mut into_aos = load_with_layout(&mut a.as_slice(), 1, Layout::Aos).unwrap();
+        let mut into_soa = load_with_layout(&mut a.as_slice(), 1, Layout::Aosoa).unwrap();
+        assert_eq!(into_aos.species[0].layout(), Layout::Aos);
+        assert_eq!(into_soa.species[0].layout(), Layout::Aosoa);
+        for _ in 0..3 {
+            into_aos.step();
+            into_soa.step();
+        }
+        assert_eq!(into_aos.species[0].store(), into_soa.species[0].store());
+        assert_eq!(into_aos.fields.ex, into_soa.fields.ex);
+        assert_eq!(into_aos.fields.cbz, into_soa.fields.cbz);
     }
 
     #[test]
@@ -1140,7 +1183,7 @@ mod tests {
         save_to_path(&sim, &path).unwrap();
         assert!(!dir.join("dump.tmp").exists(), "temp file left behind");
         let restored = load_from_path(&path, 1).unwrap();
-        assert_eq!(restored.species[0].particles, sim.species[0].particles);
+        assert_eq!(restored.species[0].store(), sim.species[0].store());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,9 +16,9 @@
 //! roundoff) — the property the tests pin down.
 
 use crate::grid::Grid;
-use crate::particle::Particle;
 use crate::rng::Rng;
 use crate::species::Species;
+use crate::store::ParticleStore;
 
 /// Intra-species TA77 collision operator.
 #[derive(Clone, Copy, Debug)]
@@ -50,22 +50,22 @@ impl CollisionOperator {
         let dt_coll = g.dt as f64 * self.interval as f64;
         let dv = g.dv() as f64;
         // Walk runs of equal voxel index (requires sorted particles).
-        let parts = &mut sp.particles;
+        let parts = sp.store_mut();
+        let n = parts.len();
         debug_assert!(
-            parts.windows(2).all(|w| w[0].i <= w[1].i),
+            (1..n).all(|k| parts.voxel(k - 1) <= parts.voxel(k)),
             "collision operator needs voxel-sorted particles"
         );
-        let n = parts.len();
         let mut start = 0usize;
         while start < n {
-            let voxel = parts[start].i;
+            let voxel = parts.voxel(start);
             let mut end = start + 1;
-            while end < n && parts[end].i == voxel {
+            while end < n && parts.voxel(end) == voxel {
                 end += 1;
             }
             let count = end - start;
             if count >= 2 {
-                let weight: f64 = parts[start..end].iter().map(|p| p.w as f64).sum();
+                let weight: f64 = (start..end).map(|k| parts.get(k).w as f64).sum();
                 let density = weight / dv;
                 // Random pairing: Fisher-Yates a local index permutation.
                 let mut idx: Vec<usize> = (start..end).collect();
@@ -94,17 +94,18 @@ impl CollisionOperator {
     /// valid for the thermal plasmas the benchmark targets).
     fn scatter_pair(
         &self,
-        parts: &mut [Particle],
+        parts: &mut ParticleStore,
         a: usize,
         b: usize,
         density: f64,
         dt: f64,
         rng: &mut Rng,
     ) {
+        let (mut pa, mut pb) = (parts.get(a), parts.get(b));
         let (ux, uy, uz) = (
-            parts[a].ux as f64 - parts[b].ux as f64,
-            parts[a].uy as f64 - parts[b].uy as f64,
-            parts[a].uz as f64 - parts[b].uz as f64,
+            pa.ux as f64 - pb.ux as f64,
+            pa.uy as f64 - pb.uy as f64,
+            pa.uz as f64 - pb.uz as f64,
         );
         let u2 = ux * ux + uy * uy + uz * uz;
         if u2 < 1e-24 {
@@ -136,12 +137,14 @@ impl CollisionOperator {
         // Equal masses (intra-species): each particle takes half the
         // relative-velocity change, which conserves both momentum and
         // kinetic energy exactly.
-        parts[a].ux += (0.5 * dux) as f32;
-        parts[a].uy += (0.5 * duy) as f32;
-        parts[a].uz += (0.5 * duz) as f32;
-        parts[b].ux -= (0.5 * dux) as f32;
-        parts[b].uy -= (0.5 * duy) as f32;
-        parts[b].uz -= (0.5 * duz) as f32;
+        pa.ux += (0.5 * dux) as f32;
+        pa.uy += (0.5 * duy) as f32;
+        pa.uz += (0.5 * duz) as f32;
+        pb.ux -= (0.5 * dux) as f32;
+        pb.uy -= (0.5 * duy) as f32;
+        pb.uz -= (0.5 * duz) as f32;
+        parts.set(a, pa);
+        parts.set(b, pb);
     }
 }
 
@@ -183,7 +186,7 @@ mod tests {
         }
         let p1 = sp.momentum(&g);
         let e1 = sp.kinetic_energy(&g);
-        let pscale = sp.len() as f64 * 0.05 * sp.particles[0].w as f64;
+        let pscale = sp.len() as f64 * 0.05 * sp.get(0).w as f64;
         for ax in 0..3 {
             assert!(
                 (p1[ax] - p0[ax]).abs() < 1e-4 * pscale,
@@ -199,8 +202,7 @@ mod tests {
         let (mut sp, g, op, mut rng) = collisional_plasma([0.1, 0.02, 0.02], 0.02, 2);
         let t = |sp: &Species, ax: usize| {
             let n = sp.len() as f64;
-            sp.particles
-                .iter()
+            sp.iter()
                 .map(|p| (p.momentum(ax) as f64).powi(2))
                 .sum::<f64>()
                 / n
@@ -224,9 +226,9 @@ mod tests {
     #[test]
     fn collisionless_limit_is_identity() {
         let (mut sp, g, _, mut rng) = collisional_plasma([0.05; 3], 0.0, 3);
-        let before = sp.particles.clone();
+        let before = sp.to_particles();
         CollisionOperator::new(0.0, 1).apply(&mut sp, &g, &mut rng);
-        assert_eq!(sp.particles, before);
+        assert_eq!(sp.to_particles(), before);
     }
 
     #[test]
@@ -236,8 +238,7 @@ mod tests {
         let decay = |nu0: f64, seed: u64| {
             let (mut sp, g, op, mut rng) = collisional_plasma([0.1, 0.02, 0.02], nu0, seed);
             let t = |sp: &Species, ax: usize| {
-                sp.particles
-                    .iter()
+                sp.iter()
                     .map(|p| (p.momentum(ax) as f64).powi(2))
                     .sum::<f64>()
                     / sp.len() as f64
@@ -271,11 +272,12 @@ mod tests {
         // Tag beam particles by loading them afterwards (stable tail of
         // the array as long as we do not sort between measurements).
         for _ in 0..n_bulk / 16 {
-            let i = sp.particles[rng.index(n_bulk)].i;
-            sp.particles.push(Particle {
+            let i = sp.get(rng.index(n_bulk)).i;
+            let w = sp.get(0).w;
+            sp.push(crate::particle::Particle {
                 i,
                 ux: 0.08,
-                w: sp.particles[0].w,
+                w,
                 ..Default::default()
             });
         }
@@ -284,7 +286,6 @@ mod tests {
         // whole distribution's fast tail.
         let beam_mean = |sp: &Species| {
             let tail: Vec<f64> = sp
-                .particles
                 .iter()
                 .filter(|p| p.ux > 0.05)
                 .map(|p| p.ux as f64)

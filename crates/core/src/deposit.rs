@@ -10,8 +10,15 @@ use crate::grid::Grid;
 use crate::particle::Particle;
 
 /// Accumulate `q_sp · w` of each particle onto the nodes of `f.rho`
-/// (adds; callers clear and `sync_rho` as needed).
-pub fn deposit_rho(f: &mut FieldArray, g: &Grid, particles: &[Particle], qsp: f32) {
+/// (adds; callers clear and `sync_rho` as needed). Takes particles by
+/// value so both storage layouts deposit through the same code
+/// (`sp.iter()` for a species, `parts.iter().copied()` for a slice).
+pub fn deposit_rho(
+    f: &mut FieldArray,
+    g: &Grid,
+    particles: impl IntoIterator<Item = Particle>,
+    qsp: f32,
+) {
     let (sx, sy, _) = g.strides();
     let (dj, dk) = (sx, sx * sy);
     let r8v = 1.0 / (8.0 * g.dv());
@@ -41,7 +48,7 @@ mod tests {
     fn total_charge_is_conserved_by_weighting() {
         let g = Grid::periodic((4, 4, 4), (0.5, 0.5, 0.5), 0.1);
         let mut f = FieldArray::new(&g);
-        let parts = vec![
+        let parts = [
             Particle {
                 i: g.voxel(2, 3, 2) as u32,
                 dx: 0.3,
@@ -59,7 +66,7 @@ mod tests {
                 ..Default::default()
             },
         ];
-        deposit_rho(&mut f, &g, &parts, -1.5);
+        deposit_rho(&mut f, &g, parts.iter().copied(), -1.5);
         sync_rho(&mut f, &g, bcs_of(&g));
         let total = f.total_rho(&g);
         assert!((total - (-1.5 * 3.0)).abs() < 1e-5, "total = {total}");
@@ -69,12 +76,12 @@ mod tests {
     fn centered_particle_splits_equally() {
         let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
         let mut f = FieldArray::new(&g);
-        let parts = vec![Particle {
+        let parts = [Particle {
             i: g.voxel(2, 2, 2) as u32,
             w: 8.0,
             ..Default::default()
         }];
-        deposit_rho(&mut f, &g, &parts, 1.0);
+        deposit_rho(&mut f, &g, parts.iter().copied(), 1.0);
         let v = g.voxel(2, 2, 2);
         let (sx, sy, _) = g.strides();
         let (dj, dk) = (sx, sx * sy);
@@ -87,7 +94,7 @@ mod tests {
     fn corner_particle_hits_one_node() {
         let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
         let mut f = FieldArray::new(&g);
-        let parts = vec![Particle {
+        let parts = [Particle {
             i: g.voxel(2, 2, 2) as u32,
             dx: -1.0,
             dy: -1.0,
@@ -95,7 +102,7 @@ mod tests {
             w: 1.0,
             ..Default::default()
         }];
-        deposit_rho(&mut f, &g, &parts, 1.0);
+        deposit_rho(&mut f, &g, parts.iter().copied(), 1.0);
         assert!((f.rho[g.voxel(2, 2, 2)] - 1.0).abs() < 1e-6);
         assert_eq!(f.rho[g.voxel(3, 2, 2)], 0.0);
     }

@@ -270,8 +270,7 @@ mod tests {
         // Total y-current = ∫ n0 sech²·(udi − ude) dV > 0 and matches the
         // analytic integral within sampling noise.
         let jy = |sp: &Species| -> f64 {
-            sp.particles
-                .iter()
+            sp.iter()
                 .map(|p| (sp.q * p.w) as f64 * (p.uy as f64 / p.gamma() as f64))
                 .sum()
         };

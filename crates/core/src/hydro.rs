@@ -63,7 +63,7 @@ impl HydroArray {
         let (sx, sy, _) = g.strides();
         let (dj, dk) = (sx, sx * sy);
         let r8v = 1.0 / (8.0 * g.dv());
-        for p in &sp.particles {
+        for p in sp.iter() {
             let v = p.i as usize;
             let w = p.w * r8v;
             let gamma = p.gamma();
@@ -288,7 +288,7 @@ mod tests {
     fn clear_resets_everything() {
         let g = Grid::periodic((3, 3, 3), (1.0, 1.0, 1.0), 0.1);
         let mut sp = Species::new("e", -1.0, 1.0);
-        sp.particles.push(Particle {
+        sp.push(Particle {
             i: g.voxel(2, 2, 2) as u32,
             ux: 1.0,
             w: 1.0,

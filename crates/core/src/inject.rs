@@ -74,7 +74,7 @@ impl ThermalInjector {
             dx = dx.clamp(-0.999, 0.999);
             let j = 1 + rng.index(g.ny);
             let k = 1 + rng.index(g.nz);
-            sp.particles.push(Particle {
+            sp.push(Particle {
                 dx: dx as f32,
                 dy: rng.uniform_in(-1.0, 1.0) as f32,
                 dz: rng.uniform_in(-1.0, 1.0) as f32,
@@ -129,7 +129,7 @@ mod tests {
         let want = inj.expected_per_step(&g);
         assert!((got - want).abs() / want < 0.05, "rate {got} vs {want}");
         // All inward-moving, inside the first cell.
-        for p in &sp.particles {
+        for p in sp.iter() {
             assert!(p.ux > 0.0);
             let (i, _, _) = g.voxel_coords(p.i as usize);
             assert_eq!(i, 1);
@@ -152,7 +152,7 @@ mod tests {
             inj.inject(&mut sp, &g, &mut rng);
         }
         assert!(sp.len() > 10);
-        for p in &sp.particles {
+        for p in sp.iter() {
             assert!(p.ux < 0.0);
             let (i, _, _) = g.voxel_coords(p.i as usize);
             assert_eq!(i, 8);
@@ -193,16 +193,16 @@ mod tests {
             weight,
         };
         // Drain-only control first.
-        let mut drained = sim.species[0].particles.clone();
+        let drained;
         {
             let mut control = Simulation::new(absorbing_grid(8), 1);
             let mut sp = Species::new("e", -1.0, 1.0);
-            sp.particles = std::mem::take(&mut drained);
+            sp.set_particles(sim.species[0].to_particles());
             control.add_species(sp);
             for _ in 0..150 {
                 control.step();
             }
-            drained = control.species[0].particles.clone();
+            drained = control.species[0].to_particles();
         }
         for _ in 0..150 {
             inj_lo.inject(&mut sim.species[0], &sim.grid.clone(), &mut rng);

@@ -77,7 +77,7 @@ pub fn load_juttner(
                         let gamma = (1.0 + ux * ux + uy * uy + uz * uz).sqrt();
                         ux = gamma_drift * (ux + beta_d * gamma);
                     }
-                    sp.particles.push(Particle {
+                    sp.push(Particle {
                         dx: rng.uniform_in(-1.0, 1.0) as f32,
                         dy: rng.uniform_in(-1.0, 1.0) as f32,
                         dz: rng.uniform_in(-1.0, 1.0) as f32,
@@ -123,13 +123,8 @@ mod tests {
         load_juttner(&mut jut, &g, &mut rng, 1.0, 200, theta, 1.0);
         let mut max = Species::new("e", -1.0, 1.0);
         load_uniform(&mut max, &g, &mut rng, 1.0, 200, Momentum::thermal(0.05));
-        let var = |sp: &Species| {
-            sp.particles
-                .iter()
-                .map(|p| (p.ux as f64).powi(2))
-                .sum::<f64>()
-                / sp.len() as f64
-        };
+        let var =
+            |sp: &Species| sp.iter().map(|p| (p.ux as f64).powi(2)).sum::<f64>() / sp.len() as f64;
         let (vj, vm) = (var(&jut), var(&max));
         assert!((vj - vm).abs() / vm < 0.05, "juttner {vj} vs maxwell {vm}");
     }
@@ -183,7 +178,7 @@ mod tests {
         let mut rng = Rng::seeded(4);
         let gamma_d = 3.0f64;
         load_juttner(&mut sp, &g, &mut rng, 1.0, 2000, 0.01, gamma_d);
-        let mean_ux: f64 = sp.particles.iter().map(|p| p.ux as f64).sum::<f64>() / sp.len() as f64;
+        let mean_ux: f64 = sp.iter().map(|p| p.ux as f64).sum::<f64>() / sp.len() as f64;
         // Cold limit: ⟨u_x⟩ ≈ γ_d·β_d·⟨γ⟩ ≈ γ_d·β_d.
         let want = gamma_d * (1.0 - 1.0 / (gamma_d * gamma_d)).sqrt();
         assert!(

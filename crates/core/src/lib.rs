@@ -58,12 +58,15 @@ pub mod sim;
 pub mod sort;
 pub mod species;
 pub mod sponge;
+pub mod store;
 pub mod threads;
 pub mod tracer;
 pub mod units;
 
 pub use accumulator::{Accumulator, AccumulatorArray, AccumulatorSet};
-pub use aosoa::{advance_p_aosoa, AosoaStore};
+pub use aosoa::{
+    advance_p_aosoa, advance_p_aosoa_pipelined, sort_aosoa_with, AosoaStore, Block, LANES,
+};
 pub use checkpoint::CheckpointError;
 pub use collision::CollisionOperator;
 pub use crc32::{crc32, Crc32};
@@ -87,6 +90,7 @@ pub use sim::{EnergySnapshot, Simulation, StepTimings};
 pub use sort::{sort_by_voxel, sort_by_voxel_with};
 pub use species::Species;
 pub use sponge::Sponge;
+pub use store::{Layout, ParticleStore, StoreIter};
 pub use threads::worker_threads;
 pub use tracer::{add_tracer, tracer_species, TrackPoint, TrajectoryRecorder};
 pub use units::LabFrame;

@@ -75,7 +75,7 @@ pub fn load_profile(
                 }
                 let v = g.voxel(i, j, k) as u32;
                 for _ in 0..count {
-                    sp.particles.push(Particle {
+                    sp.push(Particle {
                         dx: rng.uniform_in(-1.0, 1.0) as f32,
                         dy: rng.uniform_in(-1.0, 1.0) as f32,
                         dz: rng.uniform_in(-1.0, 1.0) as f32,
@@ -130,7 +130,7 @@ mod tests {
         let v_tot = 64.0 * 0.125;
         assert!((sp.total_weight() - v_tot).abs() / v_tot < 1e-6);
         // All offsets in range, all voxels live.
-        for p in &sp.particles {
+        for p in sp.iter() {
             assert!(p.dx.abs() <= 1.0 && p.dy.abs() <= 1.0 && p.dz.abs() <= 1.0);
             assert!(g.is_live(p.i as usize));
         }
@@ -151,18 +151,13 @@ mod tests {
             Momentum::thermal(uth as f32),
         );
         let n = sp.len() as f64;
-        let var: f64 = sp
-            .particles
-            .iter()
-            .map(|p| (p.ux as f64).powi(2))
-            .sum::<f64>()
-            / n;
+        let var: f64 = sp.iter().map(|p| (p.ux as f64).powi(2)).sum::<f64>() / n;
         assert!(
             (var.sqrt() - uth).abs() / uth < 0.02,
             "std = {}",
             var.sqrt()
         );
-        let mean: f64 = sp.particles.iter().map(|p| p.uy as f64).sum::<f64>() / n;
+        let mean: f64 = sp.iter().map(|p| p.uy as f64).sum::<f64>() / n;
         assert!(mean.abs() < 0.01 * uth.max(0.01));
     }
 
@@ -188,7 +183,6 @@ mod tests {
             },
         );
         let left = sp
-            .particles
             .iter()
             .filter(|p| {
                 let (i, _, _) = g.voxel_coords(p.i as usize);
@@ -211,8 +205,7 @@ mod tests {
         let v = sp.mean_velocity();
         assert!(v[0].abs() < 0.01, "net drift {v:?}");
         // Bimodal: essentially no particle near ux = 0.
-        let near_zero =
-            sp.particles.iter().filter(|p| p.ux.abs() < 0.05).count() as f64 / sp.len() as f64;
+        let near_zero = sp.iter().filter(|p| p.ux.abs() < 0.05).count() as f64 / sp.len() as f64;
         assert!(near_zero < 0.01);
     }
 }

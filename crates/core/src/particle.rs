@@ -46,40 +46,48 @@ impl Particle {
     /// Offset component along `axis` (0 = x, 1 = y, 2 = z).
     #[inline]
     pub fn offset(&self, axis: usize) -> f32 {
+        debug_assert!(axis < 3, "offset axis {axis} out of range");
         match axis {
             0 => self.dx,
             1 => self.dy,
-            _ => self.dz,
+            2 => self.dz,
+            _ => f32::NAN,
         }
     }
 
     /// Set the offset component along `axis`.
     #[inline]
     pub fn set_offset(&mut self, axis: usize, v: f32) {
+        debug_assert!(axis < 3, "set_offset axis {axis} out of range");
         match axis {
             0 => self.dx = v,
             1 => self.dy = v,
-            _ => self.dz = v,
+            2 => self.dz = v,
+            _ => {}
         }
     }
 
     /// Momentum component along `axis`.
     #[inline]
     pub fn momentum(&self, axis: usize) -> f32 {
+        debug_assert!(axis < 3, "momentum axis {axis} out of range");
         match axis {
             0 => self.ux,
             1 => self.uy,
-            _ => self.uz,
+            2 => self.uz,
+            _ => f32::NAN,
         }
     }
 
     /// Set the momentum component along `axis`.
     #[inline]
     pub fn set_momentum(&mut self, axis: usize, v: f32) {
+        debug_assert!(axis < 3, "set_momentum axis {axis} out of range");
         match axis {
             0 => self.ux = v,
             1 => self.uy = v,
-            _ => self.uz = v,
+            2 => self.uz = v,
+            _ => {}
         }
     }
 }
@@ -99,20 +107,24 @@ impl Mover {
     /// Displacement component along `axis`.
     #[inline]
     pub fn disp(&self, axis: usize) -> f32 {
+        debug_assert!(axis < 3, "disp axis {axis} out of range");
         match axis {
             0 => self.dispx,
             1 => self.dispy,
-            _ => self.dispz,
+            2 => self.dispz,
+            _ => f32::NAN,
         }
     }
 
     /// Set the displacement component along `axis`.
     #[inline]
     pub fn set_disp(&mut self, axis: usize, v: f32) {
+        debug_assert!(axis < 3, "set_disp axis {axis} out of range");
         match axis {
             0 => self.dispx = v,
             1 => self.dispy = v,
-            _ => self.dispz = v,
+            2 => self.dispz = v,
+            _ => {}
         }
     }
 }

@@ -10,6 +10,7 @@ use crate::accumulator::AccumulatorArray;
 use crate::grid::{decode_migrate, Grid, NEIGHBOR_ABSORB, NEIGHBOR_REFLECT};
 use crate::interpolator::InterpolatorArray;
 use crate::particle::{Mover, Particle};
+use crate::store::ParticleStore;
 use rayon::prelude::*;
 
 /// Where a particle ended up after `move_p` exhausted its displacement or
@@ -70,10 +71,29 @@ const MAX_SEGMENTS: usize = 16;
 /// currents into per-pipeline accumulators. Returns the particles that
 /// left the local domain (absorbed particles are deleted in place).
 ///
-/// `accumulators` must contain at least one array; the particle list is cut
-/// into `accumulators.len()` contiguous blocks processed in parallel, one
-/// pipeline (and private accumulator) per block — VPIC's pipeline scheme.
+/// `accumulators` must contain at least one array; the particle sequence
+/// is cut into `accumulators.len()` contiguous index blocks processed in
+/// parallel, one pipeline (and private accumulator) per block — VPIC's
+/// pipeline scheme. Dispatches on the store's layout; both backends use
+/// the identical index partition and per-pipeline deposit order, so AoS
+/// and AoSoA runs are bit-identical for any fixed pipeline count.
 pub fn advance_p(
+    store: &mut ParticleStore,
+    coeffs: PushCoefficients,
+    interp: &InterpolatorArray,
+    accumulators: &mut [AccumulatorArray],
+    g: &Grid,
+) -> Vec<Exile> {
+    match store {
+        ParticleStore::Aos(particles) => advance_p_aos(particles, coeffs, interp, accumulators, g),
+        ParticleStore::Aosoa(s) => {
+            crate::aosoa::advance_p_aosoa_pipelined(s, coeffs, interp, accumulators, g)
+        }
+    }
+}
+
+/// AoS backend of [`advance_p`].
+fn advance_p_aos(
     particles: &mut Vec<Particle>,
     coeffs: PushCoefficients,
     interp: &InterpolatorArray,
@@ -107,9 +127,27 @@ pub fn advance_p(
 }
 
 /// Swap-remove every absorbed particle and retarget exiles whose particle
-/// was moved by a swap. An index map built once keeps this
-/// O(absorbed + exiles) instead of rescanning the exile list per removal.
-fn delete_absorbed(particles: &mut Vec<Particle>, mut absorbed: Vec<u32>, exiles: &mut [Exile]) {
+/// was moved by a swap.
+fn delete_absorbed(particles: &mut Vec<Particle>, absorbed: Vec<u32>, exiles: &mut [Exile]) {
+    let len = particles.len();
+    retarget_and_delete(len, absorbed, exiles, |i| {
+        particles.swap_remove(i);
+    });
+}
+
+/// Layout-agnostic absorbed-particle deletion: swap-remove every index in
+/// `absorbed` (via the caller's `swap_remove`, which must mirror
+/// `Vec::swap_remove` on a sequence initially `len` long) and retarget
+/// exiles whose particle was moved by a swap. An index map built once
+/// keeps this O(absorbed + exiles) instead of rescanning the exile list
+/// per removal. Both storage backends run this exact algorithm, so the
+/// post-deletion particle order is identical across layouts.
+pub(crate) fn retarget_and_delete(
+    len: usize,
+    mut absorbed: Vec<u32>,
+    exiles: &mut [Exile],
+    mut swap_remove: impl FnMut(usize),
+) {
     if absorbed.is_empty() {
         return;
     }
@@ -119,9 +157,11 @@ fn delete_absorbed(particles: &mut Vec<Particle>, mut absorbed: Vec<u32>, exiles
         exiles.iter().enumerate().map(|(n, e)| (e.idx, n)).collect();
     // Descending order keeps pending indices valid across swap_removes.
     absorbed.sort_unstable_by(|a, b| b.cmp(a));
+    let mut cur = len;
     for idx in absorbed {
-        let last = (particles.len() - 1) as u32;
-        particles.swap_remove(idx as usize);
+        let last = (cur - 1) as u32;
+        swap_remove(idx as usize);
+        cur -= 1;
         // If an exile pointed at the swapped-in particle, retarget it.
         if idx != last {
             if let Some(n) = exile_of.remove(&last) {
@@ -150,6 +190,111 @@ pub fn advance_p_serial(
     exiles
 }
 
+/// What happened to one particle in [`push_one`].
+pub(crate) enum PushedFate {
+    /// Still resident in the local domain.
+    Stayed,
+    /// Hit an absorbing boundary; caller must delete it.
+    Absorbed,
+    /// Left the local domain; caller must migrate it.
+    Exiled(Exile),
+}
+
+/// Push a single particle (global index `idx`): Boris kick/rotate,
+/// displacement, current deposition, and cell-crossing handling. This is
+/// the one copy of the scalar per-particle arithmetic — the AoS pipeline
+/// loops it over chunks and the AoSoA backend calls it for lanes of
+/// blocks straddling a pipeline boundary, which is what keeps the two
+/// layouts bit-identical.
+#[inline(always)]
+pub(crate) fn push_one(
+    p: &mut Particle,
+    idx: u32,
+    c: PushCoefficients,
+    interp: &InterpolatorArray,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+) -> PushedFate {
+    const ONE: f32 = 1.0;
+    const ONE_THIRD: f32 = 1.0 / 3.0;
+    const TWO_FIFTEENTHS: f32 = 2.0 / 15.0;
+    let f = &interp.data[p.i as usize];
+    let (dx, dy, dz) = (p.dx, p.dy, p.dz);
+
+    // Interpolate E (premultiplied by the half-kick factor) and cB.
+    let hax = c.qdt_2mc * ((f.ex + dy * f.dexdy) + dz * (f.dexdz + dy * f.d2exdydz));
+    let hay = c.qdt_2mc * ((f.ey + dz * f.deydz) + dx * (f.deydx + dz * f.d2eydzdx));
+    let haz = c.qdt_2mc * ((f.ez + dx * f.dezdx) + dy * (f.dezdy + dx * f.d2ezdxdy));
+    let cbx = f.cbx + dx * f.dcbxdx;
+    let cby = f.cby + dy * f.dcbydy;
+    let cbz = f.cbz + dz * f.dcbzdz;
+
+    // Half E acceleration.
+    let mut ux = p.ux + hax;
+    let mut uy = p.uy + hay;
+    let mut uz = p.uz + haz;
+
+    // Boris rotation with the VPIC tan(θ/2)/θ correction polynomial.
+    let v0 = c.qdt_2mc / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
+    let v1 = cbx * cbx + (cby * cby + cbz * cbz);
+    let v2 = (v0 * v0) * v1;
+    let v3 = v0 * (ONE + v2 * (ONE_THIRD + v2 * TWO_FIFTEENTHS));
+    let mut v4 = v3 / (ONE + v1 * (v3 * v3));
+    v4 += v4;
+    let w0 = ux + v3 * (uy * cbz - uz * cby);
+    let w1 = uy + v3 * (uz * cbx - ux * cbz);
+    let w2 = uz + v3 * (ux * cby - uy * cbx);
+    ux += v4 * (w1 * cbz - w2 * cby);
+    uy += v4 * (w2 * cbx - w0 * cbz);
+    uz += v4 * (w0 * cby - w1 * cbx);
+
+    // Second half E acceleration; store momentum.
+    ux += hax;
+    uy += hay;
+    uz += haz;
+    p.ux = ux;
+    p.uy = uy;
+    p.uz = uz;
+
+    // Half displacement in voxel-offset units: h = (v/c)·(c·dt/Δ).
+    let rg = ONE / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
+    let hx = ux * rg * c.cdt_dx;
+    let hy = uy * rg * c.cdt_dy;
+    let hz = uz * rg * c.cdt_dz;
+
+    let mx = dx + hx; // streak midpoint (if in bounds)
+    let my = dy + hy;
+    let mz = dz + hz;
+    let nx = mx + hx; // new position
+    let ny = my + hy;
+    let nz = mz + hz;
+
+    if nx.abs() <= ONE && ny.abs() <= ONE && nz.abs() <= ONE {
+        // Common case: no cell crossing.
+        p.dx = nx;
+        p.dy = ny;
+        p.dz = nz;
+        acc.deposit(p.i as usize, c.qsp * p.w, (mx, my, mz), (hx, hy, hz));
+        PushedFate::Stayed
+    } else {
+        let mut pm = Mover {
+            dispx: hx,
+            dispy: hy,
+            dispz: hz,
+            idx,
+        };
+        match move_p_local(p, &mut pm, acc, g, c.qsp) {
+            MoveOutcome::Done => PushedFate::Stayed,
+            MoveOutcome::Absorbed => PushedFate::Absorbed,
+            MoveOutcome::Exit { face } => PushedFate::Exiled(Exile {
+                idx,
+                face,
+                mover: pm,
+            }),
+        }
+    }
+}
+
 /// Push one contiguous block of particles (one pipeline).
 fn advance_block(
     chunk: &mut [Particle],
@@ -159,88 +304,14 @@ fn advance_block(
     acc: &mut AccumulatorArray,
     g: &Grid,
 ) -> (Vec<u32>, Vec<Exile>) {
-    const ONE: f32 = 1.0;
-    const ONE_THIRD: f32 = 1.0 / 3.0;
-    const TWO_FIFTEENTHS: f32 = 2.0 / 15.0;
     let mut absorbed = Vec::new();
     let mut exiles = Vec::new();
-    let ipd = &interp.data;
-
     for (local, p) in chunk.iter_mut().enumerate() {
-        let f = &ipd[p.i as usize];
-        let (dx, dy, dz) = (p.dx, p.dy, p.dz);
-
-        // Interpolate E (premultiplied by the half-kick factor) and cB.
-        let hax = c.qdt_2mc * ((f.ex + dy * f.dexdy) + dz * (f.dexdz + dy * f.d2exdydz));
-        let hay = c.qdt_2mc * ((f.ey + dz * f.deydz) + dx * (f.deydx + dz * f.d2eydzdx));
-        let haz = c.qdt_2mc * ((f.ez + dx * f.dezdx) + dy * (f.dezdy + dx * f.d2ezdxdy));
-        let cbx = f.cbx + dx * f.dcbxdx;
-        let cby = f.cby + dy * f.dcbydy;
-        let cbz = f.cbz + dz * f.dcbzdz;
-
-        // Half E acceleration.
-        let mut ux = p.ux + hax;
-        let mut uy = p.uy + hay;
-        let mut uz = p.uz + haz;
-
-        // Boris rotation with the VPIC tan(θ/2)/θ correction polynomial.
-        let v0 = c.qdt_2mc / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-        let v1 = cbx * cbx + (cby * cby + cbz * cbz);
-        let v2 = (v0 * v0) * v1;
-        let v3 = v0 * (ONE + v2 * (ONE_THIRD + v2 * TWO_FIFTEENTHS));
-        let mut v4 = v3 / (ONE + v1 * (v3 * v3));
-        v4 += v4;
-        let w0 = ux + v3 * (uy * cbz - uz * cby);
-        let w1 = uy + v3 * (uz * cbx - ux * cbz);
-        let w2 = uz + v3 * (ux * cby - uy * cbx);
-        ux += v4 * (w1 * cbz - w2 * cby);
-        uy += v4 * (w2 * cbx - w0 * cbz);
-        uz += v4 * (w0 * cby - w1 * cbx);
-
-        // Second half E acceleration; store momentum.
-        ux += hax;
-        uy += hay;
-        uz += haz;
-        p.ux = ux;
-        p.uy = uy;
-        p.uz = uz;
-
-        // Half displacement in voxel-offset units: h = (v/c)·(c·dt/Δ).
-        let rg = ONE / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-        let hx = ux * rg * c.cdt_dx;
-        let hy = uy * rg * c.cdt_dy;
-        let hz = uz * rg * c.cdt_dz;
-
-        let mx = dx + hx; // streak midpoint (if in bounds)
-        let my = dy + hy;
-        let mz = dz + hz;
-        let nx = mx + hx; // new position
-        let ny = my + hy;
-        let nz = mz + hz;
-
-        if nx.abs() <= ONE && ny.abs() <= ONE && nz.abs() <= ONE {
-            // Common case: no cell crossing.
-            p.dx = nx;
-            p.dy = ny;
-            p.dz = nz;
-            acc.deposit(p.i as usize, c.qsp * p.w, (mx, my, mz), (hx, hy, hz));
-        } else {
-            let idx = base_idx + local as u32;
-            let mut pm = Mover {
-                dispx: hx,
-                dispy: hy,
-                dispz: hz,
-                idx,
-            };
-            match move_p_local(p, &mut pm, acc, g, c.qsp) {
-                MoveOutcome::Done => {}
-                MoveOutcome::Absorbed => absorbed.push(idx),
-                MoveOutcome::Exit { face } => exiles.push(Exile {
-                    idx,
-                    face,
-                    mover: pm,
-                }),
-            }
+        let idx = base_idx + local as u32;
+        match push_one(p, idx, c, interp, acc, g) {
+            PushedFate::Stayed => {}
+            PushedFate::Absorbed => absorbed.push(idx),
+            PushedFate::Exiled(e) => exiles.push(e),
         }
     }
     (absorbed, exiles)
@@ -606,13 +677,13 @@ mod tests {
         let c = PushCoefficients::new(-1.0, 1.0, &g);
         advance_p_serial(&mut serial, c, &ia, &mut acc_s, &g);
 
-        let mut par = parts.clone();
+        let mut par = ParticleStore::Aos(parts.clone());
         let mut accs: Vec<AccumulatorArray> = (0..4).map(|_| AccumulatorArray::new(&g)).collect();
         advance_p(&mut par, c, &ia, &mut accs, &g);
 
         assert_eq!(serial.len(), par.len());
         for (a, b) in serial.iter().zip(par.iter()) {
-            assert_eq!(a, b);
+            assert_eq!(*a, b);
         }
         // Reduced accumulators must match too.
         let mut total = AccumulatorArray::new(&g);

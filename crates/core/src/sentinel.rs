@@ -402,7 +402,7 @@ pub fn count_nonfinite_fields(f: &FieldArray) -> u64 {
 pub fn count_nonfinite_particles(species: &[Species]) -> u64 {
     species
         .iter()
-        .flat_map(|sp| sp.particles.iter())
+        .flat_map(|sp| sp.iter())
         .filter(|p| {
             !(p.dx.is_finite()
                 && p.dy.is_finite()
@@ -469,7 +469,7 @@ pub fn local_sample(
     let n_voxels = grid.n_voxels() as u32;
     let u2_max = cfg.max_momentum * cfg.max_momentum;
     for sp in species {
-        for p in &sp.particles {
+        for p in sp.iter() {
             if cfg.max_momentum > 0.0 {
                 let u2 = (p.ux as f64).powi(2) + (p.uy as f64).powi(2) + (p.uz as f64).powi(2);
                 if u2 > u2_max {

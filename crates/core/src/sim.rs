@@ -30,6 +30,7 @@ use crate::rng::Rng;
 use crate::sentinel::{HealthVerdict, Sentinel, SimConfig};
 use crate::species::Species;
 use crate::sponge::Sponge;
+use crate::store::Layout;
 use std::time::Instant;
 
 /// Accumulated per-phase wall time in seconds, plus advance counters.
@@ -100,6 +101,9 @@ pub struct Simulation {
     /// repairable anomalies are Marder-healed in place. Inspect
     /// [`Simulation::sentinel_verdict`] after stepping.
     pub sentinel: Option<Sentinel>,
+    /// Particle storage layout applied to every species (the `layout`
+    /// deck knob); species added later are converted on entry.
+    layout: Layout,
     collision_rng: Rng,
     scratch: Vec<f32>,
 }
@@ -125,8 +129,24 @@ impl Simulation {
             timings: StepTimings::default(),
             collisions: Vec::new(),
             sentinel: None,
+            layout: Layout::default(),
             collision_rng: Rng::seeded(0xC0111D0),
             scratch: Vec::new(),
+        }
+    }
+
+    /// The particle storage layout in use.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Switch every species (present and future) to `layout`. Lossless;
+    /// AoS and AoSoA runs are bit-identical, so this can be called at any
+    /// point of a run — including right after a checkpoint restore.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        for sp in &mut self.species {
+            sp.set_layout(layout);
         }
     }
 
@@ -161,8 +181,10 @@ impl Simulation {
         self.collisions.push((si, op));
     }
 
-    /// Add a species; returns its index.
-    pub fn add_species(&mut self, sp: Species) -> usize {
+    /// Add a species (converted to the simulation's layout); returns its
+    /// index.
+    pub fn add_species(&mut self, mut sp: Species) -> usize {
+        sp.set_layout(self.layout);
         self.species.push(sp);
         self.species.len() - 1
     }
@@ -206,7 +228,7 @@ impl Simulation {
             let coeffs = PushCoefficients::new(sp.q, sp.m, g);
             advanced += sp.len() as u64;
             let exiles: Vec<Exile> = advance_p(
-                &mut sp.particles,
+                sp.store_mut(),
                 coeffs,
                 &self.interp,
                 &mut self.accumulators.arrays,
@@ -217,7 +239,7 @@ impl Simulation {
                 let mut idxs: Vec<u32> = exiles.iter().map(|e| e.idx).collect();
                 idxs.sort_unstable_by(|a, b| b.cmp(a));
                 for idx in idxs {
-                    sp.particles.swap_remove(idx as usize);
+                    sp.swap_remove(idx as usize);
                     lost += 1;
                 }
             }
@@ -297,7 +319,7 @@ impl Simulation {
     pub fn refresh_rho(&mut self) {
         self.fields.clear_rho();
         for sp in &self.species {
-            deposit_rho(&mut self.fields, &self.grid, &sp.particles, sp.q);
+            deposit_rho(&mut self.fields, &self.grid, sp.iter(), sp.q);
         }
         sync_rho(&mut self.fields, &self.grid, bcs_of(&self.grid));
     }

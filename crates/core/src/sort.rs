@@ -19,8 +19,9 @@ use crate::threads::worker_threads;
 use rayon::prelude::*;
 
 /// Minimum particles per sort worker; below this the fan-out overhead
-/// outweighs the work and fewer (or one) workers are used.
-const MIN_SORT_CHUNK: usize = 16 * 1024;
+/// outweighs the work and fewer (or one) workers are used. Shared with the
+/// AoSoA sort so both layouts pick identical worker counts.
+pub(crate) const MIN_SORT_CHUNK: usize = 16 * 1024;
 
 /// Raw output cursor for the scatter phase. Workers write disjoint index
 /// sets (see the safety argument at the write site), so sharing the

@@ -1,8 +1,15 @@
-//! A particle species: charge, mass and its macroparticle list.
+//! A particle species: charge, mass and its macroparticle storage.
+//!
+//! Storage goes through [`ParticleStore`] — AoS or AoSoA — and is private
+//! so every consumer works against the layout-agnostic API; the layout is
+//! a runtime knob (`layout = aos|aosoa` in decks) and both backends are
+//! bit-identical.
 
+use crate::aosoa::{sort_aosoa_with, Block};
 use crate::grid::Grid;
 use crate::particle::Particle;
 use crate::sort::sort_by_voxel_with;
+use crate::store::{Layout, ParticleStore, StoreIter};
 
 /// One kinetic species (e.g. electrons, helium ions).
 #[derive(Clone, Debug)]
@@ -13,28 +20,30 @@ pub struct Species {
     pub q: f32,
     /// Mass per physical particle (electron = 1 in normalized units).
     pub m: f32,
-    /// Macroparticles.
-    pub particles: Vec<Particle>,
     /// Sort every this many steps (0 = never); VPIC defaults to a few
     /// tens of steps.
     pub sort_interval: usize,
+    /// Macroparticles, in either layout.
+    store: ParticleStore,
     scratch: Vec<Particle>,
+    scratch_blocks: Vec<Block>,
     /// Persistent sort histogram, so steady-state sorting allocates
     /// nothing (see [`sort_by_voxel_with`]).
     sort_counts: Vec<u32>,
 }
 
 impl Species {
-    /// New empty species.
+    /// New empty species (AoS layout).
     pub fn new(name: impl Into<String>, q: f32, m: f32) -> Self {
         assert!(m > 0.0, "mass must be positive");
         Species {
             name: name.into(),
             q,
             m,
-            particles: Vec::new(),
             sort_interval: 25,
+            store: ParticleStore::default(),
             scratch: Vec::new(),
+            scratch_blocks: Vec::new(),
             sort_counts: Vec::new(),
         }
     }
@@ -45,40 +54,132 @@ impl Species {
         self
     }
 
+    /// Builder-style layout override (converts existing particles).
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.set_layout(layout);
+        self
+    }
+
+    /// The storage layout in use.
+    pub fn layout(&self) -> Layout {
+        self.store.layout()
+    }
+
+    /// Convert the particle storage to `layout` in place (lossless; a
+    /// no-op when already there).
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.store.convert(layout);
+    }
+
+    /// The underlying store (for the pushers and checkpoint layer).
+    #[inline]
+    pub fn store(&self) -> &ParticleStore {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store.
+    #[inline]
+    pub fn store_mut(&mut self) -> &mut ParticleStore {
+        &mut self.store
+    }
+
     /// Number of macroparticles.
     #[inline]
     pub fn len(&self) -> usize {
-        self.particles.len()
+        self.store.len()
     }
 
     /// True when the species holds no macroparticles.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.particles.is_empty()
+        self.store.is_empty()
+    }
+
+    /// Append a macroparticle.
+    #[inline]
+    pub fn push(&mut self, p: Particle) {
+        self.store.push(p);
+    }
+
+    /// Append every particle of `it`.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = Particle>) {
+        self.store.extend(it);
+    }
+
+    /// Copy out particle `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Particle {
+        self.store.get(i)
+    }
+
+    /// Overwrite particle `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, p: Particle) {
+        self.store.set(i, p);
+    }
+
+    /// Remove particle `i` by swapping in the last one; returns it.
+    #[inline]
+    pub fn swap_remove(&mut self, i: usize) -> Particle {
+        self.store.swap_remove(i)
+    }
+
+    /// Drop every particle (keeps capacity and layout).
+    pub fn clear_particles(&mut self) {
+        self.store.clear();
+    }
+
+    /// Iterate particles by value in index order.
+    pub fn iter(&self) -> StoreIter<'_> {
+        self.store.iter()
+    }
+
+    /// Copy out the canonical AoS view.
+    pub fn to_particles(&self) -> Vec<Particle> {
+        self.store.to_particles()
+    }
+
+    /// Replace the particle contents (keeps the current layout).
+    pub fn set_particles(&mut self, parts: Vec<Particle>) {
+        let layout = self.store.layout();
+        self.store = ParticleStore::from_particles(parts, layout);
     }
 
     /// Counting-sort the particles by voxel (Rayon-parallel; scratch and
-    /// histogram buffers persist across calls).
+    /// histogram buffers persist across calls). Both layouts produce the
+    /// identical stable permutation.
     pub fn sort(&mut self, g: &Grid) {
-        sort_by_voxel_with(
-            &mut self.particles,
-            g.n_voxels(),
-            &mut self.scratch,
-            &mut self.sort_counts,
-        );
+        match &mut self.store {
+            ParticleStore::Aos(parts) => {
+                sort_by_voxel_with(
+                    parts,
+                    g.n_voxels(),
+                    &mut self.scratch,
+                    &mut self.sort_counts,
+                );
+            }
+            ParticleStore::Aosoa(s) => {
+                sort_aosoa_with(
+                    s,
+                    g.n_voxels(),
+                    &mut self.scratch_blocks,
+                    &mut self.sort_counts,
+                );
+            }
+        }
     }
 
     /// Total kinetic energy `Σ w·m·c²·(γ−1)` in double precision.
     pub fn kinetic_energy(&self, g: &Grid) -> f64 {
         let mc2 = (self.m * g.cvac * g.cvac) as f64;
-        mc2 * self.particles.iter().map(Particle::kinetic_w).sum::<f64>()
+        mc2 * self.iter().map(|p| p.kinetic_w()).sum::<f64>()
     }
 
     /// Total momentum `Σ w·m·c·u` per axis in double precision.
     pub fn momentum(&self, g: &Grid) -> [f64; 3] {
         let mc = (self.m * g.cvac) as f64;
         let mut s = [0.0f64; 3];
-        for p in &self.particles {
+        for p in self.iter() {
             s[0] += p.w as f64 * p.ux as f64;
             s[1] += p.w as f64 * p.uy as f64;
             s[2] += p.w as f64 * p.uz as f64;
@@ -88,14 +189,14 @@ impl Species {
 
     /// Total statistical weight (number of physical particles).
     pub fn total_weight(&self) -> f64 {
-        self.particles.iter().map(|p| p.w as f64).sum()
+        self.iter().map(|p| p.w as f64).sum()
     }
 
     /// Mean velocity `⟨v⟩/c` per axis (weight-averaged).
     pub fn mean_velocity(&self) -> [f64; 3] {
         let mut s = [0.0f64; 3];
         let mut wtot = 0.0f64;
-        for p in &self.particles {
+        for p in self.iter() {
             let rg = 1.0 / p.gamma() as f64;
             let w = p.w as f64;
             s[0] += w * p.ux as f64 * rg;
@@ -120,7 +221,7 @@ mod tests {
     fn energy_and_momentum_sums() {
         let g = Grid::periodic((2, 2, 2), (1.0, 1.0, 1.0), 0.1);
         let mut s = Species::new("e", -1.0, 1.0);
-        s.particles.push(Particle {
+        s.push(Particle {
             ux: 3.0,
             uy: 0.0,
             uz: 4.0,
@@ -128,7 +229,7 @@ mod tests {
             i: 9,
             ..Default::default()
         });
-        s.particles.push(Particle {
+        s.push(Particle {
             ux: -1.0,
             w: 1.0,
             i: 9,
@@ -146,12 +247,12 @@ mod tests {
     #[test]
     fn mean_velocity_of_opposite_streams_is_zero() {
         let mut s = Species::new("e", -1.0, 1.0);
-        s.particles.push(Particle {
+        s.push(Particle {
             ux: 0.5,
             w: 1.0,
             ..Default::default()
         });
-        s.particles.push(Particle {
+        s.push(Particle {
             ux: -0.5,
             w: 1.0,
             ..Default::default()
@@ -165,14 +266,44 @@ mod tests {
         let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
         let mut s = Species::new("e", -1.0, 1.0);
         for i in [40u32, 7, 99, 7, 3] {
-            s.particles.push(Particle {
+            s.push(Particle {
                 i,
                 ..Default::default()
             });
         }
         s.sort(&g);
-        assert!(s.particles.windows(2).all(|w| w[0].i <= w[1].i));
+        let sorted = s.to_particles();
+        assert!(sorted.windows(2).all(|w| w[0].i <= w[1].i));
         assert_eq!(s.len(), 5);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn layout_conversion_preserves_contents_and_diagnostics() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut s = Species::new("e", -1.0, 1.0);
+        for k in 0..17u32 {
+            s.push(Particle {
+                i: 21 + k,
+                ux: 0.1 * k as f32,
+                w: 1.0,
+                ..Default::default()
+            });
+        }
+        let parts = s.to_particles();
+        let (ke, mom) = (s.kinetic_energy(&g), s.momentum(&g));
+        s.set_layout(Layout::Aosoa);
+        assert_eq!(s.layout(), Layout::Aosoa);
+        assert_eq!(s.to_particles(), parts);
+        assert_eq!(s.kinetic_energy(&g).to_bits(), ke.to_bits());
+        assert_eq!(s.momentum(&g)[0].to_bits(), mom[0].to_bits());
+        // Sort works in the AoSoA layout too, same permutation.
+        let mut aos_twin = Species::new("e", -1.0, 1.0);
+        aos_twin.extend(parts);
+        aos_twin.sort(&g);
+        s.sort(&g);
+        assert_eq!(s.to_particles(), aos_twin.to_particles());
+        s.set_layout(Layout::Aos);
+        assert_eq!(s.layout(), Layout::Aos);
     }
 }

@@ -25,7 +25,7 @@ pub fn add_tracer(
     let (i, dx) = g.locate_x(x);
     let (j, dy) = g.locate_y(y);
     let (k, dz) = g.locate_z(z);
-    sp.particles.push(Particle {
+    sp.push(Particle {
         dx,
         dy,
         dz,
@@ -35,7 +35,7 @@ pub fn add_tracer(
         uz: u.2,
         w: 0.0,
     });
-    sp.particles.len() - 1
+    sp.len() - 1
 }
 
 /// One recorded trajectory sample.
@@ -67,7 +67,7 @@ impl TrajectoryRecorder {
         if self.tracks.len() < sp.len() {
             self.tracks.resize(sp.len(), Vec::new());
         }
-        for (t, p) in sp.particles.iter().enumerate() {
+        for (t, p) in sp.iter().enumerate() {
             let (i, j, k) = g.voxel_coords(p.i as usize);
             self.tracks[t].push(TrackPoint {
                 step,

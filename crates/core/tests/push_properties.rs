@@ -140,7 +140,7 @@ proptest! {
         let g = grid();
         let mut sim = Simulation::new(g, 1);
         let mut sp = Species::new("e", -1.0, 1.0);
-        sp.particles.push(Particle { i: sim.grid.voxel(2, 2, 2) as u32, w: 1.0, ..Default::default() });
+        sp.push(Particle { i: sim.grid.voxel(2, 2, 2) as u32, w: 1.0, ..Default::default() });
         sim.add_species(sp);
         let mut dump = Vec::new();
         vpic_core::checkpoint::save(&sim, &mut dump).unwrap();
@@ -152,7 +152,7 @@ proptest! {
                 // If it loaded, every particle must reference a voxel that
                 // exists in the (possibly corrupted) grid.
                 for sp in &restored.species {
-                    for p in &sp.particles {
+                    for p in sp.iter() {
                         prop_assert!((p.i as usize) < restored.grid.n_voxels());
                     }
                 }

@@ -72,7 +72,7 @@ impl Histogram {
 /// 2 = uz), weighted by particle weight.
 pub fn momentum_histogram(sp: &Species, axis: usize, lo: f64, hi: f64, bins: usize) -> Histogram {
     let mut h = Histogram::new(lo, hi, bins);
-    for p in &sp.particles {
+    for p in sp.iter() {
         h.add(p.momentum(axis) as f64, p.w as f64);
     }
     h
@@ -81,7 +81,7 @@ pub fn momentum_histogram(sp: &Species, axis: usize, lo: f64, hi: f64, bins: usi
 /// Kinetic-energy histogram `w·(γ−1)` per particle.
 pub fn energy_histogram(sp: &Species, hi: f64, bins: usize) -> Histogram {
     let mut h = Histogram::new(0.0, hi, bins);
-    for p in &sp.particles {
+    for p in sp.iter() {
         let u2 = (p.ux as f64).powi(2) + (p.uy as f64).powi(2) + (p.uz as f64).powi(2);
         let ke = u2 / (1.0 + (1.0 + u2).sqrt());
         h.add(ke, p.w as f64);
@@ -95,7 +95,7 @@ pub fn energy_histogram(sp: &Species, hi: f64, bins: usize) -> Histogram {
 pub fn tail_fraction(sp: &Species, axis: usize, threshold: f64) -> f64 {
     let mut tail = 0.0f64;
     let mut total = 0.0f64;
-    for p in &sp.particles {
+    for p in sp.iter() {
         total += p.w as f64;
         if p.momentum(axis) as f64 > threshold {
             tail += p.w as f64;
@@ -113,7 +113,7 @@ pub fn momentum_spread(sp: &Species, axis: usize) -> f64 {
     let mut s = 0.0f64;
     let mut s2 = 0.0f64;
     let mut w = 0.0f64;
-    for p in &sp.particles {
+    for p in sp.iter() {
         let u = p.momentum(axis) as f64;
         s += p.w as f64 * u;
         s2 += p.w as f64 * u * u;
@@ -164,7 +164,7 @@ mod tests {
     fn beam(u: f32, n: usize) -> Species {
         let mut sp = Species::new("e", -1.0, 1.0);
         for _ in 0..n {
-            sp.particles.push(Particle {
+            sp.push(Particle {
                 ux: u,
                 w: 2.0,
                 ..Default::default()
@@ -192,7 +192,7 @@ mod tests {
     fn tail_fraction_and_spread() {
         let mut sp = beam(0.0, 90);
         for _ in 0..10 {
-            sp.particles.push(Particle {
+            sp.push(Particle {
                 ux: 1.0,
                 w: 2.0,
                 ..Default::default()

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use nanompi::{run_with_faults, Comm, CommError, FaultPlan};
-use vpic_core::checkpoint::{load, save, CheckpointError};
+use vpic_core::checkpoint::{load_with_layout, save, CheckpointError};
 use vpic_core::crc32::crc32;
 use vpic_core::sentinel::{
     validate_cfl, CorruptionPlan, HealEvent, HealthVerdict, Sentinel, SentinelConfig,
@@ -310,7 +310,11 @@ fn rollback(
     cfg: &LpiCampaignConfig,
 ) -> Option<u64> {
     for gen in generations.iter().rev() {
-        match load(&mut gen.bytes.as_slice(), run.params.pipelines) {
+        match load_with_layout(
+            &mut gen.bytes.as_slice(),
+            run.params.pipelines,
+            run.params.layout,
+        ) {
             Ok(mut sim) => {
                 // The v2 dump carries fields/particles/step/config; the
                 // sponge and diagnostics live outside it.

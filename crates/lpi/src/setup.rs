@@ -12,6 +12,7 @@ use vpic_core::rng::Rng;
 use vpic_core::sim::Simulation;
 use vpic_core::species::Species;
 use vpic_core::sponge::Sponge;
+use vpic_core::store::Layout;
 use vpic_diag::ReflectivityProbe;
 
 /// Parameters of an LPI run (lengths in `c/ωpe`, velocities in `c`).
@@ -55,6 +56,8 @@ pub struct LpiParams {
     pub ion_mass: Option<f32>,
     /// Ion-to-electron temperature ratio (used only with mobile ions).
     pub ti_over_te: f32,
+    /// Particle storage layout (`layout = aos|aosoa` deck knob).
+    pub layout: Layout,
 }
 
 impl Default for LpiParams {
@@ -75,6 +78,7 @@ impl Default for LpiParams {
             seed_frac: 0.0,
             ion_mass: None,
             ti_over_te: 0.1,
+            layout: Layout::default(),
         }
     }
 }
@@ -128,6 +132,7 @@ impl LpiRun {
         ];
         let g = Grid::new((nx, 1, 1), (dx, dx, dx), dt, bc);
         let mut sim = Simulation::new(g, params.pipelines);
+        sim.set_layout(params.layout);
         sim.sponge = Some(Sponge::symmetric(params.sponge_cells, 0.15));
 
         // Electrons; ions are an immobile neutralizing background with the

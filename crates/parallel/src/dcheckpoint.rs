@@ -257,8 +257,8 @@ mod tests {
                 restored.step(comm).unwrap();
             }
             (
-                sim.species[0].particles.clone(),
-                restored.species[0].particles.clone(),
+                sim.species[0].to_particles(),
+                restored.species[0].to_particles(),
                 sim.fields.ey.clone(),
                 restored.fields.ey.clone(),
             )
@@ -317,7 +317,7 @@ mod tests {
                 let restored = load_rank(spec(), comm.rank(), 1, &mut dump.as_slice()).unwrap();
                 assert_eq!(restored.step_count, sim.step_count);
                 assert_eq!(restored.migrated, sim.migrated);
-                assert_eq!(restored.species[0].particles, sim.species[0].particles);
+                assert_eq!(restored.species[0].store(), sim.species[0].store());
                 assert_eq!(restored.fields.ex, sim.fields.ex);
                 assert_eq!(restored.fields.cbz, sim.fields.cbz);
                 true
@@ -369,7 +369,7 @@ mod tests {
             save_rank_to_path(&sim, &path).unwrap();
             let restored = load_rank_from_path(spec(), comm.rank(), 1, &path).unwrap();
             assert!(!dir.join(format!("r{}.tmp", comm.rank())).exists());
-            restored.species[0].particles == sim.species[0].particles
+            restored.species[0].store() == sim.species[0].store()
         });
         assert!(results.into_iter().all(|ok| ok));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -387,7 +387,7 @@ mod tests {
             let raw = dump_rank_bytes(&sim, false).unwrap();
             let packed = dump_rank_bytes(&sim, true).unwrap();
             let restored = load_rank(spec(), comm.rank(), 1, &mut packed.as_slice()).unwrap();
-            assert_eq!(restored.species[0].particles, sim.species[0].particles);
+            assert_eq!(restored.species[0].store(), sim.species[0].store());
             assert_eq!(restored.fields.ex, sim.fields.ex);
             assert_eq!(restored.fields.cby, sim.fields.cby);
             (raw.len(), packed.len())

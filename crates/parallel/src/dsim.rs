@@ -20,6 +20,7 @@ use vpic_core::push::advance_p;
 use vpic_core::rng::Rng;
 use vpic_core::sentinel::{self, HealthSample, SentinelConfig, SimConfig};
 use vpic_core::species::Species;
+use vpic_core::store::Layout;
 use vpic_core::Particle;
 
 /// Per-phase wall time for a distributed rank.
@@ -79,6 +80,8 @@ pub struct DistributedSim {
     pub config: SimConfig,
     /// Scratch for divergence-error fields.
     scratch: Vec<f32>,
+    /// Particle storage layout applied to every species on this rank.
+    layout: Layout,
 }
 
 impl DistributedSim {
@@ -103,11 +106,28 @@ impl DistributedSim {
             timings: DistTimings::default(),
             config: SimConfig::default(),
             scratch: Vec::new(),
+            layout: Layout::default(),
+        }
+    }
+
+    /// Particle storage layout used by every species on this rank.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Switch every species (and future additions) to `layout`. Purely a
+    /// storage transform — physics and dump bytes are unaffected, so ranks
+    /// may even disagree (they shouldn't, but nothing breaks).
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        for sp in &mut self.species {
+            sp.set_layout(layout);
         }
     }
 
     /// Add a species; returns its index.
-    pub fn add_species(&mut self, sp: Species) -> usize {
+    pub fn add_species(&mut self, mut sp: Species) -> usize {
+        sp.set_layout(self.layout);
         self.species.push(sp);
         self.species.len() - 1
     }
@@ -169,7 +189,7 @@ impl DistributedSim {
             let coeffs = vpic_core::push::PushCoefficients::new(sp.q, sp.m, &g);
             self.timings.particle_steps += sp.len() as u64;
             let exiles = advance_p(
-                &mut sp.particles,
+                sp.store_mut(),
                 coeffs,
                 &self.interp,
                 &mut self.accumulators.arrays,
@@ -252,7 +272,7 @@ impl DistributedSim {
     pub fn refresh_rho(&mut self, comm: &mut Comm) -> Result<(), CommError> {
         self.fields.clear_rho();
         for sp in &self.species {
-            deposit_rho(&mut self.fields, &self.grid, &sp.particles, sp.q);
+            deposit_rho(&mut self.fields, &self.grid, sp.iter(), sp.q);
         }
         let g = self.grid.clone();
         sync_rho(&mut self.fields, &g, bcs_of(&g));
@@ -382,7 +402,7 @@ impl DistributedSim {
     pub fn global_positions(&self) -> Vec<(f32, f32, f32)> {
         self.species
             .iter()
-            .flat_map(|sp| sp.particles.iter().map(|p| self.position_of(p)))
+            .flat_map(|sp| sp.iter().map(|p| self.position_of(&p)))
             .collect()
     }
 
@@ -448,7 +468,7 @@ mod tests {
         let g = Grid::periodic(global, cell, dt);
         let mut reference = Simulation::new(g, 1);
         let mut e = Species::new("e", -1.0, 1.0).with_sort_interval(0);
-        e.particles.push(Particle {
+        e.push(Particle {
             i: reference.grid.voxel(2, 1, 1) as u32,
             dx: 0.1,
             dy: -0.2,
@@ -462,7 +482,7 @@ mod tests {
         for _ in 0..steps {
             reference.step();
         }
-        let p = reference.species[0].particles[0];
+        let p = reference.species[0].get(0);
         let (i, j, k) = reference.grid.voxel_coords(p.i as usize);
         let want = (
             reference.grid.particle_x(i, p.dx),
@@ -477,7 +497,7 @@ mod tests {
             let mut sim = DistributedSim::new(spec, comm.rank(), 1);
             let mut e = Species::new("e", -1.0, 1.0).with_sort_interval(0);
             if comm.rank() == 0 {
-                e.particles.push(Particle {
+                e.push(Particle {
                     i: sim.grid.voxel(2, 1, 1) as u32,
                     dx: 0.1,
                     dy: -0.2,
@@ -538,6 +558,49 @@ mod tests {
         let migrated: u64 = results.iter().map(|r| r.4).sum();
         assert!(migrated > 0, "no migration happened");
         assert!(traffic.total_bytes > 0);
+    }
+
+    /// An exile crossing a rank boundary must land bit-identically
+    /// whichever storage layout holds it: the mover hand-off, the migrant
+    /// bytes on the wire and the receiver-side move continuation are all
+    /// layout-independent, so a 2-rank AoSoA run retraces the AoS run
+    /// exactly — particles, fields and per-rank migration counts.
+    #[test]
+    fn migration_is_bitwise_identical_across_layouts() {
+        let run = |layout: Layout| {
+            let (results, _) = run_expect(2, move |comm| {
+                let spec = DomainSpec::periodic((8, 4, 2), (0.25, 0.25, 0.25), 0.1, 2);
+                let mut sim = DistributedSim::new(spec, comm.rank(), 1);
+                sim.set_layout(layout);
+                assert_eq!(sim.layout(), layout);
+                let si = sim.add_species(Species::new("e", -1.0, 1.0));
+                sim.load_uniform(si, 42, 1.0, 8, Momentum::thermal(0.08));
+                for _ in 0..20 {
+                    sim.step(comm).unwrap();
+                }
+                (
+                    sim.species[0].to_particles(),
+                    sim.fields.ex.clone(),
+                    sim.fields.cbz.clone(),
+                    sim.migrated,
+                )
+            });
+            results
+        };
+        let aos = run(Layout::Aos);
+        let aosoa = run(Layout::Aosoa);
+        let migrated: u64 = aos.iter().map(|r| r.3).sum();
+        assert!(migrated > 0, "no exile ever crossed a rank boundary");
+        for (rank, (a, b)) in aos.iter().zip(aosoa.iter()).enumerate() {
+            assert_eq!(a.3, b.3, "rank {rank}: migration counts differ");
+            assert_eq!(a.0, b.0, "rank {rank}: particles differ");
+            for (v, (x, y)) in a.1.iter().zip(b.1.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} ex[{v}]");
+            }
+            for (v, (x, y)) in a.2.iter().zip(b.2.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} cbz[{v}]");
+            }
+        }
     }
 
     /// Distributed Marder cleaning must reproduce the serial pass exactly:

@@ -62,7 +62,7 @@ pub fn migrate_species(
     // Build initial outgoing sets and delete the shipped particles.
     let mut outgoing: [Vec<Migrant>; 6] = Default::default();
     for ex in &exiles {
-        let mut p = sp.particles[ex.idx as usize];
+        let mut p = sp.get(ex.idx as usize);
         transform_to_receiver(&mut p, ex.face, g);
         debug_assert!(neighbors[ex.face].is_some(), "exile through a wall face");
         outgoing[ex.face].push(Migrant { p, m: ex.mover });
@@ -70,7 +70,7 @@ pub fn migrate_species(
     let mut idxs: Vec<u32> = exiles.iter().map(|e| e.idx).collect();
     idxs.sort_unstable_by(|a, b| b.cmp(a));
     for idx in idxs {
-        sp.particles.swap_remove(idx as usize);
+        sp.swap_remove(idx as usize);
     }
 
     let mut sent_total = 0u64;
@@ -97,7 +97,7 @@ pub fn migrate_species(
                 for mut mig in batch {
                     let mut pm = mig.m;
                     match move_p_local(&mut mig.p, &mut pm, acc, g, qsp) {
-                        MoveOutcome::Done => sp.particles.push(mig.p),
+                        MoveOutcome::Done => sp.push(mig.p),
                         MoveOutcome::Absorbed => {}
                         MoveOutcome::Exit { face: out_face } => {
                             transform_to_receiver(&mut mig.p, out_face, g);
@@ -167,7 +167,7 @@ mod tests {
             let mut acc = AccumulatorArray::new(&g);
             // Rank 0 owns one particle that must hop to rank 1.
             let exiles = if comm.rank() == 0 {
-                sp.particles.push(Particle {
+                sp.push(Particle {
                     i: g.voxel(4, 1, 1) as u32,
                     dx: 1.0,
                     ux: 1.0,
@@ -189,7 +189,7 @@ mod tests {
             };
             let sent =
                 migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0).unwrap();
-            (sp.particles.len(), sent)
+            (sp.len(), sent)
         });
         assert_eq!(results[0], (0, 1));
         assert_eq!(results[1].0, 1);
@@ -216,7 +216,7 @@ mod tests {
             let mut sp = Species::new("e", -1.0, 1.0);
             let mut acc = AccumulatorArray::new(&g);
             let exiles = if comm.rank() == 0 {
-                sp.particles.push(Particle {
+                sp.push(Particle {
                     i: g.voxel(4, 1, 1) as u32,
                     dx: 1.0,
                     ux: 10.0,
@@ -240,7 +240,7 @@ mod tests {
                 Vec::new()
             };
             migrate_species(comm, &neighbors, &g, -1.0, &mut sp, &mut acc, exiles, 0).unwrap();
-            sp.particles.len()
+            sp.len()
         });
         // Exactly one rank holds the particle afterwards: 3 cells past the
         // rank-0/1 boundary lands inside rank 1's 4-cell domain.

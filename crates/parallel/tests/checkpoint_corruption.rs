@@ -43,7 +43,7 @@ fn pristine_dumps_restore() {
     // so every rejection they observe is caused by the tampering.
     for dump in dumps() {
         let sim = load_rank(spec(), 0, 1, &mut dump.as_slice()).expect("pristine dump loads");
-        assert!(!sim.species[0].particles.is_empty());
+        assert!(!sim.species[0].is_empty());
     }
 }
 

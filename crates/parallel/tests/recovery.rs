@@ -55,7 +55,7 @@ fn campaign_snapshot_mode(
     let (sim, outcome) = run_campaign(comm, build_sim(comm.rank()), &cfg).unwrap();
     let snap = (
         sim.step_count,
-        sim.species[0].particles.clone(),
+        sim.species[0].to_particles(),
         sim.fields.ex.clone(),
         sim.fields.ey.clone(),
     );

@@ -11,8 +11,7 @@ use vpic::core::{load_uniform, Grid, Momentum, Rng, Simulation, Species};
 
 fn temperature(sp: &Species, axis: usize) -> f64 {
     let n = sp.len() as f64;
-    sp.particles
-        .iter()
+    sp.iter()
         .map(|p| (p.momentum(axis) as f64).powi(2))
         .sum::<f64>()
         / n

@@ -14,6 +14,11 @@
 # lane: the sentinel unit/property tests and the seeded heal/rollback/
 # degrade scenarios, built with debug assertions enabled so integer
 # overflow and debug invariants are checked too.
+#
+# Pass "layout" (or set CI_LAYOUT=1) to run the particle-storage lane:
+# AoS/AoSoA bit-identity across worker counts, cross-layout checkpoint
+# restore, exile migration, the `layout = aosoa` deck knob, and the
+# sentinel rollback campaign pinned to AoSoA storage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +49,27 @@ if [[ "${1:-}" == "sentinel" || "${CI_SENTINEL:-0}" == "1" ]]; then
     cargo test --release -p vpic-core sentinel
     cargo test --release --test sentinel_heal
     cargo test --release --test srs_soak shrunk
+fi
+
+if [[ "${1:-}" == "layout" || "${CI_LAYOUT:-0}" == "1" ]]; then
+    echo "==> layout lane (AoSoA storage through the production path)"
+    # Bit-identity of the two layouts at every worker count, plus the
+    # store/AoSoA unit suites (counting sort, exile emission, round-trip).
+    cargo test --release -p vpic-core --test determinism
+    cargo test --release -p vpic-core --lib store
+    cargo test --release -p vpic-core --lib aosoa
+    # Cross-layout exile migration at a rank boundary, checkpoint restore
+    # into the other layout, and the `layout = aosoa` deck knob end to end.
+    cargo test --release -p vpic-parallel --lib migration_is_bitwise_identical_across_layouts
+    cargo test --release -p vpic --lib layout
+    # Sentinel heal/rollback on a `layout = aosoa` campaign must land on
+    # the same bits as the AoS run — checkpoints are canonical AoS bytes.
+    cargo test --release --test srs_soak aosoa_campaign_recovers
+    # The v2 step bench records which layout produced each rate.
+    cargo build --release -p vpic-bench
+    ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 5 --pipelines 2 \
+        --layout aosoa --json target/BENCH_layout_smoke.json
+    ./target/release/e2_step_breakdown --validate target/BENCH_layout_smoke.json
 fi
 
 if [[ "${1:-}" == "bench-smoke" || "${CI_BENCH_SMOKE:-0}" == "1" ]]; then

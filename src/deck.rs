@@ -67,8 +67,8 @@ use vpic_core::sentinel::{
     CorruptionEvent, CorruptionMode, CorruptionPlan, SentinelConfig, SimConfig,
 };
 use vpic_core::{
-    load_juttner, load_two_stream, load_uniform, Grid, Momentum, ParticleBc, Rng, Simulation,
-    Species,
+    load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, Rng,
+    Simulation, Species,
 };
 use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
@@ -321,6 +321,8 @@ pub struct CampaignSetup {
     pub seed: u64,
     /// Pipelines per rank (keep at 1 for bit-exact rollback replay).
     pub pipelines: usize,
+    /// Particle storage layout on every rank.
+    pub layout: Layout,
     /// Total campaign steps.
     pub steps: u64,
     /// Checkpoint schedule: a fixed step interval or the Young/Daly
@@ -357,6 +359,7 @@ impl CampaignSetup {
     /// must reconstruct state from checkpoints, not from this builder).
     pub fn build_rank(&self, rank: usize) -> DistributedSim {
         let mut sim = DistributedSim::new(self.spec.clone(), rank, self.pipelines);
+        sim.set_layout(self.layout);
         for sp in &self.species {
             let si = sim.add_species(Species::new(&sp.name, sp.charge, sp.mass));
             sim.load_uniform(
@@ -463,6 +466,16 @@ fn build_lpi_campaign(deck: &Deck) -> Result<LpiCampaignSetup, DeckError> {
         corruption: parse_corruption(deck)?,
         fault_plan,
     })
+}
+
+/// Global `layout = aos|aosoa` knob (default aos).
+fn parse_layout(deck: &Deck) -> Result<Layout, DeckError> {
+    match deck.globals.get("layout") {
+        None => Ok(Layout::default()),
+        Some(v) => {
+            Layout::parse(v).ok_or_else(|| err(format!("layout must be aos or aosoa, got {v}")))
+        }
+    }
 }
 
 fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
@@ -632,6 +645,7 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
         species,
         seed: deck.seed(),
         pipelines: get_usize(&deck.globals, "pipelines", 1)?,
+        layout: parse_layout(deck)?,
         steps,
         checkpoint,
         recovery,
@@ -691,6 +705,7 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
     let grid = Grid::new((cells[0], cells[1], cells[2]), (dx, dx, dx), dt, bc);
     let pipelines = get_usize(&deck.globals, "pipelines", 1)?;
     let mut sim = Simulation::new(grid, pipelines);
+    sim.set_layout(parse_layout(deck)?);
 
     let species = deck.sections_with_prefix("species");
     if species.is_empty() {
@@ -752,6 +767,7 @@ fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
         seed_frac: req_f32(kv, "seed_frac", defaults.seed_frac as f32)? as f64,
         ion_mass: get_f32(kv, "ion_mass")?,
         ti_over_te: req_f32(kv, "ti_over_te", defaults.ti_over_te)?,
+        layout: parse_layout(deck)?,
     };
     Ok(LpiRun::new(params))
 }
@@ -889,7 +905,7 @@ kill_step = 6
         // Any rank's simulation is reconstructible and non-trivial.
         let sim = setup.build_rank(1);
         assert_eq!(sim.species.len(), 1);
-        assert!(!sim.species[0].particles.is_empty());
+        assert!(!sim.species[0].is_empty());
 
         // Config lands in the fallback directory when dir is unset.
         let cfg = setup.config(std::path::Path::new("out"));
@@ -1090,18 +1106,66 @@ corrupt_count = 4
     }
 
     #[test]
+    fn layout_knob_selects_aosoa_and_rejects_junk() {
+        let text = "kind = plasma\nlayout = aosoa\n[grid]\ncells = 4 2 2\n[species.e]\nppc = 8";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.layout(), Layout::Aosoa);
+        assert!(sim.species.iter().all(|sp| sp.layout() == Layout::Aosoa));
+
+        // Default stays AoS; campaign and LPI decks honour the knob too.
+        let text = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.layout(), Layout::Aos);
+        let text = "kind = lpi\nlayout = aosoa\n[laser]\na0 = 0.01";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.sim.layout(), Layout::Aosoa);
+
+        let bad = "kind = plasma\nlayout = soa\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        assert!(build(&Deck::parse(bad).unwrap()).is_err());
+    }
+
+    /// Deck → dump → restore into the *other* layout: the dump bytes are
+    /// canonical AoS, so an AoSoA-built run restores into an AoS sim (and
+    /// vice versa) and both retrace the same trajectory bit for bit.
+    #[test]
+    fn deck_dump_restores_into_the_other_layout_bit_identically() {
+        let text =
+            "kind = plasma\nlayout = aosoa\nseed = 5\n[grid]\ncells = 6 4 2\n[species.e]\nppc = 8";
+        let BuiltRun::Plasma(mut sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        for _ in 0..3 {
+            sim.step();
+        }
+        let mut dump = Vec::new();
+        vpic_core::checkpoint::save(&sim, &mut dump).unwrap();
+        let mut other =
+            vpic_core::checkpoint::load_with_layout(&mut dump.as_slice(), 1, Layout::Aos).unwrap();
+        assert_eq!(other.layout(), Layout::Aos);
+        for _ in 0..5 {
+            sim.step();
+            other.step();
+        }
+        assert_eq!(sim.species[0].store(), other.species[0].store());
+        assert_eq!(sim.fields.ex, other.fields.ex);
+        assert_eq!(sim.fields.cbz, other.fields.cbz);
+    }
+
+    #[test]
     fn juttner_loader_from_deck() {
         let text = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.hot]\nloader = juttner\ntheta = 0.5\nppc = 50";
         let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
             panic!()
         };
         // Relativistic: mean γ well above 1.
-        let mean_gamma: f64 = sim.species[0]
-            .particles
-            .iter()
-            .map(|p| p.gamma() as f64)
-            .sum::<f64>()
-            / sim.n_particles() as f64;
+        let mean_gamma: f64 =
+            sim.species[0].iter().map(|p| p.gamma() as f64).sum::<f64>() / sim.n_particles() as f64;
         assert!(mean_gamma > 1.4, "γ = {mean_gamma}");
     }
 }

@@ -55,7 +55,7 @@ type Snapshot = (u64, Vec<vpic::core::Particle>, Vec<f32>, Vec<f32>);
 fn snapshot(sim: &DistributedSim) -> Snapshot {
     (
         sim.step_count,
-        sim.species[0].particles.clone(),
+        sim.species[0].to_particles(),
         sim.fields.ex.clone(),
         sim.fields.ey.clone(),
     )
@@ -218,7 +218,7 @@ fn campaign_deck_compressed_dumps_roundtrip_and_shrink() {
         let packed = dump_rank_bytes(&sim, true).unwrap();
         let restored = load_rank(sim.spec.clone(), comm.rank(), 1, &mut packed.as_slice()).unwrap();
         assert_eq!(restored.step_count, sim.step_count);
-        assert_eq!(restored.species[0].particles, sim.species[0].particles);
+        assert_eq!(restored.species[0].store(), sim.species[0].store());
         assert_eq!(restored.fields.ex, sim.fields.ex);
         assert_eq!(restored.fields.ey, sim.fields.ey);
         assert_eq!(restored.fields.cbz, sim.fields.cbz);

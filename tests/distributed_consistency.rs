@@ -148,7 +148,7 @@ fn checkpoint_restart_through_public_api() {
         sim.step();
         restored.step();
     }
-    assert_eq!(sim.species[0].particles, restored.species[0].particles);
+    assert_eq!(sim.species[0].store(), restored.species[0].store());
     assert_eq!(sim.fields.ey, restored.fields.ey);
     assert_eq!(sim.step_count, restored.step_count);
 }

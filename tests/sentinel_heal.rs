@@ -62,7 +62,7 @@ type Snapshot = (u64, Vec<vpic::core::Particle>, Vec<f32>, Vec<f32>);
 fn snapshot(sim: &DistributedSim) -> Snapshot {
     (
         sim.step_count,
-        sim.species[0].particles.clone(),
+        sim.species[0].to_particles(),
         sim.fields.ex.clone(),
         sim.fields.cbz.clone(),
     )

@@ -156,6 +156,50 @@ fn seeded_srs_fault_soak_recovers_or_degrades_gracefully() {
     );
 }
 
+/// Heal/rollback recovery is layout-independent: the same seeded NaN
+/// upset, thrown at one campaign running AoS storage and one pinned to
+/// `layout = aosoa`, must trigger the same sentinel verdict and rollback
+/// in both, and both must finish with identical state CRC, energy and
+/// reflectivity bits — checkpoints are canonical AoS bytes, so recovery
+/// cannot tell the layouts apart.
+#[test]
+fn aosoa_campaign_recovers_bit_identically_to_aos() {
+    let faulted_cfg = |dir: &Path| {
+        let mut cfg = soak_cfg(dir);
+        cfg.corruption = Some(CorruptionPlan::new(7).with_event(CorruptionEvent {
+            step: 30,
+            rank: Some(0),
+            mode: CorruptionMode::Nan,
+            count: 4,
+        }));
+        cfg
+    };
+    let mut digests = Vec::new();
+    for layout in [vpic::core::Layout::Aos, vpic::core::Layout::Aosoa] {
+        let dir = temp_dir(&format!("layout_{layout}"));
+        let params = LpiParams {
+            layout,
+            ..small_params()
+        };
+        let out = run_lpi_campaign(params, &faulted_cfg(&dir)).unwrap();
+        assert!(
+            matches!(out.end, LpiCampaignEnd::Completed),
+            "{layout}: {:?}",
+            out.end
+        );
+        assert!(
+            !out.recoveries.is_empty(),
+            "{layout}: NaN upset never exercised recovery"
+        );
+        digests.push(digest(&out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "heal/rollback recovery diverged between AoS and AoSoA"
+    );
+}
+
 /// Acceptance: the shipped SRS deck builds a fault-injected campaign, and
 /// a shrunk version of it (same plumbing, shorter run, earlier faults)
 /// detects the seeded kill *and* the seeded NaN upset, recovers from
