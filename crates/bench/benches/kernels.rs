@@ -39,7 +39,7 @@ fn plasma(n: (usize, usize, usize), ppc: usize) -> Simulation {
 fn bench_push(c: &mut Criterion) {
     let mut group = c.benchmark_group("particle_push");
     for ppc in [16usize, 64] {
-        let mut sim = plasma((12, 12, 12), ppc);
+        let sim = plasma((12, 12, 12), ppc);
         let g = sim.grid.clone();
         let coeffs = PushCoefficients::new(-1.0, 1.0, &g);
         let interp = sim.interp.clone();

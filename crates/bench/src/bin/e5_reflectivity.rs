@@ -9,13 +9,58 @@
 //! growth rate beats Landau damping, approaching saturation at high
 //! intensity — with the kinetic (PIC) curve rising ahead of the fluid one
 //! once trapping reduces the effective damping.
+//!
+//! `--from-curve <path>` skips the simulations and tabulates a
+//! `reflectivity_curve.json` artifact produced by the sweep service
+//! (`vpic-run` with a `[sweep]` deck section) against the same linear
+//! theory columns, so crash-proof overnight sweeps and this experiment
+//! share one report.
 
-use vpic_bench::{parse_flag, print_table};
+use vpic_bench::{parse_flag, parse_opt, print_table};
 use vpic_core::units::LabFrame;
+use vpic_lpi::sweep::parse_curve_reflectivities;
 use vpic_lpi::{tang_reflectivity, LpiParams, LpiRun};
+
+/// Tabulate a sweep-service curve artifact instead of running PIC here.
+fn report_from_curve(path: &str, base: &LpiParams) {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("e5: cannot read curve artifact {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let points = parse_curve_reflectivities(&json);
+    if points.is_empty() {
+        eprintln!("e5: no finished points in {path} (all quarantined or wrong schema?)");
+        std::process::exit(1);
+    }
+    let lab = LabFrame::nif(base.n_over_ncr);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(a0, r)| {
+            vec![
+                format!("{a0:.3}"),
+                format!("{:.1e}", lab.intensity_of_a0(a0)),
+                format!("{r:.3e}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("E5: reflectivity vs laser intensity (sweep curve: {path})"),
+        &["a0", "I@351nm W/cm²", "R (PIC, kinetic)"],
+        &rows,
+    );
+    println!(
+        "\n{} point(s) from the sweep service's exactly-once aggregation;",
+        points.len()
+    );
+    println!("quarantined grid points are omitted (see the artifact for causes).");
+}
 
 fn main() {
     let full = parse_flag("full");
+    let from_curve: String = parse_opt("from-curve", String::new());
     let a0s: &[f64] = if full {
         &[0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.18]
     } else {
@@ -34,6 +79,10 @@ fn main() {
         seed_frac: 0.1,
         ..Default::default()
     };
+    if !from_curve.is_empty() {
+        report_from_curve(&from_curve, &base);
+        return;
+    }
     let lab = LabFrame::nif(base.n_over_ncr);
     println!(
         "E5: SRS reflectivity vs intensity — n/ncr = {}, Te = {:.1} keV, slab {:.1} µm, {} ppc,",

@@ -1,0 +1,367 @@
+//! Write-ahead journal: an append-only log of CRC-framed records.
+//!
+//! The sweep orchestrator (and anything else that must survive being
+//! killed mid-flight) records state transitions here *before* acting on
+//! them, then replays the log on restart. The framing discipline is the
+//! checkpoint module's, shrunk to a stream: a magic header, then one
+//! `u32` length + payload + `u32` CRC-32 frame per record. Each append
+//! is a single `write_all` followed by `File::sync_data`, so a record is
+//! either fully on disk or recognizably absent.
+//!
+//! Replay policy (the part that makes crash-recovery sound):
+//!
+//! * **Torn tail** — the file ends inside a frame (partial length word,
+//!   or fewer payload/CRC bytes than declared). This is exactly what a
+//!   `kill -9` between `write_all` and durability produces. The valid
+//!   prefix is salvaged, the tear is reported in [`ReplayReport`], and
+//!   the next append truncates the tail before writing.
+//! * **Corrupt record** — a *complete* frame whose CRC does not match,
+//!   anywhere in the file. That is bit rot, not a crash artifact, and
+//!   replay refuses it with a typed [`JournalError::CorruptRecord`]
+//!   rather than guessing.
+//! * A corrupted length word can masquerade as a tear (it claims more
+//!   bytes than the file holds); the salvage then drops every later
+//!   record. Replay can't tell the difference, so the report carries
+//!   `dropped_bytes` and callers that know their expected state (the
+//!   sweep queue re-defines every job from its spec) must reconcile
+//!   against it instead of trusting the journal to be complete.
+
+use crate::crc32::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"VPICWAL1";
+
+/// Largest record payload this implementation accepts. Journals hold
+/// state-machine transitions, not bulk data; anything bigger than this
+/// in a length word is corruption, not a record.
+pub const MAX_RECORD: u32 = 1 << 24;
+
+/// Typed journal failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the journal magic.
+    BadMagic,
+    /// A complete frame failed its CRC or declared an implausible
+    /// length: bit rot somewhere the crash-recovery story cannot paper
+    /// over.
+    CorruptRecord {
+        /// Byte offset of the frame's length word.
+        offset: u64,
+        /// What specifically failed.
+        reason: String,
+    },
+    /// Asked to append a payload larger than [`MAX_RECORD`].
+    RecordTooLarge { len: usize },
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadMagic => write!(f, "not a VPIC journal (bad magic)"),
+            JournalError::CorruptRecord { offset, reason } => {
+                write!(f, "corrupt journal record at byte {offset}: {reason}")
+            }
+            JournalError::RecordTooLarge { len } => {
+                write!(f, "journal record of {len} bytes exceeds cap {MAX_RECORD}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What replay found, beyond the records themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Complete, CRC-verified records replayed.
+    pub records: usize,
+    /// The file ended inside a frame (crash artifact); the tail was
+    /// dropped and will be truncated by the next append.
+    pub torn_tail: bool,
+    /// Bytes dropped after the last valid record (0 when not torn).
+    pub dropped_bytes: u64,
+}
+
+/// Append-only CRC-framed record log.
+///
+/// One writer at a time: opening takes the file as-is, appends go
+/// through `&mut self`. Readers replay by reopening the path.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// End of the last valid frame; appends land here.
+    write_pos: u64,
+    /// A torn tail was detected at open and not yet truncated.
+    pending_truncate: bool,
+}
+
+impl Journal {
+    /// Create a fresh journal at `path` (truncating any existing file),
+    /// write the magic header and make it durable.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(MAGIC)?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path,
+            write_pos: MAGIC.len() as u64,
+            pending_truncate: false,
+        })
+    }
+
+    /// Open an existing journal (or create it if absent), replaying
+    /// every valid record into `apply`. Returns the journal positioned
+    /// for appending plus the replay report.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        mut apply: impl FnMut(&[u8]),
+    ) -> Result<(Journal, ReplayReport), JournalError> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok((Journal::create(path)?, ReplayReport::default()));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (valid_len, report) = replay_bytes(&bytes, &mut apply)?;
+        Ok((
+            Journal {
+                file,
+                path,
+                write_pos: valid_len,
+                pending_truncate: report.torn_tail,
+            },
+            report,
+        ))
+    }
+
+    /// Append one record and make it durable before returning.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        if payload.len() as u64 > MAX_RECORD as u64 {
+            return Err(JournalError::RecordTooLarge { len: payload.len() });
+        }
+        if self.pending_truncate {
+            // Cut the torn tail so the new frame starts clean.
+            self.file.set_len(self.write_pos)?;
+            self.pending_truncate = false;
+        }
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        use std::io::Seek;
+        self.file.seek(io::SeekFrom::Start(self.write_pos))?;
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.write_pos += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Path this journal lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of valid journal (header plus whole frames).
+    pub fn len(&self) -> u64 {
+        self.write_pos
+    }
+
+    /// True when no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.write_pos == MAGIC.len() as u64
+    }
+}
+
+/// Replay framed records from an in-memory image, calling `apply` per
+/// record. Returns the byte length of the valid prefix and the report.
+fn replay_bytes(
+    bytes: &[u8],
+    apply: &mut impl FnMut(&[u8]),
+) -> Result<(u64, ReplayReport), JournalError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    let mut report = ReplayReport::default();
+    while pos < bytes.len() {
+        let frame_start = pos;
+        // Length word.
+        if bytes.len() - pos < 4 {
+            report.torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_RECORD {
+            return Err(JournalError::CorruptRecord {
+                offset: frame_start as u64,
+                reason: format!("declared length {len} exceeds cap {MAX_RECORD}"),
+            });
+        }
+        // Payload + CRC.
+        let need = len as usize + 4;
+        if bytes.len() - pos - 4 < need {
+            report.torn_tail = true;
+            break;
+        }
+        pos += 4;
+        let payload = &bytes[pos..pos + len as usize];
+        pos += len as usize;
+        let expected = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        let got = crc32(payload);
+        if got != expected {
+            return Err(JournalError::CorruptRecord {
+                offset: frame_start as u64,
+                reason: format!("CRC-32 mismatch (expected {expected:#010x}, got {got:#010x})"),
+            });
+        }
+        apply(payload);
+        report.records += 1;
+    }
+    // When torn, the loop broke with `pos` still at the start of the
+    // incomplete frame, so `pos` is the valid prefix either way.
+    if report.torn_tail {
+        report.dropped_bytes = (bytes.len() - pos) as u64;
+    }
+    Ok((pos as u64, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vpic_journal_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    fn replay_all(path: &Path) -> Result<(Vec<Vec<u8>>, ReplayReport), JournalError> {
+        let mut records = Vec::new();
+        let (_, report) = Journal::open(path, |r| records.push(r.to_vec()))?;
+        Ok((records, report))
+    }
+
+    #[test]
+    fn append_then_replay_roundtrips() {
+        let path = tmp("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        assert!(j.is_empty());
+        j.append(b"alpha").unwrap();
+        j.append(b"").unwrap();
+        j.append(&[0xFFu8; 300]).unwrap();
+        assert!(!j.is_empty());
+        drop(j);
+        let (records, report) = replay_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"alpha");
+        assert_eq!(records[1], b"");
+        assert_eq!(records[2], vec![0xFFu8; 300]);
+        assert_eq!(
+            report,
+            ReplayReport {
+                records: 3,
+                torn_tail: false,
+                dropped_bytes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn torn_tail_salvages_prefix_and_next_append_heals() {
+        let path = tmp("torn.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append(b"keep-me").unwrap();
+        j.append(b"torn-away").unwrap();
+        drop(j);
+        // Tear the last frame: drop its final 3 bytes (inside the CRC).
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let (records, report) = replay_all(&path).unwrap();
+        assert_eq!(records, vec![b"keep-me".to_vec()]);
+        assert!(report.torn_tail);
+        assert!(report.dropped_bytes > 0);
+
+        // Appending over the tear truncates it and stays replayable.
+        let (mut j, _) = Journal::open(&path, |_| {}).unwrap();
+        j.append(b"after-tear").unwrap();
+        drop(j);
+        let (records, report) = replay_all(&path).unwrap();
+        assert_eq!(records, vec![b"keep-me".to_vec(), b"after-tear".to_vec()]);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn mid_file_bit_flip_is_a_typed_error() {
+        let path = tmp("bitflip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append(b"first-record").unwrap();
+        j.append(b"second-record").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit of the first record (just past magic + len).
+        let idx = MAGIC.len() + 4 + 2;
+        bytes[idx] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match replay_all(&path) {
+            Err(JournalError::CorruptRecord { offset, .. }) => {
+                assert_eq!(offset, MAGIC.len() as u64)
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tmp("magic.wal");
+        std::fs::write(&path, b"NOTAWAL!extra").unwrap();
+        assert!(matches!(replay_all(&path), Err(JournalError::BadMagic)));
+    }
+
+    #[test]
+    fn oversize_append_is_rejected_before_write() {
+        let path = tmp("oversize.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        let too_big = vec![0u8; MAX_RECORD as usize + 1];
+        assert!(matches!(
+            j.append(&too_big),
+            Err(JournalError::RecordTooLarge { .. })
+        ));
+        // The journal is still usable and the file unpolluted.
+        j.append(b"ok").unwrap();
+        drop(j);
+        let (records, _) = replay_all(&path).unwrap();
+        assert_eq!(records, vec![b"ok".to_vec()]);
+    }
+}

@@ -48,10 +48,12 @@ pub mod harris;
 pub mod hydro;
 pub mod inject;
 pub mod interpolator;
+pub mod journal;
 pub mod juttner;
 pub mod maxwellian;
 pub mod particle;
 pub mod push;
+pub mod queue;
 pub mod rng;
 pub mod sentinel;
 pub mod sim;
@@ -77,10 +79,12 @@ pub use harris::HarrisSheet;
 pub use hydro::{hydro_moments, HydroArray};
 pub use inject::ThermalInjector;
 pub use interpolator::{Interpolator, InterpolatorArray};
+pub use journal::{Journal, JournalError, ReplayReport};
 pub use juttner::{load_juttner, sample_juttner, sample_juttner_u};
 pub use maxwellian::{load_profile, load_two_stream, load_uniform, Momentum};
 pub use particle::{Mover, Particle};
 pub use push::{advance_p, advance_p_serial, move_p_local, Exile, MoveOutcome, PushCoefficients};
+pub use queue::{Job, JobEvent, JobQueue, JobState, QueueError, QueueStats, RetryPolicy};
 pub use rng::Rng;
 pub use sentinel::{
     classify, validate_cfl, AnomalyKind, CorruptionEvent, CorruptionMode, CorruptionPlan,

@@ -31,10 +31,10 @@ fn continuity_residual(
     qsp: f32,
 ) -> f64 {
     let mut before = FieldArray::new(g);
-    deposit_rho(&mut before, g, parts_before, qsp);
+    deposit_rho(&mut before, g, parts_before.iter().copied(), qsp);
     sync_rho(&mut before, g, bcs_of(g));
     let mut after = FieldArray::new(g);
-    deposit_rho(&mut after, g, parts_after, qsp);
+    deposit_rho(&mut after, g, parts_after.iter().copied(), qsp);
     sync_rho(&mut after, g, bcs_of(g));
 
     let (sx, sy, _) = g.strides();

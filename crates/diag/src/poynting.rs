@@ -112,6 +112,23 @@ impl ReflectivityProbe {
         self.reflected = 0.0;
         self.samples = 0;
     }
+
+    /// Raw accumulator state `(incident, reflected, samples)`, for
+    /// serializing the probe into a checkpoint sidecar.
+    pub fn raw_state(&self) -> (f64, f64, u64) {
+        (self.incident, self.reflected, self.samples)
+    }
+
+    /// Rebuild a probe from serialized raw state (inverse of
+    /// [`Self::raw_state`]); restores accumulators bit-exactly.
+    pub fn from_raw(plane: usize, incident: f64, reflected: f64, samples: u64) -> Self {
+        ReflectivityProbe {
+            plane,
+            incident,
+            reflected,
+            samples,
+        }
+    }
 }
 
 #[cfg(test)]

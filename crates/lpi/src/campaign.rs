@@ -24,8 +24,11 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 use nanompi::{run_with_faults, Comm, CommError, FaultPlan};
-use vpic_core::checkpoint::{load_with_layout, save, CheckpointError};
-use vpic_core::crc32::crc32;
+use vpic_core::checkpoint::{
+    load_with_layout, read_section, save, write_section, CheckpointError, PayloadReader,
+    PayloadWriter,
+};
+use vpic_core::crc32::fingerprint32;
 use vpic_core::sentinel::{
     validate_cfl, CorruptionPlan, HealEvent, HealthVerdict, Sentinel, SentinelConfig,
 };
@@ -82,6 +85,10 @@ pub enum LpiCampaignEnd {
         partial_dump: PathBuf,
         flight_recorder: PathBuf,
     },
+    /// The checkpoint hook asked the campaign to stop after certifying
+    /// the checkpoint at `at_step` (state on disk is resumable from
+    /// exactly that step).
+    Halted { at_step: u64 },
 }
 
 /// One recovery episode.
@@ -96,7 +103,11 @@ pub struct LpiRecovery {
 #[derive(Clone, Debug)]
 pub struct LpiCampaignOutcome {
     pub end: LpiCampaignEnd,
+    /// Steps executed by **this invocation** (a resumed campaign counts
+    /// only the steps it drove, not the restored prefix).
     pub steps_run: u64,
+    /// Step the campaign was restored from when it resumed off disk.
+    pub resumed_from: Option<u64>,
     pub recoveries: Vec<LpiRecovery>,
     pub heals: Vec<HealEvent>,
     /// Measured reflectivity at the end state.
@@ -104,9 +115,13 @@ pub struct LpiCampaignOutcome {
     /// Total energy at the end state.
     pub energy: f64,
     pub n_particles: u64,
-    /// CRC32 of the end state's v2 dump bytes: a strong digest for
-    /// bit-identity checks across faulted/unfaulted runs.
-    pub state_crc: u32,
+    /// Avalanche fingerprint of the end state's v2 dump bytes: a
+    /// content-sensitive digest for bit-identity checks across
+    /// faulted/unfaulted runs. Deliberately NOT a plain CRC-32 — the
+    /// dump embeds per-section CRCs, whose residue property makes a
+    /// whole-file CRC depend on section lengths only (see
+    /// `vpic_core::crc32::fingerprint32`).
+    pub state_fingerprint: u32,
 }
 
 /// Campaign failure (distinct from a degraded-but-finished run).
@@ -119,6 +134,9 @@ pub enum LpiCampaignError {
     Comm(CommError),
     /// The campaign thread panicked.
     Panic(String),
+    /// The campaign world returned no rank result (a nanompi invariant
+    /// violation — one rank in, one result out).
+    NoRankResult,
 }
 
 impl std::fmt::Display for LpiCampaignError {
@@ -129,6 +147,9 @@ impl std::fmt::Display for LpiCampaignError {
             LpiCampaignError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             LpiCampaignError::Comm(e) => write!(f, "comm: {e}"),
             LpiCampaignError::Panic(m) => write!(f, "campaign thread panicked: {m}"),
+            LpiCampaignError::NoRankResult => {
+                write!(f, "campaign world returned no rank result")
+            }
         }
     }
 }
@@ -170,13 +191,36 @@ pub fn run_lpi_campaign(
     params: LpiParams,
     cfg: &LpiCampaignConfig,
 ) -> Result<LpiCampaignOutcome, LpiCampaignError> {
+    run_lpi_campaign_with(params, cfg, false, &|_| true)
+}
+
+/// [`run_lpi_campaign`] with process-crash recovery hooks for external
+/// orchestrators (the sweep service):
+///
+/// * `resume` — before stepping, restore the newest loadable
+///   checkpoint + diagnostic sidecar pair from `cfg.checkpoint_dir`.
+///   Restored state is certified (health-checked before it was written),
+///   so a killed-and-restarted campaign replays only steps past its last
+///   checkpoint and finishes **bit-identically** with an uninterrupted
+///   run. With nothing usable on disk the campaign starts from step 0.
+/// * `on_checkpoint(step)` — called after each checkpoint generation is
+///   durably on disk (sidecar first, dump rename last). Returning `false`
+///   stops the campaign with [`LpiCampaignEnd::Halted`]; orchestrators
+///   use this to certify progress and to model mid-campaign kills.
+pub fn run_lpi_campaign_with(
+    params: LpiParams,
+    cfg: &LpiCampaignConfig,
+    resume: bool,
+    on_checkpoint: &(dyn Fn(u64) -> bool + Sync),
+) -> Result<LpiCampaignOutcome, LpiCampaignError> {
     let (mut results, _traffic) = run_with_faults(1, cfg.fault_plan.clone(), |comm| {
         let run = LpiRun::new(params);
-        drive(run, comm, cfg)
+        drive(run, comm, cfg, resume, on_checkpoint)
     });
-    match results.pop().expect("one rank") {
-        Ok(r) => r,
-        Err(p) => Err(LpiCampaignError::Panic(p.message)),
+    match results.pop() {
+        Some(Ok(r)) => r,
+        Some(Err(p)) => Err(LpiCampaignError::Panic(p.message)),
+        None => Err(LpiCampaignError::NoRankResult),
     }
 }
 
@@ -198,15 +242,164 @@ fn checkpoint_path(dir: &Path, step: u64) -> PathBuf {
     dir.join(format!("ckpt_{step:08}.vpic"))
 }
 
+fn sidecar_path(dir: &Path, step: u64) -> PathBuf {
+    dir.join(format!("ckpt_{step:08}.diag"))
+}
+
+/// Magic for the diagnostic sidecar written next to each v2 dump: the
+/// observable state a dump does not carry (reflectivity probe, backscatter
+/// series, lost-particle count), CRC-framed like every other artifact.
+const DIAG_MAGIC: &[u8; 8] = b"VPICDIA1";
+
+fn encode_sidecar(step: u64, diag: &DiagSnapshot) -> Vec<u8> {
+    let (incident, reflected, samples) = diag.probe.raw_state();
+    let mut p = PayloadWriter::new();
+    p.u64(step);
+    p.u64(diag.probe.plane as u64);
+    p.f64(incident);
+    p.f64(reflected);
+    p.u64(samples);
+    p.u64(diag.lost);
+    p.f64(diag.series.dt);
+    p.u64(diag.series.name.len() as u64);
+    p.bytes(diag.series.name.as_bytes());
+    p.u64(diag.series.samples.len() as u64);
+    for &v in &diag.series.samples {
+        p.f64(v);
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(DIAG_MAGIC);
+    write_section(&mut out, &p.finish()).expect("vec write is infallible");
+    out
+}
+
+fn decode_sidecar(bytes: &[u8]) -> Result<(u64, DiagSnapshot), CheckpointError> {
+    let mut r = bytes;
+    let mut magic = [0u8; 8];
+    std::io::Read::read_exact(&mut r, &mut magic).map_err(CheckpointError::Io)?;
+    if &magic != DIAG_MAGIC {
+        return Err(CheckpointError::Malformed(format!(
+            "bad diag sidecar magic {magic:02x?}"
+        )));
+    }
+    let payload = read_section(&mut r, "diag")?;
+    let mut p = PayloadReader::new(&payload, "diag");
+    let step = p.u64()?;
+    let plane = p.u64()? as usize;
+    let incident = p.f64()?;
+    let reflected = p.f64()?;
+    let samples = p.u64()?;
+    let lost = p.u64()?;
+    let dt = p.f64()?;
+    let name_len = p.u64()? as usize;
+    let name = String::from_utf8(p.bytes(name_len)?.to_vec())
+        .map_err(|_| CheckpointError::Malformed("diag series name not UTF-8".into()))?;
+    let n = p.u64()? as usize;
+    let mut series = TimeSeries::new(&name, dt);
+    series.samples.reserve(n);
+    for _ in 0..n {
+        series.samples.push(p.f64()?);
+    }
+    p.done()?;
+    Ok((
+        step,
+        DiagSnapshot {
+            probe: ReflectivityProbe::from_raw(plane, incident, reflected, samples),
+            series,
+            lost,
+        },
+    ))
+}
+
+/// Crash-safe file write: temp file in the same directory, fsync, rename.
+/// A reader never observes a half-written checkpoint or sidecar.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Scan `cfg.checkpoint_dir` for the newest `(dump, sidecar)` pair whose
+/// steps agree and whose frames verify; restore it into `run`. Unusable
+/// generations are logged and skipped, oldest-last. Returns the restored
+/// step, or `None` when nothing on disk is usable (fresh start).
+fn restore_newest(
+    run: &mut LpiRun,
+    sponge: Option<vpic_core::sponge::Sponge>,
+    cfg: &LpiCampaignConfig,
+) -> Option<u64> {
+    let mut steps: Vec<u64> = std::fs::read_dir(&cfg.checkpoint_dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let digits = name.strip_prefix("ckpt_")?.strip_suffix(".vpic")?;
+            digits.parse::<u64>().ok()
+        })
+        .collect();
+    steps.sort_unstable();
+    for step in steps.into_iter().rev() {
+        let restored = (|| -> Result<u64, String> {
+            let bytes = std::fs::read(checkpoint_path(&cfg.checkpoint_dir, step))
+                .map_err(|e| format!("dump unreadable: {e}"))?;
+            let raw = std::fs::read(sidecar_path(&cfg.checkpoint_dir, step))
+                .map_err(|e| format!("sidecar unreadable: {e}"))?;
+            let (side_step, diag) =
+                decode_sidecar(&raw).map_err(|e| format!("sidecar corrupt: {e}"))?;
+            if side_step != step {
+                return Err(format!("sidecar step {side_step} != dump step {step}"));
+            }
+            let mut sim = load_with_layout(
+                &mut bytes.as_slice(),
+                run.params.pipelines,
+                run.params.layout,
+            )
+            .map_err(|e| format!("dump corrupt: {e}"))?;
+            sim.sponge = sponge;
+            sim.lost_particles = diag.lost;
+            run.sim = sim;
+            run.probe = diag.probe;
+            run.backscatter_series = diag.series;
+            Ok(step)
+        })();
+        match restored {
+            Ok(step) => {
+                log_line(cfg, &format!("resume restored_step={step}"));
+                return Some(step);
+            }
+            Err(why) => log_line(cfg, &format!("resume candidate step={step} skipped: {why}")),
+        }
+    }
+    None
+}
+
 fn drive(
     mut run: LpiRun,
     comm: &mut Comm,
     cfg: &LpiCampaignConfig,
+    resume: bool,
+    on_checkpoint: &(dyn Fn(u64) -> bool + Sync),
 ) -> Result<LpiCampaignOutcome, LpiCampaignError> {
     std::fs::create_dir_all(&cfg.checkpoint_dir)?;
     if let Err(v) = validate_cfl(&run.sim.grid) {
         return Err(LpiCampaignError::Config(v));
     }
+    let sponge = run.sim.sponge;
+    let resumed_from = if resume {
+        restore_newest(&mut run, sponge, cfg)
+    } else {
+        None
+    };
     let mut scfg = cfg.sentinel;
     if run.ions.is_none() {
         // Implicit neutralizing background: rho is electrons-only, so the
@@ -219,7 +412,6 @@ fn drive(
     let mut recoveries: Vec<LpiRecovery> = Vec::new();
     let mut generations: VecDeque<Generation> = VecDeque::new();
     let mut steps_run: u64 = 0;
-    let sponge = run.sim.sponge;
 
     loop {
         let step = run.sim.step_count;
@@ -229,6 +421,7 @@ fn drive(
                 sentinel,
                 recoveries,
                 steps_run,
+                resumed_from,
                 LpiCampaignEnd::Completed,
             );
         }
@@ -255,11 +448,29 @@ fn drive(
         if let Some(cause) = fault {
             let attempt = recoveries.len() as u32 + 1;
             if attempt > cfg.max_recoveries {
-                return degrade(run, sentinel, recoveries, steps_run, step, &cause, cfg);
+                return degrade(
+                    run,
+                    sentinel,
+                    recoveries,
+                    steps_run,
+                    resumed_from,
+                    step,
+                    &cause,
+                    cfg,
+                );
             }
             if let Err(e) = comm.recover() {
                 log_line(cfg, &format!("step={step} recover_failed=\"{e}\""));
-                return degrade(run, sentinel, recoveries, steps_run, step, &cause, cfg);
+                return degrade(
+                    run,
+                    sentinel,
+                    recoveries,
+                    steps_run,
+                    resumed_from,
+                    step,
+                    &cause,
+                    cfg,
+                );
             }
             match rollback(&mut run, &generations, sponge, cfg) {
                 Some(restored_step) => {
@@ -277,21 +488,49 @@ fn drive(
                     });
                     continue;
                 }
-                None => return degrade(run, sentinel, recoveries, steps_run, step, &cause, cfg),
+                None => {
+                    return degrade(
+                        run,
+                        sentinel,
+                        recoveries,
+                        steps_run,
+                        resumed_from,
+                        step,
+                        &cause,
+                        cfg,
+                    )
+                }
             }
         }
 
         if cfg.checkpoint_interval > 0 && step.is_multiple_of(cfg.checkpoint_interval) {
             let bytes = dump_bytes(&run)?;
-            std::fs::write(checkpoint_path(&cfg.checkpoint_dir, step), &bytes)?;
-            generations.push_back(Generation {
-                step,
-                bytes,
-                diag: snapshot(&run),
-            });
+            let diag = snapshot(&run);
+            // Sidecar first, dump rename last: a visible `.vpic` file
+            // implies its diagnostic sidecar is already durable, so a
+            // crash between the two writes never strands a dump that
+            // cannot be resumed.
+            write_atomic(
+                &sidecar_path(&cfg.checkpoint_dir, step),
+                &encode_sidecar(step, &diag),
+            )?;
+            write_atomic(&checkpoint_path(&cfg.checkpoint_dir, step), &bytes)?;
+            generations.push_back(Generation { step, bytes, diag });
             while generations.len() > cfg.keep_checkpoints.max(1) {
-                let old = generations.pop_front().expect("non-empty");
-                let _ = std::fs::remove_file(checkpoint_path(&cfg.checkpoint_dir, old.step));
+                if let Some(old) = generations.pop_front() {
+                    let _ = std::fs::remove_file(checkpoint_path(&cfg.checkpoint_dir, old.step));
+                    let _ = std::fs::remove_file(sidecar_path(&cfg.checkpoint_dir, old.step));
+                }
+            }
+            if !on_checkpoint(step) {
+                return finish(
+                    run,
+                    sentinel,
+                    recoveries,
+                    steps_run,
+                    resumed_from,
+                    LpiCampaignEnd::Halted { at_step: step },
+                );
             }
         }
 
@@ -338,26 +577,30 @@ fn finish(
     sentinel: Sentinel,
     recoveries: Vec<LpiRecovery>,
     steps_run: u64,
+    resumed_from: Option<u64>,
     end: LpiCampaignEnd,
 ) -> Result<LpiCampaignOutcome, LpiCampaignError> {
     let bytes = dump_bytes(&run)?;
     Ok(LpiCampaignOutcome {
         end,
         steps_run,
+        resumed_from,
         recoveries,
         heals: sentinel.heals,
         reflectivity: run.reflectivity(),
         energy: run.sim.energies().total(),
         n_particles: run.sim.n_particles() as u64,
-        state_crc: crc32(&bytes),
+        state_fingerprint: fingerprint32(&bytes),
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn degrade(
     run: LpiRun,
     sentinel: Sentinel,
     recoveries: Vec<LpiRecovery>,
     steps_run: u64,
+    resumed_from: Option<u64>,
     at_step: u64,
     cause: &str,
     cfg: &LpiCampaignConfig,
@@ -377,6 +620,7 @@ fn degrade(
         sentinel,
         recoveries,
         steps_run,
+        resumed_from,
         LpiCampaignEnd::Degraded {
             at_step,
             partial_dump: partial,
@@ -447,7 +691,7 @@ mod tests {
         assert_eq!(faulted.recoveries.len(), 1);
         assert_eq!(faulted.recoveries[0].restored_step, 20);
         // Rollback replay converges to the same bits as the clean run.
-        assert_eq!(faulted.state_crc, clean.state_crc);
+        assert_eq!(faulted.state_fingerprint, clean.state_fingerprint);
         assert_eq!(faulted.energy.to_bits(), clean.energy.to_bits());
         assert_eq!(faulted.reflectivity.to_bits(), clean.reflectivity.to_bits());
         let _ = std::fs::remove_dir_all(&dir);
@@ -474,7 +718,34 @@ mod tests {
         // Detection within one health interval of the step-33 injection.
         assert_eq!(faulted.recoveries.len(), 1, "{:?}", faulted.recoveries);
         assert!(faulted.recoveries[0].at_step <= 33 + 10);
-        assert_eq!(faulted.state_crc, clean.state_crc);
+        assert_eq!(faulted.state_fingerprint, clean.state_fingerprint);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn halted_campaign_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("lpi_campaign_halt_ref");
+        let _ = std::fs::remove_dir_all(&dir);
+        let clean = run_lpi_campaign(small_params(), &test_cfg(&dir, 60)).unwrap();
+
+        let dir2 = std::env::temp_dir().join("lpi_campaign_halt");
+        let _ = std::fs::remove_dir_all(&dir2);
+        let cfg = test_cfg(&dir2, 60);
+        // Model a crash: stop dead once the step-40 checkpoint is durable.
+        let halted = run_lpi_campaign_with(small_params(), &cfg, false, &|step| step < 40).unwrap();
+        assert!(matches!(halted.end, LpiCampaignEnd::Halted { at_step: 40 }));
+        assert_eq!(halted.steps_run, 40);
+
+        // A fresh invocation resumes from disk and finishes the campaign,
+        // replaying only steps past the last certified checkpoint.
+        let resumed = run_lpi_campaign_with(small_params(), &cfg, true, &|_| true).unwrap();
+        assert!(matches!(resumed.end, LpiCampaignEnd::Completed));
+        assert_eq!(resumed.resumed_from, Some(40));
+        assert_eq!(resumed.steps_run, 20);
+        assert_eq!(resumed.state_fingerprint, clean.state_fingerprint);
+        assert_eq!(resumed.energy.to_bits(), clean.energy.to_bits());
+        assert_eq!(resumed.reflectivity.to_bits(), clean.reflectivity.to_bits());
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir2);
     }

@@ -19,15 +19,20 @@ pub mod profile;
 pub mod sbs;
 pub mod setup;
 pub mod srs;
+pub mod sweep;
 pub mod three_wave;
 
 pub use campaign::{
-    run_lpi_campaign, LpiCampaignConfig, LpiCampaignEnd, LpiCampaignError, LpiCampaignOutcome,
-    LpiRecovery,
+    run_lpi_campaign, run_lpi_campaign_with, LpiCampaignConfig, LpiCampaignEnd, LpiCampaignError,
+    LpiCampaignOutcome, LpiRecovery,
 };
 pub use laser::{LaserAntenna, Polarization};
 pub use profile::SlabProfile;
 pub use sbs::{sbs_match, SbsMatch};
 pub use setup::{LpiParams, LpiRun};
 pub use srs::{srs_match, SrsMatch};
+pub use sweep::{
+    ReflectivityCurve, SweepConfig, SweepEnd, SweepError, SweepGrid, SweepKillPlan, SweepOutcome,
+    SweepPoint, SweepProgress, SweepRunner,
+};
 pub use three_wave::{reflectivity_curve, tang_reflectivity, ThreeWaveModel, ThreeWaveResult};

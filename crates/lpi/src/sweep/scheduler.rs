@@ -1,0 +1,754 @@
+//! The WAL-backed sweep orchestrator.
+//!
+//! One [`SweepRunner::run`] call is one orchestrator *incarnation*: it
+//! opens (or creates) `sweep.wal` in the sweep directory, replays it
+//! through the [`JobQueue`] state machine, reconciles the queue against
+//! the grid spec (defining any jobs the journal does not know — this is
+//! also what makes a salvaged torn-tail journal safe), releases leases
+//! orphaned by a previous incarnation's death **without charging an
+//! attempt**, and then drains the queue serially: lease → start → run
+//! the campaign → done/failed. Every transition is journaled *before*
+//! it is acted on.
+//!
+//! Campaign checkpoints double as heartbeats: the campaign's
+//! checkpoint hook appends a `Progress` record (certified step + lease
+//! extension) each time a checkpoint generation becomes durable. A
+//! killed incarnation therefore leaves behind exactly the information
+//! the next one needs to resume the in-flight job from its last
+//! certified checkpoint — the job's physics is never re-run from
+//! scratch, and the finished curve is bit-identical with an unkilled
+//! sweep's because checkpointed replay is bit-exact.
+//!
+//! Time is logical (milliseconds, 1 step ≙ 1 ms): lease deadlines and
+//! retry backoff never read the wall clock, so scheduling decisions
+//! replay deterministically. Wall time appears only in the
+//! service-level bench record.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vpic_core::journal::{Journal, JournalError, ReplayReport};
+use vpic_core::queue::{JobEvent, JobQueue, JobState, QueueError, QueueStats, RetryPolicy};
+use vpic_core::sentinel::{CorruptionPlan, SentinelConfig};
+
+use crate::campaign::{run_lpi_campaign_with, LpiCampaignConfig, LpiCampaignEnd, LpiCampaignError};
+use crate::setup::LpiParams;
+
+use super::curve::{write_json_atomic, CurvePoint, PointResult, ReflectivityCurve, SweepBench};
+use super::grid::SweepGrid;
+
+/// Name of the write-ahead journal inside the sweep directory.
+pub const WAL_NAME: &str = "sweep.wal";
+/// Name of the aggregated curve artifact.
+pub const CURVE_NAME: &str = "reflectivity_curve.json";
+/// Name of the service-level bench record.
+pub const BENCH_NAME: &str = "BENCH_sweep.json";
+
+/// Orchestrator kill switch for chaos tests: model `kill -9` of the
+/// whole sweep service at a seeded instant. The runner returns
+/// [`SweepEnd::Killed`] *without journaling anything further* — exactly
+/// the on-disk state a real SIGKILL leaves behind.
+#[derive(Clone, Debug, Default)]
+pub struct SweepKillPlan {
+    /// Die at the Nth checkpoint certification (1-based, counted
+    /// across jobs) of this incarnation; the certification's `Progress`
+    /// record is journaled before death, like a SIGKILL landing right
+    /// after an fsync.
+    pub after_certifications: Option<u64>,
+    /// Die right after journaling the `Leased` record for this job id
+    /// (before `Started`): exercises orphaned-lease release from the
+    /// `Leased` state.
+    pub before_job: Option<u64>,
+}
+
+impl SweepKillPlan {
+    pub fn is_armed(&self) -> bool {
+        self.after_certifications.is_some() || self.before_job.is_some()
+    }
+}
+
+/// Everything a sweep needs beyond the grid itself.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Deck template; each grid point overrides `(a0, n_over_ncr, vth)`
+    /// and reseeds deterministically.
+    pub base: LpiParams,
+    /// Steps to drive every point for.
+    pub steps: u64,
+    /// Campaign checkpoint cadence (also the heartbeat cadence).
+    pub checkpoint_interval: u64,
+    /// Sweep directory: WAL, per-job checkpoint dirs and artifacts.
+    pub sweep_dir: PathBuf,
+    /// Retry/backoff/quarantine policy.
+    pub retry: RetryPolicy,
+    /// Lease duration granted per heartbeat, in logical ms.
+    pub lease_ms: u64,
+    /// In-campaign recovery budget per attempt. Kept small: retries are
+    /// the *sweep's* job, and a degraded campaign surfaces here as a
+    /// failed attempt with its flight recorder already on disk.
+    pub campaign_max_recoveries: u32,
+    /// Sentinel thresholds applied to every job's campaign.
+    pub sentinel: SentinelConfig,
+    /// Per-(job, attempt) corruption injection for chaos tests; `None`
+    /// entries inherit nothing. Keyed so a poison job can fail every
+    /// attempt while a flaky one fails only its first.
+    pub corruption_for: Vec<(u64, Option<u32>, CorruptionPlan)>,
+    /// Orchestrator kill plan (chaos tests only).
+    pub kill: SweepKillPlan,
+}
+
+impl SweepConfig {
+    /// Sweep with default service knobs.
+    pub fn new(
+        base: LpiParams,
+        steps: u64,
+        checkpoint_interval: u64,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        SweepConfig {
+            base,
+            steps,
+            checkpoint_interval,
+            sweep_dir: dir.into(),
+            retry: RetryPolicy::default(),
+            lease_ms: 10_000,
+            campaign_max_recoveries: 1,
+            sentinel: SentinelConfig::enabled(),
+            corruption_for: Vec::new(),
+            kill: SweepKillPlan::default(),
+        }
+    }
+
+    fn corruption(&self, job: u64, attempt: u32) -> Option<CorruptionPlan> {
+        self.corruption_for
+            .iter()
+            .find(|(j, a, _)| *j == job && (a.is_none() || *a == Some(attempt)))
+            .map(|(_, _, plan)| plan.clone())
+    }
+}
+
+/// How an incarnation ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SweepEnd {
+    /// Queue settled: every job done or quarantined; artifacts written.
+    Completed,
+    /// The kill plan fired; the WAL holds an in-flight job for the next
+    /// incarnation.
+    Killed,
+}
+
+/// What one incarnation did.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    pub end: SweepEnd,
+    /// Queue state at exit.
+    pub stats: QueueStats,
+    /// Aggregated curve (settled sweeps only).
+    pub curve: Option<ReflectivityCurve>,
+    /// Path of the written curve artifact (settled sweeps only).
+    pub curve_path: Option<PathBuf>,
+    /// What WAL replay found at open.
+    pub replay: ReplayReport,
+    /// Leases released because a previous incarnation died holding them.
+    pub orphans_released: Vec<u64>,
+    /// Simulation steps executed per job by *this incarnation* — the
+    /// step-accounting ledger chaos tests audit to prove no physics was
+    /// re-run past a certified checkpoint.
+    pub steps_by_job: BTreeMap<u64, u64>,
+    /// Attempts launched by this incarnation.
+    pub attempts_launched: u64,
+}
+
+/// Typed sweep-service failure (the queue still on disk is intact).
+#[derive(Debug)]
+pub enum SweepError {
+    Io(std::io::Error),
+    Journal(JournalError),
+    Queue(QueueError),
+    Campaign(LpiCampaignError),
+    /// A `Done` payload failed to decode or cross-check.
+    MalformedResult {
+        job: u64,
+        reason: String,
+    },
+    /// The grid has no points.
+    EmptyGrid,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep io: {e}"),
+            SweepError::Journal(e) => write!(f, "sweep journal: {e}"),
+            SweepError::Queue(e) => write!(f, "sweep queue: {e}"),
+            SweepError::Campaign(e) => write!(f, "sweep campaign: {e}"),
+            SweepError::MalformedResult { job, reason } => {
+                write!(f, "job {job}: malformed result payload: {reason}")
+            }
+            SweepError::EmptyGrid => write!(f, "sweep grid has no points"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+impl From<JournalError> for SweepError {
+    fn from(e: JournalError) -> Self {
+        SweepError::Journal(e)
+    }
+}
+impl From<QueueError> for SweepError {
+    fn from(e: QueueError) -> Self {
+        SweepError::Queue(e)
+    }
+}
+impl From<LpiCampaignError> for SweepError {
+    fn from(e: LpiCampaignError) -> Self {
+        SweepError::Campaign(e)
+    }
+}
+
+/// A job-level progress event, emitted by
+/// [`SweepRunner::run_with_progress`] as the queue drains. Purely
+/// observational: the WAL, not the observer, is the source of truth.
+#[derive(Clone, Debug)]
+pub enum SweepProgress {
+    /// An attempt on `job` began (its `Started` record is durable).
+    Started {
+        job: u64,
+        attempt: u32,
+        a0: f64,
+        n_over_ncr: f64,
+        vth: f64,
+    },
+    /// `job` finished; its point joins the curve.
+    Done {
+        job: u64,
+        attempt: u32,
+        reflectivity: f64,
+        /// Jobs done so far / total grid points.
+        done: usize,
+        total: usize,
+    },
+    /// An attempt failed; the job retries once the clock reaches
+    /// `ready_at_ms`.
+    Failed {
+        job: u64,
+        attempt: u32,
+        ready_at_ms: u64,
+        cause: String,
+    },
+    /// `job` is poison: quarantined, the sweep continues without it.
+    Quarantined { job: u64, cause: String },
+}
+
+/// The orchestrator. Construct once per incarnation and call
+/// [`SweepRunner::run`].
+pub struct SweepRunner {
+    grid: SweepGrid,
+    cfg: SweepConfig,
+}
+
+impl SweepRunner {
+    pub fn new(grid: SweepGrid, cfg: SweepConfig) -> SweepRunner {
+        SweepRunner { grid, cfg }
+    }
+
+    /// Per-job checkpoint directory.
+    fn job_dir(&self, job: u64) -> PathBuf {
+        self.cfg.sweep_dir.join(format!("job_{job:06}"))
+    }
+
+    /// Charge one failed attempt, following the queue's canonical retry
+    /// protocol: a `Failed` record (with its backoff gate) for *every*
+    /// failure, then — out of attempts — the terminal `Quarantined`
+    /// marker, so `attempts`/`total_failures` count exactly N charged
+    /// attempts when a poison job lands in quarantine.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_attempt(
+        &self,
+        append: &dyn Fn(&JobEvent) -> Result<(), SweepError>,
+        queue: &mut JobQueue,
+        progress: &(dyn Fn(&SweepProgress) + Sync),
+        id: u64,
+        attempt: u32,
+        clock_ms: u64,
+        cause: String,
+    ) -> Result<(), SweepError> {
+        let ready_at_ms = clock_ms + self.cfg.retry.backoff_ms(id, attempt);
+        let ev = JobEvent::Failed {
+            id,
+            attempt,
+            ready_at_ms,
+            cause: cause.clone(),
+        };
+        append(&ev)?;
+        queue.apply(&ev)?;
+        if attempt >= self.cfg.retry.max_attempts {
+            let ev = JobEvent::Quarantined {
+                id,
+                cause: cause.clone(),
+            };
+            append(&ev)?;
+            queue.apply(&ev)?;
+            progress(&SweepProgress::Quarantined { job: id, cause });
+        } else {
+            progress(&SweepProgress::Failed {
+                job: id,
+                attempt,
+                ready_at_ms,
+                cause,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drain the queue (or die trying, per the kill plan).
+    pub fn run(&self) -> Result<SweepOutcome, SweepError> {
+        self.run_with_progress(&|_| {})
+    }
+
+    /// [`SweepRunner::run`] with a job-level progress observer (used by
+    /// `vpic-run` to narrate long sweeps).
+    pub fn run_with_progress(
+        &self,
+        progress: &(dyn Fn(&SweepProgress) + Sync),
+    ) -> Result<SweepOutcome, SweepError> {
+        if self.grid.is_empty() {
+            return Err(SweepError::EmptyGrid);
+        }
+        let wall_start = Instant::now();
+        std::fs::create_dir_all(&self.cfg.sweep_dir)?;
+        let wal_path = self.cfg.sweep_dir.join(WAL_NAME);
+
+        // Replay. Records that fail to decode or apply are a typed
+        // error: the WAL is CRC-clean (the journal layer verified it),
+        // so a bad event means a software bug or a foreign journal, and
+        // silently dropping a job transition could re-run or lose work.
+        let mut queue = JobQueue::new();
+        let mut replay_defect: Option<SweepError> = None;
+        let (journal, replay) = Journal::open(&wal_path, |payload| {
+            if replay_defect.is_some() {
+                return;
+            }
+            match JobEvent::decode(payload) {
+                Ok(ev) => {
+                    if let Err(e) = queue.apply(&ev) {
+                        replay_defect = Some(SweepError::Queue(e));
+                    }
+                }
+                Err(e) => replay_defect = Some(SweepError::Queue(e)),
+            }
+        })?;
+        if let Some(defect) = replay_defect {
+            return Err(defect);
+        }
+        let journal = Mutex::new(journal);
+        let append = |ev: &JobEvent| -> Result<(), SweepError> {
+            journal
+                .lock()
+                .expect("journal lock poisoned")
+                .append(&ev.encode())
+                .map_err(SweepError::from)
+        };
+
+        // Reconcile against the spec: (re)define every grid point. The
+        // queue validates fingerprints, so a journal from a different
+        // sweep is rejected here instead of silently misapplied, and a
+        // torn-tail salvage that dropped a `Defined` record is healed.
+        // Jobs the journal already knows are journaled again anyway
+        // (`Defined` is idempotent): the WAL grows by one record per
+        // job per restart, a price worth paying for reconciliation
+        // that needs no out-of-band spec file.
+        for point in self.grid.points() {
+            let ev = JobEvent::Defined {
+                id: point.job_id,
+                fingerprint: point.fingerprint(&self.cfg.base, self.cfg.steps),
+            };
+            queue.apply(&ev)?;
+            append(&ev)?;
+        }
+
+        // A previous incarnation's in-process workers died with it:
+        // release their leases without charging attempts, and journal
+        // each release (the dead incarnation could not journal its own
+        // death; without the `Released` record the next replay would
+        // see an illegal `Leased`-from-`Running` transition). The
+        // certified step survives, so released jobs resume, not
+        // restart.
+        let orphans_released: Vec<u64> = queue
+            .jobs()
+            .filter(|j| matches!(j.state, JobState::Leased { .. } | JobState::Running { .. }))
+            .map(|j| j.id)
+            .collect();
+        for &id in &orphans_released {
+            let ev = JobEvent::Released { id };
+            append(&ev)?;
+            queue.apply(&ev)?;
+        }
+
+        let mut clock_ms: u64 = queue.jobs().map(|j| j.ready_at_ms).max().unwrap_or(0);
+        let certifications = AtomicU64::new(0);
+        let mut steps_by_job: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut attempts_launched = 0u64;
+
+        // Kill before a specific job's Started record?
+        let mut outcome_end = SweepEnd::Completed;
+
+        while !queue.is_settled() {
+            // Wedged-worker defense: any lease past its deadline is a
+            // charged failure. (With in-process serial workers this only
+            // fires on clock jumps, but the queue is also the state
+            // machine for future out-of-process workers.)
+            for id in queue.expired_leases(clock_ms) {
+                let job = queue.job(id).expect("expired lease of defined job");
+                let attempt = job.attempts + 1;
+                let cause = "lease expired: worker presumed wedged".to_string();
+                self.fail_attempt(&append, &mut queue, progress, id, attempt, clock_ms, cause)?;
+            }
+
+            let Some(id) = queue.next_ready(clock_ms) else {
+                // Everything is gated by retry backoff: jump the clock.
+                match queue.next_ready_at() {
+                    Some(at) if at > clock_ms => {
+                        clock_ms = at;
+                        continue;
+                    }
+                    _ => break,
+                }
+            };
+            let job = queue.job(id).expect("ready job is defined");
+            let attempt = job.attempts + 1;
+
+            let lease = JobEvent::Leased {
+                id,
+                attempt,
+                deadline_ms: clock_ms + self.cfg.lease_ms,
+            };
+            append(&lease)?;
+            queue.apply(&lease)?;
+            if self.cfg.kill.before_job == Some(id) {
+                outcome_end = SweepEnd::Killed;
+                break;
+            }
+            let started = JobEvent::Started { id, attempt };
+            append(&started)?;
+            queue.apply(&started)?;
+            attempts_launched += 1;
+
+            // Build this attempt's campaign. `resume` is uncondition-
+            // ally on: attempt 1 simply finds an empty directory.
+            let point = self.grid.point(id).expect("job id within grid");
+            let params = point.params(&self.cfg.base);
+            progress(&SweepProgress::Started {
+                job: id,
+                attempt,
+                a0: point.a0,
+                n_over_ncr: point.n_over_ncr,
+                vth: point.vth,
+            });
+            let mut ccfg = LpiCampaignConfig::new(
+                self.cfg.steps,
+                self.cfg.checkpoint_interval,
+                self.job_dir(id),
+            );
+            ccfg.max_recoveries = self.cfg.campaign_max_recoveries;
+            ccfg.sentinel = self.cfg.sentinel;
+            ccfg.corruption = self.cfg.corruption(id, attempt);
+
+            // Checkpoint hook = heartbeat + kill switch. Journal a
+            // `Progress` record per certified checkpoint; ask the
+            // campaign to halt when the seeded kill fires. Journal
+            // errors inside the hook also halt (and surface below).
+            let hook_error: Mutex<Option<JournalError>> = Mutex::new(None);
+            let last_progress: Mutex<Option<(u64, u64)>> = Mutex::new(None);
+            let base_clock = clock_ms;
+            let lease_ms = self.cfg.lease_ms;
+            let kill_after = self.cfg.kill.after_certifications;
+            let hook = |step: u64| -> bool {
+                let deadline_ms = base_clock + step + lease_ms;
+                let ev = JobEvent::Progress {
+                    id,
+                    certified_step: step,
+                    deadline_ms,
+                };
+                if let Err(e) = journal
+                    .lock()
+                    .expect("journal lock poisoned")
+                    .append(&ev.encode())
+                {
+                    *hook_error.lock().expect("hook error lock") = Some(e);
+                    return false;
+                }
+                *last_progress.lock().expect("progress lock") = Some((step, deadline_ms));
+                let n = certifications.fetch_add(1, Ordering::SeqCst) + 1;
+                match kill_after {
+                    // Die at the k-th certification (1-based), with its
+                    // Progress record already durable — a SIGKILL right
+                    // after an fsync.
+                    Some(k) => n < k,
+                    None => true,
+                }
+            };
+
+            let out = run_lpi_campaign_with(params, &ccfg, true, &hook)?;
+            if let Some(e) = hook_error.into_inner().expect("hook error lock") {
+                return Err(SweepError::Journal(e));
+            }
+            // Mirror the hook's journaled Progress records into the
+            // live queue (the hook bypasses `queue.apply` because the
+            // queue is mutably borrowed out here).
+            if let Some((step, deadline_ms)) = last_progress.into_inner().expect("progress lock") {
+                queue.apply(&JobEvent::Progress {
+                    id,
+                    certified_step: step,
+                    deadline_ms,
+                })?;
+            }
+            *steps_by_job.entry(id).or_insert(0) += out.steps_run;
+            clock_ms += out.steps_run.max(1);
+
+            match out.end {
+                LpiCampaignEnd::Halted { .. } => {
+                    // The kill plan fired mid-campaign: die without
+                    // journaling anything else, like a real SIGKILL.
+                    outcome_end = SweepEnd::Killed;
+                    break;
+                }
+                LpiCampaignEnd::Completed => {
+                    let result = PointResult {
+                        fingerprint: point.fingerprint(&self.cfg.base, self.cfg.steps),
+                        reflectivity: out.reflectivity,
+                        energy: out.energy,
+                        n_particles: out.n_particles,
+                        state_fingerprint: out.state_fingerprint,
+                    };
+                    let ev = JobEvent::Done {
+                        id,
+                        result: result.encode(),
+                    };
+                    append(&ev)?;
+                    queue.apply(&ev)?;
+                    progress(&SweepProgress::Done {
+                        job: id,
+                        attempt,
+                        reflectivity: out.reflectivity,
+                        done: queue.stats().done,
+                        total: self.grid.len(),
+                    });
+                }
+                LpiCampaignEnd::Degraded { at_step, .. } => {
+                    let cause = format!(
+                        "campaign degraded at step {at_step} (attempt {attempt}); \
+                         flight recorder in {}",
+                        self.job_dir(id).display()
+                    );
+                    self.fail_attempt(&append, &mut queue, progress, id, attempt, clock_ms, cause)?;
+                }
+            }
+        }
+
+        let stats = queue.stats();
+        let settled = queue.is_settled() && outcome_end == SweepEnd::Completed;
+        let (curve, curve_path) = if settled {
+            let curve = self.aggregate(&queue)?;
+            let path = self.cfg.sweep_dir.join(CURVE_NAME);
+            write_json_atomic(&path, &curve.to_json())?;
+            let steps_executed: u64 = steps_by_job.values().sum();
+            let bench = SweepBench::from_stats(
+                &stats,
+                self.grid.len(),
+                u64::from(replay.records > 0),
+                steps_executed,
+                wall_start.elapsed().as_secs_f64(),
+                stats.done,
+            );
+            write_json_atomic(&self.cfg.sweep_dir.join(BENCH_NAME), &bench.to_json())?;
+            (Some(curve), Some(path))
+        } else {
+            (None, None)
+        };
+
+        Ok(SweepOutcome {
+            end: outcome_end,
+            stats,
+            curve,
+            curve_path,
+            replay,
+            orphans_released,
+            steps_by_job,
+            attempts_launched,
+        })
+    }
+
+    /// Exactly-once aggregation: fold the curve from `Done` records (and
+    /// quarantine markers) in job-id order. Nothing else — not partial
+    /// progress, not retries — reaches the physics artifact.
+    fn aggregate(&self, queue: &JobQueue) -> Result<ReflectivityCurve, SweepError> {
+        let mut points = Vec::with_capacity(self.grid.len());
+        for point in self.grid.points() {
+            let job = queue
+                .job(point.job_id)
+                .expect("settled queue covers the grid");
+            let expected = point.fingerprint(&self.cfg.base, self.cfg.steps);
+            let result = match (&job.state, &job.result) {
+                (JobState::Done, Some(bytes)) => {
+                    let r = PointResult::decode(bytes).map_err(|reason| {
+                        SweepError::MalformedResult {
+                            job: job.id,
+                            reason,
+                        }
+                    })?;
+                    if r.fingerprint != expected {
+                        return Err(SweepError::MalformedResult {
+                            job: job.id,
+                            reason: format!(
+                                "result fingerprint {:#018x} != spec {expected:#018x}",
+                                r.fingerprint
+                            ),
+                        });
+                    }
+                    Some(r)
+                }
+                _ => None,
+            };
+            points.push(CurvePoint {
+                point,
+                attempts: job.attempts,
+                result,
+                quarantined: if matches!(job.state, JobState::Quarantined) {
+                    Some(job.last_cause.clone().unwrap_or_default())
+                } else {
+                    None
+                },
+            });
+        }
+        Ok(ReflectivityCurve {
+            steps: self.cfg.steps,
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn small_base() -> LpiParams {
+        LpiParams {
+            flat: 4.0,
+            ppc: 4,
+            a0: 0.01,
+            sponge_cells: 12,
+            ..Default::default()
+        }
+    }
+
+    fn test_cfg(dir: &Path) -> SweepConfig {
+        let mut cfg = SweepConfig::new(small_base(), 40, 10, dir);
+        cfg.sentinel.health_interval = 10;
+        cfg.sentinel.max_energy_growth = 100.0;
+        cfg
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vpic_sweep_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn single_point_sweep_completes_and_writes_artifacts() {
+        let dir = tmp("single");
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = SweepGrid::single(&small_base());
+        let runner = SweepRunner::new(grid, test_cfg(&dir));
+        let out = runner.run().unwrap();
+        assert_eq!(out.end, SweepEnd::Completed);
+        assert_eq!(out.stats.done, 1);
+        assert_eq!(out.attempts_launched, 1);
+        let curve = out.curve.unwrap();
+        assert_eq!(curve.done(), 1);
+        let r = curve.points[0].result.unwrap();
+        assert!(r.n_particles > 0);
+        let json = std::fs::read_to_string(out.curve_path.unwrap()).unwrap();
+        assert_eq!(json, curve.to_json(), "artifact must match aggregation");
+        let bench = std::fs::read_to_string(dir.join(BENCH_NAME)).unwrap();
+        assert!(bench.contains("\"schema\": \"vpic-bench/sweep/v1\""));
+        assert!(bench.contains("\"done\": 1"));
+        // 40 steps of physics ran, all in this incarnation.
+        assert_eq!(out.steps_by_job.get(&0), Some(&40));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_before_start_releases_lease_without_charging() {
+        let dir = tmp("killlease");
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = SweepGrid::single(&small_base());
+
+        // Incarnation 1 dies right after journaling the lease: zero
+        // physics runs.
+        let mut cfg = test_cfg(&dir);
+        cfg.kill.before_job = Some(0);
+        let out = SweepRunner::new(grid.clone(), cfg).run().unwrap();
+        assert_eq!(out.end, SweepEnd::Killed);
+        assert_eq!(out.steps_by_job.values().sum::<u64>(), 0);
+        assert!(out.curve.is_none(), "killed sweep must not aggregate");
+        assert!(!dir.join(CURVE_NAME).exists());
+
+        // Incarnation 2 replays the WAL, releases the orphaned lease
+        // (no attempt charged) and finishes the sweep.
+        let out = SweepRunner::new(grid, test_cfg(&dir)).run().unwrap();
+        assert_eq!(out.end, SweepEnd::Completed);
+        assert_eq!(out.orphans_released, vec![0]);
+        assert!(out.replay.records > 0, "WAL must have been replayed");
+        let curve = out.curve.unwrap();
+        assert_eq!(curve.done(), 1);
+        assert_eq!(curve.points[0].attempts, 0, "orphan release is free");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_grid_is_a_typed_error() {
+        let grid = SweepGrid {
+            a0: vec![],
+            n_over_ncr: vec![0.1],
+            vth: vec![0.07],
+        };
+        let dir = tmp("empty");
+        let err = SweepRunner::new(grid, test_cfg(&dir)).run().unwrap_err();
+        assert!(matches!(err, SweepError::EmptyGrid));
+    }
+
+    #[test]
+    fn foreign_journal_is_rejected_by_fingerprint() {
+        let dir = tmp("foreign");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Run a sweep at one grid point to settle a WAL...
+        let grid = SweepGrid::single(&small_base());
+        SweepRunner::new(grid, test_cfg(&dir)).run().unwrap();
+        // ...then reopen it with a different spec (more steps changes
+        // every fingerprint).
+        let mut cfg = test_cfg(&dir);
+        cfg.steps = 80;
+        let err = SweepRunner::new(SweepGrid::single(&small_base()), cfg)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SweepError::Queue(QueueError::FingerprintMismatch { .. })
+            ),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

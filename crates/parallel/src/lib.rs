@@ -17,7 +17,10 @@
 //!   CRC-protected (optionally compressed and write-throttled)
 //!   checkpoints on a fixed or Young/Daly-auto schedule, global health
 //!   checks, and automatic recovery — whole-world rollback or hot-spare
-//!   rank replacement — with bounded retries and graceful degradation.
+//!   rank replacement — with bounded retries and graceful degradation;
+//! * [`sweepjob`] — distributed campaigns as WAL-journaled sweep jobs,
+//!   sharing the reflectivity-sweep service's job-queue state machine
+//!   (leases, retry/backoff, quarantine, exactly-once results).
 
 pub mod campaign;
 pub mod dcheckpoint;
@@ -25,6 +28,7 @@ pub mod decomposition;
 pub mod dsim;
 pub mod exchange;
 pub mod migrate;
+pub mod sweepjob;
 
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome, CheckpointPolicy,
@@ -38,3 +42,4 @@ pub use decomposition::DomainSpec;
 pub use dsim::{DistTimings, DistributedSim};
 pub use exchange::GhostExchanger;
 pub use migrate::{migrate_species, transform_to_receiver, Migrant};
+pub use sweepjob::{JobJournal, JobResult, JobVerdict, SweepJobError};

@@ -19,6 +19,12 @@
 # AoS/AoSoA bit-identity across worker counts, cross-layout checkpoint
 # restore, exile migration, the `layout = aosoa` deck knob, and the
 # sentinel rollback campaign pinned to AoSoA storage.
+#
+# Pass "sweep" (or set CI_SWEEP=1) to run the reflectivity-sweep-service
+# lane: the WAL corruption matrix, the job-queue state machine, the
+# scheduler/grid/curve suites, the distributed sweep-job adapter, the
+# shrunk kill/resume and quarantine tests, and a [sweep] deck end to end
+# through vpic-run with e5 consuming the curve artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +44,44 @@ if [[ "${1:-}" == "soak" || "${CI_SOAK:-0}" == "1" ]]; then
     echo "==> fault-soak lane (release, ignored tests)"
     cargo test --release --test campaign_soak -- --ignored --nocapture
     cargo test --release --test srs_soak -- --ignored --nocapture
+    cargo test --release --test sweep_soak -- --ignored --nocapture
+fi
+
+if [[ "${1:-}" == "sweep" || "${CI_SWEEP:-0}" == "1" ]]; then
+    echo "==> sweep lane (crash-proof reflectivity-sweep service)"
+    # WAL hardening: truncation/bit-flip/torn-tail matrix plus the
+    # journal and job-queue unit suites.
+    cargo test --release -p vpic-core --test journal_corruption
+    cargo test --release -p vpic-core --lib journal
+    cargo test --release -p vpic-core --lib queue
+    # Orchestrator: grid/scheduler/curve suites, the distributed
+    # sweep-job adapter, and the shrunk kill/resume + quarantine tests.
+    cargo test --release -p vpic-lpi sweep
+    cargo test --release -p vpic-parallel --lib sweepjob
+    cargo test --release --test sweep_soak
+    # End to end: a shrunk [sweep] deck through vpic-run (kill-safe
+    # service path), then the e5 harness consuming the curve artifact.
+    cargo build --release -p vpic -p vpic-bench
+    deck=target/ci_sweep.deck
+    cat > "$deck" <<'EOF'
+kind = lpi
+steps = 40
+seed = 7
+[laser]
+a0 = 0.01
+flat = 4
+ppc = 4
+[sweep]
+a0 = 0.01, 0.02
+checkpoint_interval = 10
+[sentinel]
+health_interval = 10
+max_energy_growth = 100
+EOF
+    rm -rf target/ci_sweep_out
+    ./target/release/vpic-run "$deck" target/ci_sweep_out
+    ./target/release/e5_reflectivity \
+        --from-curve target/ci_sweep_out/sweep/reflectivity_curve.json
 fi
 
 if [[ "${1:-}" == "sentinel" || "${CI_SENTINEL:-0}" == "1" ]]; then

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! This container has no network access and no crates.io mirror, so the
+//! workspace vendors the slice of criterion its benches use as a path
+//! dependency: `criterion_group!`/`criterion_main!`, benchmark groups
+//! with `sample_size`/`throughput`, `bench_function`/`bench_with_input`,
+//! and `Bencher::{iter, iter_batched}`.
+//!
+//! There is no statistical machinery: each benchmark warms up once,
+//! runs a fixed number of timed iterations, and prints the mean
+//! time per iteration (plus element throughput when configured). That
+//! keeps `cargo bench` useful for coarse regression eyeballing while the
+//! precise numbers come from the repo's own experiment binaries
+//! (`e2_step_breakdown` etc.), which never depended on criterion.
+
+use std::time::Instant;
+
+/// Opaque black box (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by the stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// Render the identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = t0.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        let mut total_ns = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total_ns += t0.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / self.iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into_id(), b.mean_ns);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.into_id(), b.mean_ns);
+        self
+    }
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / (mean_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / (mean_ns * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean_ns:.0} ns/iter{rate}", self.name);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry/driver (stateless in the stand-in).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("inc", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3, "routine ran {calls} times");
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, n| {
+            b.iter_batched(
+                || vec![1u64; *n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}

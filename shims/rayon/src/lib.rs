@@ -1,0 +1,121 @@
+//! Offline sequential stand-in for the `rayon` crate.
+//!
+//! This container has no network access and no crates.io mirror, so the
+//! workspace vendors an API-compatible subset of rayon as a path
+//! dependency. Every `par_*` entry point returns the corresponding
+//! *sequential* `std` iterator, so downstream `.zip()`, `.enumerate()`,
+//! `.map()`, `.for_each()` and `.collect()` chains compile unchanged and
+//! run on one thread.
+//!
+//! This is semantically valid for this workspace because the codebase
+//! pins a bitwise-determinism contract: results are identical at every
+//! worker count (see `vpic_core::threads::worker_threads`, whose docs
+//! already anticipate running "identically against the real crate and
+//! the offline sequential stand-in"). A sequential schedule is just the
+//! one-worker member of that equivalence class. Pipeline decomposition
+//! (how work is *partitioned*) is controlled by the callers, not by
+//! rayon, so per-pipeline accumulator semantics are unchanged.
+
+/// Extension trait mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Extension trait mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Extension trait mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<T> {
+    /// Sequential stand-in for `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Extension trait mirroring `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<T> {
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> IntoParallelRefMutIterator<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`: glob-import to get the `par_*` methods.
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub mod slice {
+    //! Mirrors `rayon::slice` re-exports.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    //! Mirrors `rayon::iter` re-exports.
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads (always 1 for the sequential stand-in).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_zip_matches_sequential() {
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let mut b = [0u32; 6];
+        b.par_chunks_mut(2)
+            .zip(a.par_chunks(2))
+            .enumerate()
+            .for_each(|(i, (dst, src))| {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s + i as u32;
+                }
+            });
+        assert_eq!(b, [1, 2, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    fn par_iter_collects() {
+        let v = vec![3u64, 1, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, [6, 2, 8]);
+        let mut w = v.clone();
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, [4, 2, 5]);
+    }
+}

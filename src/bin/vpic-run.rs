@@ -12,7 +12,11 @@
 //! fault-tolerant multi-rank campaign runtime instead: checkpoints land in
 //! `<output-dir>/checkpoints` (unless `campaign.dir` overrides it), the
 //! per-rank recovery logs next to them, and a per-rank summary is written
-//! to `campaign.tsv`.
+//! to `campaign.tsv`. `kind = lpi` decks with a `[sweep]` section run the
+//! crash-proof reflectivity-sweep service: per-job progress is narrated
+//! as jobs lease/finish/retry, and the aggregated curve lands in
+//! `<output-dir>/sweep/reflectivity_curve.json` (re-running the same
+//! deck resumes a killed sweep from its write-ahead log).
 
 use std::fs;
 use std::io::Write;
@@ -127,6 +131,7 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
         }
         BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
         BuiltRun::LpiCampaign(setup) => run_lpi_campaign_deck(*setup, out_dir)?,
+        BuiltRun::Sweep(setup) => run_sweep_deck(*setup, out_dir)?,
     }
     Ok(())
 }
@@ -183,12 +188,12 @@ fn run_lpi_campaign_deck(
     match &out.end {
         LpiCampaignEnd::Completed => println!(
             "completed: {} steps, {} recovery(ies), reflectivity {:.3e}, \
-             {} particles, state crc {:08x}",
+             {} particles, state fingerprint {:08x}",
             out.steps_run,
             out.recoveries.len(),
             out.reflectivity,
             out.n_particles,
-            out.state_crc
+            out.state_fingerprint
         ),
         LpiCampaignEnd::Degraded {
             at_step,
@@ -199,6 +204,90 @@ fn run_lpi_campaign_deck(
             partial_dump.display(),
             flight_recorder.display()
         ),
+        LpiCampaignEnd::Halted { at_step } => println!(
+            "halted by checkpoint hook at step {at_step}: resumable from {}",
+            cfg.checkpoint_dir.display()
+        ),
+    }
+    Ok(())
+}
+
+fn run_sweep_deck(
+    setup: vpic::deck::SweepSetup,
+    out_dir: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use vpic::lpi::sweep::{SweepEnd, SweepProgress, SweepRunner};
+
+    let cfg = setup.config(Path::new(out_dir));
+    let grid = setup.grid.clone();
+    println!(
+        "reflectivity sweep: {} point(s) ({} a0 x {} n/ncr x {} vth), {} steps each, \
+         checkpoint/heartbeat every {} steps, <= {} attempt(s)/job, WAL in {}",
+        grid.len(),
+        grid.a0.len(),
+        grid.n_over_ncr.len(),
+        grid.vth.len(),
+        cfg.steps,
+        cfg.checkpoint_interval,
+        cfg.retry.max_attempts,
+        cfg.sweep_dir.join(vpic::lpi::sweep::WAL_NAME).display()
+    );
+    let runner = SweepRunner::new(grid, cfg);
+    let out = runner.run_with_progress(&|ev| match ev {
+        SweepProgress::Started {
+            job,
+            attempt,
+            a0,
+            n_over_ncr,
+            vth,
+        } => println!("job {job} attempt {attempt}: a0 = {a0}, n/ncr = {n_over_ncr}, vth = {vth}"),
+        SweepProgress::Done {
+            job,
+            attempt,
+            reflectivity,
+            done,
+            total,
+        } => println!(
+            "job {job} done (attempt {attempt}): reflectivity {reflectivity:.3e} [{done}/{total}]"
+        ),
+        SweepProgress::Failed {
+            job,
+            attempt,
+            ready_at_ms,
+            cause,
+        } => println!("job {job} attempt {attempt} failed: {cause}; retry at t={ready_at_ms}ms"),
+        SweepProgress::Quarantined { job, cause } => {
+            println!("job {job} quarantined: {cause}")
+        }
+    })?;
+    if out.replay.records > 0 {
+        println!(
+            "resumed: replayed {} WAL record(s){}, released {} orphaned lease(s)",
+            out.replay.records,
+            if out.replay.torn_tail {
+                " (salvaged a torn tail)"
+            } else {
+                ""
+            },
+            out.orphans_released.len()
+        );
+    }
+    match out.end {
+        SweepEnd::Completed => {
+            let s = &out.stats;
+            println!(
+                "sweep settled: {} done, {} quarantined, {} failed attempt(s) retried; \
+                 curve in {}",
+                s.done,
+                s.quarantined,
+                s.total_failures,
+                out.curve_path
+                    .as_deref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
+            );
+        }
+        SweepEnd::Killed => println!("sweep killed by fault plan; re-run the same deck to resume"),
     }
     Ok(())
 }

@@ -48,6 +48,16 @@
 //! fault-tolerant LPI campaign instead (`checkpoint_interval`,
 //! `keep_checkpoints`, `max_recoveries`, `kill_step`).
 //!
+//! A `kind = lpi` deck with a `[sweep]` section runs the crash-proof
+//! reflectivity-sweep service (see [`SweepSetup`]): the `[laser]`
+//! section is the base deck, templated over comma-separated `a0` /
+//! `n_over_ncr` / `vth` axis lists, each grid point driven as a
+//! WAL-journaled job with leases (`lease_ms`), retry with backoff
+//! (`max_attempts`, `base_backoff_ms`, `max_backoff_ms`,
+//! `jitter_seed`) and quarantine, aggregated exactly-once into
+//! `reflectivity_curve.json`. Re-running the same deck against the
+//! same directory resumes the sweep instead of restarting it.
+//!
 //! Either campaign kind also honours a `[sentinel]` section
 //! (numerical-integrity thresholds: `health_interval`,
 //! `max_energy_growth`, `max_div_e_rms`, `max_div_b_rms`, `max_momentum`,
@@ -63,6 +73,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use nanompi::FaultPlan;
+use vpic_core::queue::RetryPolicy;
 use vpic_core::sentinel::{
     CorruptionEvent, CorruptionMode, CorruptionPlan, SentinelConfig, SimConfig,
 };
@@ -70,7 +81,7 @@ use vpic_core::{
     load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, Rng,
     Simulation, Species,
 };
-use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun};
+use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun, SweepConfig, SweepGrid};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
 use vpic_parallel::{DistributedSim, DomainSpec};
 
@@ -203,6 +214,8 @@ pub enum BuiltRun {
     Campaign(Box<CampaignSetup>),
     /// A fault-tolerant serial LPI campaign (`kind = lpi` + `[campaign]`).
     LpiCampaign(Box<LpiCampaignSetup>),
+    /// A crash-proof reflectivity sweep (`kind = lpi` + `[sweep]`).
+    Sweep(Box<SweepSetup>),
 }
 
 /// Build the run a deck describes.
@@ -212,6 +225,9 @@ pub fn build(deck: &Deck) -> Result<BuiltRun, DeckError> {
             build_campaign(deck).map(|c| BuiltRun::Campaign(Box::new(c)))
         }
         Some("plasma") | None => build_plasma(deck).map(|s| BuiltRun::Plasma(Box::new(s))),
+        Some("lpi") if deck.section("sweep").is_some() => {
+            build_sweep(deck).map(|s| BuiltRun::Sweep(Box::new(s)))
+        }
         Some("lpi") if deck.section("campaign").is_some() => {
             build_lpi_campaign(deck).map(|c| BuiltRun::LpiCampaign(Box::new(c)))
         }
@@ -466,6 +482,112 @@ fn build_lpi_campaign(deck: &Deck) -> Result<LpiCampaignSetup, DeckError> {
         corruption: parse_corruption(deck)?,
         fault_plan,
     })
+}
+
+/// Everything a `kind = lpi` deck's `[sweep]` section describes: the
+/// base LPI parameters, the `(a0, n/ncr, vth)` grid templated over
+/// them, and the sweep-service knobs (WAL-backed queue, retry/backoff,
+/// leases). Axes are comma-separated lists; an absent axis degenerates
+/// to the base deck's single value.
+#[derive(Clone, Debug)]
+pub struct SweepSetup {
+    pub params: LpiParams,
+    pub grid: SweepGrid,
+    pub steps: u64,
+    pub checkpoint_interval: u64,
+    /// Explicit sweep directory (else `<out>/sweep`).
+    pub dir: Option<PathBuf>,
+    pub retry: RetryPolicy,
+    pub lease_ms: u64,
+    pub campaign_max_recoveries: u32,
+    pub sentinel: Option<SimConfig>,
+    /// `[fault]` corruption plan, aimed at `corrupt_job`'s attempts.
+    pub corruption: Option<CorruptionPlan>,
+    pub corrupt_job: u64,
+    /// Restrict the corruption to one attempt (1-based); `None` poisons
+    /// every attempt of `corrupt_job` until it quarantines.
+    pub corrupt_attempt: Option<u32>,
+}
+
+impl SweepSetup {
+    /// The sweep-service configuration, journaling and checkpointing
+    /// into the deck's `dir` if set, else `<fallback>/sweep`.
+    pub fn config(&self, fallback: &Path) -> SweepConfig {
+        let dir = self.dir.clone().unwrap_or_else(|| fallback.join("sweep"));
+        let mut cfg = SweepConfig::new(self.params, self.steps, self.checkpoint_interval, dir);
+        cfg.retry = self.retry.clone();
+        cfg.lease_ms = self.lease_ms;
+        cfg.campaign_max_recoveries = self.campaign_max_recoveries;
+        if let Some(s) = self.sentinel {
+            cfg.sentinel = s.sentinel;
+        }
+        if let Some(plan) = &self.corruption {
+            cfg.corruption_for = vec![(self.corrupt_job, self.corrupt_attempt, plan.clone())];
+        }
+        cfg
+    }
+}
+
+fn build_sweep(deck: &Deck) -> Result<SweepSetup, DeckError> {
+    let run = build_lpi(deck)?;
+    let skv = deck.section("sweep").expect("caller checked");
+    let mut grid = SweepGrid::single(&run.params);
+    if let Some(v) = get_f64_list(skv, "a0")? {
+        grid.a0 = v;
+    }
+    if let Some(v) = get_f64_list(skv, "n_over_ncr")? {
+        grid.n_over_ncr = v;
+    }
+    if let Some(v) = get_f64_list(skv, "vth")? {
+        grid.vth = v;
+    }
+    if grid.is_empty() {
+        return Err(err("sweep grid has an empty axis"));
+    }
+    let d = RetryPolicy::default();
+    let fkv = deck.section("fault");
+    let corrupt_attempt = match fkv.and_then(|kv| kv.get("attempt")) {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| err(format!("bad integer for fault.attempt: {v}")))?,
+        ),
+    };
+    Ok(SweepSetup {
+        params: run.params,
+        grid,
+        steps: deck.steps(),
+        checkpoint_interval: get_u64(skv, "checkpoint_interval", 50)?,
+        dir: skv.get("dir").map(PathBuf::from),
+        retry: RetryPolicy {
+            max_attempts: (get_u64(skv, "max_attempts", d.max_attempts as u64)? as u32).max(1),
+            base_backoff_ms: get_u64(skv, "base_backoff_ms", d.base_backoff_ms)?,
+            max_backoff_ms: get_u64(skv, "max_backoff_ms", d.max_backoff_ms)?,
+            jitter_seed: get_u64(skv, "jitter_seed", deck.seed())?,
+        },
+        lease_ms: get_u64(skv, "lease_ms", 10_000)?,
+        campaign_max_recoveries: get_u64(skv, "max_recoveries", 1)? as u32,
+        sentinel: parse_sentinel(deck)?,
+        corruption: parse_corruption(deck)?,
+        corrupt_job: fkv.map_or(Ok(0), |kv| get_u64(kv, "job", 0))?,
+        corrupt_attempt,
+    })
+}
+
+/// Comma-separated list of floats (`a0 = 0.01, 0.02, 0.05`).
+fn get_f64_list(kv: &BTreeMap<String, String>, key: &str) -> Result<Option<Vec<f64>>, DeckError> {
+    let Some(v) = kv.get(key) else {
+        return Ok(None);
+    };
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| err(format!("bad number in {key} list: {s}")))
+        })
+        .collect::<Result<Vec<f64>, DeckError>>()
+        .map(Some)
 }
 
 /// Global `layout = aos|aosoa` knob (default aos).
@@ -842,6 +964,57 @@ seed_frac = 0.1
         };
         assert!((run.params.a0 - 0.05).abs() < 1e-9);
         assert!(run.seed_antenna.is_some());
+    }
+
+    #[test]
+    fn builds_a_sweep() {
+        let text = r#"
+kind = lpi
+steps = 40
+seed = 3
+
+[laser]
+a0 = 0.05
+n_over_ncr = 0.1
+vth = 0.06
+flat = 4
+ppc = 4
+
+[sweep]
+a0 = 0.01, 0.02, 0.05
+vth = 0.04, 0.06
+checkpoint_interval = 10
+max_attempts = 2
+lease_ms = 500
+jitter_seed = 7
+"#;
+        let deck = Deck::parse(text).unwrap();
+        let BuiltRun::Sweep(setup) = build(&deck).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.grid.a0, vec![0.01, 0.02, 0.05]);
+        // Degenerate axis inherited from the base deck (which parses
+        // the key as f32, hence the widened comparison).
+        assert_eq!(setup.grid.n_over_ncr.len(), 1);
+        assert!((setup.grid.n_over_ncr[0] - 0.1).abs() < 1e-6);
+        assert_eq!(setup.grid.vth, vec![0.04, 0.06]);
+        assert_eq!(setup.grid.len(), 6);
+        assert_eq!(setup.steps, 40);
+        assert_eq!(setup.retry.max_attempts, 2);
+        assert_eq!(setup.retry.jitter_seed, 7);
+        let cfg = setup.config(Path::new("/tmp/out"));
+        assert_eq!(cfg.checkpoint_interval, 10);
+        assert_eq!(cfg.lease_ms, 500);
+        assert_eq!(cfg.sweep_dir, Path::new("/tmp/out").join("sweep"));
+    }
+
+    #[test]
+    fn sweep_rejects_malformed_axes() {
+        let base = "kind = lpi\nsteps = 10\n[laser]\na0 = 0.05\n";
+        let bad = format!("{base}[sweep]\na0 = 0.01, zap\n");
+        assert!(build(&Deck::parse(&bad).unwrap()).is_err());
+        let empty = format!("{base}[sweep]\na0 = ,\n");
+        assert!(build(&Deck::parse(&empty).unwrap()).is_err());
     }
 
     #[test]

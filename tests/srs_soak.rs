@@ -7,7 +7,7 @@
 //! fixed seeds — rank kills plus transient NaN/huge-value field upsets —
 //! and throws each at a laser-driven campaign. Every run must terminate
 //! within its deadline and either complete bit-identically to the
-//! fault-free reference (same `state_crc`, energy and reflectivity bits)
+//! fault-free reference (same `state_fingerprint`, energy and reflectivity bits)
 //! or degrade gracefully to a partial dump plus a flight recorder.
 //!
 //! The non-ignored test runs a shrunk version of the shipped
@@ -49,13 +49,13 @@ fn soak_cfg(dir: &Path) -> LpiCampaignConfig {
     cfg
 }
 
-/// Bit-exact end-state digest: dump CRC plus the energy/reflectivity and
+/// Bit-exact end-state digest: dump fingerprint plus the energy/reflectivity and
 /// particle count of the final state.
 type Digest = (u32, u64, u64, u64);
 
 fn digest(out: &vpic::lpi::LpiCampaignOutcome) -> Digest {
     (
-        out.state_crc,
+        out.state_fingerprint,
         out.energy.to_bits(),
         out.reflectivity.to_bits(),
         out.n_particles,
@@ -146,6 +146,9 @@ fn seeded_srs_fault_soak_recovers_or_degrades_gracefully() {
                     .unwrap_or_else(|e| panic!("plan {seed}: unreadable flight recorder: {e}"));
                 assert!(json.contains("\"samples\""), "plan {seed}: {json}");
             }
+            LpiCampaignEnd::Halted { at_step } => {
+                panic!("plan {seed} halted at step {at_step} without a checkpoint hook")
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -159,7 +162,7 @@ fn seeded_srs_fault_soak_recovers_or_degrades_gracefully() {
 /// Heal/rollback recovery is layout-independent: the same seeded NaN
 /// upset, thrown at one campaign running AoS storage and one pinned to
 /// `layout = aosoa`, must trigger the same sentinel verdict and rollback
-/// in both, and both must finish with identical state CRC, energy and
+/// in both, and both must finish with identical state fingerprint, energy and
 /// reflectivity bits — checkpoints are canonical AoS bytes, so recovery
 /// cannot tell the layouts apart.
 #[test]
