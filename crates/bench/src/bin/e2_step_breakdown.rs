@@ -5,25 +5,36 @@
 //! plus the sustained-vs-inner-loop flop-rate ratio on this host.
 //!
 //! This binary doubles as the step-throughput bench: `--nx/--ny/--nz`,
-//! `--ppc`, `--steps`, `--pipelines` and `--layout aos|aosoa` size the
-//! run, and `--json <path>` writes a machine-readable `BENCH_step.json`
-//! record (schema in `vpic_bench::stepjson`). Writing into an existing
-//! file *merges by layout* — run once per layout and the file carries
-//! both records side by side. The CI smoke lane re-invokes it as
+//! `--ppc`, `--steps`, `--pipelines`, `--layout aos|aosoa` and
+//! `--kernel scalar|lane` size the run, and `--json <path>` writes a
+//! machine-readable `BENCH_step.json` record (schema in
+//! `vpic_bench::stepjson`). Writing into an existing file *merges by
+//! (layout, kernel)* — run once per variant and the file carries all the
+//! records side by side. The CI smoke lane re-invokes it as
 //! `--validate <path>` to check every record in a previously written file
-//! for schema problems and NaN/zero rates. `--sentinel` arms the
-//! numerical-integrity sentinel at its default 10-step cadence so the
-//! health-monitoring overhead can be compared against a plain run.
+//! for schema problems and NaN/zero rates, and then cross-checks the lane
+//! kernel against the scalar AoS oracle on a shrunk bench grid — a record
+//! is only as trustworthy as the kernel that produced it.
+//! `--assert-speedup <path>` compares the file's two AoSoA records and
+//! fails unless the lane kernel is at least as fast as the scalar body.
+//! `--sentinel` arms the numerical-integrity sentinel at its default
+//! 10-step cadence so the health-monitoring overhead can be compared
+//! against a plain run.
 
 use roadrunner_model::flops;
 use vpic_bench::stepjson::{read_set, write_set, StepBench};
 use vpic_bench::{parse_flag, parse_opt, print_table, uniform_plasma};
+use vpic_core::push::PushKernel;
 use vpic_core::store::Layout;
 
 fn main() {
     let validate_path = parse_opt::<String>("validate", String::new());
     if !validate_path.is_empty() {
         std::process::exit(validate(&validate_path));
+    }
+    let speedup_path = parse_opt::<String>("assert-speedup", String::new());
+    if !speedup_path.is_empty() {
+        std::process::exit(assert_speedup(&speedup_path));
     }
 
     let full = parse_flag("full");
@@ -42,9 +53,29 @@ fn main() {
         eprintln!("--layout must be aos or aosoa, got {layout_str}");
         std::process::exit(2);
     };
+    let kernel_str = parse_opt::<String>("kernel", "lane".into());
+    let kernel = match kernel_str.as_str() {
+        "scalar" => PushKernel::Scalar,
+        "lane" => PushKernel::Lane,
+        _ => {
+            eprintln!("--kernel must be scalar or lane, got {kernel_str}");
+            std::process::exit(2);
+        }
+    };
+    // The AoS path ignores the kernel knob and always runs the scalar
+    // body; record what actually executed.
+    let kernel_name = if layout == Layout::Aos {
+        "scalar"
+    } else {
+        match kernel {
+            PushKernel::Scalar => "scalar",
+            PushKernel::Lane => "lane",
+        }
+    };
 
     let mut sim = uniform_plasma(n, ppc, pipelines, 7);
     sim.set_layout(layout);
+    sim.set_kernel(kernel);
     sim.species[0].sort_interval = 25;
     if sentinel {
         // Arm the numerical-integrity sentinel at its default 10-step
@@ -75,7 +106,8 @@ fn main() {
     print_table(
         &format!(
             "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
-             {pipelines} pipelines, {} rayon threads, {layout} layout{}",
+             {pipelines} pipelines, {} rayon threads, {layout} layout, \
+             {kernel_name} kernel{}",
             vpic_core::worker_threads(),
             if sentinel { ", sentinel armed" } else { "" }
         ),
@@ -123,12 +155,13 @@ fn main() {
     );
     println!(
         "\nwhole-step throughput: {:.4e} particles/s ({} particles, {} pipelines, {} threads, \
-         {} layout)",
+         {} layout, {} kernel)",
         t.particle_steps as f64 / total,
         sim.n_particles(),
         pipelines,
         vpic_core::worker_threads(),
-        layout
+        layout,
+        kernel_name
     );
     println!("shape check: the inner loop dominates the step and the sustained/inner");
     println!("ratio sits in the same ~0.7-0.9 band the paper reports.");
@@ -142,18 +175,20 @@ fn main() {
             vpic_core::worker_threads(),
             sim.n_particles() as u64,
             layout.name(),
+            kernel_name,
         );
         if let Err(e) = bench.validate() {
             eprintln!("refusing to write {json}: {e}");
             std::process::exit(1);
         }
-        // Merge by layout: an existing readable file keeps its other-layout
-        // records, so one run per layout accumulates a complete set.
+        // Merge by (layout, kernel): an existing readable file keeps its
+        // other-variant records, so one run per variant accumulates a
+        // complete set.
         let path = std::path::Path::new(&json);
         let mut set = read_set(path).unwrap_or_default();
-        set.retain(|b| b.layout != bench.layout);
+        set.retain(|b| b.layout != bench.layout || b.kernel != bench.kernel);
         set.push(bench);
-        set.sort_by(|a, b| a.layout.cmp(&b.layout));
+        set.sort_by(|a, b| (&a.layout, &a.kernel).cmp(&(&b.layout, &b.kernel)));
         if let Err(e) = write_set(&set, path) {
             eprintln!("write {json}: {e}");
             std::process::exit(1);
@@ -163,7 +198,11 @@ fn main() {
 }
 
 /// `--validate <path>`: load + check every record in a BENCH_step.json,
-/// exit nonzero on any schema problem or NaN/zero rate.
+/// exit nonzero on any schema problem or NaN/zero rate. Then run the
+/// lane kernel against the scalar AoS oracle on a shrunk bench grid and
+/// require bit-identical particles and fields — the same differential
+/// contract `tests/kernel_oracle.rs` pins, re-checked in the binary that
+/// writes the perf records.
 fn validate(path: &str) -> i32 {
     match read_set(std::path::Path::new(path))
         .and_then(|set| set.iter().try_for_each(StepBench::validate).map(|()| set))
@@ -171,16 +210,141 @@ fn validate(path: &str) -> i32 {
         Ok(set) => {
             for b in &set {
                 println!(
-                    "{path} OK [{}]: {:.4e} particles/s, grid {:?}, {} threads, \
+                    "{path} OK [{} {}]: {:.4e} particles/s, grid {:?}, {} threads, \
                      inner-loop share {:.3}",
-                    b.layout, b.particles_per_sec, b.grid, b.threads, b.inner_loop_fraction
+                    b.layout,
+                    b.kernel,
+                    b.particles_per_sec,
+                    b.grid,
+                    b.threads,
+                    b.inner_loop_fraction
                 );
             }
-            0
         }
         Err(e) => {
             eprintln!("{path} INVALID: {e}");
+            return 1;
+        }
+    }
+    match oracle_cross_check() {
+        Ok(msg) => {
+            println!("{msg}");
+            0
+        }
+        Err(e) => {
+            eprintln!("lane kernel DIVERGES from scalar oracle: {e}");
             1
         }
+    }
+}
+
+/// Run the bench deck (same plasma factory and sort cadence the records
+/// come from) on a shrunk grid under all three variants and demand the
+/// AoSoA scalar and lane runs land bit-for-bit on the AoS scalar oracle.
+fn oracle_cross_check() -> Result<String, String> {
+    let n = (8, 8, 8);
+    let (ppc, steps) = (8, 6);
+    let pipelines = vpic_core::worker_threads().max(2);
+    let mut sims = [
+        (Layout::Aos, PushKernel::Scalar),
+        (Layout::Aosoa, PushKernel::Scalar),
+        (Layout::Aosoa, PushKernel::Lane),
+    ]
+    .map(|(layout, kernel)| {
+        let mut sim = uniform_plasma(n, ppc, pipelines, 7);
+        sim.set_layout(layout);
+        sim.set_kernel(kernel);
+        // A short sort interval so the lane kernel sees both freshly
+        // sorted single-voxel blocks and drifted mixed-voxel blocks.
+        sim.species[0].sort_interval = 3;
+        sim
+    });
+    for _ in 0..steps {
+        for sim in sims.iter_mut() {
+            sim.step();
+        }
+    }
+    let [oracle, aosoa_scalar, aosoa_lane] = sims;
+    for (sim, which) in [(&aosoa_scalar, "aosoa scalar"), (&aosoa_lane, "aosoa lane")] {
+        if sim.n_particles() != oracle.n_particles() {
+            return Err(format!(
+                "{which}: {} particles vs oracle {}",
+                sim.n_particles(),
+                oracle.n_particles()
+            ));
+        }
+        for (sa, sb) in oracle.species.iter().zip(sim.species.iter()) {
+            for (k, (p, q)) in sa.iter().zip(sb.iter()).enumerate() {
+                if p != q {
+                    return Err(format!(
+                        "{which}: particle {k} differs after {steps} steps:\n  oracle {p:?}\n  \
+                         kernel {q:?}"
+                    ));
+                }
+            }
+        }
+        let fields = [
+            ("ex", &oracle.fields.ex, &sim.fields.ex),
+            ("ey", &oracle.fields.ey, &sim.fields.ey),
+            ("ez", &oracle.fields.ez, &sim.fields.ez),
+            ("cbx", &oracle.fields.cbx, &sim.fields.cbx),
+            ("cby", &oracle.fields.cby, &sim.fields.cby),
+            ("cbz", &oracle.fields.cbz, &sim.fields.cbz),
+            ("jx", &oracle.fields.jx, &sim.fields.jx),
+            ("jy", &oracle.fields.jy, &sim.fields.jy),
+            ("jz", &oracle.fields.jz, &sim.fields.jz),
+        ];
+        for (name, a, b) in fields {
+            for (v, (p, q)) in a.iter().zip(b.iter()).enumerate() {
+                if p.to_bits() != q.to_bits() {
+                    return Err(format!("{which}: field {name}[{v}] differs: {p} vs {q}"));
+                }
+            }
+        }
+    }
+    Ok(format!(
+        "oracle cross-check OK: aosoa scalar+lane bit-identical to aos scalar over {steps} steps \
+         on {n:?} ppc {ppc} ({} particles)",
+        oracle.n_particles()
+    ))
+}
+
+/// `--assert-speedup <path>`: the file must carry AoSoA records for both
+/// kernels on the same configuration, and the lane kernel must be at
+/// least as fast — the regression gate for the lane rewrite.
+fn assert_speedup(path: &str) -> i32 {
+    let set = match read_set(std::path::Path::new(path)) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let find = |kernel: &str| {
+        set.iter()
+            .find(|b| b.layout == "aosoa" && b.kernel == kernel)
+    };
+    let (Some(scalar), Some(lane)) = (find("scalar"), find("lane")) else {
+        eprintln!("{path}: need aosoa records for both scalar and lane kernels");
+        return 1;
+    };
+    if scalar.grid != lane.grid || scalar.ppc != lane.ppc || scalar.pipelines != lane.pipelines {
+        eprintln!(
+            "{path}: records not comparable (scalar grid {:?} ppc {} pipes {} vs lane grid {:?} \
+             ppc {} pipes {})",
+            scalar.grid, scalar.ppc, scalar.pipelines, lane.grid, lane.ppc, lane.pipelines
+        );
+        return 1;
+    }
+    let ratio = lane.particles_per_sec / scalar.particles_per_sec;
+    println!(
+        "{path}: aosoa lane {:.4e} p/s vs aosoa scalar {:.4e} p/s ({ratio:.2}x)",
+        lane.particles_per_sec, scalar.particles_per_sec
+    );
+    if lane.particles_per_sec >= scalar.particles_per_sec {
+        0
+    } else {
+        eprintln!("lane kernel is SLOWER than the scalar body it replaced");
+        1
     }
 }

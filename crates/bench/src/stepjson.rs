@@ -13,8 +13,13 @@ use vpic_core::sim::StepTimings;
 /// Schema identifier embedded in every record. v2 added the `layout`
 /// field (particle storage layout the step ran with) and multi-record
 /// files ([`write_set`]) so one `BENCH_step.json` carries an AoS and an
-/// AoSoA measurement side by side.
-pub const SCHEMA: &str = "vpic-bench/step/v2";
+/// AoSoA measurement side by side. v3 added the `kernel` field (`scalar`
+/// or `lane` push body); v2 records predate the lane kernel and parse
+/// with `kernel = "scalar"`.
+pub const SCHEMA: &str = "vpic-bench/step/v3";
+
+/// Previous schema, still readable (see [`SCHEMA`]).
+pub const SCHEMA_V2: &str = "vpic-bench/step/v2";
 
 /// One whole-step throughput measurement.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +36,9 @@ pub struct StepBench {
     pub threads: usize,
     /// Particle storage layout (`aos` or `aosoa`).
     pub layout: String,
+    /// Push body (`scalar` or `lane`). AoS always runs the scalar body,
+    /// so `layout = "aos"` records must carry `kernel = "scalar"`.
+    pub kernel: String,
     /// Total macroparticles.
     pub particles: u64,
     /// Whole-step particle advance rate.
@@ -49,6 +57,7 @@ pub struct StepBench {
 
 impl StepBench {
     /// Build a record from accumulated step timings.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_timings(
         t: &StepTimings,
         grid: (usize, usize, usize),
@@ -57,6 +66,7 @@ impl StepBench {
         threads: usize,
         particles: u64,
         layout: &str,
+        kernel: &str,
     ) -> Self {
         let total = t.total();
         StepBench {
@@ -66,6 +76,7 @@ impl StepBench {
             pipelines,
             threads,
             layout: layout.to_string(),
+            kernel: kernel.to_string(),
             particles,
             particles_per_sec: if total > 0.0 {
                 t.particle_steps as f64 / total
@@ -98,6 +109,7 @@ impl StepBench {
         let _ = writeln!(s, "  \"pipelines\": {},", self.pipelines);
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"layout\": \"{}\",", self.layout);
+        let _ = writeln!(s, "  \"kernel\": \"{}\",", self.kernel);
         let _ = writeln!(s, "  \"particles\": {},", self.particles);
         let _ = writeln!(s, "  \"particles_per_sec\": {:e},", self.particles_per_sec);
         let _ = writeln!(
@@ -131,12 +143,21 @@ impl StepBench {
         Self::parse(&text)
     }
 
-    /// Parse from JSON text (see [`StepBench::read`]).
+    /// Parse from JSON text (see [`StepBench::read`]). Understands the
+    /// current schema and v2 (which had no `kernel` field — those records
+    /// predate the lane kernel, so they parse as `kernel = "scalar"`).
     pub fn parse(text: &str) -> Result<Self, String> {
         let schema = scan_string(text, "schema")?;
-        if schema != SCHEMA {
-            return Err(format!("schema mismatch: got {schema:?}, want {SCHEMA:?}"));
+        if schema != SCHEMA && schema != SCHEMA_V2 {
+            return Err(format!(
+                "schema mismatch: got {schema:?}, want {SCHEMA:?} (or {SCHEMA_V2:?})"
+            ));
         }
+        let kernel = if schema == SCHEMA_V2 {
+            "scalar".to_string()
+        } else {
+            scan_string(text, "kernel")?
+        };
         Ok(StepBench {
             grid: (
                 scan_number(text, "nx")? as usize,
@@ -148,6 +169,7 @@ impl StepBench {
             pipelines: scan_number(text, "pipelines")? as usize,
             threads: scan_number(text, "threads")? as usize,
             layout: scan_string(text, "layout")?,
+            kernel,
             particles: scan_number(text, "particles")? as u64,
             particles_per_sec: scan_number(text, "particles_per_sec")?,
             inner_loop_fraction: scan_number(text, "inner_loop_fraction")?,
@@ -179,6 +201,12 @@ impl StepBench {
         }
         if self.layout != "aos" && self.layout != "aosoa" {
             return Err(format!("unknown layout {:?}", self.layout));
+        }
+        if self.kernel != "scalar" && self.kernel != "lane" {
+            return Err(format!("unknown kernel {:?}", self.kernel));
+        }
+        if self.layout == "aos" && self.kernel != "scalar" {
+            return Err("aos layout always runs the scalar kernel".into());
         }
         if !self.particles_per_sec.is_finite() || self.particles_per_sec <= 0.0 {
             return Err(format!("bad particle rate {}", self.particles_per_sec));
@@ -291,6 +319,7 @@ mod tests {
             pipelines: 8,
             threads: 8,
             layout: "aos".into(),
+            kernel: "scalar".into(),
             particles: 2_097_152,
             particles_per_sec: 1.25e7,
             inner_loop_fraction: 0.62,
@@ -348,6 +377,35 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_bad_kernel_combinations() {
+        let mut b = sample();
+        b.kernel = "avx".into();
+        assert!(b.validate().is_err());
+        // The AoS path ignores the kernel knob and always runs the scalar
+        // body — an "aos"+"lane" record would be claiming a run that
+        // cannot happen.
+        let mut b = sample();
+        b.kernel = "lane".into();
+        assert!(b.validate().is_err());
+        b.layout = "aosoa".into();
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn v2_records_parse_with_scalar_kernel() {
+        // A committed v2 BENCH_step.json predates the lane kernel; it must
+        // keep parsing, with the kernel defaulted to "scalar".
+        let v2 = sample()
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V2)
+            .replace("  \"kernel\": \"scalar\",\n", "");
+        assert!(!v2.contains("kernel"));
+        let parsed = StepBench::parse(&v2).unwrap();
+        assert_eq!(parsed.kernel, "scalar");
+        parsed.validate().unwrap();
+    }
+
+    #[test]
     fn parse_rejects_wrong_schema() {
         let text = sample().to_json().replace(SCHEMA, "other/v0");
         assert!(StepBench::parse(&text).is_err());
@@ -362,7 +420,7 @@ mod tests {
             steps: 10,
             ..Default::default()
         };
-        let b = StepBench::from_timings(&t, (16, 16, 16), 4, 2, 1, 300_000, "aosoa");
+        let b = StepBench::from_timings(&t, (16, 16, 16), 4, 2, 1, 300_000, "aosoa", "lane");
         assert_eq!(b.total, 3.0);
         assert!((b.particles_per_sec - 1e6).abs() < 1e-6);
         b.validate().unwrap();

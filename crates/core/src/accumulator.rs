@@ -25,6 +25,7 @@
 
 use crate::field::FieldArray;
 use crate::grid::Grid;
+use crate::lanes::F32x8;
 use rayon::prelude::*;
 
 /// Voxels per parallel task in the range reduction (whole `Accumulator`
@@ -107,6 +108,81 @@ impl AccumulatorArray {
         accumulate_quadrants(&mut a.jx, q * hx, my, mz, v5);
         accumulate_quadrants(&mut a.jy, q * hy, mz, mx, v5);
         accumulate_quadrants(&mut a.jz, q * hz, mx, my, v5);
+    }
+
+    /// Accumulate four precomputed quadrant contributions per edge
+    /// direction into `voxel` — the scatter half of [`Self::deposit`]
+    /// when the quadrant arithmetic was done lane-wide up front (see
+    /// [`quadrants_lanes`]). Each entry is added with a single `+=`, the
+    /// same final operation `deposit` performs, so a lane kernel that
+    /// feeds this with bit-identical addends lands on bit-identical sums.
+    #[inline]
+    pub fn deposit_quadrants(&mut self, voxel: usize, jx: [f32; 4], jy: [f32; 4], jz: [f32; 4]) {
+        self.dirty_lo = self.dirty_lo.min(voxel);
+        self.dirty_hi = self.dirty_hi.max(voxel + 1);
+        let a = &mut self.data[voxel];
+        for n in 0..4 {
+            a.jx[n] += jx[n];
+            a.jy[n] += jy[n];
+            a.jz[n] += jz[n];
+        }
+    }
+
+    /// [`Self::deposit_quadrants`] with the addends pre-transposed into
+    /// per-particle registers: `jxy` holds the four `jx` quadrants in
+    /// lanes 0–3 and the four `jy` quadrants in lanes 4–7; `jz` holds the
+    /// four `jz` quadrants in lanes 0–3 (4–7 ignored). Each accumulator
+    /// entry still receives exactly one `+=` of the identical addend, so
+    /// the sums are bit-identical to the quadrant-array form — but the
+    /// addends are contiguous, so the twelve updates compile to a few
+    /// packed load-add-stores instead of a scalar extract per entry.
+    #[inline]
+    pub fn deposit_lanes(&mut self, voxel: usize, jxy: F32x8, jz: F32x8) {
+        self.dirty_lo = self.dirty_lo.min(voxel);
+        self.dirty_hi = self.dirty_hi.max(voxel + 1);
+        let a = &mut self.data[voxel];
+        for n in 0..4 {
+            a.jx[n] += jxy.0[n];
+        }
+        for n in 0..4 {
+            a.jy[n] += jxy.0[4 + n];
+        }
+        for n in 0..4 {
+            a.jz[n] += jz.0[n];
+        }
+    }
+
+    /// Read one voxel's accumulator into lane registers for a run of
+    /// register-resident deposits: `jxy` lanes 0–3/4–7 are the `jx`/`jy`
+    /// quadrants, `jz` lanes 0–3 the `jz` quadrants (4–7 zero). Paired
+    /// with [`Self::store_lanes`]; between the two, the caller adds one
+    /// addend vector per particle in scatter order, which performs the
+    /// exact per-entry `+=` sequence `deposit_quadrants` would have done
+    /// through memory — same order, same addends, same bits — without a
+    /// store-to-load round trip per particle.
+    #[inline]
+    pub fn load_lanes(&self, voxel: usize) -> (F32x8, F32x8) {
+        let a = &self.data[voxel];
+        (
+            F32x8([
+                a.jx[0], a.jx[1], a.jx[2], a.jx[3], a.jy[0], a.jy[1], a.jy[2], a.jy[3],
+            ]),
+            F32x8([a.jz[0], a.jz[1], a.jz[2], a.jz[3], 0.0, 0.0, 0.0, 0.0]),
+        )
+    }
+
+    /// Write back a register-resident accumulator run begun by
+    /// [`Self::load_lanes`], marking the voxel dirty.
+    #[inline]
+    pub fn store_lanes(&mut self, voxel: usize, jxy: F32x8, jz: F32x8) {
+        self.dirty_lo = self.dirty_lo.min(voxel);
+        self.dirty_hi = self.dirty_hi.max(voxel + 1);
+        let a = &mut self.data[voxel];
+        for n in 0..4 {
+            a.jx[n] = jxy.0[n];
+            a.jy[n] = jxy.0[4 + n];
+            a.jz[n] = jz.0[n];
+        }
     }
 
     /// Sum `other` into `self` (pipeline reduction); only `other`'s dirty
@@ -248,6 +324,29 @@ fn accumulate_quadrants(quad: &mut [f32; 4], qu: f32, d1: f32, d2: f32, v5: f32)
     quad[1] += w1 - v5;
     quad[2] += w2 - v5;
     quad[3] += w3 + v5;
+}
+
+/// Lane-wide mirror of [`accumulate_quadrants`]: for eight particles at
+/// once, compute the four quadrant *addends* `[w0+v5, w1-v5, w2-v5,
+/// w3+v5]` without touching the array. Each lane runs the exact scalar
+/// operation sequence element-wise (same products, same ordering, no
+/// fusion), so lane `l` of the result is bit-identical to what the
+/// scalar macro would have added for that particle; the caller scatters
+/// the addends in lane index order via
+/// [`AccumulatorArray::deposit_quadrants`].
+#[inline(always)]
+pub(crate) fn quadrants_lanes(qu: F32x8, d1: F32x8, d2: F32x8, v5: F32x8) -> [F32x8; 4] {
+    let one = F32x8::splat(1.0);
+    let v1 = qu * d1;
+    let mut w0 = qu - v1; // qu(1-d1)
+    let mut w1 = qu + v1; // qu(1+d1)
+    let hi = one + d2;
+    let lo = one - d2;
+    let w2 = w0 * hi; // qu(1-d1)(1+d2)
+    let w3 = w1 * hi; // qu(1+d1)(1+d2)
+    w0 = w0 * lo; // qu(1-d1)(1-d2)
+    w1 = w1 * lo; // qu(1+d1)(1-d2)
+    [w0 + v5, w1 - v5, w2 - v5, w3 + v5]
 }
 
 /// A pool of per-pipeline accumulator arrays (index 0 is the reduction
@@ -477,6 +576,119 @@ mod tests {
             assert_eq!(a.jx, b.jx);
             assert_eq!(a.jy, b.jy);
             assert_eq!(a.jz, b.jz);
+        }
+    }
+
+    #[test]
+    fn lane_quadrants_match_scalar_deposit_bitwise() {
+        use crate::lanes::LANES;
+        use crate::rng::Rng;
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut rng = Rng::seeded(11);
+        // Eight random streaks, two of which share a voxel so the scatter
+        // order matters; deposited via the scalar path and via lane-wide
+        // quadrant precompute + deposit_quadrants, compared bitwise.
+        let mut q = [0.0f32; LANES];
+        let mut m = [(0.0f32, 0.0f32, 0.0f32); LANES];
+        let mut h = [(0.0f32, 0.0f32, 0.0f32); LANES];
+        let mut vox = [0usize; LANES];
+        for l in 0..LANES {
+            q[l] = rng.uniform_in(-1.0, 1.0) as f32;
+            m[l] = (
+                rng.uniform_in(-0.9, 0.9) as f32,
+                rng.uniform_in(-0.9, 0.9) as f32,
+                rng.uniform_in(-0.9, 0.9) as f32,
+            );
+            h[l] = (
+                rng.uniform_in(-0.2, 0.2) as f32,
+                rng.uniform_in(-0.2, 0.2) as f32,
+                rng.uniform_in(-0.2, 0.2) as f32,
+            );
+            vox[l] = g.voxel(1 + l % 3, 2, 2);
+        }
+        let mut scalar = AccumulatorArray::new(&g);
+        for l in 0..LANES {
+            scalar.deposit(vox[l], q[l], m[l], h[l]);
+        }
+
+        let qv = F32x8(q);
+        let mx = F32x8(std::array::from_fn(|l| m[l].0));
+        let my = F32x8(std::array::from_fn(|l| m[l].1));
+        let mz = F32x8(std::array::from_fn(|l| m[l].2));
+        let hx = F32x8(std::array::from_fn(|l| h[l].0));
+        let hy = F32x8(std::array::from_fn(|l| h[l].1));
+        let hz = F32x8(std::array::from_fn(|l| h[l].2));
+        let v5 = qv * hx * hy * hz * F32x8::splat(1.0 / 3.0);
+        let jx = quadrants_lanes(qv * hx, my, mz, v5);
+        let jy = quadrants_lanes(qv * hy, mz, mx, v5);
+        let jz = quadrants_lanes(qv * hz, mx, my, v5);
+        let mut lanes = AccumulatorArray::new(&g);
+        for (l, &v) in vox.iter().enumerate() {
+            lanes.deposit_quadrants(
+                v,
+                std::array::from_fn(|n| jx[n].0[l]),
+                std::array::from_fn(|n| jy[n].0[l]),
+                std::array::from_fn(|n| jz[n].0[l]),
+            );
+        }
+        assert_eq!(scalar.dirty_range(), lanes.dirty_range());
+        for (v, (a, b)) in scalar.data.iter().zip(lanes.data.iter()).enumerate() {
+            for n in 0..4 {
+                assert_eq!(a.jx[n].to_bits(), b.jx[n].to_bits(), "jx[{n}] at {v}");
+                assert_eq!(a.jy[n].to_bits(), b.jy[n].to_bits(), "jy[{n}] at {v}");
+                assert_eq!(a.jz[n].to_bits(), b.jz[n].to_bits(), "jz[{n}] at {v}");
+            }
+        }
+
+        // The pre-transposed deposit_lanes form (what the production lane
+        // scatter uses) must land on the same bits again.
+        let zero = F32x8::splat(0.0);
+        let txy =
+            crate::lanes::transpose8([jx[0], jx[1], jx[2], jx[3], jy[0], jy[1], jy[2], jy[3]]);
+        let tz = crate::lanes::transpose8([jz[0], jz[1], jz[2], jz[3], zero, zero, zero, zero]);
+        let mut flat = AccumulatorArray::new(&g);
+        for l in 0..LANES {
+            flat.deposit_lanes(vox[l], txy[l], tz[l]);
+        }
+        assert_eq!(scalar.dirty_range(), flat.dirty_range());
+        for (a, b) in scalar.data.iter().zip(flat.data.iter()) {
+            for n in 0..4 {
+                assert_eq!(a.jx[n].to_bits(), b.jx[n].to_bits());
+                assert_eq!(a.jy[n].to_bits(), b.jy[n].to_bits());
+                assert_eq!(a.jz[n].to_bits(), b.jz[n].to_bits());
+            }
+        }
+
+        // Register-resident runs (the production lane scatter): group
+        // consecutive same-voxel lanes between one load_lanes and one
+        // store_lanes — identical add order, identical bits.
+        let mut runs = AccumulatorArray::new(&g);
+        let mut open: Option<(usize, F32x8, F32x8)> = None;
+        for l in 0..LANES {
+            match open.as_mut() {
+                Some((v, axy, az)) if *v == vox[l] => {
+                    *axy = *axy + txy[l];
+                    *az = *az + tz[l];
+                }
+                _ => {
+                    if let Some((v, axy, az)) = open.take() {
+                        runs.store_lanes(v, axy, az);
+                    }
+                    let (axy, az) = runs.load_lanes(vox[l]);
+                    open = Some((vox[l], axy + txy[l], az + tz[l]));
+                }
+            }
+        }
+        if let Some((v, axy, az)) = open.take() {
+            runs.store_lanes(v, axy, az);
+        }
+        assert_eq!(scalar.dirty_range(), runs.dirty_range());
+        for (a, b) in scalar.data.iter().zip(runs.data.iter()) {
+            for n in 0..4 {
+                assert_eq!(a.jx[n].to_bits(), b.jx[n].to_bits());
+                assert_eq!(a.jy[n].to_bits(), b.jy[n].to_bits());
+                assert_eq!(a.jz[n].to_bits(), b.jz[n].to_bits());
+            }
         }
     }
 

@@ -9,23 +9,27 @@
 //! [`ParticleStore`](crate::store::ParticleStore): element access, mover
 //! emission for rank-boundary exiles, absorption, the blocked counting
 //! sort, and Rayon pipeline parallelism — all bit-identical to the AoS
-//! path because every particle runs the same scalar arithmetic in the same
-//! order (the lane loop is element-wise f32 math, which carries no
-//! reassociation).
+//! path. The inner loop runs lane-wide ([`PushKernel::Lane`], built on
+//! [`crate::lanes`]) yet stays bit-identical to the scalar oracle because
+//! every lane executes the scalar kernel's exact IEEE expression tree
+//! element-wise (no reassociation, no fused multiply-adds) and current is
+//! scattered in lane index order; `crates/core/tests/kernel_oracle.rs`
+//! pins the contract differentially.
 
-use crate::accumulator::AccumulatorArray;
+use crate::accumulator::{quadrants_lanes, AccumulatorArray};
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
+use crate::lanes::{transpose8, F32x8};
 use crate::particle::{Mover, Particle};
 use crate::push::{
-    move_p_local, push_one, retarget_and_delete, Exile, MoveOutcome, PushCoefficients, PushedFate,
+    move_p_local, push_one, retarget_and_delete, Exile, MoveOutcome, PushCoefficients, PushKernel,
+    PushedFate,
 };
 use crate::sort::MIN_SORT_CHUNK;
 use crate::threads::worker_threads;
 use rayon::prelude::*;
 
-/// Lanes per block (the Cell SPE was 4-wide; 8 suits AVX hosts).
-pub const LANES: usize = 8;
+pub use crate::lanes::LANES;
 
 /// One block of `LANES` particles, SoA inside.
 #[derive(Clone, Debug)]
@@ -292,11 +296,34 @@ impl AosoaStore {
     }
 }
 
-/// Lane-parallel advance of one block: interpolate/kick/rotate/displace
-/// across all [`LANES`] lanes, then a scalar tail over the `live` lanes
-/// that deposits current and finishes cell crossings. Global particle
-/// index of lane `l` is `base_idx + l`; absorbed indices and exiles are
-/// appended for the caller (identical contract to `push::advance_block`).
+/// Lane-wide advance of one block — the production inner loop
+/// ([`PushKernel::Lane`]). Four phases:
+///
+/// 1. **Gather**: transpose the 18 interpolator coefficients of the eight
+///    lanes' voxels into [`F32x8`] vectors ([`InterpolatorArray::gather8`]),
+///    so the arithmetic phase has no memory indirection.
+/// 2. **Push**: the relativistic Boris kick/rotate/displace as lane-wide
+///    ops mirroring `push_one`'s expression tree *exactly* — same
+///    grouping, no fused multiply-adds — so every lane computes the same
+///    IEEE operation sequence the scalar oracle would.
+/// 3. **Masked write-back**: momenta unconditionally; positions through a
+///    `select` on the stay mask `|n| <= 1` per axis, so cell-crossing
+///    lanes keep their pre-push positions for the mover (NaN fails the
+///    compare, exactly like the scalar `if`).
+/// 4. **Scatter/spill-out**: the Villasenor–Buneman quadrant currents are
+///    precomputed lane-wide ([`quadrants_lanes`]), then scattered by a
+///    scalar loop **in lane index order**: stay lanes add their quadrant
+///    addends; crossers spill out to the scalar [`move_p_local`] mover
+///    right there. The spill-out is processed in-order rather than
+///    deferred because accumulator adds are order-sensitive f32 sums —
+///    lanes sharing a voxel (the common case after sorting) must deposit
+///    in the same order the scalar pipeline would.
+///
+/// Padding lanes are parked on valid voxels so running the vector phases
+/// over them is safe; the scatter loop stops at `live`, so they deposit
+/// nothing and never spill. Global particle index of lane `l` is
+/// `base_idx + l`; absorbed indices and exiles are appended for the
+/// caller (identical contract to `push::advance_block`).
 #[allow(clippy::too_many_arguments)]
 fn advance_full_block(
     b: &mut Block,
@@ -309,105 +336,223 @@ fn advance_full_block(
     absorbed: &mut Vec<u32>,
     exiles: &mut Vec<Exile>,
 ) {
-    const ONE: f32 = 1.0;
-    const ONE_THIRD: f32 = 1.0 / 3.0;
-    const TWO_FIFTEENTHS: f32 = 2.0 / 15.0;
-    let ipd = &interp.data;
-    let mut hx = [0.0f32; LANES];
-    let mut hy = [0.0f32; LANES];
-    let mut hz = [0.0f32; LANES];
-    let mut mx = [0.0f32; LANES];
-    let mut my = [0.0f32; LANES];
-    let mut mz = [0.0f32; LANES];
-    let mut nxp = [0.0f32; LANES];
-    let mut nyp = [0.0f32; LANES];
-    let mut nzp = [0.0f32; LANES];
-    // Lane-parallel section: interpolate, kick, rotate, displace. Padding
-    // lanes are parked on valid voxels so running them is safe (and their
-    // zero weight deposits nothing in the scalar tail, which skips them
-    // anyway).
-    for l in 0..LANES {
-        let f = &ipd[b.i[l] as usize];
-        let (dx, dy, dz) = (b.dx[l], b.dy[l], b.dz[l]);
-        let hax = c.qdt_2mc * ((f.ex + dy * f.dexdy) + dz * (f.dexdz + dy * f.d2exdydz));
-        let hay = c.qdt_2mc * ((f.ey + dz * f.deydz) + dx * (f.deydx + dz * f.d2eydzdx));
-        let haz = c.qdt_2mc * ((f.ez + dx * f.dezdx) + dy * (f.dezdy + dx * f.d2ezdxdy));
-        let cbx = f.cbx + dx * f.dcbxdx;
-        let cby = f.cby + dy * f.dcbydy;
-        let cbz = f.cbz + dz * f.dcbzdz;
-        let mut ux = b.ux[l] + hax;
-        let mut uy = b.uy[l] + hay;
-        let mut uz = b.uz[l] + haz;
-        let v0 = c.qdt_2mc / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-        let v1 = cbx * cbx + (cby * cby + cbz * cbz);
-        let v2 = (v0 * v0) * v1;
-        let v3 = v0 * (ONE + v2 * (ONE_THIRD + v2 * TWO_FIFTEENTHS));
-        let mut v4 = v3 / (ONE + v1 * (v3 * v3));
-        v4 += v4;
-        let w0 = ux + v3 * (uy * cbz - uz * cby);
-        let w1 = uy + v3 * (uz * cbx - ux * cbz);
-        let w2 = uz + v3 * (ux * cby - uy * cbx);
-        ux += v4 * (w1 * cbz - w2 * cby);
-        uy += v4 * (w2 * cbx - w0 * cbz);
-        uz += v4 * (w0 * cby - w1 * cbx);
-        ux += hax;
-        uy += hay;
-        uz += haz;
-        b.ux[l] = ux;
-        b.uy[l] = uy;
-        b.uz[l] = uz;
-        let rg = ONE / (ONE + (ux * ux + (uy * uy + uz * uz))).sqrt();
-        hx[l] = ux * rg * c.cdt_dx;
-        hy[l] = uy * rg * c.cdt_dy;
-        hz[l] = uz * rg * c.cdt_dz;
-        mx[l] = dx + hx[l];
-        my[l] = dy + hy[l];
-        mz[l] = dz + hz[l];
-        nxp[l] = mx[l] + hx[l];
-        nyp[l] = my[l] + hy[l];
-        nzp[l] = mz[l] + hz[l];
-    }
-    // Scalar tail: deposit / handle crossings per live lane, in index
-    // order (same deposit order as the AoS pipeline → bit-identical J).
-    for l in 0..live {
-        if nxp[l].abs() <= ONE && nyp[l].abs() <= ONE && nzp[l].abs() <= ONE {
-            b.dx[l] = nxp[l];
-            b.dy[l] = nyp[l];
-            b.dz[l] = nzp[l];
-            acc.deposit(
-                b.i[l] as usize,
-                c.qsp * b.w[l],
-                (mx[l], my[l], mz[l]),
-                (hx[l], hy[l], hz[l]),
-            );
-        } else {
-            let idx = base_idx + l as u32;
-            let mut p = b.lane(l);
-            let mut pm = Mover {
-                dispx: hx[l],
-                dispy: hy[l],
-                dispz: hz[l],
-                idx,
-            };
-            match move_p_local(&mut p, &mut pm, acc, g, c.qsp) {
-                MoveOutcome::Done => {}
-                MoveOutcome::Absorbed => absorbed.push(idx),
-                MoveOutcome::Exit { face } => exiles.push(Exile {
-                    idx,
-                    face,
-                    mover: pm,
-                }),
-            }
-            b.set_lane(l, &p);
-        }
+    let s = compute_block(b, c, interp);
+    scatter_block(b, base_idx, live, &s, c.qsp, acc, g, absorbed, exiles);
+}
+
+/// Everything [`compute_block`] hands to [`scatter_block`]: the stay
+/// mask, the half displacements the movers need, and the quadrant
+/// addends already transposed lane-major.
+struct BlockPush {
+    stay: crate::lanes::Mask8,
+    hx: F32x8,
+    hy: F32x8,
+    hz: F32x8,
+    txy: [F32x8; LANES],
+    tz: [F32x8; LANES],
+}
+
+/// Phases 1–3 of [`advance_full_block`] plus the lane-wide quadrant
+/// precompute: pure vector work against the block and the (read-only)
+/// interpolators — no accumulator access, so the computes of different
+/// blocks are independent and [`advance_range`] overlaps two of them to
+/// hide the sqrt/div latency chains before scattering in block order.
+#[inline]
+fn compute_block(b: &mut Block, c: PushCoefficients, interp: &InterpolatorArray) -> BlockPush {
+    let one = F32x8::splat(1.0);
+    let third = F32x8::splat(1.0 / 3.0);
+    let two_fifteenths = F32x8::splat(2.0 / 15.0);
+
+    // Phases 1+2: transposed gather fused with E/cB interpolation (see
+    // gather_ha_cb8 — fusing keeps the eighteen coefficient vectors from
+    // staying live across the Boris rotation below).
+    let dx = F32x8(b.dx);
+    let dy = F32x8(b.dy);
+    let dz = F32x8(b.dz);
+    let ((hax, hay, haz), (cbx, cby, cbz)) = interp.gather_ha_cb8(&b.i, dx, dy, dz, c.qdt_2mc);
+    let qdt = F32x8::splat(c.qdt_2mc);
+
+    // Half E acceleration, then the Boris rotation with the VPIC
+    // tan(θ/2)/θ correction polynomial.
+    let mut ux = F32x8(b.ux) + hax;
+    let mut uy = F32x8(b.uy) + hay;
+    let mut uz = F32x8(b.uz) + haz;
+    let v0 = qdt / (one + (ux * ux + (uy * uy + uz * uz))).sqrt();
+    let v1 = cbx * cbx + (cby * cby + cbz * cbz);
+    let v2 = (v0 * v0) * v1;
+    let v3 = v0 * (one + v2 * (third + v2 * two_fifteenths));
+    let mut v4 = v3 / (one + v1 * (v3 * v3));
+    v4 = v4 + v4;
+    let w0 = ux + v3 * (uy * cbz - uz * cby);
+    let w1 = uy + v3 * (uz * cbx - ux * cbz);
+    let w2 = uz + v3 * (ux * cby - uy * cbx);
+    ux = ux + v4 * (w1 * cbz - w2 * cby);
+    uy = uy + v4 * (w2 * cbx - w0 * cbz);
+    uz = uz + v4 * (w0 * cby - w1 * cbx);
+
+    // Second half E acceleration; store momentum (all lanes, like the
+    // scalar path, which writes momenta before displacement handling).
+    ux = ux + hax;
+    uy = uy + hay;
+    uz = uz + haz;
+    b.ux = ux.0;
+    b.uy = uy.0;
+    b.uz = uz.0;
+
+    // Half displacement in voxel-offset units: h = (v/c)·(c·dt/Δ).
+    let rg = one / (one + (ux * ux + (uy * uy + uz * uz))).sqrt();
+    let hx = ux * rg * F32x8::splat(c.cdt_dx);
+    let hy = uy * rg * F32x8::splat(c.cdt_dy);
+    let hz = uz * rg * F32x8::splat(c.cdt_dz);
+    let mx = dx + hx; // streak midpoint (if in bounds)
+    let my = dy + hy;
+    let mz = dz + hz;
+    let nx = mx + hx; // new position
+    let ny = my + hy;
+    let nz = mz + hz;
+
+    // Phase 3: stay mask + select write-back. Crosser lanes keep their
+    // pre-push positions — move_p walks from there.
+    let stay = nx.abs().le(one) & ny.abs().le(one) & nz.abs().le(one);
+    b.dx = F32x8::select(stay, nx, dx).0;
+    b.dy = F32x8::select(stay, ny, dy).0;
+    b.dz = F32x8::select(stay, nz, dz).0;
+
+    // Phase 4: quadrant currents lane-wide, then an in-order scalar
+    // scatter with spill-out. Crosser/padding lanes' addends are computed
+    // but never scattered.
+    let q = F32x8::splat(c.qsp) * F32x8(b.w);
+    let v5 = q * hx * hy * hz * third;
+    let jx = quadrants_lanes(q * hx, my, mz, v5);
+    let jy = quadrants_lanes(q * hy, mz, mx, v5);
+    let jz = quadrants_lanes(q * hz, mx, my, v5);
+    // Shuffle-transpose quadrant-major → lane-major so each stay lane
+    // deposits from two contiguous registers. The transpose only moves
+    // bits; the per-entry `+=` and the lane scatter order are unchanged.
+    let txy = transpose8([jx[0], jx[1], jx[2], jx[3], jy[0], jy[1], jy[2], jy[3]]);
+    let zero = F32x8::splat(0.0);
+    let tz = transpose8([jz[0], jz[1], jz[2], jz[3], zero, zero, zero, zero]);
+
+    BlockPush {
+        stay,
+        hx,
+        hy,
+        hz,
+        txy,
+        tz,
     }
 }
 
+/// Phase 4 of [`advance_full_block`]: the in-order lane scatter with
+/// spill-out, fed by [`compute_block`]'s precomputed addends.
+///
+/// Deposits use a register-resident accumulator run: consecutive stay
+/// lanes sharing a voxel add into registers and the sums are stored once
+/// per run, instead of a load-add-store round trip per lane (the
+/// store-to-load forwarding chain is what serializes same-voxel
+/// deposits). Every accumulator entry still receives the same addends in
+/// the same lane order, so the sums are bit-identical to the per-lane
+/// form. The run is flushed before any spill-out because move_p deposits
+/// into the same accumulator array.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scatter_block(
+    b: &mut Block,
+    base_idx: u32,
+    live: usize,
+    s: &BlockPush,
+    qsp: f32,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+    absorbed: &mut Vec<u32>,
+    exiles: &mut Vec<Exile>,
+) {
+    let mut open: Option<(usize, F32x8, F32x8)> = None;
+    for l in 0..live {
+        if s.stay.test(l) {
+            let voxel = b.i[l] as usize;
+            match open.as_mut() {
+                Some((v, axy, az)) if *v == voxel => {
+                    *axy = *axy + s.txy[l];
+                    *az = *az + s.tz[l];
+                }
+                _ => {
+                    if let Some((v, axy, az)) = open.take() {
+                        acc.store_lanes(v, axy, az);
+                    }
+                    let (axy, az) = acc.load_lanes(voxel);
+                    open = Some((voxel, axy + s.txy[l], az + s.tz[l]));
+                }
+            }
+        } else {
+            if let Some((v, axy, az)) = open.take() {
+                acc.store_lanes(v, axy, az);
+            }
+            spill_lane(
+                b,
+                l,
+                base_idx,
+                (s.hx.0[l], s.hy.0[l], s.hz.0[l]),
+                qsp,
+                acc,
+                g,
+                absorbed,
+                exiles,
+            );
+        }
+    }
+    if let Some((v, axy, az)) = open.take() {
+        acc.store_lanes(v, axy, az);
+    }
+}
+
+/// The crosser/boundary exit from the lane kernel: run one lane through
+/// the scalar `move_p` path. Outlined and marked cold so the ~6% of
+/// lanes that leave their voxel don't drag the segment-walk code and its
+/// register demand into the hot block loop — inlined, the move_p body
+/// roughly doubles the loop and costs hundreds of cycles per crosser in
+/// spill traffic and I-cache misses.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn spill_lane(
+    b: &mut Block,
+    l: usize,
+    base_idx: u32,
+    disp: (f32, f32, f32),
+    qsp: f32,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+    absorbed: &mut Vec<u32>,
+    exiles: &mut Vec<Exile>,
+) {
+    let idx = base_idx + l as u32;
+    let mut p = b.lane(l);
+    let mut pm = Mover {
+        dispx: disp.0,
+        dispy: disp.1,
+        dispz: disp.2,
+        idx,
+    };
+    match move_p_local(&mut p, &mut pm, acc, g, qsp) {
+        MoveOutcome::Done => {}
+        MoveOutcome::Absorbed => absorbed.push(idx),
+        MoveOutcome::Exit { face } => exiles.push(Exile {
+            idx,
+            face,
+            mover: pm,
+        }),
+    }
+    b.set_lane(l, &p);
+}
+
 /// One pipeline's share of the production AoSoA advance: the particle
-/// index range `[start, end)`. Blocks fully inside the range run the
-/// lane-parallel kernel; lanes of blocks straddling a pipeline boundary
-/// run the scalar per-particle path (same arithmetic — lane math is
-/// element-wise, so results are bit-identical either way).
+/// index range `[start, end)`. With [`PushKernel::Lane`], blocks fully
+/// inside the range run the lane-wide kernel; lanes of blocks straddling
+/// a pipeline boundary run the scalar per-particle path (same arithmetic
+/// — lane math is element-wise, so results are bit-identical either way).
+/// With [`PushKernel::Scalar`] every lane takes the scalar path — that is
+/// the oracle configuration the differential harness compares against.
 ///
 /// # Safety
 /// Ranges of concurrent callers must be disjoint, `blocks` must cover
@@ -425,6 +570,7 @@ unsafe fn advance_range(
     interp: &InterpolatorArray,
     acc: &mut AccumulatorArray,
     g: &Grid,
+    kernel: PushKernel,
 ) -> (Vec<u32>, Vec<Exile>) {
     let mut absorbed: Vec<u32> = Vec::new();
     let mut exiles: Vec<Exile> = Vec::new();
@@ -434,7 +580,7 @@ unsafe fn advance_range(
         let lane0 = idx - bi * LANES;
         let block_start = bi * LANES;
         let block_live_end = (block_start + LANES).min(n_total);
-        if lane0 == 0 && end >= block_live_end {
+        if kernel == PushKernel::Lane && lane0 == 0 && end >= block_live_end {
             // Every live lane of this block belongs to this pipeline:
             // safe to take the whole block mutably and run lane-parallel.
             // SAFETY: exclusive ownership per the function contract.
@@ -452,7 +598,8 @@ unsafe fn advance_range(
             );
             idx = block_live_end;
         } else {
-            // Straddling block: touch only our lanes, via raw pointer.
+            // Straddling block (or scalar-kernel run): touch only our
+            // lanes, via raw pointer.
             let hi = (end - block_start).min(LANES);
             let bp = unsafe { blocks.0.add(bi) };
             for l in lane0..hi {
@@ -486,6 +633,27 @@ pub fn advance_p_aosoa_pipelined(
     accumulators: &mut [AccumulatorArray],
     g: &Grid,
 ) -> Vec<Exile> {
+    advance_p_aosoa_pipelined_with(
+        store,
+        coeffs,
+        interp,
+        accumulators,
+        g,
+        PushKernel::default(),
+    )
+}
+
+/// [`advance_p_aosoa_pipelined`] with an explicit kernel choice (the
+/// differential-oracle harness pins `Lane` against `Scalar` through this
+/// entry point).
+pub fn advance_p_aosoa_pipelined_with(
+    store: &mut AosoaStore,
+    coeffs: PushCoefficients,
+    interp: &InterpolatorArray,
+    accumulators: &mut [AccumulatorArray],
+    g: &Grid,
+    kernel: PushKernel,
+) -> Vec<Exile> {
     let n_pipes = accumulators.len();
     assert!(n_pipes >= 1);
     let n = store.len;
@@ -500,7 +668,7 @@ pub fn advance_p_aosoa_pipelined(
             let end = ((pipe + 1) * block).min(n);
             // SAFETY: pipelines own disjoint particle index ranges
             // [start, end) partitioning [0, n); see `advance_range`.
-            unsafe { advance_range(ptr, n, start, end, coeffs, interp, acc, g) }
+            unsafe { advance_range(ptr, n, start, end, coeffs, interp, acc, g, kernel) }
         })
         .collect();
 

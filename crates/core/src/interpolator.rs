@@ -11,6 +11,7 @@
 
 use crate::field::FieldArray;
 use crate::grid::Grid;
+use crate::lanes::{transpose8, F32x8, LANES};
 use rayon::prelude::*;
 
 /// Interpolation coefficients for one voxel (offsets in `[-1,1]`):
@@ -64,6 +65,31 @@ impl Interpolator {
             self.cbz + dz * self.dcbzdz,
         )
     }
+}
+
+/// The 18 interpolation coefficients of eight voxels, transposed into
+/// lane vectors — the gather stage of the AoSoA lane kernel. Field names
+/// mirror [`Interpolator`] one for one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpolatorLanes {
+    pub ex: F32x8,
+    pub dexdy: F32x8,
+    pub dexdz: F32x8,
+    pub d2exdydz: F32x8,
+    pub ey: F32x8,
+    pub deydz: F32x8,
+    pub deydx: F32x8,
+    pub d2eydzdx: F32x8,
+    pub ez: F32x8,
+    pub dezdx: F32x8,
+    pub dezdy: F32x8,
+    pub d2ezdxdy: F32x8,
+    pub cbx: F32x8,
+    pub dcbxdx: F32x8,
+    pub cby: F32x8,
+    pub dcbydy: F32x8,
+    pub cbz: F32x8,
+    pub dcbzdz: F32x8,
 }
 
 /// Interpolator coefficients for every voxel (ghost entries stay zero).
@@ -138,6 +164,104 @@ impl InterpolatorArray {
                     }
                 }
             });
+    }
+
+    /// Gather the coefficients of eight voxels into lane vectors (the
+    /// transposed load behind the AoSoA lane kernel). Values are copied
+    /// bit-for-bit, so lane `l` sees exactly `data[idx[l]]`.
+    #[inline]
+    pub fn gather8(&self, idx: &[u32; LANES]) -> InterpolatorLanes {
+        // Read each lane's coefficients as two contiguous 8-float rows
+        // (the row field order matches the struct declaration, so LLVM
+        // merges the reads into wide loads), then shuffle-transpose
+        // rows→fields. Pure data movement — lane `l`, field `f` of the
+        // result is bit-for-bit `self.data[idx[l]].f`, exactly what a
+        // scalar per-field gather produces.
+        let mut ra = [F32x8::splat(0.0); LANES];
+        let mut rb = [F32x8::splat(0.0); LANES];
+        let mut cbz = [0.0f32; LANES];
+        let mut dcbzdz = [0.0f32; LANES];
+        for l in 0..LANES {
+            let f = &self.data[idx[l] as usize];
+            ra[l] = F32x8([
+                f.ex, f.dexdy, f.dexdz, f.d2exdydz, f.ey, f.deydz, f.deydx, f.d2eydzdx,
+            ]);
+            rb[l] = F32x8([
+                f.ez, f.dezdx, f.dezdy, f.d2ezdxdy, f.cbx, f.dcbxdx, f.cby, f.dcbydy,
+            ]);
+            cbz[l] = f.cbz;
+            dcbzdz[l] = f.dcbzdz;
+        }
+        let ta = transpose8(ra);
+        let tb = transpose8(rb);
+        InterpolatorLanes {
+            ex: ta[0],
+            dexdy: ta[1],
+            dexdz: ta[2],
+            d2exdydz: ta[3],
+            ey: ta[4],
+            deydz: ta[5],
+            deydx: ta[6],
+            d2eydzdx: ta[7],
+            ez: tb[0],
+            dezdx: tb[1],
+            dezdy: tb[2],
+            d2ezdxdy: tb[3],
+            cbx: tb[4],
+            dcbxdx: tb[5],
+            cby: tb[6],
+            dcbydy: tb[7],
+            cbz: F32x8(cbz),
+            dcbzdz: F32x8(dcbzdz),
+        }
+    }
+
+    /// Fused gather + field interpolation for the lane kernel: returns
+    /// the half E kick `(hax, hay, haz)` and interpolated `(cbx, cby,
+    /// cbz)` for eight particles at voxel-relative offsets `(dx, dy,
+    /// dz)`. The arithmetic is the scalar push's interpolation expression
+    /// tree verbatim, evaluated element-wise on the [`Self::gather8`]
+    /// transpose — so every lane is bit-identical to the scalar path.
+    ///
+    /// Fusing matters for register pressure, not semantics: the eighteen
+    /// coefficient vectors die here instead of staying live across the
+    /// whole Boris rotation, which is what keeps the caller's hot loop
+    /// out of spill traffic.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn gather_ha_cb8(
+        &self,
+        idx: &[u32; LANES],
+        dx: F32x8,
+        dy: F32x8,
+        dz: F32x8,
+        qdt_2mc: f32,
+    ) -> ((F32x8, F32x8, F32x8), (F32x8, F32x8, F32x8)) {
+        let mut ra = [F32x8::splat(0.0); LANES];
+        let mut rb = [F32x8::splat(0.0); LANES];
+        let mut cbz0 = [0.0f32; LANES];
+        let mut dcbzdz = [0.0f32; LANES];
+        for l in 0..LANES {
+            let f = &self.data[idx[l] as usize];
+            ra[l] = F32x8([
+                f.ex, f.dexdy, f.dexdz, f.d2exdydz, f.ey, f.deydz, f.deydx, f.d2eydzdx,
+            ]);
+            rb[l] = F32x8([
+                f.ez, f.dezdx, f.dezdy, f.d2ezdxdy, f.cbx, f.dcbxdx, f.cby, f.dcbydy,
+            ]);
+            cbz0[l] = f.cbz;
+            dcbzdz[l] = f.dcbzdz;
+        }
+        let qdt = F32x8::splat(qdt_2mc);
+        let ta = transpose8(ra);
+        let hax = qdt * ((ta[0] + dy * ta[1]) + dz * (ta[2] + dy * ta[3]));
+        let hay = qdt * ((ta[4] + dz * ta[5]) + dx * (ta[6] + dz * ta[7]));
+        let tb = transpose8(rb);
+        let haz = qdt * ((tb[0] + dx * tb[1]) + dy * (tb[2] + dx * tb[3]));
+        let cbx = tb[4] + dx * tb[5];
+        let cby = tb[6] + dy * tb[7];
+        let cbz = F32x8(cbz0) + dz * F32x8(dcbzdz);
+        ((hax, hay, haz), (cbx, cby, cbz))
     }
 
     /// Serial reference for [`Self::load`].
@@ -243,6 +367,82 @@ mod tests {
                     assert_eq!(bz, 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gather8_transposes_bitwise() {
+        let g = Grid::periodic((4, 4, 4), (1.0, 1.0, 1.0), 0.1);
+        let mut ia = InterpolatorArray::new(&g);
+        // Stamp every voxel with distinct values in every slot.
+        for (v, ip) in ia.data.iter_mut().enumerate() {
+            let base = v as f32;
+            ip.ex = base + 0.01;
+            ip.dexdy = base + 0.02;
+            ip.dexdz = base + 0.03;
+            ip.d2exdydz = base + 0.04;
+            ip.ey = base + 0.05;
+            ip.deydz = base + 0.06;
+            ip.deydx = base + 0.07;
+            ip.d2eydzdx = base + 0.08;
+            ip.ez = base + 0.09;
+            ip.dezdx = base + 0.10;
+            ip.dezdy = base + 0.11;
+            ip.d2ezdxdy = base + 0.12;
+            ip.cbx = base + 0.13;
+            ip.dcbxdx = base + 0.14;
+            ip.cby = base + 0.15;
+            ip.dcbydy = base + 0.16;
+            ip.cbz = base + 0.17;
+            ip.dcbzdz = base + 0.18;
+        }
+        // Mixed, repeated voxels across the lanes.
+        let idx = [3u32, 17, 3, 0, 42, 7, 42, 63];
+        let lanes = ia.gather8(&idx);
+        for (l, &v) in idx.iter().enumerate() {
+            let f = &ia.data[v as usize];
+            assert_eq!(lanes.ex.0[l].to_bits(), f.ex.to_bits());
+            assert_eq!(lanes.dexdy.0[l].to_bits(), f.dexdy.to_bits());
+            assert_eq!(lanes.dexdz.0[l].to_bits(), f.dexdz.to_bits());
+            assert_eq!(lanes.d2exdydz.0[l].to_bits(), f.d2exdydz.to_bits());
+            assert_eq!(lanes.ey.0[l].to_bits(), f.ey.to_bits());
+            assert_eq!(lanes.deydz.0[l].to_bits(), f.deydz.to_bits());
+            assert_eq!(lanes.deydx.0[l].to_bits(), f.deydx.to_bits());
+            assert_eq!(lanes.d2eydzdx.0[l].to_bits(), f.d2eydzdx.to_bits());
+            assert_eq!(lanes.ez.0[l].to_bits(), f.ez.to_bits());
+            assert_eq!(lanes.dezdx.0[l].to_bits(), f.dezdx.to_bits());
+            assert_eq!(lanes.dezdy.0[l].to_bits(), f.dezdy.to_bits());
+            assert_eq!(lanes.d2ezdxdy.0[l].to_bits(), f.d2ezdxdy.to_bits());
+            assert_eq!(lanes.cbx.0[l].to_bits(), f.cbx.to_bits());
+            assert_eq!(lanes.dcbxdx.0[l].to_bits(), f.dcbxdx.to_bits());
+            assert_eq!(lanes.cby.0[l].to_bits(), f.cby.to_bits());
+            assert_eq!(lanes.dcbydy.0[l].to_bits(), f.dcbydy.to_bits());
+            assert_eq!(lanes.cbz.0[l].to_bits(), f.cbz.to_bits());
+            assert_eq!(lanes.dcbzdz.0[l].to_bits(), f.dcbzdz.to_bits());
+        }
+
+        // The fused gather+interpolate path must reproduce the scalar
+        // push's interpolation expressions bit-for-bit, lane by lane.
+        let mk = |seed: u32| {
+            F32x8(std::array::from_fn(|l| {
+                ((seed + l as u32) as f32).mul_add(0.0371, -0.45)
+            }))
+        };
+        let (dx, dy, dz) = (mk(1), mk(5), mk(11));
+        let qdt = 0.173_f32;
+        let ((hax, hay, haz), (cbx, cby, cbz)) = ia.gather_ha_cb8(&idx, dx, dy, dz, qdt);
+        for (l, &v) in idx.iter().enumerate() {
+            let f = &ia.data[v as usize];
+            let (x, y, z) = (dx.0[l], dy.0[l], dz.0[l]);
+            let sx = qdt * ((f.ex + y * f.dexdy) + z * (f.dexdz + y * f.d2exdydz));
+            let sy = qdt * ((f.ey + z * f.deydz) + x * (f.deydx + z * f.d2eydzdx));
+            let sz = qdt * ((f.ez + x * f.dezdx) + y * (f.dezdy + x * f.d2ezdxdy));
+            assert_eq!(hax.0[l].to_bits(), sx.to_bits());
+            assert_eq!(hay.0[l].to_bits(), sy.to_bits());
+            assert_eq!(haz.0[l].to_bits(), sz.to_bits());
+            assert_eq!(cbx.0[l].to_bits(), (f.cbx + x * f.dcbxdx).to_bits());
+            assert_eq!(cby.0[l].to_bits(), (f.cby + y * f.dcbydy).to_bits());
+            assert_eq!(cbz.0[l].to_bits(), (f.cbz + z * f.dcbzdz).to_bits());
         }
     }
 

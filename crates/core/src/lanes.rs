@@ -1,0 +1,411 @@
+//! Vendored lane-math: fixed-width `[f32; 8]` / `[f64; 8]` wrappers whose
+//! operators are element-wise loops LLVM reliably turns into packed
+//! instructions — no nightly `std::simd`, no intrinsics, consistent with
+//! the offline `shims/` approach.
+//!
+//! The wrappers exist to express the AoSoA push (`aosoa::advance_full_block`)
+//! as straight-line lane arithmetic while keeping the bitwise-determinism
+//! contract with the scalar oracle (`push::push_one`):
+//!
+//! * every operator is element-wise — lane `l` of the result depends only on
+//!   lane `l` of the operands, with the exact IEEE-754 operation the scalar
+//!   code performs (no reassociation, no horizontal ops);
+//! * [`F32x8::mul_add`] is deliberately **unfused** (`a*b + c` as two
+//!   rounded operations). The scalar oracle never emits an FMA — rustc does
+//!   not contract float expressions — so a fused variant would change bits;
+//! * `sqrt`/`div` lower to `vsqrtps`/`vdivps`-class instructions, which are
+//!   correctly rounded per IEEE-754 and therefore bit-identical to their
+//!   scalar forms;
+//! * comparisons return a [`Mask8`]; NaN compares false on every ordered
+//!   predicate, exactly like the scalar `<=`, so NaN lanes fall off the
+//!   branchless common path into the scalar spill-out just as the scalar
+//!   kernel's `if` would.
+
+/// Lanes per AoSoA block (the Cell SPE was 4-wide; 8 suits AVX hosts).
+pub const LANES: usize = 8;
+
+/// Eight-lane boolean mask (result of lane comparisons).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Mask8(pub [bool; LANES]);
+
+impl Mask8 {
+    /// True mask.
+    #[inline(always)]
+    pub fn splat(v: bool) -> Self {
+        Mask8([v; LANES])
+    }
+
+    /// Value of lane `l`.
+    #[inline(always)]
+    pub fn test(self, l: usize) -> bool {
+        self.0[l]
+    }
+
+    /// True when every lane is set.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+
+    /// True when any lane is set.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+}
+
+impl std::ops::BitAnd for Mask8 {
+    type Output = Mask8;
+    #[inline(always)]
+    fn bitand(self, rhs: Mask8) -> Mask8 {
+        Mask8(std::array::from_fn(|l| self.0[l] & rhs.0[l]))
+    }
+}
+
+impl std::ops::BitOr for Mask8 {
+    type Output = Mask8;
+    #[inline(always)]
+    fn bitor(self, rhs: Mask8) -> Mask8 {
+        Mask8(std::array::from_fn(|l| self.0[l] | rhs.0[l]))
+    }
+}
+
+impl std::ops::Not for Mask8 {
+    type Output = Mask8;
+    #[inline(always)]
+    fn not(self) -> Mask8 {
+        Mask8(std::array::from_fn(|l| !self.0[l]))
+    }
+}
+
+macro_rules! lane_vector {
+    ($name:ident, $elem:ty) => {
+        #[doc = concat!("Eight lanes of `", stringify!($elem), "`; element-wise ops, no fusion.")]
+        #[derive(Clone, Copy, Debug, Default, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(pub [$elem; LANES]);
+
+        impl $name {
+            /// All lanes set to `v`.
+            #[inline(always)]
+            pub fn splat(v: $elem) -> Self {
+                $name([v; LANES])
+            }
+
+            /// Lane-wise IEEE square root (correctly rounded, so identical
+            /// bits to the scalar `sqrt` of each lane).
+            #[inline(always)]
+            pub fn sqrt(self) -> Self {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l].sqrt();
+                }
+                $name(out)
+            }
+
+            /// Lane-wise absolute value (sign-bit clear; NaN payload kept).
+            #[inline(always)]
+            pub fn abs(self) -> Self {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l].abs();
+                }
+                $name(out)
+            }
+
+            /// **Unfused** multiply-add: `self*b + c` as two rounded IEEE
+            /// operations per lane. The scalar push never emits an FMA
+            /// (rustc does not contract float math), so the lane kernel
+            /// must not either — a fused product would change bits.
+            #[inline(always)]
+            pub fn mul_add(self, b: Self, c: Self) -> Self {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] * b.0[l] + c.0[l];
+                }
+                $name(out)
+            }
+
+            /// Lane-wise `self <= rhs` (false on NaN, like scalar `<=`).
+            #[inline(always)]
+            pub fn le(self, rhs: Self) -> Mask8 {
+                let mut out = [false; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] <= rhs.0[l];
+                }
+                Mask8(out)
+            }
+
+            /// Lane-wise `self < rhs` (false on NaN).
+            #[inline(always)]
+            pub fn lt(self, rhs: Self) -> Mask8 {
+                let mut out = [false; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] < rhs.0[l];
+                }
+                Mask8(out)
+            }
+
+            /// Per-lane blend: lane `l` of the result is `t` where the mask
+            /// is set, else `f`. Bits pass through untouched (NaNs and
+            /// signed zeros survive), so select-based write-back is exact.
+            #[inline(always)]
+            pub fn select(m: Mask8, t: Self, f: Self) -> Self {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = if m.0[l] { t.0[l] } else { f.0[l] };
+                }
+                $name(out)
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn add(self, rhs: $name) -> $name {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] + rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn sub(self, rhs: $name) -> $name {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] - rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl std::ops::Mul for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn mul(self, rhs: $name) -> $name {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] * rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl std::ops::Div for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn div(self, rhs: $name) -> $name {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = self.0[l] / rhs.0[l];
+                }
+                $name(out)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = $name;
+            #[inline(always)]
+            fn neg(self) -> $name {
+                let mut out = [0.0; LANES];
+                for l in 0..LANES {
+                    out[l] = -self.0[l];
+                }
+                $name(out)
+            }
+        }
+    };
+}
+
+lane_vector!(F32x8, f32);
+lane_vector!(F64x8, f64);
+
+impl F32x8 {
+    /// Interleave the low halves of two vectors:
+    /// `[a0 b0 a1 b1 a2 b2 a3 b3]`. Pure data movement (bits pass
+    /// through), written as a fixed-index rebuild so LLVM lowers it to a
+    /// single shuffle.
+    #[inline(always)]
+    pub fn zip_lo(self, rhs: Self) -> Self {
+        let (a, b) = (self.0, rhs.0);
+        F32x8([a[0], b[0], a[1], b[1], a[2], b[2], a[3], b[3]])
+    }
+
+    /// Interleave the high halves: `[a4 b4 a5 b5 a6 b6 a7 b7]`.
+    #[inline(always)]
+    pub fn zip_hi(self, rhs: Self) -> Self {
+        let (a, b) = (self.0, rhs.0);
+        F32x8([a[4], b[4], a[5], b[5], a[6], b[6], a[7], b[7]])
+    }
+}
+
+/// 8×8 transpose via three rounds of the perfect shuffle:
+/// `s[2i] = zip_lo(r[i], r[i+4])`, `s[2i+1] = zip_hi(r[i], r[i+4])`.
+/// One round maps flat element `p = 8·row + lane` to `2p mod 63`, a
+/// left-rotate of the 6-bit index; three rotates swap the row/lane bit
+/// triples, which is exactly the transpose. Pure data movement — no
+/// arithmetic, every bit passes through — so gather/scatter paths built
+/// on it cannot perturb the kernel's bitwise-determinism contract. LLVM
+/// turns each zip into one `vunpck`/`vperm` class shuffle, replacing the
+/// 64-element scalar transpose the structure-of-lanes conversion would
+/// otherwise need.
+#[inline(always)]
+pub fn transpose8(m: [F32x8; 8]) -> [F32x8; 8] {
+    let mut t = m;
+    for _ in 0..3 {
+        t = [
+            t[0].zip_lo(t[4]),
+            t[0].zip_hi(t[4]),
+            t[1].zip_lo(t[5]),
+            t[1].zip_hi(t[5]),
+            t[2].zip_lo(t[6]),
+            t[2].zip_hi(t[6]),
+            t[3].zip_lo(t[7]),
+            t[3].zip_hi(t[7]),
+        ];
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> F32x8 {
+        F32x8([-3.5, -1.0, -0.0, 0.0, 0.25, 1.0, 2.5, 8.0])
+    }
+
+    #[test]
+    fn operators_match_scalar_bitwise() {
+        let a = ramp();
+        let b = F32x8([1.5, -2.0, 4.0, -0.5, 3.0, 7.0, -1.25, 0.125]);
+        let sum = a + b;
+        let dif = a - b;
+        let prd = a * b;
+        let quo = a / b;
+        for l in 0..LANES {
+            assert_eq!(sum.0[l].to_bits(), (a.0[l] + b.0[l]).to_bits());
+            assert_eq!(dif.0[l].to_bits(), (a.0[l] - b.0[l]).to_bits());
+            assert_eq!(prd.0[l].to_bits(), (a.0[l] * b.0[l]).to_bits());
+            assert_eq!(quo.0[l].to_bits(), (a.0[l] / b.0[l]).to_bits());
+            assert_eq!((-a).0[l].to_bits(), (-a.0[l]).to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose8_moves_every_bit_in_place() {
+        // Distinct bit patterns in every slot, including a NaN payload, a
+        // signed zero and a denormal — the transpose must move bits, not
+        // values.
+        let mut m = [F32x8::splat(0.0); LANES];
+        for (r, row) in m.iter_mut().enumerate() {
+            for l in 0..LANES {
+                row.0[l] = f32::from_bits(0x7f80_0001 + (r * LANES + l) as u32);
+            }
+        }
+        m[0].0[0] = f32::from_bits(0x8000_0000); // -0.0
+        m[3].0[5] = f32::from_bits(0x0000_0001); // denormal
+        m[7].0[2] = f32::from_bits(0x7fc0_dead); // NaN payload
+        let t = transpose8(m);
+        for (r, row) in m.iter().enumerate() {
+            for (l, col) in t.iter().enumerate() {
+                assert_eq!(col.0[r].to_bits(), row.0[l].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_is_unfused() {
+        // Pick operands where fused and unfused results differ: with an
+        // FMA, a*b + c keeps the full product 1 + 2^-50 before the add;
+        // unfused, a*b rounds back to 1.0f32 and the sum is exactly 0.
+        let a = F32x8::splat(1.0 + f32::EPSILON);
+        let b = F32x8::splat(1.0 - f32::EPSILON);
+        let c = F32x8::splat(-1.0);
+        let unfused = (1.0f32 + f32::EPSILON) * (1.0 - f32::EPSILON) - 1.0;
+        let got = a.mul_add(b, c);
+        for l in 0..LANES {
+            assert_eq!(got.0[l].to_bits(), unfused.to_bits());
+            let fused = (1.0f32 + f32::EPSILON).mul_add(1.0 - f32::EPSILON, -1.0);
+            assert_ne!(
+                got.0[l].to_bits(),
+                fused.to_bits(),
+                "test operands fail to distinguish fused from unfused"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_abs_match_scalar_bitwise() {
+        let a = F32x8([0.0, 1.0, 2.0, 0.5, 1e-38, 3.4e38, 9.0, 0.1]);
+        let s = a.sqrt();
+        for l in 0..LANES {
+            assert_eq!(s.0[l].to_bits(), a.0[l].sqrt().to_bits());
+        }
+        let n = ramp().abs();
+        for l in 0..LANES {
+            assert_eq!(n.0[l].to_bits(), ramp().0[l].abs().to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_compares_false_and_select_passes_bits() {
+        let nan = F32x8::splat(f32::NAN);
+        let one = F32x8::splat(1.0);
+        assert!(!nan.abs().le(one).any(), "NaN must fail <=");
+        assert!(!nan.lt(one).any(), "NaN must fail <");
+        let m = Mask8([true, false, true, false, true, false, true, false]);
+        let picked = F32x8::select(m, nan, one);
+        for l in 0..LANES {
+            if m.test(l) {
+                assert!(picked.0[l].is_nan());
+            } else {
+                assert_eq!(picked.0[l].to_bits(), 1.0f32.to_bits());
+            }
+        }
+        // Signed zero survives a blend.
+        let z = F32x8::select(m, F32x8::splat(-0.0), F32x8::splat(0.0));
+        for l in 0..LANES {
+            assert_eq!(
+                z.0[l].to_bits(),
+                if m.test(l) { (-0.0f32).to_bits() } else { 0 }
+            );
+        }
+    }
+
+    #[test]
+    fn mask_logic() {
+        let a = Mask8([true, true, false, false, true, false, true, false]);
+        let b = Mask8([true, false, true, false, true, true, false, false]);
+        assert_eq!(
+            (a & b).0,
+            [true, false, false, false, true, false, false, false]
+        );
+        assert_eq!(
+            (a | b).0,
+            [true, true, true, false, true, true, true, false]
+        );
+        assert_eq!((!a).0, [false, false, true, true, false, true, false, true]);
+        assert!(Mask8::splat(true).all());
+        assert!(!Mask8::splat(false).any());
+    }
+
+    #[test]
+    fn f64_lanes_match_scalar_bitwise() {
+        let a = F64x8([-2.0, 0.5, 3.25, 1e-300, 7.0, -0.0, 1.0, 1e300]);
+        let b = F64x8::splat(3.0);
+        let p = a * b + a;
+        for l in 0..LANES {
+            assert_eq!(p.0[l].to_bits(), (a.0[l] * 3.0 + a.0[l]).to_bits());
+        }
+        let s = a.abs().sqrt();
+        for l in 0..LANES {
+            assert_eq!(s.0[l].to_bits(), a.0[l].abs().sqrt().to_bits());
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod inject;
 pub mod interpolator;
 pub mod journal;
 pub mod juttner;
+pub mod lanes;
 pub mod maxwellian;
 pub mod particle;
 pub mod push;
@@ -67,7 +68,8 @@ pub mod units;
 
 pub use accumulator::{Accumulator, AccumulatorArray, AccumulatorSet};
 pub use aosoa::{
-    advance_p_aosoa, advance_p_aosoa_pipelined, sort_aosoa_with, AosoaStore, Block, LANES,
+    advance_p_aosoa, advance_p_aosoa_pipelined, advance_p_aosoa_pipelined_with, sort_aosoa_with,
+    AosoaStore, Block, LANES,
 };
 pub use checkpoint::CheckpointError;
 pub use collision::CollisionOperator;
@@ -78,12 +80,16 @@ pub use grid::{Grid, ParticleBc};
 pub use harris::HarrisSheet;
 pub use hydro::{hydro_moments, HydroArray};
 pub use inject::ThermalInjector;
-pub use interpolator::{Interpolator, InterpolatorArray};
+pub use interpolator::{Interpolator, InterpolatorArray, InterpolatorLanes};
 pub use journal::{Journal, JournalError, ReplayReport};
 pub use juttner::{load_juttner, sample_juttner, sample_juttner_u};
+pub use lanes::{transpose8, F32x8, F64x8, Mask8};
 pub use maxwellian::{load_profile, load_two_stream, load_uniform, Momentum};
 pub use particle::{Mover, Particle};
-pub use push::{advance_p, advance_p_serial, move_p_local, Exile, MoveOutcome, PushCoefficients};
+pub use push::{
+    advance_p, advance_p_serial, advance_p_with, move_p_local, Exile, MoveOutcome,
+    PushCoefficients, PushKernel,
+};
 pub use queue::{Job, JobEvent, JobQueue, JobState, QueueError, QueueStats, RetryPolicy};
 pub use rng::Rng;
 pub use sentinel::{

@@ -67,6 +67,45 @@ impl PushCoefficients {
 /// exists only to turn a (physically impossible) runaway into a clean stop.
 const MAX_SEGMENTS: usize = 16;
 
+/// Which body runs the AoSoA inner loop. Both kernels are bit-identical
+/// by contract (the `kernel_oracle` and `determinism` suites pin it), so
+/// the choice is purely a performance/diagnosis knob. The AoS layout has
+/// only the scalar body; it ignores this knob.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PushKernel {
+    /// Per-particle scalar arithmetic ([`push_one`]) — the pinned oracle.
+    Scalar,
+    /// 8-lane-wide gather → Boris push → masked write-back with a scalar
+    /// spill-out for cell-crossers (the production hot path).
+    #[default]
+    Lane,
+}
+
+impl PushKernel {
+    /// Parse a kernel name as written in bench flags / artifacts.
+    pub fn parse(s: &str) -> Option<PushKernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(PushKernel::Scalar),
+            "lane" => Some(PushKernel::Lane),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (inverse of [`Self::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PushKernel::Scalar => "scalar",
+            PushKernel::Lane => "lane",
+        }
+    }
+}
+
+impl std::fmt::Display for PushKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Advance every particle of one species by one time step, depositing
 /// currents into per-pipeline accumulators. Returns the particles that
 /// left the local domain (absorbed particles are deleted in place).
@@ -84,10 +123,31 @@ pub fn advance_p(
     accumulators: &mut [AccumulatorArray],
     g: &Grid,
 ) -> Vec<Exile> {
+    advance_p_with(
+        store,
+        coeffs,
+        interp,
+        accumulators,
+        g,
+        PushKernel::default(),
+    )
+}
+
+/// [`advance_p`] with an explicit kernel choice for the AoSoA backend
+/// ([`PushKernel::Scalar`] forces every lane through [`push_one`], which
+/// is what the differential-oracle harness compares against).
+pub fn advance_p_with(
+    store: &mut ParticleStore,
+    coeffs: PushCoefficients,
+    interp: &InterpolatorArray,
+    accumulators: &mut [AccumulatorArray],
+    g: &Grid,
+    kernel: PushKernel,
+) -> Vec<Exile> {
     match store {
         ParticleStore::Aos(particles) => advance_p_aos(particles, coeffs, interp, accumulators, g),
         ParticleStore::Aosoa(s) => {
-            crate::aosoa::advance_p_aosoa_pipelined(s, coeffs, interp, accumulators, g)
+            crate::aosoa::advance_p_aosoa_pipelined_with(s, coeffs, interp, accumulators, g, kernel)
         }
     }
 }

@@ -25,7 +25,7 @@ use crate::field_solver::{
 };
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
-use crate::push::{advance_p, Exile, PushCoefficients};
+use crate::push::{advance_p_with, Exile, PushCoefficients, PushKernel};
 use crate::rng::Rng;
 use crate::sentinel::{HealthVerdict, Sentinel, SimConfig};
 use crate::species::Species;
@@ -104,6 +104,9 @@ pub struct Simulation {
     /// Particle storage layout applied to every species (the `layout`
     /// deck knob); species added later are converted on entry.
     layout: Layout,
+    /// Which AoSoA push body runs (bit-identical either way; see
+    /// [`PushKernel`]). Ignored by the AoS layout.
+    kernel: PushKernel,
     collision_rng: Rng,
     scratch: Vec<f32>,
 }
@@ -130,6 +133,7 @@ impl Simulation {
             collisions: Vec::new(),
             sentinel: None,
             layout: Layout::default(),
+            kernel: PushKernel::default(),
             collision_rng: Rng::seeded(0xC0111D0),
             scratch: Vec::new(),
         }
@@ -138,6 +142,18 @@ impl Simulation {
     /// The particle storage layout in use.
     pub fn layout(&self) -> Layout {
         self.layout
+    }
+
+    /// The AoSoA push kernel in use.
+    pub fn kernel(&self) -> PushKernel {
+        self.kernel
+    }
+
+    /// Select the AoSoA push kernel. Both kernels are bit-identical (the
+    /// determinism and kernel-oracle suites pin it), so this can be
+    /// switched at any point of a run without changing the trajectory.
+    pub fn set_kernel(&mut self, kernel: PushKernel) {
+        self.kernel = kernel;
     }
 
     /// Switch every species (present and future) to `layout`. Lossless;
@@ -227,12 +243,13 @@ impl Simulation {
         for sp in &mut self.species {
             let coeffs = PushCoefficients::new(sp.q, sp.m, g);
             advanced += sp.len() as u64;
-            let exiles: Vec<Exile> = advance_p(
+            let exiles: Vec<Exile> = advance_p_with(
                 sp.store_mut(),
                 coeffs,
                 &self.interp,
                 &mut self.accumulators.arrays,
                 g,
+                self.kernel,
             );
             // Single-domain: migrate faces should not appear; drop & count.
             if !exiles.is_empty() {

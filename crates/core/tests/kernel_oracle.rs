@@ -1,0 +1,453 @@
+//! Differential-oracle harness for the lane-wide push kernel.
+//!
+//! The scalar AoS path (`advance_p_with` + [`PushKernel::Scalar`]) is the
+//! *pinned oracle*: every other configuration — the AoSoA layout with the
+//! scalar kernel, and the production 8-lane kernel — must reproduce its
+//! results **bit for bit**: particle states, survivor order after
+//! absorption, exile records (including mover bits), and every
+//! per-pipeline accumulator entry. Proptest-generated states round-trip
+//! through all three configurations each case; pipeline counts 1/2/3/8
+//! cover the no-split, even-split, straddling-block and over-decomposed
+//! regimes.
+//!
+//! The vendored proptest shim has no shrinking, so the harness does its
+//! own: on any divergence the comparison locates the *first* differing
+//! lane and fails with a single printable lane state (field values plus
+//! exact bit patterns) instead of a wall of particles.
+
+use proptest::prelude::*;
+use vpic_core::{
+    advance_p_with, AccumulatorArray, Grid, Interpolator, InterpolatorArray, Layout, Particle,
+    ParticleBc, ParticleStore, PushCoefficients, PushKernel, LANES,
+};
+
+/// Everything one differential case needs.
+struct Case {
+    g: Grid,
+    interp: InterpolatorArray,
+    parts: Vec<Particle>,
+    coeffs: PushCoefficients,
+}
+
+/// Outcome of one push configuration, in comparable form.
+struct RunResult {
+    parts: Vec<Particle>,
+    exiles: Vec<(u32, usize, [u32; 4])>, // idx, face, mover bits (dispx,dispy,dispz,idx)
+    accs: Vec<AccumulatorArray>,
+}
+
+fn run(case: &Case, layout: Layout, kernel: PushKernel, pipes: usize) -> RunResult {
+    let mut store = ParticleStore::from_particles(case.parts.clone(), layout);
+    let mut accs: Vec<AccumulatorArray> =
+        (0..pipes).map(|_| AccumulatorArray::new(&case.g)).collect();
+    let exiles = advance_p_with(
+        &mut store,
+        case.coeffs,
+        &case.interp,
+        &mut accs,
+        &case.g,
+        kernel,
+    );
+    RunResult {
+        parts: store.to_particles(),
+        exiles: exiles
+            .iter()
+            .map(|e| {
+                (
+                    e.idx,
+                    e.face,
+                    [
+                        e.mover.dispx.to_bits(),
+                        e.mover.dispy.to_bits(),
+                        e.mover.dispz.to_bits(),
+                        e.mover.idx,
+                    ],
+                )
+            })
+            .collect(),
+        accs,
+    }
+}
+
+/// One particle's state formatted for a failure report: decoded values
+/// next to exact bit patterns, so a diverging lane is reproducible from
+/// the test output alone.
+fn lane_state(p: &Particle) -> String {
+    format!(
+        "voxel {}  dx {:+e} [{:#010x}]  dy {:+e} [{:#010x}]  dz {:+e} [{:#010x}]  \
+         ux {:+e} [{:#010x}]  uy {:+e} [{:#010x}]  uz {:+e} [{:#010x}]  w {:+e} [{:#010x}]",
+        p.i,
+        p.dx,
+        p.dx.to_bits(),
+        p.dy,
+        p.dy.to_bits(),
+        p.dz,
+        p.dz.to_bits(),
+        p.ux,
+        p.ux.to_bits(),
+        p.uy,
+        p.uy.to_bits(),
+        p.uz,
+        p.uz.to_bits(),
+        p.w,
+        p.w.to_bits(),
+    )
+}
+
+fn bits(p: &Particle) -> [u32; 8] {
+    [
+        p.dx.to_bits(),
+        p.dy.to_bits(),
+        p.dz.to_bits(),
+        p.i,
+        p.ux.to_bits(),
+        p.uy.to_bits(),
+        p.uz.to_bits(),
+        p.w.to_bits(),
+    ]
+}
+
+/// Compare a run against the oracle; on divergence report the first
+/// differing lane (particle, exile or accumulator entry) as one
+/// printable state.
+fn diff(oracle: &RunResult, got: &RunResult, label: &str) -> Result<(), String> {
+    if oracle.parts.len() != got.parts.len() {
+        return Err(format!(
+            "{label}: survivor count {} vs oracle {}",
+            got.parts.len(),
+            oracle.parts.len()
+        ));
+    }
+    for (k, (a, b)) in oracle.parts.iter().zip(got.parts.iter()).enumerate() {
+        if bits(a) != bits(b) {
+            return Err(format!(
+                "{label}: first divergent lane = particle {k}\n  oracle: {}\n  kernel: {}",
+                lane_state(a),
+                lane_state(b)
+            ));
+        }
+    }
+    if oracle.exiles != got.exiles {
+        let k = oracle
+            .exiles
+            .iter()
+            .zip(got.exiles.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(oracle.exiles.len().min(got.exiles.len()));
+        return Err(format!(
+            "{label}: exile list diverges at entry {k}: oracle {:?} vs kernel {:?}",
+            oracle.exiles.get(k),
+            got.exiles.get(k)
+        ));
+    }
+    for (pipe, (a, b)) in oracle.accs.iter().zip(got.accs.iter()).enumerate() {
+        for (v, (x, y)) in a.data.iter().zip(b.data.iter()).enumerate() {
+            for n in 0..4 {
+                let pairs = [
+                    ("jx", x.jx[n], y.jx[n]),
+                    ("jy", x.jy[n], y.jy[n]),
+                    ("jz", x.jz[n], y.jz[n]),
+                ];
+                for (comp, p, q) in pairs {
+                    if p.to_bits() != q.to_bits() {
+                        return Err(format!(
+                            "{label}: accumulator pipe {pipe} voxel {v} {comp}[{n}]: \
+                             oracle {p:e} [{:#010x}] vs kernel {q:e} [{:#010x}]",
+                            p.to_bits(),
+                            q.to_bits()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the oracle and both AoSoA kernels at `pipes` pipelines and check
+/// bit-identity; `Err` carries the first-divergent-lane report.
+fn check_case(case: &Case, pipes: usize) -> Result<(), String> {
+    let oracle = run(case, Layout::Aos, PushKernel::Scalar, pipes);
+    let scalar = run(case, Layout::Aosoa, PushKernel::Scalar, pipes);
+    diff(&oracle, &scalar, &format!("aosoa-scalar @{pipes} pipes"))?;
+    let lane = run(case, Layout::Aosoa, PushKernel::Lane, pipes);
+    diff(&oracle, &lane, &format!("aosoa-lane @{pipes} pipes"))
+}
+
+/// Interpolator filled with random (physically unconstrained) values:
+/// bit-identity must hold for *any* field data, so no ghost sync needed.
+fn random_interp(g: &Grid, rng: &mut proptest::test_runner::TestRng) -> InterpolatorArray {
+    let mut ia = InterpolatorArray::new(g);
+    let mut f = || (rng.unit_f64() * 2.0 - 1.0) as f32;
+    for v in ia.data.iter_mut() {
+        *v = Interpolator {
+            ex: f(),
+            dexdy: f(),
+            dexdz: f(),
+            d2exdydz: f(),
+            ey: f(),
+            deydz: f(),
+            deydx: f(),
+            d2eydzdx: f(),
+            ez: f(),
+            dezdx: f(),
+            dezdy: f(),
+            d2ezdxdy: f(),
+            cbx: f(),
+            dcbxdx: f(),
+            cby: f(),
+            dcbydy: f(),
+            cbz: f(),
+            dcbzdz: f(),
+        };
+    }
+    ia
+}
+
+const BCS: [ParticleBc; 4] = [
+    ParticleBc::Periodic,
+    ParticleBc::Reflect,
+    ParticleBc::Absorb,
+    ParticleBc::Migrate,
+];
+
+/// Momentum classes the pathological generator draws from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Regime {
+    /// Modest thermal spread; most lanes stay in their voxel.
+    Thermal,
+    /// Ultra-relativistic: every lane crosses a face every step.
+    AllCross,
+    /// Ultra-relativistic *into* an absorbing wall: whole blocks die.
+    AllAbsorbed,
+    /// NaN-free denormal momenta (subnormal f32 bit patterns).
+    Denormal,
+    /// Exactly one live lane in the tail block.
+    TailOne,
+}
+
+fn build_case(
+    regime: Regime,
+    dims: (usize, usize, usize),
+    bc_pick: [usize; 6],
+    n_parts: usize,
+    seed_rng: &mut proptest::test_runner::TestRng,
+) -> Case {
+    let dx = 0.3f32;
+    let dt = Grid::courant_dt(1.0, (dx, dx, dx), 0.9);
+    let mut bc = [ParticleBc::Periodic; 6];
+    for (f, &pick) in bc.iter_mut().zip(bc_pick.iter()) {
+        *f = BCS[pick % BCS.len()];
+    }
+    if regime == Regime::AllAbsorbed {
+        bc = [ParticleBc::Absorb; 6];
+    }
+    let g = Grid::new(dims, (dx, dx, dx), dt, bc);
+    let interp = random_interp(&g, seed_rng);
+    let n = match regime {
+        // One partial tail block: 8k+1 particles, a single live tail lane.
+        Regime::TailOne => (n_parts / LANES) * LANES + 1,
+        _ => n_parts.max(1),
+    };
+    fn unit(rng: &mut proptest::test_runner::TestRng, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * rng.unit_f64() as f32
+    }
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (i, j, k) = (
+            1 + (seed_rng.below(g.nx as u64) as usize),
+            1 + (seed_rng.below(g.ny as u64) as usize),
+            1 + (seed_rng.below(g.nz as u64) as usize),
+        );
+        let (ux, uy, uz) = match regime {
+            Regime::Thermal | Regime::TailOne => (
+                unit(seed_rng, -0.3, 0.3),
+                unit(seed_rng, -0.3, 0.3),
+                unit(seed_rng, -0.3, 0.3),
+            ),
+            // |u| >> 1 => v ~ c: guaranteed to reach a face from any
+            // offset under a 0.9-Courant step when started near one.
+            Regime::AllCross | Regime::AllAbsorbed => {
+                let s = |r: &mut proptest::test_runner::TestRng| {
+                    if r.below(2) == 0 {
+                        25.0f32
+                    } else {
+                        -25.0
+                    }
+                };
+                (s(seed_rng), s(seed_rng), s(seed_rng))
+            }
+            // Smallest positive subnormals, sign-mixed: exercises
+            // gradual-underflow arithmetic in both kernels.
+            Regime::Denormal => {
+                let d = |r: &mut proptest::test_runner::TestRng| {
+                    let mag = f32::from_bits(1 + r.below(0xFF) as u32);
+                    if r.below(2) == 0 {
+                        mag
+                    } else {
+                        -mag
+                    }
+                };
+                (d(seed_rng), d(seed_rng), d(seed_rng))
+            }
+        };
+        let near_face = matches!(regime, Regime::AllCross | Regime::AllAbsorbed);
+        let off = |u: f32, r: &mut proptest::test_runner::TestRng| {
+            if near_face {
+                // Start within one step's reach of the face `u` points at.
+                if u > 0.0 {
+                    0.95 + 0.04 * r.unit_f64() as f32
+                } else {
+                    -0.95 - 0.04 * r.unit_f64() as f32
+                }
+            } else {
+                (2.0 * r.unit_f64() - 1.0) as f32
+            }
+        };
+        parts.push(Particle {
+            dx: off(ux, seed_rng),
+            dy: off(uy, seed_rng),
+            dz: off(uz, seed_rng),
+            i: g.voxel(i, j, k) as u32,
+            ux,
+            uy,
+            uz,
+            w: unit(seed_rng, 0.5, 2.0),
+        });
+    }
+    let coeffs = PushCoefficients::new(-1.0, 1.0, &g);
+    Case {
+        g,
+        interp,
+        parts,
+        coeffs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// General random states: the lane kernel round-trips bit-identically
+    /// through the oracle at every pipeline decomposition.
+    #[test]
+    fn lane_kernel_matches_scalar_oracle(
+        dims in (1usize..=5, 1usize..=4, 1usize..=4),
+        bc_pick in (0usize..4, 0usize..4, 0usize..4, 0usize..4, 0usize..4, 0usize..4),
+        n in 1usize..120,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = proptest::test_runner::TestRng::new(seed);
+        let bc = [bc_pick.0, bc_pick.1, bc_pick.2, bc_pick.3, bc_pick.4, bc_pick.5];
+        let case = build_case(Regime::Thermal, dims, bc, n, &mut rng);
+        for pipes in [1usize, 2, 3, 8] {
+            if let Err(msg) = check_case(&case, pipes) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+
+    /// Pathological blocks: every lane crossing, whole blocks absorbed,
+    /// a single live tail lane, and NaN-free denormal momenta.
+    #[test]
+    fn pathological_blocks_match_scalar_oracle(
+        regime in prop::sample::select(vec![
+            Regime::AllCross,
+            Regime::AllAbsorbed,
+            Regime::Denormal,
+            Regime::TailOne,
+        ]),
+        dims in (2usize..=4, 2usize..=4, 2usize..=4),
+        bc_pick in (0usize..4, 0usize..4, 0usize..4, 0usize..4, 0usize..4, 0usize..4),
+        n in 1usize..80,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = proptest::test_runner::TestRng::new(seed);
+        let bc = [bc_pick.0, bc_pick.1, bc_pick.2, bc_pick.3, bc_pick.4, bc_pick.5];
+        let case = build_case(regime, dims, bc, n, &mut rng);
+        for pipes in [1usize, 2, 3, 8] {
+            if let Err(msg) = check_case(&case, pipes) {
+                prop_assert!(false, "regime {:?}: {}", regime, msg);
+            }
+        }
+    }
+}
+
+/// A full single block where every lane exits through a different kind of
+/// boundary at once (reflect/absorb/migrate/periodic mixed per face).
+#[test]
+fn one_block_mixed_boundary_exits() {
+    let mut rng = proptest::test_runner::TestRng::new(0xB10C);
+    // -x reflect, -y absorb, -z migrate, +x periodic, +y migrate, +z absorb.
+    let case = build_case(
+        Regime::AllCross,
+        (2, 2, 2),
+        [1, 2, 3, 0, 3, 2],
+        LANES,
+        &mut rng,
+    );
+    // The case must actually exercise the boundary paths, not pass vacuously.
+    let oracle = run(&case, Layout::Aos, PushKernel::Scalar, 1);
+    assert!(
+        oracle.parts.len() < LANES || !oracle.exiles.is_empty(),
+        "expected at least one absorption or exile"
+    );
+    for pipes in [1usize, 2, 3, 8] {
+        if let Err(msg) = check_case(&case, pipes) {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// The spill path of a *straddling* block (pipeline boundary inside a
+/// block) must also match: 3 pipelines over 20 particles cuts blocks 0
+/// and 1 mid-block.
+#[test]
+fn straddling_blocks_with_crossers_match() {
+    let mut rng = proptest::test_runner::TestRng::new(0x51DE);
+    let case = build_case(Regime::AllCross, (3, 3, 3), [0; 6], 20, &mut rng);
+    if let Err(msg) = check_case(&case, 3) {
+        panic!("{msg}");
+    }
+}
+
+/// Tail block with exactly one live lane, which is also a crosser.
+#[test]
+fn tail_block_single_live_crossing_lane() {
+    let mut rng = proptest::test_runner::TestRng::new(0x7A11);
+    let mut case = build_case(Regime::TailOne, (3, 3, 3), [0; 6], 2 * LANES, &mut rng);
+    let n = case.parts.len();
+    assert_eq!(n % LANES, 1, "tail regime must leave one live tail lane");
+    // Make the lone tail lane ultra-relativistic so it spills.
+    case.parts[n - 1].ux = 30.0;
+    case.parts[n - 1].dx = 0.99;
+    for pipes in [1usize, 2, 3, 8] {
+        if let Err(msg) = check_case(&case, pipes) {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// The failure report itself: divergent states must render as a single
+/// printable lane, not a dump of the whole store.
+#[test]
+fn divergence_report_prints_one_lane_state() {
+    let mut rng = proptest::test_runner::TestRng::new(3);
+    let case = build_case(Regime::Thermal, (2, 2, 2), [0; 6], 9, &mut rng);
+    let oracle = run(&case, Layout::Aos, PushKernel::Scalar, 1);
+    let mut forged = run(&case, Layout::Aos, PushKernel::Scalar, 1);
+    forged.parts[3].ux = f32::from_bits(forged.parts[3].ux.to_bits() ^ 1);
+    let msg = diff(&oracle, &forged, "forged").unwrap_err();
+    assert!(
+        msg.contains("first divergent lane = particle 3"),
+        "report should name the lane: {msg}"
+    );
+    assert!(
+        msg.contains("voxel"),
+        "report should print the lane state: {msg}"
+    );
+    assert_eq!(
+        msg.lines().count(),
+        3,
+        "one-lane report (label + oracle + kernel), got: {msg}"
+    );
+}

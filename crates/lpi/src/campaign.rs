@@ -365,6 +365,7 @@ fn restore_newest(
                 run.params.layout,
             )
             .map_err(|e| format!("dump corrupt: {e}"))?;
+            sim.set_kernel(run.params.kernel);
             sim.sponge = sponge;
             sim.lost_particles = diag.lost;
             run.sim = sim;
@@ -557,6 +558,7 @@ fn rollback(
             Ok(mut sim) => {
                 // The v2 dump carries fields/particles/step/config; the
                 // sponge and diagnostics live outside it.
+                sim.set_kernel(run.params.kernel);
                 sim.sponge = sponge;
                 sim.lost_particles = gen.diag.lost;
                 run.sim = sim;

@@ -8,6 +8,7 @@ use crate::profile::SlabProfile;
 use crate::srs::{srs_match, SrsMatch};
 use vpic_core::grid::{Grid, ParticleBc};
 use vpic_core::maxwellian::{load_profile, Momentum};
+use vpic_core::push::PushKernel;
 use vpic_core::rng::Rng;
 use vpic_core::sim::Simulation;
 use vpic_core::species::Species;
@@ -58,6 +59,9 @@ pub struct LpiParams {
     pub ti_over_te: f32,
     /// Particle storage layout (`layout = aos|aosoa` deck knob).
     pub layout: Layout,
+    /// AoSoA push kernel (`kernel = scalar|lane` deck knob). Bit-identical
+    /// by contract; a diagnosis/ablation switch, not a physics knob.
+    pub kernel: PushKernel,
 }
 
 impl Default for LpiParams {
@@ -79,6 +83,7 @@ impl Default for LpiParams {
             ion_mass: None,
             ti_over_te: 0.1,
             layout: Layout::default(),
+            kernel: PushKernel::default(),
         }
     }
 }
@@ -133,6 +138,7 @@ impl LpiRun {
         let g = Grid::new((nx, 1, 1), (dx, dx, dx), dt, bc);
         let mut sim = Simulation::new(g, params.pipelines);
         sim.set_layout(params.layout);
+        sim.set_kernel(params.kernel);
         sim.sponge = Some(Sponge::symmetric(params.sponge_cells, 0.15));
 
         // Electrons; ions are an immobile neutralizing background with the

@@ -16,7 +16,7 @@ use vpic_core::field_solver::{
 use vpic_core::grid::Grid;
 use vpic_core::interpolator::InterpolatorArray;
 use vpic_core::maxwellian::{load_uniform, Momentum};
-use vpic_core::push::advance_p;
+use vpic_core::push::{advance_p_with, PushKernel};
 use vpic_core::rng::Rng;
 use vpic_core::sentinel::{self, HealthSample, SentinelConfig, SimConfig};
 use vpic_core::species::Species;
@@ -82,6 +82,9 @@ pub struct DistributedSim {
     scratch: Vec<f32>,
     /// Particle storage layout applied to every species on this rank.
     layout: Layout,
+    /// Which AoSoA push body runs on this rank (bit-identical either
+    /// way, so ranks may even disagree without diverging).
+    kernel: PushKernel,
 }
 
 impl DistributedSim {
@@ -107,6 +110,7 @@ impl DistributedSim {
             config: SimConfig::default(),
             scratch: Vec::new(),
             layout: Layout::default(),
+            kernel: PushKernel::default(),
         }
     }
 
@@ -123,6 +127,17 @@ impl DistributedSim {
         for sp in &mut self.species {
             sp.set_layout(layout);
         }
+    }
+
+    /// The AoSoA push kernel in use on this rank.
+    pub fn kernel(&self) -> PushKernel {
+        self.kernel
+    }
+
+    /// Select the AoSoA push kernel (see [`PushKernel`]; bit-identical
+    /// choices, so this is purely a performance/diagnosis knob).
+    pub fn set_kernel(&mut self, kernel: PushKernel) {
+        self.kernel = kernel;
     }
 
     /// Add a species; returns its index.
@@ -188,12 +203,13 @@ impl DistributedSim {
             let sp = &mut self.species[si];
             let coeffs = vpic_core::push::PushCoefficients::new(sp.q, sp.m, &g);
             self.timings.particle_steps += sp.len() as u64;
-            let exiles = advance_p(
+            let exiles = advance_p_with(
                 sp.store_mut(),
                 coeffs,
                 &self.interp,
                 &mut self.accumulators.arrays,
                 &g,
+                self.kernel,
             );
             self.timings.push += t0.elapsed().as_secs_f64();
 

@@ -20,6 +20,13 @@
 # restore, exile migration, the `layout = aosoa` deck knob, and the
 # sentinel rollback campaign pinned to AoSoA storage.
 #
+# Pass "kernel" (or set CI_KERNEL=1) to run the lane-kernel lane: the
+# differential-oracle harness (lane-wide push/gather vs the scalar AoS
+# oracle), the lane-math unit suite, the determinism matrix and the
+# fault-injected SRS rollback matrix at 1/2/4/8 pipelines — all with
+# debug assertions on — then a two-kernel bench smoke that asserts the
+# lane kernel is at least as fast as the scalar body it replaced.
+#
 # Pass "sweep" (or set CI_SWEEP=1) to run the reflectivity-sweep-service
 # lane: the WAL corruption matrix, the job-queue state machine, the
 # scheduler/grid/curve suites, the distributed sweep-job adapter, the
@@ -114,6 +121,39 @@ if [[ "${1:-}" == "layout" || "${CI_LAYOUT:-0}" == "1" ]]; then
     ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 5 --pipelines 2 \
         --layout aosoa --json target/BENCH_layout_smoke.json
     ./target/release/e2_step_breakdown --validate target/BENCH_layout_smoke.json
+fi
+
+if [[ "${1:-}" == "kernel" || "${CI_KERNEL:-0}" == "1" ]]; then
+    echo "==> kernel lane (lane-wide push + gather vs the scalar oracle)"
+    # Debug assertions live while the differential oracle runs. Setting
+    # RUSTFLAGS replaces .cargo/config.toml's flags wholesale, so restate
+    # target-cpu=native — without it the lane kernel would be rebuilt for
+    # the baseline ISA and the bench smoke below would measure the wrong
+    # code.
+    export RUSTFLAGS="${RUSTFLAGS:-} -C target-cpu=native -C debug-assertions=on"
+    # The tentpole harness: proptest-generated states (thermal, all-cross,
+    # all-absorbed, denormal, one-live-tail) round-trip bit-identically
+    # through the lane kernel against the pinned scalar AoS oracle.
+    cargo test --release -p vpic-core --test kernel_oracle
+    # Lane-math unit suite and the layout x kernel x pipeline-count
+    # determinism matrix.
+    cargo test --release -p vpic-core --lib lanes
+    cargo test --release -p vpic-core --test determinism lane_kernel
+    # The `kernel = scalar|lane` deck knob, and the fault-injected SRS
+    # rollback matrix: a NaN upset mid-campaign must recover onto the
+    # same bits under every kernel/pipeline combination.
+    cargo test --release -p vpic --lib kernel_knob
+    cargo test --release --test srs_soak lane_kernel
+    # Bench smoke: both kernels on the same grid, schema + oracle
+    # cross-check, then the speedup gate (lane >= scalar).
+    cargo build --release -p vpic-bench
+    rm -f target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 10 --pipelines 2 \
+        --layout aosoa --kernel scalar --json target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 10 --pipelines 2 \
+        --layout aosoa --kernel lane --json target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --validate target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --assert-speedup target/BENCH_kernel_smoke.json
 fi
 
 if [[ "${1:-}" == "bench-smoke" || "${CI_BENCH_SMOKE:-0}" == "1" ]]; then

@@ -62,13 +62,14 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
     match build(&deck)? {
         BuiltRun::Plasma(mut sim) => {
             println!(
-                "plasma run: {} cells, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout",
+                "plasma run: {} cells, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout, {} kernel",
                 sim.grid.n_live(),
                 sim.n_particles(),
                 steps,
                 sim.accumulators.n_pipelines(),
                 vpic::core::worker_threads(),
-                sim.layout()
+                sim.layout(),
+                sim.kernel()
             );
             let names: Vec<String> = sim.species.iter().map(|s| s.name.clone()).collect();
             let mut elog = EnergyLogger::new(
@@ -94,14 +95,15 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
         }
         BuiltRun::Lpi(mut run) => {
             println!(
-                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout",
+                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout, {} kernel",
                 run.params.a0,
                 run.params.n_over_ncr,
                 run.sim.n_particles(),
                 steps,
                 run.sim.accumulators.n_pipelines(),
                 vpic::core::worker_threads(),
-                run.sim.layout()
+                run.sim.layout(),
+                run.sim.kernel()
             );
             let names: Vec<String> = run.sim.species.iter().map(|s| s.name.clone()).collect();
             let mut elog = EnergyLogger::new(

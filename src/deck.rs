@@ -78,8 +78,8 @@ use vpic_core::sentinel::{
     CorruptionEvent, CorruptionMode, CorruptionPlan, SentinelConfig, SimConfig,
 };
 use vpic_core::{
-    load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, Rng,
-    Simulation, Species,
+    load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, PushKernel,
+    Rng, Simulation, Species,
 };
 use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun, SweepConfig, SweepGrid};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
@@ -339,6 +339,8 @@ pub struct CampaignSetup {
     pub pipelines: usize,
     /// Particle storage layout on every rank.
     pub layout: Layout,
+    /// AoSoA push kernel on every rank (bit-identical either way).
+    pub kernel: PushKernel,
     /// Total campaign steps.
     pub steps: u64,
     /// Checkpoint schedule: a fixed step interval or the Young/Daly
@@ -376,6 +378,7 @@ impl CampaignSetup {
     pub fn build_rank(&self, rank: usize) -> DistributedSim {
         let mut sim = DistributedSim::new(self.spec.clone(), rank, self.pipelines);
         sim.set_layout(self.layout);
+        sim.set_kernel(self.kernel);
         for sp in &self.species {
             let si = sim.add_species(Species::new(&sp.name, sp.charge, sp.mass));
             sim.load_uniform(
@@ -600,6 +603,17 @@ fn parse_layout(deck: &Deck) -> Result<Layout, DeckError> {
     }
 }
 
+/// Global `kernel = scalar|lane` knob selecting the AoSoA push body
+/// (default lane — the production kernel). Bit-identical by contract, so
+/// this is an ablation/diagnosis switch, not a physics knob.
+fn parse_kernel(deck: &Deck) -> Result<PushKernel, DeckError> {
+    match deck.globals.get("kernel") {
+        None => Ok(PushKernel::default()),
+        Some(v) => PushKernel::parse(v)
+            .ok_or_else(|| err(format!("kernel must be scalar or lane, got {v}"))),
+    }
+}
+
 fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
     match kv.get(key) {
         None => Ok(default),
@@ -768,6 +782,7 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
         seed: deck.seed(),
         pipelines: get_usize(&deck.globals, "pipelines", 1)?,
         layout: parse_layout(deck)?,
+        kernel: parse_kernel(deck)?,
         steps,
         checkpoint,
         recovery,
@@ -828,6 +843,7 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
     let pipelines = get_usize(&deck.globals, "pipelines", 1)?;
     let mut sim = Simulation::new(grid, pipelines);
     sim.set_layout(parse_layout(deck)?);
+    sim.set_kernel(parse_kernel(deck)?);
 
     let species = deck.sections_with_prefix("species");
     if species.is_empty() {
@@ -890,6 +906,7 @@ fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
         ion_mass: get_f32(kv, "ion_mass")?,
         ti_over_te: req_f32(kv, "ti_over_te", defaults.ti_over_te)?,
         layout: parse_layout(deck)?,
+        kernel: parse_kernel(deck)?,
     };
     Ok(LpiRun::new(params))
 }
@@ -1300,6 +1317,31 @@ corrupt_count = 4
         assert_eq!(run.sim.layout(), Layout::Aosoa);
 
         let bad = "kind = plasma\nlayout = soa\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        assert!(build(&Deck::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn kernel_knob_selects_push_body_and_rejects_junk() {
+        let text = "kind = plasma\nkernel = scalar\n[grid]\ncells = 4 2 2\n[species.e]\nppc = 8";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.kernel(), PushKernel::Scalar);
+
+        // Default is the production lane kernel; LPI decks honour it too.
+        let text = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.kernel(), PushKernel::Lane);
+        let text = "kind = lpi\nkernel = scalar\n[laser]\na0 = 0.01";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.sim.kernel(), PushKernel::Scalar);
+        assert_eq!(run.params.kernel, PushKernel::Scalar);
+
+        let bad = "kind = plasma\nkernel = avx\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
         assert!(build(&Deck::parse(bad).unwrap()).is_err());
     }
 

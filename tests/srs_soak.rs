@@ -203,6 +203,62 @@ fn aosoa_campaign_recovers_bit_identically_to_aos() {
     );
 }
 
+/// Lane-kernel matrix on the shrunk SRS deck: at every pipeline count the
+/// production lane kernel must retrace the scalar AoS oracle bit for bit
+/// through a *fault-injected* campaign — the seeded NaN upset trips the
+/// sentinel, the campaign rolls back to the last checkpoint and replays,
+/// and the replayed lane-kernel trajectory still lands on the oracle's
+/// exact digest. This pins the kernel contract through the recovery path,
+/// not just the clean step loop.
+#[test]
+fn srs_lane_kernel_matrix_recovers_bit_identically_at_every_pipeline_count() {
+    let steps = 60u64;
+    let cfg_for = |dir: &Path| {
+        let mut cfg = LpiCampaignConfig::new(steps, 20, dir);
+        cfg.sentinel.health_interval = 10;
+        cfg.sentinel.max_energy_growth = 100.0;
+        cfg.max_recoveries = 4;
+        cfg.corruption = Some(CorruptionPlan::new(11).with_event(CorruptionEvent {
+            step: 30,
+            rank: Some(0),
+            mode: CorruptionMode::Nan,
+            count: 4,
+        }));
+        cfg
+    };
+    for pipelines in [1usize, 2, 4, 8] {
+        let mut digests = Vec::new();
+        for (layout, kernel) in [
+            (vpic::core::Layout::Aos, vpic::core::PushKernel::Scalar),
+            (vpic::core::Layout::Aosoa, vpic::core::PushKernel::Lane),
+        ] {
+            let dir = temp_dir(&format!("kmatrix_{pipelines}_{layout}_{kernel}"));
+            let params = LpiParams {
+                layout,
+                kernel,
+                pipelines,
+                ..small_params()
+            };
+            let out = run_lpi_campaign(params, &cfg_for(&dir)).unwrap();
+            assert!(
+                matches!(out.end, LpiCampaignEnd::Completed),
+                "{layout}/{kernel} @{pipelines} pipes: {:?}",
+                out.end
+            );
+            assert!(
+                !out.recoveries.is_empty(),
+                "{layout}/{kernel} @{pipelines} pipes: NaN upset never exercised rollback"
+            );
+            digests.push(digest(&out));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "lane kernel diverged from the scalar AoS oracle at {pipelines} pipelines"
+        );
+    }
+}
+
 /// Acceptance: the shipped SRS deck builds a fault-injected campaign, and
 /// a shrunk version of it (same plumbing, shorter run, earlier faults)
 /// detects the seeded kill *and* the seeded NaN upset, recovers from
