@@ -5,18 +5,23 @@
 //! plus the sustained-vs-inner-loop flop-rate ratio on this host.
 //!
 //! This binary doubles as the step-throughput bench: `--nx/--ny/--nz`,
-//! `--ppc`, `--steps`, `--pipelines`, `--layout aos|aosoa` and
-//! `--kernel scalar|lane` size the run, and `--json <path>` writes a
-//! machine-readable `BENCH_step.json` record (schema in
-//! `vpic_bench::stepjson`). Writing into an existing file *merges by
-//! (layout, kernel)* — run once per variant and the file carries all the
-//! records side by side. The CI smoke lane re-invokes it as
-//! `--validate <path>` to check every record in a previously written file
-//! for schema problems and NaN/zero rates, and then cross-checks the lane
-//! kernel against the scalar AoS oracle on a shrunk bench grid — a record
-//! is only as trustworthy as the kernel that produced it.
-//! `--assert-speedup <path>` compares the file's two AoSoA records and
-//! fails unless the lane kernel is at least as fast as the scalar body.
+//! `--ppc`, `--steps`, `--pipelines`, `--layout aos|aosoa`,
+//! `--kernel scalar|lane` and `--sort auto|N` size the run, and
+//! `--json <path>` writes a machine-readable `BENCH_step.json` record
+//! (schema in `vpic_bench::stepjson`), including the realized sort
+//! cadence and the coherence telemetry (spill rate, mixed-block
+//! fraction) measured over the timed window. Writing into an existing
+//! file *merges by (layout, kernel, cadence)* — run once per variant and
+//! the file carries all the records side by side. The CI smoke lane
+//! re-invokes it as `--validate <path>` to check every record in a
+//! previously written file for schema problems and NaN/zero rates, and
+//! then cross-checks the lane kernel against the scalar AoS oracle on a
+//! shrunk bench grid — a record is only as trustworthy as the kernel
+//! that produced it. `--assert-speedup <path>` compares the file's two
+//! AoSoA records at the same cadence and fails unless the lane kernel is
+//! at least as fast as the scalar body; `--assert-auto <path>` compares
+//! the file's aosoa-lane `auto` record against its `fixed-25` record and
+//! fails unless the controller is at least on par (3% noise guard).
 //! `--sentinel` arms the numerical-integrity sentinel at its default
 //! 10-step cadence so the health-monitoring overhead can be compared
 //! against a plain run.
@@ -24,8 +29,24 @@
 use roadrunner_model::flops;
 use vpic_bench::stepjson::{read_set, write_set, StepBench};
 use vpic_bench::{parse_flag, parse_opt, print_table, uniform_plasma};
+use vpic_core::cadence::{CoherenceCounters, SortPolicy};
 use vpic_core::push::PushKernel;
 use vpic_core::store::Layout;
+
+/// Counter delta over the timed window (`end` and `start` are lifetime
+/// totals snapshotted around the measured steps).
+fn coh_delta(end: &CoherenceCounters, start: &CoherenceCounters) -> CoherenceCounters {
+    let mut d = *end;
+    d.tally.pushed -= start.tally.pushed;
+    d.tally.crossers -= start.tally.crossers;
+    d.tally.lane_blocks -= start.tally.lane_blocks;
+    d.tally.lane_spills -= start.tally.lane_spills;
+    d.tally.mixed_blocks -= start.tally.mixed_blocks;
+    d.tally.straddle_lanes -= start.tally.straddle_lanes;
+    d.sorts -= start.sorts;
+    d.skipped_sorts -= start.skipped_sorts;
+    d
+}
 
 fn main() {
     let validate_path = parse_opt::<String>("validate", String::new());
@@ -35,6 +56,10 @@ fn main() {
     let speedup_path = parse_opt::<String>("assert-speedup", String::new());
     if !speedup_path.is_empty() {
         std::process::exit(assert_speedup(&speedup_path));
+    }
+    let auto_path = parse_opt::<String>("assert-auto", String::new());
+    if !auto_path.is_empty() {
+        std::process::exit(assert_auto(&auto_path));
     }
 
     let full = parse_flag("full");
@@ -72,11 +97,17 @@ fn main() {
             PushKernel::Lane => "lane",
         }
     };
+    let sort_str = parse_opt::<String>("sort", "25".into());
+    let Some(sort_policy) = SortPolicy::parse(&sort_str) else {
+        eprintln!("--sort must be auto or a step count, got {sort_str}");
+        std::process::exit(2);
+    };
+    let cadence_name = sort_policy.name();
 
     let mut sim = uniform_plasma(n, ppc, pipelines, 7);
     sim.set_layout(layout);
     sim.set_kernel(kernel);
-    sim.species[0].sort_interval = 25;
+    sim.species[0].set_sort_policy(sort_policy);
     if sentinel {
         // Arm the numerical-integrity sentinel at its default 10-step
         // cadence; its sweeps land in the "other" phase so the overhead
@@ -90,11 +121,14 @@ fn main() {
         sim.step(); // warm-up, excluded from the report
     }
     sim.timings = Default::default();
+    let coh_start = *sim.species[0].coherence();
     for _ in 0..steps {
         sim.step();
     }
     let t = sim.timings;
     let total = t.total();
+    let coh = coh_delta(sim.species[0].coherence(), &coh_start);
+    let realized_interval = sim.species[0].cadence().interval;
 
     let row = |name: &str, secs: f64| {
         vec![
@@ -107,7 +141,7 @@ fn main() {
         &format!(
             "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
              {pipelines} pipelines, {} rayon threads, {layout} layout, \
-             {kernel_name} kernel{}",
+             {kernel_name} kernel, {cadence_name} cadence{}",
             vpic_core::worker_threads(),
             if sentinel { ", sentinel armed" } else { "" }
         ),
@@ -163,6 +197,33 @@ fn main() {
         layout,
         kernel_name
     );
+    print_table(
+        &format!("E2: sort cadence & lane coherence over the timed window ({cadence_name})"),
+        &["metric", "value"],
+        &[
+            vec![
+                "realized sort interval (steps)".into(),
+                realized_interval.to_string(),
+            ],
+            vec!["sorts performed".into(), coh.sorts.to_string()],
+            vec![
+                "sorts skipped (coherent)".into(),
+                coh.skipped_sorts.to_string(),
+            ],
+            vec![
+                "crosser rate (per particle-step)".into(),
+                format!("{:.5}", coh.crosser_rate()),
+            ],
+            vec![
+                "lane spill rate (per lane)".into(),
+                format!("{:.5}", coh.spill_rate()),
+            ],
+            vec![
+                "mixed-voxel block fraction".into(),
+                format!("{:.5}", coh.mixed_block_fraction()),
+            ],
+        ],
+    );
     println!("shape check: the inner loop dominates the step and the sustained/inner");
     println!("ratio sits in the same ~0.7-0.9 band the paper reports.");
 
@@ -176,19 +237,24 @@ fn main() {
             sim.n_particles() as u64,
             layout.name(),
             kernel_name,
-        );
+        )
+        .with_coherence(&cadence_name, &coh);
         if let Err(e) = bench.validate() {
             eprintln!("refusing to write {json}: {e}");
             std::process::exit(1);
         }
-        // Merge by (layout, kernel): an existing readable file keeps its
-        // other-variant records, so one run per variant accumulates a
-        // complete set.
+        // Merge by (layout, kernel, cadence): an existing readable file
+        // keeps its other-variant records, so one run per variant
+        // accumulates a complete set.
         let path = std::path::Path::new(&json);
         let mut set = read_set(path).unwrap_or_default();
-        set.retain(|b| b.layout != bench.layout || b.kernel != bench.kernel);
+        set.retain(|b| {
+            b.layout != bench.layout || b.kernel != bench.kernel || b.cadence != bench.cadence
+        });
         set.push(bench);
-        set.sort_by(|a, b| (&a.layout, &a.kernel).cmp(&(&b.layout, &b.kernel)));
+        set.sort_by(|a, b| {
+            (&a.layout, &a.kernel, &a.cadence).cmp(&(&b.layout, &b.kernel, &b.cadence))
+        });
         if let Err(e) = write_set(&set, path) {
             eprintln!("write {json}: {e}");
             std::process::exit(1);
@@ -210,14 +276,16 @@ fn validate(path: &str) -> i32 {
         Ok(set) => {
             for b in &set {
                 println!(
-                    "{path} OK [{} {}]: {:.4e} particles/s, grid {:?}, {} threads, \
-                     inner-loop share {:.3}",
+                    "{path} OK [{} {} {}]: {:.4e} particles/s, grid {:?}, {} threads, \
+                     inner-loop share {:.3}, spill rate {:.4}",
                     b.layout,
                     b.kernel,
+                    b.cadence,
                     b.particles_per_sec,
                     b.grid,
                     b.threads,
-                    b.inner_loop_fraction
+                    b.inner_loop_fraction,
+                    b.spill_rate
                 );
             }
         }
@@ -256,7 +324,7 @@ fn oracle_cross_check() -> Result<String, String> {
         sim.set_kernel(kernel);
         // A short sort interval so the lane kernel sees both freshly
         // sorted single-voxel blocks and drifted mixed-voxel blocks.
-        sim.species[0].sort_interval = 3;
+        sim.species[0].set_sort_policy(SortPolicy::Fixed(3));
         sim
     });
     for _ in 0..steps {
@@ -310,8 +378,9 @@ fn oracle_cross_check() -> Result<String, String> {
 }
 
 /// `--assert-speedup <path>`: the file must carry AoSoA records for both
-/// kernels on the same configuration, and the lane kernel must be at
-/// least as fast — the regression gate for the lane rewrite.
+/// kernels on the same configuration and sort cadence, and the lane
+/// kernel must be at least as fast — the regression gate for the lane
+/// rewrite.
 fn assert_speedup(path: &str) -> i32 {
     let set = match read_set(std::path::Path::new(path)) {
         Ok(set) => set,
@@ -320,12 +389,15 @@ fn assert_speedup(path: &str) -> i32 {
             return 1;
         }
     };
-    let find = |kernel: &str| {
+    let scalar = set
+        .iter()
+        .find(|b| b.layout == "aosoa" && b.kernel == "scalar");
+    let lane = scalar.and_then(|s| {
         set.iter()
-            .find(|b| b.layout == "aosoa" && b.kernel == kernel)
-    };
-    let (Some(scalar), Some(lane)) = (find("scalar"), find("lane")) else {
-        eprintln!("{path}: need aosoa records for both scalar and lane kernels");
+            .find(|b| b.layout == "aosoa" && b.kernel == "lane" && b.cadence == s.cadence)
+    });
+    let (Some(scalar), Some(lane)) = (scalar, lane) else {
+        eprintln!("{path}: need aosoa records for both scalar and lane kernels at one cadence");
         return 1;
     };
     if scalar.grid != lane.grid || scalar.ppc != lane.ppc || scalar.pipelines != lane.pipelines {
@@ -345,6 +417,49 @@ fn assert_speedup(path: &str) -> i32 {
         0
     } else {
         eprintln!("lane kernel is SLOWER than the scalar body it replaced");
+        1
+    }
+}
+
+/// `--assert-auto <path>`: the file must carry aosoa-lane records for
+/// both the `auto` and `fixed-25` cadences on the same configuration,
+/// and the controller must be at least on par with the historical fixed
+/// cadence. A 3% guard absorbs run-to-run timing noise in CI; the
+/// committed BENCH_step.json is expected to clear 1.0x outright.
+fn assert_auto(path: &str) -> i32 {
+    let set = match read_set(std::path::Path::new(path)) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let find = |cadence: &str| {
+        set.iter()
+            .find(|b| b.layout == "aosoa" && b.kernel == "lane" && b.cadence == cadence)
+    };
+    let (Some(auto), Some(fixed)) = (find("auto"), find("fixed-25")) else {
+        eprintln!("{path}: need aosoa lane records for both auto and fixed-25 cadences");
+        return 1;
+    };
+    if auto.grid != fixed.grid || auto.ppc != fixed.ppc || auto.pipelines != fixed.pipelines {
+        eprintln!(
+            "{path}: records not comparable (auto grid {:?} ppc {} pipes {} vs fixed grid {:?} \
+             ppc {} pipes {})",
+            auto.grid, auto.ppc, auto.pipelines, fixed.grid, fixed.ppc, fixed.pipelines
+        );
+        return 1;
+    }
+    let ratio = auto.particles_per_sec / fixed.particles_per_sec;
+    println!(
+        "{path}: aosoa lane auto {:.4e} p/s ({} sorts, {} skipped) vs fixed-25 {:.4e} p/s \
+         ({ratio:.3}x)",
+        auto.particles_per_sec, auto.sorts, auto.skipped_sorts, fixed.particles_per_sec
+    );
+    if ratio >= 0.97 {
+        0
+    } else {
+        eprintln!("auto cadence is SLOWER than the fixed-25 default it replaces");
         1
     }
 }

@@ -2,12 +2,15 @@
 //!
 //! 1. particle layout: 32-byte AoS vs AoSoA SIMD blocks (the paper's Cell
 //!    SPE pipelines consumed AoSoA-converted blocks);
-//! 2. voxel-order sorting interval (the cache-locality lever);
+//! 2. sort cadence × push kernel — the cache-locality lever crossed with
+//!    the scalar/lane body, including the `auto` cadence controller
+//!    (`--json <path>` dumps the sweep as a machine-readable record);
 //! 3. pipeline (accumulator) count — VPIC's write-conflict-free
 //!    parallelization of the scatter.
 
-use vpic_bench::{parse_flag, print_table, time_it, uniform_plasma};
-use vpic_core::push::{advance_p, PushCoefficients};
+use vpic_bench::{parse_flag, parse_opt, print_table, time_it, uniform_plasma};
+use vpic_core::cadence::SortPolicy;
+use vpic_core::push::{advance_p, PushCoefficients, PushKernel};
 use vpic_core::sort::locality_fraction;
 use vpic_core::store::{Layout, ParticleStore};
 
@@ -68,38 +71,98 @@ fn main() {
         ],
     );
 
-    // --- (2) Sort interval --------------------------------------------
+    // --- (2) Sort cadence x push kernel --------------------------------
+    // Each cell runs the production AoSoA step loop under one cadence
+    // policy and one kernel body; `auto` exercises the coherence-driven
+    // controller. The JSON dump feeds EXPERIMENTS.md and ad-hoc plotting.
+    let json = parse_opt::<String>("json", String::new());
     let mut rows = Vec::new();
-    for &interval in &[0usize, 10, 25, 100] {
-        let mut sim = uniform_plasma(n, ppc, 1, 22);
-        sim.species[0].sort_interval = interval;
-        // Scramble particle order thoroughly before measuring.
-        for _ in 0..if full { 60 } else { 30 } {
-            sim.step();
+    let mut records = Vec::new();
+    let policies = ["0", "10", "25", "100", "auto"];
+    for cadence in policies {
+        let policy = SortPolicy::parse(cadence).expect("sweep cadences all parse");
+        for kernel in [PushKernel::Scalar, PushKernel::Lane] {
+            let kernel_name = match kernel {
+                PushKernel::Scalar => "scalar",
+                PushKernel::Lane => "lane",
+            };
+            let mut sim = uniform_plasma(n, ppc, 1, 22);
+            sim.set_layout(Layout::Aosoa);
+            sim.set_kernel(kernel);
+            sim.species[0].set_sort_policy(policy);
+            // Scramble particle order thoroughly before measuring.
+            for _ in 0..if full { 60 } else { 30 } {
+                sim.step();
+            }
+            let loc = locality_fraction(&sim.species[0].to_particles());
+            sim.timings = Default::default();
+            let coh_start = *sim.species[0].coherence();
+            let steps = if full { 30 } else { 12 };
+            for _ in 0..steps {
+                sim.step();
+            }
+            let pps = sim.timings.particle_steps as f64 / sim.timings.push;
+            let sort_per_step = sim.timings.sort / sim.timings.steps as f64;
+            let coh_end = *sim.species[0].coherence();
+            let sorts = coh_end.sorts - coh_start.sorts;
+            let skipped = coh_end.skipped_sorts - coh_start.skipped_sorts;
+            let spill = {
+                let lanes = (coh_end.tally.lane_blocks - coh_start.tally.lane_blocks) * 8;
+                if lanes == 0 {
+                    0.0
+                } else {
+                    (coh_end.tally.lane_spills - coh_start.tally.lane_spills) as f64 / lanes as f64
+                }
+            };
+            let realized = sim.species[0].cadence().interval;
+            rows.push(vec![
+                policy.name(),
+                kernel_name.into(),
+                format!("{realized}"),
+                format!("{:.3}", loc),
+                format!("{:.3e}", pps),
+                format!("{:.4}", sort_per_step),
+                format!("{:.4}", spill),
+            ]);
+            records.push(format!(
+                "    {{\n      \"cadence\": \"{}\",\n      \"kernel\": \"{kernel_name}\",\n      \
+                 \"realized_interval\": {realized},\n      \"locality\": {loc:.6},\n      \
+                 \"push_advances_per_sec\": {pps:.6e},\n      \"sort_sec_per_step\": \
+                 {sort_per_step:.6e},\n      \"spill_rate\": {spill:.6},\n      \"sorts\": \
+                 {sorts},\n      \"skipped_sorts\": {skipped}\n    }}",
+                policy.name()
+            ));
         }
-        let loc = locality_fraction(&sim.species[0].to_particles());
-        sim.timings = Default::default();
-        let steps = if full { 30 } else { 12 };
-        for _ in 0..steps {
-            sim.step();
-        }
-        let pps = sim.timings.particle_steps as f64 / sim.timings.push;
-        rows.push(vec![
-            if interval == 0 {
-                "never".into()
-            } else {
-                format!("{interval}")
-            },
-            format!("{:.3}", loc),
-            format!("{:.3e}", pps),
-            format!("{:.4}", sim.timings.sort / sim.timings.steps as f64),
-        ]);
     }
     print_table(
-        "E8.2: voxel-sort interval (locality = fraction of neighbors in adjacent voxels)",
-        &["sort every", "locality", "push advances/s", "sort s/step"],
+        "E8.2: sort cadence x kernel (aosoa layout; locality = fraction of neighbors in \
+         adjacent voxels)",
+        &[
+            "cadence",
+            "kernel",
+            "realized",
+            "locality",
+            "push advances/s",
+            "sort s/step",
+            "spill rate",
+        ],
         &rows,
     );
+    if !json.is_empty() {
+        let body = format!(
+            "{{\n  \"schema\": \"vpic-bench/e8-sort-kernel/v1\",\n  \"grid\": [{}, {}, {}],\n  \
+             \"ppc\": {ppc},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+            n.0,
+            n.1,
+            n.2,
+            records.join(",\n")
+        );
+        if let Err(e) = std::fs::write(&json, body) {
+            eprintln!("write {json}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {json} ({} sweep records)", records.len());
+    }
 
     // --- (3) Pipelines --------------------------------------------------
     let mut rows = Vec::new();

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use vpic_core::cadence::CoherenceCounters;
 use vpic_core::sim::StepTimings;
 
 /// Schema identifier embedded in every record. v2 added the `layout`
@@ -15,10 +16,16 @@ use vpic_core::sim::StepTimings;
 /// files ([`write_set`]) so one `BENCH_step.json` carries an AoS and an
 /// AoSoA measurement side by side. v3 added the `kernel` field (`scalar`
 /// or `lane` push body); v2 records predate the lane kernel and parse
-/// with `kernel = "scalar"`.
-pub const SCHEMA: &str = "vpic-bench/step/v3";
+/// with `kernel = "scalar"`. v4 added the `cadence` field (sort policy
+/// the run used, `auto` or `fixed-N`) and the `coherence` block (realized
+/// sorts/skips and crosser/spill/mixed-block rates), so the file captures
+/// *why* a rate came out the way it did, not just the rate; v3 and v2
+/// records parse with `cadence = "fixed-25"` (the historical default) and
+/// zeroed coherence.
+pub const SCHEMA: &str = "vpic-bench/step/v4";
 
-/// Previous schema, still readable (see [`SCHEMA`]).
+/// Previous schemas, still readable (see [`SCHEMA`]).
+pub const SCHEMA_V3: &str = "vpic-bench/step/v3";
 pub const SCHEMA_V2: &str = "vpic-bench/step/v2";
 
 /// One whole-step throughput measurement.
@@ -39,6 +46,18 @@ pub struct StepBench {
     /// Push body (`scalar` or `lane`). AoS always runs the scalar body,
     /// so `layout = "aos"` records must carry `kernel = "scalar"`.
     pub kernel: String,
+    /// Sort policy the run used (`auto` or `fixed-N`).
+    pub cadence: String,
+    /// Counting sorts actually performed during the timed steps.
+    pub sorts: u64,
+    /// Cadence-due sorts skipped as provably coherent.
+    pub skipped_sorts: u64,
+    /// Crossers per particle-step (cell-crossing rate).
+    pub crosser_rate: f64,
+    /// Lanes spilled per lane-kernel lane pushed.
+    pub spill_rate: f64,
+    /// Fraction of lane-kernel blocks spanning more than one voxel.
+    pub mixed_block_fraction: f64,
     /// Total macroparticles.
     pub particles: u64,
     /// Whole-step particle advance rate.
@@ -77,6 +96,12 @@ impl StepBench {
             threads,
             layout: layout.to_string(),
             kernel: kernel.to_string(),
+            cadence: "fixed-25".to_string(),
+            sorts: 0,
+            skipped_sorts: 0,
+            crosser_rate: 0.0,
+            spill_rate: 0.0,
+            mixed_block_fraction: 0.0,
             particles,
             particles_per_sec: if total > 0.0 {
                 t.particle_steps as f64 / total
@@ -92,6 +117,19 @@ impl StepBench {
             other: t.other,
             total,
         }
+    }
+
+    /// Attach the sort policy and realized coherence telemetry of the
+    /// timed window (counter deltas over the timed steps, so the rates
+    /// describe what this record measured, not the warm-up).
+    pub fn with_coherence(mut self, cadence: &str, coh: &CoherenceCounters) -> Self {
+        self.cadence = cadence.to_string();
+        self.sorts = coh.sorts;
+        self.skipped_sorts = coh.skipped_sorts;
+        self.crosser_rate = coh.crosser_rate();
+        self.spill_rate = coh.spill_rate();
+        self.mixed_block_fraction = coh.mixed_block_fraction();
+        self
     }
 
     /// Serialize to pretty-printed JSON.
@@ -110,6 +148,18 @@ impl StepBench {
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"layout\": \"{}\",", self.layout);
         let _ = writeln!(s, "  \"kernel\": \"{}\",", self.kernel);
+        let _ = writeln!(s, "  \"cadence\": \"{}\",", self.cadence);
+        let _ = writeln!(s, "  \"coherence\": {{");
+        let _ = writeln!(s, "    \"sorts\": {},", self.sorts);
+        let _ = writeln!(s, "    \"skipped_sorts\": {},", self.skipped_sorts);
+        let _ = writeln!(s, "    \"crosser_rate\": {:e},", self.crosser_rate);
+        let _ = writeln!(s, "    \"spill_rate\": {:e},", self.spill_rate);
+        let _ = writeln!(
+            s,
+            "    \"mixed_block_fraction\": {:e}",
+            self.mixed_block_fraction
+        );
+        let _ = writeln!(s, "  }},");
         let _ = writeln!(s, "  \"particles\": {},", self.particles);
         let _ = writeln!(s, "  \"particles_per_sec\": {:e},", self.particles_per_sec);
         let _ = writeln!(
@@ -144,13 +194,15 @@ impl StepBench {
     }
 
     /// Parse from JSON text (see [`StepBench::read`]). Understands the
-    /// current schema and v2 (which had no `kernel` field — those records
-    /// predate the lane kernel, so they parse as `kernel = "scalar"`).
+    /// current schema, v3 (no `cadence`/`coherence` — defaults to the
+    /// historical fixed-25 with zeroed telemetry) and v2 (additionally no
+    /// `kernel` field — those records predate the lane kernel, so they
+    /// parse as `kernel = "scalar"`).
     pub fn parse(text: &str) -> Result<Self, String> {
         let schema = scan_string(text, "schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V2 {
+        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
             return Err(format!(
-                "schema mismatch: got {schema:?}, want {SCHEMA:?} (or {SCHEMA_V2:?})"
+                "schema mismatch: got {schema:?}, want {SCHEMA:?} (or {SCHEMA_V3:?}/{SCHEMA_V2:?})"
             ));
         }
         let kernel = if schema == SCHEMA_V2 {
@@ -158,6 +210,19 @@ impl StepBench {
         } else {
             scan_string(text, "kernel")?
         };
+        let (cadence, sorts, skipped_sorts, crosser_rate, spill_rate, mixed_block_fraction) =
+            if schema == SCHEMA {
+                (
+                    scan_string(text, "cadence")?,
+                    scan_number(text, "sorts")? as u64,
+                    scan_number(text, "skipped_sorts")? as u64,
+                    scan_number(text, "crosser_rate")?,
+                    scan_number(text, "spill_rate")?,
+                    scan_number(text, "mixed_block_fraction")?,
+                )
+            } else {
+                ("fixed-25".to_string(), 0, 0, 0.0, 0.0, 0.0)
+            };
         Ok(StepBench {
             grid: (
                 scan_number(text, "nx")? as usize,
@@ -170,6 +235,12 @@ impl StepBench {
             threads: scan_number(text, "threads")? as usize,
             layout: scan_string(text, "layout")?,
             kernel,
+            cadence,
+            sorts,
+            skipped_sorts,
+            crosser_rate,
+            spill_rate,
+            mixed_block_fraction,
             particles: scan_number(text, "particles")? as u64,
             particles_per_sec: scan_number(text, "particles_per_sec")?,
             inner_loop_fraction: scan_number(text, "inner_loop_fraction")?,
@@ -207,6 +278,23 @@ impl StepBench {
         }
         if self.layout == "aos" && self.kernel != "scalar" {
             return Err("aos layout always runs the scalar kernel".into());
+        }
+        let cadence_ok = self.cadence == "auto"
+            || self
+                .cadence
+                .strip_prefix("fixed-")
+                .is_some_and(|n| n.parse::<u32>().is_ok());
+        if !cadence_ok {
+            return Err(format!("unknown cadence {:?}", self.cadence));
+        }
+        for (name, v) in [
+            ("crosser_rate", self.crosser_rate),
+            ("spill_rate", self.spill_rate),
+            ("mixed_block_fraction", self.mixed_block_fraction),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} out of range: {v}"));
+            }
         }
         if !self.particles_per_sec.is_finite() || self.particles_per_sec <= 0.0 {
             return Err(format!("bad particle rate {}", self.particles_per_sec));
@@ -320,6 +408,12 @@ mod tests {
             threads: 8,
             layout: "aos".into(),
             kernel: "scalar".into(),
+            cadence: "fixed-25".into(),
+            sorts: 1,
+            skipped_sorts: 0,
+            crosser_rate: 0.02,
+            spill_rate: 0.03,
+            mixed_block_fraction: 0.1,
             particles: 2_097_152,
             particles_per_sec: 1.25e7,
             inner_loop_fraction: 0.62,
@@ -402,6 +496,69 @@ mod tests {
         assert!(!v2.contains("kernel"));
         let parsed = StepBench::parse(&v2).unwrap();
         assert_eq!(parsed.kernel, "scalar");
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn v3_records_parse_with_default_cadence() {
+        // A committed v3 BENCH_step.json predates the cadence controller;
+        // it must keep parsing, with the historical fixed-25 default and
+        // zeroed coherence telemetry.
+        let b = sample();
+        let v3 = b
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V3)
+            .replace("  \"cadence\": \"fixed-25\",\n", "");
+        let parsed = StepBench::parse(&v3).unwrap();
+        assert_eq!(parsed.cadence, "fixed-25");
+        assert_eq!(parsed.sorts, 0);
+        assert_eq!(parsed.crosser_rate, 0.0);
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_cadence_and_rates() {
+        let mut b = sample();
+        b.cadence = "sometimes".into();
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.cadence = "fixed-".into();
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.cadence = "auto".into();
+        b.validate().unwrap();
+        b.spill_rate = 1.5;
+        assert!(b.validate().is_err());
+        let mut b = sample();
+        b.crosser_rate = f64::NAN;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn coherence_rides_the_roundtrip() {
+        use vpic_core::cadence::{CoherenceCounters, PushTally};
+        let coh = CoherenceCounters {
+            tally: PushTally {
+                pushed: 1000,
+                crossers: 20,
+                lane_blocks: 100,
+                lane_spills: 16,
+                mixed_blocks: 10,
+                straddle_lanes: 8,
+            },
+            sorts: 3,
+            skipped_sorts: 1,
+        };
+        let mut b = sample();
+        b.layout = "aosoa".into();
+        b.kernel = "lane".into();
+        let b = b.with_coherence("auto", &coh);
+        let parsed = StepBench::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.cadence, "auto");
+        assert_eq!(parsed.sorts, 3);
+        assert_eq!(parsed.skipped_sorts, 1);
+        assert!((parsed.crosser_rate - 0.02).abs() < 1e-12);
         parsed.validate().unwrap();
     }
 

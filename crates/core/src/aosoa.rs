@@ -17,6 +17,7 @@
 //! pins the contract differentially.
 
 use crate::accumulator::{quadrants_lanes, AccumulatorArray};
+use crate::cadence::PushTally;
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
 use crate::lanes::{transpose8, F32x8};
@@ -355,8 +356,12 @@ struct BlockPush {
 /// Phases 1–3 of [`advance_full_block`] plus the lane-wide quadrant
 /// precompute: pure vector work against the block and the (read-only)
 /// interpolators — no accumulator access, so the computes of different
-/// blocks are independent and [`advance_range`] overlaps two of them to
-/// hide the sqrt/div latency chains before scattering in block order.
+/// blocks are independent. [`advance_range`] exploits that with deferred
+/// scatter: it computes up to [`SCATTER_BATCH`] consecutive blocks
+/// back-to-back (independent sqrt/div chains the ROB can overlap) before
+/// draining their queued [`BlockPush`]es through [`scatter_block`] in
+/// block order, which keeps every accumulator deposit in the exact
+/// particle-index order the serial kernel would use.
 #[inline]
 fn compute_block(b: &mut Block, c: PushCoefficients, interp: &InterpolatorArray) -> BlockPush {
     let one = F32x8::splat(1.0);
@@ -546,13 +551,63 @@ fn spill_lane(
     b.set_lane(l, &p);
 }
 
+/// How many blocks' [`compute_block`] results are queued before one
+/// scatter pass drains them. The compute phase of a block is a ~190-cycle
+/// serial dependency chain (gather → sqrt → div → rotate); with immediate
+/// scatter the next block's chain cannot start until this block's
+/// accumulator writes retire. Computing a batch of independent chains
+/// back-to-back lets the out-of-order core overlap them; 8 blocks ≈ 64
+/// particles comfortably covers the chain depth while the queued
+/// [`BlockPush`]es (~5 KiB) stay L1-resident.
+const SCATTER_BATCH: usize = 8;
+
+/// One computed-but-not-yet-scattered block in the deferred-scatter queue.
+struct QueuedBlock {
+    bi: usize,
+    base: u32,
+    live: usize,
+    push: BlockPush,
+}
+
+/// Drain the deferred-scatter queue in block order. Deposits and spills
+/// happen here, in exactly the order the unbatched kernel would produce
+/// them, which is what keeps the batching invisible to the bit-identity
+/// contract.
+///
+/// # Safety
+/// Caller must own every queued block exclusively (same contract as
+/// [`advance_range`]); no `&mut Block` to any of them may be live.
+#[allow(clippy::too_many_arguments)]
+unsafe fn drain_batch(
+    batch: &mut Vec<QueuedBlock>,
+    blocks: BlockPtr,
+    qsp: f32,
+    acc: &mut AccumulatorArray,
+    g: &Grid,
+    absorbed: &mut Vec<u32>,
+    exiles: &mut Vec<Exile>,
+) {
+    for e in batch.drain(..) {
+        // SAFETY: exclusive ownership per the function contract.
+        let b = unsafe { &mut *blocks.0.add(e.bi) };
+        scatter_block(b, e.base, e.live, &e.push, qsp, acc, g, absorbed, exiles);
+    }
+}
+
 /// One pipeline's share of the production AoSoA advance: the particle
 /// index range `[start, end)`. With [`PushKernel::Lane`], blocks fully
-/// inside the range run the lane-wide kernel; lanes of blocks straddling
-/// a pipeline boundary run the scalar per-particle path (same arithmetic
-/// — lane math is element-wise, so results are bit-identical either way).
+/// inside the range run the lane-wide kernel with deferred scatter:
+/// [`compute_block`] runs for up to [`SCATTER_BATCH`] consecutive blocks
+/// (pure vector work, no accumulator access), then the queued results
+/// scatter in block order. Lanes of blocks straddling a pipeline boundary
+/// run the scalar per-particle path (same arithmetic — lane math is
+/// element-wise, so results are bit-identical either way); the queue is
+/// drained first so accumulator deposits keep particle-index order.
 /// With [`PushKernel::Scalar`] every lane takes the scalar path — that is
 /// the oracle configuration the differential harness compares against.
+///
+/// Also tallies the coherence telemetry of the range (crossers, spills,
+/// mixed blocks, straddled lanes) for the sort-cadence controller.
 ///
 /// # Safety
 /// Ranges of concurrent callers must be disjoint, `blocks` must cover
@@ -571,9 +626,11 @@ unsafe fn advance_range(
     acc: &mut AccumulatorArray,
     g: &Grid,
     kernel: PushKernel,
-) -> (Vec<u32>, Vec<Exile>) {
+) -> (Vec<u32>, Vec<Exile>, PushTally) {
     let mut absorbed: Vec<u32> = Vec::new();
     let mut exiles: Vec<Exile> = Vec::new();
+    let mut tally = PushTally::default();
+    let mut batch: Vec<QueuedBlock> = Vec::with_capacity(SCATTER_BATCH);
     let mut idx = start;
     while idx < end {
         let bi = idx / LANES;
@@ -583,34 +640,78 @@ unsafe fn advance_range(
         if kernel == PushKernel::Lane && lane0 == 0 && end >= block_live_end {
             // Every live lane of this block belongs to this pipeline:
             // safe to take the whole block mutably and run lane-parallel.
+            let live = block_live_end - block_start;
             // SAFETY: exclusive ownership per the function contract.
             let b = unsafe { &mut *blocks.0.add(bi) };
-            advance_full_block(
-                b,
-                block_start as u32,
-                block_live_end - block_start,
-                c,
-                interp,
-                acc,
-                g,
-                &mut absorbed,
-                &mut exiles,
-            );
+            tally.pushed += live as u64;
+            tally.lane_blocks += 1;
+            let v0 = b.i[0];
+            if b.i[1..live].iter().any(|&v| v != v0) {
+                tally.mixed_blocks += 1;
+            }
+            let push = compute_block(b, c, interp);
+            let spills = (0..live).filter(|&l| !push.stay.test(l)).count() as u64;
+            tally.lane_spills += spills;
+            tally.crossers += spills;
+            batch.push(QueuedBlock {
+                bi,
+                base: block_start as u32,
+                live,
+                push,
+            });
+            if batch.len() == SCATTER_BATCH {
+                // SAFETY: no block reference is live; ownership as above.
+                unsafe {
+                    drain_batch(
+                        &mut batch,
+                        blocks,
+                        c.qsp,
+                        acc,
+                        g,
+                        &mut absorbed,
+                        &mut exiles,
+                    )
+                };
+            }
             idx = block_live_end;
         } else {
             // Straddling block (or scalar-kernel run): touch only our
-            // lanes, via raw pointer.
+            // lanes, via raw pointer. Deposits must stay in particle-index
+            // order, so queued lane blocks scatter first.
+            // SAFETY: as above.
+            unsafe {
+                drain_batch(
+                    &mut batch,
+                    blocks,
+                    c.qsp,
+                    acc,
+                    g,
+                    &mut absorbed,
+                    &mut exiles,
+                )
+            };
             let hi = (end - block_start).min(LANES);
             let bp = unsafe { blocks.0.add(bi) };
             for l in lane0..hi {
                 let gidx = (block_start + l) as u32;
+                tally.pushed += 1;
+                if kernel == PushKernel::Lane {
+                    tally.straddle_lanes += 1;
+                }
                 // SAFETY: lane `l` maps to particle index in [start, end),
                 // owned exclusively by this pipeline.
                 let mut p = unsafe { lane_load(bp, l) };
                 match push_one(&mut p, gidx, c, interp, acc, g) {
-                    PushedFate::Stayed => {}
-                    PushedFate::Absorbed => absorbed.push(gidx),
-                    PushedFate::Exiled(e) => exiles.push(e),
+                    PushedFate::Stayed { crossed: false } => {}
+                    PushedFate::Stayed { crossed: true } => tally.crossers += 1,
+                    PushedFate::Absorbed => {
+                        tally.crossers += 1;
+                        absorbed.push(gidx);
+                    }
+                    PushedFate::Exiled(e) => {
+                        tally.crossers += 1;
+                        exiles.push(e);
+                    }
                 }
                 // SAFETY: as above.
                 unsafe { lane_store(bp, l, &p) };
@@ -618,7 +719,19 @@ unsafe fn advance_range(
             idx = block_start + hi;
         }
     }
-    (absorbed, exiles)
+    // SAFETY: as above.
+    unsafe {
+        drain_batch(
+            &mut batch,
+            blocks,
+            c.qsp,
+            acc,
+            g,
+            &mut absorbed,
+            &mut exiles,
+        )
+    };
+    (absorbed, exiles, tally)
 }
 
 /// Production AoSoA particle advance: the exact pipeline contract of
@@ -641,11 +754,13 @@ pub fn advance_p_aosoa_pipelined(
         g,
         PushKernel::default(),
     )
+    .0
 }
 
 /// [`advance_p_aosoa_pipelined`] with an explicit kernel choice (the
 /// differential-oracle harness pins `Lane` against `Scalar` through this
-/// entry point).
+/// entry point) that also returns the range tallies summed in pipeline
+/// order — integer adds, so the totals are worker-count-independent.
 pub fn advance_p_aosoa_pipelined_with(
     store: &mut AosoaStore,
     coeffs: PushCoefficients,
@@ -653,14 +768,14 @@ pub fn advance_p_aosoa_pipelined_with(
     accumulators: &mut [AccumulatorArray],
     g: &Grid,
     kernel: PushKernel,
-) -> Vec<Exile> {
+) -> (Vec<Exile>, PushTally) {
     let n_pipes = accumulators.len();
     assert!(n_pipes >= 1);
     let n = store.len;
     let block = n.div_ceil(n_pipes).max(1);
     let ptr = BlockPtr(store.blocks.as_mut_ptr());
 
-    let results: Vec<(Vec<u32>, Vec<Exile>)> = accumulators
+    let results: Vec<(Vec<u32>, Vec<Exile>, PushTally)> = accumulators
         .par_iter_mut()
         .enumerate()
         .map(|(pipe, acc)| {
@@ -674,15 +789,17 @@ pub fn advance_p_aosoa_pipelined_with(
 
     let mut absorbed: Vec<u32> = Vec::new();
     let mut exiles: Vec<Exile> = Vec::new();
-    for (a, e) in results {
+    let mut tally = PushTally::default();
+    for (a, e, t) in results {
         absorbed.extend(a);
         exiles.extend(e);
+        tally.absorb(&t);
     }
     let len = store.len;
     retarget_and_delete(len, absorbed, &mut exiles, |i| {
         store.swap_remove(i);
     });
-    exiles
+    (exiles, tally)
 }
 
 /// Single-accumulator AoSoA advance for closed (periodic/reflect) domains

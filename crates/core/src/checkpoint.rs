@@ -22,6 +22,7 @@
 //! whichever of raw/compressed is smaller, so compression can never make a
 //! dump larger than the raw format by more than the fixed framing bytes.
 
+use crate::cadence::{CadenceState, CoherenceCounters, PushTally, SortPolicy};
 use crate::crc32::{crc32, Crc32};
 use crate::field::FieldArray;
 use crate::grid::{Grid, ParticleBc};
@@ -629,7 +630,37 @@ pub fn encode_species(species: &[Species]) -> Vec<u8> {
         p.bytes(name);
         p.f32(sp.q);
         p.f32(sp.m);
-        p.u32(sp.sort_interval as u32);
+        // Sort policy + cadence-controller state + the layout-independent
+        // coherence counters: the controller's decisions must replay
+        // bit-identically after a resume or rollback, so everything that
+        // feeds a decision rides the dump (the EWMA rate as raw f64 bits
+        // through `f64`). The lane-telemetry counters (lane blocks/spills,
+        // mixed blocks, straddled lanes) describe which kernel executed,
+        // not the physics — persisting them would make dump bytes differ
+        // across layouts, breaking the canonical-AoS fingerprint contract.
+        // They reset on restore.
+        match sp.sort_policy {
+            SortPolicy::Fixed(n) => {
+                p.u32(0);
+                p.u32(n);
+            }
+            SortPolicy::Auto => {
+                p.u32(1);
+                p.u32(0);
+            }
+        }
+        let cad = sp.cadence();
+        p.u32(cad.interval);
+        p.u32(cad.steps_since_sort);
+        p.u64(cad.crossers_since_sort);
+        p.u64(cad.len_at_sort);
+        p.u32(cad.coherent as u32 | (cad.measured as u32) << 1);
+        p.f64(cad.rate);
+        let co = sp.coherence();
+        p.u64(co.tally.pushed);
+        p.u64(co.tally.crossers);
+        p.u64(co.sorts);
+        p.u64(co.skipped_sorts);
         // Always the canonical AoS byte stream, whatever the in-memory
         // layout — dumps are layout-independent by construction.
         p.u64(sp.len() as u64);
@@ -669,9 +700,52 @@ pub fn decode_species(payload: &[u8], n_voxels: usize) -> Result<Vec<Species>, C
             .map_err(|_| CheckpointError::Malformed("species name is not UTF-8".into()))?;
         let q = r.f32()?;
         let m = r.f32()?;
-        let sort_interval = r.u32()? as usize;
+        let policy = match r.u32()? {
+            0 => SortPolicy::Fixed(r.u32()?),
+            1 => {
+                r.u32()?; // reserved
+                SortPolicy::Auto
+            }
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "bad sort policy tag {other}"
+                )))
+            }
+        };
+        let mut cad = CadenceState::new(policy);
+        cad.interval = r.u32()?;
+        cad.steps_since_sort = r.u32()?;
+        cad.crossers_since_sort = r.u64()?;
+        cad.len_at_sort = r.u64()?;
+        let flags = r.u32()?;
+        if flags & !0b11 != 0 {
+            return Err(CheckpointError::Malformed(format!(
+                "bad cadence flags {flags:#x}"
+            )));
+        }
+        cad.coherent = flags & 1 != 0;
+        cad.measured = flags & 2 != 0;
+        cad.rate = r.f64()?;
+        if !cad.rate.is_finite() || cad.rate < 0.0 {
+            return Err(CheckpointError::Malformed(format!(
+                "bad cadence rate {}",
+                cad.rate
+            )));
+        }
+        // Kernel-telemetry counters (lane blocks/spills, mixed blocks,
+        // straddled lanes) are not in the dump — they restart at zero and
+        // re-describe whatever kernel runs after the restore.
+        let counters = CoherenceCounters {
+            tally: PushTally {
+                pushed: r.u64()?,
+                crossers: r.u64()?,
+                ..PushTally::default()
+            },
+            sorts: r.u64()?,
+            skipped_sorts: r.u64()?,
+        };
         let count = r.u64()? as usize;
-        let mut sp = Species::new(name, q, m).with_sort_interval(sort_interval);
+        let mut sp = Species::new(name, q, m).with_sort_policy(policy);
         // Do not trust the header for a big up-front reservation: a
         // corrupted count should fail on decode, not on allocation.
         sp.store_mut().reserve(count.min(1 << 20));
@@ -700,6 +774,8 @@ pub fn decode_species(payload: &[u8], n_voxels: usize) -> Result<Vec<Species>, C
                 w,
             });
         }
+        sp.set_cadence(cad);
+        sp.set_coherence(counters);
         out.push(sp);
     }
     r.done()?;

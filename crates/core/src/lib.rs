@@ -37,6 +37,7 @@
 
 pub mod accumulator;
 pub mod aosoa;
+pub mod cadence;
 pub mod checkpoint;
 pub mod collision;
 pub mod crc32;
@@ -71,6 +72,10 @@ pub use aosoa::{
     advance_p_aosoa, advance_p_aosoa_pipelined, advance_p_aosoa_pipelined_with, sort_aosoa_with,
     AosoaStore, Block, LANES,
 };
+pub use cadence::{
+    auto_sort_interval, CadenceState, CoherenceCounters, PushTally, SortPolicy,
+    DEFAULT_SORT_INTERVAL, MAX_AUTO_INTERVAL, MIN_AUTO_INTERVAL,
+};
 pub use checkpoint::CheckpointError;
 pub use collision::CollisionOperator;
 pub use crc32::{crc32, Crc32};
@@ -87,8 +92,8 @@ pub use lanes::{transpose8, F32x8, F64x8, Mask8};
 pub use maxwellian::{load_profile, load_two_stream, load_uniform, Momentum};
 pub use particle::{Mover, Particle};
 pub use push::{
-    advance_p, advance_p_serial, advance_p_with, move_p_local, Exile, MoveOutcome,
-    PushCoefficients, PushKernel,
+    advance_p, advance_p_serial, advance_p_tallied, advance_p_with, move_p_local, Exile,
+    MoveOutcome, PushCoefficients, PushKernel,
 };
 pub use queue::{Job, JobEvent, JobQueue, JobState, QueueError, QueueStats, RetryPolicy};
 pub use rng::Rng;

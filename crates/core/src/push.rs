@@ -7,6 +7,7 @@
 //! same figure of merit.
 
 use crate::accumulator::AccumulatorArray;
+use crate::cadence::PushTally;
 use crate::grid::{decode_migrate, Grid, NEIGHBOR_ABSORB, NEIGHBOR_REFLECT};
 use crate::interpolator::InterpolatorArray;
 use crate::particle::{Mover, Particle};
@@ -144,6 +145,22 @@ pub fn advance_p_with(
     g: &Grid,
     kernel: PushKernel,
 ) -> Vec<Exile> {
+    advance_p_tallied(store, coeffs, interp, accumulators, g, kernel).0
+}
+
+/// [`advance_p_with`] that also returns the coherence telemetry of the
+/// step: per-pipeline [`PushTally`]s summed in pipeline order (plain
+/// integer adds, so the totals are identical at any worker count). The
+/// tally feeds the sort-cadence controller; callers that don't care use
+/// [`advance_p_with`] and drop it.
+pub fn advance_p_tallied(
+    store: &mut ParticleStore,
+    coeffs: PushCoefficients,
+    interp: &InterpolatorArray,
+    accumulators: &mut [AccumulatorArray],
+    g: &Grid,
+    kernel: PushKernel,
+) -> (Vec<Exile>, PushTally) {
     match store {
         ParticleStore::Aos(particles) => advance_p_aos(particles, coeffs, interp, accumulators, g),
         ParticleStore::Aosoa(s) => {
@@ -159,14 +176,14 @@ fn advance_p_aos(
     interp: &InterpolatorArray,
     accumulators: &mut [AccumulatorArray],
     g: &Grid,
-) -> Vec<Exile> {
+) -> (Vec<Exile>, PushTally) {
     let n_pipes = accumulators.len();
     assert!(n_pipes >= 1);
     let n = particles.len();
     let block = n.div_ceil(n_pipes).max(1);
 
-    // Each pipeline returns (absorbed indices, exiles) for its block.
-    let results: Vec<(Vec<u32>, Vec<Exile>)> = particles
+    // Each pipeline returns (absorbed indices, exiles, tally) for its block.
+    let results: Vec<(Vec<u32>, Vec<Exile>, PushTally)> = particles
         .par_chunks_mut(block)
         .zip(accumulators.par_iter_mut())
         .enumerate()
@@ -178,12 +195,14 @@ fn advance_p_aos(
 
     let mut absorbed: Vec<u32> = Vec::new();
     let mut exiles: Vec<Exile> = Vec::new();
-    for (a, e) in results {
+    let mut tally = PushTally::default();
+    for (a, e, t) in results {
         absorbed.extend(a);
         exiles.extend(e);
+        tally.absorb(&t);
     }
     delete_absorbed(particles, absorbed, &mut exiles);
-    exiles
+    (exiles, tally)
 }
 
 /// Swap-remove every absorbed particle and retarget exiles whose particle
@@ -242,7 +261,7 @@ pub fn advance_p_serial(
     acc: &mut AccumulatorArray,
     g: &Grid,
 ) -> Vec<Exile> {
-    let (absorbed, mut exiles) = {
+    let (absorbed, mut exiles, _tally) = {
         let chunk: &mut [Particle] = particles;
         advance_block(chunk, 0, coeffs, interp, acc, g)
     };
@@ -252,11 +271,15 @@ pub fn advance_p_serial(
 
 /// What happened to one particle in [`push_one`].
 pub(crate) enum PushedFate {
-    /// Still resident in the local domain.
-    Stayed,
-    /// Hit an absorbing boundary; caller must delete it.
+    /// Still resident in the local domain. `crossed` is true when the
+    /// particle entered `move_p` (left its voxel this step) — the signal
+    /// the sort-cadence controller counts, identical across layouts and
+    /// kernels because both branch on the same in-bounds test.
+    Stayed { crossed: bool },
+    /// Hit an absorbing boundary; caller must delete it. (Necessarily a
+    /// crosser: absorption happens on a face.)
     Absorbed,
-    /// Left the local domain; caller must migrate it.
+    /// Left the local domain; caller must migrate it. (Also a crosser.)
     Exiled(Exile),
 }
 
@@ -335,7 +358,7 @@ pub(crate) fn push_one(
         p.dy = ny;
         p.dz = nz;
         acc.deposit(p.i as usize, c.qsp * p.w, (mx, my, mz), (hx, hy, hz));
-        PushedFate::Stayed
+        PushedFate::Stayed { crossed: false }
     } else {
         let mut pm = Mover {
             dispx: hx,
@@ -344,7 +367,7 @@ pub(crate) fn push_one(
             idx,
         };
         match move_p_local(p, &mut pm, acc, g, c.qsp) {
-            MoveOutcome::Done => PushedFate::Stayed,
+            MoveOutcome::Done => PushedFate::Stayed { crossed: true },
             MoveOutcome::Absorbed => PushedFate::Absorbed,
             MoveOutcome::Exit { face } => PushedFate::Exiled(Exile {
                 idx,
@@ -363,18 +386,29 @@ fn advance_block(
     interp: &InterpolatorArray,
     acc: &mut AccumulatorArray,
     g: &Grid,
-) -> (Vec<u32>, Vec<Exile>) {
+) -> (Vec<u32>, Vec<Exile>, PushTally) {
     let mut absorbed = Vec::new();
     let mut exiles = Vec::new();
+    let mut tally = PushTally {
+        pushed: chunk.len() as u64,
+        ..Default::default()
+    };
     for (local, p) in chunk.iter_mut().enumerate() {
         let idx = base_idx + local as u32;
         match push_one(p, idx, c, interp, acc, g) {
-            PushedFate::Stayed => {}
-            PushedFate::Absorbed => absorbed.push(idx),
-            PushedFate::Exiled(e) => exiles.push(e),
+            PushedFate::Stayed { crossed: false } => {}
+            PushedFate::Stayed { crossed: true } => tally.crossers += 1,
+            PushedFate::Absorbed => {
+                tally.crossers += 1;
+                absorbed.push(idx);
+            }
+            PushedFate::Exiled(e) => {
+                tally.crossers += 1;
+                exiles.push(e);
+            }
         }
     }
-    (absorbed, exiles)
+    (absorbed, exiles, tally)
 }
 
 /// Finish the move of one particle that crosses voxel boundaries,

@@ -25,7 +25,7 @@ use crate::field_solver::{
 };
 use crate::grid::Grid;
 use crate::interpolator::InterpolatorArray;
-use crate::push::{advance_p_with, Exile, PushCoefficients, PushKernel};
+use crate::push::{advance_p_tallied, Exile, PushCoefficients, PushKernel};
 use crate::rng::Rng;
 use crate::sentinel::{HealthVerdict, Sentinel, SimConfig};
 use crate::species::Species;
@@ -221,11 +221,14 @@ impl Simulation {
         let g = &self.grid;
         let bcs = bcs_of(g);
 
-        // 1. Occasional sort.
+        // 1. Occasional sort, under the per-species cadence controller
+        // (fixed interval or auto-tuned from coherence telemetry). The
+        // controller skips the counting sort when the store is provably
+        // still in voxel order, and never fires on step 0.
         let t0 = Instant::now();
         for sp in &mut self.species {
-            if sp.sort_interval > 0 && self.step_count.is_multiple_of(sp.sort_interval as u64) {
-                sp.sort(g);
+            if sp.sort_due(self.step_count) {
+                sp.sort_on_cadence(g);
             }
         }
         self.timings.sort += t0.elapsed().as_secs_f64();
@@ -243,7 +246,7 @@ impl Simulation {
         for sp in &mut self.species {
             let coeffs = PushCoefficients::new(sp.q, sp.m, g);
             advanced += sp.len() as u64;
-            let exiles: Vec<Exile> = advance_p_with(
+            let (exiles, tally): (Vec<Exile>, _) = advance_p_tallied(
                 sp.store_mut(),
                 coeffs,
                 &self.interp,
@@ -260,6 +263,7 @@ impl Simulation {
                     lost += 1;
                 }
             }
+            sp.note_push_tally(&tally);
         }
         self.lost_particles += lost;
         self.timings.push += t0.elapsed().as_secs_f64();

@@ -6,6 +6,7 @@
 //! bit-identical.
 
 use crate::aosoa::{sort_aosoa_with, Block};
+use crate::cadence::{CadenceState, CoherenceCounters, PushTally, SortPolicy};
 use crate::grid::Grid;
 use crate::particle::Particle;
 use crate::sort::sort_by_voxel_with;
@@ -20,9 +21,15 @@ pub struct Species {
     pub q: f32,
     /// Mass per physical particle (electron = 1 in normalized units).
     pub m: f32,
-    /// Sort every this many steps (0 = never); VPIC defaults to a few
-    /// tens of steps.
-    pub sort_interval: usize,
+    /// When to counting-sort back into voxel order: a fixed interval
+    /// (VPIC defaults to a few tens of steps; 0 = never) or the adaptive
+    /// cadence controller.
+    pub sort_policy: SortPolicy,
+    /// Cadence controller state (rides checkpoints bit-exactly).
+    cadence: CadenceState,
+    /// Lifetime coherence telemetry (crossers, spills, mixed blocks,
+    /// sorts performed/skipped).
+    counters: CoherenceCounters,
     /// Macroparticles, in either layout.
     store: ParticleStore,
     scratch: Vec<Particle>,
@@ -36,11 +43,14 @@ impl Species {
     /// New empty species (AoS layout).
     pub fn new(name: impl Into<String>, q: f32, m: f32) -> Self {
         assert!(m > 0.0, "mass must be positive");
+        let sort_policy = SortPolicy::default();
         Species {
             name: name.into(),
             q,
             m,
-            sort_interval: 25,
+            sort_policy,
+            cadence: CadenceState::new(sort_policy),
+            counters: CoherenceCounters::default(),
             store: ParticleStore::default(),
             scratch: Vec::new(),
             scratch_blocks: Vec::new(),
@@ -48,10 +58,76 @@ impl Species {
         }
     }
 
-    /// Builder-style sort interval override.
+    /// Builder-style fixed sort interval override (`0` = never sort —
+    /// tracer species use that).
     pub fn with_sort_interval(mut self, interval: usize) -> Self {
-        self.sort_interval = interval;
+        self.set_sort_policy(SortPolicy::Fixed(interval as u32));
         self
+    }
+
+    /// Builder-style sort policy override.
+    pub fn with_sort_policy(mut self, policy: SortPolicy) -> Self {
+        self.set_sort_policy(policy);
+        self
+    }
+
+    /// Swap the sort policy, resetting the cadence controller.
+    pub fn set_sort_policy(&mut self, policy: SortPolicy) {
+        self.sort_policy = policy;
+        self.cadence = CadenceState::new(policy);
+    }
+
+    /// The cadence controller's current state (interval, coherence flag,
+    /// measured crossing rate).
+    pub fn cadence(&self) -> &CadenceState {
+        &self.cadence
+    }
+
+    /// Overwrite the cadence controller state (checkpoint restore).
+    pub fn set_cadence(&mut self, state: CadenceState) {
+        self.cadence = state;
+    }
+
+    /// Lifetime coherence counters.
+    pub fn coherence(&self) -> &CoherenceCounters {
+        &self.counters
+    }
+
+    /// Overwrite the coherence counters (checkpoint restore).
+    pub fn set_coherence(&mut self, counters: CoherenceCounters) {
+        self.counters = counters;
+    }
+
+    /// Account one step's push telemetry to the cadence controller and
+    /// the lifetime counters. Call after the push (and any migration /
+    /// injection that follows it), so the length check sees the final
+    /// population of the step.
+    pub fn note_push_tally(&mut self, tally: &PushTally) {
+        self.counters.tally.absorb(tally);
+        self.cadence
+            .note_push(tally.crossers, self.store.len() as u64);
+    }
+
+    /// Whether the cadence calls for a sort at `step` (never on step 0).
+    pub fn sort_due(&self, step: u64) -> bool {
+        self.cadence.sort_due(step)
+    }
+
+    /// Run the cadence-due sort, skipping the counting sort entirely when
+    /// the store is provably still in voxel order (a sort happened, and
+    /// zero crossers / no length change since — a stable counting sort of
+    /// sorted input is the identity permutation, so skipping is bitwise
+    /// free). Returns true when a real sort ran.
+    pub fn sort_on_cadence(&mut self, g: &Grid) -> bool {
+        if self.cadence.coherent {
+            self.counters.skipped_sorts += 1;
+            self.cadence
+                .on_skipped(self.sort_policy, self.len() as u64, g.n_voxels() as u64);
+            false
+        } else {
+            self.sort(g);
+            true
+        }
     }
 
     /// Builder-style layout override (converts existing particles).
@@ -147,7 +223,10 @@ impl Species {
 
     /// Counting-sort the particles by voxel (Rayon-parallel; scratch and
     /// histogram buffers persist across calls). Both layouts produce the
-    /// identical stable permutation.
+    /// identical stable permutation. Closes the cadence controller's
+    /// measurement window (every caller — cadence, collisions, tests —
+    /// re-establishes coherence the same way, so the controller's view of
+    /// the store stays truthful).
     pub fn sort(&mut self, g: &Grid) {
         match &mut self.store {
             ParticleStore::Aos(parts) => {
@@ -167,6 +246,12 @@ impl Species {
                 );
             }
         }
+        self.counters.sorts += 1;
+        self.cadence.on_sorted(
+            self.sort_policy,
+            self.store.len() as u64,
+            g.n_voxels() as u64,
+        );
     }
 
     /// Total kinetic energy `Σ w·m·c²·(γ−1)` in double precision.

@@ -410,6 +410,44 @@ fn straddling_blocks_with_crossers_match() {
     }
 }
 
+/// The deferred-scatter batch: more full blocks than one batch holds
+/// (the lane kernel queues 8 blocks of precomputed scatter work before
+/// draining), with every lane crossing, so the queue fills and drains
+/// mid-range *and* drains a partial batch at range end — all of it
+/// bit-identical to the unbatched scalar oracle.
+#[test]
+fn deferred_scatter_batch_all_cross_blocks_match() {
+    let mut rng = proptest::test_runner::TestRng::new(0xDEF5);
+    let case = build_case(Regime::AllCross, (4, 4, 4), [0; 6], 12 * LANES, &mut rng);
+    for pipes in [1usize, 2, 3, 8] {
+        if let Err(msg) = check_case(&case, pipes) {
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Batched full blocks interleaved with straddling blocks: the queued
+/// scatter batch must drain *before* any straddle lane pushes scalar, or
+/// the accumulator deposit order (and hence its bits) would change. Ten
+/// full blocks plus a ragged tail under 3 pipelines cuts blocks mid-way,
+/// so batched and straddled work alternate within one push.
+#[test]
+fn deferred_scatter_drains_before_straddle_lanes() {
+    let mut rng = proptest::test_runner::TestRng::new(0x5CA7);
+    let case = build_case(
+        Regime::AllCross,
+        (3, 3, 3),
+        [0; 6],
+        10 * LANES + 5,
+        &mut rng,
+    );
+    for pipes in [3usize, 8] {
+        if let Err(msg) = check_case(&case, pipes) {
+            panic!("{msg}");
+        }
+    }
+}
+
 /// Tail block with exactly one live lane, which is also a crosser.
 #[test]
 fn tail_block_single_live_crossing_lane() {

@@ -6,6 +6,7 @@
 use crate::laser::{LaserAntenna, Polarization};
 use crate::profile::SlabProfile;
 use crate::srs::{srs_match, SrsMatch};
+use vpic_core::cadence::SortPolicy;
 use vpic_core::grid::{Grid, ParticleBc};
 use vpic_core::maxwellian::{load_profile, Momentum};
 use vpic_core::push::PushKernel;
@@ -62,6 +63,10 @@ pub struct LpiParams {
     /// AoSoA push kernel (`kernel = scalar|lane` deck knob). Bit-identical
     /// by contract; a diagnosis/ablation switch, not a physics knob.
     pub kernel: PushKernel,
+    /// Sort cadence (`sort_interval = auto|<n>` deck knob), applied to
+    /// every species. Cadence decisions feed only on deterministic
+    /// counters, so `auto` keeps the bit-identity contract.
+    pub sort: SortPolicy,
 }
 
 impl Default for LpiParams {
@@ -84,6 +89,7 @@ impl Default for LpiParams {
             ti_over_te: 0.1,
             layout: Layout::default(),
             kernel: PushKernel::default(),
+            sort: SortPolicy::default(),
         }
     }
 }
@@ -144,7 +150,7 @@ impl LpiRun {
         // Electrons; ions are an immobile neutralizing background with the
         // same profile (implicit: only current fluctuations drive fields,
         // so do NOT enable Marder cleaning on LPI runs).
-        let mut e = Species::new("electron", -1.0, 1.0);
+        let mut e = Species::new("electron", -1.0, 1.0).with_sort_policy(params.sort);
         let mut rng = Rng::seeded(params.seed);
         load_profile(
             &mut e,
@@ -160,7 +166,7 @@ impl LpiRun {
         // Optional mobile ions: same profile, Z = 1, neutralizing the
         // electrons exactly in expectation.
         let ions = params.ion_mass.map(|mi| {
-            let mut ion = Species::new("ion", 1.0, mi);
+            let mut ion = Species::new("ion", 1.0, mi).with_sort_policy(params.sort);
             let mut rng = Rng::seeded(params.seed ^ 0x1042);
             let vth_i = params.vth as f32 * (params.ti_over_te / mi).sqrt();
             load_profile(

@@ -16,7 +16,7 @@ use vpic_core::field_solver::{
 use vpic_core::grid::Grid;
 use vpic_core::interpolator::InterpolatorArray;
 use vpic_core::maxwellian::{load_uniform, Momentum};
-use vpic_core::push::{advance_p_with, PushKernel};
+use vpic_core::push::{advance_p_tallied, PushKernel};
 use vpic_core::rng::Rng;
 use vpic_core::sentinel::{self, HealthSample, SentinelConfig, SimConfig};
 use vpic_core::species::Species;
@@ -185,10 +185,14 @@ impl DistributedSim {
         let g = self.grid.clone();
         let bcs = bcs_of(&g);
 
+        // Per-species cadence controller (fixed or auto-tuned); sorting is
+        // rank-local, and the controller's inputs are bit-deterministic,
+        // so no collective is needed for ranks to stay in lockstep with
+        // their own particles.
         let t0 = Instant::now();
         for sp in &mut self.species {
-            if sp.sort_interval > 0 && self.step_count.is_multiple_of(sp.sort_interval as u64) {
-                sp.sort(&g);
+            if sp.sort_due(self.step_count) {
+                sp.sort_on_cadence(&g);
             }
         }
         self.timings.sort += t0.elapsed().as_secs_f64();
@@ -203,7 +207,7 @@ impl DistributedSim {
             let sp = &mut self.species[si];
             let coeffs = vpic_core::push::PushCoefficients::new(sp.q, sp.m, &g);
             self.timings.particle_steps += sp.len() as u64;
-            let exiles = advance_p_with(
+            let (exiles, tally) = advance_p_tallied(
                 sp.store_mut(),
                 coeffs,
                 &self.interp,
@@ -225,6 +229,9 @@ impl DistributedSim {
                 exiles,
                 si as u64,
             )?;
+            // After migration, so the controller's length check sees any
+            // appended migrants (a length change dirties voxel order).
+            self.species[si].note_push_tally(&tally);
             self.timings.migrate += t0.elapsed().as_secs_f64();
         }
 

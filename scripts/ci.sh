@@ -22,10 +22,13 @@
 #
 # Pass "kernel" (or set CI_KERNEL=1) to run the lane-kernel lane: the
 # differential-oracle harness (lane-wide push/gather vs the scalar AoS
-# oracle), the lane-math unit suite, the determinism matrix and the
-# fault-injected SRS rollback matrix at 1/2/4/8 pipelines — all with
-# debug assertions on — then a two-kernel bench smoke that asserts the
-# lane kernel is at least as fast as the scalar body it replaced.
+# oracle, including the deferred-scatter batch cases), the lane-math unit
+# suite, the determinism matrix, the adaptive-sort-cadence determinism and
+# checkpoint round-trip suites, and the fault-injected SRS rollback matrix
+# at 1/2/4/8 pipelines — all with debug assertions on — then a bench
+# smoke that asserts the lane kernel is at least as fast as the scalar
+# body it replaced and that the auto cadence is at least on par with the
+# historical fixed-25 default.
 #
 # Pass "sweep" (or set CI_SWEEP=1) to run the reflectivity-sweep-service
 # lane: the WAL corruption matrix, the job-queue state machine, the
@@ -139,21 +142,31 @@ if [[ "${1:-}" == "kernel" || "${CI_KERNEL:-0}" == "1" ]]; then
     # determinism matrix.
     cargo test --release -p vpic-core --lib lanes
     cargo test --release -p vpic-core --test determinism lane_kernel
+    # Adaptive sort cadence: the controller's unit suite, then the
+    # integration contract — identical decisions across pipelines /
+    # layouts / kernels, checkpoint round-trip, convergence, and the
+    # zero-crosser sort skip.
+    cargo test --release -p vpic-core --lib cadence
+    cargo test --release -p vpic-core --test cadence
     # The `kernel = scalar|lane` deck knob, and the fault-injected SRS
     # rollback matrix: a NaN upset mid-campaign must recover onto the
     # same bits under every kernel/pipeline combination.
     cargo test --release -p vpic --lib kernel_knob
     cargo test --release --test srs_soak lane_kernel
-    # Bench smoke: both kernels on the same grid, schema + oracle
-    # cross-check, then the speedup gate (lane >= scalar).
+    # Bench smoke: both kernels and both cadences on the same grid,
+    # schema + oracle cross-check, then the speedup gate (lane >= scalar)
+    # and the cadence gate (auto >= 0.97x fixed-25, same-file records).
     cargo build --release -p vpic-bench
     rm -f target/BENCH_kernel_smoke.json
     ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 10 --pipelines 2 \
         --layout aosoa --kernel scalar --json target/BENCH_kernel_smoke.json
     ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 10 --pipelines 2 \
         --layout aosoa --kernel lane --json target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --nx 16 --ppc 8 --steps 10 --pipelines 2 \
+        --layout aosoa --kernel lane --sort auto --json target/BENCH_kernel_smoke.json
     ./target/release/e2_step_breakdown --validate target/BENCH_kernel_smoke.json
     ./target/release/e2_step_breakdown --assert-speedup target/BENCH_kernel_smoke.json
+    ./target/release/e2_step_breakdown --assert-auto target/BENCH_kernel_smoke.json
 fi
 
 if [[ "${1:-}" == "bench-smoke" || "${CI_BENCH_SMOKE:-0}" == "1" ]]; then

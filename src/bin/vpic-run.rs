@@ -92,6 +92,7 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 sim.lost_particles
             );
             print_throughput(&sim.timings, sim.accumulators.n_pipelines());
+            print_coherence(&sim.species);
         }
         BuiltRun::Lpi(mut run) => {
             println!(
@@ -130,6 +131,7 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
                 run.probe.samples()
             );
             print_throughput(&run.sim.timings, run.sim.accumulators.n_pipelines());
+            print_coherence(&run.sim.species);
         }
         BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
         BuiltRun::LpiCampaign(setup) => run_lpi_campaign_deck(*setup, out_dir)?,
@@ -305,6 +307,27 @@ fn print_throughput(t: &vpic::core::StepTimings, pipelines: usize) {
             100.0 * t.inner_loop_fraction(),
             pipelines,
             vpic::core::worker_threads()
+        );
+    }
+}
+
+/// Per-species sort-cadence and lane-coherence summary, so run logs show
+/// what the cadence controller actually did (realized interval, sorts
+/// performed vs skipped, spill pressure on the lane kernel).
+fn print_coherence(species: &[vpic::core::Species]) {
+    for sp in species {
+        let c = sp.coherence();
+        println!(
+            "sort cadence [{}]: {} (realized interval {}), {} sorts, {} skipped, \
+             crosser rate {:.4}, lane spill rate {:.4}, mixed blocks {:.4}",
+            sp.name,
+            sp.sort_policy,
+            sp.cadence().interval,
+            c.sorts,
+            c.skipped_sorts,
+            c.crosser_rate(),
+            c.spill_rate(),
+            c.mixed_block_fraction()
         );
     }
 }

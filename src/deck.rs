@@ -79,7 +79,7 @@ use vpic_core::sentinel::{
 };
 use vpic_core::{
     load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, PushKernel,
-    Rng, Simulation, Species,
+    Rng, Simulation, SortPolicy, Species,
 };
 use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun, SweepConfig, SweepGrid};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
@@ -341,6 +341,9 @@ pub struct CampaignSetup {
     pub layout: Layout,
     /// AoSoA push kernel on every rank (bit-identical either way).
     pub kernel: PushKernel,
+    /// Sort cadence on every rank's species. Cadence decisions feed only
+    /// on deterministic counters, so `auto` keeps rollback replay exact.
+    pub sort: SortPolicy,
     /// Total campaign steps.
     pub steps: u64,
     /// Checkpoint schedule: a fixed step interval or the Young/Daly
@@ -380,7 +383,9 @@ impl CampaignSetup {
         sim.set_layout(self.layout);
         sim.set_kernel(self.kernel);
         for sp in &self.species {
-            let si = sim.add_species(Species::new(&sp.name, sp.charge, sp.mass));
+            let si = sim.add_species(
+                Species::new(&sp.name, sp.charge, sp.mass).with_sort_policy(self.sort),
+            );
             sim.load_uniform(
                 si,
                 self.seed.wrapping_add(si as u64),
@@ -614,6 +619,21 @@ fn parse_kernel(deck: &Deck) -> Result<PushKernel, DeckError> {
     }
 }
 
+/// Global `sort_interval = auto|<n>` knob selecting the per-species sort
+/// cadence (default the historical fixed 25; `0` disables sorting;
+/// `auto` arms the coherence-driven controller). Accepts both
+/// `sort_interval = auto` and `= "auto"`, like `checkpoint_interval`.
+fn parse_sort_policy(deck: &Deck) -> Result<SortPolicy, DeckError> {
+    match deck.globals.get("sort_interval") {
+        None => Ok(SortPolicy::default()),
+        Some(v) => SortPolicy::parse(v).ok_or_else(|| {
+            err(format!(
+                "sort_interval must be auto or a step count, got {v}"
+            ))
+        }),
+    }
+}
+
 fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
     match kv.get(key) {
         None => Ok(default),
@@ -783,6 +803,7 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
         pipelines: get_usize(&deck.globals, "pipelines", 1)?,
         layout: parse_layout(deck)?,
         kernel: parse_kernel(deck)?,
+        sort: parse_sort_policy(deck)?,
         steps,
         checkpoint,
         recovery,
@@ -844,6 +865,7 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
     let mut sim = Simulation::new(grid, pipelines);
     sim.set_layout(parse_layout(deck)?);
     sim.set_kernel(parse_kernel(deck)?);
+    let sort = parse_sort_policy(deck)?;
 
     let species = deck.sections_with_prefix("species");
     if species.is_empty() {
@@ -856,7 +878,7 @@ fn build_plasma(deck: &Deck) -> Result<Simulation, DeckError> {
         let n0 = req_f32(kv, "density", 1.0)?;
         let ppc = get_usize(kv, "ppc", 32)?;
         let vth = req_f32(kv, "vth", 0.05)?;
-        let mut sp = Species::new(name, q, m);
+        let mut sp = Species::new(name, q, m).with_sort_policy(sort);
         match kv.get("loader").map(String::as_str).unwrap_or("thermal") {
             "thermal" => {
                 let drift = req_f32(kv, "drift", 0.0)?;
@@ -907,6 +929,7 @@ fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
         ti_over_te: req_f32(kv, "ti_over_te", defaults.ti_over_te)?,
         layout: parse_layout(deck)?,
         kernel: parse_kernel(deck)?,
+        sort: parse_sort_policy(deck)?,
     };
     Ok(LpiRun::new(params))
 }
@@ -1342,6 +1365,56 @@ corrupt_count = 4
         assert_eq!(run.params.kernel, PushKernel::Scalar);
 
         let bad = "kind = plasma\nkernel = avx\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        assert!(build(&Deck::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sort_interval_knob_selects_cadence_and_rejects_junk() {
+        let text =
+            "kind = plasma\nsort_interval = auto\n[grid]\ncells = 4 2 2\n[species.e]\nppc = 8";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert!(sim
+            .species
+            .iter()
+            .all(|sp| sp.sort_policy == SortPolicy::Auto));
+
+        // Quoted form and explicit step counts both parse; the default
+        // stays the historical fixed 25.
+        let text =
+            "kind = plasma\nsort_interval = \"auto\"\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.species[0].sort_policy, SortPolicy::Auto);
+        let text = "kind = plasma\nsort_interval = 7\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.species[0].sort_policy, SortPolicy::Fixed(7));
+        let text = "kind = plasma\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        let BuiltRun::Plasma(sim) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(sim.species[0].sort_policy, SortPolicy::Fixed(25));
+
+        // LPI decks honour the knob on every species.
+        let text = "kind = lpi\nsort_interval = auto\n[laser]\na0 = 0.01\nion_mass = 100";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.params.sort, SortPolicy::Auto);
+        assert!(run
+            .sim
+            .species
+            .iter()
+            .all(|sp| sp.sort_policy == SortPolicy::Auto));
+
+        let bad = "kind = plasma\nsort_interval = -3\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
+        assert!(build(&Deck::parse(bad).unwrap()).is_err());
+        let bad =
+            "kind = plasma\nsort_interval = fast\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
         assert!(build(&Deck::parse(bad).unwrap()).is_err());
     }
 

@@ -209,7 +209,9 @@ fn aosoa_campaign_recovers_bit_identically_to_aos() {
 /// sentinel, the campaign rolls back to the last checkpoint and replays,
 /// and the replayed lane-kernel trajectory still lands on the oracle's
 /// exact digest. This pins the kernel contract through the recovery path,
-/// not just the clean step loop.
+/// not just the clean step loop. The matrix runs under the `auto` sort
+/// cadence, so the adaptive controller's decisions are covered by the
+/// same rollback-replay bit-identity contract.
 #[test]
 fn srs_lane_kernel_matrix_recovers_bit_identically_at_every_pipeline_count() {
     let steps = 60u64;
@@ -237,6 +239,7 @@ fn srs_lane_kernel_matrix_recovers_bit_identically_at_every_pipeline_count() {
                 layout,
                 kernel,
                 pipelines,
+                sort: vpic::core::SortPolicy::Auto,
                 ..small_params()
             };
             let out = run_lpi_campaign(params, &cfg_for(&dir)).unwrap();
