@@ -9,10 +9,26 @@
 //! which keeps the report's meaning — application payload volume — identical
 //! to the pre-fault-tolerance substrate).
 //!
+//! Packet movement is delegated to a [`Transport`](crate::transport::Transport):
+//! the in-process channel matrix ([`LocalTransport`](crate::transport::LocalTransport),
+//! boxed values, ranks are threads) or the multi-process socket substrate
+//! ([`SocketTransport`](crate::socket::SocketTransport), CRC-framed byte
+//! messages, ranks are processes). Everything in this module — tag
+//! matching, dedup, epochs, fault injection, collectives, recovery — is
+//! transport-independent, which is what lets a fault plan written for the
+//! in-process world run unmodified over sockets.
+//!
 //! Recovery: packets carry an epoch number. [`Comm::recover`] bumps the
 //! epoch, drains stale traffic, revives a killed rank and rendezvouses with
 //! every other rank, after which the world can resume from a checkpoint in
-//! lockstep. Recovery-protocol messages bypass fault injection.
+//! lockstep. The rendezvous is a max-consensus: ranks (re)announce their
+//! target epoch, adopt any higher epoch they hear, and finish when every
+//! peer has announced the agreed maximum — so a freshly respawned process
+//! (which learns the world's epoch from its bootstrap handshake) and
+//! long-running survivors converge on one epoch no matter who noticed the
+//! failure first. Recovery-protocol messages bypass fault injection; on
+//! transports where a dead peer can respawn, announcements are retried
+//! with jittered exponential backoff instead of failing fast.
 //!
 //! Packets additionally carry a per-`(sender, tag)` sequence number and the
 //! receiver suppresses replays, so an injected `Duplicate` fault cannot
@@ -24,12 +40,15 @@
 use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::fault::{FaultKind, FaultPlan, FaultState};
+use crate::transport::{
+    HuskTransport, LocalTransport, Packet, Payload, RecvError, Shared, TagTraffic, Transport,
+};
+use crate::wire::{self, Wire, WireReader};
 
 /// Default bound on how long a receive (or collective) waits for a peer
 /// before declaring it dead. Generous for healthy runs; fault-tolerance
@@ -37,27 +56,15 @@ use crate::fault::{FaultKind, FaultPlan, FaultState};
 pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Recovery rendezvous waits this many op-timeouts for stragglers (ranks
-/// detect a fault at different times, bounded by one op timeout each).
+/// detect a fault at different times, bounded by one op timeout each; a
+/// killed *process* additionally needs time to respawn and rejoin).
 const RECOVERY_TIMEOUT_FACTOR: u32 = 10;
 
 /// Tag namespace for internally-generated collective traffic.
-const COLLECTIVE_TAG: u64 = 1 << 63;
+pub(crate) const COLLECTIVE_TAG: u64 = 1 << 63;
 
 /// Tag of the recovery rendezvous protocol.
-const RECOVER_TAG: u64 = u64::MAX;
-
-struct Packet {
-    epoch: u64,
-    tag: u64,
-    /// Per-(sender, tag, epoch) sequence number, 1-based. Injected
-    /// duplicates reuse their original's number so the receiver can
-    /// suppress the copy instead of desyncing per-tag FIFO order.
-    seq: u64,
-    #[allow(dead_code)]
-    nbytes: usize,
-    corrupt: bool,
-    payload: Box<dyn Any + Send>,
-}
+pub(crate) const RECOVER_TAG: u64 = u64::MAX;
 
 /// Typed communication failure. Every variant is produced within a bounded
 /// time; none of the peer-failure paths panic.
@@ -71,7 +78,7 @@ pub enum CommError {
         waited: Duration,
     },
     /// The peer's communicator was torn down (its rank closure returned or
-    /// panicked).
+    /// panicked, its process exited, or its heartbeat went silent).
     PeerClosed { peer: usize },
     /// The message arrived but failed its integrity check.
     Corrupt { from: usize, tag: u64 },
@@ -112,21 +119,9 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
-struct Shared {
-    size: usize,
-    /// Channel matrix: `senders[from][to]` (receivers are taken by their
-    /// owning rank at startup).
-    senders: Vec<Vec<Sender<Packet>>>,
-    /// bytes[from * size + to]
-    bytes: Vec<AtomicU64>,
-    msgs: Vec<AtomicU64>,
-}
-
 /// Per-rank communicator handle.
 pub struct Comm {
-    rank: usize,
-    shared: Arc<Shared>,
-    receivers: Vec<Receiver<Packet>>,
+    transport: Box<dyn Transport>,
     /// Out-of-order messages held per source until their tag is asked for.
     pending: Vec<VecDeque<Packet>>,
     /// Current recovery epoch; packets from older epochs are discarded.
@@ -152,15 +147,14 @@ pub struct Comm {
 /// world. Produced by [`Comm::surrender`], consumed by [`Comm::adopt`] /
 /// [`Comm::readopt`].
 ///
-/// The endpoint carries the rank's receive channels, pending buffers,
+/// The endpoint carries the rank's transport seat, pending buffers,
 /// epoch, collective sequence, dedup state, and the *live* fault-injection
 /// state — spent one-shot rules stay spent and the probability stream
 /// continues — so the spare is indistinguishable from the original rank to
 /// every peer, and the plan cannot re-fire an already-delivered kill on it.
 pub struct Endpoint {
     rank: usize,
-    shared: Arc<Shared>,
-    receivers: Vec<Receiver<Packet>>,
+    transport: Box<dyn Transport>,
     pending: Vec<VecDeque<Packet>>,
     epoch: u64,
     coll_seq: u64,
@@ -200,6 +194,9 @@ pub struct TrafficReport {
     pub bytes: Vec<Vec<u64>>,
     /// `messages[from][to]`.
     pub messages: Vec<Vec<u64>>,
+    /// Per-tag totals (counted application traffic), sorted by bytes
+    /// descending. Attributes transport volume to the tags that caused it.
+    pub by_tag: Vec<TagTraffic>,
 }
 
 impl TrafficReport {
@@ -219,6 +216,11 @@ impl TrafficReport {
         } else {
             self.total_bytes as f64 / self.n_ranks as f64
         }
+    }
+
+    /// The `k` heaviest tags by byte volume.
+    pub fn top_tags(&self, k: usize) -> &[TagTraffic] {
+        &self.by_tag[..self.by_tag.len().min(k)]
     }
 }
 
@@ -292,12 +294,7 @@ where
     }
     // senders[from] gets its `to`-th element in outer-loop order, so
     // senders[from][to] is already correct.
-    let shared = Arc::new(Shared {
-        size: n,
-        senders,
-        bytes: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
-        msgs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
-    });
+    let shared = Arc::new(Shared::new(n, senders));
 
     let mut receiver_slots: Vec<Option<Vec<Receiver<Packet>>>> =
         receivers.into_iter().map(Some).collect();
@@ -310,20 +307,12 @@ where
             let plan = plan.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut comm = Comm {
+                let transport = LocalTransport {
                     rank,
                     shared,
                     receivers: rx,
-                    pending: (0..n).map(|_| VecDeque::new()).collect(),
-                    epoch: 0,
-                    coll_seq: 0,
-                    op_timeout: DEFAULT_OP_TIMEOUT,
-                    fault: FaultState::new(plan, rank),
-                    killed: None,
-                    send_seq: HashMap::new(),
-                    recv_seq: HashMap::new(),
-                    surrendered: false,
                 };
+                let mut comm = Comm::from_transport(Box::new(transport), plan);
                 f(&mut comm)
             }));
         }
@@ -339,7 +328,13 @@ where
             .collect()
     });
 
-    let n2 = |v: &[AtomicU64]| -> Vec<Vec<u64>> {
+    (results, report_from_shared(&shared))
+}
+
+pub(crate) fn report_from_shared(shared: &Shared) -> TrafficReport {
+    use std::sync::atomic::Ordering;
+    let n = shared.size;
+    let n2 = |v: &[std::sync::atomic::AtomicU64]| -> Vec<Vec<u64>> {
         (0..n)
             .map(|from| {
                 (0..n)
@@ -350,17 +345,17 @@ where
     };
     let bytes = n2(&shared.bytes);
     let messages = n2(&shared.msgs);
-    let report = TrafficReport {
+    TrafficReport {
         n_ranks: n,
         total_bytes: bytes.iter().flatten().sum(),
         total_messages: messages.iter().flatten().sum(),
         bytes,
         messages,
-    };
-    (results, report)
+        by_tag: shared.tag_traffic(),
+    }
 }
 
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -371,16 +366,39 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 }
 
 impl Comm {
+    /// Wrap a transport seat in a full communicator (fresh epoch, no
+    /// pending traffic). Entry point for every transport backend.
+    pub(crate) fn from_transport(
+        transport: Box<dyn Transport>,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Comm {
+        let rank = transport.rank();
+        let n = transport.size();
+        transport.set_epoch(0);
+        Comm {
+            transport,
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            epoch: 0,
+            coll_seq: 0,
+            op_timeout: DEFAULT_OP_TIMEOUT,
+            fault: FaultState::new(plan, rank),
+            killed: None,
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
+            surrendered: false,
+        }
+    }
+
     /// This rank's id.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks.
     #[inline]
     pub fn size(&self) -> usize {
-        self.shared.size
+        self.transport.size()
     }
 
     /// Bound on how long receives and collectives wait for a peer.
@@ -412,13 +430,13 @@ impl Comm {
     fn check_alive(&self) -> Result<(), CommError> {
         if self.surrendered {
             return Err(CommError::Killed {
-                rank: self.rank,
+                rank: self.rank(),
                 step: self.killed.unwrap_or(u64::MAX),
             });
         }
         match self.killed {
             Some(step) => Err(CommError::Killed {
-                rank: self.rank,
+                rank: self.rank(),
                 step,
             }),
             None => Ok(()),
@@ -427,29 +445,33 @@ impl Comm {
 
     /// Send `msg` to rank `to` with `tag`. Counts `size_of::<T>()` bytes;
     /// use [`Comm::send_vec`] for containers so the payload is counted.
-    pub fn send<T: Clone + Send + 'static>(
-        &mut self,
-        to: usize,
-        tag: u64,
-        msg: T,
-    ) -> Result<(), CommError> {
+    pub fn send<T: Wire>(&mut self, to: usize, tag: u64, msg: T) -> Result<(), CommError> {
         self.send_impl(to, tag, std::mem::size_of::<T>(), msg, true)
     }
 
     /// Send a `Vec<T>`, counting `len·size_of::<T>()` payload bytes.
-    pub fn send_vec<T: Clone + Send + 'static>(
-        &mut self,
-        to: usize,
-        tag: u64,
-        msg: Vec<T>,
-    ) -> Result<(), CommError> {
+    pub fn send_vec<T: Wire>(&mut self, to: usize, tag: u64, msg: Vec<T>) -> Result<(), CommError> {
         let nbytes = msg.len() * std::mem::size_of::<T>();
         self.send_impl(to, tag, nbytes, msg, true)
     }
 
+    /// The payload in whichever representation this transport moves.
+    fn make_payload<T: Wire>(&self, msg: &T) -> Payload {
+        if self.transport.by_bytes() {
+            let mut data = Vec::new();
+            msg.wire_put(&mut data);
+            Payload::Bytes {
+                fp: wire::type_fp::<T>(),
+                data,
+            }
+        } else {
+            Payload::Local(Box::new(msg.clone()))
+        }
+    }
+
     /// The application-traffic send path: subject to fault injection,
     /// counted when `counted`.
-    fn send_impl<T: Clone + Send + 'static>(
+    fn send_impl<T: Wire>(
         &mut self,
         to: usize,
         tag: u64,
@@ -462,43 +484,53 @@ impl Comm {
         let fate = self.fault.on_send();
         if counted {
             // Count the send attempt once, whatever the network does to it.
-            let idx = self.rank * self.size() + to;
-            self.shared.bytes[idx].fetch_add(nbytes as u64, Ordering::Relaxed);
-            self.shared.msgs[idx].fetch_add(1, Ordering::Relaxed);
+            self.transport.count(to, tag, nbytes as u64);
         }
         let seq = {
             let c = self.send_seq.entry((to, tag)).or_insert(0);
             *c += 1;
             *c
         };
+        if self.fault.partitioned(to) {
+            // Frame-level network partition: the link is cut, the message
+            // silently vanishes (the receiver times out, like Drop).
+            return Ok(());
+        }
         match fate {
             Some(FaultKind::Drop) => Ok(()),
             Some(FaultKind::Delay(d)) => {
                 std::thread::sleep(d);
-                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
+                let payload = self.make_payload(&msg);
+                self.deliver(to, tag, seq, nbytes, false, payload)
             }
             Some(FaultKind::Duplicate) => {
                 // Both copies share one sequence number; the receiver's
                 // dedup admits exactly one.
-                self.deliver(to, tag, seq, nbytes, false, Box::new(msg.clone()))?;
-                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
+                let payload = self.make_payload(&msg);
+                self.deliver(to, tag, seq, nbytes, false, payload)?;
+                let payload = self.make_payload(&msg);
+                self.deliver(to, tag, seq, nbytes, false, payload)
             }
-            Some(FaultKind::Corrupt) => self.deliver(to, tag, seq, nbytes, true, Box::new(msg)),
+            Some(FaultKind::Corrupt) => {
+                let payload = self.make_payload(&msg);
+                self.deliver(to, tag, seq, nbytes, true, payload)
+            }
             Some(FaultKind::Kill) | None => {
-                self.deliver(to, tag, seq, nbytes, false, Box::new(msg))
+                let payload = self.make_payload(&msg);
+                self.deliver(to, tag, seq, nbytes, false, payload)
             }
         }
     }
 
-    /// Raw channel delivery (no fault injection, no counting).
+    /// Raw transport delivery (no fault injection, no counting).
     fn deliver(
-        &self,
+        &mut self,
         to: usize,
         tag: u64,
         seq: u64,
         nbytes: usize,
         corrupt: bool,
-        payload: Box<dyn Any + Send>,
+        payload: Payload,
     ) -> Result<(), CommError> {
         let pkt = Packet {
             epoch: self.epoch,
@@ -508,9 +540,7 @@ impl Comm {
             corrupt,
             payload,
         };
-        self.shared.senders[self.rank][to]
-            .send(pkt)
-            .map_err(|_| CommError::PeerClosed { peer: to })
+        self.transport.send(to, pkt)
     }
 
     /// Transport-level duplicate suppression. Application tags are reused
@@ -520,8 +550,8 @@ impl Comm {
     /// already accepted for this `(from, tag)` in its epoch.
     fn admit(&mut self, from: usize, pkt: &Packet) -> bool {
         if pkt.tag == RECOVER_TAG {
-            // The recovery protocol bypasses injection and sends exactly
-            // one announcement per epoch; nothing to dedup.
+            // Recovery announcements bypass injection and are idempotent
+            // (the rendezvous folds them with max); nothing to dedup.
             return true;
         }
         match self.recv_seq.entry((from, pkt.tag)) {
@@ -548,15 +578,29 @@ impl Comm {
         }
     }
 
-    fn unpack<T: Send + 'static>(&self, pkt: Packet, from: usize) -> Result<T, CommError> {
+    fn unpack<T: Wire>(&self, pkt: Packet, from: usize) -> Result<T, CommError> {
         if pkt.corrupt {
             return Err(CommError::Corrupt { from, tag: pkt.tag });
         }
         let tag = pkt.tag;
-        pkt.payload
-            .downcast::<T>()
-            .map(|b| *b)
-            .map_err(|_| CommError::TypeMismatch { from, tag })
+        match pkt.payload {
+            Payload::Local(b) => b
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| CommError::TypeMismatch { from, tag }),
+            Payload::Bytes { fp, data } => {
+                if fp != wire::type_fp::<T>() {
+                    return Err(CommError::TypeMismatch { from, tag });
+                }
+                let mut r = WireReader::new(&data);
+                match T::wire_get(&mut r) {
+                    Some(v) if r.done() => Ok(v),
+                    // The fingerprint matched but the bytes didn't decode:
+                    // the payload was damaged in transit.
+                    _ => Err(CommError::Corrupt { from, tag }),
+                }
+            }
+        }
     }
 
     /// Pull a matching current-epoch packet out of the pending buffer,
@@ -573,13 +617,15 @@ impl Comm {
     /// Blocking receive of a `T` sent from `from` with `tag`, bounded by
     /// the op timeout. Messages from the same source with other tags are
     /// buffered, preserving per-tag FIFO order.
-    pub fn recv<T: Send + 'static>(&mut self, from: usize, tag: u64) -> Result<T, CommError> {
+    pub fn recv<T: Wire>(&mut self, from: usize, tag: u64) -> Result<T, CommError> {
         let deadline = Instant::now() + self.op_timeout;
         self.recv_deadline(from, tag, deadline)
     }
 
-    /// [`Comm::recv`] with an explicit deadline.
-    pub fn recv_deadline<T: Send + 'static>(
+    /// [`Comm::recv`] with an explicit deadline. A deadline already in the
+    /// past returns [`CommError::Timeout`] immediately (after checking the
+    /// pending buffer) — it never performs a blocking poll cycle.
+    pub fn recv_deadline<T: Wire>(
         &mut self,
         from: usize,
         tag: u64,
@@ -600,7 +646,7 @@ impl Comm {
                     waited: now - started,
                 });
             }
-            match self.receivers[from].recv_timeout(deadline - now) {
+            match self.transport.recv_timeout(from, deadline - now) {
                 Ok(pkt) => {
                     if pkt.epoch < self.epoch {
                         continue; // stale traffic from before a recovery
@@ -613,14 +659,14 @@ impl Comm {
                     }
                     self.pending[from].push_back(pkt);
                 }
-                Err(RecvTimeoutError::Timeout) => {
+                Err(RecvError::Timeout) => {
                     return Err(CommError::Timeout {
                         from,
                         tag,
                         waited: started.elapsed(),
                     });
                 }
-                Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvError::Closed) => {
                     return Err(CommError::PeerClosed { peer: from });
                 }
             }
@@ -629,17 +675,13 @@ impl Comm {
 
     /// Non-blocking receive; `Ok(None)` when no matching message has
     /// arrived yet.
-    pub fn try_recv<T: Send + 'static>(
-        &mut self,
-        from: usize,
-        tag: u64,
-    ) -> Result<Option<T>, CommError> {
+    pub fn try_recv<T: Wire>(&mut self, from: usize, tag: u64) -> Result<Option<T>, CommError> {
         self.check_alive()?;
         assert!(from < self.size(), "rank {from} out of range");
         if let Some(pkt) = self.take_pending(from, tag) {
             return self.unpack(pkt, from).map(Some);
         }
-        while let Ok(pkt) = self.receivers[from].try_recv() {
+        while let Some(pkt) = self.transport.try_recv(from) {
             if pkt.epoch < self.epoch {
                 continue;
             }
@@ -669,7 +711,7 @@ impl Comm {
     /// Gather one value from every rank (returned in rank order). Runs over
     /// point-to-point channels; collective bytes are not added to the
     /// traffic report.
-    pub fn allgather<T: Clone + Send + 'static>(&mut self, v: T) -> Result<Vec<T>, CommError> {
+    pub fn allgather<T: Wire>(&mut self, v: T) -> Result<Vec<T>, CommError> {
         self.check_alive()?;
         let n = self.size();
         if n == 1 {
@@ -677,14 +719,14 @@ impl Comm {
         }
         let tag = self.next_collective_tag();
         for to in 0..n {
-            if to != self.rank {
+            if to != self.rank() {
                 self.send_impl(to, tag, std::mem::size_of::<T>(), v.clone(), false)?;
             }
         }
         let deadline = Instant::now() + self.op_timeout;
         let mut out = Vec::with_capacity(n);
         for from in 0..n {
-            if from == self.rank {
+            if from == self.rank() {
                 out.push(v.clone());
             } else {
                 out.push(self.recv_deadline(from, tag, deadline)?);
@@ -726,33 +768,111 @@ impl Comm {
         Ok(self.allgather(v)?.into_iter().sum())
     }
 
+    /// Move to `epoch`: reset per-epoch sequence state and advertise the
+    /// new epoch to the transport (handshakes/heartbeats carry it).
+    fn adopt_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.coll_seq = 0;
+        self.send_seq.clear();
+        self.transport.set_epoch(epoch);
+    }
+
+    /// Send one recovery announcement (bypasses fault injection).
+    fn announce(&mut self, to: usize) -> Result<(), CommError> {
+        let epoch = self.epoch;
+        let payload = if self.transport.by_bytes() {
+            let mut data = Vec::new();
+            epoch.wire_put(&mut data);
+            Payload::Bytes {
+                fp: wire::type_fp::<u64>(),
+                data,
+            }
+        } else {
+            Payload::Local(Box::new(epoch))
+        };
+        self.deliver(to, RECOVER_TAG, 1, 8, false, payload)
+    }
+
+    /// The epoch value carried by a recovery announcement, whatever its
+    /// payload representation.
+    fn announcement_epoch(pkt: &Packet) -> Option<u64> {
+        match &pkt.payload {
+            Payload::Local(b) => b.downcast_ref::<u64>().copied(),
+            Payload::Bytes { data, .. } => u64::wire_get(&mut WireReader::new(data)),
+        }
+    }
+
+    /// Next recovery announcement from anyone: pending buffers first, then
+    /// a non-blocking drain of every source (buffering application packets
+    /// from ranks already running a newer epoch), then a short sleep.
+    fn poll_announcements(&mut self, slice: Duration) -> Option<(usize, u64)> {
+        let n = self.size();
+        for from in 0..n {
+            if let Some(pos) = self.pending[from].iter().position(|p| p.tag == RECOVER_TAG) {
+                let pkt = self.pending[from].remove(pos).unwrap();
+                if let Some(ep) = Self::announcement_epoch(&pkt) {
+                    return Some((from, ep));
+                }
+            }
+        }
+        for from in 0..n {
+            if from == self.rank() {
+                continue;
+            }
+            while let Some(pkt) = self.transport.try_recv(from) {
+                if pkt.tag == RECOVER_TAG {
+                    if let Some(ep) = Self::announcement_epoch(&pkt) {
+                        return Some((from, ep));
+                    }
+                } else if pkt.epoch >= self.epoch && self.admit(from, &pkt) {
+                    self.pending[from].push_back(pkt);
+                }
+            }
+        }
+        std::thread::sleep(slice);
+        None
+    }
+
     /// Tear down this epoch and rendezvous with every rank for a rollback:
     /// revives a killed rank, bumps the epoch (so in-flight traffic from
     /// the aborted epoch is discarded on receipt), drains stale queues, and
     /// waits — generously, but boundedly — for every other rank to arrive
     /// at the same epoch. Returns the new epoch.
     ///
+    /// The rendezvous is a max-consensus: every rank announces its target
+    /// epoch (one more than the newest epoch it knows, including epochs
+    /// learned out-of-band from the transport's bootstrap handshake),
+    /// adopts and re-announces any higher epoch it hears, and finishes
+    /// when every peer has announced the agreed maximum. On transports
+    /// where a dead peer can respawn, announcements that fail to send are
+    /// retried with jittered exponential backoff until the rendezvous
+    /// deadline; on the in-process transport a closed peer is permanent
+    /// and the rendezvous fails fast.
+    ///
     /// Recovery messages bypass fault injection: the substrate models a
     /// hardened control channel.
     pub fn recover(&mut self) -> Result<u64, CommError> {
         if self.surrendered {
             return Err(CommError::RecoveryFailed {
-                rank: self.rank,
+                rank: self.rank(),
                 detail: "endpoint surrendered to a hot spare".to_string(),
             });
         }
         self.killed = None;
-        self.epoch += 1;
-        self.coll_seq = 0;
-        self.send_seq.clear();
-        let epoch = self.epoch;
+        // A rejoining process starts at epoch 0 but has heard the world's
+        // real epoch via its bootstrap handshake; catch up before bumping.
+        let known = self.epoch.max(self.transport.observed_epoch());
+        self.adopt_epoch(known + 1);
         let n = self.size();
+        let epoch = self.epoch;
         // Drain everything from dead epochs; keep packets that already
-        // carry the new epoch (ranks that entered recovery before us).
+        // carry the new epoch (ranks that entered recovery before us) and
+        // every buffered announcement (a peer that announced while we were
+        // still inside a collective must not have to announce twice).
         for from in 0..n {
-            self.pending[from].retain(|p| p.epoch >= epoch);
-            while let Ok(pkt) = self.receivers[from].try_recv() {
-                if pkt.epoch >= epoch && self.admit(from, &pkt) {
+            self.pending[from].retain(|p| p.tag == RECOVER_TAG || p.epoch >= epoch);
+            while let Some(pkt) = self.transport.try_recv(from) {
+                if pkt.tag == RECOVER_TAG || (pkt.epoch >= epoch && self.admit(from, &pkt)) {
                     self.pending[from].push_back(pkt);
                 }
             }
@@ -760,29 +880,81 @@ impl Comm {
         if n == 1 {
             return Ok(epoch);
         }
-        let me = self.rank;
+        let me = self.rank();
         let fail = move |detail: String| CommError::RecoveryFailed { rank: me, detail };
-        for to in 0..n {
-            if to != self.rank {
-                self.deliver(to, RECOVER_TAG, 1, 8, false, Box::new(epoch))
-                    .map_err(|e| fail(format!("announcing epoch {epoch} to rank {to}: {e}")))?;
-            }
-        }
+        let retry_sends = self.transport.peer_may_return();
         let deadline = Instant::now() + self.op_timeout * RECOVERY_TIMEOUT_FACTOR;
-        for from in 0..n {
-            if from == self.rank {
-                continue;
+        // Per-peer: the newest epoch heard, the epoch last successfully
+        // announced, and retry/backoff state for failed announcements.
+        let mut latest = vec![0u64; n];
+        let mut announced = vec![0u64; n];
+        let mut attempt = vec![0u32; n];
+        let mut next_try = vec![Instant::now(); n];
+        let backoff_seed = 0x7ECA_11ED_u64 ^ ((me as u64) << 32);
+        let mut last_blast = Instant::now();
+        loop {
+            if retry_sends && last_blast.elapsed() >= Duration::from_millis(250) {
+                // A socket write can "succeed" into a peer that dies before
+                // reading it; announcements are idempotent (folded with
+                // max), so periodically re-blast instead of trusting a
+                // successful write as delivery.
+                announced.fill(0);
+                last_blast = Instant::now();
             }
-            let peer_epoch: u64 = self
-                .recv_deadline(from, RECOVER_TAG, deadline)
-                .map_err(|e| fail(format!("waiting for rank {from} to rejoin: {e}")))?;
-            if peer_epoch != epoch {
+            for to in 0..n {
+                if to == me || announced[to] == self.epoch || Instant::now() < next_try[to] {
+                    continue;
+                }
+                match self.announce(to) {
+                    Ok(()) => {
+                        announced[to] = self.epoch;
+                        attempt[to] = 0;
+                    }
+                    Err(e) if retry_sends => {
+                        // The peer process may be respawning; back off and
+                        // try its (re-bound) endpoint again.
+                        let _ = e;
+                        next_try[to] = Instant::now()
+                            + wire::backoff(
+                                attempt[to],
+                                Duration::from_millis(20),
+                                Duration::from_millis(500),
+                                backoff_seed ^ to as u64,
+                            );
+                        attempt[to] = attempt[to].saturating_add(1);
+                    }
+                    Err(e) => {
+                        // In-process peers cannot come back: fail fast.
+                        return Err(fail(format!(
+                            "announcing epoch {} to rank {to}: {e}",
+                            self.epoch
+                        )));
+                    }
+                }
+            }
+            if (0..n).all(|p| p == me || latest[p] == self.epoch) {
+                return Ok(self.epoch);
+            }
+            if Instant::now() >= deadline {
+                let missing = (0..n)
+                    .filter(|&p| p != me && latest[p] != self.epoch)
+                    .collect::<Vec<_>>();
                 return Err(fail(format!(
-                    "rank {from} rejoined at epoch {peer_epoch}, expected {epoch}"
+                    "waiting for ranks {missing:?} to rejoin epoch {}: timed out after {:?}",
+                    self.epoch,
+                    self.op_timeout * RECOVERY_TIMEOUT_FACTOR
                 )));
             }
+            if let Some((from, ep)) = self.poll_announcements(Duration::from_millis(2)) {
+                latest[from] = latest[from].max(ep);
+                if ep > self.epoch {
+                    // Someone is ahead (heard a newer failure, or a
+                    // rejoiner that caught up past us): adopt the higher
+                    // epoch; the `announced` check re-announces it.
+                    self.adopt_epoch(ep);
+                }
+            }
         }
-        Ok(epoch)
     }
 
     /// Detach this rank's entire communication state into an [`Endpoint`]
@@ -792,15 +964,17 @@ impl Comm {
     /// thread takes over a dead rank's seat without the world renumbering.
     pub fn surrender(&mut self) -> Endpoint {
         self.surrendered = true;
+        let rank = self.rank();
+        let size = self.size();
+        let husk: Box<dyn Transport> = Box::new(HuskTransport { rank, size });
         Endpoint {
-            rank: self.rank,
-            shared: Arc::clone(&self.shared),
-            receivers: std::mem::take(&mut self.receivers),
+            rank,
+            transport: std::mem::replace(&mut self.transport, husk),
             pending: std::mem::take(&mut self.pending),
             epoch: self.epoch,
             coll_seq: self.coll_seq,
             op_timeout: self.op_timeout,
-            fault: std::mem::replace(&mut self.fault, FaultState::new(None, self.rank)),
+            fault: std::mem::replace(&mut self.fault, FaultState::new(None, rank)),
             send_seq: std::mem::take(&mut self.send_seq),
             recv_seq: std::mem::take(&mut self.recv_seq),
             killed: self.killed,
@@ -812,9 +986,7 @@ impl Comm {
     /// inherited fault state keeps spent one-shot rules spent.
     pub fn adopt(ep: Endpoint) -> Comm {
         Comm {
-            rank: ep.rank,
-            shared: ep.shared,
-            receivers: ep.receivers,
+            transport: ep.transport,
             pending: ep.pending,
             epoch: ep.epoch,
             coll_seq: ep.coll_seq,
@@ -855,6 +1027,43 @@ mod tests {
         assert_eq!(traffic.total_bytes, 5 * 8);
         assert_eq!(traffic.bytes[0][1], 8);
         assert_eq!(traffic.bytes[0][2], 0);
+    }
+
+    #[test]
+    fn per_tag_counters_attribute_traffic() {
+        let (_, traffic) = run_expect(2, |c| {
+            if c.rank() == 0 {
+                c.send_vec(1, 7, vec![0f32; 100]).unwrap(); // 400 bytes
+                c.send(1, 9, 1u64).unwrap(); // 8 bytes
+                c.send(1, 9, 2u64).unwrap(); // 8 bytes
+            } else {
+                let _: Vec<f32> = c.recv(0, 7).unwrap();
+                let _: u64 = c.recv(0, 9).unwrap();
+                let _: u64 = c.recv(0, 9).unwrap();
+            }
+        });
+        assert_eq!(
+            traffic.by_tag,
+            vec![
+                TagTraffic {
+                    tag: 7,
+                    messages: 1,
+                    bytes: 400
+                },
+                TagTraffic {
+                    tag: 9,
+                    messages: 2,
+                    bytes: 16
+                },
+            ]
+        );
+        assert_eq!(traffic.top_tags(1).len(), 1);
+        assert_eq!(traffic.top_tags(1)[0].tag, 7);
+        // Collectives stay uncounted, per the report's contract.
+        let (_, t2) = run_expect(2, |c| {
+            c.barrier().unwrap();
+        });
+        assert!(t2.by_tag.is_empty());
     }
 
     #[test]
@@ -1007,6 +1216,48 @@ mod tests {
         });
         assert!(results[1]);
     }
+
+    #[test]
+    fn recv_deadline_in_the_past_times_out_immediately() {
+        // A deadline that has already passed must not perform a blocking
+        // poll cycle: the error comes back in (well under) a millisecond,
+        // and a message already in the pending buffer is still served.
+        let (results, _) = run_expect(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 7u32).unwrap();
+                c.barrier().unwrap();
+                c.barrier().unwrap();
+                true
+            } else {
+                c.barrier().unwrap();
+                c.barrier().unwrap(); // tag-1 message has arrived by now
+                let past = Instant::now() - Duration::from_secs(1);
+                let t0 = Instant::now();
+                let miss = c.recv_deadline::<u32>(0, 99, past);
+                let waited = t0.elapsed();
+                assert!(
+                    matches!(
+                        miss,
+                        Err(CommError::Timeout {
+                            from: 0,
+                            tag: 99,
+                            ..
+                        })
+                    ),
+                    "want immediate timeout, got {miss:?}"
+                );
+                assert!(
+                    waited < Duration::from_millis(50),
+                    "past deadline blocked for {waited:?}"
+                );
+                // Pending traffic is still delivered even with a past
+                // deadline (matching beats the clock).
+                let hit: u32 = c.recv_deadline(0, 1, past).unwrap();
+                hit == 7
+            }
+        });
+        assert!(results[1]);
+    }
 }
 
 #[cfg(test)]
@@ -1099,6 +1350,31 @@ mod fault_tests {
         });
         assert!(results[0].as_ref().unwrap());
         assert!(results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn partitioned_link_drops_frames_both_ways_until_heal() {
+        // A partition between ranks 0 and 1 from step 2 until step 4: the
+        // cut is symmetric (both directions of the pair), frame-level
+        // (receivers just time out), and heals when the window ends.
+        let plan = FaultPlan::new(1).partition(0, 1, 2, 4);
+        let (results, _) = run_with_faults(2, Some(plan), |c| {
+            c.set_op_timeout(Duration::from_millis(100));
+            let peer = 1 - c.rank();
+            let mut delivered = Vec::new();
+            for step in 0..6u64 {
+                c.tick(step).unwrap();
+                c.send(peer, step, step).unwrap();
+                delivered.push(c.recv::<u64>(peer, step).is_ok());
+            }
+            delivered
+        });
+        for r in &results {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                &vec![true, true, false, false, true, true]
+            );
+        }
     }
 
     #[test]
@@ -1238,5 +1514,24 @@ mod fault_tests {
             }
         });
         assert_eq!(results[1], 222);
+    }
+
+    #[test]
+    fn repeated_recoveries_advance_the_epoch_in_lockstep() {
+        // Two full rendezvous back to back; the gate keeps one rank from
+        // racing ahead into its second recovery (and thus announcing an
+        // epoch the other would adopt mid-rendezvous — legal, but it makes
+        // the final epoch nondeterministic).
+        let gate = std::sync::Barrier::new(2);
+        let (results, _) = run_expect(2, |c| {
+            c.set_op_timeout(Duration::from_millis(500));
+            let e1 = c.recover().unwrap();
+            gate.wait();
+            let e2 = c.recover().unwrap();
+            (e1, e2, c.epoch())
+        });
+        for r in results {
+            assert_eq!(r, (1, 2, 2));
+        }
     }
 }

@@ -65,11 +65,25 @@ pub struct FaultRule {
     pub trigger: Trigger,
 }
 
+/// A frame-level network partition: every message between ranks `a` and
+/// `b` (both directions) is silently dropped for steps in
+/// `[from_step, until_step)`. Receivers see timeouts; the link heals when
+/// the window ends. Not one-shot — the cut holds for the whole window,
+/// including across rollback replays of those steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionRule {
+    pub a: usize,
+    pub b: usize,
+    pub from_step: u64,
+    pub until_step: u64,
+}
+
 /// A reproducible schedule of injected faults for one run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     pub seed: u64,
     pub rules: Vec<FaultRule>,
+    pub partitions: Vec<PartitionRule>,
 }
 
 impl FaultPlan {
@@ -78,6 +92,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rules: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -130,6 +145,18 @@ impl FaultPlan {
             kind: FaultKind::Duplicate,
             trigger: Trigger::OnMessage(nth),
         })
+    }
+
+    /// Cut the link between ranks `a` and `b` (both directions) for steps
+    /// in `[from_step, until_step)`.
+    pub fn partition(mut self, a: usize, b: usize, from_step: u64, until_step: u64) -> Self {
+        self.partitions.push(PartitionRule {
+            a,
+            b,
+            from_step,
+            until_step,
+        });
+        self
     }
 
     /// Delay each message sent by `rank` with probability `p` by `by`.
@@ -253,6 +280,19 @@ impl FaultState {
         None
     }
 
+    /// Is the link from this rank to `to` cut by a partition window at the
+    /// current step? (Symmetric: the rule matches either orientation.)
+    pub(crate) fn partitioned(&self, to: usize) -> bool {
+        let Some(plan) = &self.plan else {
+            return false;
+        };
+        plan.partitions.iter().any(|p| {
+            ((p.a == self.rank && p.b == to) || (p.b == self.rank && p.a == to))
+                && self.step >= p.from_step
+                && self.step < p.until_step
+        })
+    }
+
     fn draw(&mut self) -> f64 {
         (splitmix64(&mut self.rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -337,6 +377,28 @@ mod tests {
         assert_eq!(st.on_send(), None); // message 2: arms, still delivered
         assert!(st.kill_due(1), "armed kill did not land at the next tick");
         assert!(!st.kill_due(2), "one-shot kill fired twice");
+    }
+
+    #[test]
+    fn partition_window_is_symmetric_and_heals() {
+        let plan = Arc::new(FaultPlan::new(1).partition(0, 2, 3, 6));
+        for rank in [0usize, 2] {
+            let other = 2 - rank;
+            let mut st = FaultState::new(Some(Arc::clone(&plan)), rank);
+            st.set_step(2);
+            assert!(!st.partitioned(other), "cut before the window opened");
+            st.set_step(3);
+            assert!(st.partitioned(other), "window start is inclusive");
+            assert!(!st.partitioned(1), "unrelated link cut");
+            st.set_step(5);
+            assert!(st.partitioned(other));
+            st.set_step(6);
+            assert!(!st.partitioned(other), "window end is exclusive");
+        }
+        // A rank outside the pair is never cut.
+        let mut st = FaultState::new(Some(plan), 1);
+        st.set_step(4);
+        assert!(!st.partitioned(0) && !st.partitioned(2));
     }
 
     #[test]

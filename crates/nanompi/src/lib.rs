@@ -31,10 +31,18 @@
 mod cart;
 pub mod comm;
 pub mod fault;
+pub mod socket;
+pub mod transport;
+pub mod wire;
 
 pub use cart::CartTopology;
 pub use comm::{
     run, run_expect, run_with_faults, Comm, CommError, Endpoint, RankPanic, TrafficReport,
     DEFAULT_OP_TIMEOUT,
 };
-pub use fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+pub use fault::{FaultKind, FaultPlan, FaultRule, PartitionRule, Trigger};
+pub use socket::{
+    run_socket, run_socket_world, BootstrapError, SocketAddrSpec, SocketBoot, WIRE_VERSION,
+};
+pub use transport::{TagTraffic, TransportKind};
+pub use wire::{Wire, WireReader};

@@ -1,0 +1,377 @@
+//! Byte-level serialization for the typed message surface.
+//!
+//! The in-process transport moves payloads as boxed values and never needs
+//! bytes; the socket transport needs every payload flattened into a frame.
+//! [`Wire`] is that contract: a bit-exact, little-endian encoding for every
+//! type the application sends. Floats round-trip through `to_bits`, so a
+//! distributed run over sockets lands on the same bits as the in-process
+//! run — the whole bitwise-determinism story depends on this.
+//!
+//! Also home to the vendored integrity/jitter primitives the socket layer
+//! reuses (nanompi deliberately has zero dependencies): the same CRC-32
+//! polynomial as `vpic_core::journal`'s WAL framing and the same splitmix64
+//! jitter discipline as `vpic_core::queue`'s retry backoff.
+
+use std::time::Duration;
+
+/// A type that can cross a byte-oriented transport bit-exactly.
+///
+/// `wire_get` must accept exactly what `wire_put` produced; a decode
+/// returning `None` marks the payload as not being this type (the socket
+/// analog of a failed downcast).
+pub trait Wire: Clone + Send + Sized + 'static {
+    fn wire_put(&self, out: &mut Vec<u8>);
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self>;
+}
+
+/// Cursor over a received payload.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Consume and return everything not yet read.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Skip `n` bytes, returning the reader for chaining.
+    pub fn skip(&mut self, n: usize) -> Option<&mut Self> {
+        self.take(n)?;
+        Some(self)
+    }
+
+    /// True when every byte has been consumed (a decode that leaves
+    /// trailing bytes did not match the sent type).
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+macro_rules! wire_le {
+    ($($t:ty => $read:ident),* $(,)?) => {$(
+        impl Wire for $t {
+            fn wire_put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+                r.take(std::mem::size_of::<$t>())
+                    .map(|b| <$t>::from_le_bytes(b.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+wire_le!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, i32 => i32, i64 => i64);
+
+// usize travels as u64 so 32- and 64-bit builds interoperate.
+impl Wire for usize {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u64).to_le_bytes());
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        usize::try_from(r.u64()?).ok()
+    }
+}
+
+// Floats are bit-patterns on the wire: NaN payloads, signed zeros and
+// denormals all round-trip exactly.
+impl Wire for f32 {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        r.u32().map(f32::from_bits)
+    }
+}
+
+impl Wire for f64 {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        r.u64().map(f64::from_bits)
+    }
+}
+
+impl Wire for bool {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for String {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        let len = usize::try_from(r.u64()?).ok()?;
+        String::from_utf8(r.take(len)?.to_vec()).ok()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for v in self {
+            v.wire_put(out);
+        }
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        let len = usize::try_from(r.u64()?).ok()?;
+        // Guard against a hostile length prefix: each element needs at
+        // least one byte on the wire.
+        if len > r.buf.len().saturating_sub(r.pos) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::wire_get(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.wire_put(out);
+            }
+        }
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(None),
+            1 => Some(Some(T::wire_get(r)?)),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn wire_put(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.wire_put(out);)+
+            }
+            fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+                Some(($($name::wire_get(r)?,)+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A);
+wire_tuple!(A, B);
+wire_tuple!(A, B, C);
+wire_tuple!(A, B, C, D);
+
+/// A same-binary type tag carried next to byte payloads so a mistyped
+/// receive fails with `TypeMismatch` instead of mis-decoding. Hashed from
+/// `type_name`, which is only stable within one binary — the bootstrap
+/// handshake's version check guarantees both ends run the same build.
+pub fn type_fp<T: 'static>() -> u64 {
+    fnv1a64(std::any::type_name::<T>().as_bytes())
+}
+
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// CRC-32 (IEEE, reflected — the `crc32fast`-compatible polynomial the
+/// checkpoint/journal framing uses) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with seeded jitter, the same discipline as the
+/// sweep queue's `RetryPolicy::backoff_ms`: `base·2^attempt` capped at
+/// `max`, plus up to 50% deterministic jitter keyed on `(seed, attempt)`.
+pub(crate) fn backoff(attempt: u32, base: Duration, max: Duration, seed: u64) -> Duration {
+    let exp = base
+        .saturating_mul(1u32 << attempt.min(10))
+        .min(max)
+        .max(Duration::from_millis(1));
+    let mut s = seed ^ ((attempt as u64) << 32);
+    let jitter_frac = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    exp + exp.mul_f64(0.5 * jitter_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.wire_put(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let got = T::wire_get(&mut r).expect("decode");
+        assert!(r.done(), "trailing bytes after {v:?}");
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(-1i64);
+        round_trip(true);
+        round_trip("héllo wörld".to_string());
+        round_trip((1u64, 2u64, 3u64));
+        round_trip(Some(vec![1.0f64, -0.0]));
+        round_trip::<Option<u8>>(None);
+        round_trip(vec![vec![1u32], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [0u32, 1, 0x7fc0_0001, 0x7f80_0000, 0x8000_0000, u32::MAX] {
+            let v = f32::from_bits(bits);
+            let mut buf = Vec::new();
+            v.wire_put(&mut buf);
+            let got = f32::wire_get(&mut WireReader::new(&buf)).unwrap();
+            assert_eq!(got.to_bits(), bits);
+        }
+        for bits in [0u64, 1, 0x7ff8_dead_beef_0001, u64::MAX] {
+            let v = f64::from_bits(bits);
+            let mut buf = Vec::new();
+            v.wire_put(&mut buf);
+            let got = f64::wire_get(&mut WireReader::new(&buf)).unwrap();
+            assert_eq!(got.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_none() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3].wire_put(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                Vec::<u64>::wire_get(&mut WireReader::new(&buf[..cut])),
+                None,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Vec::<u8>::wire_get(&mut WireReader::new(&buf)), None);
+    }
+
+    #[test]
+    fn type_fps_differ() {
+        assert_ne!(type_fp::<u64>(), type_fp::<f64>());
+        assert_ne!(type_fp::<Vec<u32>>(), type_fp::<Vec<f32>>());
+        assert_eq!(type_fp::<Vec<f32>>(), type_fp::<Vec<f32>>());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(500);
+        let d0 = backoff(0, base, max, 7);
+        let d3 = backoff(3, base, max, 7);
+        let d9 = backoff(9, base, max, 7);
+        assert!(d0 >= base && d0 <= base * 2);
+        assert!(d3 >= base * 8 && d3 <= base * 12);
+        assert!(d9 <= max * 3 / 2);
+        // Deterministic for a given (seed, attempt).
+        assert_eq!(backoff(3, base, max, 7), d3);
+        assert_ne!(backoff(3, base, max, 8), backoff(3, base, max, 9));
+    }
+}

@@ -73,6 +73,8 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use vpic_core::checkpoint::CheckpointError;
+use vpic_core::field::FieldArray;
+use vpic_core::grid::Grid;
 use vpic_core::sentinel::{
     burst_passes, classify, validate_cfl, AnomalyKind, CorruptionPlan, FlightRecorder, HealEvent,
     HealthSample, HealthVerdict, SentinelConfig,
@@ -318,6 +320,9 @@ pub enum CampaignError {
     /// The hot-spare replacement thread died without handing the endpoint
     /// back.
     HotSpare(String),
+    /// A world launch failed before (or instead of) producing an outcome:
+    /// a rank panicked or a socket bootstrap was refused.
+    Launch(String),
     /// The setup itself is invalid (e.g. a CFL violation): no amount of
     /// rollback can fix a deck that is unstable by construction.
     Config(HealthVerdict),
@@ -341,6 +346,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::HotSpare(detail) => {
                 write!(f, "hot-spare replacement failed: {detail}")
             }
+            CampaignError::Launch(detail) => write!(f, "world launch failed: {detail}"),
             CampaignError::Config(v) => write!(f, "invalid setup: {v}"),
         }
     }
@@ -480,6 +486,12 @@ struct Runner {
     peak_imbalance: f64,
 }
 
+/// External current drive hook threaded through the campaign loop into
+/// [`DistributedSim::step_with`] every step (the laser antenna, in the LPI
+/// decks). `Sync` because a hot-spare replacement thread borrows it.
+pub trait CampaignDrive: Fn(&mut FieldArray, &Grid, u64) + Sync {}
+impl<F: Fn(&mut FieldArray, &Grid, u64) + Sync> CampaignDrive for F {}
+
 impl Runner {
     /// Run one step of the campaign schedule: tick faults, maybe dump,
     /// maybe health-check, advance the sim. `Ok(Err(fault))` is a
@@ -488,6 +500,7 @@ impl Runner {
         &mut self,
         comm: &mut Comm,
         sim: &mut DistributedSim,
+        drive: &impl CampaignDrive,
     ) -> Result<Result<(), Fault>, CampaignError> {
         let step = sim.step_count;
         if let Err(e) = comm.tick(step) {
@@ -546,7 +559,7 @@ impl Runner {
             }
         }
         let t0 = Instant::now();
-        if let Err(e) = sim.step(comm) {
+        if let Err(e) = sim.step_with(comm, |f, g, s| drive(f, g, s)) {
             return Ok(Err(e.into()));
         }
         self.step_secs = ewma(self.step_secs, t0.elapsed().as_secs_f64());
@@ -703,7 +716,7 @@ impl Runner {
             .find(|s| all.iter().all(|ranks| ranks.contains(s)))
             .copied()
             .ok_or(CampaignError::NoCommonCheckpoint)?;
-        let restored = match &self.cache {
+        let mut restored = match &self.cache {
             Some((step, bytes)) if *step == chosen => {
                 load_rank(sim.spec.clone(), self.rank, n_pipe, &mut bytes.as_slice())
                     .map_err(CampaignError::Checkpoint)?
@@ -714,6 +727,12 @@ impl Runner {
                     .map_err(CampaignError::Checkpoint)?
             }
         };
+        // Knobs that live outside the dump carry over from the template
+        // sim (the sponge shapes the physics; layout/kernel are bit-exact
+        // performance choices).
+        restored.sponge = sim.sponge;
+        restored.set_layout(sim.layout());
+        restored.set_kernel(sim.kernel());
         // Everyone must resume from the same generation.
         let confirm = comm.allgather(chosen).map_err(CampaignError::Comm)?;
         if confirm.iter().any(|&s| s != chosen) {
@@ -729,7 +748,7 @@ impl Runner {
         sim: DistributedSim,
         at_step: u64,
         attempt: u32,
-        fault: &Fault,
+        cause: &str,
     ) -> (DistributedSim, CampaignOutcome) {
         let partial = self
             .cfg
@@ -748,7 +767,7 @@ impl Runner {
         append_log(
             &self.cfg.checkpoint_dir,
             self.rank,
-            &format!("step={at_step} attempt={attempt} cause=\"{fault}\" action=degraded"),
+            &format!("step={at_step} attempt={attempt} cause=\"{cause}\" action=degraded"),
         );
         let end = CampaignEnd::Degraded {
             at_step,
@@ -784,6 +803,7 @@ impl Runner {
         at_step: u64,
         attempt: u32,
         fault: Fault,
+        drive: &impl CampaignDrive,
     ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
         append_log(
             &self.cfg.checkpoint_dir,
@@ -794,12 +814,17 @@ impl Runner {
         // considered lost; the spare must restore from disk.
         self.cache = None;
         let ep = comm.surrender();
-        let spare = std::thread::spawn(move || {
-            let mut comm = Comm::adopt(ep);
-            let result = self.spare_main(&mut comm, sim, at_step, attempt, fault);
-            (result, comm.surrender())
+        let cause = fault.to_string();
+        // Scoped so the replacement thread can borrow the drive hook.
+        let joined = std::thread::scope(|s| {
+            let spare = s.spawn(move || {
+                let mut comm = Comm::adopt(ep);
+                let result = self.spare_main(&mut comm, sim, at_step, attempt, &cause, drive);
+                (result, comm.surrender())
+            });
+            spare.join()
         });
-        match spare.join() {
+        match joined {
             Ok((result, ep)) => {
                 comm.readopt(ep);
                 result
@@ -819,7 +844,8 @@ impl Runner {
         sim: DistributedSim,
         at_step: u64,
         attempt: u32,
-        fault: Fault,
+        cause: &str,
+        drive: &impl CampaignDrive,
     ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
         match self.rollback(comm, &sim) {
             Ok((restored, restored_step)) => {
@@ -828,21 +854,21 @@ impl Runner {
                     &self.cfg.checkpoint_dir,
                     self.rank,
                     &format!(
-                        "step={at_step} attempt={attempt} cause=\"{fault}\" \
+                        "step={at_step} attempt={attempt} cause=\"{cause}\" \
                          restored_step={restored_step} hot_spare=1"
                     ),
                 );
                 self.recoveries.push(RecoveryEvent {
                     at_step,
                     attempt,
-                    cause: fault.to_string(),
+                    cause: cause.to_string(),
                     restored_step,
                     hot_spare: true,
                 });
-                self.drive(comm, restored)
+                self.drive(comm, restored, drive)
             }
             Err(CampaignError::Comm(_)) | Err(CampaignError::NoCommonCheckpoint) => {
-                Ok(self.degrade(sim, at_step, attempt, &fault))
+                Ok(self.degrade(sim, at_step, attempt, cause))
             }
             Err(e) => Err(e),
         }
@@ -854,6 +880,7 @@ impl Runner {
         mut self,
         comm: &mut Comm,
         mut sim: DistributedSim,
+        drive: &impl CampaignDrive,
     ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
         loop {
             if sim.step_count >= self.cfg.steps {
@@ -861,7 +888,7 @@ impl Runner {
                 return Ok((sim, outcome));
             }
             let step = sim.step_count;
-            let mut fault = match self.iterate(comm, &mut sim)? {
+            let mut fault = match self.iterate(comm, &mut sim, drive)? {
                 Ok(()) => continue,
                 Err(f) => f,
             };
@@ -889,7 +916,7 @@ impl Runner {
 
             let attempt = self.recoveries.len() as u32 + 1;
             if attempt > self.cfg.max_recoveries {
-                return Ok(self.degrade(sim, step, attempt, &fault));
+                return Ok(self.degrade(sim, step, attempt, &fault.to_string()));
             }
             // A rank the fault plan killed hands its endpoint to a hot
             // spare when configured to; every other fault (or mode) takes
@@ -899,7 +926,7 @@ impl Runner {
                 Fault::Comm(CommError::Killed { rank, .. }) if rank == self.rank
             );
             if own_kill && self.cfg.recovery == RecoveryMode::HotSpare {
-                return self.hand_off(comm, sim, step, attempt, fault);
+                return self.hand_off(comm, sim, step, attempt, fault, drive);
             }
             match self.rollback(comm, &sim) {
                 Ok((restored, restored_step)) => {
@@ -928,7 +955,7 @@ impl Runner {
                 // partial dump) beats erroring out — peers waiting on us
                 // will time out and degrade the same way.
                 Err(CampaignError::Comm(_)) | Err(CampaignError::NoCommonCheckpoint) => {
-                    return Ok(self.degrade(sim, step, attempt, &fault));
+                    return Ok(self.degrade(sim, step, attempt, &fault.to_string()));
                 }
                 Err(e) => return Err(e),
             }
@@ -945,6 +972,50 @@ pub fn run_campaign(
     sim: DistributedSim,
     cfg: &CampaignConfig,
 ) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+    run_campaign_with(comm, sim, cfg, |_, _, _| {})
+}
+
+/// [`run_campaign`] with an external current drive (e.g. a laser antenna)
+/// applied through [`DistributedSim::step_with`] on every step — including
+/// replayed steps after a rollback, so the drive history is identical on
+/// the recovery path.
+pub fn run_campaign_with(
+    comm: &mut Comm,
+    sim: DistributedSim,
+    cfg: &CampaignConfig,
+    drive: impl CampaignDrive,
+) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+    let runner = prepare(comm, &sim, cfg)?;
+    runner.drive(comm, sim, &drive)
+}
+
+/// Entry point for a *respawned process* taking over a dead rank's seat in
+/// a running campaign (socket transport). `sim` is the rank's pristine
+/// deck-built shard, used only as a template: the runner immediately
+/// rendezvouses with the survivors ([`Comm::recover`]), restores the
+/// newest checkpoint generation valid on every rank from disk (a rejoiner
+/// has no in-memory cache), and drives the campaign to its end.
+///
+/// Caveats for bit-exact convergence with an uninterrupted run: use a
+/// `Fixed` checkpoint policy and `health_interval = 0` — a rejoiner's
+/// measured-cost EWMAs and health baseline start empty, so cadences that
+/// resolve from them would diverge from the survivors'.
+pub fn rejoin_campaign(
+    comm: &mut Comm,
+    sim: DistributedSim,
+    cfg: &CampaignConfig,
+    drive: impl CampaignDrive,
+) -> Result<(DistributedSim, CampaignOutcome), CampaignError> {
+    let runner = prepare(comm, &sim, cfg)?;
+    let at_step = sim.step_count;
+    runner.spare_main(comm, sim, at_step, 1, "process respawn rejoin", &drive)
+}
+
+fn prepare(
+    comm: &mut Comm,
+    sim: &DistributedSim,
+    cfg: &CampaignConfig,
+) -> Result<Runner, CampaignError> {
     std::fs::create_dir_all(&cfg.checkpoint_dir)?;
     if let Some(t) = cfg.op_timeout {
         comm.set_op_timeout(t);
@@ -956,7 +1027,7 @@ pub fn run_campaign(
         return Err(CampaignError::Config(v));
     }
     let scfg = cfg.effective_sentinel();
-    let runner = Runner {
+    Ok(Runner {
         rank: sim.rank,
         baseline: None,
         recoveries: Vec::new(),
@@ -972,6 +1043,5 @@ pub fn run_campaign(
         heals: Vec::new(),
         peak_imbalance: 0.0,
         cfg: cfg.clone(),
-    };
-    runner.drive(comm, sim)
+    })
 }

@@ -20,6 +20,7 @@ use vpic_core::push::{advance_p_tallied, PushKernel};
 use vpic_core::rng::Rng;
 use vpic_core::sentinel::{self, HealthSample, SentinelConfig, SimConfig};
 use vpic_core::species::Species;
+use vpic_core::sponge::Sponge;
 use vpic_core::store::Layout;
 use vpic_core::Particle;
 
@@ -80,6 +81,11 @@ pub struct DistributedSim {
     pub config: SimConfig,
     /// Scratch for divergence-error fields.
     scratch: Vec<f32>,
+    /// Open-boundary damping layers evaluated in *global* x coordinates
+    /// (the deck's sponge spans the full domain, not each rank's slab).
+    /// Every rank must hold the same value. Not checkpointed — the runner
+    /// re-seats it after a rollback, like the layout/kernel knobs.
+    pub sponge: Option<Sponge>,
     /// Particle storage layout applied to every species on this rank.
     layout: Layout,
     /// Which AoSoA push body runs on this rank (bit-identical either
@@ -108,6 +114,7 @@ impl DistributedSim {
             migrated: 0,
             timings: DistTimings::default(),
             config: SimConfig::default(),
+            sponge: None,
             scratch: Vec::new(),
             layout: Layout::default(),
             kernel: PushKernel::default(),
@@ -267,6 +274,12 @@ impl DistributedSim {
         self.exchanger.exchange_b(comm, &mut self.fields, &g)?;
         self.timings.exchange += t0.elapsed().as_secs_f64();
 
+        if self.sponge.is_some() {
+            let t0 = Instant::now();
+            self.apply_sponge(&g);
+            self.timings.field += t0.elapsed().as_secs_f64();
+        }
+
         self.step_count += 1;
         self.timings.steps += 1;
 
@@ -287,6 +300,38 @@ impl DistributedSim {
             self.marder_clean_b(comm, 1)?;
         }
         Ok(())
+    }
+
+    /// Damp every local x-plane — ghosts included — by the sponge factor
+    /// at its *global* index. A ghost plane's global index lands exactly
+    /// on the owning neighbor's live plane, so ghosts pick up the same
+    /// damping the neighbor applies and stay bit-consistent across ranks
+    /// without an extra exchange. (Runs after the last ghost exchange of
+    /// the step; `Sponge::factor` clamps the domain-edge ghosts at 0 and
+    /// `global_nx + 1` to full wall strength.)
+    fn apply_sponge(&mut self, g: &Grid) {
+        let Some(sponge) = self.sponge else { return };
+        let global_nx = self.spec.global_cells.0;
+        let x_off = self.spec.topo.coords_of(self.rank)[0] * self.spec.local_cells().0;
+        let (sx, sy, sz) = g.strides();
+        let f = &mut self.fields;
+        for i in 0..sx {
+            let fac = sponge.factor(x_off + i, global_nx);
+            if fac == 1.0 {
+                continue;
+            }
+            for k in 0..sz {
+                for j in 0..sy {
+                    let v = g.voxel(i, j, k);
+                    f.ex[v] *= fac;
+                    f.ey[v] *= fac;
+                    f.ez[v] *= fac;
+                    f.cbx[v] *= fac;
+                    f.cby[v] *= fac;
+                    f.cbz[v] *= fac;
+                }
+            }
+        }
     }
 
     /// Deposit the charge density of every species into `fields.rho` with
@@ -476,6 +521,58 @@ mod tests {
     use super::*;
     use nanompi::run_expect;
     use vpic_core::sim::Simulation;
+
+    /// The distributed sponge must damp by *global* x position: each
+    /// rank's slab sees only its portion of the layer, and ghost planes
+    /// pick up exactly the factor the owning neighbor applies.
+    #[test]
+    fn sponge_damps_in_global_coordinates() {
+        let spec = DomainSpec::periodic((8, 2, 2), (0.5, 0.5, 0.5), 0.1, 2);
+        let lx = spec.local_cells().0;
+        assert_eq!(lx, 4, "expected an x-decomposed 2-rank split");
+        let sponge = Sponge::symmetric(2, 0.5);
+        let sims: Vec<DistributedSim> = (0..2)
+            .map(|rank| {
+                let mut sim = DistributedSim::new(spec.clone(), rank, 1);
+                sim.sponge = Some(sponge);
+                for v in sim.fields.ey.iter_mut() {
+                    *v = 1.0;
+                }
+                let g = sim.grid.clone();
+                sim.apply_sponge(&g);
+                sim
+            })
+            .collect();
+
+        let g = sims[0].grid.clone();
+        // Rank 0 holds global planes 1–4: plane 1 is the wall, planes 3–4
+        // sit outside the 2-cell layer.
+        assert_eq!(
+            sims[0].fields.ey[g.voxel(1, 1, 1)],
+            sponge.factor(1, 8),
+            "wall plane"
+        );
+        assert_eq!(sims[0].fields.ey[g.voxel(3, 1, 1)], 1.0, "interior");
+        assert_eq!(sims[0].fields.ey[g.voxel(4, 1, 1)], 1.0, "interior");
+        // Rank 1 holds global planes 5–8: local plane 4 is the high wall.
+        assert_eq!(sims[1].fields.ey[g.voxel(1, 1, 1)], 1.0, "interior");
+        assert_eq!(
+            sims[1].fields.ey[g.voxel(4, 1, 1)],
+            sponge.factor(8, 8),
+            "high wall"
+        );
+        // Rank 1's low ghost (global plane 4) matches rank 0's live
+        // plane 4 — ghosts stay bit-consistent without an exchange.
+        assert_eq!(
+            sims[1].fields.ey[g.voxel(0, 1, 1)],
+            sims[0].fields.ey[g.voxel(4, 1, 1)]
+        );
+        // And rank 0's high ghost (global 5) matches rank 1's live plane 1.
+        assert_eq!(
+            sims[0].fields.ey[g.voxel(5, 1, 1)],
+            sims[1].fields.ey[g.voxel(1, 1, 1)]
+        );
+    }
 
     /// A ballistic particle crossing rank boundaries must follow the exact
     /// same trajectory as in an equivalent single-domain run.

@@ -31,8 +31,8 @@ pub mod migrate;
 pub mod sweepjob;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome, CheckpointPolicy,
-    RecoveryEvent, RecoveryMode,
+    rejoin_campaign, run_campaign, run_campaign_with, CampaignConfig, CampaignDrive, CampaignEnd,
+    CampaignError, CampaignOutcome, CheckpointPolicy, RecoveryEvent, RecoveryMode,
 };
 pub use dcheckpoint::{
     dump_rank_bytes, load_rank, load_rank_from_path, save_rank, save_rank_to_path, save_rank_with,
@@ -42,4 +42,4 @@ pub use decomposition::DomainSpec;
 pub use dsim::{DistTimings, DistributedSim};
 pub use exchange::GhostExchanger;
 pub use migrate::{migrate_species, transform_to_receiver, Migrant};
-pub use sweepjob::{JobJournal, JobResult, JobVerdict, SweepJobError};
+pub use sweepjob::{launch_world, JobJournal, JobResult, JobVerdict, SweepJobError};

@@ -9,7 +9,7 @@
 //! boundaries. Multi-hop moves (corner crossings) are handled by repeated
 //! rounds terminated with a global reduction.
 
-use nanompi::{Comm, CommError};
+use nanompi::{Comm, CommError, Wire, WireReader};
 use vpic_core::accumulator::AccumulatorArray;
 use vpic_core::grid::Grid;
 use vpic_core::particle::{Mover, Particle};
@@ -23,6 +23,46 @@ const TAG_MIGRATE: u64 = 0x9000;
 pub struct Migrant {
     pub p: Particle,
     pub m: Mover,
+}
+
+// Bit-exact wire layout so a migration over the socket transport lands on
+// the same particle bits as the in-process transport. Floats travel as
+// bit-patterns (see `nanompi::Wire`); field order mirrors the structs.
+impl Wire for Migrant {
+    fn wire_put(&self, out: &mut Vec<u8>) {
+        self.p.dx.wire_put(out);
+        self.p.dy.wire_put(out);
+        self.p.dz.wire_put(out);
+        self.p.i.wire_put(out);
+        self.p.ux.wire_put(out);
+        self.p.uy.wire_put(out);
+        self.p.uz.wire_put(out);
+        self.p.w.wire_put(out);
+        self.m.dispx.wire_put(out);
+        self.m.dispy.wire_put(out);
+        self.m.dispz.wire_put(out);
+        self.m.idx.wire_put(out);
+    }
+    fn wire_get(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(Migrant {
+            p: Particle {
+                dx: f32::wire_get(r)?,
+                dy: f32::wire_get(r)?,
+                dz: f32::wire_get(r)?,
+                i: u32::wire_get(r)?,
+                ux: f32::wire_get(r)?,
+                uy: f32::wire_get(r)?,
+                uz: f32::wire_get(r)?,
+                w: f32::wire_get(r)?,
+            },
+            m: Mover {
+                dispx: f32::wire_get(r)?,
+                dispy: f32::wire_get(r)?,
+                dispz: f32::wire_get(r)?,
+                idx: u32::wire_get(r)?,
+            },
+        })
+    }
 }
 
 /// Rewrite a boundary particle from the sender's frame (sitting exactly on
@@ -130,6 +170,43 @@ mod tests {
                 ParticleBc::Periodic,
             ],
         )
+    }
+
+    #[test]
+    fn migrant_wire_round_trip_is_bit_exact() {
+        let m = Migrant {
+            p: Particle {
+                dx: -0.25,
+                dy: f32::from_bits(0x7fc0_0001), // NaN payload survives
+                dz: -0.0,
+                i: 42,
+                ux: 1.0e-38,
+                uy: -3.5,
+                uz: 0.125,
+                w: 2.0,
+            },
+            m: Mover {
+                dispx: 0.5,
+                dispy: -0.5,
+                dispz: 0.0,
+                idx: 7,
+            },
+        };
+        let mut buf = Vec::new();
+        m.wire_put(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let got = Migrant::wire_get(&mut r).unwrap();
+        assert!(r.done());
+        assert_eq!(got.p.dx.to_bits(), m.p.dx.to_bits());
+        assert_eq!(got.p.dy.to_bits(), m.p.dy.to_bits());
+        assert_eq!(got.p.dz.to_bits(), m.p.dz.to_bits());
+        assert_eq!(got.p.i, m.p.i);
+        assert_eq!(got.p.ux.to_bits(), m.p.ux.to_bits());
+        assert_eq!(got.p.w.to_bits(), m.p.w.to_bits());
+        assert_eq!(got.m.dispx.to_bits(), m.m.dispx.to_bits());
+        assert_eq!(got.m.idx, m.m.idx);
+        // Truncated payloads refuse to decode.
+        assert!(Migrant::wire_get(&mut WireReader::new(&buf[..buf.len() - 1])).is_none());
     }
 
     #[test]

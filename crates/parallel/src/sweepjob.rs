@@ -25,10 +25,56 @@
 
 use std::path::Path;
 
+use nanompi::{SocketAddrSpec, TransportKind};
 use vpic_core::journal::{Journal, JournalError, ReplayReport};
 use vpic_core::queue::{JobEvent, JobQueue, JobState, QueueError, RetryPolicy};
 
-use crate::campaign::{CampaignEnd, CampaignError, CampaignOutcome};
+use crate::campaign::{run_campaign, CampaignConfig, CampaignEnd, CampaignError, CampaignOutcome};
+use crate::dsim::DistributedSim;
+
+/// Launch one `ranks`-wide campaign world over `transport` and distill it
+/// to rank 0's outcome — exactly the closure shape
+/// [`JobJournal::run_campaign_job`] wants for its `drive` argument. This
+/// is how the sweep scheduler honours the `transport = local|socket` deck
+/// global: a `Local` world runs over in-process channels, a `Socket`
+/// world runs the full wire path (framing, handshakes, heartbeats) over
+/// Unix-domain sockets rendezvousing in `sock_dir`.
+pub fn launch_world<F>(
+    transport: TransportKind,
+    ranks: usize,
+    sock_dir: &Path,
+    cfg: &CampaignConfig,
+    build: F,
+) -> Result<CampaignOutcome, CampaignError>
+where
+    F: Fn(usize) -> DistributedSim + Sync,
+{
+    let worker =
+        |comm: &mut nanompi::Comm| run_campaign(comm, build(comm.rank()), cfg).map(|(_, out)| out);
+    let results = match transport {
+        TransportKind::Local => nanompi::run(ranks, worker).0,
+        TransportKind::Socket => {
+            std::fs::create_dir_all(sock_dir)?;
+            nanompi::run_socket_world(ranks, SocketAddrSpec::unix(sock_dir), None, worker).0
+        }
+    };
+    // Rank 0 reports for the world (campaign ends are collective), but a
+    // panic anywhere is a launch failure, not an outcome.
+    let mut first = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Err(p) => {
+                return Err(CampaignError::Launch(format!(
+                    "rank {rank} panicked: {}",
+                    p.message
+                )))
+            }
+            Ok(out) if rank == 0 => first = Some(out),
+            Ok(_) => {}
+        }
+    }
+    first.expect("world has at least one rank")
+}
 
 /// Fixed-width `Done` payload for a distributed campaign job.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -363,6 +409,31 @@ mod tests {
             result
         );
         assert!(jj2.queue().is_settled());
+    }
+
+    #[test]
+    fn socket_world_job_round_trips_through_the_wal() {
+        let dir = tmp("socket_job");
+        let wal = dir.join("jobs.wal");
+        let mut jj = JobJournal::open(&wal).unwrap();
+        jj.define(11, 0x50C4).unwrap();
+        let verdict = jj
+            .run_campaign_job(11, 0, 60_000, &RetryPolicy::default(), || {
+                let cfg = CampaignConfig::new(STEPS, 4, dir.join("ckpt"));
+                launch_world(
+                    TransportKind::Socket,
+                    RANKS,
+                    &dir.join("sock"),
+                    &cfg,
+                    build_sim,
+                )
+            })
+            .unwrap();
+        let JobVerdict::Done(result) = verdict else {
+            panic!("expected Done, got {verdict:?}")
+        };
+        assert_eq!(result.steps_run, STEPS);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,6 +35,11 @@
 # scheduler/grid/curve suites, the distributed sweep-job adapter, the
 # shrunk kill/resume and quarantine tests, and a [sweep] deck end to end
 # through vpic-run with e5 consuming the curve artifact.
+#
+# Pass "transport" (or set CI_TRANSPORT=1) to run the socket-transport
+# lane: the nanompi wire/socket/bootstrap suites, the local-vs-socket
+# determinism matrix on the shipped SRS deck, the multi-process
+# kill -9/rejoin recovery test, and the 16-plan socket fault soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -92,6 +97,37 @@ EOF
     ./target/release/vpic-run "$deck" target/ci_sweep_out
     ./target/release/e5_reflectivity \
         --from-curve target/ci_sweep_out/sweep/reflectivity_curve.json
+fi
+
+if [[ "${1:-}" == "transport" || "${CI_TRANSPORT:-0}" == "1" ]]; then
+    echo "==> transport lane (socket worlds, kill -9 recovery)"
+    # The wire-format and socket substrate suites: framing, CRC breakage,
+    # bootstrap mismatches (version / world size / fingerprint / silent
+    # peer), heartbeat failure detection, respawn adoption.
+    cargo test --release -p nanompi --lib wire
+    cargo test --release -p nanompi --lib socket
+    # Transport plumbing above nanompi: Migrant wire round-trip, the
+    # socket-mode sweep-job launcher, the transport/laser/sponge deck
+    # globals.
+    cargo test --release -p vpic-parallel --lib migrate
+    cargo test --release -p vpic-parallel --lib sweepjob
+    cargo test --release -p vpic --lib transport_global
+    cargo test --release -p vpic --lib campaign_laser_and_sponge
+    # Determinism matrix: the shipped SRS campaign deck must land on the
+    # same state fingerprint over both transports.
+    cargo build --release -p vpic
+    rm -rf target/ci_transport_local target/ci_transport_sock
+    ./target/release/vpic-run decks/srs_campaign.deck target/ci_transport_local \
+        --transport local
+    ./target/release/vpic-run decks/srs_campaign.deck target/ci_transport_sock \
+        --transport socket
+    diff target/ci_transport_local/state_fingerprint.txt \
+        target/ci_transport_sock/state_fingerprint.txt
+    # Multi-process acceptance: 4 OS processes, rank 2 kill -9'd mid-run,
+    # respawned with --rejoin, bit-identical to the local baseline — then
+    # the 16-plan socket fault soak.
+    cargo test --release --test socket_transport
+    cargo test --release --test socket_transport -- --ignored --nocapture
 fi
 
 if [[ "${1:-}" == "sentinel" || "${CI_SENTINEL:-0}" == "1" ]]; then

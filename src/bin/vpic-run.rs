@@ -17,28 +17,101 @@
 //! as jobs lease/finish/retry, and the aggregated curve lands in
 //! `<output-dir>/sweep/reflectivity_curve.json` (re-running the same
 //! deck resumes a killed sweep from its write-ahead log).
+//!
+//! Campaign decks can run over real sockets instead of in-process
+//! channels: set `transport = socket` in the deck (or pass
+//! `--transport socket`) for a thread-per-rank world over Unix-domain
+//! sockets, or launch one OS process per rank with
+//! `vpic-run deck out --rank N --world M [--socket-dir D]` — each process
+//! binds `D/rankN.sock` and the world assembles via the bootstrap
+//! handshake. A process respawned after a crash passes `--rejoin` to
+//! adopt the dead rank's seat and roll the world back to the newest
+//! common checkpoint.
 
+use nanompi::{SocketAddrSpec, SocketBoot, TransportKind};
 use std::fs;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use vpic::core::crc32::fingerprint32;
 use vpic::deck::{build, BuiltRun, Deck};
 use vpic::diag::{write_field_line_x, write_series, EnergyLogger};
 use vpic::parallel::campaign::{
-    run_campaign, CampaignEnd, CampaignOutcome, CheckpointPolicy, RecoveryMode,
+    rejoin_campaign, run_campaign_with, CampaignEnd, CampaignOutcome, CheckpointPolicy,
+    RecoveryMode,
 };
+use vpic::parallel::{dump_rank_bytes, spec_fingerprint};
+
+const USAGE: &str = "usage: vpic-run <deck-file> [output-dir] \
+     [--transport local|socket] [--rank N --world M] [--socket-dir D] [--rejoin]";
+
+/// Command-line options beyond the deck/output positionals. `rank`/`world`
+/// select single-process-per-rank socket mode; `transport` overrides the
+/// deck's `transport` global.
+#[derive(Default)]
+struct Cli {
+    transport: Option<TransportKind>,
+    rank: Option<usize>,
+    world: Option<usize>,
+    socket_dir: Option<PathBuf>,
+    rejoin: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<(String, String, Cli), String> {
+    let mut cli = Cli::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(|v| v.to_string())
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--transport" => {
+                let v = value("--transport")?;
+                cli.transport = Some(
+                    TransportKind::parse(&v)
+                        .ok_or_else(|| format!("--transport must be local or socket, got {v}"))?,
+                );
+            }
+            "--rank" => {
+                let v = value("--rank")?;
+                cli.rank = Some(v.parse().map_err(|_| format!("bad --rank {v}"))?);
+            }
+            "--world" => {
+                let v = value("--world")?;
+                cli.world = Some(v.parse().map_err(|_| format!("bad --world {v}"))?);
+            }
+            "--socket-dir" => cli.socket_dir = Some(PathBuf::from(value("--socket-dir")?)),
+            "--rejoin" => cli.rejoin = true,
+            _ if a.starts_with("--") => return Err(format!("unknown option {a}")),
+            _ => positional.push(a.to_string()),
+        }
+    }
+    if cli.rank.is_some() != cli.world.is_some() {
+        return Err("--rank and --world go together".to_string());
+    }
+    if cli.rejoin && cli.rank.is_none() {
+        return Err("--rejoin only makes sense with --rank/--world".to_string());
+    }
+    match positional.as_slice() {
+        [d] => Ok((d.clone(), ".".to_string(), cli)),
+        [d, o] => Ok((d.clone(), o.clone(), cli)),
+        _ => Err(USAGE.to_string()),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (deck_path, out_dir) = match args.as_slice() {
-        [d] => (d.as_str(), "."),
-        [d, o] => (d.as_str(), o.as_str()),
-        _ => {
-            eprintln!("usage: vpic-run <deck-file> [output-dir]");
+    let (deck_path, out_dir, cli) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-    match run(deck_path, out_dir) {
+    match run(&deck_path, &out_dir, &cli) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("vpic-run: {e}");
@@ -47,7 +120,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run(deck_path: &str, out_dir: &str, cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let text = fs::read_to_string(deck_path)?;
     let deck = Deck::parse(&text)?;
     fs::create_dir_all(out_dir)?;
@@ -59,7 +132,12 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
         .unwrap_or(10)
         .max(1);
 
-    match build(&deck)? {
+    let built = build(&deck)?;
+    if cli.rank.is_some() && !matches!(built, BuiltRun::Campaign(_)) {
+        return Err("--rank/--world only apply to decks with a [campaign] section".into());
+    }
+
+    match built {
         BuiltRun::Plasma(mut sim) => {
             println!(
                 "plasma run: {} cells, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout, {} kernel",
@@ -133,7 +211,7 @@ fn run(deck_path: &str, out_dir: &str) -> Result<(), Box<dyn std::error::Error>>
             print_throughput(&run.sim.timings, run.sim.accumulators.n_pipelines());
             print_coherence(&run.sim.species);
         }
-        BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir)?,
+        BuiltRun::Campaign(setup) => run_campaign_deck(*setup, out_dir, cli)?,
         BuiltRun::LpiCampaign(setup) => run_lpi_campaign_deck(*setup, out_dir)?,
         BuiltRun::Sweep(setup) => run_sweep_deck(*setup, out_dir)?,
     }
@@ -332,9 +410,29 @@ fn print_coherence(species: &[vpic::core::Species]) {
     }
 }
 
+/// Per-rank campaign result carried out of the worker closure: the
+/// outcome plus, on completion, the post-run global reductions
+/// `(particles, total energy, world state fingerprint)`.
+type RankStats = Option<(u64, f64, u32)>;
+/// One seat's result as the launch entry points hand it back: the rank
+/// may have panicked, failed with a campaign error, or finished.
+type RankResult = Result<Result<(CampaignOutcome, RankStats), String>, nanompi::RankPanic>;
+
+/// Fold the allgathered per-rank state fingerprints (rank order) into one
+/// world fingerprint. Identical on every transport, so a socket run can
+/// be diffed against a local run with a single number.
+fn world_fingerprint(fps: &[u32]) -> u32 {
+    let mut bytes = Vec::with_capacity(fps.len() * 4);
+    for fp in fps {
+        bytes.extend_from_slice(&fp.to_le_bytes());
+    }
+    fingerprint32(&bytes)
+}
+
 fn run_campaign_deck(
     setup: vpic::deck::CampaignSetup,
     out_dir: &str,
+    cli: &Cli,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = setup.config(Path::new(out_dir));
     fs::create_dir_all(&cfg.checkpoint_dir)?;
@@ -375,34 +473,108 @@ fn run_campaign_deck(
         );
     }
 
+    let transport = cli.transport.unwrap_or(setup.transport);
+    let sock_dir = cli
+        .socket_dir
+        .clone()
+        .unwrap_or_else(|| Path::new(out_dir).join("sock"));
+
     let plan = setup.fault_plan.clone();
     let ranks = setup.ranks;
     let cfg_ref = &cfg;
     let setup_ref = &setup;
-    let (results, traffic) = nanompi::run_with_faults(ranks, plan, move |comm| {
-        let sim = setup_ref.build_rank(comm.rank());
-        let (sim, outcome) = run_campaign(comm, sim, cfg_ref).map_err(|e| e.to_string())?;
+    let rejoin = cli.rejoin;
+    let fingerprint_path = Path::new(out_dir).join("state_fingerprint.txt");
+    let fp_path_ref = &fingerprint_path;
+    let worker = move |comm: &mut nanompi::Comm| {
+        let rank = comm.rank();
+        let sim = setup_ref.build_rank(rank);
+        let drive = setup_ref.drive_for(rank);
+        let (sim, outcome) = if rejoin {
+            rejoin_campaign(comm, sim, cfg_ref, drive)
+        } else {
+            run_campaign_with(comm, sim, cfg_ref, drive)
+        }
+        .map_err(|e| e.to_string())?;
         // Degrade decisions are rendezvous-synchronized, so every rank
         // agrees on whether these trailing collectives run.
-        let stats = match outcome.end {
+        let stats: RankStats = match outcome.end {
             CampaignEnd::Completed => {
+                let dump = dump_rank_bytes(&sim, false).map_err(|e| e.to_string())?;
+                let fps = comm
+                    .allgather(fingerprint32(&dump))
+                    .map_err(|e| e.to_string())?;
+                let world_fp = world_fingerprint(&fps);
+                if rank == 0 {
+                    fs::write(fp_path_ref, format!("{world_fp:08x}\n"))
+                        .map_err(|e| e.to_string())?;
+                }
                 let n = sim.global_particles(comm).map_err(|e| e.to_string())?;
                 let (fe, fb, ke) = sim.global_energies(comm).map_err(|e| e.to_string())?;
-                Some((n, fe + fb + ke.iter().sum::<f64>()))
+                Some((n, fe + fb + ke.iter().sum::<f64>(), world_fp))
             }
             CampaignEnd::Degraded { .. } => None,
         };
         Ok::<_, String>((outcome, stats))
-    });
+    };
 
-    let mut summary = fs::File::create(Path::new(out_dir).join("campaign.tsv"))?;
+    if let (Some(rank), Some(world)) = (cli.rank, cli.world) {
+        // One OS process per rank: this process is exactly one seat of a
+        // socket world; its peers were launched (or respawned) separately.
+        if rank >= world {
+            return Err(format!("--rank {rank} out of range for --world {world}").into());
+        }
+        fs::create_dir_all(&sock_dir)?;
+        let mut boot = SocketBoot::new(SocketAddrSpec::unix(&sock_dir), rank, world);
+        // Tie the handshake to the deck, so two different runs pointed at
+        // the same socket directory fail loudly instead of exchanging
+        // garbage.
+        boot.world_fp = spec_fingerprint(&setup.spec) ^ setup.seed;
+        println!(
+            "socket rank {rank}/{world} on {}{}",
+            sock_dir.display(),
+            if rejoin { " (rejoining)" } else { "" }
+        );
+        let (res, traffic) = nanompi::run_socket(&boot, plan, worker)?;
+        let summary_path = Path::new(out_dir).join(format!("campaign_r{rank:04}.tsv"));
+        let results = vec![Ok(res)];
+        return report_world(&summary_path, &results, &traffic, Some(rank));
+    }
+
+    let (results, traffic) = match transport {
+        TransportKind::Local => nanompi::run_with_faults(ranks, plan, worker),
+        TransportKind::Socket => {
+            fs::create_dir_all(&sock_dir)?;
+            println!("socket world: {ranks} ranks on {}", sock_dir.display());
+            nanompi::run_socket_world(ranks, SocketAddrSpec::unix(&sock_dir), plan, worker)
+        }
+    };
+    report_world(
+        &Path::new(out_dir).join("campaign.tsv"),
+        &results,
+        &traffic,
+        None,
+    )
+}
+
+/// Print the per-rank results and the traffic summary, writing the TSV
+/// summary alongside. `only_rank` relabels rows in single-process mode,
+/// where index 0 of `results` is really that rank's seat.
+fn report_world(
+    summary_path: &Path,
+    results: &[RankResult],
+    traffic: &nanompi::TrafficReport,
+    only_rank: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut summary = fs::File::create(summary_path)?;
     writeln!(
         summary,
         "rank\tend\tsteps_run\trecoveries\theals\tinterval\tpeak_imbalance"
     )?;
     let mut failures = 0usize;
     let mut printed_stats = false;
-    for (rank, res) in results.iter().enumerate() {
+    for (i, res) in results.iter().enumerate() {
+        let rank = only_rank.unwrap_or(i);
         let line = match res {
             Err(p) => {
                 failures += 1;
@@ -414,8 +586,11 @@ fn run_campaign_deck(
             }
             Ok(Ok((outcome, stats))) => {
                 report_outcome(&mut summary, outcome)?;
-                if let (Some((n, e)), false) = (stats, printed_stats) {
-                    println!("final state: {n} particles, total energy {e:.6e}");
+                if let (Some((n, e, fp)), false) = (stats, printed_stats) {
+                    println!(
+                        "final state: {n} particles, total energy {e:.6e}, \
+                         state fingerprint {fp:08x}"
+                    );
                     printed_stats = true;
                 }
                 format!(
@@ -436,6 +611,12 @@ fn run_campaign_deck(
         "traffic: {} messages, {} bytes total",
         traffic.total_messages, traffic.total_bytes
     );
+    for t in traffic.top_tags(3) {
+        println!(
+            "  tag {:#x}: {} message(s), {} bytes",
+            t.tag, t.messages, t.bytes
+        );
+    }
     if failures > 0 {
         return Err(format!("{failures} rank(s) failed unrecoverably").into());
     }

@@ -72,16 +72,18 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use nanompi::FaultPlan;
+use nanompi::{FaultPlan, TransportKind};
 use vpic_core::queue::RetryPolicy;
 use vpic_core::sentinel::{
     CorruptionEvent, CorruptionMode, CorruptionPlan, SentinelConfig, SimConfig,
 };
 use vpic_core::{
-    load_juttner, load_two_stream, load_uniform, Grid, Layout, Momentum, ParticleBc, PushKernel,
-    Rng, Simulation, SortPolicy, Species,
+    load_juttner, load_two_stream, load_uniform, FieldArray, Grid, Layout, Momentum, ParticleBc,
+    PushKernel, Rng, Simulation, SortPolicy, Species, Sponge,
 };
-use vpic_lpi::{LpiCampaignConfig, LpiParams, LpiRun, SweepConfig, SweepGrid};
+use vpic_lpi::{
+    LaserAntenna, LpiCampaignConfig, LpiParams, LpiRun, Polarization, SweepConfig, SweepGrid,
+};
 use vpic_parallel::campaign::{CampaignConfig, CheckpointPolicy, RecoveryMode};
 use vpic_parallel::{DistributedSim, DomainSpec};
 
@@ -307,6 +309,19 @@ fn parse_corruption(deck: &Deck) -> Result<Option<CorruptionPlan>, DeckError> {
     )))
 }
 
+/// A campaign deck's optional `[laser]` section: a current-sheet antenna
+/// at a *global* live x-plane. Each rank builds a local drive from it
+/// ([`CampaignSetup::drive_for`]); only the plane's owner injects current.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignLaser {
+    /// Global live x index of the antenna sheet (1-based).
+    pub plane: usize,
+    pub a0: f32,
+    pub omega: f32,
+    pub ramp_steps: u64,
+    pub polarization: Polarization,
+}
+
 /// One species' loading recipe for a campaign deck. Campaign decks load
 /// per-rank with [`DistributedSim::load_uniform`], so only uniform thermal
 /// (optionally drifting) loading is available.
@@ -373,6 +388,13 @@ pub struct CampaignSetup {
     pub sentinel: Option<SimConfig>,
     /// Seeded field corruption from a `[fault]` section, if present.
     pub corruption: Option<CorruptionPlan>,
+    /// Which substrate the world runs over (`transport` deck global).
+    pub transport: TransportKind,
+    /// Optional laser antenna driven through the campaign loop.
+    pub laser: Option<CampaignLaser>,
+    /// Optional open-boundary damping layers (`[sponge]` section),
+    /// evaluated in global x coordinates on every rank.
+    pub sponge: Option<Sponge>,
 }
 
 impl CampaignSetup {
@@ -397,7 +419,33 @@ impl CampaignSetup {
         if let Some(c) = self.sentinel {
             sim.config = c;
         }
+        sim.sponge = self.sponge;
         sim
+    }
+
+    /// The per-rank current drive for the deck's `[laser]` section: ranks
+    /// whose x-slab contains the global antenna plane inject through a
+    /// local [`LaserAntenna`] (each covers its own y–z patch); every other
+    /// rank's drive is a no-op (but the closure still runs every step,
+    /// keeping the call pattern uniform).
+    pub fn drive_for(&self, rank: usize) -> impl Fn(&mut FieldArray, &Grid, u64) + Sync {
+        let antenna = self.laser.and_then(|l| {
+            let lx = self.spec.local_cells().0;
+            let cx = self.spec.topo.coords_of(rank)[0];
+            let lo = cx * lx; // global index of the plane left of this slab
+            (l.plane > lo && l.plane <= lo + lx).then(|| LaserAntenna {
+                plane: l.plane - lo,
+                a0: l.a0,
+                omega: l.omega,
+                ramp_steps: l.ramp_steps,
+                polarization: l.polarization,
+            })
+        });
+        move |f: &mut FieldArray, g: &Grid, step: u64| {
+            if let Some(a) = &antenna {
+                a.drive(f, g, step);
+            }
+        }
     }
 
     /// The campaign runtime configuration, checkpointing into the deck's
@@ -515,6 +563,8 @@ pub struct SweepSetup {
     /// Restrict the corruption to one attempt (1-based); `None` poisons
     /// every attempt of `corrupt_job` until it quarantines.
     pub corrupt_attempt: Option<u32>,
+    /// Which substrate sweep workers run over (`transport` deck global).
+    pub transport: TransportKind,
 }
 
 impl SweepSetup {
@@ -579,6 +629,7 @@ fn build_sweep(deck: &Deck) -> Result<SweepSetup, DeckError> {
         corruption: parse_corruption(deck)?,
         corrupt_job: fkv.map_or(Ok(0), |kv| get_u64(kv, "job", 0))?,
         corrupt_attempt,
+        transport: parse_transport(deck)?,
     })
 }
 
@@ -596,6 +647,16 @@ fn get_f64_list(kv: &BTreeMap<String, String>, key: &str) -> Result<Option<Vec<f
         })
         .collect::<Result<Vec<f64>, DeckError>>()
         .map(Some)
+}
+
+/// Global `transport = local|socket` knob (default local): which
+/// substrate a campaign or sweep world runs over.
+fn parse_transport(deck: &Deck) -> Result<TransportKind, DeckError> {
+    match deck.globals.get("transport") {
+        None => Ok(TransportKind::default()),
+        Some(v) => TransportKind::parse(v)
+            .ok_or_else(|| err(format!("transport must be local or socket, got {v}"))),
+    }
 }
 
 /// Global `layout = aos|aosoa` knob (default aos).
@@ -795,6 +856,53 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
             )))
         }
     };
+    // Optional antenna at a global x-plane (SRS-style drive) and
+    // open-boundary damping layers, both applied identically whichever
+    // rank topology or transport the world runs on.
+    let laser = match deck.section("laser") {
+        None => None,
+        Some(kv) => {
+            let plane = get_usize(kv, "plane", 1)?;
+            if plane == 0 || plane > cells[0] {
+                return Err(err(format!(
+                    "laser.plane {plane} outside the global x range 1..={}",
+                    cells[0]
+                )));
+            }
+            let polarization = match kv.get("polarization").map(String::as_str) {
+                None | Some("y") => Polarization::Y,
+                Some("z") => Polarization::Z,
+                Some(other) => {
+                    return Err(err(format!(
+                        "laser.polarization must be y or z, got {other}"
+                    )))
+                }
+            };
+            Some(CampaignLaser {
+                plane,
+                a0: req_f32(kv, "a0", 0.05)?,
+                omega: req_f32(kv, "omega", 1.2)?,
+                ramp_steps: get_u64(kv, "ramp_steps", 0)?,
+                polarization,
+            })
+        }
+    };
+    let sponge = match deck.section("sponge") {
+        None => None,
+        Some(kv) => {
+            let strength = req_f32(kv, "strength", 0.1)?;
+            if !(0.0..=1.0).contains(&strength) {
+                return Err(err(format!(
+                    "sponge.strength must be in [0, 1], got {strength}"
+                )));
+            }
+            Some(Sponge {
+                lo_cells: get_usize(kv, "lo_cells", 0)?,
+                hi_cells: get_usize(kv, "hi_cells", 0)?,
+                strength,
+            })
+        }
+    };
     Ok(CampaignSetup {
         ranks,
         spec,
@@ -823,6 +931,9 @@ fn build_campaign(deck: &Deck) -> Result<CampaignSetup, DeckError> {
         fault_plan: any_fault.then_some(plan),
         sentinel: parse_sentinel(deck)?,
         corruption: parse_corruption(deck)?,
+        transport: parse_transport(deck)?,
+        laser,
+        sponge,
     })
 }
 
@@ -1196,6 +1307,74 @@ kill_step = 6
                 "accepted: {to}"
             );
         }
+    }
+
+    #[test]
+    fn transport_global_parses_and_rejects_junk() {
+        // Default is local.
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(CAMPAIGN_DECK).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.transport, TransportKind::Local);
+
+        let socket = format!("transport = socket\n{CAMPAIGN_DECK}");
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(&socket).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.transport, TransportKind::Socket);
+
+        let junk = format!("transport = carrier_pigeon\n{CAMPAIGN_DECK}");
+        assert!(build(&Deck::parse(&junk).unwrap()).is_err());
+
+        // The sweep setup honours the same global.
+        let sweep = "kind = lpi\ntransport = socket\n[laser]\na0 = 0.01\n[sweep]\na0 = 0.01, 0.02";
+        let BuiltRun::Sweep(setup) = build(&Deck::parse(sweep).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(setup.transport, TransportKind::Socket);
+    }
+
+    #[test]
+    fn campaign_laser_and_sponge_sections_parse() {
+        let text = format!(
+            "{CAMPAIGN_DECK}\n[laser]\nplane = 3\na0 = 0.1\nomega = 1.5\nramp_steps = 4\n\
+             polarization = z\n\n[sponge]\nlo_cells = 1\nhi_cells = 2\nstrength = 0.2\n"
+        );
+        let BuiltRun::Campaign(setup) = build(&Deck::parse(&text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        let l = setup.laser.expect("laser section parsed");
+        assert_eq!((l.plane, l.ramp_steps), (3, 4));
+        assert!((l.a0 - 0.1).abs() < 1e-7 && (l.omega - 1.5).abs() < 1e-7);
+        let s = setup.sponge.expect("sponge section parsed");
+        assert_eq!((s.lo_cells, s.hi_cells), (1, 2));
+
+        // The sponge lands on every built rank; the antenna only on ranks
+        // whose x-slab contains global plane 3 — each drives its own local
+        // y–z patch of the plane, so one rank per x-column fires.
+        let expected = setup.ranks / setup.spec.topo.dims[0];
+        let mut driven = 0;
+        for rank in 0..setup.ranks {
+            assert!(setup.build_rank(rank).sponge.is_some());
+            let drive = setup.drive_for(rank);
+            let mut sim = setup.build_rank(rank);
+            let before = sim.fields.jz.clone();
+            let g = sim.grid.clone();
+            // Step 5 is past the 4-step ramp, so the owner's amplitude is
+            // guaranteed non-zero.
+            drive(&mut sim.fields, &g, 5);
+            if sim.fields.jz != before {
+                driven += 1;
+            }
+        }
+        assert_eq!(driven, expected, "one driving rank per x-column");
+
+        // Out-of-range plane is a parse error.
+        let bad = format!("{CAMPAIGN_DECK}\n[laser]\nplane = 9\n");
+        assert!(build(&Deck::parse(&bad).unwrap()).is_err());
+        // So is an out-of-range sponge strength.
+        let bad = format!("{CAMPAIGN_DECK}\n[sponge]\nstrength = 1.5\n");
+        assert!(build(&Deck::parse(&bad).unwrap()).is_err());
     }
 
     #[test]
