@@ -25,6 +25,15 @@
 //! `--sentinel` arms the numerical-integrity sentinel at its default
 //! 10-step cadence so the health-monitoring overhead can be compared
 //! against a plain run.
+//!
+//! `--diag off|sync|async` runs the probe-plane observation + snapshot
+//! publication of the diagnostics pipeline on the step path (a real
+//! `DiagSink`, including streaming `progress.json` artifacts), so the
+//! record captures what in-situ diagnostics cost the step under each
+//! mode. `--assert-diag <path>` compares the file's `async` record
+//! against its `off` record at the same configuration and fails unless
+//! the pipeline costs at most 3% of step throughput — the tentpole's
+//! off-the-hot-path gate.
 
 use roadrunner_model::flops;
 use vpic_bench::stepjson::{read_set, write_set, StepBench};
@@ -32,6 +41,7 @@ use vpic_bench::{parse_flag, parse_opt, print_table, uniform_plasma};
 use vpic_core::cadence::{CoherenceCounters, SortPolicy};
 use vpic_core::push::PushKernel;
 use vpic_core::store::Layout;
+use vpic_diag::{DiagConfig, DiagMode, DiagSink, DiagSnapshot, ReflectivityProbe};
 
 /// Counter delta over the timed window (`end` and `start` are lifetime
 /// totals snapshotted around the measured steps).
@@ -60,6 +70,10 @@ fn main() {
     let auto_path = parse_opt::<String>("assert-auto", String::new());
     if !auto_path.is_empty() {
         std::process::exit(assert_auto(&auto_path));
+    }
+    let diag_path = parse_opt::<String>("assert-diag", String::new());
+    if !diag_path.is_empty() {
+        std::process::exit(assert_diag(&diag_path));
     }
 
     let full = parse_flag("full");
@@ -103,6 +117,12 @@ fn main() {
         std::process::exit(2);
     };
     let cadence_name = sort_policy.name();
+    let diag_str = parse_opt::<String>("diag", "off".into());
+    let Some(diag_mode) = DiagMode::parse(&diag_str) else {
+        eprintln!("--diag must be off, sync or async, got {diag_str}");
+        std::process::exit(2);
+    };
+    let diag_name = diag_mode.as_str();
 
     let mut sim = uniform_plasma(n, ppc, pipelines, 7);
     sim.set_layout(layout);
@@ -117,15 +137,78 @@ fn main() {
             ..Default::default()
         });
     }
+    // The diagnostics workload mirrors the LPI run's observation: a
+    // reflectivity probe sampled inline every step, plus a heavy
+    // field-slab + decimated-particle snapshot on the cadence. Artifacts
+    // go to a scratch dir so the sync mode pays the real FFT +
+    // progress.json cost the async worker is supposed to absorb.
+    let dcfg = DiagConfig {
+        mode: diag_mode,
+        cadence: 8,
+        ..Default::default()
+    };
+    let mut sink = DiagSink::new(&dcfg, sim.grid.dt as f64);
+    if !sink.is_off() {
+        let dir = std::env::temp_dir().join(format!("vpic_e2_diag_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        sink.set_out_dir(dir);
+    }
+    let mut probe = ReflectivityProbe::new(nx / 2);
+
     for _ in 0..3 {
         sim.step(); // warm-up, excluded from the report
     }
     sim.timings = Default::default();
     let coh_start = *sim.species[0].coherence();
     for _ in 0..steps {
-        sim.step();
+        if sink.is_off() {
+            sim.step();
+        } else {
+            let sink = &mut sink;
+            let probe = &mut probe;
+            sim.step_with_observed(
+                |_, _, _| {},
+                |f, g, species, step| {
+                    probe.sample(f, g);
+                    let v = g.voxel(probe.plane, 1, 1);
+                    let backward = 0.5 * (f.ey[v] - f.cbz[v]);
+                    let heavy = step.is_multiple_of(dcfg.cadence);
+                    let (slab, particles) = if heavy {
+                        let mut slab = sink.slab_buffer();
+                        for k in 1..=g.nz {
+                            for j in 1..=g.ny {
+                                let v = g.voxel(probe.plane, j, k);
+                                slab.extend_from_slice(&[
+                                    f.ey[v] as f64,
+                                    f.ez[v] as f64,
+                                    f.cby[v] as f64,
+                                    f.cbz[v] as f64,
+                                ]);
+                            }
+                        }
+                        let parts: Vec<f32> = species[0]
+                            .iter()
+                            .step_by(dcfg.decimation)
+                            .map(|p| (p.ux * p.ux + p.uy * p.uy + p.uz * p.uz).sqrt())
+                            .collect();
+                        (Some(slab), Some(parts))
+                    } else {
+                        (None, None)
+                    };
+                    sink.publish(DiagSnapshot {
+                        step,
+                        time: step as f64 * g.dt as f64,
+                        backward: backward as f64,
+                        probe_raw: probe.raw_state(),
+                        slab,
+                        particles,
+                    });
+                },
+            );
+        }
     }
     let t = sim.timings;
+    let (_engine, dstats) = sink.finish();
     let total = t.total();
     let coh = coh_delta(sim.species[0].coherence(), &coh_start);
     let realized_interval = sim.species[0].cadence().interval;
@@ -141,7 +224,7 @@ fn main() {
         &format!(
             "E2: step breakdown, grid {n:?}, ppc {ppc}, {steps} steps, \
              {pipelines} pipelines, {} rayon threads, {layout} layout, \
-             {kernel_name} kernel, {cadence_name} cadence{}",
+             {kernel_name} kernel, {cadence_name} cadence, {diag_name} diag{}",
             vpic_core::worker_threads(),
             if sentinel { ", sentinel armed" } else { "" }
         ),
@@ -152,10 +235,23 @@ fn main() {
             row("current reduce/unload/sync", t.current),
             row("field solve (B/E/B)", t.field),
             row("particle sort", t.sort),
+            row("probe sample + snapshot publish (diag)", t.diag),
             row("other (sponge/cleaning/hooks)", t.other),
             row("TOTAL", total),
         ],
     );
+    if diag_mode != DiagMode::Off {
+        println!(
+            "diag [{}]: {} snapshot(s) published, {} consumed, {} dropped, max queue depth {}, \
+             publisher stalled {:.1} ms",
+            diag_name,
+            dstats.published,
+            dstats.consumed,
+            dstats.dropped,
+            dstats.max_depth,
+            dstats.stall_seconds * 1e3
+        );
+    }
 
     let particle_flops = t.particle_steps as f64 * flops::particle::TOTAL as f64;
     let voxel_flops = t.voxel_steps as f64 * flops::voxel::TOTAL as f64;
@@ -238,22 +334,27 @@ fn main() {
             layout.name(),
             kernel_name,
         )
-        .with_coherence(&cadence_name, &coh);
+        .with_coherence(&cadence_name, &coh)
+        .with_diag(diag_name);
         if let Err(e) = bench.validate() {
             eprintln!("refusing to write {json}: {e}");
             std::process::exit(1);
         }
-        // Merge by (layout, kernel, cadence): an existing readable file
-        // keeps its other-variant records, so one run per variant
+        // Merge by (layout, kernel, cadence, diag): an existing readable
+        // file keeps its other-variant records, so one run per variant
         // accumulates a complete set.
         let path = std::path::Path::new(&json);
         let mut set = read_set(path).unwrap_or_default();
         set.retain(|b| {
-            b.layout != bench.layout || b.kernel != bench.kernel || b.cadence != bench.cadence
+            b.layout != bench.layout
+                || b.kernel != bench.kernel
+                || b.cadence != bench.cadence
+                || b.diag != bench.diag
         });
         set.push(bench);
         set.sort_by(|a, b| {
-            (&a.layout, &a.kernel, &a.cadence).cmp(&(&b.layout, &b.kernel, &b.cadence))
+            (&a.layout, &a.kernel, &a.cadence, &a.diag)
+                .cmp(&(&b.layout, &b.kernel, &b.cadence, &b.diag))
         });
         if let Err(e) = write_set(&set, path) {
             eprintln!("write {json}: {e}");
@@ -276,11 +377,12 @@ fn validate(path: &str) -> i32 {
         Ok(set) => {
             for b in &set {
                 println!(
-                    "{path} OK [{} {} {}]: {:.4e} particles/s, grid {:?}, {} threads, \
+                    "{path} OK [{} {} {} diag-{}]: {:.4e} particles/s, grid {:?}, {} threads, \
                      inner-loop share {:.3}, spill rate {:.4}",
                     b.layout,
                     b.kernel,
                     b.cadence,
+                    b.diag,
                     b.particles_per_sec,
                     b.grid,
                     b.threads,
@@ -375,6 +477,53 @@ fn oracle_cross_check() -> Result<String, String> {
          on {n:?} ppc {ppc} ({} particles)",
         oracle.n_particles()
     ))
+}
+
+/// `--assert-diag <path>`: the file must carry records for both
+/// `diag = off` and `diag = async` on the same configuration (layout,
+/// kernel, cadence), and the async pipeline must cost at most 3% of
+/// step throughput — the snapshot handoff is supposed to be off the hot
+/// path, so its residual step cost is probe sampling + publication only.
+fn assert_diag(path: &str) -> i32 {
+    let set = match read_set(std::path::Path::new(path)) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 1;
+        }
+    };
+    let off = set.iter().find(|b| b.diag == "off");
+    let asy = off.and_then(|o| {
+        set.iter().find(|b| {
+            b.diag == "async"
+                && b.layout == o.layout
+                && b.kernel == o.kernel
+                && b.cadence == o.cadence
+        })
+    });
+    let (Some(off), Some(asy)) = (off, asy) else {
+        eprintln!("{path}: need records for both diag=off and diag=async on one configuration");
+        return 1;
+    };
+    if off.grid != asy.grid || off.ppc != asy.ppc || off.pipelines != asy.pipelines {
+        eprintln!(
+            "{path}: records not comparable (off grid {:?} ppc {} pipes {} vs async grid {:?} \
+             ppc {} pipes {})",
+            off.grid, off.ppc, off.pipelines, asy.grid, asy.ppc, asy.pipelines
+        );
+        return 1;
+    }
+    let ratio = asy.particles_per_sec / off.particles_per_sec;
+    println!(
+        "{path}: diag async {:.4e} p/s vs diag off {:.4e} p/s ({ratio:.3}x)",
+        asy.particles_per_sec, off.particles_per_sec
+    );
+    if ratio >= 0.97 {
+        0
+    } else {
+        eprintln!("async diagnostics cost more than 3% of step throughput");
+        1
+    }
 }
 
 /// `--assert-speedup <path>`: the file must carry AoSoA records for both

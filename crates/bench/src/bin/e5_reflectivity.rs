@@ -103,7 +103,7 @@ fn main() {
         let m = run.srs;
         let steps = run.suggested_steps(if full { 6.0 } else { 3.0 });
         run.run(steps);
-        let (peak_omega, _) = run.backscatter_peak(m.omega0 * 1.2);
+        let (peak_omega, _) = run.backscatter_peak(m.omega0 * 1.2).unwrap_or((0.0, 0.0));
         spectral_line = (a0, peak_omega, m.omega_s);
         let gain = m.linear_gain(a0, base.flat as f64);
         let lab = LabFrame::nif(base.n_over_ncr);

@@ -21,10 +21,13 @@ use vpic_core::sim::StepTimings;
 /// sorts/skips and crosser/spill/mixed-block rates), so the file captures
 /// *why* a rate came out the way it did, not just the rate; v3 and v2
 /// records parse with `cadence = "fixed-25"` (the historical default) and
-/// zeroed coherence.
-pub const SCHEMA: &str = "vpic-bench/step/v4";
+/// zeroed coherence. v5 added the `diag` field (diagnostics-pipeline mode
+/// the step paid for: `off`, `sync` or `async`); v4 and older records
+/// predate the pipeline and parse with `diag = "off"`.
+pub const SCHEMA: &str = "vpic-bench/step/v5";
 
 /// Previous schemas, still readable (see [`SCHEMA`]).
+pub const SCHEMA_V4: &str = "vpic-bench/step/v4";
 pub const SCHEMA_V3: &str = "vpic-bench/step/v3";
 pub const SCHEMA_V2: &str = "vpic-bench/step/v2";
 
@@ -48,6 +51,11 @@ pub struct StepBench {
     pub kernel: String,
     /// Sort policy the run used (`auto` or `fixed-N`).
     pub cadence: String,
+    /// Diagnostics-pipeline mode the step paid for (`off`, `sync` or
+    /// `async`). `sync` computes spectra inline on the step path; `async`
+    /// publishes snapshots to the worker thread and pays only the
+    /// publication cost here.
+    pub diag: String,
     /// Counting sorts actually performed during the timed steps.
     pub sorts: u64,
     /// Cadence-due sorts skipped as provably coherent.
@@ -97,6 +105,7 @@ impl StepBench {
             layout: layout.to_string(),
             kernel: kernel.to_string(),
             cadence: "fixed-25".to_string(),
+            diag: "off".to_string(),
             sorts: 0,
             skipped_sorts: 0,
             crosser_rate: 0.0,
@@ -114,9 +123,17 @@ impl StepBench {
             push: t.push,
             current: t.current,
             field: t.field,
-            other: t.other,
+            // Probe sampling + snapshot publication ride the catch-all
+            // phase so the breakdown still sums to `total`.
+            other: t.other + t.diag,
             total,
         }
+    }
+
+    /// Attach the diagnostics-pipeline mode the timed steps ran with.
+    pub fn with_diag(mut self, diag: &str) -> Self {
+        self.diag = diag.to_string();
+        self
     }
 
     /// Attach the sort policy and realized coherence telemetry of the
@@ -149,6 +166,7 @@ impl StepBench {
         let _ = writeln!(s, "  \"layout\": \"{}\",", self.layout);
         let _ = writeln!(s, "  \"kernel\": \"{}\",", self.kernel);
         let _ = writeln!(s, "  \"cadence\": \"{}\",", self.cadence);
+        let _ = writeln!(s, "  \"diag\": \"{}\",", self.diag);
         let _ = writeln!(s, "  \"coherence\": {{");
         let _ = writeln!(s, "    \"sorts\": {},", self.sorts);
         let _ = writeln!(s, "    \"skipped_sorts\": {},", self.skipped_sorts);
@@ -194,15 +212,18 @@ impl StepBench {
     }
 
     /// Parse from JSON text (see [`StepBench::read`]). Understands the
-    /// current schema, v3 (no `cadence`/`coherence` — defaults to the
+    /// current schema, v4 (no `diag` field — predates the diagnostics
+    /// pipeline, so those records parse as `diag = "off"`), v3
+    /// (additionally no `cadence`/`coherence` — defaults to the
     /// historical fixed-25 with zeroed telemetry) and v2 (additionally no
     /// `kernel` field — those records predate the lane kernel, so they
     /// parse as `kernel = "scalar"`).
     pub fn parse(text: &str) -> Result<Self, String> {
         let schema = scan_string(text, "schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
+        if schema != SCHEMA && schema != SCHEMA_V4 && schema != SCHEMA_V3 && schema != SCHEMA_V2 {
             return Err(format!(
-                "schema mismatch: got {schema:?}, want {SCHEMA:?} (or {SCHEMA_V3:?}/{SCHEMA_V2:?})"
+                "schema mismatch: got {schema:?}, want {SCHEMA:?} \
+                 (or {SCHEMA_V4:?}/{SCHEMA_V3:?}/{SCHEMA_V2:?})"
             ));
         }
         let kernel = if schema == SCHEMA_V2 {
@@ -211,7 +232,7 @@ impl StepBench {
             scan_string(text, "kernel")?
         };
         let (cadence, sorts, skipped_sorts, crosser_rate, spill_rate, mixed_block_fraction) =
-            if schema == SCHEMA {
+            if schema == SCHEMA || schema == SCHEMA_V4 {
                 (
                     scan_string(text, "cadence")?,
                     scan_number(text, "sorts")? as u64,
@@ -223,6 +244,11 @@ impl StepBench {
             } else {
                 ("fixed-25".to_string(), 0, 0, 0.0, 0.0, 0.0)
             };
+        let diag = if schema == SCHEMA {
+            scan_string(text, "diag")?
+        } else {
+            "off".to_string()
+        };
         Ok(StepBench {
             grid: (
                 scan_number(text, "nx")? as usize,
@@ -236,6 +262,7 @@ impl StepBench {
             layout: scan_string(text, "layout")?,
             kernel,
             cadence,
+            diag,
             sorts,
             skipped_sorts,
             crosser_rate,
@@ -286,6 +313,9 @@ impl StepBench {
                 .is_some_and(|n| n.parse::<u32>().is_ok());
         if !cadence_ok {
             return Err(format!("unknown cadence {:?}", self.cadence));
+        }
+        if !matches!(self.diag.as_str(), "off" | "sync" | "async") {
+            return Err(format!("unknown diag mode {:?}", self.diag));
         }
         for (name, v) in [
             ("crosser_rate", self.crosser_rate),
@@ -409,6 +439,7 @@ mod tests {
             layout: "aos".into(),
             kernel: "scalar".into(),
             cadence: "fixed-25".into(),
+            diag: "off".into(),
             sorts: 1,
             skipped_sorts: 0,
             crosser_rate: 0.02,
@@ -560,6 +591,34 @@ mod tests {
         assert_eq!(parsed.skipped_sorts, 1);
         assert!((parsed.crosser_rate - 0.02).abs() < 1e-12);
         parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn v4_records_parse_with_diag_off() {
+        // A committed v4 BENCH_step.json predates the diagnostics
+        // pipeline; it must keep parsing, with `diag` defaulted to "off"
+        // (and its cadence/coherence block still honored).
+        let b = sample().with_coherence("auto", &Default::default());
+        let v4 = b
+            .to_json()
+            .replace(SCHEMA, SCHEMA_V4)
+            .replace("  \"diag\": \"off\",\n", "");
+        assert!(!v4.contains("\"diag\""));
+        let parsed = StepBench::parse(&v4).unwrap();
+        assert_eq!(parsed.diag, "off");
+        assert_eq!(parsed.cadence, "auto");
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn diag_mode_roundtrips_and_validates() {
+        let b = sample().with_diag("async");
+        let parsed = StepBench::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed.diag, "async");
+        parsed.validate().unwrap();
+        let mut bad = sample();
+        bad.diag = "lazy".into();
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct StepTimings {
     pub sort: f64,
     /// Sponge, divergence cleaning, drive hooks.
     pub other: f64,
+    /// Diagnostics observation: probe sampling + snapshot publication
+    /// (the async pipeline's residual on-hot-path cost; the FFT/artifact
+    /// work itself runs on the worker and never lands here).
+    pub diag: f64,
     /// Total particle advances performed.
     pub particle_steps: u64,
     /// Total voxel updates performed by the field solver (live cells ×
@@ -60,7 +64,13 @@ pub struct StepTimings {
 impl StepTimings {
     /// Total accounted wall time.
     pub fn total(&self) -> f64 {
-        self.interpolate + self.push + self.current + self.field + self.sort + self.other
+        self.interpolate
+            + self.push
+            + self.current
+            + self.field
+            + self.sort
+            + self.other
+            + self.diag
     }
 
     /// Fraction of time in the particle inner loop.
@@ -213,6 +223,22 @@ impl Simulation {
     /// One step with no external drive.
     pub fn step(&mut self) {
         self.step_with(|_, _, _| {});
+    }
+
+    /// One step with a drive hook plus a diagnostics observer. The
+    /// observer runs after the step completes (fields at `n+1`, the
+    /// completed-step count passed in) and its wall time is charged to
+    /// `timings.diag` — this is the snapshot-publication seam of the
+    /// diagnostics pipeline, kept out of every physics phase's budget.
+    pub fn step_with_observed(
+        &mut self,
+        drive: impl FnOnce(&mut FieldArray, &Grid, u64),
+        observe: impl FnOnce(&FieldArray, &Grid, &[Species], u64),
+    ) {
+        self.step_with(drive);
+        let t0 = Instant::now();
+        observe(&self.fields, &self.grid, &self.species, self.step_count);
+        self.timings.diag += t0.elapsed().as_secs_f64();
     }
 
     /// One step; `drive` is called right before the field advance and may

@@ -3,32 +3,63 @@
 
 use crate::fft::{dominant_frequency, growth_rate};
 
-/// A named scalar time series sampled every `dt`.
+/// A named scalar time series sampled every `dt`, with optional
+/// windowed retention for long campaigns.
 #[derive(Clone, Debug)]
 pub struct TimeSeries {
     pub name: String,
     pub dt: f64,
+    /// Retained samples — the newest window when a cap is set.
     pub samples: Vec<f64>,
+    /// Retention cap in samples; 0 means unbounded. See [`Self::push`]
+    /// for the retention rule.
+    pub cap: usize,
+    /// Samples discarded by windowed retention (so `total_pushed` stays
+    /// exact across checkpoints: both fields ride the sidecar).
+    pub discarded: u64,
 }
 
 impl TimeSeries {
-    /// Empty series.
+    /// Empty unbounded series.
     pub fn new(name: impl Into<String>, dt: f64) -> Self {
         TimeSeries {
             name: name.into(),
             dt,
             samples: Vec::new(),
+            cap: 0,
+            discarded: 0,
         }
     }
 
-    /// Append a sample.
+    /// Same series with a retention cap (0 = unbounded).
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Append a sample. Retention rule: when the series holds `cap`
+    /// samples, the oldest `max(cap/4, 1)` are discarded in one block
+    /// (amortized O(1)) before the append, keeping the newest window.
+    /// Spectra/fits are computed over the retained window; shipped
+    /// decks stay far below the default cap, so their artifacts are
+    /// unchanged by retention.
     pub fn push(&mut self, v: f64) {
+        if self.cap > 0 && self.samples.len() >= self.cap {
+            let drop = (self.cap / 4).max(1);
+            self.samples.drain(..drop);
+            self.discarded += drop as u64;
+        }
         self.samples.push(v);
     }
 
-    /// Number of samples.
+    /// Number of retained samples.
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// Samples ever pushed (retained + discarded).
+    pub fn total_pushed(&self) -> u64 {
+        self.discarded + self.samples.len() as u64
     }
 
     /// True when empty.
@@ -103,6 +134,35 @@ mod tests {
         ts2.push(2.0);
         ts2.push(3.0);
         assert!((ts2.relative_drift() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_series_keeps_newest_window() {
+        let mut ts = TimeSeries::new("cap", 1.0).with_cap(8);
+        for i in 0..8 {
+            ts.push(i as f64);
+        }
+        assert_eq!(ts.discarded, 0);
+        // Ninth push evicts the oldest cap/4 = 2 samples in one block.
+        ts.push(8.0);
+        assert_eq!(ts.len(), 7);
+        assert_eq!(ts.discarded, 2);
+        assert_eq!(ts.total_pushed(), 9);
+        assert_eq!(ts.samples.first().copied(), Some(2.0));
+        assert_eq!(ts.samples.last().copied(), Some(8.0));
+        for i in 9..100 {
+            ts.push(i as f64);
+        }
+        assert!(ts.len() <= 8);
+        assert_eq!(ts.total_pushed(), 100);
+        assert_eq!(ts.samples.last().copied(), Some(99.0));
+        // Uncapped series never discards.
+        let mut open = TimeSeries::new("open", 1.0);
+        for i in 0..100 {
+            open.push(i as f64);
+        }
+        assert_eq!(open.len(), 100);
+        assert_eq!(open.discarded, 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use vpic_core::crc32::fingerprint32;
 use vpic_core::sentinel::{
     validate_cfl, CorruptionPlan, HealEvent, HealthVerdict, Sentinel, SentinelConfig,
 };
-use vpic_diag::{ReflectivityProbe, TimeSeries};
+use vpic_diag::{DiagEngine, DiagStats, ReflectivityProbe, TimeSeries};
 
 use crate::setup::{LpiParams, LpiRun};
 
@@ -122,6 +122,13 @@ pub struct LpiCampaignOutcome {
     /// whole-file CRC depend on section lengths only (see
     /// `vpic_core::crc32::fingerprint32`).
     pub state_fingerprint: u32,
+    /// Diagnostics-pipeline counters (published/consumed/dropped snapshots,
+    /// max queue depth, publisher stall time). All-zero when `diag = off`.
+    pub diag: DiagStats,
+    /// The diagnostics engine drained from the pipeline at shutdown, when
+    /// the campaign ran with `diag = sync|async`. Carries the backscatter
+    /// spectrum/spectrogram state so callers can write final artifacts.
+    pub diag_engine: Option<Box<DiagEngine>>,
 }
 
 /// Campaign failure (distinct from a degraded-but-finished run).
@@ -172,7 +179,7 @@ impl From<CheckpointError> for LpiCampaignError {
 /// each checkpoint generation so rollback restores the full observable
 /// state (in memory: the process survives serial faults).
 #[derive(Clone)]
-struct DiagSnapshot {
+struct SidecarState {
     probe: ReflectivityProbe,
     series: TimeSeries,
     lost: u64,
@@ -181,7 +188,7 @@ struct DiagSnapshot {
 struct Generation {
     step: u64,
     bytes: Vec<u8>,
-    diag: DiagSnapshot,
+    diag: SidecarState,
 }
 
 /// Build the run described by `params` and drive it to `cfg.steps` under
@@ -224,8 +231,8 @@ pub fn run_lpi_campaign_with(
     }
 }
 
-fn snapshot(run: &LpiRun) -> DiagSnapshot {
-    DiagSnapshot {
+fn snapshot(run: &LpiRun) -> SidecarState {
+    SidecarState {
         probe: run.probe.clone(),
         series: run.backscatter_series.clone(),
         lost: run.sim.lost_particles,
@@ -251,7 +258,7 @@ fn sidecar_path(dir: &Path, step: u64) -> PathBuf {
 /// series, lost-particle count), CRC-framed like every other artifact.
 const DIAG_MAGIC: &[u8; 8] = b"VPICDIA1";
 
-fn encode_sidecar(step: u64, diag: &DiagSnapshot) -> Vec<u8> {
+fn encode_sidecar(step: u64, diag: &SidecarState) -> Vec<u8> {
     let (incident, reflected, samples) = diag.probe.raw_state();
     let mut p = PayloadWriter::new();
     p.u64(step);
@@ -261,6 +268,12 @@ fn encode_sidecar(step: u64, diag: &DiagSnapshot) -> Vec<u8> {
     p.u64(samples);
     p.u64(diag.lost);
     p.f64(diag.series.dt);
+    // Windowed-retention state: the cap travels with the dump so a resumed
+    // campaign keeps the same retention policy, and `discarded` keeps
+    // `total_pushed()` (and the progress artifact's sample accounting)
+    // exact across restore.
+    p.u64(diag.series.cap as u64);
+    p.u64(diag.series.discarded);
     p.u64(diag.series.name.len() as u64);
     p.bytes(diag.series.name.as_bytes());
     p.u64(diag.series.samples.len() as u64);
@@ -273,7 +286,7 @@ fn encode_sidecar(step: u64, diag: &DiagSnapshot) -> Vec<u8> {
     out
 }
 
-fn decode_sidecar(bytes: &[u8]) -> Result<(u64, DiagSnapshot), CheckpointError> {
+fn decode_sidecar(bytes: &[u8]) -> Result<(u64, SidecarState), CheckpointError> {
     let mut r = bytes;
     let mut magic = [0u8; 8];
     std::io::Read::read_exact(&mut r, &mut magic).map_err(CheckpointError::Io)?;
@@ -291,11 +304,14 @@ fn decode_sidecar(bytes: &[u8]) -> Result<(u64, DiagSnapshot), CheckpointError> 
     let samples = p.u64()?;
     let lost = p.u64()?;
     let dt = p.f64()?;
+    let cap = p.u64()? as usize;
+    let discarded = p.u64()?;
     let name_len = p.u64()? as usize;
     let name = String::from_utf8(p.bytes(name_len)?.to_vec())
         .map_err(|_| CheckpointError::Malformed("diag series name not UTF-8".into()))?;
     let n = p.u64()? as usize;
-    let mut series = TimeSeries::new(&name, dt);
+    let mut series = TimeSeries::new(&name, dt).with_cap(cap);
+    series.discarded = discarded;
     series.samples.reserve(n);
     for _ in 0..n {
         series.samples.push(p.f64()?);
@@ -303,7 +319,7 @@ fn decode_sidecar(bytes: &[u8]) -> Result<(u64, DiagSnapshot), CheckpointError> 
     p.done()?;
     Ok((
         step,
-        DiagSnapshot {
+        SidecarState {
             probe: ReflectivityProbe::from_raw(plane, incident, reflected, samples),
             series,
             lost,
@@ -396,8 +412,16 @@ fn drive(
         return Err(LpiCampaignError::Config(v));
     }
     let sponge = run.sim.sponge;
+    // Progress artifacts land next to the checkpoints they describe.
+    run.diag_set_out_dir(cfg.checkpoint_dir.clone());
     let resumed_from = if resume {
-        restore_newest(&mut run, sponge, cfg)
+        let restored = restore_newest(&mut run, sponge, cfg);
+        if restored.is_some() {
+            // The engine (sync or async) must restart from the restored
+            // probe/series, not keep state from before the resume.
+            run.diag_reset();
+        }
+        restored
     } else {
         None
     };
@@ -505,6 +529,11 @@ fn drive(
         }
 
         if cfg.checkpoint_interval > 0 && step.is_multiple_of(cfg.checkpoint_interval) {
+            // Flush barrier: every snapshot published so far is consumed
+            // before the checkpoint is cut, so a rollback that replays
+            // steps past this point can re-seed the pipeline without
+            // double-counting samples already folded into artifacts.
+            run.diag_flush();
             let bytes = dump_bytes(&run)?;
             let diag = snapshot(&run);
             // Sidecar first, dump rename last: a visible `.vpic` file
@@ -549,6 +578,10 @@ fn rollback(
     sponge: Option<vpic_core::sponge::Sponge>,
     cfg: &LpiCampaignConfig,
 ) -> Option<u64> {
+    // Drain in-flight snapshots from the faulted timeline before the
+    // restore, then reset the engine to the restored state below — the
+    // replayed steps will republish their snapshots deterministically.
+    run.diag_flush();
     for gen in generations.iter().rev() {
         match load_with_layout(
             &mut gen.bytes.as_slice(),
@@ -564,6 +597,7 @@ fn rollback(
                 run.sim = sim;
                 run.probe = gen.diag.probe.clone();
                 run.backscatter_series = gen.diag.series.clone();
+                run.diag_reset();
                 return Some(gen.step);
             }
             Err(e) => {
@@ -575,7 +609,7 @@ fn rollback(
 }
 
 fn finish(
-    run: LpiRun,
+    mut run: LpiRun,
     sentinel: Sentinel,
     recoveries: Vec<LpiRecovery>,
     steps_run: u64,
@@ -583,6 +617,7 @@ fn finish(
     end: LpiCampaignEnd,
 ) -> Result<LpiCampaignOutcome, LpiCampaignError> {
     let bytes = dump_bytes(&run)?;
+    let (diag_engine, diag) = run.diag_finish();
     Ok(LpiCampaignOutcome {
         end,
         steps_run,
@@ -593,12 +628,14 @@ fn finish(
         energy: run.sim.energies().total(),
         n_particles: run.sim.n_particles() as u64,
         state_fingerprint: fingerprint32(&bytes),
+        diag,
+        diag_engine,
     })
 }
 
 #[allow(clippy::too_many_arguments)]
 fn degrade(
-    run: LpiRun,
+    mut run: LpiRun,
     sentinel: Sentinel,
     recoveries: Vec<LpiRecovery>,
     steps_run: u64,
@@ -607,6 +644,10 @@ fn degrade(
     cause: &str,
     cfg: &LpiCampaignConfig,
 ) -> Result<LpiCampaignOutcome, LpiCampaignError> {
+    // Graceful degrade still honours the flush barrier: the partial dump
+    // and flight recorder describe a state whose diagnostics are fully
+    // consumed, not racing an async worker.
+    run.diag_flush();
     let partial = cfg.checkpoint_dir.join("partial.vpic");
     if let Ok(bytes) = dump_bytes(&run) {
         let _ = std::fs::write(&partial, bytes);

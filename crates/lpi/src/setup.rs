@@ -15,7 +15,9 @@ use vpic_core::sim::Simulation;
 use vpic_core::species::Species;
 use vpic_core::sponge::Sponge;
 use vpic_core::store::Layout;
-use vpic_diag::ReflectivityProbe;
+use vpic_diag::{
+    DiagConfig, DiagEngine, DiagSink, DiagSnapshot, DiagStats, EngineState, ReflectivityProbe,
+};
 
 /// Parameters of an LPI run (lengths in `c/ωpe`, velocities in `c`).
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +69,9 @@ pub struct LpiParams {
     /// every species. Cadence decisions feed only on deterministic
     /// counters, so `auto` keeps the bit-identity contract.
     pub sort: SortPolicy,
+    /// Diagnostics pipeline (`[diag]` deck section): mode, snapshot
+    /// cadence, queue depth, particle decimation, series retention.
+    pub diag: DiagConfig,
 }
 
 impl Default for LpiParams {
@@ -90,6 +95,7 @@ impl Default for LpiParams {
             layout: Layout::default(),
             kernel: PushKernel::default(),
             sort: SortPolicy::default(),
+            diag: DiagConfig::default(),
         }
     }
 }
@@ -111,8 +117,16 @@ pub struct LpiRun {
     /// Ion species index (when `ion_mass` was set).
     pub ions: Option<usize>,
     /// Backward-wave amplitude history at the probe plane (sampled every
-    /// step once measurement starts), for backscatter spectra.
+    /// step once measurement starts), for backscatter spectra. Capped by
+    /// `params.diag.series_cap` (windowed retention; the discarded count
+    /// rides the checkpoint sidecar with the samples).
     pub backscatter_series: vpic_diag::TimeSeries,
+    /// Diagnostics sink: `Off` (inline probe only), `Sync` (engine inline,
+    /// the oracle) or `Async` (engine on a worker behind a bounded queue).
+    pub sink: DiagSink,
+    /// Backscatter spectrum memoized by series length (satellite of the
+    /// pipeline refactor: progress probing must not re-run the FFT).
+    spectrum_cache: Option<(usize, Vec<(f64, f64)>)>,
 }
 
 impl LpiRun {
@@ -213,8 +227,10 @@ impl LpiRun {
         let transit = (length / sim.grid.dt) as u64;
         let measure_after = antenna.ramp_steps + transit;
 
+        let dt = sim.grid.dt as f64;
         let backscatter_series =
-            vpic_diag::TimeSeries::new("backward amplitude", sim.grid.dt as f64);
+            vpic_diag::TimeSeries::new("backward amplitude", dt).with_cap(params.diag.series_cap);
+        let sink = DiagSink::new(&params.diag, dt);
         LpiRun {
             sim,
             antenna,
@@ -227,6 +243,8 @@ impl LpiRun {
             electrons,
             ions,
             backscatter_series,
+            sink,
+            spectrum_cache: None,
         }
     }
 
@@ -243,26 +261,114 @@ impl LpiRun {
     }
 
     /// Advance one step (drives the antenna, samples the probe once past
-    /// the transient).
+    /// the transient, publishes a snapshot to the diagnostics sink).
+    ///
+    /// Probe sampling stays inline by design: it is cheap (one plane
+    /// sweep), checkpoint-authoritative, and every downstream artifact
+    /// must agree with it bit-for-bit. The pipeline offloads only the
+    /// derived work (FFTs, spectrograms, artifact writes).
     pub fn step(&mut self) {
         let antenna = self.antenna;
         let seed = self.seed_antenna;
-        self.sim.step_with(|f, g, s| {
-            antenna.drive(f, g, s);
-            if let Some(seed) = seed {
-                seed.drive(f, g, s);
-            }
-        });
-        if self.sim.step_count >= self.measure_after {
-            self.probe.sample(&self.sim.fields, &self.sim.grid);
-            // Instantaneous backward-wave field at the probe plane (one
-            // transverse point suffices in quasi-1D).
-            let g = &self.sim.grid;
-            let v = g.voxel(self.probe.plane, 1, 1);
-            let f = &self.sim.fields;
-            let backward = 0.5 * (f.ey[v] - f.cbz[v]);
-            self.backscatter_series.push(backward as f64);
+        let measure_after = self.measure_after;
+        let cadence = self.params.diag.cadence.max(1);
+        let decimation = self.params.diag.decimation.max(1);
+        let electrons = self.electrons;
+        let probe = &mut self.probe;
+        let series = &mut self.backscatter_series;
+        let sink = &mut self.sink;
+        self.sim.step_with_observed(
+            |f, g, s| {
+                antenna.drive(f, g, s);
+                if let Some(seed) = seed {
+                    seed.drive(f, g, s);
+                }
+            },
+            |f, g, species, step| {
+                if step < measure_after {
+                    return;
+                }
+                probe.sample(f, g);
+                // Instantaneous backward-wave field at the probe plane
+                // (one transverse point suffices in quasi-1D).
+                let v = g.voxel(probe.plane, 1, 1);
+                let backward = 0.5 * (f.ey[v] - f.cbz[v]);
+                series.push(backward as f64);
+                if sink.is_off() {
+                    return;
+                }
+                // Heavy snapshots key on the absolute step number, so a
+                // rollback replay regenerates the identical sequence.
+                let heavy = step.is_multiple_of(cadence);
+                let (slab, particles) = if heavy {
+                    let mut slab = sink.slab_buffer();
+                    for k in 1..=g.nz {
+                        for j in 1..=g.ny {
+                            let v = g.voxel(probe.plane, j, k);
+                            slab.extend_from_slice(&[
+                                f.ey[v] as f64,
+                                f.ez[v] as f64,
+                                f.cby[v] as f64,
+                                f.cbz[v] as f64,
+                            ]);
+                        }
+                    }
+                    let parts: Vec<f32> = species[electrons]
+                        .iter()
+                        .step_by(decimation)
+                        .map(|p| (p.ux * p.ux + p.uy * p.uy + p.uz * p.uz).sqrt())
+                        .collect();
+                    (Some(slab), Some(parts))
+                } else {
+                    (None, None)
+                };
+                sink.publish(DiagSnapshot {
+                    step,
+                    time: step as f64 * g.dt as f64,
+                    backward: backward as f64,
+                    probe_raw: probe.raw_state(),
+                    slab,
+                    particles,
+                });
+            },
+        );
+    }
+
+    /// Barrier: every published snapshot has been consumed on return.
+    /// Called before every checkpoint, rollback and graceful degrade.
+    pub fn diag_flush(&mut self) {
+        self.sink.flush();
+    }
+
+    /// Rebuild the diagnostics engine from the run's (just-restored)
+    /// probe/series state, so replayed steps never double-count a
+    /// sample. Callers flush first to drain stale in-flight snapshots.
+    pub fn diag_reset(&mut self) {
+        if self.sink.is_off() {
+            return;
         }
+        self.sink.reset(EngineState {
+            samples: self.backscatter_series.samples.clone(),
+            discarded: self.backscatter_series.discarded,
+            probe_raw: self.probe.raw_state(),
+            step: self.sim.step_count,
+        });
+    }
+
+    /// Route the engine's streaming artifacts (`progress.json`) to `dir`.
+    pub fn diag_set_out_dir(&mut self, dir: std::path::PathBuf) {
+        self.sink.set_out_dir(dir);
+    }
+
+    /// Pipeline counters so far (safe to sample mid-run).
+    pub fn diag_stats(&self) -> DiagStats {
+        self.sink.stats()
+    }
+
+    /// Stop the sink and recover the engine + final counters. `None`
+    /// engine when the mode was `off`.
+    pub fn diag_finish(&mut self) -> (Option<Box<DiagEngine>>, DiagStats) {
+        self.sink.finish()
     }
 
     /// Run `n` steps.
@@ -289,30 +395,27 @@ impl LpiRun {
 
     /// Power spectrum of the backward wave at the probe:
     /// `(ω, power)` bins. An SRS backscatter line sits at
-    /// `ω_s = ω0 − ω_ek`; an SBS line almost on top of `ω0`.
-    pub fn backscatter_spectrum(&self) -> Vec<(f64, f64)> {
-        let ps = vpic_diag::power_spectrum(&self.backscatter_series.samples);
-        let n = self
-            .backscatter_series
-            .samples
-            .len()
-            .next_power_of_two()
-            .max(2);
-        let domega = 2.0 * std::f64::consts::PI / (n as f64 * self.backscatter_series.dt);
-        ps.into_iter()
-            .enumerate()
-            .map(|(m, p)| (m as f64 * domega, p))
-            .collect()
+    /// `ω_s = ω0 − ω_ek`; an SBS line almost on top of `ω0`. Memoized by
+    /// series length, so repeated probing (vpic-run progress lines,
+    /// sweep heartbeats) costs O(1) between new samples; empty series →
+    /// empty spectrum (no zero-padded fake bins).
+    pub fn backscatter_spectrum(&mut self) -> &[(f64, f64)] {
+        let len = self.backscatter_series.samples.len();
+        if self.spectrum_cache.as_ref().map(|c| c.0) != Some(len) {
+            let spec = vpic_diag::backscatter_spectrum_of(
+                &self.backscatter_series.samples,
+                self.backscatter_series.dt,
+            );
+            self.spectrum_cache = Some((len, spec));
+        }
+        &self.spectrum_cache.as_ref().unwrap().1
     }
 
     /// Strongest backscatter line below `omega_max` (skips the DC bin).
-    pub fn backscatter_peak(&self, omega_max: f64) -> (f64, f64) {
-        self.backscatter_spectrum()
-            .into_iter()
-            .skip(1)
-            .take_while(|(w, _)| *w <= omega_max)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap_or((0.0, 0.0))
+    /// `None` when the post-DC window is empty — a too-short run or an
+    /// `omega_max` below the first bin — instead of a silent `(0, 0)`.
+    pub fn backscatter_peak(&mut self, omega_max: f64) -> Option<(f64, f64)> {
+        vpic_diag::spectrum_peak(self.backscatter_spectrum(), omega_max)
     }
 }
 

@@ -22,6 +22,10 @@ pub const SWEEP_BENCH_SCHEMA: &str = "vpic-bench/sweep/v1";
 /// Schema identifier for the reflectivity curve artifact.
 pub const CURVE_SCHEMA: &str = "vpic-lpi/reflectivity-curve/v1";
 
+/// Schema identifier for the *progressive* curve artifact the sweep
+/// service streams while jobs are still running.
+pub const PARTIAL_CURVE_SCHEMA: &str = "vpic-lpi/reflectivity-curve-partial/v1";
+
 /// End-state digest of one completed sweep job (the `Done` payload).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PointResult {
@@ -148,6 +152,119 @@ impl ReflectivityCurve {
                 }
                 (None, None) => {
                     let _ = write!(s, "\"status\": \"unsettled\"");
+                }
+            }
+            let _ = writeln!(s, "}}{comma}");
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+/// Where one grid point stands while the sweep is still in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartialStatus {
+    /// Not started (or waiting out retry backoff).
+    Pending,
+    /// An attempt is running; `certified_step` is its last durable
+    /// checkpoint and `reflectivity` the provisional value read from the
+    /// job's streaming `progress.json` (absent when `diag = off`).
+    Running {
+        certified_step: u64,
+        reflectivity: Option<f64>,
+    },
+    /// Settled with a result.
+    Done { reflectivity: f64 },
+    /// Settled by quarantine.
+    Quarantined { cause: String },
+}
+
+/// One grid point of the progressive artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialPoint {
+    pub point: SweepPoint,
+    pub attempts: u32,
+    pub status: PartialStatus,
+}
+
+/// The progressive sweep deliverable: a best-effort snapshot of the
+/// curve-in-progress, written atomically to
+/// `reflectivity_curve.partial.json` at every job transition and every
+/// certified checkpoint of the running job. Purely observational — the
+/// WAL stays the source of truth, and the settled
+/// `reflectivity_curve.json` is still aggregated exactly-once from
+/// `Done` records.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PartialCurve {
+    pub steps: u64,
+    pub points: Vec<PartialPoint>,
+}
+
+impl PartialCurve {
+    pub fn done(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| matches!(p.status, PartialStatus::Done { .. }))
+            .count()
+    }
+
+    /// Serialize to pretty-printed JSON. Like the settled curve this is
+    /// a pure function of its contents, so two observers of the same
+    /// queue state write byte-identical files.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"{PARTIAL_CURVE_SCHEMA}\",");
+        let _ = writeln!(s, "  \"steps\": {},", self.steps);
+        let _ = writeln!(s, "  \"points_total\": {},", self.points.len());
+        let _ = writeln!(s, "  \"points_done\": {},", self.done());
+        let _ = writeln!(s, "  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "    {{\"job\": {}, \"a0\": {:e}, \"n_over_ncr\": {:e}, \"vth\": {:e}, \
+                 \"attempts\": {}, ",
+                p.point.job_id, p.point.a0, p.point.n_over_ncr, p.point.vth, p.attempts
+            );
+            match &p.status {
+                PartialStatus::Pending => {
+                    let _ = write!(s, "\"status\": \"pending\"");
+                }
+                PartialStatus::Running {
+                    certified_step,
+                    reflectivity,
+                } => {
+                    let _ = write!(
+                        s,
+                        "\"status\": \"running\", \"certified_step\": {certified_step}, \
+                         \"reflectivity\": "
+                    );
+                    match reflectivity {
+                        Some(r) => {
+                            let _ = write!(s, "{r:e}");
+                        }
+                        None => {
+                            let _ = write!(s, "null");
+                        }
+                    }
+                }
+                PartialStatus::Done { reflectivity } => {
+                    let _ = write!(
+                        s,
+                        "\"status\": \"done\", \"reflectivity\": {:e}, \
+                         \"reflectivity_bits\": \"{:#018x}\"",
+                        reflectivity,
+                        reflectivity.to_bits()
+                    );
+                }
+                PartialStatus::Quarantined { cause } => {
+                    let _ = write!(
+                        s,
+                        "\"status\": \"quarantined\", \"cause\": \"{}\"",
+                        json_escape(cause)
+                    );
                 }
             }
             let _ = writeln!(s, "}}{comma}");
@@ -340,6 +457,68 @@ mod tests {
         assert_eq!(vals.len(), 1);
         assert_eq!(vals[0].0, 0.01);
         assert_eq!(vals[0].1.to_bits(), 1.25e-4f64.to_bits());
+    }
+
+    #[test]
+    fn partial_curve_json_covers_every_status() {
+        let point = |job_id| SweepPoint {
+            job_id,
+            a0: 0.01,
+            n_over_ncr: 0.1,
+            vth: 0.07,
+        };
+        let curve = PartialCurve {
+            steps: 100,
+            points: vec![
+                PartialPoint {
+                    point: point(0),
+                    attempts: 0,
+                    status: PartialStatus::Pending,
+                },
+                PartialPoint {
+                    point: point(1),
+                    attempts: 0,
+                    status: PartialStatus::Running {
+                        certified_step: 40,
+                        reflectivity: Some(2.5e-3),
+                    },
+                },
+                PartialPoint {
+                    point: point(2),
+                    attempts: 1,
+                    status: PartialStatus::Running {
+                        certified_step: 10,
+                        reflectivity: None,
+                    },
+                },
+                PartialPoint {
+                    point: point(3),
+                    attempts: 0,
+                    status: PartialStatus::Done {
+                        reflectivity: 1.25e-4,
+                    },
+                },
+                PartialPoint {
+                    point: point(4),
+                    attempts: 3,
+                    status: PartialStatus::Quarantined {
+                        cause: "boom \"quoted\"".into(),
+                    },
+                },
+            ],
+        };
+        let json = curve.to_json();
+        assert_eq!(json, curve.to_json(), "serialization must be pure");
+        assert!(json.contains("\"schema\": \"vpic-lpi/reflectivity-curve-partial/v1\""));
+        assert!(json.contains("\"points_total\": 5"));
+        assert!(json.contains("\"points_done\": 1"));
+        assert!(json.contains("\"status\": \"pending\""));
+        assert!(json.contains("\"certified_step\": 40, \"reflectivity\": 2.5e-3"));
+        assert!(json.contains("\"certified_step\": 10, \"reflectivity\": null"));
+        let bits = format!("\"reflectivity_bits\": \"{:#018x}\"", 1.25e-4f64.to_bits());
+        assert!(json.contains(&bits), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "cause must be escaped");
+        assert_eq!(curve.done(), 1);
     }
 
     #[test]

@@ -32,10 +32,11 @@ pub mod grid;
 pub mod scheduler;
 
 pub use curve::{
-    parse_curve_reflectivities, CurvePoint, PointResult, ReflectivityCurve, SWEEP_BENCH_SCHEMA,
+    parse_curve_reflectivities, CurvePoint, PartialCurve, PartialPoint, PartialStatus, PointResult,
+    ReflectivityCurve, PARTIAL_CURVE_SCHEMA, SWEEP_BENCH_SCHEMA,
 };
 pub use grid::{SweepGrid, SweepPoint};
 pub use scheduler::{
     SweepConfig, SweepEnd, SweepError, SweepKillPlan, SweepOutcome, SweepProgress, SweepRunner,
-    BENCH_NAME, CURVE_NAME, WAL_NAME,
+    BENCH_NAME, CURVE_NAME, PARTIAL_NAME, WAL_NAME,
 };

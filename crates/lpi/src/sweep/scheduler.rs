@@ -37,13 +37,19 @@ use vpic_core::sentinel::{CorruptionPlan, SentinelConfig};
 use crate::campaign::{run_lpi_campaign_with, LpiCampaignConfig, LpiCampaignEnd, LpiCampaignError};
 use crate::setup::LpiParams;
 
-use super::curve::{write_json_atomic, CurvePoint, PointResult, ReflectivityCurve, SweepBench};
+use super::curve::{
+    write_json_atomic, CurvePoint, PartialCurve, PartialPoint, PartialStatus, PointResult,
+    ReflectivityCurve, SweepBench,
+};
 use super::grid::SweepGrid;
 
 /// Name of the write-ahead journal inside the sweep directory.
 pub const WAL_NAME: &str = "sweep.wal";
 /// Name of the aggregated curve artifact.
 pub const CURVE_NAME: &str = "reflectivity_curve.json";
+/// Name of the progressive curve artifact, refreshed atomically while
+/// the sweep is still running (see [`PartialCurve`]).
+pub const PARTIAL_NAME: &str = "reflectivity_curve.partial.json";
 /// Name of the service-level bench record.
 pub const BENCH_NAME: &str = "BENCH_sweep.json";
 
@@ -267,6 +273,47 @@ impl SweepRunner {
         self.cfg.sweep_dir.join(format!("job_{job:06}"))
     }
 
+    /// Snapshot the queue into progressive-curve points (grid order).
+    /// Jobs that are leased/running/backing-off all read as `Pending`
+    /// here; the checkpoint hook overlays the live `Running` status for
+    /// the one job this serial incarnation is actually driving.
+    fn partial_points(&self, queue: &JobQueue) -> Vec<PartialPoint> {
+        self.grid
+            .points()
+            .map(|point| {
+                let job = queue.job(point.job_id).expect("grid job is defined");
+                let status = match (&job.state, &job.result) {
+                    (JobState::Done, Some(bytes)) => match PointResult::decode(bytes) {
+                        Ok(r) => PartialStatus::Done {
+                            reflectivity: r.reflectivity,
+                        },
+                        Err(_) => PartialStatus::Pending,
+                    },
+                    (JobState::Quarantined, _) => PartialStatus::Quarantined {
+                        cause: job.last_cause.clone().unwrap_or_default(),
+                    },
+                    _ => PartialStatus::Pending,
+                };
+                PartialPoint {
+                    point,
+                    attempts: job.attempts,
+                    status,
+                }
+            })
+            .collect()
+    }
+
+    /// Refresh `reflectivity_curve.partial.json`. Best-effort by design:
+    /// a failed write of the progress artifact must never fail the sweep
+    /// (the WAL is the source of truth).
+    fn write_partial(&self, points: Vec<PartialPoint>) {
+        let curve = PartialCurve {
+            steps: self.cfg.steps,
+            points,
+        };
+        let _ = write_json_atomic(&self.cfg.sweep_dir.join(PARTIAL_NAME), &curve.to_json());
+    }
+
     /// Charge one failed attempt, following the queue's canonical retry
     /// protocol: a `Failed` record (with its backoff gate) for *every*
     /// failure, then — out of attempts — the terminal `Quarantined`
@@ -403,6 +450,10 @@ impl SweepRunner {
         // Kill before a specific job's Started record?
         let mut outcome_end = SweepEnd::Completed;
 
+        // First progressive artifact: the reconciled queue as found on
+        // disk, before this incarnation runs any physics.
+        self.write_partial(self.partial_points(&queue));
+
         while !queue.is_settled() {
             // Wedged-worker defense: any lease past its deadline is a
             // charged failure. (With in-process serial workers this only
@@ -473,7 +524,27 @@ impl SweepRunner {
             let base_clock = clock_ms;
             let lease_ms = self.cfg.lease_ms;
             let kill_after = self.cfg.kill.after_certifications;
+            // Progressive-curve scaffolding for the hook: a snapshot of
+            // the queue taken now (the hook cannot borrow `queue`), with
+            // the running job's entry overlaid per certification. The
+            // provisional reflectivity comes from the campaign's
+            // streaming `progress.json` when its diagnostics pipeline is
+            // on; `null` otherwise.
+            let partial_base = self.partial_points(&queue);
+            let progress_path = self.job_dir(id).join("progress.json");
             let hook = |step: u64| -> bool {
+                let mut pts = partial_base.clone();
+                if let Some(p) = pts.iter_mut().find(|p| p.point.job_id == id) {
+                    p.attempts = attempt - 1;
+                    p.status = PartialStatus::Running {
+                        certified_step: step,
+                        reflectivity: std::fs::read_to_string(&progress_path)
+                            .ok()
+                            .and_then(|s| vpic_diag::parse_progress(&s))
+                            .map(|(_, r)| r),
+                    };
+                }
+                self.write_partial(pts);
                 let deadline_ms = base_clock + step + lease_ms;
                 let ev = JobEvent::Progress {
                     id,
@@ -554,6 +625,10 @@ impl SweepRunner {
                     self.fail_attempt(&append, &mut queue, progress, id, attempt, clock_ms, cause)?;
                 }
             }
+            // Every settled transition refreshes the progressive curve,
+            // so observers see `done`/`quarantined` points accrete as
+            // the queue drains.
+            self.write_partial(self.partial_points(&queue));
         }
 
         let stats = queue.stats();
@@ -713,6 +788,40 @@ mod tests {
         let curve = out.curve.unwrap();
         assert_eq!(curve.done(), 1);
         assert_eq!(curve.points[0].attempts, 0, "orphan release is free");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_curve_streams_while_sweep_runs_and_after_it_settles() {
+        let dir = tmp("partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = SweepGrid::single(&small_base());
+
+        // Incarnation 1 dies at its first certification: the progressive
+        // artifact on disk must show the job mid-flight.
+        let mut cfg = test_cfg(&dir);
+        cfg.kill.after_certifications = Some(1);
+        let out = SweepRunner::new(grid.clone(), cfg).run().unwrap();
+        assert_eq!(out.end, SweepEnd::Killed);
+        let partial = std::fs::read_to_string(dir.join(PARTIAL_NAME)).unwrap();
+        assert!(
+            partial.contains("\"schema\": \"vpic-lpi/reflectivity-curve-partial/v1\""),
+            "{partial}"
+        );
+        assert!(partial.contains("\"status\": \"running\""), "{partial}");
+        assert!(partial.contains("\"certified_step\": 0"), "{partial}");
+        // diag = off in the base deck: no streaming progress.json, so
+        // the provisional reflectivity is null, not a stale number.
+        assert!(partial.contains("\"reflectivity\": null"), "{partial}");
+
+        // Incarnation 2 finishes the sweep; the progressive artifact
+        // converges to all-done.
+        let out = SweepRunner::new(grid, test_cfg(&dir)).run().unwrap();
+        assert_eq!(out.end, SweepEnd::Completed);
+        let partial = std::fs::read_to_string(dir.join(PARTIAL_NAME)).unwrap();
+        assert!(partial.contains("\"points_done\": 1"), "{partial}");
+        assert!(partial.contains("\"status\": \"done\""), "{partial}");
+        assert!(partial.contains("\"reflectivity_bits\""), "{partial}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,6 +34,9 @@ pub struct DistTimings {
     pub current: f64,
     pub field: f64,
     pub exchange: f64,
+    /// Diagnostics observation (snapshot publication off this rank's
+    /// hot path; see `step_observed`).
+    pub diag: f64,
     pub steps: u64,
     pub particle_steps: u64,
 }
@@ -48,6 +51,7 @@ impl DistTimings {
             + self.current
             + self.field
             + self.exchange
+            + self.diag
     }
 
     /// Communication share (migration rounds + ghost exchange).
@@ -178,6 +182,24 @@ impl DistributedSim {
     /// exchanges after each field sub-update).
     pub fn step(&mut self, comm: &mut Comm) -> Result<(), CommError> {
         self.step_with(comm, |_, _, _| {})
+    }
+
+    /// One step with a drive hook plus a diagnostics observer: the
+    /// observer runs after the step completes on this rank's fields and
+    /// is charged to `timings.diag` — the distributed analog of
+    /// `Simulation::step_with_observed`, so per-rank probe publication
+    /// stays out of every physics phase's budget.
+    pub fn step_observed(
+        &mut self,
+        comm: &mut Comm,
+        drive: impl FnOnce(&mut FieldArray, &Grid, u64),
+        observe: impl FnOnce(&FieldArray, &Grid, &[Species], u64),
+    ) -> Result<(), CommError> {
+        self.step_with(comm, drive)?;
+        let t0 = Instant::now();
+        observe(&self.fields, &self.grid, &self.species, self.step_count);
+        self.timings.diag += t0.elapsed().as_secs_f64();
+        Ok(())
     }
 
     /// One step with an external current drive hook.

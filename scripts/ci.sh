@@ -40,6 +40,13 @@
 # lane: the nanompi wire/socket/bootstrap suites, the local-vs-socket
 # determinism matrix on the shipped SRS deck, the multi-process
 # kill -9/rejoin recovery test, and the 16-plan socket fault soak.
+#
+# Pass "diag" (or set CI_DIAG=1) to run the diagnostics-pipeline lane:
+# the bounded-queue/engine unit and property suites, the [diag] deck
+# knobs, the sync-vs-async artifact bit-identity matrix (layout x kernel
+# x 1/2/4/8 pipelines) with the kill-mid-measurement campaign replay,
+# and a default-size e2 bench pair asserting async diagnostics cost
+# ≤ 3% of diagnostics-off step throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -128,6 +135,31 @@ if [[ "${1:-}" == "transport" || "${CI_TRANSPORT:-0}" == "1" ]]; then
     # the 16-plan socket fault soak.
     cargo test --release --test socket_transport
     cargo test --release --test socket_transport -- --ignored --nocapture
+fi
+
+if [[ "${1:-}" == "diag" || "${CI_DIAG:-0}" == "1" ]]; then
+    echo "==> diag lane (async in-situ diagnostics pipeline)"
+    # Engine + bounded-queue suites: flush/drain ordering (proptest),
+    # reset re-seeding, drop-mode accounting, windowed series retention.
+    cargo test --release -p vpic-diag --lib pipeline
+    cargo test --release -p vpic-diag --lib recorder
+    # The `diag = off|sync|async` global and the [diag] section knobs.
+    cargo test --release -p vpic --lib diag
+    # The contract tests: sync-vs-async artifact bit-identity across
+    # layout x kernel x pipeline count, and a seeded kill mid-measurement
+    # whose rollback replay must not double-count a single sample.
+    cargo test --release --test diag_pipeline
+    # Bench smoke at the default e2 size (tiny grids are noise-bound and
+    # would fail the gate spuriously): async diagnostics must keep step
+    # throughput within 3% of the diagnostics-off baseline.
+    cargo build --release -p vpic-bench
+    rm -f target/BENCH_diag_smoke.json
+    ./target/release/e2_step_breakdown --layout aosoa --kernel lane \
+        --diag off --json target/BENCH_diag_smoke.json
+    ./target/release/e2_step_breakdown --layout aosoa --kernel lane \
+        --diag async --json target/BENCH_diag_smoke.json
+    ./target/release/e2_step_breakdown --validate target/BENCH_diag_smoke.json
+    ./target/release/e2_step_breakdown --assert-diag target/BENCH_diag_smoke.json
 fi
 
 if [[ "${1:-}" == "sentinel" || "${CI_SENTINEL:-0}" == "1" ]]; then

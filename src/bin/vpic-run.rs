@@ -174,7 +174,7 @@ fn run(deck_path: &str, out_dir: &str, cli: &Cli) -> Result<(), Box<dyn std::err
         }
         BuiltRun::Lpi(mut run) => {
             println!(
-                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout, {} kernel",
+                "LPI run: a0 = {}, n/ncr = {}, {} particles, {} steps, {} pipelines, {} rayon threads, {} layout, {} kernel, {} diag",
                 run.params.a0,
                 run.params.n_over_ncr,
                 run.sim.n_particles(),
@@ -182,8 +182,11 @@ fn run(deck_path: &str, out_dir: &str, cli: &Cli) -> Result<(), Box<dyn std::err
                 run.sim.accumulators.n_pipelines(),
                 vpic::core::worker_threads(),
                 run.sim.layout(),
-                run.sim.kernel()
+                run.sim.kernel(),
+                run.params.diag.mode.as_str()
             );
+            // Streaming artifacts (progress.json) land next to the TSVs.
+            run.diag_set_out_dir(PathBuf::from(out_dir));
             let names: Vec<String> = run.sim.species.iter().map(|s| s.name.clone()).collect();
             let mut elog = EnergyLogger::new(
                 fs::File::create(Path::new(out_dir).join("energies.tsv"))?,
@@ -203,11 +206,15 @@ fn run(deck_path: &str, out_dir: &str, cli: &Cli) -> Result<(), Box<dyn std::err
             let ys: Vec<f64> = spec.iter().map(|(_, p)| *p).collect();
             let mut f = fs::File::create(Path::new(out_dir).join("spectrum.tsv"))?;
             write_series("backscatter_power", &xs, &ys, &mut f)?;
+            // Drain the diagnostics pipeline (a no-op when diag = off)
+            // and fold its counters into the closing summary.
+            let (_engine, dstats) = run.diag_finish();
             println!(
                 "done: reflectivity {:.3e} over {} probe samples",
                 run.reflectivity(),
                 run.probe.samples()
             );
+            print_diag_stats(run.params.diag.mode, &dstats);
             print_throughput(&run.sim.timings, run.sim.accumulators.n_pipelines());
             print_coherence(&run.sim.species);
         }
@@ -250,6 +257,7 @@ fn run_lpi_campaign_deck(
         );
     }
     let out = run_lpi_campaign(setup.params, &cfg)?;
+    print_diag_stats(setup.params.diag.mode, &out.diag);
     for h in &out.heals {
         println!(
             "heal at step {}: {} burst of {} pass(es), rms {:.3e} -> {:.3e}{}",
@@ -372,6 +380,25 @@ fn run_sweep_deck(
         SweepEnd::Killed => println!("sweep killed by fault plan; re-run the same deck to resume"),
     }
     Ok(())
+}
+
+/// Diagnostics-pipeline counters for the closing summary: how the
+/// snapshot handoff behaved (queue pressure, publisher stalls, losses),
+/// as opposed to what the diagnostics measured. Silent when diag = off.
+fn print_diag_stats(mode: vpic::diag::DiagMode, s: &vpic::diag::DiagStats) {
+    if mode == vpic::diag::DiagMode::Off {
+        return;
+    }
+    println!(
+        "diag [{}]: {} snapshot(s) published, {} consumed, {} dropped, \
+         max queue depth {}, publisher stalled {:.1} ms",
+        mode.as_str(),
+        s.published,
+        s.consumed,
+        s.dropped,
+        s.max_depth,
+        s.stall_seconds * 1e3
+    );
 }
 
 /// Measured whole-step rate next to the parallel configuration that

@@ -81,6 +81,7 @@ use vpic_core::{
     load_juttner, load_two_stream, load_uniform, FieldArray, Grid, Layout, Momentum, ParticleBc,
     PushKernel, Rng, Simulation, SortPolicy, Species, Sponge,
 };
+use vpic_diag::{Backpressure, DiagConfig, DiagMode};
 use vpic_lpi::{
     LaserAntenna, LpiCampaignConfig, LpiParams, LpiRun, Polarization, SweepConfig, SweepGrid,
 };
@@ -695,6 +696,37 @@ fn parse_sort_policy(deck: &Deck) -> Result<SortPolicy, DeckError> {
     }
 }
 
+/// Diagnostics-pipeline knobs: a bare global `diag = off|sync|async`
+/// shorthand for just the mode, plus an optional `[diag]` section
+/// (`mode`, `cadence`, `queue_depth`, `decimation`, `series_cap`,
+/// `backpressure = block|drop`). `sync` keeps the inline oracle path;
+/// `async` hands snapshots to the bounded-queue worker — bit-identical
+/// artifacts by contract, so like `kernel` this is a performance knob,
+/// not a physics knob.
+fn parse_diag(deck: &Deck) -> Result<DiagConfig, DeckError> {
+    let mut cfg = DiagConfig::default();
+    if let Some(v) = deck.globals.get("diag") {
+        cfg.mode = DiagMode::parse(v)
+            .ok_or_else(|| err(format!("diag must be off, sync or async, got {v}")))?;
+    }
+    let Some(kv) = deck.section("diag") else {
+        return Ok(cfg);
+    };
+    if let Some(v) = kv.get("mode") {
+        cfg.mode = DiagMode::parse(v)
+            .ok_or_else(|| err(format!("diag.mode must be off, sync or async, got {v}")))?;
+    }
+    cfg.cadence = get_u64(kv, "cadence", cfg.cadence)?.max(1);
+    cfg.queue_depth = get_usize(kv, "queue_depth", cfg.queue_depth)?.max(1);
+    cfg.decimation = get_usize(kv, "decimation", cfg.decimation)?.max(1);
+    cfg.series_cap = get_usize(kv, "series_cap", cfg.series_cap)?;
+    if let Some(v) = kv.get("backpressure") {
+        cfg.backpressure = Backpressure::parse(v)
+            .ok_or_else(|| err(format!("diag.backpressure must be block or drop, got {v}")))?;
+    }
+    Ok(cfg)
+}
+
 fn get_u64(kv: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, DeckError> {
     match kv.get(key) {
         None => Ok(default),
@@ -1041,6 +1073,7 @@ fn build_lpi(deck: &Deck) -> Result<LpiRun, DeckError> {
         layout: parse_layout(deck)?,
         kernel: parse_kernel(deck)?,
         sort: parse_sort_policy(deck)?,
+        diag: parse_diag(deck)?,
     };
     Ok(LpiRun::new(params))
 }
@@ -1595,6 +1628,54 @@ corrupt_count = 4
         let bad =
             "kind = plasma\nsort_interval = fast\n[grid]\ncells = 2 2 2\n[species.e]\nppc = 1";
         assert!(build(&Deck::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn diag_knob_and_section_parse_and_reject_junk() {
+        use vpic_diag::{Backpressure, DiagMode};
+
+        // Bare global shorthand selects just the mode.
+        let text = "kind = lpi\ndiag = async\n[laser]\na0 = 0.01";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.params.diag.mode, DiagMode::Async);
+
+        // Default is off; the [diag] section sets mode and tuning knobs,
+        // and clamps the degenerate zero values to 1.
+        let text = "kind = lpi\n[laser]\na0 = 0.01";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.params.diag.mode, DiagMode::Off);
+        let text = "kind = lpi\n[laser]\na0 = 0.01\n[diag]\nmode = sync\ncadence = 0\n\
+                    queue_depth = 8\ndecimation = 32\nseries_cap = 4096\nbackpressure = drop";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        let d = run.params.diag;
+        assert_eq!(d.mode, DiagMode::Sync);
+        assert_eq!(d.cadence, 1); // clamped
+        assert_eq!(d.queue_depth, 8);
+        assert_eq!(d.decimation, 32);
+        assert_eq!(d.series_cap, 4096);
+        assert_eq!(d.backpressure, Backpressure::Drop);
+
+        // The section's mode wins over the global shorthand.
+        let text = "kind = lpi\ndiag = sync\n[laser]\na0 = 0.01\n[diag]\nmode = async";
+        let BuiltRun::Lpi(run) = build(&Deck::parse(text).unwrap()).unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(run.params.diag.mode, DiagMode::Async);
+
+        for bad in [
+            "kind = lpi\ndiag = eager\n[laser]\na0 = 0.01",
+            "kind = lpi\n[laser]\na0 = 0.01\n[diag]\nmode = turbo",
+            "kind = lpi\n[laser]\na0 = 0.01\n[diag]\nbackpressure = spill",
+            "kind = lpi\n[laser]\na0 = 0.01\n[diag]\ncadence = many",
+        ] {
+            assert!(build(&Deck::parse(bad).unwrap()).is_err(), "{bad}");
+        }
     }
 
     /// Deck → dump → restore into the *other* layout: the dump bytes are

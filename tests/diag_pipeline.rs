@@ -1,0 +1,180 @@
+//! Diagnostics pipeline contract tests: the async (worker-thread) sink
+//! must produce science artifacts byte-identical to the sync oracle at
+//! every pipeline count, across particle layouts and push kernels, and
+//! a kill + rollback mid-campaign must never double-count a sample.
+
+use vpic::core::push::PushKernel;
+use vpic::core::store::Layout;
+use vpic::diag::{DiagConfig, DiagMode};
+use vpic::lpi::{run_lpi_campaign, LpiCampaignConfig, LpiCampaignEnd, LpiParams, LpiRun};
+use vpic::nanompi::FaultPlan;
+
+/// A short-transit SRS slab: small sponges and vacuum gaps keep
+/// `measure_after` low so CI-sized runs collect a real sample window.
+fn short_params(mode: DiagMode, layout: Layout, kernel: PushKernel, pipelines: usize) -> LpiParams {
+    LpiParams {
+        flat: 2.0,
+        ramp: 1.0,
+        vacuum: 2.0,
+        ppc: 4,
+        a0: 0.02,
+        seed_frac: 0.2,
+        sponge_cells: 8,
+        ramp_periods: 1.0,
+        layout,
+        kernel,
+        pipelines,
+        diag: DiagConfig {
+            mode,
+            cadence: 16,
+            queue_depth: 2, // small on purpose: exercises publisher backpressure
+            decimation: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Run to a fixed step count past the transient and extract every
+/// derived artifact as exact bits: the streaming progress JSON, the
+/// spectrum and the spectrogram.
+fn diag_artifacts(
+    mode: DiagMode,
+    layout: Layout,
+    kernel: PushKernel,
+    pipelines: usize,
+) -> (String, Vec<(u64, u64)>, Vec<u64>) {
+    let mut run = LpiRun::new(short_params(mode, layout, kernel, pipelines));
+    let steps = run.measure_after + 160;
+    run.run(steps);
+    let (engine, stats) = run.diag_finish();
+    let mut engine = engine.expect("diag mode is not off");
+    assert_eq!(
+        stats.consumed, stats.published,
+        "sink lost snapshots: {stats:?}"
+    );
+    assert_eq!(stats.dropped, 0, "block backpressure must not drop");
+    assert!(engine.total_samples() >= 160, "no measurement window");
+    let progress = engine.progress_json();
+    let spectrum = engine
+        .spectrum()
+        .iter()
+        .map(|&(w, p)| (w.to_bits(), p.to_bits()))
+        .collect();
+    let sg = engine
+        .spectrogram()
+        .expect("≥ 8 samples")
+        .power
+        .into_iter()
+        .flatten()
+        .map(f64::to_bits)
+        .collect();
+    (progress, spectrum, sg)
+}
+
+/// The tentpole contract: at every (layout, kernel, pipelines) point the
+/// async pipeline's artifacts carry exactly the bits the sync oracle
+/// produces — offloading the spectra must not change a single ULP.
+#[test]
+fn async_matches_sync_across_layout_kernel_and_pipelines() {
+    let combos = [
+        (Layout::Aos, PushKernel::Scalar),
+        (Layout::Aosoa, PushKernel::Scalar),
+        (Layout::Aosoa, PushKernel::Lane),
+    ];
+    for (layout, kernel) in combos {
+        for pipelines in [1usize, 2, 4, 8] {
+            let tag = format!("{layout:?}/{kernel:?}/p{pipelines}");
+            let sync = diag_artifacts(DiagMode::Sync, layout, kernel, pipelines);
+            let asy = diag_artifacts(DiagMode::Async, layout, kernel, pipelines);
+            assert_eq!(sync.0, asy.0, "{tag}: progress.json diverged");
+            assert_eq!(sync.1, asy.1, "{tag}: spectrum bits diverged");
+            assert_eq!(sync.2, asy.2, "{tag}: spectrogram bits diverged");
+        }
+    }
+}
+
+fn campaign_cfg(dir: &std::path::Path, steps: u64, interval: u64) -> LpiCampaignConfig {
+    let mut cfg = LpiCampaignConfig::new(steps, interval, dir);
+    cfg.sentinel.health_interval = 20;
+    cfg.sentinel.max_energy_growth = 1e12; // the laser pumps energy in
+    cfg
+}
+
+/// Kill the rank mid-measurement with the async sink active: the
+/// campaign flushes in-flight snapshots, rolls back to the certified
+/// checkpoint, re-seeds the engine from the sidecar and replays. The
+/// final sample count, series bits and streamed `progress.json` must
+/// match a clean sync campaign exactly — one sample per step, no
+/// double-counting across the replayed window.
+#[test]
+fn killed_async_campaign_replays_without_double_counting() {
+    let probe = LpiRun::new(short_params(
+        DiagMode::Sync,
+        Layout::default(),
+        PushKernel::default(),
+        1,
+    ));
+    let measure_after = probe.measure_after;
+    drop(probe);
+    let steps = measure_after + 120;
+    let interval = 40;
+    // Kill inside the measurement window, strictly between checkpoints,
+    // with the restore point also past `measure_after`: the replayed
+    // steps then re-publish snapshots the engine already saw once.
+    let kill_at = measure_after + 60;
+    let restore = (kill_at / interval) * interval;
+    assert!(restore > measure_after && restore < kill_at);
+
+    let dir_sync = std::env::temp_dir().join("diag_pipe_camp_sync");
+    let _ = std::fs::remove_dir_all(&dir_sync);
+    let clean = run_lpi_campaign(
+        short_params(DiagMode::Sync, Layout::default(), PushKernel::default(), 1),
+        &campaign_cfg(&dir_sync, steps, interval),
+    )
+    .unwrap();
+    assert!(matches!(clean.end, LpiCampaignEnd::Completed));
+
+    let dir_async = std::env::temp_dir().join("diag_pipe_camp_async");
+    let _ = std::fs::remove_dir_all(&dir_async);
+    let mut cfg = campaign_cfg(&dir_async, steps, interval);
+    cfg.fault_plan = Some(FaultPlan::new(11).kill(0, kill_at));
+    let faulted = run_lpi_campaign(
+        short_params(DiagMode::Async, Layout::default(), PushKernel::default(), 1),
+        &cfg,
+    )
+    .unwrap();
+    assert!(matches!(faulted.end, LpiCampaignEnd::Completed));
+    assert_eq!(faulted.recoveries.len(), 1, "{:?}", faulted.recoveries);
+    assert_eq!(faulted.recoveries[0].restored_step, restore);
+
+    // Physics bits agree (the existing campaign contract)...
+    assert_eq!(faulted.state_fingerprint, clean.state_fingerprint);
+    assert_eq!(faulted.reflectivity.to_bits(), clean.reflectivity.to_bits());
+    // ...and so does everything the diagnostics engine accumulated.
+    assert_eq!(faulted.diag.dropped, 0);
+    assert_eq!(faulted.diag.consumed, faulted.diag.published);
+    let mut ce = clean.diag_engine.expect("sync campaign keeps its engine");
+    let mut fe = faulted
+        .diag_engine
+        .expect("async campaign keeps its engine");
+    assert!(ce.total_samples() >= 120);
+    assert_eq!(
+        fe.total_samples(),
+        ce.total_samples(),
+        "rollback replay double-counted samples"
+    );
+    let cb: Vec<u64> = ce.samples().iter().map(|s| s.to_bits()).collect();
+    let fb: Vec<u64> = fe.samples().iter().map(|s| s.to_bits()).collect();
+    assert_eq!(fb, cb, "series bits diverged across kill + rollback");
+    assert_eq!(fe.progress_json(), ce.progress_json());
+
+    // The streamed artifact on disk is byte-identical too: both
+    // campaigns ended at the same step with the same engine state.
+    let a = std::fs::read(dir_sync.join("progress.json")).unwrap();
+    let b = std::fs::read(dir_async.join("progress.json")).unwrap();
+    assert_eq!(a, b, "streamed progress.json diverged");
+
+    let _ = std::fs::remove_dir_all(&dir_sync);
+    let _ = std::fs::remove_dir_all(&dir_async);
+}

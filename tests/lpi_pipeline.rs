@@ -106,7 +106,10 @@ fn backscatter_spectrum_peaks_at_omega_s() {
     let omega_s = run.srs.omega_s;
     let steps = run.suggested_steps(2.0);
     run.run(steps);
-    let (peak_omega, power) = run.backscatter_peak(run.srs.omega0 * 1.2);
+    let omega_max = run.srs.omega0 * 1.2;
+    let (peak_omega, power) = run
+        .backscatter_peak(omega_max)
+        .expect("driven run has a backscatter spectrum");
     assert!(power > 0.0);
     assert!(
         (peak_omega - omega_s).abs() / omega_s < 0.1,
